@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Baseline algorithms and correctness oracles for the `modref` workspace.
+//!
+//! Three roles:
+//!
+//! 1. **Oracle** ([`oracle`]) — a direct worklist fixpoint of the paper's
+//!    equation (1), `GMOD(p) = IMOD(p) ∪ ⋃_{e=(p,q)} b_e(GMOD(q))`, with
+//!    the *full* binding function `b_e` (formals ↦ actuals, callee locals
+//!    dropped, survivors kept). Slow and obviously correct: the property
+//!    suite checks the fast pipeline against it bit for bit.
+//! 2. **Comparators** — the algorithms the paper positions itself against:
+//!    * [`per_param::rmod_per_parameter`] — Zadeck-style one-pass-per-
+//!      parameter propagation on `β` (`O(N_β · E_β)` worst case), the cost
+//!      model §3.2 contrasts with Figure 1;
+//!    * [`swift::rmod_swift_standin`] — the *swift*-style formulation:
+//!      bit vectors of formal parameters propagated over the **call**
+//!      multi-graph to a fixpoint, paying `O(N_β)`-wide vector steps per
+//!      edge per iteration (a stand-in for the Tarjan path-compression
+//!      elimination swift used; the asymptotic *shape* — bit-vector work
+//!      on `C` instead of boolean work on `β` — is what the experiments
+//!      compare);
+//!    * [`iterative::iterative_gmod`] — the standard iterative data-flow
+//!      solution of equation (4), exact for any nesting depth, used both
+//!      as a `GMOD` oracle and as the `O(N_C · E_C)`-bit-vector-steps
+//!      baseline for Figure 2;
+//!    * [`elimination::elimination_gmod`] — a Graham–Wegman-flavoured
+//!      elimination solver over closed-form transfer functions,
+//!      demonstrating (and testing) that equation (4) is *rapid*: loop
+//!      closure is a single extra application.
+//! 3. **Ablations** — the experiments call these to reproduce the paper's
+//!    complexity comparisons (`EXPERIMENTS.md`).
+
+pub mod elimination;
+pub mod iterative;
+pub mod oracle;
+pub mod per_param;
+pub mod swift;
+
+pub use elimination::{elimination_gmod, TransferFn};
+pub use iterative::iterative_gmod;
+pub use oracle::OracleSolution;
+pub use per_param::rmod_per_parameter;
+pub use swift::rmod_swift_standin;

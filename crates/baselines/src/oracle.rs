@@ -1,0 +1,217 @@
+//! The exhaustive reference oracle: equation (1) solved directly.
+//!
+//! No decomposition, no clever graphs — just the defining fixpoint
+//! `GMOD(p) = IMOD(p) ∪ ⋃_{e=(p,q)} b_e(GMOD(q))` with the full binding
+//! projection `b_e`:
+//!
+//! * a formal of the callee maps to the by-reference actual bound to it
+//!   (nothing, for a by-value actual);
+//! * any other variable declared by the callee (its locals) is dropped —
+//!   deallocated on return;
+//! * everything else (globals, variables of enclosing scopes) maps to
+//!   itself.
+//!
+//! Seeds are the §3.3-extended `IMOD` sets, exactly as in the fast
+//! pipeline, so the two must agree **exactly** — the property suite in
+//! `tests/` asserts bit-for-bit equality on random programs.
+
+use modref_bitset::{BitSet, OpCounter};
+use modref_ir::{Actual, CallSiteId, ProcId, Program, VarKind};
+
+/// The oracle's results: `GMOD`/`RMOD`/`DMOD` computed the slow way.
+#[derive(Debug, Clone)]
+pub struct OracleSolution {
+    gmod: Vec<BitSet>,
+    dmod_sites: Vec<BitSet>,
+    stats: OpCounter,
+}
+
+impl OracleSolution {
+    /// Solves the `MOD` side from the given seeds (`effects.imod_all()`
+    /// for `MOD`, `effects.iuse_all()` for `USE`).
+    ///
+    /// Worklist fixpoint; each pass over a call site costs one projection
+    /// that is linear in the variable universe, so the whole thing is
+    /// `O(iterations · E_C · |V|)` — the "direct solution will not achieve
+    /// the fast time bounds" route of §2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds.len() != program.num_procs()`.
+    pub fn solve(program: &Program, seeds: &[BitSet]) -> Self {
+        assert_eq!(seeds.len(), program.num_procs(), "one seed per procedure");
+        let mut stats = OpCounter::new();
+        let mut gmod: Vec<BitSet> = seeds.to_vec();
+
+        // sites_in[p]: the call sites whose caller is p.
+        let mut sites_in: Vec<Vec<CallSiteId>> = vec![Vec::new(); program.num_procs()];
+        for s in program.sites() {
+            sites_in[program.site(s).caller().index()].push(s);
+        }
+
+        // Chaotic iteration to a fixpoint.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            stats.iterations += 1;
+            for p in program.procs() {
+                for &s in &sites_in[p.index()] {
+                    stats.edges_visited += 1;
+                    let projected = project(program, s, &gmod[program.site(s).callee().index()]);
+                    stats.bitvec_steps += 1;
+                    if gmod[p.index()].union_with(&projected) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        let dmod_sites = program
+            .sites()
+            .map(|s| project(program, s, &gmod[program.site(s).callee().index()]))
+            .collect();
+
+        OracleSolution {
+            gmod,
+            dmod_sites,
+            stats,
+        }
+    }
+
+    /// Oracle `GMOD(p)`.
+    pub fn gmod(&self, p: ProcId) -> &BitSet {
+        &self.gmod[p.index()]
+    }
+
+    /// All oracle `GMOD` sets.
+    pub fn gmod_all(&self) -> &[BitSet] {
+        &self.gmod
+    }
+
+    /// Oracle `RMOD(p)`: `GMOD(p)` restricted to `p`'s formals.
+    pub fn rmod(&self, program: &Program, p: ProcId) -> BitSet {
+        let mut set = BitSet::new(self.gmod[p.index()].domain());
+        for &f in program.proc_(p).formals() {
+            if self.gmod[p.index()].contains(f.index()) {
+                set.insert(f.index());
+            }
+        }
+        set
+    }
+
+    /// Oracle `DMOD` for a call site (`b_e(GMOD(callee))`).
+    pub fn dmod_site(&self, s: CallSiteId) -> &BitSet {
+        &self.dmod_sites[s.index()]
+    }
+
+    /// Work counters (note `iterations`: the fixpoint pass count).
+    pub fn stats(&self) -> OpCounter {
+        self.stats
+    }
+}
+
+/// The full binding projection `b_e`.
+fn project(program: &Program, s: CallSiteId, callee_set: &BitSet) -> BitSet {
+    let site = program.site(s);
+    let callee = site.callee();
+    let mut out = BitSet::new(callee_set.domain());
+    for v in callee_set.iter() {
+        let vid = modref_ir::VarId::new(v);
+        let info = program.var(vid);
+        if info.owner() == Some(callee) {
+            match info.kind() {
+                VarKind::Formal { position } => {
+                    if let Actual::Ref(r) = &site.args()[position] {
+                        out.insert(r.var.index());
+                    }
+                }
+                _ => { /* callee local: deallocated on return */ }
+            }
+        } else {
+            out.insert(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_ir::{Expr, LocalEffects, ProgramBuilder};
+
+    fn oracle(b: &ProgramBuilder) -> (Program, OracleSolution) {
+        let program = b.finish().expect("valid");
+        let fx = LocalEffects::compute(&program);
+        let sol = OracleSolution::solve(&program, fx.imod_all());
+        (program, sol)
+    }
+
+    #[test]
+    fn formal_chain_and_global() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g");
+        let h = b.global("h");
+        let q = b.proc_("q", &["y"]);
+        b.assign(q, b.formal(q, 0), Expr::constant(1));
+        b.assign(q, h, Expr::constant(2));
+        let p = b.proc_("p", &["x"]);
+        b.call(p, q, &[b.formal(p, 0)]);
+        let main = b.main();
+        b.call(main, p, &[g]);
+        let (_, sol) = oracle(&b);
+        // q: its formal and h.
+        assert!(sol.gmod(q).contains(b.formal(q, 0).index()));
+        assert!(sol.gmod(q).contains(h.index()));
+        // p: its formal (bound through) and h.
+        assert!(sol.gmod(p).contains(b.formal(p, 0).index()));
+        assert!(sol.gmod(p).contains(h.index()));
+        assert!(!sol.gmod(p).contains(b.formal(q, 0).index()));
+        // main: g (the actual) and h.
+        assert!(sol.gmod(main).contains(g.index()));
+        assert!(sol.gmod(main).contains(h.index()));
+    }
+
+    #[test]
+    fn recursion_converges() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g");
+        let p = b.proc_("p", &["x"]);
+        b.call(p, p, &[b.formal(p, 0)]);
+        b.assign(p, g, Expr::constant(1));
+        let main = b.main();
+        b.call(main, p, &[g]);
+        let (_, sol) = oracle(&b);
+        assert!(sol.gmod(p).contains(g.index()));
+        assert!(sol.gmod(main).contains(g.index()));
+        assert!(sol.stats().iterations >= 1);
+    }
+
+    #[test]
+    fn nested_local_filtered_at_declaring_proc() {
+        let mut b = ProgramBuilder::new();
+        let p = b.proc_("p", &[]);
+        let t = b.local(p, "t");
+        let inner = b.nested_proc(p, "inner", &[]);
+        b.assign(inner, t, Expr::constant(1));
+        b.call(p, inner, &[]);
+        let main = b.main();
+        b.call(main, p, &[]);
+        let (_, sol) = oracle(&b);
+        assert!(sol.gmod(inner).contains(t.index()));
+        assert!(sol.gmod(p).contains(t.index())); // t is p's own
+        assert!(!sol.gmod(main).contains(t.index())); // filtered at p
+    }
+
+    #[test]
+    fn dmod_site_projection() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g");
+        let q = b.proc_("q", &["y"]);
+        b.assign(q, b.formal(q, 0), Expr::constant(1));
+        let main = b.main();
+        let s = b.call(main, q, &[g]);
+        let (_, sol) = oracle(&b);
+        assert!(sol.dmod_site(s).contains(g.index()));
+        assert!(!sol.dmod_site(s).contains(b.formal(q, 0).index()));
+    }
+}

@@ -1,0 +1,208 @@
+//! A *swift*-style `RMOD` solver — bit vectors over the call multi-graph.
+//!
+//! Before the binding multi-graph, the Cooper–Kennedy 1984 ("swift")
+//! formulation solved the reference-parameter problem as a data-flow
+//! problem **on the call graph**, where every transfer moves a *vector* of
+//! formal-parameter bits through a per-site binding map. The original used
+//! Tarjan's path-compression elimination to reach
+//! `O(E_C α(E_C, N_C))` bit-vector steps on reducible graphs; this
+//! stand-in uses worklist iteration, which reproduces the same defining
+//! cost *shape* — `Θ(N_β)`-wide vector operations, one per call-graph edge
+//! per pass — that §3.2's comparison is about: the swift algorithm costs
+//! `O(N_β · E_C · α)` bit operations where Figure 1 needs `O(k · E_C)`
+//! booleans. (Substitution documented in `DESIGN.md` §4.)
+
+use modref_bitset::{BitSet, OpCounter};
+use modref_ir::{Actual, ProcId, Program, VarId};
+
+/// The swift-style solver's result.
+#[derive(Debug, Clone)]
+pub struct SwiftRmod {
+    rmod: Vec<BitSet>,
+    modified: BitSet,
+    stats: OpCounter,
+}
+
+impl SwiftRmod {
+    /// `RMOD(p)` over the variable universe.
+    pub fn rmod(&self, p: ProcId) -> &BitSet {
+        &self.rmod[p.index()]
+    }
+
+    /// `true` if the formal may be modified by an invocation of its owner.
+    pub fn is_modified(&self, formal: VarId) -> bool {
+        self.modified.contains(formal.index())
+    }
+
+    /// Work counters. `bitvec_steps` counts whole-formal-vector transfers
+    /// (each `Θ(N_β)` bits wide); `bool_steps` the per-position binding
+    /// lookups inside them.
+    pub fn stats(&self) -> OpCounter {
+        self.stats
+    }
+}
+
+/// Solves the reference-formal problem by iterating formal-bit vectors
+/// over the call multi-graph to a fixpoint.
+///
+/// The vector for procedure `p` lives in the program-wide variable
+/// universe restricted to `p`'s formals. At a call site `s = (p, q)`,
+/// information flows callee→caller: if formal `i` of `q` is marked and the
+/// `i`-th actual at `s` is a formal of `p` (or of a lexical ancestor —
+/// §3.3 applies here too), that formal gets marked.
+///
+/// # Panics
+///
+/// Panics if `initial.len() != program.num_procs()`.
+pub fn rmod_swift_standin(program: &Program, initial: &[BitSet]) -> SwiftRmod {
+    assert_eq!(
+        initial.len(),
+        program.num_procs(),
+        "one initial set per procedure"
+    );
+    let mut stats = OpCounter::new();
+    let nv = program.num_vars();
+
+    // Seed: each procedure's formals that are locally modified.
+    let mut marked = BitSet::new(nv);
+    for p in program.procs() {
+        for &f in program.proc_(p).formals() {
+            stats.bool_steps += 1;
+            if initial[p.index()].contains(f.index()) {
+                marked.insert(f.index());
+            }
+        }
+    }
+
+    // Chaotic iteration over all call sites.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        stats.iterations += 1;
+        for s in program.sites() {
+            let site = program.site(s);
+            let caller = site.caller();
+            let callee_formals = program.proc_(site.callee()).formals();
+            stats.edges_visited += 1;
+            stats.bitvec_steps += 1; // one vector transfer per edge per pass
+            for (pos, arg) in site.args().iter().enumerate() {
+                stats.bool_steps += 1;
+                if !marked.contains(callee_formals[pos].index()) {
+                    continue;
+                }
+                let Actual::Ref(r) = arg else { continue };
+                let Some((owner, _)) = program.formal_position(r.var) else {
+                    continue;
+                };
+                let in_context = owner == caller || program.ancestors(caller).any(|a| a == owner);
+                if in_context && marked.insert(r.var.index()) {
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    let mut rmod = vec![BitSet::new(nv); program.num_procs()];
+    for p in program.procs() {
+        for &f in program.proc_(p).formals() {
+            if marked.contains(f.index()) {
+                rmod[p.index()].insert(f.index());
+            }
+        }
+    }
+
+    SwiftRmod {
+        rmod,
+        modified: marked,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_binding::{solve_rmod, BindingGraph};
+    use modref_ir::{Expr, LocalEffects, ProgramBuilder};
+
+    fn compare(b: &ProgramBuilder) {
+        let program = b.finish().expect("valid");
+        let fx = LocalEffects::compute(&program);
+        let beta = BindingGraph::build(&program);
+        let fast = solve_rmod(&program, fx.imod_all(), &beta);
+        let swift = rmod_swift_standin(&program, fx.imod_all());
+        for p in program.procs() {
+            assert_eq!(fast.rmod(p), swift.rmod(p), "disagree at {p}");
+        }
+    }
+
+    #[test]
+    fn agrees_on_chain() {
+        let mut b = ProgramBuilder::new();
+        let c = b.proc_("c", &["z"]);
+        b.assign(c, b.formal(c, 0), Expr::constant(1));
+        let q = b.proc_("q", &["y"]);
+        b.call(q, c, &[b.formal(q, 0)]);
+        let p = b.proc_("p", &["x"]);
+        b.call(p, q, &[b.formal(p, 0)]);
+        let g = b.global("g");
+        let main = b.main();
+        b.call(main, p, &[g]);
+        compare(&b);
+    }
+
+    #[test]
+    fn agrees_on_mutual_recursion() {
+        let mut b = ProgramBuilder::new();
+        let p = b.proc_("p", &["x"]);
+        let q = b.proc_("q", &["y"]);
+        b.call(p, q, &[b.formal(p, 0)]);
+        b.call(q, p, &[b.formal(q, 0)]);
+        b.assign(q, b.formal(q, 0), Expr::constant(7));
+        let g = b.global("g");
+        let main = b.main();
+        b.call(main, p, &[g]);
+        compare(&b);
+    }
+
+    #[test]
+    fn agrees_with_nested_context_bindings() {
+        let mut b = ProgramBuilder::new();
+        let p = b.proc_("p", &["x"]);
+        let q = b.proc_("q", &["y"]);
+        b.assign(q, b.formal(q, 0), Expr::constant(1));
+        let inner = b.nested_proc(p, "inner", &[]);
+        b.call(inner, q, &[b.formal(p, 0)]);
+        b.call(p, inner, &[]);
+        let g = b.global("g");
+        let main = b.main();
+        b.call(main, p, &[g]);
+        compare(&b);
+    }
+
+    #[test]
+    fn pays_vector_steps_where_figure1_pays_booleans() {
+        // On a binding chain, swift-standin performs E_C-many vector
+        // transfers per pass, several passes; Figure 1 does O(N_β + E_β)
+        // booleans once.
+        let mut b = ProgramBuilder::new();
+        let n = 40;
+        let mut procs = Vec::new();
+        for i in 0..n {
+            procs.push(b.proc_(&format!("p{i}"), &["x"]));
+        }
+        b.assign(procs[n - 1], b.formal(procs[n - 1], 0), Expr::constant(1));
+        for i in 0..n - 1 {
+            b.call(procs[i], procs[i + 1], &[b.formal(procs[i], 0)]);
+        }
+        // A cycle to force extra passes.
+        b.call(procs[n - 1], procs[0], &[b.formal(procs[n - 1], 0)]);
+        let g = b.global("g");
+        let main = b.main();
+        b.call(main, procs[0], &[g]);
+        let program = b.finish().expect("valid");
+        let fx = LocalEffects::compute(&program);
+        let swift = rmod_swift_standin(&program, fx.imod_all());
+        assert!(swift.stats().iterations >= 2);
+        assert!(swift.stats().bitvec_steps >= program.num_sites() as u64 * 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! E3 wall-clock: fused multi-level `GMOD` vs one-run-per-level on
+//! nesting ladders of growing depth (constant total size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modref_binding::{solve_rmod, BindingGraph};
+use modref_core::{compute_imod_plus, solve_gmod_multi_fused, solve_gmod_multi_naive};
+use modref_ir::{CallGraph, LocalEffects};
+use modref_progen::workloads;
+
+fn bench_nested(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nested_gmod");
+    let budget = 512usize;
+    for &depth in &[2usize, 8, 32] {
+        let width = (budget / depth).saturating_sub(1).max(1);
+        let program = workloads::nested_ladder(depth, width);
+        let fx = LocalEffects::compute(&program);
+        let beta = BindingGraph::build(&program);
+        let rmod = solve_rmod(&program, fx.imod_all(), &beta);
+        let (plus, _) = compute_imod_plus(&program, fx.imod_all(), &rmod);
+        let cg = CallGraph::build(&program);
+        let locals = program.local_sets();
+
+        group.bench_with_input(BenchmarkId::new("per_level", depth), &depth, |b, _| {
+            b.iter(|| solve_gmod_multi_naive(&program, cg.graph(), &plus, &locals))
+        });
+        group.bench_with_input(BenchmarkId::new("fused", depth), &depth, |b, _| {
+            b.iter(|| solve_gmod_multi_fused(&program, cg.graph(), &plus, &locals))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nested);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E5 wall-clock: regular-section analysis on array binding chains —
+//! cost must not grow with array rank (lattice depth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modref_ir::{Expr, ProcId, Program, ProgramBuilder};
+use modref_sections::analyze_sections;
+
+fn array_chain(n: usize, rank: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let procs: Vec<ProcId> = (0..n)
+        .map(|i| b.nested_proc_ranked(ProcId::MAIN, &format!("p{i}"), &[("m", rank)]))
+        .collect();
+    b.assign_indexed(
+        procs[n - 1],
+        b.formal(procs[n - 1], 0),
+        vec![modref_ir::Subscript::Const(0); rank],
+        Expr::constant(1),
+    );
+    for i in 0..n - 1 {
+        b.call(procs[i], procs[i + 1], &[b.formal(procs[i], 0)]);
+    }
+    let a = b.global_array("a", rank);
+    let main = b.main();
+    b.call(main, procs[0], &[a]);
+    b.finish().expect("valid")
+}
+
+fn bench_sections(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sections");
+    for &rank in &[1usize, 2, 6] {
+        let program = array_chain(512, rank);
+        group.bench_with_input(BenchmarkId::new("chain_512", rank), &rank, |b, _| {
+            b.iter(|| analyze_sections(&program))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sections);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Regenerates the paper-reproduction tables recorded in `EXPERIMENTS.md`.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments                # every experiment, full scale
+//! experiments --quick        # every experiment, small inputs
+//! experiments e1 e3 f3       # a subset
+//! ```
+
+use std::process::ExitCode;
+
+use modref_bench::{all_experiments, experiment_by_id, Scale};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+
+    println!(
+        "modref experiment harness — reproducing Cooper & Kennedy, PLDI 1988 ({:?} scale)\n",
+        scale
+    );
+
+    let tables = if ids.is_empty() {
+        all_experiments(scale)
+    } else {
+        let mut out = Vec::new();
+        for id in ids {
+            match experiment_by_id(id, scale) {
+                Some(t) => out.push(t),
+                None => {
+                    eprintln!("unknown experiment id `{id}` (known: f1 f2 f3 e1..e7)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        out
+    };
+
+    let mut failed = false;
+    for table in &tables {
+        println!("{table}");
+        failed |= table.verdict.to_uppercase().contains("INVESTIGATE");
+    }
+    if failed {
+        eprintln!("one or more experiments flagged INVESTIGATE");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

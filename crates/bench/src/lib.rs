@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! The experiment harness: regenerates, as printed tables, every figure
+//! and quantitative claim of Cooper & Kennedy PLDI 1988.
+//!
+//! The paper is an algorithms paper — its "evaluation" is Figures 1–3 plus
+//! complexity claims. Each experiment below reproduces one of them on the
+//! synthetic workload families of `modref-progen`, reporting *operation
+//! counts* in the paper's own cost model (boolean steps for Figure 1,
+//! bit-vector steps for Figure 2, lattice meets for §6) alongside
+//! wall-clock time. `EXPERIMENTS.md` records a captured run.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p modref-bench --bin experiments
+//! ```
+//!
+//! or a subset with `… --bin experiments f1 e2 e3`.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{all_experiments, experiment_by_id, Scale};
+pub use table::Table;

@@ -1,0 +1,150 @@
+//! Plain-text result tables.
+
+use std::fmt;
+
+/// One experiment's results as an aligned ASCII table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Short id, e.g. `"E1"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The paper claim being reproduced.
+    pub claim: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows (stringified).
+    pub rows: Vec<Vec<String>>,
+    /// One-line reading of the result.
+    pub verdict: String,
+}
+
+impl Table {
+    /// Creates an empty table with the given metadata.
+    pub fn new(id: &str, title: &str, claim: &str, header: &[&str]) -> Self {
+        Table {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            claim: claim.to_owned(),
+            header: header.iter().map(|&h| h.to_owned()).collect(),
+            rows: Vec::new(),
+            verdict: String::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<I: IntoIterator<Item = String>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Sets the verdict line.
+    pub fn set_verdict(&mut self, verdict: impl Into<String>) {
+        self.verdict = verdict.into();
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        writeln!(f, "claim: {}", self.claim)?;
+        // Column widths.
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (w, cell) in widths.iter().zip(cells) {
+                write!(f, " {cell:>w$} |", w = w)?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.header)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        if !self.verdict.is_empty() {
+            writeln!(f, "=> {}", self.verdict)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a number with thousands separators (readability of step
+/// counts).
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_time(d: std::time::Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1_000.0 {
+        format!("{us:.1}us")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1_000.0)
+    } else {
+        format!("{:.3}s", us / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T", "demo", "x grows", &["n", "steps"]);
+        t.push_row(["10".into(), "1234".into()]);
+        t.push_row(["1000".into(), "5".into()]);
+        t.set_verdict("fine");
+        let s = t.to_string();
+        assert!(s.contains("== T — demo =="));
+        assert!(s.contains("|    n | steps |"));
+        assert!(s.contains("|   10 |  1234 |"));
+        assert!(s.contains("=> fine"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("T", "demo", "c", &["a", "b"]);
+        t.push_row(["1".into()]);
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1_234_567), "1_234_567");
+        assert_eq!(fmt_count(0), "0");
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        use std::time::Duration;
+        assert_eq!(fmt_time(Duration::from_micros(12)), "12.0us");
+        assert_eq!(fmt_time(Duration::from_micros(2_500)), "2.50ms");
+        assert_eq!(fmt_time(Duration::from_millis(3_200)), "3.200s");
+    }
+}

@@ -1,0 +1,313 @@
+//! Construction of the binding multi-graph (§3.1, §3.3).
+
+use modref_graph::DiGraph;
+use modref_ir::{Actual, CallSiteId, Program, VarId};
+
+/// The binding multi-graph `β`.
+///
+/// Nodes represent formal parameters; following §3.1, a formal is given a
+/// node **only if it is the endpoint of at least one edge** (so
+/// `2·E_β ≥ N_β` always holds — an invariant the tests check). Each edge is
+/// one binding event: at some call site, a formal of the calling context is
+/// passed by reference to a formal of the callee. Parallel edges arise when
+/// the same pair is bound at several sites.
+///
+/// The §3.3 nesting rule is applied during construction: an actual that is
+/// a formal of a lexical *ancestor* of the procedure containing the call
+/// site also generates an edge (from the ancestor's formal).
+#[derive(Debug, Clone)]
+pub struct BindingGraph {
+    graph: DiGraph,
+    formal_of_node: Vec<VarId>,
+    node_of_var: Vec<Option<usize>>,
+    site_of_edge: Vec<CallSiteId>,
+}
+
+impl BindingGraph {
+    /// Builds `β` by visiting every call site once — linear in the size of
+    /// the program, as §3.1 claims.
+    pub fn build(program: &Program) -> Self {
+        let mut builder = Builder {
+            program,
+            graph: BindingGraph {
+                graph: DiGraph::new(0),
+                formal_of_node: Vec::new(),
+                node_of_var: vec![None; program.num_vars()],
+                site_of_edge: Vec::new(),
+            },
+        };
+        builder.run();
+        builder.graph
+    }
+
+    /// `N_β`: formal parameters participating in at least one binding.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// `E_β`: binding events.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// The underlying multi-graph (node ids are `β`-internal).
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// The formal parameter a `β` node stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn formal_of_node(&self, node: usize) -> VarId {
+        self.formal_of_node[node]
+    }
+
+    /// The `β` node of a formal, if it participates in any binding.
+    pub fn node_of_formal(&self, formal: VarId) -> Option<usize> {
+        self.node_of_var[formal.index()]
+    }
+
+    /// The call site that produced edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn site_of_edge(&self, e: usize) -> CallSiteId {
+        self.site_of_edge[e]
+    }
+
+    /// Size comparison against the call multi-graph, for checking the §3.1
+    /// bounds `N_β ≤ μ_f·N_C` and `E_β ≤ μ_a·E_C`.
+    pub fn size_report(&self, program: &Program) -> SizeReport {
+        SizeReport {
+            beta_nodes: self.num_nodes(),
+            beta_edges: self.num_edges(),
+            call_nodes: program.num_procs(),
+            call_edges: program.num_sites(),
+            mean_formals: program.mean_formals(),
+            mean_actuals: program.mean_actuals(),
+        }
+    }
+
+    fn node_for(&mut self, formal: VarId) -> usize {
+        if let Some(n) = self.node_of_var[formal.index()] {
+            return n;
+        }
+        let n = self.graph.add_node();
+        self.formal_of_node.push(formal);
+        self.node_of_var[formal.index()] = Some(n);
+        n
+    }
+}
+
+/// Measured sizes of `β` versus the call multi-graph `C` (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeReport {
+    /// `N_β`.
+    pub beta_nodes: usize,
+    /// `E_β`.
+    pub beta_edges: usize,
+    /// `N_C`.
+    pub call_nodes: usize,
+    /// `E_C`.
+    pub call_edges: usize,
+    /// `μ_f`: mean formals per procedure.
+    pub mean_formals: f64,
+    /// `μ_a`: mean actuals per call site.
+    pub mean_actuals: f64,
+}
+
+impl SizeReport {
+    /// Checks the §3.1 inequalities on this instance.
+    pub fn bounds_hold(&self) -> bool {
+        let nodes_ok =
+            (self.beta_nodes as f64) <= self.mean_formals * self.call_nodes as f64 + 1e-9;
+        let edges_ok =
+            (self.beta_edges as f64) <= self.mean_actuals * self.call_edges as f64 + 1e-9;
+        let degenerate_ok = 2 * self.beta_edges >= self.beta_nodes;
+        nodes_ok && edges_ok && degenerate_ok
+    }
+}
+
+struct Builder<'a> {
+    program: &'a Program,
+    graph: BindingGraph,
+}
+
+impl Builder<'_> {
+    fn run(&mut self) {
+        for s in self.program.sites() {
+            let site = self.program.site(s);
+            let caller = site.caller();
+            let callee = site.callee();
+            for (pos, arg) in site.args().iter().enumerate() {
+                let Actual::Ref(r) = arg else { continue };
+                // Is the actual a formal of the caller or of one of its
+                // lexical ancestors (§3.3)?
+                let Some((owner, _)) = self.program.formal_position(r.var) else {
+                    continue;
+                };
+                let in_context =
+                    owner == caller || self.program.ancestors(caller).any(|a| a == owner);
+                if !in_context {
+                    continue;
+                }
+                let from = self.graph.node_for(r.var);
+                let callee_formal = self.program.proc_(callee).formals()[pos];
+                let to = self.graph.node_for(callee_formal);
+                self.graph.graph.add_edge(from, to);
+                self.graph.site_of_edge.push(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_ir::{Expr, ProgramBuilder, Ref, Subscript};
+
+    #[test]
+    fn locals_and_globals_generate_no_edges() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g");
+        let p = b.proc_("p", &["x"]);
+        let t = b.local(p, "t");
+        let q = b.proc_("q", &["y"]);
+        b.call(p, q, &[t]); // local actual: no edge
+        let main = b.main();
+        b.call(main, p, &[g]); // global actual: no edge
+        let program = b.finish().expect("valid");
+        let beta = BindingGraph::build(&program);
+        assert_eq!(beta.num_edges(), 0);
+        assert_eq!(beta.num_nodes(), 0);
+    }
+
+    #[test]
+    fn formal_to_formal_binding_makes_edge() {
+        let mut b = ProgramBuilder::new();
+        let p = b.proc_("p", &["x"]);
+        let q = b.proc_("q", &["y"]);
+        b.call(p, q, &[b.formal(p, 0)]);
+        let g = b.global("g");
+        let main = b.main();
+        b.call(main, p, &[g]);
+        let program = b.finish().expect("valid");
+        let beta = BindingGraph::build(&program);
+        assert_eq!(beta.num_nodes(), 2);
+        assert_eq!(beta.num_edges(), 1);
+        let e = beta.graph().edge(0);
+        assert_eq!(beta.formal_of_node(e.from), b.formal(p, 0));
+        assert_eq!(beta.formal_of_node(e.to), b.formal(q, 0));
+        assert_eq!(beta.site_of_edge(0), modref_ir::CallSiteId::new(0));
+    }
+
+    #[test]
+    fn repeated_binding_gives_parallel_edges() {
+        let mut b = ProgramBuilder::new();
+        let p = b.proc_("p", &["x"]);
+        let q = b.proc_("q", &["y"]);
+        b.call(p, q, &[b.formal(p, 0)]);
+        b.call(p, q, &[b.formal(p, 0)]);
+        let g = b.global("g");
+        let main = b.main();
+        b.call(main, p, &[g]);
+        let program = b.finish().expect("valid");
+        let beta = BindingGraph::build(&program);
+        assert_eq!(beta.num_nodes(), 2);
+        assert_eq!(beta.num_edges(), 2); // β is a *multi*-graph
+    }
+
+    #[test]
+    fn recursion_makes_cycle_in_beta() {
+        let mut b = ProgramBuilder::new();
+        let p = b.proc_("p", &["x"]);
+        b.call(p, p, &[b.formal(p, 0)]); // p(x) calls p(x)
+        let g = b.global("g");
+        let main = b.main();
+        b.call(main, p, &[g]);
+        let program = b.finish().expect("valid");
+        let beta = BindingGraph::build(&program);
+        assert_eq!(beta.num_nodes(), 1);
+        assert_eq!(beta.num_edges(), 1); // self-loop
+        let e = beta.graph().edge(0);
+        assert_eq!(e.from, e.to);
+    }
+
+    #[test]
+    fn ancestor_formal_passed_in_nested_proc() {
+        // §3.3 point 2: p's formal used as an actual inside a procedure
+        // nested in p.
+        let mut b = ProgramBuilder::new();
+        let p = b.proc_("p", &["x"]);
+        let q = b.proc_("q", &["y"]);
+        let inner = b.nested_proc(p, "inner", &[]);
+        b.call(inner, q, &[b.formal(p, 0)]); // inner passes p's x to q
+        b.call(p, inner, &[]);
+        let g = b.global("g");
+        let main = b.main();
+        b.call(main, p, &[g]);
+        let program = b.finish().expect("valid");
+        let beta = BindingGraph::build(&program);
+        assert_eq!(beta.num_edges(), 1);
+        let e = beta.graph().edge(0);
+        assert_eq!(beta.formal_of_node(e.from), b.formal(p, 0));
+        assert_eq!(beta.formal_of_node(e.to), b.formal(q, 0));
+    }
+
+    #[test]
+    fn array_section_of_formal_binds() {
+        let mut b = ProgramBuilder::new();
+        let p = b.nested_proc_ranked(b.main(), "p", &[("a", 2)]);
+        let q = b.nested_proc_ranked(b.main(), "q", &[("row", 1)]);
+        let i = b.local(p, "i");
+        b.call_args(
+            p,
+            q,
+            vec![Actual::Ref(Ref::indexed(
+                b.formal(p, 0),
+                [Subscript::Var(i), Subscript::All],
+            ))],
+        );
+        let ga = b.global_array("ga", 2);
+        let main = b.main();
+        b.call_args(main, p, vec![Actual::Ref(Ref::scalar(ga))]);
+        let program = b.finish().expect("valid");
+        let beta = BindingGraph::build(&program);
+        // Passing a *section* of formal `a` is still a binding event.
+        assert_eq!(beta.num_edges(), 1);
+    }
+
+    #[test]
+    fn by_value_formal_generates_no_edge() {
+        let mut b = ProgramBuilder::new();
+        let p = b.proc_("p", &["x"]);
+        let q = b.proc_("q", &["y"]);
+        b.call_args(p, q, vec![Actual::Value(Expr::load(b.formal(p, 0)))]);
+        let g = b.global("g");
+        let main = b.main();
+        b.call(main, p, &[g]);
+        let program = b.finish().expect("valid");
+        assert_eq!(BindingGraph::build(&program).num_edges(), 0);
+    }
+
+    #[test]
+    fn size_report_bounds() {
+        let mut b = ProgramBuilder::new();
+        let p = b.proc_("p", &["x", "y"]);
+        let q = b.proc_("q", &["u"]);
+        b.call(p, q, &[b.formal(p, 1)]);
+        let g = b.global("g");
+        let main = b.main();
+        b.call(main, p, &[g, g]);
+        let program = b.finish().expect("valid");
+        let beta = BindingGraph::build(&program);
+        let report = beta.size_report(&program);
+        assert!(report.bounds_hold(), "{report:?}");
+        assert_eq!(report.beta_nodes, 2);
+        assert_eq!(report.beta_edges, 1);
+        assert_eq!(report.call_edges, 2);
+    }
+}

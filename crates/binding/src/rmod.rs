@@ -1,0 +1,311 @@
+//! The Figure 1 `RMOD` solver.
+
+use modref_bitset::{BitSet, OpCounter};
+use modref_graph::{tarjan, Condensation};
+use modref_ir::{ProcId, Program, VarId};
+
+use crate::multigraph::BindingGraph;
+
+/// The solution of the reference-formal-parameter problem: for each
+/// procedure `p`, `RMOD(p)` — the formals of `p` that may be modified by
+/// an invocation of `p` (§3.2).
+#[derive(Debug, Clone)]
+pub struct RmodSolution {
+    rmod: Vec<BitSet>,
+    modified: BitSet,
+    stats: OpCounter,
+}
+
+impl RmodSolution {
+    /// `RMOD(p)` as a set over the program's variable universe; only bits
+    /// of `p`'s formals can be set.
+    pub fn rmod(&self, p: ProcId) -> &BitSet {
+        &self.rmod[p.index()]
+    }
+
+    /// All `RMOD` sets, indexed by procedure.
+    pub fn rmod_all(&self) -> &[BitSet] {
+        &self.rmod
+    }
+
+    /// `true` if the formal parameter `formal` may be modified by an
+    /// invocation of its owner. `false` for non-formals.
+    pub fn is_modified(&self, formal: VarId) -> bool {
+        self.modified.contains(formal.index())
+    }
+
+    /// Work performed, in the paper's cost model (§3.2 counts *simple
+    /// logical steps*, reported as `bool_steps`).
+    pub fn stats(&self) -> OpCounter {
+        self.stats
+    }
+}
+
+/// Solves equation (6) by the four steps of Figure 1:
+///
+/// 1. find the strongly connected components of `β`;
+/// 2. give each SCC a representer whose `IMOD` is the OR of its members';
+/// 3. sweep the condensation from leaves to roots applying
+///    `RMOD(m) = IMOD(m) ∨ ⋁_{(m,n)∈E_β} RMOD(n)`;
+/// 4. broadcast each representer's value back to its members.
+///
+/// Every step is `O(N_β + E_β)`; the counter in the result records the
+/// actual boolean-step totals so experiments can verify linearity.
+///
+/// `initial` holds one seed set per procedure: for the `MOD` problem the
+/// (§3.3-extended) `IMOD(p)` sets, for the analogous `USE` problem the
+/// `IUSE(p)` sets. Only the bits of each procedure's own formals are read.
+///
+/// # Panics
+///
+/// Panics if `initial.len() != program.num_procs()`.
+///
+/// # Examples
+///
+/// See the crate-level example in [`crate`].
+pub fn solve_rmod(program: &Program, initial: &[BitSet], beta: &BindingGraph) -> RmodSolution {
+    assert_eq!(
+        initial.len(),
+        program.num_procs(),
+        "one initial set per procedure"
+    );
+    let mut stats = OpCounter::new();
+    let n = beta.num_nodes();
+
+    // IMOD(fp) per β node: is the formal modified locally in its owner
+    // (with the §3.3 nesting extension already folded into `effects`)?
+    let imod_bit: Vec<bool> = (0..n)
+        .map(|node| {
+            let formal = beta.formal_of_node(node);
+            let (owner, _) = program
+                .formal_position(formal)
+                .expect("β nodes are formals");
+            stats.bool_steps += 1;
+            stats.nodes_visited += 1;
+            initial[owner.index()].contains(formal.index())
+        })
+        .collect();
+
+    // Step (1): SCCs.
+    let sccs = tarjan(beta.graph());
+    stats.nodes_visited += n as u64;
+    stats.edges_visited += beta.num_edges() as u64;
+
+    // Step (2): representer IMOD = OR over members.
+    let mut rep_value = vec![false; sccs.len()];
+    for (c, members) in sccs.iter().enumerate() {
+        for &m in members {
+            rep_value[c] |= imod_bit[m];
+            stats.bool_steps += 1;
+        }
+    }
+
+    // Step (3): leaves-to-roots sweep of equation (6). Tarjan numbers
+    // components in reverse topological order, so ascending id order *is*
+    // leaves first, and every successor is already final.
+    let cond = Condensation::build(beta.graph(), &sccs);
+    for c in 0..sccs.len() {
+        for d in cond.graph().successor_nodes(c) {
+            rep_value[c] |= rep_value[d];
+            stats.bool_steps += 1;
+            stats.edges_visited += 1;
+        }
+    }
+
+    // Step (4): broadcast to members, materialising per-procedure sets.
+    let mut rmod = vec![BitSet::new(program.num_vars()); program.num_procs()];
+    let mut modified = BitSet::new(program.num_vars());
+    for node in 0..n {
+        stats.bool_steps += 1;
+        if rep_value[sccs.component_of(node)] {
+            let formal = beta.formal_of_node(node);
+            let (owner, _) = program.formal_position(formal).expect("formal");
+            rmod[owner.index()].insert(formal.index());
+            modified.insert(formal.index());
+        }
+    }
+    // Formals never bound at any site have no β node; their RMOD bit is
+    // just their IMOD bit.
+    for p in program.procs() {
+        for &f in program.proc_(p).formals() {
+            stats.bool_steps += 1;
+            if beta.node_of_formal(f).is_none() && initial[p.index()].contains(f.index()) {
+                rmod[p.index()].insert(f.index());
+                modified.insert(f.index());
+            }
+        }
+    }
+
+    RmodSolution {
+        rmod,
+        modified,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_ir::{Expr, LocalEffects, ProgramBuilder};
+
+    fn analyse(b: &ProgramBuilder) -> (Program, RmodSolution) {
+        let program = b.finish().expect("valid");
+        let effects = LocalEffects::compute(&program);
+        let beta = BindingGraph::build(&program);
+        let solution = solve_rmod(&program, effects.imod_all(), &beta);
+        (program, solution)
+    }
+
+    #[test]
+    fn direct_modification_without_bindings() {
+        let mut b = ProgramBuilder::new();
+        let p = b.proc_("p", &["x", "y"]);
+        b.assign(p, b.formal(p, 0), Expr::constant(1));
+        let g = b.global("g");
+        let main = b.main();
+        b.call(main, p, &[g, g]);
+        let (_, sol) = analyse(&b);
+        assert!(sol.is_modified(b.formal(p, 0)));
+        assert!(!sol.is_modified(b.formal(p, 1)));
+    }
+
+    #[test]
+    fn chain_propagates_backwards() {
+        // main → a(x) → b(y) → c(z); only c writes z.
+        let mut b = ProgramBuilder::new();
+        let c = b.proc_("c", &["z"]);
+        b.assign(c, b.formal(c, 0), Expr::constant(1));
+        let bb = b.proc_("b", &["y"]);
+        b.call(bb, c, &[b.formal(bb, 0)]);
+        let a = b.proc_("a", &["x"]);
+        b.call(a, bb, &[b.formal(a, 0)]);
+        let g = b.global("g");
+        let main = b.main();
+        b.call(main, a, &[g]);
+        let (_, sol) = analyse(&b);
+        assert!(sol.is_modified(b.formal(a, 0)));
+        assert!(sol.is_modified(b.formal(bb, 0)));
+        assert!(sol.is_modified(b.formal(c, 0)));
+    }
+
+    #[test]
+    fn chain_stops_where_nothing_is_modified() {
+        // a(x) → b(y); b never writes y.
+        let mut b = ProgramBuilder::new();
+        let bb = b.proc_("b", &["y"]);
+        b.print(bb, Expr::load(b.formal(bb, 0)));
+        let a = b.proc_("a", &["x"]);
+        b.call(a, bb, &[b.formal(a, 0)]);
+        let g = b.global("g");
+        let main = b.main();
+        b.call(main, a, &[g]);
+        let (_, sol) = analyse(&b);
+        assert!(!sol.is_modified(b.formal(a, 0)));
+        assert!(!sol.is_modified(b.formal(bb, 0)));
+    }
+
+    #[test]
+    fn cycle_shares_one_answer() {
+        // Mutual recursion p(x) ⇄ q(y); only q writes.
+        let mut b = ProgramBuilder::new();
+        let p = b.proc_("p", &["x"]);
+        let q = b.proc_("q", &["y"]);
+        b.call(p, q, &[b.formal(p, 0)]);
+        b.call(q, p, &[b.formal(q, 0)]);
+        b.assign(q, b.formal(q, 0), Expr::constant(7));
+        let g = b.global("g");
+        let main = b.main();
+        b.call(main, p, &[g]);
+        let (_, sol) = analyse(&b);
+        assert!(sol.is_modified(b.formal(p, 0)));
+        assert!(sol.is_modified(b.formal(q, 0)));
+    }
+
+    #[test]
+    fn clean_cycle_stays_unmodified() {
+        let mut b = ProgramBuilder::new();
+        let p = b.proc_("p", &["x"]);
+        let q = b.proc_("q", &["y"]);
+        b.call(p, q, &[b.formal(p, 0)]);
+        b.call(q, p, &[b.formal(q, 0)]);
+        let g = b.global("g");
+        let main = b.main();
+        b.call(main, p, &[g]);
+        let (_, sol) = analyse(&b);
+        assert!(!sol.is_modified(b.formal(p, 0)));
+        assert!(!sol.is_modified(b.formal(q, 0)));
+    }
+
+    #[test]
+    fn rmod_contains_only_own_formals() {
+        let mut b = ProgramBuilder::new();
+        let p = b.proc_("p", &["x"]);
+        let q = b.proc_("q", &["y"]);
+        b.call(p, q, &[b.formal(p, 0)]);
+        b.assign(q, b.formal(q, 0), Expr::constant(1));
+        let g = b.global("g");
+        let main = b.main();
+        b.call(main, p, &[g]);
+        let (program, sol) = analyse(&b);
+        for proc_ in program.procs() {
+            for v in sol.rmod(proc_).iter() {
+                let (owner, _) = program
+                    .formal_position(modref_ir::VarId::new(v))
+                    .expect("rmod holds formals only");
+                assert_eq!(owner, proc_);
+            }
+        }
+        assert_eq!(sol.rmod(main).len(), 0);
+    }
+
+    #[test]
+    fn modification_via_nested_procedure_counts() {
+        // §3.3 point 1: p's formal written inside a procedure nested in p.
+        let mut b = ProgramBuilder::new();
+        let p = b.proc_("p", &["x"]);
+        let inner = b.nested_proc(p, "inner", &[]);
+        b.assign(inner, b.formal(p, 0), Expr::constant(3));
+        b.call(p, inner, &[]);
+        let g = b.global("g");
+        let main = b.main();
+        b.call(main, p, &[g]);
+        let (_, sol) = analyse(&b);
+        assert!(sol.is_modified(b.formal(p, 0)));
+    }
+
+    #[test]
+    fn work_is_linear_in_beta() {
+        // A long chain: bool steps should grow linearly with its length.
+        fn chain(len: usize) -> u64 {
+            let mut b = ProgramBuilder::new();
+            let mut procs = Vec::new();
+            for i in 0..len {
+                procs.push(b.proc_(&format!("p{i}"), &["x"]));
+            }
+            b.assign(
+                procs[len - 1],
+                b.formal(procs[len - 1], 0),
+                Expr::constant(1),
+            );
+            for i in 0..len - 1 {
+                b.call(procs[i], procs[i + 1], &[b.formal(procs[i], 0)]);
+            }
+            let g = b.global("g");
+            let main = b.main();
+            b.call(main, procs[0], &[g]);
+            let program = b.finish().expect("valid");
+            let effects = LocalEffects::compute(&program);
+            let beta = BindingGraph::build(&program);
+            solve_rmod(&program, effects.imod_all(), &beta)
+                .stats()
+                .bool_steps
+        }
+        let small = chain(50);
+        let large = chain(500);
+        let ratio = large as f64 / small as f64;
+        assert!(
+            (8.0..12.0).contains(&ratio),
+            "expected ~10x work for 10x size, got {ratio:.2} ({small} → {large})"
+        );
+    }
+}

@@ -1,0 +1,383 @@
+//! The [`BitMatrix`]: many rows over one shared universe.
+
+use std::fmt;
+
+use crate::{words_for, WORD_BITS};
+
+/// A rectangular boolean matrix: `rows` rows, each a bit vector over the
+/// universe `0..cols`.
+///
+/// The interprocedural solvers keep one row per procedure (`GMOD`, `IMOD⁺`,
+/// `LOCAL`) and need row-to-row operations on the *same* matrix, e.g.
+/// equation (4) of Cooper–Kennedy 1988: `GMOD[p] ∪= GMOD[q] ∖ LOCAL[q]`.
+/// Rust's borrow rules make that awkward with `Vec<BitSet>`, so the matrix
+/// provides the split-row primitives directly.
+///
+/// # Examples
+///
+/// ```
+/// use modref_bitset::BitMatrix;
+///
+/// let mut m = BitMatrix::new(3, 10);
+/// m.insert(0, 4);
+/// m.insert(1, 7);
+/// m.or_rows(0, 1); // row0 ∪= row1
+/// assert!(m.contains(0, 7));
+/// assert!(!m.contains(1, 4));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    stride: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero matrix with `rows` rows over universe `0..cols`.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let stride = words_for(cols);
+        BitMatrix {
+            rows,
+            cols,
+            stride,
+            words: vec![0; rows.checked_mul(stride).expect("bit-matrix too large")],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Size of the shared universe (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Sets bit `col` in row `row`; returns `true` if it was newly set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    pub fn insert(&mut self, row: usize, col: usize) -> bool {
+        self.check(row, col);
+        let idx = row * self.stride + col / WORD_BITS;
+        let mask = 1u64 << (col % WORD_BITS);
+        let fresh = self.words[idx] & mask == 0;
+        self.words[idx] |= mask;
+        fresh
+    }
+
+    /// Clears bit `col` in row `row`; returns `true` if it was set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    pub fn remove(&mut self, row: usize, col: usize) -> bool {
+        self.check(row, col);
+        let idx = row * self.stride + col / WORD_BITS;
+        let mask = 1u64 << (col % WORD_BITS);
+        let present = self.words[idx] & mask != 0;
+        self.words[idx] &= !mask;
+        present
+    }
+
+    /// Tests bit `col` in row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range. Columns past the universe read as
+    /// `false`.
+    pub fn contains(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.rows, "row {row} out of range 0..{}", self.rows);
+        if col >= self.cols {
+            return false;
+        }
+        let idx = row * self.stride + col / WORD_BITS;
+        self.words[idx] & (1u64 << (col % WORD_BITS)) != 0
+    }
+
+    /// `row[dst] ∪= row[src]`; returns `true` if the destination changed.
+    ///
+    /// `dst == src` is allowed and is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row is out of range.
+    pub fn or_rows(&mut self, dst: usize, src: usize) -> bool {
+        self.check_row(dst);
+        self.check_row(src);
+        if dst == src {
+            return false;
+        }
+        let (d, s) = self.two_rows(dst, src);
+        let mut changed = false;
+        for (dw, sw) in d.iter_mut().zip(s.iter()) {
+            let next = *dw | *sw;
+            changed |= next != *dw;
+            *dw = next;
+        }
+        changed
+    }
+
+    /// `row[dst] ∪= row[src] ∖ mask` where `mask` is an external bit row of
+    /// the same universe (e.g. `LOCAL[q]`); returns `true` if `dst` changed.
+    ///
+    /// `dst == src` applies `row[dst] ∪= row[dst] ∖ mask`, which is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row is out of range or `mask.domain() != self.cols()`.
+    pub fn or_rows_minus(&mut self, dst: usize, src: usize, mask: &crate::BitSet) -> bool {
+        self.check_row(dst);
+        self.check_row(src);
+        assert_eq!(mask.domain(), self.cols, "mask domain mismatch");
+        if dst == src {
+            return false;
+        }
+        let (d, s) = self.two_rows(dst, src);
+        let mut changed = false;
+        for ((dw, sw), mw) in d.iter_mut().zip(s.iter()).zip(mask.as_words()) {
+            let next = *dw | (*sw & !*mw);
+            changed |= next != *dw;
+            *dw = next;
+        }
+        changed
+    }
+
+    /// `row[dst] ∪= row[src] ∩ mask`; returns `true` if `dst` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row is out of range or `mask.domain() != self.cols()`.
+    pub fn or_rows_masked(&mut self, dst: usize, src: usize, mask: &crate::BitSet) -> bool {
+        self.check_row(dst);
+        self.check_row(src);
+        assert_eq!(mask.domain(), self.cols, "mask domain mismatch");
+        let mut changed = false;
+        if dst == src {
+            return false;
+        }
+        let (d, s) = self.two_rows(dst, src);
+        for ((dw, sw), mw) in d.iter_mut().zip(s.iter()).zip(mask.as_words()) {
+            let next = *dw | (*sw & *mw);
+            changed |= next != *dw;
+            *dw = next;
+        }
+        changed
+    }
+
+    /// `row[dst] ∪= set`; returns `true` if the row changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range or `set.domain() != self.cols()`.
+    pub fn or_row_with_set(&mut self, dst: usize, set: &crate::BitSet) -> bool {
+        self.check_row(dst);
+        assert_eq!(set.domain(), self.cols, "set domain mismatch");
+        let start = dst * self.stride;
+        let mut changed = false;
+        for (dw, sw) in self.words[start..start + self.stride]
+            .iter_mut()
+            .zip(set.as_words())
+        {
+            let next = *dw | *sw;
+            changed |= next != *dw;
+            *dw = next;
+        }
+        changed
+    }
+
+    /// Copies row `src` of this matrix into a fresh [`crate::BitSet`].
+    pub fn row_to_set(&self, src: usize) -> crate::BitSet {
+        crate::BitSet::from_iter_with_domain(self.cols, self.row_iter(src))
+    }
+
+    /// Replaces row `dst` with the contents of `set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range or `set.domain() != self.cols()`.
+    pub fn set_row(&mut self, dst: usize, set: &crate::BitSet) {
+        self.check_row(dst);
+        assert_eq!(set.domain(), self.cols, "set domain mismatch");
+        let start = dst * self.stride;
+        self.words[start..start + self.stride].copy_from_slice(set.as_words());
+    }
+
+    /// Iterates over the set columns of row `row`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_iter(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
+        self.check_row(row);
+        let start = row * self.stride;
+        let words = &self.words[start..start + self.stride];
+        RowIter {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Number of set bits in row `row`.
+    pub fn row_len(&self, row: usize) -> usize {
+        self.check_row(row);
+        let start = row * self.stride;
+        self.words[start..start + self.stride]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Returns `true` if rows `a` and `b` hold identical sets.
+    pub fn rows_equal(&self, a: usize, b: usize) -> bool {
+        self.check_row(a);
+        self.check_row(b);
+        let (sa, sb) = (a * self.stride, b * self.stride);
+        self.words[sa..sa + self.stride] == self.words[sb..sb + self.stride]
+    }
+
+    fn check(&self, row: usize, col: usize) {
+        self.check_row(row);
+        assert!(col < self.cols, "col {col} out of range 0..{}", self.cols);
+    }
+
+    fn check_row(&self, row: usize) {
+        assert!(row < self.rows, "row {row} out of range 0..{}", self.rows);
+    }
+
+    /// Splits the storage into two disjoint mutable/shared row slices.
+    fn two_rows(&mut self, dst: usize, src: usize) -> (&mut [u64], &[u64]) {
+        debug_assert_ne!(dst, src);
+        let stride = self.stride;
+        if dst < src {
+            let (lo, hi) = self.words.split_at_mut(src * stride);
+            (&mut lo[dst * stride..dst * stride + stride], &hi[..stride])
+        } else {
+            let (lo, hi) = self.words.split_at_mut(dst * stride);
+            (&mut hi[..stride], &lo[src * stride..src * stride + stride])
+        }
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut dbg = f.debug_map();
+        for r in 0..self.rows {
+            dbg.entry(&r, &self.row_iter(r).collect::<Vec<_>>());
+        }
+        dbg.finish()
+    }
+}
+
+struct RowIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitSet;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut m = BitMatrix::new(4, 130);
+        assert!(m.insert(2, 129));
+        assert!(!m.insert(2, 129));
+        assert!(m.contains(2, 129));
+        assert!(!m.contains(1, 129));
+        assert!(m.remove(2, 129));
+        assert!(!m.remove(2, 129));
+    }
+
+    #[test]
+    fn or_rows_both_orders() {
+        let mut m = BitMatrix::new(3, 70);
+        m.insert(0, 1);
+        m.insert(2, 69);
+        assert!(m.or_rows(0, 2));
+        assert!(m.contains(0, 69));
+        assert!(m.or_rows(2, 0));
+        assert!(m.contains(2, 1));
+        assert!(!m.or_rows(2, 0));
+    }
+
+    #[test]
+    fn or_rows_self_is_noop() {
+        let mut m = BitMatrix::new(2, 64);
+        m.insert(1, 5);
+        assert!(!m.or_rows(1, 1));
+        assert!(m.contains(1, 5));
+    }
+
+    #[test]
+    fn or_rows_minus_applies_mask() {
+        let mut m = BitMatrix::new(2, 100);
+        m.insert(1, 10);
+        m.insert(1, 20);
+        let local = BitSet::from_iter_with_domain(100, [20]);
+        assert!(m.or_rows_minus(0, 1, &local));
+        assert!(m.contains(0, 10));
+        assert!(!m.contains(0, 20));
+    }
+
+    #[test]
+    fn or_rows_masked_applies_mask() {
+        let mut m = BitMatrix::new(2, 100);
+        m.insert(1, 10);
+        m.insert(1, 20);
+        let mask = BitSet::from_iter_with_domain(100, [20]);
+        assert!(m.or_rows_masked(0, 1, &mask));
+        assert!(!m.contains(0, 10));
+        assert!(m.contains(0, 20));
+    }
+
+    #[test]
+    fn row_set_round_trip() {
+        let mut m = BitMatrix::new(2, 90);
+        let s = BitSet::from_iter_with_domain(90, [0, 63, 64, 89]);
+        m.set_row(1, &s);
+        assert_eq!(m.row_to_set(1), s);
+        assert_eq!(m.row_len(1), 4);
+        assert_eq!(m.row_iter(1).collect::<Vec<_>>(), vec![0, 63, 64, 89]);
+        let mut m2 = m.clone();
+        m2.or_row_with_set(0, &s);
+        assert!(m2.rows_equal(0, 1));
+        assert!(!m.rows_equal(0, 1));
+    }
+
+    #[test]
+    fn zero_column_matrix() {
+        let mut m = BitMatrix::new(3, 0);
+        assert!(!m.or_rows(0, 1));
+        assert_eq!(m.row_len(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 5 out of range")]
+    fn bad_row_panics() {
+        BitMatrix::new(2, 8).insert(5, 0);
+    }
+}

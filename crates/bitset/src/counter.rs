@@ -1,0 +1,110 @@
+//! Operation counting in the paper's cost model.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counts analysis work in the units Cooper–Kennedy 1988 uses for its
+/// complexity claims.
+///
+/// The paper states bounds in *bit-vector steps* (one whole-vector boolean
+/// operation, §4 Theorem 2) and, for the binding multi-graph solver of §3.2,
+/// in *simple logical steps* (single booleans). Solvers in this workspace
+/// bump the matching counter every time they perform such an operation, so
+/// experiments can verify the asymptotic claims independently of wall-clock
+/// noise.
+///
+/// # Examples
+///
+/// ```
+/// use modref_bitset::OpCounter;
+///
+/// let mut ops = OpCounter::default();
+/// ops.bitvec_steps += 3;
+/// ops.bool_steps += 10;
+/// let mut total = OpCounter::default();
+/// total += ops;
+/// assert_eq!(total.bitvec_steps, 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct OpCounter {
+    /// Whole-bit-vector boolean operations (union, masked union, …).
+    pub bitvec_steps: u64,
+    /// Single-boolean operations (the §3.2 `RMOD` solver's unit).
+    pub bool_steps: u64,
+    /// Lattice meet operations (§6 regular sections).
+    pub meets: u64,
+    /// Nodes visited by graph traversals.
+    pub nodes_visited: u64,
+    /// Edges examined by graph traversals.
+    pub edges_visited: u64,
+    /// Fixpoint iterations (for iterative baselines).
+    pub iterations: u64,
+}
+
+impl OpCounter {
+    /// A zeroed counter. Identical to `OpCounter::default()`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sum of all counted operations, a crude "total work" scalar.
+    pub fn total(&self) -> u64 {
+        self.bitvec_steps
+            + self.bool_steps
+            + self.meets
+            + self.nodes_visited
+            + self.edges_visited
+            + self.iterations
+    }
+}
+
+impl AddAssign for OpCounter {
+    fn add_assign(&mut self, rhs: OpCounter) {
+        self.bitvec_steps += rhs.bitvec_steps;
+        self.bool_steps += rhs.bool_steps;
+        self.meets += rhs.meets;
+        self.nodes_visited += rhs.nodes_visited;
+        self.edges_visited += rhs.edges_visited;
+        self.iterations += rhs.iterations;
+    }
+}
+
+impl fmt::Display for OpCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bitvec={} bool={} meets={} nodes={} edges={} iters={}",
+            self.bitvec_steps,
+            self.bool_steps,
+            self.meets,
+            self.nodes_visited,
+            self.edges_visited,
+            self.iterations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = OpCounter::new();
+        a.bitvec_steps = 1;
+        a.meets = 2;
+        let mut b = OpCounter::new();
+        b.bitvec_steps = 10;
+        b.iterations = 5;
+        b += a;
+        assert_eq!(b.bitvec_steps, 11);
+        assert_eq!(b.meets, 2);
+        assert_eq!(b.iterations, 5);
+        assert_eq!(b.total(), 18);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!OpCounter::new().to_string().is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests: `BitSet`/`BitMatrix` against a `BTreeSet` model.
+
+use std::collections::BTreeSet;
+
+use modref_bitset::{BitMatrix, BitSet};
+use proptest::prelude::*;
+
+const DOMAIN: usize = 300;
+
+fn elems() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..DOMAIN, 0..64)
+}
+
+fn model(v: &[usize]) -> BTreeSet<usize> {
+    v.iter().copied().collect()
+}
+
+fn build(v: &[usize]) -> BitSet {
+    BitSet::from_iter_with_domain(DOMAIN, v.iter().copied())
+}
+
+proptest! {
+    #[test]
+    fn union_matches_model(a in elems(), b in elems()) {
+        let (ma, mb) = (model(&a), model(&b));
+        let mut s = build(&a);
+        s.union_with(&build(&b));
+        let want: Vec<usize> = ma.union(&mb).copied().collect();
+        prop_assert_eq!(s.iter().collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn intersection_matches_model(a in elems(), b in elems()) {
+        let (ma, mb) = (model(&a), model(&b));
+        let mut s = build(&a);
+        s.intersect_with(&build(&b));
+        let want: Vec<usize> = ma.intersection(&mb).copied().collect();
+        prop_assert_eq!(s.iter().collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn difference_matches_model(a in elems(), b in elems()) {
+        let (ma, mb) = (model(&a), model(&b));
+        let mut s = build(&a);
+        s.difference_with(&build(&b));
+        let want: Vec<usize> = ma.difference(&mb).copied().collect();
+        prop_assert_eq!(s.iter().collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn union_with_difference_is_composite(a in elems(), b in elems(), c in elems()) {
+        let mut fast = build(&a);
+        fast.union_with_difference(&build(&b), &build(&c));
+        let mut tmp = build(&b);
+        tmp.difference_with(&build(&c));
+        let mut slow = build(&a);
+        slow.union_with(&tmp);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn len_matches_model(a in elems()) {
+        prop_assert_eq!(build(&a).len(), model(&a).len());
+    }
+
+    #[test]
+    fn subset_disjoint_consistency(a in elems(), b in elems()) {
+        let (ma, mb) = (model(&a), model(&b));
+        let (sa, sb) = (build(&a), build(&b));
+        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+        prop_assert_eq!(sa.is_disjoint(&sb), ma.is_disjoint(&mb));
+    }
+
+    #[test]
+    fn matrix_or_rows_matches_sets(a in elems(), b in elems(), mask in elems()) {
+        let mut m = BitMatrix::new(2, DOMAIN);
+        m.set_row(0, &build(&a));
+        m.set_row(1, &build(&b));
+        let mask_set = build(&mask);
+        m.or_rows_minus(0, 1, &mask_set);
+        let mut want = build(&a);
+        want.union_with_difference(&build(&b), &mask_set);
+        prop_assert_eq!(m.row_to_set(0), want);
+        // Source row is untouched.
+        prop_assert_eq!(m.row_to_set(1), build(&b));
+    }
+}

@@ -1,0 +1,281 @@
+//! Command implementations for the `modref` CLI.
+
+use std::error::Error;
+use std::fs;
+
+use modref_binding::BindingGraph;
+use modref_bitset::BitSet;
+use modref_core::Analyzer;
+use modref_ir::{CallGraph, Program, VarId};
+use modref_sections::analyze_sections;
+
+use crate::options::{Command, DotWhat};
+
+/// Executes a parsed command.
+pub fn run(cmd: &Command) -> Result<(), Box<dyn Error>> {
+    match cmd {
+        Command::Analyze {
+            file,
+            no_use,
+            no_alias,
+            parallel,
+            json,
+            gmod,
+        } => analyze(file, *no_use, *no_alias, *parallel, *json, *gmod),
+        Command::Summary { file } => summary(file),
+        Command::Sections { file } => sections(file),
+        Command::Parallel { file } => parallel(file),
+        Command::Dot { file, what } => dot(file, *what),
+        Command::Check { file } => check(file),
+        Command::Run { file, seed, fuel } => run_program(file, *seed, *fuel),
+    }
+}
+
+fn load(file: &str) -> Result<Program, Box<dyn Error>> {
+    let source = fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    Ok(modref_frontend::parse_program(&source)?)
+}
+
+fn names(program: &Program, set: &BitSet) -> String {
+    let mut v: Vec<&str> = set
+        .iter()
+        .map(|i| program.var_name(VarId::new(i)))
+        .collect();
+    v.sort_unstable();
+    if v.is_empty() {
+        "∅".to_owned()
+    } else {
+        format!("{{{}}}", v.join(", "))
+    }
+}
+
+fn analyze(
+    file: &str,
+    no_use: bool,
+    no_alias: bool,
+    parallel: bool,
+    json: bool,
+    gmod: Option<modref_core::GmodAlgorithm>,
+) -> Result<(), Box<dyn Error>> {
+    let program = load(file)?;
+    let mut analyzer = Analyzer::new();
+    if no_use {
+        analyzer.without_use();
+    }
+    if no_alias {
+        analyzer.without_aliases();
+    }
+    if parallel {
+        analyzer.parallel();
+    }
+    if let Some(alg) = gmod {
+        analyzer.gmod_algorithm(alg);
+    }
+    let summary = analyzer.analyze(&program);
+
+    if json {
+        print!("{}", render_json(&program, &summary));
+        return Ok(());
+    }
+
+    println!(
+        "{}: {} procedures, {} call sites, {} variables",
+        file,
+        program.num_procs(),
+        program.num_sites(),
+        program.num_vars()
+    );
+    let (bn, be) = summary.beta_size();
+    println!("binding multi-graph: {bn} nodes, {be} edges\n");
+    for site in program.sites() {
+        let info = program.site(site);
+        println!(
+            "site {site}: call {} (in {})",
+            program.proc_name(info.callee()),
+            program.proc_name(info.caller())
+        );
+        println!("  MOD  = {}", names(&program, summary.mod_site(site)));
+        if !no_alias {
+            println!("  DMOD = {}", names(&program, summary.dmod_site(site)));
+        }
+        if !no_use {
+            println!("  USE  = {}", names(&program, summary.use_site(site)));
+        }
+    }
+    Ok(())
+}
+
+/// Hand-rolled JSON (identifiers are `[A-Za-z0-9_]`, but escape anyway).
+fn render_json(program: &Program, summary: &modref_core::Summary) -> String {
+    use std::fmt::Write as _;
+    let esc = |s: &str| -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect()
+    };
+    let names = |set: &BitSet| -> String {
+        let mut parts: Vec<String> = set
+            .iter()
+            .map(|i| format!("\"{}\"", esc(program.var_name(VarId::new(i)))))
+            .collect();
+        parts.sort();
+        format!("[{}]", parts.join(","))
+    };
+    let mut out = String::from("{\"sites\":[");
+    for (k, site) in program.sites().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let info = program.site(site);
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"caller\":\"{}\",\"callee\":\"{}\",\"mod\":{},\"use\":{},\"dmod\":{}}}",
+            site.index(),
+            esc(program.proc_name(info.caller())),
+            esc(program.proc_name(info.callee())),
+            names(summary.mod_site(site)),
+            names(summary.use_site(site)),
+            names(summary.dmod_site(site)),
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn summary(file: &str) -> Result<(), Box<dyn Error>> {
+    let program = load(file)?;
+    let summary = Analyzer::new().analyze(&program);
+    println!("per-procedure summaries for {file}:\n");
+    for p in program.procs() {
+        println!(
+            "proc {} (level {})",
+            program.proc_name(p),
+            program.proc_(p).level()
+        );
+        println!("  RMOD  = {}", names(&program, summary.rmod(p)));
+        println!("  IMOD+ = {}", names(&program, summary.imod_plus(p)));
+        println!("  GMOD  = {}", names(&program, summary.gmod(p)));
+        println!("  GUSE  = {}", names(&program, summary.guse(p)));
+    }
+    Ok(())
+}
+
+fn sections(file: &str) -> Result<(), Box<dyn Error>> {
+    let program = load(file)?;
+    let sections = analyze_sections(&program);
+    println!("regular sections per call site for {file}:\n");
+    for site in program.sites() {
+        let info = program.site(site);
+        println!(
+            "site {site}: call {} (in {})",
+            program.proc_name(info.callee()),
+            program.proc_name(info.caller())
+        );
+        let mut any = false;
+        let mut entries: Vec<(VarId, String, String)> = Vec::new();
+        for (a, sec) in sections.mod_sections_at_site(site) {
+            entries.push((a, "MOD".into(), sec.display_named(&program)));
+        }
+        for a in program.vars().filter(|&v| program.var(v).rank() > 0) {
+            if let Some(sec) = sections.use_section_at_site(site, a) {
+                entries.push((a, "USE".into(), sec.display_named(&program)));
+            }
+        }
+        entries.sort_by_key(|(a, kind, _)| (a.index(), kind.clone()));
+        for (a, kind, text) in entries {
+            any = true;
+            println!("  {kind} {}{text}", program.var_name(a));
+        }
+        if !any {
+            println!("  (no array accesses)");
+        }
+    }
+    Ok(())
+}
+
+fn parallel(file: &str) -> Result<(), Box<dyn Error>> {
+    let program = load(file)?;
+    let summary = Analyzer::new().analyze(&program);
+    let section_summary = analyze_sections(&program);
+    let reports = modref_sections::parallel_report(&program, &summary, &section_summary);
+    if reports.is_empty() {
+        println!("{file}: no loops found");
+        return Ok(());
+    }
+    println!("loop parallelisation report for {file}:\n");
+    for r in &reports {
+        let head = format!("loop #{} in {}", r.loop_index, program.proc_name(r.proc_));
+        if r.parallelizable() {
+            let i = r
+                .induction
+                .expect("parallel loops have an induction variable");
+            println!("  {head}: PARALLELIZABLE over {}", program.var_name(i));
+        } else {
+            println!("  {head}: serial");
+            for b in &r.blockers {
+                println!("    - {}", b.describe(&program));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn dot(file: &str, what: DotWhat) -> Result<(), Box<dyn Error>> {
+    let program = load(file)?;
+    let text = match what {
+        DotWhat::CallGraph => {
+            let cg = CallGraph::build(&program);
+            modref_graph::dot::to_dot(
+                cg.graph(),
+                "callgraph",
+                |n| program.proc_name(modref_ir::ProcId::new(n)).to_owned(),
+                |e| format!("s{e}"),
+            )
+        }
+        DotWhat::Binding => {
+            let beta = BindingGraph::build(&program);
+            modref_graph::dot::to_dot(
+                beta.graph(),
+                "binding",
+                |n| {
+                    let f = beta.formal_of_node(n);
+                    let (owner, pos) = program.formal_position(f).expect("β nodes are formals");
+                    format!(
+                        "{}.{} (#{pos})",
+                        program.proc_name(owner),
+                        program.var_name(f)
+                    )
+                },
+                |e| beta.site_of_edge(e).to_string(),
+            )
+        }
+    };
+    print!("{text}");
+    Ok(())
+}
+
+fn run_program(file: &str, seed: u64, fuel: u64) -> Result<(), Box<dyn Error>> {
+    let program = load(file)?;
+    let result = modref_interp::Interpreter::new(&program, seed)
+        .with_fuel(fuel)
+        .run();
+    for v in &result.printed {
+        println!("{v}");
+    }
+    if result.truncated {
+        eprintln!("(run truncated by the fuel/depth limit)");
+    }
+    Ok(())
+}
+
+fn check(file: &str) -> Result<(), Box<dyn Error>> {
+    let program = load(file)?;
+    let stats = modref_ir::ProgramStats::measure(&program);
+    println!("{file}: ok");
+    println!("{stats}");
+    Ok(())
+}

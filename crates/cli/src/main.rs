@@ -1,0 +1,31 @@
+//! `modref` — command-line driver for the side-effect analysis.
+//!
+//! ```text
+//! modref analyze  prog.mp [--no-use] [--no-alias] [--gmod one|naive|fused]
+//! modref summary  prog.mp          # per-procedure GMOD/GUSE/RMOD table
+//! modref sections prog.mp          # regular sections per call site
+//! modref dot      prog.mp --what callgraph|binding   # Graphviz to stdout
+//! modref check    prog.mp          # parse + validate only
+//! ```
+
+use std::process::ExitCode;
+
+mod commands;
+mod options;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match options::Command::parse(&args) {
+        Ok(cmd) => match commands::run(&cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(message) => {
+            eprintln!("{message}\n\n{}", options::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Hand-rolled argument parsing for the `modref` CLI.
+
+use modref_core::GmodAlgorithm;
+
+/// Usage text printed on argument errors.
+pub const USAGE: &str = "\
+usage:
+  modref analyze  <file.mp> [--no-use] [--no-alias] [--parallel] [--json]
+                            [--gmod one|naive|fused]
+  modref summary  <file.mp>
+  modref sections <file.mp>
+  modref parallel <file.mp>
+  modref dot      <file.mp> --what callgraph|binding
+  modref run      <file.mp> [--seed N] [--fuel N]
+  modref check    <file.mp>";
+
+/// Which graph `modref dot` emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DotWhat {
+    /// The call multi-graph.
+    CallGraph,
+    /// The binding multi-graph.
+    Binding,
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Full per-call-site MOD/USE report.
+    Analyze {
+        /// Input path.
+        file: String,
+        /// Skip the USE side.
+        no_use: bool,
+        /// Skip alias factoring.
+        no_alias: bool,
+        /// Run the MOD and USE halves on separate threads.
+        parallel: bool,
+        /// Emit machine-readable JSON instead of the text report.
+        json: bool,
+        /// GMOD algorithm override.
+        gmod: Option<GmodAlgorithm>,
+    },
+    /// Per-procedure summary table.
+    Summary {
+        /// Input path.
+        file: String,
+    },
+    /// Regular sections per call site.
+    Sections {
+        /// Input path.
+        file: String,
+    },
+    /// Loop-parallelisation verdicts.
+    Parallel {
+        /// Input path.
+        file: String,
+    },
+    /// Graphviz export.
+    Dot {
+        /// Input path.
+        file: String,
+        /// Which graph.
+        what: DotWhat,
+    },
+    /// Parse and validate only.
+    Check {
+        /// Input path.
+        file: String,
+    },
+    /// Execute the program in the reference interpreter.
+    Run {
+        /// Input path.
+        file: String,
+        /// Input-stream seed.
+        seed: u64,
+        /// Statement budget.
+        fuel: u64,
+    },
+}
+
+impl Command {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description of the problem.
+    pub fn parse(args: &[String]) -> Result<Command, String> {
+        let mut it = args.iter();
+        let verb = it.next().ok_or("missing command")?;
+        match verb.as_str() {
+            "analyze" => {
+                let mut file = None;
+                let mut no_use = false;
+                let mut no_alias = false;
+                let mut parallel = false;
+                let mut json = false;
+                let mut gmod = None;
+                while let Some(a) = it.next() {
+                    match a.as_str() {
+                        "--no-use" => no_use = true,
+                        "--no-alias" => no_alias = true,
+                        "--parallel" => parallel = true,
+                        "--json" => json = true,
+                        "--gmod" => {
+                            let v = it.next().ok_or("--gmod needs a value")?;
+                            gmod = Some(match v.as_str() {
+                                "one" => GmodAlgorithm::OneLevel,
+                                "naive" => GmodAlgorithm::MultiLevelNaive,
+                                "fused" => GmodAlgorithm::MultiLevelFused,
+                                other => return Err(format!("unknown --gmod value `{other}`")),
+                            });
+                        }
+                        flag if flag.starts_with('-') => {
+                            return Err(format!("unknown flag `{flag}`"))
+                        }
+                        path => set_file(&mut file, path)?,
+                    }
+                }
+                Ok(Command::Analyze {
+                    file: file.ok_or("missing input file")?,
+                    no_use,
+                    no_alias,
+                    parallel,
+                    json,
+                    gmod,
+                })
+            }
+            "summary" | "sections" | "parallel" | "check" => {
+                let mut file = None;
+                for a in it {
+                    if a.starts_with('-') {
+                        return Err(format!("unknown flag `{a}`"));
+                    }
+                    set_file(&mut file, a)?;
+                }
+                let file = file.ok_or("missing input file")?;
+                Ok(match verb.as_str() {
+                    "summary" => Command::Summary { file },
+                    "sections" => Command::Sections { file },
+                    "parallel" => Command::Parallel { file },
+                    _ => Command::Check { file },
+                })
+            }
+            "run" => {
+                let mut file = None;
+                let mut seed = 0u64;
+                let mut fuel = 100_000u64;
+                while let Some(a) = it.next() {
+                    match a.as_str() {
+                        "--seed" => {
+                            let v = it.next().ok_or("--seed needs a value")?;
+                            seed = v.parse().map_err(|_| format!("bad --seed `{v}`"))?;
+                        }
+                        "--fuel" => {
+                            let v = it.next().ok_or("--fuel needs a value")?;
+                            fuel = v.parse().map_err(|_| format!("bad --fuel `{v}`"))?;
+                        }
+                        flag if flag.starts_with('-') => {
+                            return Err(format!("unknown flag `{flag}`"))
+                        }
+                        path => set_file(&mut file, path)?,
+                    }
+                }
+                Ok(Command::Run {
+                    file: file.ok_or("missing input file")?,
+                    seed,
+                    fuel,
+                })
+            }
+            "dot" => {
+                let mut file = None;
+                let mut what = None;
+                while let Some(a) = it.next() {
+                    match a.as_str() {
+                        "--what" => {
+                            let v = it.next().ok_or("--what needs a value")?;
+                            what = Some(match v.as_str() {
+                                "callgraph" => DotWhat::CallGraph,
+                                "binding" => DotWhat::Binding,
+                                other => return Err(format!("unknown --what value `{other}`")),
+                            });
+                        }
+                        flag if flag.starts_with('-') => {
+                            return Err(format!("unknown flag `{flag}`"))
+                        }
+                        path => set_file(&mut file, path)?,
+                    }
+                }
+                Ok(Command::Dot {
+                    file: file.ok_or("missing input file")?,
+                    what: what.ok_or("missing --what callgraph|binding")?,
+                })
+            }
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+}
+
+fn set_file(slot: &mut Option<String>, path: &str) -> Result<(), String> {
+    if slot.is_some() {
+        return Err(format!("unexpected extra argument `{path}`"));
+    }
+    *slot = Some(path.to_owned());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Command, String> {
+        let owned: Vec<String> = words.iter().map(|&w| w.to_owned()).collect();
+        Command::parse(&owned)
+    }
+
+    #[test]
+    fn analyze_with_flags() {
+        let cmd = parse(&["analyze", "x.mp", "--no-use", "--gmod", "fused"]).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Analyze {
+                file: "x.mp".into(),
+                no_use: true,
+                no_alias: false,
+                parallel: false,
+                json: false,
+                gmod: Some(GmodAlgorithm::MultiLevelFused),
+            }
+        );
+    }
+
+    #[test]
+    fn dot_requires_what() {
+        assert!(parse(&["dot", "x.mp"]).is_err());
+        let cmd = parse(&["dot", "x.mp", "--what", "binding"]).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Dot {
+                file: "x.mp".into(),
+                what: DotWhat::Binding
+            }
+        );
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(&[]).unwrap_err().contains("missing command"));
+        assert!(parse(&["frobnicate"])
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(parse(&["analyze"])
+            .unwrap_err()
+            .contains("missing input file"));
+        assert!(parse(&["analyze", "a", "b"])
+            .unwrap_err()
+            .contains("extra argument"));
+        assert!(parse(&["analyze", "--gmod", "bogus", "x"])
+            .unwrap_err()
+            .contains("unknown --gmod"));
+    }
+
+    #[test]
+    fn simple_verbs() {
+        assert_eq!(
+            parse(&["check", "p.mp"]).expect("parses"),
+            Command::Check {
+                file: "p.mp".into()
+            }
+        );
+        assert_eq!(
+            parse(&["summary", "p.mp"]).expect("parses"),
+            Command::Summary {
+                file: "p.mp".into()
+            }
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! End-to-end tests of the `modref` binary.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn modref() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_modref"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("modref-cli-test-{name}.mp"));
+    let mut f = std::fs::File::create(&path).expect("create temp program");
+    f.write_all(contents.as_bytes())
+        .expect("write temp program");
+    path
+}
+
+const DEMO: &str = "
+var g, grid[*, *];
+proc bump(x) { x = x + 1; g = g * 2; }
+proc zero(row[*]) { row[0] = 0; }
+main {
+  var m;
+  m = 20;
+  call bump(m);
+  call zero(grid[3, *]);
+  print m;
+}
+";
+
+#[test]
+fn analyze_reports_mod_and_use() {
+    let path = write_temp("analyze", DEMO);
+    let out = modref().arg("analyze").arg(&path).output().expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("call bump (in main)"));
+    assert!(text.contains("MOD  = {g, m}"));
+    assert!(text.contains("USE  = {g, m}"));
+    assert!(text.contains("call zero (in main)"));
+    assert!(text.contains("MOD  = {grid}"));
+}
+
+#[test]
+fn summary_lists_procedures() {
+    let path = write_temp("summary", DEMO);
+    let out = modref().arg("summary").arg(&path).output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("proc bump (level 1)"));
+    assert!(text.contains("RMOD"));
+    assert!(text.contains("GMOD"));
+}
+
+#[test]
+fn sections_show_row_write() {
+    let path = write_temp("sections", DEMO);
+    let out = modref().arg("sections").arg(&path).output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("MOD grid[3, 0]"), "got:\n{text}");
+}
+
+#[test]
+fn parallel_reports_loop_verdicts() {
+    let path = write_temp(
+        "parallel",
+        "var a[*, *], n;
+         proc zero(row[*]) { row[0] = 0; }
+         main {
+           var i, acc;
+           i = 0;
+           while (i < n) { call zero(a[i, *]); i = i + 1; }
+           i = 0;
+           while (i < n) { acc = acc + i; i = i + 1; }
+         }",
+    );
+    let out = modref().arg("parallel").arg(&path).output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("loop #0 in main: PARALLELIZABLE over i"),
+        "{text}"
+    );
+    assert!(text.contains("loop #1 in main: serial"), "{text}");
+    assert!(text.contains("scalar `acc`"), "{text}");
+}
+
+#[test]
+fn run_executes_the_program() {
+    let path = write_temp("run", DEMO);
+    let out = modref().arg("run").arg(&path).output().expect("runs");
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "21");
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let path = write_temp("dot", DEMO);
+    let out = modref()
+        .args([
+            "dot",
+            path.to_str().expect("utf-8 path"),
+            "--what",
+            "callgraph",
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("digraph callgraph {"));
+    assert!(text.contains("bump"));
+}
+
+#[test]
+fn check_reports_shape() {
+    let path = write_temp("check", DEMO);
+    let out = modref().arg("check").arg(&path).output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("procedures: 3"), "{text}");
+    assert!(text.contains("d_P = 1"), "{text}");
+}
+
+#[test]
+fn analyze_json_is_well_formed() {
+    let path = write_temp("json", DEMO);
+    let out = modref()
+        .args(["analyze", path.to_str().expect("utf-8"), "--json"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("{\"sites\":["));
+    assert!(text.trim_end().ends_with("]}"));
+    assert!(text.contains("\"callee\":\"bump\""));
+    assert!(text.contains("\"mod\":[\"g\",\"m\"]"));
+    // Balanced braces/brackets as a cheap well-formedness check.
+    let depth_ok = text.chars().try_fold(0i32, |d, c| match c {
+        '{' | '[' => Some(d + 1),
+        '}' | ']' => {
+            if d > 0 {
+                Some(d - 1)
+            } else {
+                None
+            }
+        }
+        _ => Some(d),
+    });
+    assert_eq!(depth_ok, Some(0));
+}
+
+#[test]
+fn walkthrough_numbers_match_docs_algorithms_md() {
+    // docs/ALGORITHMS.md walks this exact program; its published sets
+    // must stay true.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/programs/walkthrough.mp"
+    );
+    let out = modref().args(["summary", path]).output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "proc update (level 1)\n  RMOD  = {y}",
+        "proc relay (level 1)\n  RMOD  = {x}\n  IMOD+ = {g, x}\n  GMOD  = {g, x}",
+        "proc driver (level 1)\n  RMOD  = ∅\n  IMOD+ = {h, t}\n  GMOD  = {g, h, t}",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    let out = modref().args(["analyze", path]).output().expect("runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("site s0: call update (in relay)"));
+    assert!(text.contains("MOD  = {g, h, x}"), "{text}");
+    assert!(text.contains("DMOD = {x}"), "{text}");
+}
+
+#[test]
+fn parse_errors_fail_with_location() {
+    let path = write_temp("bad", "main { oops }");
+    let out = modref().arg("analyze").arg(&path).output().expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("1:"), "stderr: {err}");
+}
+
+#[test]
+fn usage_on_bad_arguments() {
+    for args in [&["frobnicate"][..], &["analyze"][..], &["dot", "x.mp"][..]] {
+        let out = modref().args(args).output().expect("runs");
+        assert!(!out.status.success());
+        assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+    }
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = modref()
+        .args(["analyze", "/nonexistent/nowhere.mp"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

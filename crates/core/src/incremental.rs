@@ -1,0 +1,604 @@
+//! Incremental re-analysis after small program edits.
+//!
+//! The paper's introduction situates itself alongside incremental
+//! data-flow work (Carroll & Ryder; Cooper's "programming environment"
+//! setting), where summaries must survive *edits* without whole-program
+//! recomputation. Because the flow-insensitive `MOD`/`USE` framework is
+//! monotone, an edit that only *adds* local effects admits an exact
+//! delta algorithm:
+//!
+//! 1. the new statement's `LMOD`/`LUSE` bits extend `IMOD(p)`/`IUSE(p)`;
+//! 2. newly-modified *formals* propagate backwards over the binding
+//!    multi-graph (the `RMOD` equation is a disjunction — reverse
+//!    reachability from the new seeds);
+//! 3. each formal that flips updates `IMOD⁺` of the procedures binding it
+//!    and seeds a `GMOD` delta there;
+//! 4. `GMOD` deltas flow callee→caller over the call multi-graph with the
+//!    usual `∖ LOCAL(q)` filter until they stop growing — chaotic
+//!    iteration on equation (4) from a monotone seed, so the result is
+//!    exactly the new fixpoint;
+//! 5. only call sites whose callee's summary changed recompute their
+//!    `DMOD`/`MOD` projections.
+//!
+//! Work is proportional to the *affected region*, not the program.
+//! Edits that change the call structure (statements containing calls,
+//! new procedures) or *remove* effects are out of scope and trigger a
+//! full re-analysis — detecting when a removal actually shrinks a
+//! fixpoint requires the non-incremental computation anyway.
+
+use modref_binding::BindingGraph;
+use modref_bitset::BitSet;
+use modref_graph::DiGraph;
+use modref_ir::{lmod_of_stmt, luse_of_stmt, CallGraph, ProcId, Program, Stmt, ValidationError};
+
+use crate::alias::AliasPairs;
+use crate::pipeline::{Analyzer, Summary};
+
+/// What an incremental step changed.
+#[derive(Debug, Clone, Default)]
+pub struct Delta {
+    /// Procedures whose `GMOD` or `GUSE` grew.
+    pub changed_procs: Vec<ProcId>,
+    /// Call sites whose `MOD` or `USE` grew.
+    pub changed_sites: Vec<modref_ir::CallSiteId>,
+}
+
+/// Error from [`IncrementalAnalyzer::add_statement`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EditError {
+    /// The statement contains a call; structural edits need
+    /// [`IncrementalAnalyzer::rebuild`].
+    ContainsCall,
+    /// The edited program failed validation (e.g. out-of-scope variable).
+    Invalid(ValidationError),
+}
+
+impl std::fmt::Display for EditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EditError::ContainsCall => {
+                write!(
+                    f,
+                    "statement contains a call; use rebuild() for structural edits"
+                )
+            }
+            EditError::Invalid(e) => write!(f, "edit produced an invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+/// A summary kept up to date across statement-level edits.
+///
+/// # Examples
+///
+/// ```
+/// use modref_core::IncrementalAnalyzer;
+/// use modref_ir::{Expr, Ref, Stmt};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = modref_frontend::parse_program("
+///     var g, h;
+///     proc leaf() { g = 1; }
+///     proc mid() { call leaf(); }
+///     main { call mid(); }
+/// ")?;
+/// let h = program.vars().find(|&v| program.var_name(v) == "h").unwrap();
+/// let leaf = program.procs().find(|&p| program.proc_name(p) == "leaf").unwrap();
+///
+/// let mut inc = IncrementalAnalyzer::new(program);
+/// assert!(!inc.summary().gmod(leaf).contains(h.index()));
+///
+/// // Edit: leaf now also writes h. The delta flows up to mid and main.
+/// let delta = inc.add_statement(leaf, Stmt::Assign {
+///     target: Ref::scalar(h),
+///     value: Expr::constant(2),
+/// })?;
+/// assert_eq!(delta.changed_procs.len(), 3);
+/// assert!(inc.summary().gmod(leaf).contains(h.index()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalAnalyzer {
+    program: Program,
+    summary: Summary,
+    /// Reverse call graph: callee → callers, with the call-site id.
+    reverse_calls: DiGraph,
+    /// Reverse binding graph, β node ids as in `beta`.
+    beta: BindingGraph,
+    beta_reversed: DiGraph,
+    aliases: AliasPairs,
+}
+
+impl IncrementalAnalyzer {
+    /// Analyzes `program` from scratch and prepares the incremental
+    /// structures.
+    pub fn new(program: Program) -> Self {
+        let summary = Analyzer::new().analyze(&program);
+        let call_graph = CallGraph::build(&program);
+        let reverse_calls = call_graph.graph().reversed();
+        let beta = BindingGraph::build(&program);
+        let beta_reversed = beta.graph().reversed();
+        let aliases = AliasPairs::compute(&program);
+        IncrementalAnalyzer {
+            program,
+            summary,
+            reverse_calls,
+            beta,
+            beta_reversed,
+            aliases,
+        }
+    }
+
+    /// The current program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The current, always-consistent summary.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Throws the incremental state away and re-analyzes — the fallback
+    /// for structural edits.
+    pub fn rebuild(&mut self) {
+        *self = IncrementalAnalyzer::new(self.program.clone());
+    }
+
+    /// Appends `stmt` to the body of `p` and updates every summary by
+    /// delta propagation.
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::ContainsCall`] for statements with call sites (use
+    /// [`IncrementalAnalyzer::rebuild`] after editing the program
+    /// yourself), or [`EditError::Invalid`] if the statement references
+    /// variables not in scope in `p`.
+    pub fn add_statement(&mut self, p: ProcId, stmt: Stmt) -> Result<Delta, EditError> {
+        let mut has_call = false;
+        modref_ir::walk_stmts(std::slice::from_ref(&stmt), &mut |s| {
+            has_call |= matches!(s, Stmt::Call { .. });
+        });
+        if has_call {
+            return Err(EditError::ContainsCall);
+        }
+
+        let edited = self
+            .program
+            .map_bodies(|q, body| {
+                let mut out = body.to_vec();
+                if q == p {
+                    out.push(stmt.clone());
+                }
+                out
+            })
+            .map_err(EditError::Invalid)?;
+
+        let new_mod = lmod_of_stmt(&edited, &stmt);
+        let new_use = luse_of_stmt(&edited, &stmt);
+        self.program = edited;
+        // Keep the Summary's local-effect snapshot consistent (linear in
+        // the program, but purely local work — the interprocedural phases
+        // below stay delta-sized).
+        self.summary
+            .set_local_effects(modref_ir::LocalEffects::compute(&self.program));
+
+        let mut changed = std::collections::BTreeSet::new();
+        self.apply_local_delta(p, &new_mod, true, &mut changed);
+        self.apply_local_delta(p, &new_use, false, &mut changed);
+
+        // Per-site projections for affected callees.
+        let changed_sites = self.refresh_sites(&changed);
+
+        Ok(Delta {
+            changed_procs: changed.into_iter().collect(),
+            changed_sites,
+        })
+    }
+
+    /// Folds new local bits of `p` into the summaries (one side of the
+    /// problem) and propagates.
+    fn apply_local_delta(
+        &mut self,
+        p: ProcId,
+        bits: &BitSet,
+        is_mod: bool,
+        changed: &mut std::collections::BTreeSet<ProcId>,
+    ) {
+        if bits.is_empty() {
+            return;
+        }
+        // 1-2: newly modified formals of the *context* flip β nodes.
+        // A formal of p (or of a lexical ancestor — the §3.3 extension
+        // folds those into IMOD of the ancestor, which this delta also
+        // reaches via the nesting rule below) that was not previously
+        // marked propagates backwards over β.
+        let mut gmod_seeds: Vec<(ProcId, BitSet)> = vec![(p, bits.clone())];
+
+        // §3.3: the new bits extend IMOD of every lexical ancestor too,
+        // minus the locals of each hop.
+        let mut carried = bits.clone();
+        let mut cursor = p;
+        while let Some(parent) = self.program.proc_(cursor).parent() {
+            carried.difference_with(&self.program.local_set(cursor));
+            if carried.is_empty() {
+                break;
+            }
+            gmod_seeds.push((parent, carried.clone()));
+            cursor = parent;
+        }
+
+        // Newly-modified formals: reverse-β reachability.
+        let rmod_flips = self.flip_beta_nodes(&gmod_seeds, is_mod);
+        for (owner, formal) in rmod_flips {
+            // RMOD grew: callers binding this formal gain the actual.
+            let summary = &mut self.summary;
+            if is_mod {
+                summary.rmod_mut(owner).insert(formal);
+            } else {
+                summary.ruse_mut(owner).insert(formal);
+            }
+            for s in self.program.sites() {
+                let site = self.program.site(s);
+                if site.callee() != owner {
+                    continue;
+                }
+                let Some(pos) = self
+                    .program
+                    .proc_(owner)
+                    .formals()
+                    .iter()
+                    .position(|f| f.index() == formal)
+                else {
+                    continue;
+                };
+                if let modref_ir::Actual::Ref(r) = &site.args()[pos] {
+                    let mut seed = BitSet::new(self.program.num_vars());
+                    seed.insert(r.var.index());
+                    gmod_seeds.push((site.caller(), seed));
+                }
+            }
+        }
+
+        // 3: IMOD⁺ grows only where a seed lands — at the edited
+        // procedure, its lexical ancestors (§3.3), and the callers that
+        // bind a freshly-flipped formal. Transitive callers receive the
+        // delta through GMOD alone, matching equation (5).
+        for (q, delta) in &gmod_seeds {
+            if is_mod {
+                self.summary.imod_plus_mut(*q).union_with(delta);
+            } else {
+                self.summary.iuse_plus_mut(*q).union_with(delta);
+            }
+        }
+
+        // 4: GMOD deltas, callee→caller chaotic iteration on equation (4).
+        let mut work: Vec<(ProcId, BitSet)> = gmod_seeds;
+        while let Some((q, delta)) = work.pop() {
+            let grew = if is_mod {
+                self.summary.gmod_mut(q).union_with(&delta)
+            } else {
+                self.summary.guse_mut(q).union_with(&delta)
+            };
+            if !grew {
+                continue;
+            }
+            changed.insert(q);
+            let mut filtered = delta.clone();
+            filtered.difference_with(&self.program.local_set(q));
+            if filtered.is_empty() {
+                continue;
+            }
+            for caller in self.reverse_calls.successor_nodes(q.index()) {
+                work.push((ProcId::new(caller), filtered.clone()));
+            }
+        }
+    }
+
+    /// Marks β nodes newly reachable (in reverse) from the seeds' formal
+    /// bits; returns `(owner, formal index)` of each flip.
+    fn flip_beta_nodes(
+        &mut self,
+        seeds: &[(ProcId, BitSet)],
+        is_mod: bool,
+    ) -> Vec<(ProcId, usize)> {
+        let mut stack: Vec<usize> = Vec::new();
+        for (proc_, bits) in seeds {
+            for v in bits.iter() {
+                let var = modref_ir::VarId::new(v);
+                if let Some((owner, _)) = self.program.formal_position(var) {
+                    if owner == *proc_ || self.program.ancestors(*proc_).any(|a| a == owner) {
+                        if let Some(node) = self.beta.node_of_formal(var) {
+                            stack.push(node);
+                        }
+                        // Formals without β nodes flip directly.
+                        if self.beta.node_of_formal(var).is_none() {
+                            let set = if is_mod {
+                                self.summary.rmod_mut(owner)
+                            } else {
+                                self.summary.ruse_mut(owner)
+                            };
+                            set.insert(var.index());
+                        }
+                    }
+                }
+            }
+        }
+        let mut flipped = Vec::new();
+        let mut seen = vec![false; self.beta.num_nodes()];
+        while let Some(node) = stack.pop() {
+            if seen[node] {
+                continue;
+            }
+            seen[node] = true;
+            let formal = self.beta.formal_of_node(node);
+            let (owner, _) = self
+                .program
+                .formal_position(formal)
+                .expect("β nodes are formals");
+            let already = if is_mod {
+                self.summary.rmod(owner).contains(formal.index())
+            } else {
+                self.summary.ruse(owner).contains(formal.index())
+            };
+            if !already {
+                flipped.push((owner, formal.index()));
+            }
+            for pred in self.beta_reversed.successor_nodes(node) {
+                if !seen[pred] {
+                    stack.push(pred);
+                }
+            }
+        }
+        flipped
+    }
+
+    /// Recomputes `DMOD`/`MOD` (and the `USE` side) for every site whose
+    /// callee changed; returns the sites whose final sets grew.
+    fn refresh_sites(
+        &mut self,
+        changed: &std::collections::BTreeSet<ProcId>,
+    ) -> Vec<modref_ir::CallSiteId> {
+        let mut out = Vec::new();
+        if changed.is_empty() {
+            return out;
+        }
+        // Re-project only the sites whose callee changed.
+        for s in self.program.sites() {
+            let site = self.program.site(s);
+            let callee = site.callee();
+            if !changed.contains(&callee) {
+                continue;
+            }
+            let caller = site.caller();
+            let new_dmod = crate::dmod::project_site(&self.program, s, self.summary.gmod(callee));
+            let new_mod = self.aliases.extend_with_aliases(caller, &new_dmod);
+            let new_duse = crate::dmod::project_site(&self.program, s, self.summary.guse(callee));
+            let new_use = self.aliases.extend_with_aliases(caller, &new_duse);
+            let grew = self
+                .summary
+                .replace_site_sets(s, new_dmod, new_mod, new_duse, new_use);
+            if grew {
+                out.push(s);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_ir::{Expr, Ref};
+    use modref_progen::{generate, GenConfig};
+
+    /// After any number of edits, the incremental summary must equal a
+    /// from-scratch analysis of the edited program.
+    fn assert_matches_full(inc: &IncrementalAnalyzer) {
+        let full = Analyzer::new().analyze(inc.program());
+        for p in inc.program().procs() {
+            assert_eq!(inc.summary().gmod(p), full.gmod(p), "GMOD at {p}");
+            assert_eq!(inc.summary().guse(p), full.guse(p), "GUSE at {p}");
+            assert_eq!(inc.summary().rmod(p), full.rmod(p), "RMOD at {p}");
+            assert_eq!(
+                inc.summary().imod_plus(p),
+                full.imod_plus(p),
+                "IMOD+ at {p}"
+            );
+        }
+        for s in inc.program().sites() {
+            assert_eq!(inc.summary().mod_site(s), full.mod_site(s), "MOD at {s}");
+            assert_eq!(inc.summary().use_site(s), full.use_site(s), "USE at {s}");
+        }
+    }
+
+    #[test]
+    fn global_write_propagates_up() {
+        let program = modref_frontend::parse_program(
+            "var g, h;
+             proc leaf() { g = 1; }
+             proc mid() { call leaf(); }
+             main { call mid(); }",
+        )
+        .expect("parses");
+        let h = program
+            .vars()
+            .find(|&v| program.var_name(v) == "h")
+            .unwrap();
+        let leaf = program
+            .procs()
+            .find(|&p| program.proc_name(p) == "leaf")
+            .unwrap();
+        let mut inc = IncrementalAnalyzer::new(program);
+        let delta = inc
+            .add_statement(
+                leaf,
+                Stmt::Assign {
+                    target: Ref::scalar(h),
+                    value: Expr::constant(1),
+                },
+            )
+            .expect("edit applies");
+        assert_eq!(delta.changed_procs.len(), 3);
+        assert_eq!(delta.changed_sites.len(), 2);
+        assert_matches_full(&inc);
+    }
+
+    #[test]
+    fn formal_write_flips_rmod_and_callers() {
+        let program = modref_frontend::parse_program(
+            "var g;
+             proc sink(y) { print y; }
+             proc mid(x) { call sink(x); }
+             main { call mid(g); }",
+        )
+        .expect("parses");
+        let sink = program
+            .procs()
+            .find(|&p| program.proc_name(p) == "sink")
+            .unwrap();
+        let mid = program
+            .procs()
+            .find(|&p| program.proc_name(p) == "mid")
+            .unwrap();
+        let y = program.proc_(sink).formals()[0];
+        let g = program
+            .vars()
+            .find(|&v| program.var_name(v) == "g")
+            .unwrap();
+
+        let mut inc = IncrementalAnalyzer::new(program);
+        assert!(!inc.summary().rmod(sink).contains(y.index()));
+        inc.add_statement(
+            sink,
+            Stmt::Assign {
+                target: Ref::scalar(y),
+                value: Expr::constant(7),
+            },
+        )
+        .expect("edit applies");
+        // RMOD flipped for sink AND (via β) for mid; g lands in GMOD(main).
+        assert!(inc.summary().rmod(sink).contains(y.index()));
+        assert!(inc
+            .summary()
+            .rmod(mid)
+            .contains(inc.program().proc_(mid).formals()[0].index()));
+        assert!(inc.summary().gmod(inc.program().main()).contains(g.index()));
+        assert_matches_full(&inc);
+    }
+
+    #[test]
+    fn call_statements_are_rejected() {
+        let program = modref_frontend::parse_program(
+            "proc p() { }
+             main { call p(); }",
+        )
+        .expect("parses");
+        let mut inc = IncrementalAnalyzer::new(program);
+        let site = inc.program().sites().next().unwrap();
+        let err = inc
+            .add_statement(ProcId::MAIN, Stmt::Call { site })
+            .unwrap_err();
+        assert_eq!(err, EditError::ContainsCall);
+    }
+
+    #[test]
+    fn out_of_scope_edit_is_rejected() {
+        let program = modref_frontend::parse_program(
+            "proc p() { var t; t = 1; }
+             proc q() { }
+             main { call p(); call q(); }",
+        )
+        .expect("parses");
+        let p_proc = program
+            .procs()
+            .find(|&x| program.proc_name(x) == "p")
+            .unwrap();
+        let t = program.proc_(p_proc).locals()[0];
+        let q_proc = program
+            .procs()
+            .find(|&x| program.proc_name(x) == "q")
+            .unwrap();
+        let mut inc = IncrementalAnalyzer::new(program);
+        let err = inc
+            .add_statement(
+                q_proc,
+                Stmt::Assign {
+                    target: Ref::scalar(t),
+                    value: Expr::constant(1),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, EditError::Invalid(_)));
+    }
+
+    #[test]
+    fn random_edit_sequences_match_full_reanalysis() {
+        for seed in 0..12u64 {
+            let program = generate(&GenConfig::tiny(8, 3), seed);
+            let mut inc = IncrementalAnalyzer::new(program);
+            // Apply a handful of random-ish edits: each proc writes the
+            // first global.
+            let g = inc
+                .program()
+                .vars()
+                .find(|&v| inc.program().var(v).is_global() && inc.program().var(v).rank() == 0);
+            let Some(g) = g else { continue };
+            let procs: Vec<ProcId> = inc.program().procs().collect();
+            for (k, &p) in procs.iter().enumerate().take(4) {
+                let stmt = if k % 2 == 0 {
+                    Stmt::Assign {
+                        target: Ref::scalar(g),
+                        value: Expr::constant(k as i64),
+                    }
+                } else {
+                    Stmt::Print {
+                        value: Expr::load(g),
+                    }
+                };
+                inc.add_statement(p, stmt).expect("edit applies");
+            }
+            assert_matches_full(&inc);
+        }
+    }
+
+    #[test]
+    fn nested_edit_respects_the_section_3_3_extension() {
+        let program = modref_frontend::parse_program(
+            "proc outer() {
+               var t;
+               proc inner() { }
+               call inner();
+               print t;
+             }
+             main { call outer(); }",
+        )
+        .expect("parses");
+        let outer = program
+            .procs()
+            .find(|&p| program.proc_name(p) == "outer")
+            .unwrap();
+        let inner = program
+            .procs()
+            .find(|&p| program.proc_name(p) == "inner")
+            .unwrap();
+        let t = program.proc_(outer).locals()[0];
+        let mut inc = IncrementalAnalyzer::new(program);
+        inc.add_statement(
+            inner,
+            Stmt::Assign {
+                target: Ref::scalar(t),
+                value: Expr::constant(1),
+            },
+        )
+        .expect("edit applies");
+        assert!(inc.summary().gmod(inner).contains(t.index()));
+        assert!(inc.summary().gmod(outer).contains(t.index()));
+        assert!(!inc.summary().gmod(inc.program().main()).contains(t.index()));
+        assert_matches_full(&inc);
+    }
+}

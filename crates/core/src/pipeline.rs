@@ -1,0 +1,598 @@
+//! The end-to-end analysis pipeline and its [`Summary`].
+
+use modref_binding::{solve_rmod, BindingGraph};
+use modref_bitset::{BitSet, OpCounter};
+use modref_ir::{CallGraph, CallSiteId, LocalEffects, ProcId, Program};
+
+use crate::alias::AliasPairs;
+use crate::dmod::{compute_dmod, DmodSolution};
+use crate::gmod::{solve_gmod_one_level, GmodSolution};
+use crate::gmod_nested::{solve_gmod_multi_fused, solve_gmod_multi_naive};
+use crate::imod_plus::compute_imod_plus;
+use crate::modsets::compute_mod;
+
+/// Which algorithm computes the global (`GMOD`) phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GmodAlgorithm {
+    /// One-level Figure 2 when the program has two-level scoping; the
+    /// fused multi-level algorithm otherwise.
+    #[default]
+    Auto,
+    /// Figure 2 verbatim. Exact only for programs with `max_level() ≤ 1`.
+    OneLevel,
+    /// One Figure 2 run per nesting level, `O(d_P (E_C + N_C))`.
+    MultiLevelNaive,
+    /// The single-pass lowlink-vector algorithm, `O(E_C + d_P·N_C)`.
+    MultiLevelFused,
+}
+
+/// Configures and runs the analysis.
+///
+/// The default configuration computes both the `MOD` and `USE` problems
+/// and factors aliases in. See the crate-level example.
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    gmod_algorithm: GmodAlgorithm,
+    skip_use: bool,
+    skip_aliases: bool,
+    parallel: bool,
+}
+
+impl Analyzer {
+    /// The default analyzer: automatic `GMOD` algorithm, `USE` and alias
+    /// phases enabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the global-phase algorithm.
+    pub fn gmod_algorithm(&mut self, algorithm: GmodAlgorithm) -> &mut Self {
+        self.gmod_algorithm = algorithm;
+        self
+    }
+
+    /// Skips the `USE` problem (the `use_*` accessors then return empty
+    /// sets).
+    pub fn without_use(&mut self) -> &mut Self {
+        self.skip_use = true;
+        self
+    }
+
+    /// Skips alias analysis; `MOD(s)` then equals `DMOD(s)` (the paper's
+    /// "absence of aliasing" bound applies).
+    pub fn without_aliases(&mut self) -> &mut Self {
+        self.skip_aliases = true;
+        self
+    }
+
+    /// Runs the `MOD` and `USE` halves on separate threads. The two
+    /// problems share only immutable inputs, so this is a free ~2x on
+    /// large programs (no-op when `without_use` is set).
+    pub fn parallel(&mut self) -> &mut Self {
+        self.parallel = true;
+        self
+    }
+
+    /// Runs the full pipeline on a validated program.
+    pub fn analyze(&self, program: &Program) -> Summary {
+        let mut stats = PhaseStats::default();
+
+        // Phase 0: local sets and shared structures.
+        let effects = LocalEffects::compute(program);
+        let call_graph = CallGraph::build(program);
+        let beta = BindingGraph::build(program);
+        let locals = program.local_sets();
+
+        // Phases 1-3 for MOD, optionally for USE. Each half reads only
+        // immutable inputs, so with `parallel()` the USE half runs on its
+        // own thread while the MOD half uses the current one.
+        let run_half = |initial: &[BitSet], is_mod: bool| {
+            let mut half_stats = PhaseStats::default();
+            let r = self.half_pipeline(
+                program,
+                &call_graph,
+                &beta,
+                initial,
+                &locals,
+                &mut half_stats,
+                is_mod,
+            );
+            (r, half_stats)
+        };
+        let (mod_half, use_half) = if self.skip_use {
+            (run_half(effects.imod_all(), true), None)
+        } else if self.parallel {
+            std::thread::scope(|scope| {
+                let use_thread = scope.spawn(|| run_half(effects.iuse_all(), false));
+                let mod_result = run_half(effects.imod_all(), true);
+                (
+                    mod_result,
+                    Some(use_thread.join().expect("USE half must not panic")),
+                )
+            })
+        } else {
+            (
+                run_half(effects.imod_all(), true),
+                Some(run_half(effects.iuse_all(), false)),
+            )
+        };
+        let ((gmod, imod_plus, rmod), mod_stats) = mod_half;
+        stats.rmod += mod_stats.rmod;
+        stats.gmod += mod_stats.gmod;
+        stats.imod_plus += mod_stats.imod_plus;
+        let (guse, iuse_plus, ruse) = match use_half {
+            Some(((g, i, r), use_stats)) => {
+                stats.ruse += use_stats.ruse;
+                stats.guse += use_stats.guse;
+                stats.imod_plus += use_stats.imod_plus;
+                (g, i, r)
+            }
+            None => {
+                let empty = vec![BitSet::new(program.num_vars()); program.num_procs()];
+                (empty.clone(), empty.clone(), empty)
+            }
+        };
+
+        // Phase 4: per-site projection.
+        let dmod = compute_dmod(program, &gmod);
+        stats.dmod += dmod.stats();
+        let duse = if self.skip_use {
+            DmodSolution::empty(program)
+        } else {
+            let d = compute_dmod(program, &guse);
+            stats.dmod += d.stats();
+            d
+        };
+
+        // Phase 5: aliases.
+        let aliases = if self.skip_aliases {
+            AliasPairs::compute_empty(program)
+        } else {
+            AliasPairs::compute(program)
+        };
+        let mods = compute_mod(program, &dmod, &aliases);
+        stats.modsets += mods.stats();
+        let uses = compute_mod(program, &duse, &aliases);
+        stats.modsets += uses.stats();
+
+        Summary {
+            effects,
+            rmod,
+            ruse,
+            imod_plus,
+            iuse_plus,
+            gmod,
+            guse,
+            dmod_sites: dmod.all().to_vec(),
+            duse_sites: duse.all().to_vec(),
+            mod_sites: mods.into_sets(),
+            use_sites: uses.into_sets(),
+            aliases,
+            beta_nodes: beta.num_nodes(),
+            beta_edges: beta.num_edges(),
+            stats,
+        }
+    }
+
+    /// RMOD → IMOD⁺ → GMOD for one side of the problem.
+    #[allow(clippy::too_many_arguments)]
+    fn half_pipeline(
+        &self,
+        program: &Program,
+        call_graph: &CallGraph,
+        beta: &BindingGraph,
+        initial: &[BitSet],
+        locals: &[BitSet],
+        stats: &mut PhaseStats,
+        is_mod: bool,
+    ) -> (Vec<BitSet>, Vec<BitSet>, Vec<BitSet>) {
+        let rmod = solve_rmod(program, initial, beta);
+        if is_mod {
+            stats.rmod += rmod.stats();
+        } else {
+            stats.ruse += rmod.stats();
+        }
+        let (plus, plus_stats) = compute_imod_plus(program, initial, &rmod);
+        stats.imod_plus += plus_stats;
+
+        let algorithm = match self.gmod_algorithm {
+            GmodAlgorithm::Auto => {
+                if program.max_level() <= 1 {
+                    GmodAlgorithm::OneLevel
+                } else {
+                    GmodAlgorithm::MultiLevelFused
+                }
+            }
+            other => other,
+        };
+        let gmod: GmodSolution = match algorithm {
+            GmodAlgorithm::OneLevel => {
+                solve_gmod_one_level(program, call_graph.graph(), &plus, locals)
+            }
+            GmodAlgorithm::MultiLevelNaive => {
+                solve_gmod_multi_naive(program, call_graph.graph(), &plus, locals)
+            }
+            GmodAlgorithm::MultiLevelFused | GmodAlgorithm::Auto => {
+                solve_gmod_multi_fused(program, call_graph.graph(), &plus, locals)
+            }
+        };
+        if is_mod {
+            stats.gmod += gmod.stats();
+        } else {
+            stats.guse += gmod.stats();
+        }
+        let (gmod_sets, _) = gmod.into_parts();
+        let rmod_sets = rmod.rmod_all().to_vec();
+        (gmod_sets, plus, rmod_sets)
+    }
+}
+
+/// Work counters per pipeline phase, in the paper's cost units.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseStats {
+    /// Figure 1 (`RMOD`), boolean steps.
+    pub rmod: OpCounter,
+    /// `RUSE` (the `USE` analogue of Figure 1).
+    pub ruse: OpCounter,
+    /// Equation (5).
+    pub imod_plus: OpCounter,
+    /// Figure 2 / multi-level `GMOD`, bit-vector steps.
+    pub gmod: OpCounter,
+    /// `GUSE`.
+    pub guse: OpCounter,
+    /// Equation (2) projection.
+    pub dmod: OpCounter,
+    /// §5 step (2) alias factoring.
+    pub modsets: OpCounter,
+}
+
+impl PhaseStats {
+    /// Sum over all phases.
+    pub fn total(&self) -> OpCounter {
+        let mut t = OpCounter::new();
+        t += self.rmod;
+        t += self.ruse;
+        t += self.imod_plus;
+        t += self.gmod;
+        t += self.guse;
+        t += self.dmod;
+        t += self.modsets;
+        t
+    }
+}
+
+/// Everything the analysis computed.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    effects: LocalEffects,
+    rmod: Vec<BitSet>,
+    ruse: Vec<BitSet>,
+    imod_plus: Vec<BitSet>,
+    iuse_plus: Vec<BitSet>,
+    gmod: Vec<BitSet>,
+    guse: Vec<BitSet>,
+    dmod_sites: Vec<BitSet>,
+    duse_sites: Vec<BitSet>,
+    mod_sites: Vec<BitSet>,
+    use_sites: Vec<BitSet>,
+    aliases: AliasPairs,
+    beta_nodes: usize,
+    beta_edges: usize,
+    stats: PhaseStats,
+}
+
+impl Summary {
+    /// The local (`IMOD`/`IUSE`) sets the pipeline started from.
+    pub fn local_effects(&self) -> &LocalEffects {
+        &self.effects
+    }
+
+    /// `RMOD(p)`: formals of `p` that an invocation may modify.
+    pub fn rmod(&self, p: ProcId) -> &BitSet {
+        &self.rmod[p.index()]
+    }
+
+    /// `RUSE(p)`: formals of `p` that an invocation may read.
+    pub fn ruse(&self, p: ProcId) -> &BitSet {
+        &self.ruse[p.index()]
+    }
+
+    /// `IMOD⁺(p)` (equation 5).
+    pub fn imod_plus(&self, p: ProcId) -> &BitSet {
+        &self.imod_plus[p.index()]
+    }
+
+    /// `IUSE⁺(p)`.
+    pub fn iuse_plus(&self, p: ProcId) -> &BitSet {
+        &self.iuse_plus[p.index()]
+    }
+
+    /// `GMOD(p)`: everything an invocation of `p` may modify.
+    pub fn gmod(&self, p: ProcId) -> &BitSet {
+        &self.gmod[p.index()]
+    }
+
+    /// `GUSE(p)`.
+    pub fn guse(&self, p: ProcId) -> &BitSet {
+        &self.guse[p.index()]
+    }
+
+    /// All `GMOD` sets, indexed by procedure.
+    pub fn gmod_all(&self) -> &[BitSet] {
+        &self.gmod
+    }
+
+    /// All `GUSE` sets, indexed by procedure.
+    pub fn guse_all(&self) -> &[BitSet] {
+        &self.guse
+    }
+
+    /// `DMOD` restricted to call site `s` (before aliases).
+    pub fn dmod_site(&self, s: CallSiteId) -> &BitSet {
+        &self.dmod_sites[s.index()]
+    }
+
+    /// All per-site `DMOD` sets.
+    pub fn dmod_all(&self) -> &[BitSet] {
+        &self.dmod_sites
+    }
+
+    /// `DUSE` restricted to call site `s`.
+    pub fn duse_site(&self, s: CallSiteId) -> &BitSet {
+        &self.duse_sites[s.index()]
+    }
+
+    /// `MOD(s)`: the final answer for call site `s`.
+    pub fn mod_site(&self, s: CallSiteId) -> &BitSet {
+        &self.mod_sites[s.index()]
+    }
+
+    /// `USE(s)`.
+    pub fn use_site(&self, s: CallSiteId) -> &BitSet {
+        &self.use_sites[s.index()]
+    }
+
+    /// All per-site `MOD` sets.
+    pub fn mod_all(&self) -> &[BitSet] {
+        &self.mod_sites
+    }
+
+    /// All per-site `USE` sets.
+    pub fn use_all(&self) -> &[BitSet] {
+        &self.use_sites
+    }
+
+    /// The alias pairs used for the final factoring step.
+    pub fn aliases(&self) -> &AliasPairs {
+        &self.aliases
+    }
+
+    /// `(N_β, E_β)` of the binding multi-graph that was built.
+    pub fn beta_size(&self) -> (usize, usize) {
+        (self.beta_nodes, self.beta_edges)
+    }
+
+    /// `true` if the two call sites may *interfere*: one may write what
+    /// the other reads or writes. Non-interfering calls commute — a
+    /// scheduler may reorder or overlap them.
+    ///
+    /// Two caveats for statement-level reordering: I/O effects are not
+    /// variables and must be checked separately, and the *evaluation of
+    /// by-value arguments* is a caller-local read (part of the call
+    /// statement's `LUSE`, not of `USE(s)`) — add
+    /// [`modref_ir::luse_of_stmt`] of the call statements when reordering
+    /// whole statements.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use modref_core::Analyzer;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let program = modref_frontend::parse_program("
+    ///     var g, h;
+    ///     proc wg() { g = 1; }
+    ///     proc rh() { h = h + 0; }
+    ///     proc rg() { g = g + 0; }
+    ///     main { call wg(); call rh(); call rg(); }
+    /// ")?;
+    /// let summary = Analyzer::new().analyze(&program);
+    /// let sites: Vec<_> = program.sites().collect();
+    /// assert!(!summary.may_interfere(sites[0], sites[1])); // g vs h
+    /// assert!(summary.may_interfere(sites[0], sites[2]));  // both touch g
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn may_interfere(&self, a: CallSiteId, b: CallSiteId) -> bool {
+        let (ma, ua) = (self.mod_site(a), self.use_site(a));
+        let (mb, ub) = (self.mod_site(b), self.use_site(b));
+        !ma.is_disjoint(mb) || !ma.is_disjoint(ub) || !mb.is_disjoint(ua)
+    }
+
+    /// Per-phase work counters.
+    pub fn stats(&self) -> &PhaseStats {
+        &self.stats
+    }
+
+    // --- mutators for the incremental analyzer (crate-internal) --------
+
+    pub(crate) fn set_local_effects(&mut self, effects: LocalEffects) {
+        self.effects = effects;
+    }
+
+    pub(crate) fn rmod_mut(&mut self, p: ProcId) -> &mut BitSet {
+        &mut self.rmod[p.index()]
+    }
+
+    pub(crate) fn ruse_mut(&mut self, p: ProcId) -> &mut BitSet {
+        &mut self.ruse[p.index()]
+    }
+
+    pub(crate) fn imod_plus_mut(&mut self, p: ProcId) -> &mut BitSet {
+        &mut self.imod_plus[p.index()]
+    }
+
+    pub(crate) fn iuse_plus_mut(&mut self, p: ProcId) -> &mut BitSet {
+        &mut self.iuse_plus[p.index()]
+    }
+
+    pub(crate) fn gmod_mut(&mut self, p: ProcId) -> &mut BitSet {
+        &mut self.gmod[p.index()]
+    }
+
+    pub(crate) fn guse_mut(&mut self, p: ProcId) -> &mut BitSet {
+        &mut self.guse[p.index()]
+    }
+
+    /// Replaces one site's projected sets; returns `true` if the final
+    /// `MOD` or `USE` set grew.
+    pub(crate) fn replace_site_sets(
+        &mut self,
+        s: CallSiteId,
+        dmod: BitSet,
+        mod_: BitSet,
+        duse: BitSet,
+        use_: BitSet,
+    ) -> bool {
+        let grew = !mod_.is_subset(&self.mod_sites[s.index()])
+            || !use_.is_subset(&self.use_sites[s.index()]);
+        self.dmod_sites[s.index()] = dmod;
+        self.mod_sites[s.index()] = mod_;
+        self.duse_sites[s.index()] = duse;
+        self.use_sites[s.index()] = use_;
+        grew
+    }
+}
+
+impl DmodSolution {
+    fn empty(program: &Program) -> Self {
+        Self::empty_impl(program)
+    }
+}
+
+impl AliasPairs {
+    fn compute_empty(program: &Program) -> Self {
+        Self::empty_impl(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_ir::{Expr, ProgramBuilder};
+
+    #[test]
+    fn end_to_end_mod_and_use() {
+        // proc swapish(x, y) { t = x; x = g; g = t; }  (reads x,g writes x,g)
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g");
+        let p = b.proc_("swapish", &["x", "y"]);
+        let t = b.local(p, "t");
+        let x = b.formal(p, 0);
+        b.assign(p, t, Expr::load(x));
+        b.assign(p, x, Expr::load(g));
+        b.assign(p, g, Expr::load(t));
+        let main = b.main();
+        let h = b.global("h");
+        let k = b.global("k");
+        let s = b.call(main, p, &[h, k]);
+        let program = b.finish().expect("valid");
+        let summary = Analyzer::new().analyze(&program);
+
+        assert!(summary.mod_site(s).contains(h.index())); // via x
+        assert!(summary.mod_site(s).contains(g.index()));
+        assert!(!summary.mod_site(s).contains(k.index())); // y untouched
+        assert!(summary.use_site(s).contains(h.index())); // x read
+        assert!(summary.use_site(s).contains(g.index()));
+        assert!(!summary.use_site(s).contains(k.index()));
+        // t never escapes.
+        assert!(!summary.mod_site(s).contains(t.index()));
+        assert_eq!(summary.beta_size(), (0, 0));
+    }
+
+    #[test]
+    fn without_use_leaves_use_sets_empty() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g");
+        let p = b.proc_("p", &[]);
+        b.print(p, Expr::load(g));
+        let main = b.main();
+        let s = b.call(main, p, &[]);
+        let program = b.finish().expect("valid");
+        let summary = Analyzer::new().without_use().analyze(&program);
+        assert!(summary.use_site(s).is_empty());
+        let full = Analyzer::new().analyze(&program);
+        assert!(full.use_site(s).contains(g.index()));
+    }
+
+    #[test]
+    fn algorithms_agree_on_nested_program() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g");
+        let p = b.proc_("p", &[]);
+        let t = b.local(p, "t");
+        let inner = b.nested_proc(p, "inner", &[]);
+        b.assign(inner, t, Expr::load(g));
+        b.assign(inner, g, Expr::constant(1));
+        b.call(p, inner, &[]);
+        let main = b.main();
+        b.call(main, p, &[]);
+        let program = b.finish().expect("valid");
+
+        let naive = Analyzer::new()
+            .gmod_algorithm(GmodAlgorithm::MultiLevelNaive)
+            .analyze(&program);
+        let fused = Analyzer::new()
+            .gmod_algorithm(GmodAlgorithm::MultiLevelFused)
+            .analyze(&program);
+        for proc_ in program.procs() {
+            assert_eq!(naive.gmod(proc_), fused.gmod(proc_));
+            assert_eq!(naive.guse(proc_), fused.guse(proc_));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let program = modref_progen_stub();
+        let seq = Analyzer::new().analyze(&program);
+        let par = Analyzer::new().parallel().analyze(&program);
+        for p in program.procs() {
+            assert_eq!(seq.gmod(p), par.gmod(p));
+            assert_eq!(seq.guse(p), par.guse(p));
+        }
+        for s in program.sites() {
+            assert_eq!(seq.mod_site(s), par.mod_site(s));
+            assert_eq!(seq.use_site(s), par.use_site(s));
+        }
+    }
+
+    /// A small deterministic program exercising both halves.
+    fn modref_progen_stub() -> Program {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g");
+        let h = b.global("h");
+        let p = b.proc_("p", &["x"]);
+        b.assign(p, b.formal(p, 0), Expr::load(g));
+        b.assign(p, h, Expr::constant(1));
+        let q = b.proc_("q", &[]);
+        b.call(q, p, &[h]);
+        let main = b.main();
+        b.call(main, q, &[]);
+        b.call(main, p, &[g]);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g");
+        let p = b.proc_("p", &["x"]);
+        b.assign(p, b.formal(p, 0), Expr::constant(1));
+        let main = b.main();
+        b.call(main, p, &[g]);
+        let program = b.finish().expect("valid");
+        let summary = Analyzer::new().analyze(&program);
+        assert!(summary.stats().total().total() > 0);
+        assert!(summary.stats().gmod.bitvec_steps > 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! The MiniProc abstract syntax tree.
+//!
+//! Purely syntactic: names are strings, scoping is unresolved. The
+//! `lower` module turns this into a validated [`modref_ir::Program`].
+
+use crate::error::Span;
+
+/// A whole source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstProgram {
+    /// Top-level `var` declarations (globals).
+    pub globals: Vec<AstDecl>,
+    /// Top-level `proc` declarations.
+    pub procs: Vec<AstProc>,
+    /// `var` declarations inside the `main` block.
+    pub main_locals: Vec<AstDecl>,
+    /// Statements of the `main` block.
+    pub main_body: Vec<AstStmt>,
+}
+
+/// One declared name, with its array rank (`0` = scalar).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstDecl {
+    /// The declared identifier.
+    pub name: String,
+    /// Array rank (number of `*` positions in the declaration).
+    pub rank: usize,
+    /// Location of the name.
+    pub span: Span,
+}
+
+/// A procedure declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstProc {
+    /// The procedure's name.
+    pub name: String,
+    /// Reference formal parameters.
+    pub params: Vec<AstDecl>,
+    /// Local `var` declarations.
+    pub locals: Vec<AstDecl>,
+    /// Procedures declared inside this one.
+    pub nested: Vec<AstProc>,
+    /// The statement list.
+    pub body: Vec<AstStmt>,
+    /// Location of the `proc` keyword.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AstStmt {
+    /// `name[subs] = expr;`
+    Assign {
+        /// Assigned variable.
+        target: AstRef,
+        /// Right-hand side.
+        value: AstExpr,
+    },
+    /// `read name[subs];`
+    Read {
+        /// Read-into variable.
+        target: AstRef,
+    },
+    /// `print expr;`
+    Print {
+        /// Printed expression.
+        value: AstExpr,
+    },
+    /// `call name(args);`
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Actual arguments.
+        args: Vec<AstArg>,
+        /// Location of the callee name.
+        span: Span,
+    },
+    /// `if (cond) { … } else { … }`
+    If {
+        /// Condition.
+        cond: AstExpr,
+        /// Then branch.
+        then_branch: Vec<AstStmt>,
+        /// Else branch (possibly empty).
+        else_branch: Vec<AstStmt>,
+    },
+    /// `while (cond) { … }`
+    While {
+        /// Condition.
+        cond: AstExpr,
+        /// Body.
+        body: Vec<AstStmt>,
+    },
+}
+
+/// A variable reference, possibly subscripted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstRef {
+    /// The referenced name.
+    pub name: String,
+    /// Subscripts; empty for scalars.
+    pub subs: Vec<AstSub>,
+    /// Location of the name.
+    pub span: Span,
+}
+
+/// One subscript position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AstSub {
+    /// A constant index.
+    Const(i64),
+    /// A named scalar index.
+    Name(String, Span),
+    /// `*` — the whole axis.
+    All,
+}
+
+/// An actual argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AstArg {
+    /// Passed by reference.
+    Ref(AstRef),
+    /// `value expr` — passed by value.
+    Value(AstExpr),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AstExpr {
+    /// Integer literal.
+    Const(i64),
+    /// Variable or array-element read.
+    Load(AstRef),
+    /// Unary negation or logical not.
+    Unary(modref_ir::UnOp, Box<AstExpr>),
+    /// Binary operation.
+    Binary(modref_ir::BinOp, Box<AstExpr>, Box<AstExpr>),
+}

@@ -1,0 +1,105 @@
+//! Front-end errors with source locations.
+
+use std::error::Error;
+use std::fmt;
+
+use modref_ir::ValidationError;
+
+/// A source location: 1-based line and column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub column: u32,
+}
+
+impl Span {
+    /// The very start of the input.
+    pub fn start() -> Span {
+        Span { line: 1, column: 1 }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Any error produced while turning MiniProc text into a validated
+/// [`modref_ir::Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrontendError {
+    /// An unexpected character during lexing.
+    Lex {
+        /// Where it happened.
+        span: Span,
+        /// What was found.
+        message: String,
+    },
+    /// A grammar violation during parsing.
+    Parse {
+        /// Where it happened.
+        span: Span,
+        /// What was expected/found.
+        message: String,
+    },
+    /// A name-resolution failure during lowering.
+    Resolve {
+        /// Where it happened.
+        span: Span,
+        /// Which name and why.
+        message: String,
+    },
+    /// The lowered IR failed structural validation.
+    Validation(ValidationError),
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Lex { span, message } => write!(f, "lex error at {span}: {message}"),
+            Self::Parse { span, message } => write!(f, "parse error at {span}: {message}"),
+            Self::Resolve { span, message } => write!(f, "name error at {span}: {message}"),
+            Self::Validation(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl Error for FrontendError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Validation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidationError> for FrontendError {
+    fn from(e: ValidationError) -> Self {
+        FrontendError::Validation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = FrontendError::Parse {
+            span: Span { line: 3, column: 7 },
+            message: "expected `;`".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at 3:7: expected `;`");
+    }
+
+    #[test]
+    fn validation_error_is_source() {
+        use std::error::Error as _;
+        let e = FrontendError::Validation(ValidationError::NoMain);
+        assert!(e.source().is_some());
+    }
+}

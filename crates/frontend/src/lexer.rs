@@ -1,0 +1,273 @@
+//! The MiniProc lexer.
+
+use crate::error::{FrontendError, Span};
+use crate::token::{Token, TokenKind};
+
+/// Tokenises `source`, appending a final [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns [`FrontendError::Lex`] on an unexpected character or an integer
+/// literal that does not fit in `i64`.
+pub fn lex(source: &str) -> Result<Vec<Token>, FrontendError> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        column: 1,
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl Lexer {
+    fn run(mut self) -> Result<Vec<Token>, FrontendError> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia();
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span,
+                });
+                return Ok(tokens);
+            };
+            let kind = match c {
+                '(' => self.single(TokenKind::LParen),
+                ')' => self.single(TokenKind::RParen),
+                '{' => self.single(TokenKind::LBrace),
+                '}' => self.single(TokenKind::RBrace),
+                '[' => self.single(TokenKind::LBracket),
+                ']' => self.single(TokenKind::RBracket),
+                ',' => self.single(TokenKind::Comma),
+                ';' => self.single(TokenKind::Semi),
+                '+' => self.single(TokenKind::Plus),
+                '-' => self.single(TokenKind::Minus),
+                '*' => self.single(TokenKind::Star),
+                '/' => self.single(TokenKind::Slash),
+                '<' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::Le
+                    } else {
+                        TokenKind::Lt
+                    }
+                }
+                '=' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::EqEq
+                    } else {
+                        TokenKind::Assign
+                    }
+                }
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        TokenKind::Ne
+                    } else {
+                        TokenKind::Bang
+                    }
+                }
+                c if c.is_ascii_digit() => self.number(span)?,
+                c if c.is_ascii_alphabetic() || c == '_' => self.word(),
+                other => {
+                    return Err(FrontendError::Lex {
+                        span,
+                        message: format!("unexpected character `{other}`"),
+                    })
+                }
+            };
+            tokens.push(Token { kind, span });
+        }
+    }
+
+    fn number(&mut self, span: Span) -> Result<TokenKind, FrontendError> {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        text.parse::<i64>()
+            .map(TokenKind::Int)
+            .map_err(|_| FrontendError::Lex {
+                span,
+                message: format!("integer literal `{text}` is out of range"),
+            })
+    }
+
+    fn word(&mut self) -> TokenKind {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match text.as_str() {
+            "var" => TokenKind::KwVar,
+            "proc" => TokenKind::KwProc,
+            "main" => TokenKind::KwMain,
+            "call" => TokenKind::KwCall,
+            "read" => TokenKind::KwRead,
+            "print" => TokenKind::KwPrint,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "value" => TokenKind::KwValue,
+            _ => TokenKind::Ident(text),
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = self.peek() {
+                        self.bump();
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) {
+        if let Some(&c) = self.chars.get(self.pos) {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.column = 1;
+            } else {
+                self.column += 1;
+            }
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            column: self.column,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("var varx proc main value"),
+            vec![
+                TokenKind::KwVar,
+                TokenKind::Ident("varx".into()),
+                TokenKind::KwProc,
+                TokenKind::KwMain,
+                TokenKind::KwValue,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            kinds("< <= = == ! != * -"),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Assign,
+                TokenKind::EqEq,
+                TokenKind::Bang,
+                TokenKind::Ne,
+                TokenKind::Star,
+                TokenKind::Minus,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_spans() {
+        let toks = lex("12\n  345").expect("lexes");
+        assert_eq!(toks[0].kind, TokenKind::Int(12));
+        assert_eq!(toks[0].span, Span { line: 1, column: 1 });
+        assert_eq!(toks[1].kind, TokenKind::Int(345));
+        assert_eq!(toks[1].span, Span { line: 2, column: 3 });
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a # the rest is ignored ; } (\nb"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_character_reports_span() {
+        let err = lex("a @").unwrap_err();
+        match err {
+            FrontendError::Lex { span, message } => {
+                assert_eq!(span, Span { line: 1, column: 3 });
+                assert!(message.contains('@'));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_integer_rejected() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+    }
+}

@@ -1,0 +1,89 @@
+#![warn(missing_docs)]
+
+//! A front end for **MiniProc**, the reference input language of the
+//! `modref` workspace.
+//!
+//! MiniProc is a small Pascal-flavoured procedural language exhibiting
+//! everything Cooper & Kennedy's side-effect analysis must handle:
+//! reference formal parameters, global/local scalars and arrays, lexically
+//! nested procedure declarations, recursion, and array sections at call
+//! sites (`call smooth(a[i, *])`).
+//!
+//! # Syntax overview
+//!
+//! ```text
+//! var g, grid[*, *];              # globals; [*] gives an array's rank
+//!
+//! proc update(x, row[*]) {        # reference formals (scalar and array)
+//!   var t;                        # locals first,
+//!   proc helper(z) {              # then nested procedures,
+//!     z = t + g;                  #   which see enclosing locals
+//!   }
+//!   t = x * 2;                    # then statements
+//!   row[t] = 0;
+//!   call helper(x);
+//!   if (x < 10) { call update(x, row); }
+//!   while (t != 0) { t = t - 1; }
+//!   read x;
+//!   print t + 1;
+//! }
+//!
+//! main {
+//!   var m;
+//!   call update(m, grid[1, *]);   # pass row 1 by reference
+//!   call update(value g + 1, grid[2, *]);  # `value` passes a copy
+//! }
+//! ```
+//!
+//! Comments run from `#` to end of line. Expressions are side-effect free
+//! (procedures are invoked only by `call` statements), so every
+//! interprocedural effect is attached to a call site.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), modref_frontend::FrontendError> {
+//! let source = "
+//!     var g;
+//!     proc inc(x) { x = x + 1; }
+//!     main { call inc(g); }
+//! ";
+//! let program = modref_frontend::parse_program(source)?;
+//! assert_eq!(program.num_procs(), 2);
+//! assert_eq!(program.num_sites(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod ast;
+mod error;
+mod lexer;
+mod lower;
+mod parser;
+mod token;
+
+pub use error::{FrontendError, Span};
+
+use modref_ir::Program;
+
+/// Parses MiniProc source text into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] carrying the source location for lexical or
+/// syntactic problems, name-resolution failures (unknown or duplicate
+/// identifiers), or any [`modref_ir::ValidationError`] raised by the final
+/// IR validation (arity mismatches, invisible callees, …).
+///
+/// # Examples
+///
+/// ```
+/// let err = modref_frontend::parse_program("main { call missing(); }")
+///     .unwrap_err();
+/// assert!(err.to_string().contains("missing"));
+/// ```
+pub fn parse_program(source: &str) -> Result<Program, FrontendError> {
+    let tokens = lexer::lex(source)?;
+    let ast = parser::parse(&tokens)?;
+    lower::lower(&ast)
+}

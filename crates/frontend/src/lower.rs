@@ -1,0 +1,287 @@
+//! Lowering the AST to a validated [`modref_ir::Program`].
+//!
+//! Two passes: first every procedure and variable is *declared* (so
+//! forward references — a call to a sibling declared later — resolve),
+//! then bodies are lowered with a lexical scope chain. Shadowing follows
+//! Pascal rules: the innermost declaration of a name wins.
+
+use std::collections::HashMap;
+
+use modref_ir::{Actual, Expr, ProcId, Program, ProgramBuilder, Ref, Stmt, Subscript, VarId};
+
+use crate::ast::{AstArg, AstExpr, AstProc, AstProgram, AstRef, AstStmt, AstSub};
+use crate::error::{FrontendError, Span};
+
+/// Lowers a parsed program.
+///
+/// # Errors
+///
+/// Name-resolution failures ([`FrontendError::Resolve`]) or IR validation
+/// failures ([`FrontendError::Validation`]).
+pub fn lower(ast: &AstProgram) -> Result<Program, FrontendError> {
+    let mut lowerer = Lowerer {
+        builder: ProgramBuilder::new(),
+    };
+    lowerer.run(ast)
+}
+
+/// One lexical scope: the names introduced by a single procedure (or by
+/// the global level).
+#[derive(Debug, Default)]
+struct Scope {
+    vars: HashMap<String, VarId>,
+    procs: HashMap<String, ProcId>,
+}
+
+struct Lowerer {
+    builder: ProgramBuilder,
+}
+
+impl Lowerer {
+    fn run(&mut self, ast: &AstProgram) -> Result<Program, FrontendError> {
+        let main = self.builder.main();
+
+        // Root scope: globals.
+        let mut root = Scope::default();
+        for decl in &ast.globals {
+            let v = if decl.rank == 0 {
+                self.builder.global(&decl.name)
+            } else {
+                self.builder.global_array(&decl.name, decl.rank)
+            };
+            declare_var(&mut root, &decl.name, v, decl.span)?;
+        }
+
+        // Main scope: main's locals + top-level procedures.
+        let mut main_scope = Scope::default();
+        for decl in &ast.main_locals {
+            let v = if decl.rank == 0 {
+                self.builder.local(main, &decl.name)
+            } else {
+                self.builder.local_array(main, &decl.name, decl.rank)
+            };
+            declare_var(&mut main_scope, &decl.name, v, decl.span)?;
+        }
+
+        // Declaration pass over the procedure tree.
+        let mut proc_ids: HashMap<*const AstProc, ProcId> = HashMap::new();
+        for proc_ast in &ast.procs {
+            self.declare_proc(main, proc_ast, &mut main_scope, &mut proc_ids)?;
+        }
+
+        // Body pass.
+        let mut chain = vec![root, main_scope];
+        for proc_ast in &ast.procs {
+            self.lower_proc(proc_ast, &mut chain, &proc_ids)?;
+        }
+        let main_stmts = self.lower_stmts(main, &ast.main_body, &mut chain, &proc_ids)?;
+        for s in main_stmts {
+            self.builder.stmt(main, s);
+        }
+
+        Ok(self.builder.finish()?)
+    }
+
+    /// Creates the procedure, its formals, locals, and (recursively) its
+    /// nested procedures; registers its name in `parent_scope`.
+    fn declare_proc(
+        &mut self,
+        parent: ProcId,
+        ast: &AstProc,
+        parent_scope: &mut Scope,
+        proc_ids: &mut HashMap<*const AstProc, ProcId>,
+    ) -> Result<(), FrontendError> {
+        if parent_scope.procs.contains_key(&ast.name) {
+            return Err(FrontendError::Resolve {
+                span: ast.span,
+                message: format!("procedure `{}` is declared twice in this scope", ast.name),
+            });
+        }
+        let ranked: Vec<(&str, usize)> = ast
+            .params
+            .iter()
+            .map(|d| (d.name.as_str(), d.rank))
+            .collect();
+        let p = self.builder.nested_proc_ranked(parent, &ast.name, &ranked);
+        parent_scope.procs.insert(ast.name.clone(), p);
+        proc_ids.insert(ast as *const AstProc, p);
+
+        // Duplicate formal names are a declaration error.
+        let mut own = Scope::default();
+        for (pos, d) in ast.params.iter().enumerate() {
+            declare_var(&mut own, &d.name, self.builder.formal(p, pos), d.span)?;
+        }
+        for d in &ast.locals {
+            let v = if d.rank == 0 {
+                self.builder.local(p, &d.name)
+            } else {
+                self.builder.local_array(p, &d.name, d.rank)
+            };
+            declare_var(&mut own, &d.name, v, d.span)?;
+        }
+        for nested in &ast.nested {
+            self.declare_proc(p, nested, &mut own, proc_ids)?;
+        }
+        // `own` is rebuilt cheaply during the body pass; only the checks
+        // and ids mattered here. Nested procedures were registered into it
+        // recursively, which the body pass reconstructs identically.
+        Ok(())
+    }
+
+    fn lower_proc(
+        &mut self,
+        ast: &AstProc,
+        chain: &mut Vec<Scope>,
+        proc_ids: &HashMap<*const AstProc, ProcId>,
+    ) -> Result<(), FrontendError> {
+        let p = proc_ids[&(ast as *const AstProc)];
+        let mut own = Scope::default();
+        for (pos, d) in ast.params.iter().enumerate() {
+            own.vars.insert(d.name.clone(), self.builder.formal(p, pos));
+        }
+        // Locals were created by the declaration pass in source order;
+        // recover their ids from the builder's records.
+        let locals = self.builder.locals_of(p).to_vec();
+        for (d, &v) in ast.locals.iter().zip(&locals) {
+            own.vars.insert(d.name.clone(), v);
+        }
+        for nested in &ast.nested {
+            let nested_id = proc_ids[&(nested as *const AstProc)];
+            own.procs.insert(nested.name.clone(), nested_id);
+        }
+
+        chain.push(own);
+        for nested in &ast.nested {
+            self.lower_proc(nested, chain, proc_ids)?;
+        }
+        let stmts = self.lower_stmts(p, &ast.body, chain, proc_ids)?;
+        for s in stmts {
+            self.builder.stmt(p, s);
+        }
+        chain.pop();
+        Ok(())
+    }
+
+    fn lower_stmts(
+        &mut self,
+        p: ProcId,
+        stmts: &[AstStmt],
+        chain: &mut Vec<Scope>,
+        proc_ids: &HashMap<*const AstProc, ProcId>,
+    ) -> Result<Vec<Stmt>, FrontendError> {
+        stmts
+            .iter()
+            .map(|s| self.lower_stmt(p, s, chain, proc_ids))
+            .collect()
+    }
+
+    fn lower_stmt(
+        &mut self,
+        p: ProcId,
+        stmt: &AstStmt,
+        chain: &mut Vec<Scope>,
+        proc_ids: &HashMap<*const AstProc, ProcId>,
+    ) -> Result<Stmt, FrontendError> {
+        Ok(match stmt {
+            AstStmt::Assign { target, value } => Stmt::Assign {
+                target: self.lower_ref(target, chain)?,
+                value: self.lower_expr(value, chain)?,
+            },
+            AstStmt::Read { target } => Stmt::Read {
+                target: self.lower_ref(target, chain)?,
+            },
+            AstStmt::Print { value } => Stmt::Print {
+                value: self.lower_expr(value, chain)?,
+            },
+            AstStmt::Call { callee, args, span } => {
+                let callee_id = resolve_proc(chain, callee, *span)?;
+                let actuals = args
+                    .iter()
+                    .map(|a| {
+                        Ok(match a {
+                            AstArg::Ref(r) => Actual::Ref(self.lower_ref(r, chain)?),
+                            AstArg::Value(e) => Actual::Value(self.lower_expr(e, chain)?),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, FrontendError>>()?;
+                self.builder.call_stmt(p, callee_id, actuals)
+            }
+            AstStmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => Stmt::If {
+                cond: self.lower_expr(cond, chain)?,
+                then_branch: self.lower_stmts(p, then_branch, chain, proc_ids)?,
+                else_branch: self.lower_stmts(p, else_branch, chain, proc_ids)?,
+            },
+            AstStmt::While { cond, body } => Stmt::While {
+                cond: self.lower_expr(cond, chain)?,
+                body: self.lower_stmts(p, body, chain, proc_ids)?,
+            },
+        })
+    }
+
+    fn lower_ref(&self, r: &AstRef, chain: &[Scope]) -> Result<Ref, FrontendError> {
+        let var = resolve_var(chain, &r.name, r.span)?;
+        let subs = r
+            .subs
+            .iter()
+            .map(|s| {
+                Ok(match s {
+                    AstSub::Const(c) => Subscript::Const(*c),
+                    AstSub::All => Subscript::All,
+                    AstSub::Name(name, span) => Subscript::Var(resolve_var(chain, name, *span)?),
+                })
+            })
+            .collect::<Result<Vec<_>, FrontendError>>()?;
+        Ok(Ref { var, subs })
+    }
+
+    fn lower_expr(&self, e: &AstExpr, chain: &[Scope]) -> Result<Expr, FrontendError> {
+        Ok(match e {
+            AstExpr::Const(c) => Expr::Const(*c),
+            AstExpr::Load(r) => Expr::Load(self.lower_ref(r, chain)?),
+            AstExpr::Unary(op, inner) => Expr::Unary(*op, Box::new(self.lower_expr(inner, chain)?)),
+            AstExpr::Binary(op, l, r) => Expr::Binary(
+                *op,
+                Box::new(self.lower_expr(l, chain)?),
+                Box::new(self.lower_expr(r, chain)?),
+            ),
+        })
+    }
+}
+
+fn declare_var(scope: &mut Scope, name: &str, v: VarId, span: Span) -> Result<(), FrontendError> {
+    if scope.vars.insert(name.to_owned(), v).is_some() {
+        return Err(FrontendError::Resolve {
+            span,
+            message: format!("`{name}` is declared twice in this scope"),
+        });
+    }
+    Ok(())
+}
+
+fn resolve_var(chain: &[Scope], name: &str, span: Span) -> Result<VarId, FrontendError> {
+    for scope in chain.iter().rev() {
+        if let Some(&v) = scope.vars.get(name) {
+            return Ok(v);
+        }
+    }
+    Err(FrontendError::Resolve {
+        span,
+        message: format!("unknown variable `{name}`"),
+    })
+}
+
+fn resolve_proc(chain: &[Scope], name: &str, span: Span) -> Result<ProcId, FrontendError> {
+    for scope in chain.iter().rev() {
+        if let Some(&p) = scope.procs.get(name) {
+            return Ok(p);
+        }
+    }
+    Err(FrontendError::Resolve {
+        span,
+        message: format!("unknown procedure `{name}`"),
+    })
+}

@@ -1,0 +1,463 @@
+//! Recursive-descent parser for MiniProc.
+
+use modref_ir::{BinOp, UnOp};
+
+use crate::ast::{AstArg, AstDecl, AstExpr, AstProc, AstProgram, AstRef, AstStmt, AstSub};
+use crate::error::{FrontendError, Span};
+use crate::token::{Token, TokenKind};
+
+/// Parses a token stream (ending in `Eof`) into an [`AstProgram`].
+///
+/// # Errors
+///
+/// Returns [`FrontendError::Parse`] with the offending location on any
+/// grammar violation.
+pub fn parse(tokens: &[Token]) -> Result<AstProgram, FrontendError> {
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn program(&mut self) -> Result<AstProgram, FrontendError> {
+        let mut globals = Vec::new();
+        let mut procs = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::KwVar => globals.extend(self.var_decl()?),
+                TokenKind::KwProc => procs.push(self.proc_decl()?),
+                TokenKind::KwMain => break,
+                _ => {
+                    return Err(self.unexpected("`var`, `proc`, or `main`"));
+                }
+            }
+        }
+        self.expect(&TokenKind::KwMain)?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut main_locals = Vec::new();
+        while self.peek() == &TokenKind::KwVar {
+            main_locals.extend(self.var_decl()?);
+        }
+        let mut main_body = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            main_body.push(self.stmt()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        self.expect(&TokenKind::Eof)?;
+        Ok(AstProgram {
+            globals,
+            procs,
+            main_locals,
+            main_body,
+        })
+    }
+
+    /// `var a, b[*, *], c;` — returns one [`AstDecl`] per name.
+    fn var_decl(&mut self) -> Result<Vec<AstDecl>, FrontendError> {
+        self.expect(&TokenKind::KwVar)?;
+        let mut decls = vec![self.decl_item()?];
+        while self.eat(&TokenKind::Comma) {
+            decls.push(self.decl_item()?);
+        }
+        self.expect(&TokenKind::Semi)?;
+        Ok(decls)
+    }
+
+    /// `name` or `name[*, *, …]`.
+    fn decl_item(&mut self) -> Result<AstDecl, FrontendError> {
+        let span = self.span();
+        let name = self.ident()?;
+        let mut rank = 0;
+        if self.eat(&TokenKind::LBracket) {
+            loop {
+                self.expect(&TokenKind::Star)?;
+                rank += 1;
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RBracket)?;
+        }
+        Ok(AstDecl { name, rank, span })
+    }
+
+    fn proc_decl(&mut self) -> Result<AstProc, FrontendError> {
+        let span = self.span();
+        self.expect(&TokenKind::KwProc)?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            params.push(self.decl_item()?);
+            while self.eat(&TokenKind::Comma) {
+                params.push(self.decl_item()?);
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut locals = Vec::new();
+        let mut nested = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::KwVar => locals.extend(self.var_decl()?),
+                TokenKind::KwProc => nested.push(self.proc_decl()?),
+                _ => break,
+            }
+        }
+        let mut body = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            body.push(self.stmt()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(AstProc {
+            name,
+            params,
+            locals,
+            nested,
+            body,
+            span,
+        })
+    }
+
+    fn stmt(&mut self) -> Result<AstStmt, FrontendError> {
+        match self.peek().clone() {
+            TokenKind::KwCall => {
+                self.bump();
+                let span = self.span();
+                let callee = self.ident()?;
+                self.expect(&TokenKind::LParen)?;
+                let mut args = Vec::new();
+                if self.peek() != &TokenKind::RParen {
+                    args.push(self.arg()?);
+                    while self.eat(&TokenKind::Comma) {
+                        args.push(self.arg()?);
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(AstStmt::Call { callee, args, span })
+            }
+            TokenKind::KwRead => {
+                self.bump();
+                let target = self.ref_()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(AstStmt::Read { target })
+            }
+            TokenKind::KwPrint => {
+                self.bump();
+                let value = self.expr()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(AstStmt::Print { value })
+            }
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let then_branch = self.block()?;
+                let else_branch = if self.eat(&TokenKind::KwElse) {
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(AstStmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                })
+            }
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(AstStmt::While { cond, body })
+            }
+            TokenKind::Ident(_) => {
+                let target = self.ref_()?;
+                self.expect(&TokenKind::Assign)?;
+                let value = self.expr()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(AstStmt::Assign { target, value })
+            }
+            _ => Err(self.unexpected("a statement")),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<AstStmt>, FrontendError> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn arg(&mut self) -> Result<AstArg, FrontendError> {
+        if self.eat(&TokenKind::KwValue) {
+            Ok(AstArg::Value(self.expr()?))
+        } else {
+            Ok(AstArg::Ref(self.ref_()?))
+        }
+    }
+
+    fn ref_(&mut self) -> Result<AstRef, FrontendError> {
+        let span = self.span();
+        let name = self.ident()?;
+        let mut subs = Vec::new();
+        if self.eat(&TokenKind::LBracket) {
+            subs.push(self.subscript()?);
+            while self.eat(&TokenKind::Comma) {
+                subs.push(self.subscript()?);
+            }
+            self.expect(&TokenKind::RBracket)?;
+        }
+        Ok(AstRef { name, subs, span })
+    }
+
+    fn subscript(&mut self) -> Result<AstSub, FrontendError> {
+        match self.peek().clone() {
+            TokenKind::Star => {
+                self.bump();
+                Ok(AstSub::All)
+            }
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(AstSub::Const(v))
+            }
+            TokenKind::Ident(name) => {
+                let span = self.span();
+                self.bump();
+                Ok(AstSub::Name(name, span))
+            }
+            _ => Err(self.unexpected("a subscript (`*`, an integer, or a name)")),
+        }
+    }
+
+    /// `expr := additive (relop additive)?` — relations do not chain.
+    fn expr(&mut self) -> Result<AstExpr, FrontendError> {
+        let lhs = self.additive()?;
+        let op = match self.peek() {
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.additive()?;
+        Ok(AstExpr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn additive(&mut self) -> Result<AstExpr, FrontendError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = AstExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<AstExpr, FrontendError> {
+        let mut lhs = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.primary()?;
+            lhs = AstExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn primary(&mut self) -> Result<AstExpr, FrontendError> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(AstExpr::Const(v))
+            }
+            TokenKind::Ident(_) => Ok(AstExpr::Load(self.ref_()?)),
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Minus => {
+                self.bump();
+                Ok(AstExpr::Unary(UnOp::Neg, Box::new(self.primary()?)))
+            }
+            TokenKind::Bang => {
+                self.bump();
+                Ok(AstExpr::Unary(UnOp::Not, Box::new(self.primary()?)))
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+
+    // --- token machinery ---------------------------------------------
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) {
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), FrontendError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&kind.describe()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, FrontendError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            _ => Err(self.unexpected("an identifier")),
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> FrontendError {
+        FrontendError::Parse {
+            span: self.span(),
+            message: format!("expected {wanted}, found {}", self.peek().describe()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<AstProgram, FrontendError> {
+        parse(&lex(src).expect("lexes"))
+    }
+
+    #[test]
+    fn minimal_program() {
+        let ast = parse_src("main { }").expect("parses");
+        assert!(ast.globals.is_empty());
+        assert!(ast.procs.is_empty());
+        assert!(ast.main_body.is_empty());
+    }
+
+    #[test]
+    fn declarations_and_ranks() {
+        let ast = parse_src("var a, m[*, *];\nmain { }").expect("parses");
+        assert_eq!(ast.globals.len(), 2);
+        assert_eq!(ast.globals[0].rank, 0);
+        assert_eq!(ast.globals[1].rank, 2);
+    }
+
+    #[test]
+    fn nested_procs_and_statements() {
+        let src = "
+            proc outer(x, a[*]) {
+              var t;
+              proc inner(z) { z = t; }
+              t = x + 1;
+              a[t] = 0;
+              call inner(x);
+              if (x < 3) { read x; } else { print x; }
+              while (t != 0) { t = t - 1; }
+            }
+            main { var m; call outer(m, m); }
+        ";
+        let ast = parse_src(src).expect("parses");
+        assert_eq!(ast.procs.len(), 1);
+        let outer = &ast.procs[0];
+        assert_eq!(outer.params.len(), 2);
+        assert_eq!(outer.params[1].rank, 1);
+        assert_eq!(outer.nested.len(), 1);
+        assert_eq!(outer.body.len(), 5);
+        assert_eq!(ast.main_locals.len(), 1);
+    }
+
+    #[test]
+    fn precedence_mul_over_add_over_rel() {
+        let ast = parse_src("main { print 1 + 2 * 3 < 4; }").expect("parses");
+        let AstStmt::Print { value } = &ast.main_body[0] else {
+            panic!("expected print");
+        };
+        // ((1 + (2 * 3)) < 4)
+        let AstExpr::Binary(BinOp::Lt, lhs, _) = value else {
+            panic!("expected < at top, got {value:?}");
+        };
+        let AstExpr::Binary(BinOp::Add, _, mul) = lhs.as_ref() else {
+            panic!("expected + on lhs");
+        };
+        assert!(matches!(mul.as_ref(), AstExpr::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn value_and_section_arguments() {
+        let ast =
+            parse_src("var a[*, *]; proc p(r[*], s) { }\nmain { call p(a[2, *], value 1 + 2); }")
+                .expect("parses");
+        let AstStmt::Call { args, .. } = &ast.main_body[0] else {
+            panic!("expected call");
+        };
+        assert!(matches!(&args[0], AstArg::Ref(r) if r.subs.len() == 2));
+        assert!(matches!(&args[1], AstArg::Value(_)));
+    }
+
+    #[test]
+    fn missing_semicolon_reported() {
+        let err = parse_src("main { print 1 }").unwrap_err();
+        assert!(err.to_string().contains("`;`"), "{err}");
+    }
+
+    #[test]
+    fn garbage_after_main_rejected() {
+        let err = parse_src("main { } proc late() { }").unwrap_err();
+        assert!(err.to_string().contains("end of input"), "{err}");
+    }
+
+    #[test]
+    fn unary_operators() {
+        let ast = parse_src("main { print -x + !y; }").expect("parses");
+        let AstStmt::Print { value } = &ast.main_body[0] else {
+            panic!()
+        };
+        let AstExpr::Binary(BinOp::Add, l, r) = value else {
+            panic!()
+        };
+        assert!(matches!(l.as_ref(), AstExpr::Unary(UnOp::Neg, _)));
+        assert!(matches!(r.as_ref(), AstExpr::Unary(UnOp::Not, _)));
+    }
+}

@@ -1,0 +1,126 @@
+//! MiniProc tokens.
+
+use std::fmt;
+
+use crate::error::Span;
+
+/// One lexical token with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// Where the token starts.
+    pub span: Span,
+}
+
+/// The kinds of MiniProc tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// `var`
+    KwVar,
+    /// `proc`
+    KwProc,
+    /// `main`
+    KwMain,
+    /// `call`
+    KwCall,
+    /// `read`
+    KwRead,
+    /// `print`
+    KwPrint,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `value`
+    KwValue,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::KwVar => "`var`".into(),
+            TokenKind::KwProc => "`proc`".into(),
+            TokenKind::KwMain => "`main`".into(),
+            TokenKind::KwCall => "`call`".into(),
+            TokenKind::KwRead => "`read`".into(),
+            TokenKind::KwPrint => "`print`".into(),
+            TokenKind::KwIf => "`if`".into(),
+            TokenKind::KwElse => "`else`".into(),
+            TokenKind::KwWhile => "`while`".into(),
+            TokenKind::KwValue => "`value`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Assign => "`=`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::EqEq => "`==`".into(),
+            TokenKind::Ne => "`!=`".into(),
+            TokenKind::Bang => "`!`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}

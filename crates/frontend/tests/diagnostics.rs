@@ -1,0 +1,138 @@
+//! Diagnostic quality: every malformed input gets the right error kind
+//! and a sensible source location.
+
+use modref_frontend::{parse_program, FrontendError};
+
+fn expect_parse_error(src: &str, needle: &str, line: u32) {
+    match parse_program(src) {
+        Err(FrontendError::Parse { span, message }) => {
+            assert!(
+                message.contains(needle),
+                "for {src:?}: message {message:?} lacks {needle:?}"
+            );
+            assert_eq!(span.line, line, "for {src:?}: wrong line in {message:?}");
+        }
+        other => panic!("for {src:?}: expected parse error, got {other:?}"),
+    }
+}
+
+fn expect_resolve_error(src: &str, needle: &str) {
+    match parse_program(src) {
+        Err(FrontendError::Resolve { message, .. }) => {
+            assert!(message.contains(needle), "{message:?} lacks {needle:?}");
+        }
+        other => panic!("for {src:?}: expected resolve error, got {other:?}"),
+    }
+}
+
+#[test]
+fn parse_errors_point_at_the_problem() {
+    expect_parse_error("main { print 1 }", "`;`", 1);
+    expect_parse_error("main { call f(; }", "identifier", 1);
+    expect_parse_error("var a\nmain { }", "`;`", 2);
+    expect_parse_error("proc () { } main { }", "identifier", 1);
+    expect_parse_error("main { if 1 < 2 { } }", "`(`", 1);
+    expect_parse_error("main { x = ; }", "expression", 1);
+    expect_parse_error("main { while (1) print 1; }", "`{`", 1);
+    expect_parse_error("var a[3];\nmain { }", "`*`", 1);
+    expect_parse_error("main { a[1 = 2; }", "`]`", 1);
+    expect_parse_error("main { a[+] = 2; }", "subscript", 1);
+}
+
+#[test]
+fn lex_errors_have_locations() {
+    match parse_program("main {\n  $ = 1;\n}") {
+        Err(FrontendError::Lex { span, message }) => {
+            assert_eq!(span.line, 2);
+            assert_eq!(span.column, 3);
+            assert!(message.contains('$'));
+        }
+        other => panic!("expected lex error, got {other:?}"),
+    }
+}
+
+#[test]
+fn resolve_errors_name_the_offender() {
+    expect_resolve_error("main { nothere = 1; }", "nothere");
+    expect_resolve_error("main { call phantom(); }", "phantom");
+    expect_resolve_error("proc p() { var d; var d; } main { }", "declared twice");
+    expect_resolve_error(
+        "proc twice() { } proc twice() { } main { }",
+        "declared twice",
+    );
+    // Out-of-scope *variable in a subscript*.
+    expect_resolve_error(
+        "var a[*];\nproc p() { var j; }\nmain { a[j] = 1; }",
+        "unknown variable `j`",
+    );
+}
+
+#[test]
+fn deeply_nested_blocks_parse() {
+    let mut src = String::from("var g;\nmain {\n");
+    for _ in 0..200 {
+        src.push_str("if (g < 1) {\n");
+    }
+    src.push_str("g = 1;\n");
+    for _ in 0..200 {
+        src.push('}');
+    }
+    src.push_str("\n}");
+    let program = parse_program(&src).expect("deep nesting parses");
+    assert_eq!(program.num_procs(), 1);
+}
+
+#[test]
+fn keyword_prefixed_identifiers_are_identifiers() {
+    let program = parse_program(
+        "var variable, procedure, mainline, called, printer;
+         main { variable = procedure + mainline + called + printer; }",
+    )
+    .expect("parses");
+    assert_eq!(program.num_vars(), 5);
+}
+
+#[test]
+fn comments_do_not_break_spans() {
+    match parse_program("# leading comment\n# another\nmain { x = 1; }") {
+        Err(FrontendError::Resolve { span, .. }) => {
+            assert_eq!(span.line, 3);
+            assert_eq!(span.column, 8);
+        }
+        other => panic!("expected resolve error for x, got {other:?}"),
+    }
+}
+
+#[test]
+fn validation_failures_surface_through_frontend() {
+    // Arity mismatch is only detectable at IR validation.
+    let err = parse_program("proc p(a, b) { } main { call p(value 1); }").unwrap_err();
+    assert!(matches!(err, FrontendError::Validation(_)));
+    assert!(err.to_string().contains("argument"));
+}
+
+#[test]
+fn empty_argument_and_parameter_lists() {
+    let program = parse_program("proc p() { } main { call p(); }").expect("parses");
+    assert_eq!(program.proc_(modref_ir::ProcId::new(1)).formals().len(), 0);
+}
+
+#[test]
+fn all_operator_precedences_round_trip() {
+    let program = parse_program(
+        "var a, b, c;
+         main {
+           a = b + c * 2 - a / 3;
+           b = a < c;
+           c = a <= b;
+           a = b == c;
+           b = a != c;
+           c = -a + !b;
+         }",
+    )
+    .expect("parses");
+    // The printed form re-parses to the same shape.
+    let printed = program.to_source();
+    let again = modref_frontend::parse_program(&printed).expect("round trips");
+    assert_eq!(printed, again.to_source());
+}

@@ -1,0 +1,71 @@
+//! Robustness fuzzing: the front end must never panic — every input,
+//! however mangled, either parses or produces a structured error.
+
+use modref_frontend::parse_program;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_text_never_panics(input in "\\PC*") {
+        let _ = parse_program(&input);
+    }
+
+    #[test]
+    fn arbitrary_tokens_never_panic(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("var".to_owned()),
+                Just("proc".to_owned()),
+                Just("main".to_owned()),
+                Just("call".to_owned()),
+                Just("value".to_owned()),
+                Just("if".to_owned()),
+                Just("else".to_owned()),
+                Just("while".to_owned()),
+                Just("read".to_owned()),
+                Just("print".to_owned()),
+                Just("{".to_owned()),
+                Just("}".to_owned()),
+                Just("(".to_owned()),
+                Just(")".to_owned()),
+                Just("[".to_owned()),
+                Just("]".to_owned()),
+                Just(";".to_owned()),
+                Just(",".to_owned()),
+                Just("=".to_owned()),
+                Just("*".to_owned()),
+                Just("+".to_owned()),
+                Just("x".to_owned()),
+                Just("42".to_owned()),
+            ],
+            0..64,
+        )
+    ) {
+        let input = words.join(" ");
+        let _ = parse_program(&input);
+    }
+
+    #[test]
+    fn mutated_valid_programs_never_panic(
+        cut_start in 0usize..200,
+        cut_len in 0usize..40,
+        insert in "[a-z0-9{}()\\[\\];,=*+#\\n ]{0,12}",
+    ) {
+        let base = "var g, a[*, *];
+            proc p(x, row[*]) {
+              var t;
+              t = x + 1;
+              row[t] = g;
+              if (t < 3) { call p(value t, row); }
+            }
+            main { call p(value 1, a[2, *]); }";
+        let mut text: Vec<char> = base.chars().collect();
+        let start = cut_start.min(text.len());
+        let end = (start + cut_len).min(text.len());
+        text.splice(start..end, insert.chars());
+        let mutated: String = text.into_iter().collect();
+        let _ = parse_program(&mutated);
+    }
+}

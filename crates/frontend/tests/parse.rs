@@ -1,0 +1,231 @@
+//! End-to-end front-end tests: source → IR, scope rules, diagnostics, and
+//! the pretty-printer round trip.
+
+use modref_frontend::{parse_program, FrontendError};
+use modref_ir::{ProcId, VarKind};
+
+#[test]
+fn full_featured_program_lowers() {
+    let src = "
+        var g, grid[*, *];
+
+        proc update(x, row[*]) {
+          var t;
+          proc helper(z) {
+            z = t + g;
+          }
+          t = x * 2;
+          row[t] = 0;
+          call helper(x);
+          if (x < 10) { call update(x, row); }
+          while (t != 0) { t = t - 1; }
+          read x;
+          print t + 1;
+        }
+
+        main {
+          var m;
+          call update(m, grid[1, *]);
+          call update(value g + 1, grid[2, *]);
+        }
+    ";
+    let program = parse_program(src).expect("parses and validates");
+    assert_eq!(program.num_procs(), 3); // main, update, helper
+    assert_eq!(program.num_sites(), 4);
+    assert_eq!(program.num_vars(), 7); // g, grid, x, row, t, z, m
+
+    let update = ProcId::new(1);
+    assert_eq!(program.proc_name(update), "update");
+    assert_eq!(program.proc_(update).formals().len(), 2);
+    assert_eq!(program.proc_(update).level(), 1);
+    let helper = ProcId::new(2);
+    assert_eq!(program.proc_(helper).level(), 2);
+    assert_eq!(program.proc_(helper).parent(), Some(update));
+
+    // Array ranks survived.
+    let grid = program
+        .vars()
+        .find(|&v| program.var_name(v) == "grid")
+        .expect("grid exists");
+    assert_eq!(program.var(grid).rank(), 2);
+    let row = program
+        .vars()
+        .find(|&v| program.var_name(v) == "row")
+        .expect("row exists");
+    assert_eq!(program.var(row).rank(), 1);
+    assert!(matches!(
+        program.var(row).kind(),
+        VarKind::Formal { position: 1 }
+    ));
+}
+
+#[test]
+fn shadowing_resolves_innermost() {
+    let src = "
+        var x;
+        proc p(x) {
+          x = 1;      # the formal, not the global
+        }
+        main { call p(x); }
+    ";
+    let program = parse_program(src).expect("parses");
+    let p = ProcId::new(1);
+    let formal_x = program.proc_(p).formals()[0];
+    let fx = modref_ir::LocalEffects::compute(&program);
+    assert!(fx.imod(p).contains(formal_x.index()));
+    // The global x is NOT modified locally by p.
+    let global_x = program
+        .vars()
+        .find(|&v| program.var(v).is_global())
+        .expect("global x");
+    assert!(!fx.imod(p).contains(global_x.index()));
+}
+
+#[test]
+fn nested_sees_enclosing_locals_and_formals() {
+    let src = "
+        proc outer(a) {
+          var t;
+          proc inner() {
+            t = a;
+          }
+          call inner();
+        }
+        main { var m; call outer(m); }
+    ";
+    let program = parse_program(src).expect("parses");
+    let outer = ProcId::new(1);
+    let inner = ProcId::new(2);
+    let fx = modref_ir::LocalEffects::compute(&program);
+    let t = program.proc_(outer).locals()[0];
+    assert!(fx.imod(inner).contains(t.index()));
+}
+
+#[test]
+fn sibling_forward_reference_resolves() {
+    let src = "
+        proc a() { call b(); }
+        proc b() { }
+        main { call a(); }
+    ";
+    assert!(parse_program(src).is_ok());
+}
+
+#[test]
+fn mutual_recursion_parses() {
+    let src = "
+        var n;
+        proc even() { if (n != 0) { n = n - 1; call odd(); } }
+        proc odd() { if (n != 0) { n = n - 1; call even(); } }
+        main { read n; call even(); }
+    ";
+    let program = parse_program(src).expect("parses");
+    assert_eq!(program.num_sites(), 3);
+}
+
+#[test]
+fn unknown_variable_reports_location() {
+    let err = parse_program("main { ghost = 1; }").unwrap_err();
+    match err {
+        FrontendError::Resolve { message, span } => {
+            assert!(message.contains("ghost"));
+            assert_eq!(span.line, 1);
+        }
+        other => panic!("wrong error kind: {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_procedure_rejected() {
+    let err = parse_program("main { call nowhere(); }").unwrap_err();
+    assert!(err.to_string().contains("nowhere"));
+}
+
+#[test]
+fn duplicate_local_rejected() {
+    let err = parse_program("proc p() { var t; var t; } main { }").unwrap_err();
+    assert!(err.to_string().contains("declared twice"));
+}
+
+#[test]
+fn duplicate_formal_rejected() {
+    let err = parse_program("proc p(x, x) { } main { }").unwrap_err();
+    assert!(err.to_string().contains("declared twice"));
+}
+
+#[test]
+fn duplicate_sibling_proc_rejected() {
+    let err = parse_program("proc p() { } proc p() { } main { }").unwrap_err();
+    assert!(err.to_string().contains("declared twice"));
+}
+
+#[test]
+fn nephew_call_is_invisible() {
+    let src = "
+        proc p() {
+          proc inner() { }
+        }
+        proc q() { call inner(); }
+        main { }
+    ";
+    let err = parse_program(src).unwrap_err();
+    assert!(err.to_string().contains("inner"));
+}
+
+#[test]
+fn arity_mismatch_caught_by_validation() {
+    let err = parse_program("var g; proc p(x) { } main { call p(g, g); }").unwrap_err();
+    assert!(matches!(err, FrontendError::Validation(_)));
+}
+
+#[test]
+fn rank_mismatch_caught_by_validation() {
+    let err = parse_program("var a[*, *]; main { a[1] = 0; }").unwrap_err();
+    assert!(matches!(err, FrontendError::Validation(_)));
+}
+
+#[test]
+fn pretty_print_round_trip_is_fixed_point() {
+    let src = "
+        var g, grid[*, *];
+        proc update(x, row[*]) {
+          var t;
+          proc helper(z) { z = t + g; }
+          t = x * 2;
+          row[t] = 0;
+          call helper(x);
+          if (x < 10) { call update(x, row); } else { print 0 - 1; }
+          while (t != 0) { t = t - 1; }
+        }
+        main {
+          var m;
+          call update(m, grid[1, *]);
+          call update(value g + 1, grid[m, *]);
+        }
+    ";
+    let program = parse_program(src).expect("parses");
+    let printed = program.to_source();
+    let reparsed = parse_program(&printed)
+        .unwrap_or_else(|e| panic!("printed source must reparse: {e}\n---\n{printed}"));
+    let reprinted = reparsed.to_source();
+    assert_eq!(printed, reprinted, "print → parse → print not stable");
+    // And the structure survives.
+    assert_eq!(program.num_procs(), reparsed.num_procs());
+    assert_eq!(program.num_sites(), reparsed.num_sites());
+    assert_eq!(program.num_vars(), reparsed.num_vars());
+}
+
+#[test]
+fn main_only_program_round_trips() {
+    let program = parse_program("main { }").expect("parses");
+    let printed = program.to_source();
+    assert!(parse_program(&printed).is_ok());
+}
+
+#[test]
+fn empty_input_is_a_parse_error() {
+    assert!(matches!(
+        parse_program(""),
+        Err(FrontendError::Parse { .. })
+    ));
+}

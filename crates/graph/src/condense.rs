@@ -1,0 +1,116 @@
+//! Condensation: the acyclic quotient of a graph by its SCCs.
+
+use crate::digraph::DiGraph;
+use crate::scc::{SccId, Sccs};
+
+/// The condensation of a [`DiGraph`]: one node per strongly-connected
+/// component, one edge per inter-component edge of the original graph
+/// (duplicates removed).
+///
+/// Because [`crate::tarjan`] numbers components in reverse topological
+/// order, every edge of the condensation points from a higher id to a lower
+/// id; iterating components `0, 1, 2, …` is therefore a leaves-to-roots
+/// sweep — exactly step (3) of the paper's Figure 1.
+///
+/// # Examples
+///
+/// ```
+/// use modref_graph::{tarjan, Condensation, DiGraph};
+///
+/// let g = DiGraph::from_edges(4, [(0, 1), (1, 0), (1, 2), (2, 3), (0, 2)]);
+/// let sccs = tarjan(&g);
+/// let cond = Condensation::build(&g, &sccs);
+/// assert_eq!(cond.graph().num_nodes(), 3);
+/// // {0,1} → {2} appears once even though two original edges induce it.
+/// let from = sccs.component_of(0);
+/// assert_eq!(cond.graph().out_degree(from), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    graph: DiGraph,
+}
+
+impl Condensation {
+    /// Builds the condensation of `g` under the component map `sccs`.
+    ///
+    /// Self-edges (intra-component edges) are dropped and parallel
+    /// inter-component edges are deduplicated, so the result is a simple
+    /// DAG. Runs in `O(N + E)`.
+    pub fn build(g: &DiGraph, sccs: &Sccs) -> Self {
+        let k = sccs.len();
+        let mut quotient = DiGraph::new(k);
+        // Dedup with a per-source stamp: seen[target] == current source
+        // means the edge was already added for this source.
+        let mut seen: Vec<SccId> = vec![usize::MAX; k];
+        for from_comp in 0..k {
+            for &v in sccs.members(from_comp) {
+                for w in g.successor_nodes(v) {
+                    let to_comp = sccs.component_of(w);
+                    if to_comp != from_comp && seen[to_comp] != from_comp {
+                        seen[to_comp] = from_comp;
+                        quotient.add_edge(from_comp, to_comp);
+                    }
+                }
+            }
+        }
+        Condensation { graph: quotient }
+    }
+
+    /// The quotient DAG. Node `c` is component `c` of the input `Sccs`.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scc::tarjan;
+
+    #[test]
+    fn condensation_is_acyclic_and_reverse_topo_numbered() {
+        let g = DiGraph::from_edges(
+            6,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 3),
+                (4, 5),
+                (0, 5),
+            ],
+        );
+        let sccs = tarjan(&g);
+        let cond = Condensation::build(&g, &sccs);
+        assert_eq!(cond.graph().num_nodes(), 3);
+        for e in cond.graph().edges() {
+            assert!(e.to < e.from, "condensation edge {e:?} not reverse-topo");
+        }
+    }
+
+    #[test]
+    fn parallel_and_internal_edges_dropped() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 0), (0, 2), (1, 2), (0, 2)]);
+        let sccs = tarjan(&g);
+        let cond = Condensation::build(&g, &sccs);
+        assert_eq!(cond.graph().num_nodes(), 2);
+        assert_eq!(cond.graph().num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_graph_condenses_to_empty() {
+        let g = DiGraph::new(0);
+        let sccs = tarjan(&g);
+        assert_eq!(Condensation::build(&g, &sccs).graph().num_nodes(), 0);
+    }
+
+    #[test]
+    fn two_sources_one_target_keeps_both_edges() {
+        let g = DiGraph::from_edges(3, [(1, 0), (2, 0)]);
+        let sccs = tarjan(&g);
+        let cond = Condensation::build(&g, &sccs);
+        assert_eq!(cond.graph().num_edges(), 2);
+    }
+}

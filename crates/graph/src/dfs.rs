@@ -1,0 +1,227 @@
+//! Depth-first search with edge classification.
+//!
+//! Section 4 of the paper reasons about *tree*, *forward*, *back*, and
+//! *cross* edges of the depth-first search tree of the call multi-graph.
+//! [`DepthFirst`] computes the classification along with discovery
+//! (pre-order) and finish (post-order) numbers, iteratively.
+
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+
+/// Classification of an edge with respect to a depth-first search forest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Edge to an undiscovered node; part of the DFS forest.
+    Tree,
+    /// Edge to a descendant already discovered on the current path's subtree.
+    Forward,
+    /// Edge to an ancestor still on the active DFS path (creates a cycle).
+    Back,
+    /// Edge to a node in an already-finished subtree.
+    Cross,
+}
+
+/// The result of a depth-first traversal of a [`DiGraph`].
+///
+/// # Examples
+///
+/// ```
+/// use modref_graph::{DepthFirst, DiGraph, EdgeKind};
+///
+/// // 0 → 1 → 2, plus a back edge 2 → 0 and a forward edge 0 → 2.
+/// let mut g = DiGraph::new(3);
+/// let t0 = g.add_edge(0, 1);
+/// let t1 = g.add_edge(1, 2);
+/// let back = g.add_edge(2, 0);
+/// let fwd = g.add_edge(0, 2);
+/// let dfs = DepthFirst::run(&g, [0]);
+/// assert_eq!(dfs.edge_kind(t0), Some(EdgeKind::Tree));
+/// assert_eq!(dfs.edge_kind(t1), Some(EdgeKind::Tree));
+/// assert_eq!(dfs.edge_kind(back), Some(EdgeKind::Back));
+/// assert_eq!(dfs.edge_kind(fwd), Some(EdgeKind::Forward));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DepthFirst {
+    discover: Vec<Option<usize>>,
+    finish: Vec<Option<usize>>,
+    parent: Vec<Option<NodeId>>,
+    kinds: Vec<Option<EdgeKind>>,
+    preorder: Vec<NodeId>,
+    postorder: Vec<NodeId>,
+}
+
+impl DepthFirst {
+    /// Runs DFS from each root in `roots` (in order), skipping roots already
+    /// reached. Nodes unreachable from every root stay undiscovered and
+    /// their incident edges unclassified.
+    pub fn run<I: IntoIterator<Item = NodeId>>(g: &DiGraph, roots: I) -> Self {
+        let n = g.num_nodes();
+        let mut st = DepthFirst {
+            discover: vec![None; n],
+            finish: vec![None; n],
+            parent: vec![None; n],
+            kinds: vec![None; g.num_edges()],
+            preorder: Vec::with_capacity(n),
+            postorder: Vec::with_capacity(n),
+        };
+        let mut clock = 0usize;
+        let mut on_path = vec![false; n];
+        // Frames: (node, cursor into successors).
+        let mut frames: Vec<(NodeId, usize)> = Vec::new();
+
+        for root in roots {
+            if st.discover[root].is_some() {
+                continue;
+            }
+            st.discover[root] = Some(clock);
+            clock += 1;
+            st.preorder.push(root);
+            on_path[root] = true;
+            frames.push((root, 0));
+
+            while let Some(&mut (v, ref mut next)) = frames.last_mut() {
+                let succs = g.successors_slice(v);
+                if *next < succs.len() {
+                    let (w, e) = succs[*next];
+                    *next += 1;
+                    match st.discover[w] {
+                        None => {
+                            st.kinds[e] = Some(EdgeKind::Tree);
+                            st.parent[w] = Some(v);
+                            st.discover[w] = Some(clock);
+                            clock += 1;
+                            st.preorder.push(w);
+                            on_path[w] = true;
+                            frames.push((w, 0));
+                        }
+                        Some(dw) => {
+                            let kind = if on_path[w] {
+                                // Includes self-loops (w == v).
+                                EdgeKind::Back
+                            } else if dw > st.discover[v].expect("v discovered") {
+                                EdgeKind::Forward
+                            } else {
+                                EdgeKind::Cross
+                            };
+                            st.kinds[e] = Some(kind);
+                        }
+                    }
+                } else {
+                    frames.pop();
+                    on_path[v] = false;
+                    st.finish[v] = Some(clock);
+                    clock += 1;
+                    st.postorder.push(v);
+                }
+            }
+        }
+        st
+    }
+
+    /// Discovery (pre-order) time of `n`, or `None` if unreached.
+    pub fn discovered(&self, n: NodeId) -> Option<usize> {
+        self.discover[n]
+    }
+
+    /// Finish (post-order) time of `n`, or `None` if unreached.
+    pub fn finished(&self, n: NodeId) -> Option<usize> {
+        self.finish[n]
+    }
+
+    /// DFS-tree parent of `n`, or `None` for roots and unreached nodes.
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.parent[n]
+    }
+
+    /// Classification of edge `e`, or `None` if its source was unreached.
+    pub fn edge_kind(&self, e: EdgeId) -> Option<EdgeKind> {
+        self.kinds[e]
+    }
+
+    /// Nodes in discovery order.
+    pub fn preorder(&self) -> &[NodeId] {
+        &self.preorder
+    }
+
+    /// Nodes in finish order (children before parents).
+    pub fn postorder(&self) -> &[NodeId] {
+        &self.postorder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_on_a_chain() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let dfs = DepthFirst::run(&g, [0]);
+        assert_eq!(dfs.preorder(), &[0, 1, 2]);
+        assert_eq!(dfs.postorder(), &[2, 1, 0]);
+        assert_eq!(dfs.parent(2), Some(1));
+        assert_eq!(dfs.parent(0), None);
+    }
+
+    #[test]
+    fn cross_edge_between_subtrees() {
+        // 0 → 1, 0 → 2, 2 → 1 : when 1's subtree finishes first, 2 → 1 is
+        // a cross edge.
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        let cross = g.add_edge(2, 1);
+        let dfs = DepthFirst::run(&g, [0]);
+        assert_eq!(dfs.edge_kind(cross), Some(EdgeKind::Cross));
+    }
+
+    #[test]
+    fn self_loop_is_back_edge() {
+        let mut g = DiGraph::new(1);
+        let e = g.add_edge(0, 0);
+        let dfs = DepthFirst::run(&g, [0]);
+        assert_eq!(dfs.edge_kind(e), Some(EdgeKind::Back));
+    }
+
+    #[test]
+    fn unreachable_nodes_unclassified() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        let e = g.add_edge(2, 0);
+        let dfs = DepthFirst::run(&g, [0]);
+        assert_eq!(dfs.discovered(2), None);
+        assert_eq!(dfs.edge_kind(e), None);
+    }
+
+    #[test]
+    fn multiple_roots_form_forest() {
+        let g = DiGraph::from_edges(4, [(0, 1), (2, 3)]);
+        let dfs = DepthFirst::run(&g, [0, 2]);
+        assert!(dfs.discovered(3).is_some());
+        assert_eq!(dfs.parent(3), Some(2));
+        // Roots keep no parent.
+        assert_eq!(dfs.parent(2), None);
+    }
+
+    #[test]
+    fn parallel_edges_each_classified() {
+        let mut g = DiGraph::new(2);
+        let a = g.add_edge(0, 1);
+        let b = g.add_edge(0, 1);
+        let dfs = DepthFirst::run(&g, [0]);
+        assert_eq!(dfs.edge_kind(a), Some(EdgeKind::Tree));
+        // The second parallel edge finds 1 already on... actually finished
+        // or on path depending on traversal; with 1 a leaf it is Forward
+        // only if still on path — here 1 finishes before the cursor returns,
+        // so the edge goes to a finished descendant: Forward.
+        assert_eq!(dfs.edge_kind(b), Some(EdgeKind::Forward));
+    }
+
+    #[test]
+    fn deep_graph_iterative_safety() {
+        let n = 150_000;
+        let g = DiGraph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)));
+        let dfs = DepthFirst::run(&g, [0]);
+        assert_eq!(dfs.postorder().len(), n);
+        assert_eq!(dfs.postorder()[0], n - 1);
+    }
+}

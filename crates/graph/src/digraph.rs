@@ -1,0 +1,249 @@
+//! The [`DiGraph`] directed multi-graph.
+
+use std::fmt;
+
+/// Index of a node in a [`DiGraph`].
+pub type NodeId = usize;
+
+/// Index of an edge in a [`DiGraph`], in insertion order.
+///
+/// Edge identity matters for multi-graphs: two parallel edges between the
+/// same pair of nodes represent distinct call sites or binding events and
+/// carry distinct ids.
+pub type EdgeId = usize;
+
+/// A directed edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+}
+
+/// A directed multi-graph over dense `usize` node ids.
+///
+/// Parallel edges and self-loops are allowed; both occur naturally in call
+/// multi-graphs (several call sites for one callee; direct recursion).
+///
+/// # Examples
+///
+/// ```
+/// use modref_graph::DiGraph;
+///
+/// let mut g = DiGraph::new(2);
+/// let e0 = g.add_edge(0, 1);
+/// let e1 = g.add_edge(0, 1); // parallel edge: a second call site
+/// assert_ne!(e0, e1);
+/// assert_eq!(g.out_degree(0), 2);
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct DiGraph {
+    edges: Vec<Edge>,
+    succ: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            edges: Vec::new(),
+            succ: vec![Vec::new(); n],
+        }
+    }
+
+    /// Creates a graph with `n` nodes from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let g = modref_graph::DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+    /// assert_eq!(g.num_edges(), 2);
+    /// ```
+    pub fn from_edges<I: IntoIterator<Item = (NodeId, NodeId)>>(n: usize, edges: I) -> Self {
+        let mut g = DiGraph::new(n);
+        for (from, to) in edges {
+            g.add_edge(from, to);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Number of edges (parallel edges counted individually).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Appends a fresh, isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.succ.push(Vec::new());
+        self.succ.len() - 1
+    }
+
+    /// Adds a directed edge `from → to` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> EdgeId {
+        assert!(
+            from < self.succ.len() && to < self.succ.len(),
+            "edge ({from}, {to}) out of range for {} nodes",
+            self.succ.len()
+        );
+        let id = self.edges.len();
+        self.edges.push(Edge { from, to });
+        self.succ[from].push((to, id));
+        id
+    }
+
+    /// The endpoints of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        self.edges[e]
+    }
+
+    /// Iterates over all edges in insertion order.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = Edge> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Successors of `n`, with the edge id of each step; insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn successors(&self, n: NodeId) -> impl ExactSizeIterator<Item = (NodeId, EdgeId)> + '_ {
+        self.succ[n].iter().copied()
+    }
+
+    /// Successor nodes of `n` (edge ids dropped); insertion order.
+    pub fn successor_nodes(&self, n: NodeId) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        self.succ[n].iter().map(|&(to, _)| to)
+    }
+
+    /// Successors of `n` as a slice of `(target, edge id)` pairs.
+    ///
+    /// Traversals that keep a per-node cursor (iterative DFS, Tarjan) index
+    /// into this slice directly instead of re-materialising an iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn successors_slice(&self, n: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.succ[n]
+    }
+
+    /// Out-degree of `n` (parallel edges counted individually).
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.succ[n].len()
+    }
+
+    /// Builds the reverse graph (every edge flipped, ids preserved in the
+    /// sense that edge `e` of the reverse is edge `e` of the original
+    /// reversed).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let g = modref_graph::DiGraph::from_edges(2, [(0, 1)]);
+    /// let r = g.reversed();
+    /// assert_eq!(r.successor_nodes(1).collect::<Vec<_>>(), vec![0]);
+    /// ```
+    pub fn reversed(&self) -> DiGraph {
+        let mut r = DiGraph::new(self.num_nodes());
+        for e in &self.edges {
+            r.add_edge(e.to, e.from);
+        }
+        r
+    }
+
+    /// Iterates over all node ids, `0..num_nodes()`.
+    pub fn nodes(&self) -> std::ops::Range<NodeId> {
+        0..self.num_nodes()
+    }
+}
+
+impl fmt::Debug for DiGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DiGraph(n={}; ", self.num_nodes())?;
+        let mut first = true;
+        for e in &self.edges {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{}→{}", e.from, e.to)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = DiGraph::new(3);
+        let e0 = g.add_edge(0, 1);
+        let e1 = g.add_edge(0, 2);
+        let e2 = g.add_edge(2, 2); // self loop
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge(e0), Edge { from: 0, to: 1 });
+        assert_eq!(g.edge(e2), Edge { from: 2, to: 2 });
+        assert_eq!(g.successors(0).collect::<Vec<_>>(), vec![(1, e0), (2, e1)]);
+        assert_eq!(g.out_degree(1), 0);
+    }
+
+    #[test]
+    fn parallel_edges_are_distinct() {
+        let mut g = DiGraph::new(2);
+        let a = g.add_edge(0, 1);
+        let b = g.add_edge(0, 1);
+        assert_ne!(a, b);
+        assert_eq!(g.out_degree(0), 2);
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut g = DiGraph::new(1);
+        let n = g.add_node();
+        assert_eq!(n, 1);
+        g.add_edge(0, n);
+        assert_eq!(g.successor_nodes(0).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn reversed_flips_all_edges() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 0), (1, 1)]);
+        let r = g.reversed();
+        assert_eq!(r.num_edges(), 4);
+        assert_eq!(r.successor_nodes(1).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(r.successor_nodes(0).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        DiGraph::new(1).add_edge(0, 1);
+    }
+
+    #[test]
+    fn debug_is_nonempty_for_empty_graph() {
+        assert_eq!(format!("{:?}", DiGraph::new(0)), "DiGraph(n=0; )");
+    }
+}

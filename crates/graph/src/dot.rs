@@ -1,0 +1,102 @@
+//! Graphviz (DOT) export for [`DiGraph`]s.
+//!
+//! The `modref` CLI uses this to visualise call multi-graphs and binding
+//! multi-graphs; any labelling scheme can be plugged in.
+
+use std::fmt::Write as _;
+
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+
+/// Renders `g` in DOT syntax.
+///
+/// `node_label` and `edge_label` provide the display strings; an empty
+/// edge label omits the attribute. Labels are escaped for double-quoted
+/// DOT strings.
+///
+/// # Examples
+///
+/// ```
+/// use modref_graph::{dot::to_dot, DiGraph};
+///
+/// let g = DiGraph::from_edges(2, [(0, 1)]);
+/// let dot = to_dot(&g, "calls", |n| format!("p{n}"), |_| String::new());
+/// assert!(dot.contains("digraph calls {"));
+/// assert!(dot.contains("n0 -> n1"));
+/// ```
+pub fn to_dot(
+    g: &DiGraph,
+    name: &str,
+    node_label: impl Fn(NodeId) -> String,
+    edge_label: impl Fn(EdgeId) -> String,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize_name(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for n in g.nodes() {
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", n, escape(&node_label(n)));
+    }
+    for (e, edge) in g.edges().enumerate() {
+        let label = edge_label(e);
+        if label.is_empty() {
+            let _ = writeln!(out, "  n{} -> n{};", edge.from, edge.to);
+        } else {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{}\"];",
+                edge.from,
+                edge.to,
+                escape(&label)
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize_name(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "g".to_owned()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_edges_and_labels() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1); // parallel edges both appear
+        g.add_edge(2, 2);
+        let dot = to_dot(
+            &g,
+            "call graph",
+            |n| format!("proc{n}"),
+            |e| format!("s{e}"),
+        );
+        assert!(dot.starts_with("digraph call_graph {"));
+        assert!(dot.contains("n0 [label=\"proc0\"];"));
+        assert_eq!(dot.matches("n0 -> n1").count(), 2);
+        assert!(dot.contains("n2 -> n2 [label=\"s2\"];"));
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        let g = DiGraph::new(1);
+        let dot = to_dot(&g, "", |_| "a\"b".to_owned(), |_| String::new());
+        assert!(dot.contains("digraph g {"));
+        assert!(dot.contains("a\\\"b"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Reachability and unreachable-node pruning.
+//!
+//! Section 3.3 of the paper assumes "every procedure in the program is
+//! reachable by some call chain" and notes that "a linear-time algorithm
+//! that eliminates unreachable procedures can be invoked" first. This module
+//! is that algorithm, stated over plain graphs.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Returns the set of nodes reachable from `roots` (including the roots),
+/// as a boolean vector indexed by node id. `O(N + E)`.
+///
+/// # Examples
+///
+/// ```
+/// use modref_graph::{reach::reachable_from, DiGraph};
+///
+/// let g = DiGraph::from_edges(4, [(0, 1), (2, 3)]);
+/// let r = reachable_from(&g, [0]);
+/// assert_eq!(r, vec![true, true, false, false]);
+/// ```
+pub fn reachable_from<I: IntoIterator<Item = NodeId>>(g: &DiGraph, roots: I) -> Vec<bool> {
+    let mut seen = vec![false; g.num_nodes()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for r in roots {
+        if !seen[r] {
+            seen[r] = true;
+            stack.push(r);
+        }
+    }
+    while let Some(v) = stack.pop() {
+        for w in g.successor_nodes(v) {
+            if !seen[w] {
+                seen[w] = true;
+                stack.push(w);
+            }
+        }
+    }
+    seen
+}
+
+/// The result of [`prune_unreachable`]: the pruned graph plus id mappings.
+#[derive(Debug, Clone)]
+pub struct Pruned {
+    /// The subgraph induced by the reachable nodes, with dense new ids.
+    pub graph: DiGraph,
+    /// `old_of[new] = old` node id mapping.
+    pub old_of: Vec<NodeId>,
+    /// `new_of[old] = Some(new)` for kept nodes, `None` for dropped ones.
+    pub new_of: Vec<Option<NodeId>>,
+}
+
+/// Drops every node not reachable from `roots`, renumbering the survivors
+/// densely in ascending old-id order. `O(N + E)`.
+///
+/// # Examples
+///
+/// ```
+/// use modref_graph::{reach::prune_unreachable, DiGraph};
+///
+/// let g = DiGraph::from_edges(4, [(0, 2), (1, 3)]);
+/// let pruned = prune_unreachable(&g, [0]);
+/// assert_eq!(pruned.graph.num_nodes(), 2);
+/// assert_eq!(pruned.old_of, vec![0, 2]);
+/// assert_eq!(pruned.new_of[1], None);
+/// ```
+pub fn prune_unreachable<I: IntoIterator<Item = NodeId>>(g: &DiGraph, roots: I) -> Pruned {
+    let keep = reachable_from(g, roots);
+    let mut new_of = vec![None; g.num_nodes()];
+    let mut old_of = Vec::new();
+    for (old, &k) in keep.iter().enumerate() {
+        if k {
+            new_of[old] = Some(old_of.len());
+            old_of.push(old);
+        }
+    }
+    let mut graph = DiGraph::new(old_of.len());
+    for e in g.edges() {
+        if let (Some(f), Some(t)) = (new_of[e.from], new_of[e.to]) {
+            graph.add_edge(f, t);
+        }
+    }
+    Pruned {
+        graph,
+        old_of,
+        new_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reachable_includes_roots_and_closure() {
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+        let r = reachable_from(&g, [0, 3]);
+        assert_eq!(r, vec![true, true, true, true, true]);
+        let r0 = reachable_from(&g, [3]);
+        assert_eq!(r0, vec![false, false, false, true, true]);
+    }
+
+    #[test]
+    fn reachable_handles_cycles() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 0), (1, 2)]);
+        assert_eq!(reachable_from(&g, [0]), vec![true, true, true]);
+    }
+
+    #[test]
+    fn no_roots_reaches_nothing() {
+        let g = DiGraph::from_edges(2, [(0, 1)]);
+        assert_eq!(reachable_from(&g, []), vec![false, false]);
+    }
+
+    #[test]
+    fn prune_keeps_edge_structure() {
+        // 1 is unreachable; edges touching it vanish.
+        let g = DiGraph::from_edges(4, [(0, 2), (1, 2), (2, 3), (1, 1)]);
+        let p = prune_unreachable(&g, [0]);
+        assert_eq!(p.graph.num_nodes(), 3);
+        assert_eq!(p.graph.num_edges(), 2);
+        assert_eq!(p.old_of, vec![0, 2, 3]);
+        let new2 = p.new_of[2].unwrap();
+        let new3 = p.new_of[3].unwrap();
+        assert_eq!(
+            p.graph.successor_nodes(new2).collect::<Vec<_>>(),
+            vec![new3]
+        );
+    }
+
+    #[test]
+    fn prune_all_reachable_is_identity_shape() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let p = prune_unreachable(&g, [0]);
+        assert_eq!(p.graph.num_nodes(), 3);
+        assert_eq!(p.graph.num_edges(), 3);
+        assert_eq!(p.old_of, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,282 @@
+//! Iterative Tarjan strongly-connected components.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Index of a strongly-connected component produced by [`tarjan`].
+pub type SccId = usize;
+
+/// The strongly-connected components of a [`DiGraph`].
+///
+/// Components are numbered **in the order Tarjan's algorithm closes them**,
+/// which is a *reverse topological order* of the condensation: if component
+/// `a` has an edge into component `b` (`a ≠ b`), then `b < a`. The `RMOD`
+/// solver of the paper's Figure 1 exploits exactly this: visiting components
+/// in id order is a leaves-to-roots sweep.
+///
+/// # Examples
+///
+/// ```
+/// use modref_graph::{tarjan, DiGraph};
+///
+/// // 0 → 1 ⇄ 2,  1 → 3
+/// let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 1), (1, 3)]);
+/// let sccs = tarjan(&g);
+/// assert_eq!(sccs.len(), 3);
+/// // The cycle {1, 2} is one component …
+/// assert_eq!(sccs.component_of(1), sccs.component_of(2));
+/// // … and it closes after its successor {3} but before its caller {0}.
+/// assert!(sccs.component_of(3) < sccs.component_of(1));
+/// assert!(sccs.component_of(1) < sccs.component_of(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sccs {
+    comp_of: Vec<SccId>,
+    members: Vec<Vec<NodeId>>,
+}
+
+impl Sccs {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if the graph had no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The component containing node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn component_of(&self, n: NodeId) -> SccId {
+        self.comp_of[n]
+    }
+
+    /// The member nodes of component `c`, in the order they were popped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn members(&self, c: SccId) -> &[NodeId] {
+        &self.members[c]
+    }
+
+    /// Iterates over components in closure order (reverse topological).
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[NodeId]> + '_ {
+        self.members.iter().map(|v| v.as_slice())
+    }
+
+    /// The `comp_of` map as a slice indexed by node id.
+    pub fn component_map(&self) -> &[SccId] {
+        &self.comp_of
+    }
+
+    /// `true` if node `n` lies on a cycle: its component has more than one
+    /// member, or it has a self-loop in `g`.
+    pub fn is_cyclic_node(&self, g: &DiGraph, n: NodeId) -> bool {
+        self.members[self.comp_of[n]].len() > 1 || g.successor_nodes(n).any(|m| m == n)
+    }
+}
+
+const UNVISITED: usize = usize::MAX;
+
+/// Computes the strongly-connected components of `g` with an iterative
+/// version of Tarjan's algorithm (Tarjan 1972, the basis of the paper's
+/// Figure 2).
+///
+/// Runs in `O(N + E)`; never recurses, so arbitrarily deep graphs are safe.
+///
+/// # Examples
+///
+/// ```
+/// let g = modref_graph::DiGraph::from_edges(2, [(0, 1), (1, 0)]);
+/// assert_eq!(modref_graph::tarjan(&g).len(), 1);
+/// ```
+pub fn tarjan(g: &DiGraph) -> Sccs {
+    let n = g.num_nodes();
+    let mut dfn = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut comp_of = vec![0usize; n];
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    let mut next_dfn = 0usize;
+
+    // Work stack frames: (node, index of next successor to examine).
+    let mut frames: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in 0..n {
+        if dfn[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        dfn[root] = next_dfn;
+        lowlink[root] = next_dfn;
+        next_dfn += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut next)) = frames.last_mut() {
+            let succs = g.successors_slice(v);
+            if *next < succs.len() {
+                let (w, _) = succs[*next];
+                *next += 1;
+                if dfn[w] == UNVISITED {
+                    dfn[w] = next_dfn;
+                    lowlink[w] = next_dfn;
+                    next_dfn += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(dfn[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == dfn[v] {
+                    let comp = members.len();
+                    let mut component = Vec::new();
+                    loop {
+                        let u = stack.pop().expect("tarjan stack underflow");
+                        on_stack[u] = false;
+                        comp_of[u] = comp;
+                        component.push(u);
+                        if u == v {
+                            break;
+                        }
+                    }
+                    members.push(component);
+                }
+            }
+        }
+    }
+
+    Sccs { comp_of, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DiGraph;
+
+    fn comp_sets(sccs: &Sccs) -> Vec<Vec<NodeId>> {
+        sccs.iter()
+            .map(|m| {
+                let mut v = m.to_vec();
+                v.sort_unstable();
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let sccs = tarjan(&DiGraph::new(0));
+        assert!(sccs.is_empty());
+        assert_eq!(sccs.len(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let sccs = tarjan(&DiGraph::new(3));
+        assert_eq!(sccs.len(), 3);
+        for n in 0..3 {
+            assert_eq!(sccs.members(sccs.component_of(n)), &[n]);
+        }
+    }
+
+    #[test]
+    fn simple_cycle() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let sccs = tarjan(&g);
+        assert_eq!(sccs.len(), 1);
+        let mut m = sccs.members(0).to_vec();
+        m.sort_unstable();
+        assert_eq!(m, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dag_components_in_reverse_topological_order() {
+        // 0 → 1 → 2 → 3 chain: closure order must be 3, 2, 1, 0.
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let sccs = tarjan(&g);
+        assert_eq!(sccs.len(), 4);
+        for e in g.edges() {
+            assert!(
+                sccs.component_of(e.to) <= sccs.component_of(e.from),
+                "edge {e:?} violates reverse-topological numbering"
+            );
+        }
+        assert_eq!(sccs.component_of(3), 0);
+        assert_eq!(sccs.component_of(0), 3);
+    }
+
+    #[test]
+    fn two_cycles_with_bridge() {
+        // {0,1} → {2,3}
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
+        let sccs = tarjan(&g);
+        assert_eq!(sccs.len(), 2);
+        assert!(sccs.component_of(2) < sccs.component_of(0));
+        assert_eq!(comp_sets(&sccs), vec![vec![2, 3], vec![0, 1]]);
+    }
+
+    #[test]
+    fn self_loop_is_cyclic_singleton() {
+        let g = DiGraph::from_edges(2, [(0, 0)]);
+        let sccs = tarjan(&g);
+        assert_eq!(sccs.len(), 2);
+        assert!(sccs.is_cyclic_node(&g, 0));
+        assert!(!sccs.is_cyclic_node(&g, 1));
+    }
+
+    #[test]
+    fn parallel_edges_do_not_confuse() {
+        let g = DiGraph::from_edges(2, [(0, 1), (0, 1), (1, 0)]);
+        let sccs = tarjan(&g);
+        assert_eq!(sccs.len(), 1);
+    }
+
+    #[test]
+    fn irreducible_graph() {
+        // Classic irreducible region: 0 → 1, 0 → 2, 1 ⇄ 2. No single-entry
+        // loop header; Tarjan does not care (the paper stresses its methods
+        // need no reducibility assumption).
+        let g = DiGraph::from_edges(3, [(0, 1), (0, 2), (1, 2), (2, 1)]);
+        let sccs = tarjan(&g);
+        assert_eq!(sccs.len(), 2);
+        assert_eq!(sccs.component_of(1), sccs.component_of(2));
+    }
+
+    #[test]
+    fn disconnected_components_all_found() {
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 0), (3, 4)]);
+        let sccs = tarjan(&g);
+        assert_eq!(sccs.len(), 4);
+        let total: usize = sccs.iter().map(|m| m.len()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let n = 200_000;
+        let g = DiGraph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)));
+        let sccs = tarjan(&g);
+        assert_eq!(sccs.len(), n);
+    }
+
+    #[test]
+    fn deep_cycle_single_component() {
+        let n = 100_000;
+        let mut edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n - 1, 0));
+        let sccs = tarjan(&DiGraph::from_edges(n, edges));
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs.members(0).len(), n);
+    }
+}

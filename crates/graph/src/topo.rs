@@ -1,0 +1,119 @@
+//! Topological ordering of DAGs.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Error returned by [`topological_order`] when the graph has a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleError {
+    /// A node known to lie on a cycle.
+    pub witness: NodeId,
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph contains a cycle through node {}", self.witness)
+    }
+}
+
+impl Error for CycleError {}
+
+/// Computes a topological order of `g` with Kahn's algorithm, `O(N + E)`.
+///
+/// Parallel edges are handled (each contributes to the in-degree).
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if `g` contains a directed cycle (including a
+/// self-loop); the witness is a node of minimal id left with nonzero
+/// in-degree.
+///
+/// # Examples
+///
+/// ```
+/// use modref_graph::{topo::topological_order, DiGraph};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = DiGraph::from_edges(3, [(2, 0), (0, 1)]);
+/// let order = topological_order(&g)?;
+/// assert_eq!(order, vec![2, 0, 1]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn topological_order(g: &DiGraph) -> Result<Vec<NodeId>, CycleError> {
+    let n = g.num_nodes();
+    let mut indeg = vec![0usize; n];
+    for e in g.edges() {
+        indeg[e.to] += 1;
+    }
+    let mut queue: VecDeque<NodeId> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for w in g.successor_nodes(v) {
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                queue.push_back(w);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        let witness = (0..n).find(|&v| indeg[v] > 0).expect("cycle witness");
+        Err(CycleError { witness })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_respect_edges() {
+        let g = DiGraph::from_edges(5, [(0, 2), (1, 2), (2, 3), (3, 4), (1, 4)]);
+        let order = topological_order(&g).expect("acyclic");
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 5];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for e in g.edges() {
+            assert!(pos[e.from] < pos[e.to]);
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 1)]);
+        let err = topological_order(&g).unwrap_err();
+        assert!(err.witness == 1 || err.witness == 2);
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let g = DiGraph::from_edges(1, [(0, 0)]);
+        assert!(topological_order(&g).is_err());
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        assert_eq!(
+            topological_order(&DiGraph::new(0)).unwrap(),
+            Vec::<usize>::new()
+        );
+        assert_eq!(topological_order(&DiGraph::new(2)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_counted_in_degree() {
+        let g = DiGraph::from_edges(2, [(0, 1), (0, 1)]);
+        assert_eq!(topological_order(&g).unwrap(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests: SCC/DFS/condensation invariants on random multi-graphs.
+
+use modref_graph::{
+    reach::reachable_from, tarjan, topo::topological_order, Condensation, DepthFirst, DiGraph,
+    EdgeKind,
+};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = DiGraph> {
+    (1usize..40).prop_flat_map(|n| {
+        prop::collection::vec((0..n, 0..n), 0..120)
+            .prop_map(move |edges| DiGraph::from_edges(n, edges))
+    })
+}
+
+/// Floyd–Warshall style boolean transitive closure, the obvious-but-slow
+/// reachability oracle.
+fn closure(g: &DiGraph) -> Vec<Vec<bool>> {
+    let n = g.num_nodes();
+    let mut reach = vec![vec![false; n]; n];
+    for e in g.edges() {
+        reach[e.from][e.to] = true;
+    }
+    #[allow(clippy::needless_range_loop)] // triple-index closure update
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i][k] {
+                for j in 0..n {
+                    if reach[k][j] {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+    }
+    reach
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn scc_matches_mutual_reachability(g in arb_graph()) {
+        let sccs = tarjan(&g);
+        let reach = closure(&g);
+        let n = g.num_nodes();
+        for a in 0..n {
+            for b in 0..n {
+                let same = sccs.component_of(a) == sccs.component_of(b);
+                let mutual = a == b || (reach[a][b] && reach[b][a]);
+                prop_assert_eq!(same, mutual, "nodes {} and {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn scc_numbering_is_reverse_topological(g in arb_graph()) {
+        let sccs = tarjan(&g);
+        for e in g.edges() {
+            prop_assert!(sccs.component_of(e.to) <= sccs.component_of(e.from));
+        }
+    }
+
+    #[test]
+    fn condensation_is_acyclic(g in arb_graph()) {
+        let sccs = tarjan(&g);
+        let cond = Condensation::build(&g, &sccs);
+        prop_assert!(topological_order(cond.graph()).is_ok());
+    }
+
+    #[test]
+    fn dfs_back_edges_iff_cycles(g in arb_graph()) {
+        let dfs = DepthFirst::run(&g, g.nodes());
+        let has_back = g
+            .edges()
+            .enumerate()
+            .any(|(i, _)| dfs.edge_kind(i) == Some(EdgeKind::Back));
+        let has_cycle = topological_order(&g).is_err();
+        prop_assert_eq!(has_back, has_cycle);
+    }
+
+    #[test]
+    fn dfs_covers_all_nodes_when_rooted_everywhere(g in arb_graph()) {
+        let dfs = DepthFirst::run(&g, g.nodes());
+        prop_assert_eq!(dfs.preorder().len(), g.num_nodes());
+        prop_assert_eq!(dfs.postorder().len(), g.num_nodes());
+        for (i, _) in g.edges().enumerate() {
+            prop_assert!(dfs.edge_kind(i).is_some());
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn reachability_matches_closure(g in arb_graph()) {
+        let reach = closure(&g);
+        let n = g.num_nodes();
+        for root in 0..n {
+            let r = reachable_from(&g, [root]);
+            for v in 0..n {
+                prop_assert_eq!(r[v], v == root || reach[root][v]);
+            }
+        }
+    }
+
+    #[test]
+    fn postorder_children_before_parents_on_tree_edges(g in arb_graph()) {
+        let dfs = DepthFirst::run(&g, g.nodes());
+        let finish_pos: Vec<usize> = {
+            let mut p = vec![0; g.num_nodes()];
+            for (i, &v) in dfs.postorder().iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for (i, e) in g.edges().enumerate() {
+            if dfs.edge_kind(i) == Some(EdgeKind::Tree) {
+                prop_assert!(finish_pos[e.to] < finish_pos[e.from]);
+            }
+        }
+    }
+}

@@ -1,0 +1,754 @@
+//! The interpreter proper.
+
+use std::collections::HashMap;
+
+use modref_ir::{
+    Actual, BinOp, CallSiteId, Expr, ProcId, Program, Ref, Stmt, Subscript, UnOp, VarId,
+};
+
+use crate::observe::{Addr, LogStack, SiteObservation};
+
+/// Maximum dynamic call depth before a run is truncated.
+const MAX_DEPTH: usize = 256;
+
+/// One storage slot.
+#[derive(Debug, Clone)]
+enum Slot {
+    Scalar(i64),
+    Array(HashMap<Vec<i64>, i64>),
+}
+
+/// How a variable name maps to storage inside one activation.
+#[derive(Debug, Clone)]
+enum Binding {
+    /// The whole slot (scalars and whole arrays).
+    Direct(Addr),
+    /// One array element (a scalar formal bound to `a[i, j]`).
+    Element(Addr, Vec<i64>),
+    /// An array section: coordinates translate through `axes`.
+    View(Addr, Vec<AxisBind>),
+}
+
+impl Binding {
+    fn base(&self) -> Addr {
+        match self {
+            Binding::Direct(a) | Binding::Element(a, _) | Binding::View(a, _) => *a,
+        }
+    }
+}
+
+/// One axis of a [`Binding::View`].
+#[derive(Debug, Clone, Copy)]
+enum AxisBind {
+    Fixed(i64),
+    Carried,
+}
+
+#[derive(Debug)]
+struct Activation {
+    proc_: ProcId,
+    bindings: HashMap<VarId, Binding>,
+    /// Index of the lexical parent's activation (static access link).
+    access: Option<usize>,
+}
+
+/// Execution stopped early (not an error — the prefix is still a valid
+/// observation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stop {
+    OutOfFuel,
+}
+
+/// The result of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Values printed, in order.
+    pub printed: Vec<i64>,
+    /// `true` if the run was truncated by fuel or depth limits.
+    pub truncated: bool,
+    observations: Vec<SiteObservation>,
+}
+
+impl RunResult {
+    /// What call site `s` was observed to do over the whole run.
+    pub fn observation(&self, s: CallSiteId) -> &SiteObservation {
+        &self.observations[s.index()]
+    }
+
+    /// All per-site observations, indexed by call site.
+    pub fn observations(&self) -> &[SiteObservation] {
+        &self.observations
+    }
+}
+
+/// A configured interpreter. See the crate docs for the semantics.
+#[derive(Debug)]
+pub struct Interpreter<'a> {
+    program: &'a Program,
+    fuel: u64,
+    input_state: u64,
+}
+
+impl<'a> Interpreter<'a> {
+    /// Prepares a run with the default fuel (100 000 statements) and the
+    /// given input seed (drives the `read` statement).
+    pub fn new(program: &'a Program, input_seed: u64) -> Self {
+        Interpreter {
+            program,
+            fuel: 100_000,
+            input_state: input_seed,
+        }
+    }
+
+    /// Overrides the statement budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Executes `main` to completion (or until the fuel/depth bound).
+    pub fn run(self) -> RunResult {
+        let mut machine = Machine {
+            program: self.program,
+            store: Vec::new(),
+            globals: HashMap::new(),
+            acts: Vec::new(),
+            logs: LogStack::default(),
+            observations: (0..self.program.num_sites())
+                .map(|_| SiteObservation::new(self.program.num_vars()))
+                .collect(),
+            printed: Vec::new(),
+            fuel: self.fuel,
+            input_state: self.input_state,
+        };
+        machine.init_globals();
+        let main = self.program.main();
+        let root = Activation {
+            proc_: main,
+            bindings: machine.fresh_locals(main),
+            access: None,
+        };
+        machine.acts.push(root);
+        let stopped = machine.exec_block(self.program.proc_(main).body().to_vec(), 0);
+        RunResult {
+            printed: machine.printed,
+            truncated: stopped.is_err(),
+            observations: machine.observations,
+        }
+    }
+}
+
+struct Machine<'a> {
+    program: &'a Program,
+    store: Vec<Slot>,
+    globals: HashMap<VarId, Binding>,
+    acts: Vec<Activation>,
+    logs: LogStack,
+    observations: Vec<SiteObservation>,
+    printed: Vec<i64>,
+    fuel: u64,
+    input_state: u64,
+}
+
+impl Machine<'_> {
+    fn init_globals(&mut self) {
+        for v in self.program.vars() {
+            let info = self.program.var(v);
+            if info.is_global() {
+                let addr = self.alloc(info.rank());
+                self.globals.insert(v, Binding::Direct(addr));
+            }
+        }
+    }
+
+    fn alloc(&mut self, rank: usize) -> Addr {
+        let slot = if rank == 0 {
+            Slot::Scalar(0)
+        } else {
+            Slot::Array(HashMap::new())
+        };
+        self.store.push(slot);
+        self.store.len() - 1
+    }
+
+    fn fresh_locals(&mut self, p: ProcId) -> HashMap<VarId, Binding> {
+        let locals: Vec<VarId> = self.program.proc_(p).locals().to_vec();
+        locals
+            .into_iter()
+            .map(|v| {
+                let addr = self.alloc(self.program.var(v).rank());
+                (v, Binding::Direct(addr))
+            })
+            .collect()
+    }
+
+    /// SplitMix64 step, mapped into a small interesting range.
+    fn next_input(&mut self) -> i64 {
+        self.input_state = self.input_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.input_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % 24) as i64 - 4
+    }
+
+    // --- name resolution ---------------------------------------------
+
+    fn binding_of(&self, act: usize, v: VarId) -> Binding {
+        if let Some(b) = self.globals.get(&v) {
+            return b.clone();
+        }
+        let owner = self.program.var(v).owner().expect("non-global has owner");
+        let mut a = act;
+        loop {
+            if self.acts[a].proc_ == owner {
+                return self.acts[a]
+                    .bindings
+                    .get(&v)
+                    .cloned()
+                    .expect("variable bound in its owner's activation");
+            }
+            a = self.acts[a].access.expect("static chain reaches the owner");
+        }
+    }
+
+    /// Translates element coordinates through a binding into the
+    /// underlying array's coordinate space (total: missing positions read
+    /// as 0, extras are dropped).
+    fn translate(binding: &Binding, coords: &[i64]) -> (Addr, Vec<i64>) {
+        match binding {
+            Binding::Direct(a) => (*a, coords.to_vec()),
+            Binding::Element(a, fixed) => (*a, fixed.clone()),
+            Binding::View(a, axes) => {
+                let mut it = coords.iter().copied();
+                let out = axes
+                    .iter()
+                    .map(|ax| match ax {
+                        AxisBind::Fixed(c) => *c,
+                        AxisBind::Carried => it.next().unwrap_or(0),
+                    })
+                    .collect();
+                (*a, out)
+            }
+        }
+    }
+
+    // --- reads and writes ---------------------------------------------
+
+    fn read_scalar_slot(&mut self, addr: Addr) -> i64 {
+        self.logs.record_read(addr);
+        match &self.store[addr] {
+            Slot::Scalar(v) => *v,
+            Slot::Array(map) => map.get(&Vec::new()).copied().unwrap_or(0),
+        }
+    }
+
+    fn read_element(&mut self, addr: Addr, coords: &[i64]) -> i64 {
+        self.logs.record_read(addr);
+        match &self.store[addr] {
+            Slot::Scalar(v) => *v,
+            Slot::Array(map) => map.get(coords).copied().unwrap_or(0),
+        }
+    }
+
+    fn write_scalar_slot(&mut self, addr: Addr, value: i64) {
+        self.logs.record_write(addr);
+        match &mut self.store[addr] {
+            Slot::Scalar(v) => *v = value,
+            Slot::Array(map) => {
+                map.insert(Vec::new(), value);
+            }
+        }
+    }
+
+    fn write_element(&mut self, addr: Addr, coords: &[i64], value: i64) {
+        self.logs.record_write(addr);
+        match &mut self.store[addr] {
+            Slot::Scalar(v) => *v = value,
+            Slot::Array(map) => {
+                self.logs.record_element_write(addr, coords);
+                map.insert(coords.to_vec(), value);
+            }
+        }
+    }
+
+    fn read_ref(&mut self, act: usize, r: &Ref) -> Result<i64, Stop> {
+        let binding = self.binding_of(act, r.var);
+        if r.subs.is_empty() {
+            Ok(match binding {
+                Binding::Direct(a) => self.read_scalar_slot(a),
+                Binding::Element(a, coords) => self.read_element(a, &coords),
+                Binding::View(a, _) => self.read_scalar_slot(a),
+            })
+        } else {
+            let coords = self.eval_subs(act, &r.subs)?;
+            let (addr, full) = Self::translate(&binding, &coords);
+            Ok(self.read_element(addr, &full))
+        }
+    }
+
+    fn write_ref(&mut self, act: usize, r: &Ref, value: i64) -> Result<(), Stop> {
+        let binding = self.binding_of(act, r.var);
+        if r.subs.is_empty() {
+            match binding {
+                Binding::Direct(a) => self.write_scalar_slot(a, value),
+                Binding::Element(a, coords) => self.write_element(a, &coords, value),
+                Binding::View(a, _) => self.write_scalar_slot(a, value),
+            }
+        } else {
+            let coords = self.eval_subs(act, &r.subs)?;
+            let (addr, full) = Self::translate(&binding, &coords);
+            self.write_element(addr, &full, value);
+        }
+        Ok(())
+    }
+
+    fn eval_subs(&mut self, act: usize, subs: &[Subscript]) -> Result<Vec<i64>, Stop> {
+        subs.iter()
+            .map(|s| {
+                Ok(match s {
+                    Subscript::Const(c) => *c,
+                    Subscript::Var(v) => self.read_ref(act, &Ref::scalar(*v))?,
+                    // `*` in element position: total semantics pick 0.
+                    Subscript::All => 0,
+                })
+            })
+            .collect()
+    }
+
+    fn eval(&mut self, act: usize, e: &Expr) -> Result<i64, Stop> {
+        Ok(match e {
+            Expr::Const(c) => *c,
+            Expr::Load(r) => self.read_ref(act, r)?,
+            Expr::Unary(UnOp::Neg, inner) => self.eval(act, inner)?.wrapping_neg(),
+            Expr::Unary(UnOp::Not, inner) => i64::from(self.eval(act, inner)? == 0),
+            Expr::Binary(op, l, rr) => {
+                let (a, b) = (self.eval(act, l)?, self.eval(act, rr)?);
+                match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_div(b)
+                        }
+                    }
+                    BinOp::Lt => i64::from(a < b),
+                    BinOp::Le => i64::from(a <= b),
+                    BinOp::Eq => i64::from(a == b),
+                    BinOp::Ne => i64::from(a != b),
+                }
+            }
+        })
+    }
+
+    // --- statements -----------------------------------------------------
+
+    fn exec_block(&mut self, stmts: Vec<Stmt>, act: usize) -> Result<(), Stop> {
+        for s in &stmts {
+            self.exec_stmt(s, act)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt, act: usize) -> Result<(), Stop> {
+        if self.fuel == 0 {
+            return Err(Stop::OutOfFuel);
+        }
+        self.fuel -= 1;
+        match s {
+            Stmt::Assign { target, value } => {
+                let v = self.eval(act, value)?;
+                self.write_ref(act, target, v)
+            }
+            Stmt::Read { target } => {
+                let v = self.next_input();
+                self.write_ref(act, target, v)
+            }
+            Stmt::Print { value } => {
+                let v = self.eval(act, value)?;
+                self.printed.push(v);
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if self.eval(act, cond)? != 0 {
+                    self.exec_block(then_branch.clone(), act)
+                } else {
+                    self.exec_block(else_branch.clone(), act)
+                }
+            }
+            Stmt::While { cond, body } => {
+                while self.eval(act, cond)? != 0 {
+                    if self.fuel == 0 {
+                        return Err(Stop::OutOfFuel);
+                    }
+                    self.exec_block(body.clone(), act)?;
+                }
+                Ok(())
+            }
+            Stmt::Call { site } => self.exec_call(*site, act),
+        }
+    }
+
+    fn exec_call(&mut self, site_id: CallSiteId, act: usize) -> Result<(), Stop> {
+        let site = self.program.site(site_id).clone();
+        let callee = site.callee();
+        let formals: Vec<VarId> = self.program.proc_(callee).formals().to_vec();
+
+        // Evaluate arguments in the caller (outside the observation
+        // window: argument evaluation is a *local* effect of the call
+        // statement, covered by LUSE, not by USE(s) = b_e(GUSE)).
+        let mut bindings = self.fresh_locals(callee);
+        for (pos, arg) in site.args().iter().enumerate() {
+            let binding = match arg {
+                Actual::Value(e) => {
+                    let value = self.eval(act, e)?;
+                    let addr = self.alloc(0);
+                    self.store[addr] = Slot::Scalar(value);
+                    Binding::Direct(addr)
+                }
+                Actual::Ref(r) => self.bind_reference(act, r)?,
+            };
+            bindings.insert(formals[pos], binding);
+        }
+
+        if self.acts.len() >= MAX_DEPTH {
+            return Err(Stop::OutOfFuel);
+        }
+
+        // Static access link: the activation of the callee's lexical
+        // parent, found on the caller's static chain.
+        let parent = self
+            .program
+            .proc_(callee)
+            .parent()
+            .expect("callees are never main");
+        let mut link = act;
+        while self.acts[link].proc_ != parent {
+            link = self.acts[link]
+                .access
+                .expect("callee's parent is on the caller's static chain");
+        }
+
+        self.acts.push(Activation {
+            proc_: callee,
+            bindings,
+            access: Some(link),
+        });
+        let callee_act = self.acts.len() - 1;
+
+        // Observation window.
+        self.logs.push();
+        let body = self.program.proc_(callee).body().to_vec();
+        let outcome = self.exec_block(body, callee_act);
+        let log = self.logs.pop();
+        self.acts.pop();
+
+        // Translate addresses back to caller-visible names.
+        let visible = self.caller_visible_vars(act);
+        let bindings: Vec<(VarId, Binding)> = visible
+            .into_iter()
+            .map(|v| (v, self.binding_of(act, v)))
+            .collect();
+        let obs = &mut self.observations[site_id.index()];
+        obs.invocations += 1;
+        for (v, binding) in bindings {
+            let base = binding.base();
+            if log.writes.contains(&base) {
+                obs.modified.insert(v.index());
+            }
+            if log.reads.contains(&base) {
+                obs.used.insert(v.index());
+            }
+            if self.program.var(v).rank() > 0 {
+                if let Binding::Direct(a) = binding {
+                    for (wa, coords) in &log.element_writes {
+                        if *wa == a {
+                            obs.array_writes.push((v, coords.clone()));
+                        }
+                    }
+                }
+            }
+        }
+
+        outcome
+    }
+
+    /// Builds the binding for a by-reference actual.
+    fn bind_reference(&mut self, act: usize, r: &Ref) -> Result<Binding, Stop> {
+        let base = self.binding_of(act, r.var);
+        if r.subs.is_empty() {
+            return Ok(base);
+        }
+        let rank = self.program.var(r.var).rank();
+        if rank == 0 {
+            return Ok(base);
+        }
+        // Does the reference select an element or a section?
+        let has_all = r.subs.iter().any(|s| matches!(s, Subscript::All));
+        if has_all {
+            // Section: build a view, composing with an existing view.
+            let mut fixed_axes = Vec::with_capacity(r.subs.len());
+            for s in &r.subs {
+                fixed_axes.push(match s {
+                    Subscript::All => None,
+                    Subscript::Const(c) => Some(*c),
+                    Subscript::Var(v) => Some(self.read_ref(act, &Ref::scalar(*v))?),
+                });
+            }
+            Ok(match base {
+                Binding::Direct(a) => Binding::View(
+                    a,
+                    fixed_axes
+                        .into_iter()
+                        .map(|f| f.map_or(AxisBind::Carried, AxisBind::Fixed))
+                        .collect(),
+                ),
+                Binding::View(a, outer) => {
+                    // The subscripts index the *view's* carried axes.
+                    let mut it = fixed_axes.into_iter();
+                    let composed = outer
+                        .iter()
+                        .map(|ax| match ax {
+                            AxisBind::Fixed(c) => AxisBind::Fixed(*c),
+                            AxisBind::Carried => match it.next().flatten() {
+                                Some(c) => AxisBind::Fixed(c),
+                                None => AxisBind::Carried,
+                            },
+                        })
+                        .collect();
+                    Binding::View(a, composed)
+                }
+                Binding::Element(a, coords) => Binding::Element(a, coords),
+            })
+        } else {
+            // Element: evaluate the coordinates now (Fortran semantics).
+            let coords = self.eval_subs(act, &r.subs)?;
+            let (addr, full) = Self::translate(&base, &coords);
+            Ok(Binding::Element(addr, full))
+        }
+    }
+
+    /// Every variable the caller can name: globals plus the variables of
+    /// each procedure on its static chain.
+    fn caller_visible_vars(&self, act: usize) -> Vec<VarId> {
+        let mut vars: Vec<VarId> = self.globals.keys().copied().collect();
+        let mut a = Some(act);
+        while let Some(idx) = a {
+            let p = self.acts[idx].proc_;
+            let proc_ = self.program.proc_(p);
+            vars.extend(proc_.formals().iter().copied());
+            vars.extend(proc_.locals().iter().copied());
+            a = self.acts[idx].access;
+        }
+        vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_ir::ProgramBuilder;
+
+    fn run_src(src: &str, seed: u64) -> (modref_ir::Program, RunResult) {
+        let program = modref_frontend::parse_program(src).expect("parses");
+        let result = Interpreter::new(&program, seed).run();
+        (program, result)
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let (_, r) = run_src("main { print 2 + 3 * 4; print 10 / 3; print 1 / 0; }", 0);
+        assert_eq!(r.printed, vec![14, 3, 0]);
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn reference_parameters_write_through() {
+        let (_, r) = run_src(
+            "var g;
+             proc set(x) { x = 9; }
+             main { call set(g); print g; }",
+            0,
+        );
+        assert_eq!(r.printed, vec![9]);
+    }
+
+    #[test]
+    fn aliased_formals_share_storage() {
+        let (_, r) = run_src(
+            "var g;
+             proc both(x, y) { x = 5; print y; }
+             main { call both(g, g); }",
+            0,
+        );
+        assert_eq!(r.printed, vec![5]);
+    }
+
+    #[test]
+    fn value_arguments_are_copies() {
+        let (_, r) = run_src(
+            "var g;
+             proc try(x) { x = 99; }
+             main { g = 1; call try(value g); print g; }",
+            0,
+        );
+        assert_eq!(r.printed, vec![1]);
+    }
+
+    #[test]
+    fn array_sections_alias_rows() {
+        let (_, r) = run_src(
+            "var a[*, *];
+             proc zero(row[*]) { row[2] = 7; }
+             main { call zero(a[4, *]); print a[4, 2]; print a[0, 2]; }",
+            0,
+        );
+        assert_eq!(r.printed, vec![7, 0]);
+    }
+
+    #[test]
+    fn element_binding_is_evaluated_at_call_time() {
+        let (_, r) = run_src(
+            "var a[*], i;
+             proc set(x) { i = 99; x = 5; }    # changing i must not move x
+             main { i = 3; call set(a[i]); print a[3]; print a[99]; }",
+            0,
+        );
+        assert_eq!(r.printed, vec![5, 0]);
+    }
+
+    #[test]
+    fn nested_procedures_see_enclosing_activation() {
+        let (_, r) = run_src(
+            "proc outer(x) {
+               var t;
+               proc inner() { t = t + x; }
+               t = 10;
+               call inner();
+               print t;
+             }
+             main { var m; m = 5; call outer(m); }",
+            0,
+        );
+        assert_eq!(r.printed, vec![15]);
+    }
+
+    #[test]
+    fn recursion_with_access_links() {
+        // Factorial via a global accumulator.
+        let (_, r) = run_src(
+            "var acc;
+             proc fact(n) {
+               if (n < 2) { acc = 1; } else {
+                 call fact(value n - 1);
+                 acc = acc * n;
+               }
+             }
+             main { call fact(value 5); print acc; }",
+            0,
+        );
+        assert_eq!(r.printed, vec![120]);
+    }
+
+    #[test]
+    fn fuel_truncates_infinite_loops() {
+        let (_, r) = run_src("var g; main { while (0 == 0) { g = g + 1; } }", 0);
+        assert!(r.truncated);
+    }
+
+    #[test]
+    fn depth_limit_truncates_infinite_recursion() {
+        let (_, r) = run_src(
+            "proc spin() { call spin(); }
+             main { call spin(); }",
+            0,
+        );
+        assert!(r.truncated);
+    }
+
+    #[test]
+    fn read_is_deterministic_in_the_seed() {
+        let src = "var g; main { read g; print g; read g; print g; }";
+        let (_, r1) = run_src(src, 11);
+        let (_, r2) = run_src(src, 11);
+        let (_, r3) = run_src(src, 12);
+        assert_eq!(r1.printed, r2.printed);
+        assert_ne!(r1.printed, r3.printed);
+    }
+
+    #[test]
+    fn observations_capture_mod_and_use() {
+        let (program, r) = run_src(
+            "var g, h, k;
+             proc work() { g = h; }
+             main { call work(); }",
+            0,
+        );
+        let site = program.sites().next().expect("site");
+        let by_name = |n: &str| program.vars().find(|&v| program.var_name(v) == n).unwrap();
+        let obs = r.observation(site);
+        assert_eq!(obs.invocations, 1);
+        assert!(obs.modified.contains(by_name("g").index()));
+        assert!(!obs.modified.contains(by_name("h").index()));
+        assert!(obs.used.contains(by_name("h").index()));
+        assert!(!obs.used.contains(by_name("k").index()));
+    }
+
+    #[test]
+    fn observation_translates_formals_to_actuals() {
+        let (program, r) = run_src(
+            "var g;
+             proc set(x) { x = 1; }
+             main { call set(g); }",
+            0,
+        );
+        let site = program.sites().next().expect("site");
+        let g = program
+            .vars()
+            .find(|&v| program.var_name(v) == "g")
+            .unwrap();
+        assert!(r.observation(site).modified.contains(g.index()));
+    }
+
+    #[test]
+    fn element_writes_recorded_for_global_arrays() {
+        let (program, r) = run_src(
+            "var a[*, *];
+             proc w(row[*]) { row[3] = 1; }
+             main { call w(a[5, *]); }",
+            0,
+        );
+        let site = program.sites().next().expect("site");
+        let a = program
+            .vars()
+            .find(|&v| program.var_name(v) == "a")
+            .unwrap();
+        let obs = r.observation(site);
+        assert!(obs.modified.contains(a.index()));
+        assert!(obs
+            .array_writes
+            .iter()
+            .any(|(v, coords)| *v == a && coords == &vec![5, 3]));
+    }
+
+    #[test]
+    fn builder_programs_run_too() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g");
+        let p = b.proc_("p", &["x"]);
+        b.assign(p, b.formal(p, 0), Expr::constant(3));
+        let main = b.main();
+        b.call(main, p, &[g]);
+        b.print(main, Expr::load(g));
+        let program = b.finish().expect("valid");
+        let r = Interpreter::new(&program, 0).run();
+        assert_eq!(r.printed, vec![3]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Dynamic side-effect observations.
+
+use std::collections::HashSet;
+
+use modref_bitset::BitSet;
+use modref_ir::VarId;
+
+/// What one call site was *observed* to do, accumulated over every
+/// execution of the site during a run.
+#[derive(Debug, Clone)]
+pub struct SiteObservation {
+    /// How many times the site executed.
+    pub invocations: u64,
+    /// Caller-visible variables whose storage was written during the
+    /// callee's execution (the dynamic counterpart of `MOD(s)`).
+    pub modified: BitSet,
+    /// Caller-visible variables whose storage was read (`USE(s)`).
+    pub used: BitSet,
+    /// Concrete element coordinates written per caller-visible array
+    /// (capped; used to validate regular sections).
+    pub array_writes: Vec<(VarId, Vec<i64>)>,
+}
+
+impl SiteObservation {
+    pub(crate) fn new(num_vars: usize) -> Self {
+        SiteObservation {
+            invocations: 0,
+            modified: BitSet::new(num_vars),
+            used: BitSet::new(num_vars),
+            array_writes: Vec::new(),
+        }
+    }
+}
+
+/// Address of a storage slot.
+pub(crate) type Addr = usize;
+
+/// One active call-site log: every address written/read while the callee
+/// runs, plus element-level write coordinates.
+#[derive(Debug, Default)]
+pub(crate) struct EffectLog {
+    pub writes: HashSet<Addr>,
+    pub reads: HashSet<Addr>,
+    pub element_writes: Vec<(Addr, Vec<i64>)>,
+}
+
+pub(crate) const MAX_ELEMENT_WRITES: usize = 512;
+
+/// The stack of logs for the dynamically-active call sites. A write deep
+/// in the call tree belongs to every enclosing call.
+#[derive(Debug, Default)]
+pub(crate) struct LogStack {
+    logs: Vec<EffectLog>,
+}
+
+impl LogStack {
+    pub fn push(&mut self) {
+        self.logs.push(EffectLog::default());
+    }
+
+    pub fn pop(&mut self) -> EffectLog {
+        self.logs.pop().expect("log stack underflow")
+    }
+
+    pub fn record_write(&mut self, addr: Addr) {
+        for log in &mut self.logs {
+            log.writes.insert(addr);
+        }
+    }
+
+    pub fn record_read(&mut self, addr: Addr) {
+        for log in &mut self.logs {
+            log.reads.insert(addr);
+        }
+    }
+
+    pub fn record_element_write(&mut self, addr: Addr, coords: &[i64]) {
+        for log in &mut self.logs {
+            if log.element_writes.len() < MAX_ELEMENT_WRITES {
+                log.element_writes.push((addr, coords.to_vec()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_propagate_to_all_active_logs() {
+        let mut stack = LogStack::default();
+        stack.push();
+        stack.record_write(1);
+        stack.push();
+        stack.record_write(2);
+        stack.record_read(3);
+        let inner = stack.pop();
+        assert!(inner.writes.contains(&2));
+        assert!(!inner.writes.contains(&1));
+        assert!(inner.reads.contains(&3));
+        let outer = stack.pop();
+        assert!(outer.writes.contains(&1));
+        assert!(outer.writes.contains(&2));
+        assert!(outer.reads.contains(&3));
+    }
+
+    #[test]
+    fn element_writes_are_capped() {
+        let mut stack = LogStack::default();
+        stack.push();
+        for i in 0..(MAX_ELEMENT_WRITES + 10) {
+            stack.record_element_write(0, &[i as i64]);
+        }
+        assert_eq!(stack.pop().element_writes.len(), MAX_ELEMENT_WRITES);
+    }
+}

@@ -1,0 +1,143 @@
+//! Interpreter semantics edge cases: composed array-section views,
+//! element bindings through views, and scope chains under recursion.
+
+use modref_interp::Interpreter;
+
+fn run(src: &str) -> Vec<i64> {
+    let program = modref_frontend::parse_program(src).expect("parses");
+    let result = Interpreter::new(&program, 0).run();
+    assert!(!result.truncated, "run must finish");
+    result.printed
+}
+
+#[test]
+fn section_of_a_section_composes() {
+    // main passes row 2 of a 2-D array; the callee forwards its whole
+    // rank-1 view to a grandchild which writes element 5 — landing in
+    // a[2, 5].
+    let printed = run("var a[*, *];
+         proc write5(v[*]) { v[5] = 99; }
+         proc forward(row[*]) { call write5(row); }
+         main {
+           call forward(a[2, *]);
+           print a[2, 5];
+           print a[5, 5];
+         }");
+    assert_eq!(printed, vec![99, 0]);
+}
+
+#[test]
+fn element_binding_through_a_view() {
+    // Pass row 1, then bind a scalar formal to element [4] of the view:
+    // writes reach a[1, 4].
+    let printed = run("var a[*, *];
+         proc set(x) { x = 7; }
+         proc receive(row[*]) { call set(row[4]); }
+         main {
+           call receive(a[1, *]);
+           print a[1, 4];
+         }");
+    assert_eq!(printed, vec![7]);
+}
+
+#[test]
+fn two_views_of_the_same_row_alias() {
+    let printed = run("var a[*, *];
+         proc writer(v[*]) { v[0] = 3; }
+         proc reader(w[*]) { print w[0]; }
+         main {
+           call writer(a[6, *]);
+           call reader(a[6, *]);
+         }");
+    assert_eq!(printed, vec![3]);
+}
+
+#[test]
+fn distinct_rows_do_not_alias() {
+    let printed = run("var a[*, *];
+         proc writer(v[*]) { v[0] = 3; }
+         proc reader(w[*]) { print w[0]; }
+         main {
+           call writer(a[6, *]);
+           call reader(a[7, *]);
+         }");
+    assert_eq!(printed, vec![0]);
+}
+
+#[test]
+fn view_index_variable_captured_at_call_time() {
+    // The row index is read when the binding happens; changing it later
+    // must not retarget the view.
+    let printed = run("var a[*, *], i;
+         proc write_then_move(v[*]) { i = 9; v[0] = 5; }
+         main {
+           i = 2;
+           call write_then_move(a[i, *]);
+           print a[2, 0];
+           print a[9, 0];
+         }");
+    assert_eq!(printed, vec![5, 0]);
+}
+
+#[test]
+fn recursion_keeps_separate_locals_but_shared_statics() {
+    let printed = run("var depth;
+         proc rec(n) {
+           var mine;
+           mine = n * 10;
+           if (n < 3) { call rec(value n + 1); }
+           print mine;       # printed on the way out: 30, 20, 10
+           depth = depth + 1;
+         }
+         main { call rec(value 1); print depth; }");
+    assert_eq!(printed, vec![30, 20, 10, 3]);
+}
+
+#[test]
+fn sibling_calls_through_uncle_scope() {
+    // A nested procedure calls its parent's sibling; the sibling's view
+    // of globals is consistent.
+    let printed = run("var g;
+         proc helper() { g = g + 100; }
+         proc outer() {
+           proc inner() { call helper(); }
+           call inner();
+         }
+         main { g = 1; call outer(); print g; }");
+    assert_eq!(printed, vec![101]);
+}
+
+#[test]
+fn whole_array_value_semantics_for_scalars_only() {
+    // `value` copies the scalar result of an expression; the original
+    // variable is untouched by callee writes.
+    let printed = run("var g;
+         proc clobber(x) { x = 1000; }
+         main {
+           g = 5;
+           call clobber(value g * 2);
+           print g;
+         }");
+    assert_eq!(printed, vec![5]);
+}
+
+#[test]
+fn observed_sets_accumulate_across_invocations() {
+    let program = modref_frontend::parse_program(
+        "var a, b, toggle;
+         proc flip() {
+           if (toggle == 0) { a = 1; } else { b = 1; }
+           toggle = 1 - toggle;
+         }
+         main { var i; i = 0; while (i < 2) { call flip(); i = i + 1; } }",
+    )
+    .expect("parses");
+    let result = Interpreter::new(&program, 0).run();
+    let site = program.sites().next().expect("site");
+    let obs = result.observation(site);
+    assert_eq!(obs.invocations, 2);
+    // Both branches ran across the two invocations.
+    let by_name = |n: &str| program.vars().find(|&v| program.var_name(v) == n).unwrap();
+    assert!(obs.modified.contains(by_name("a").index()));
+    assert!(obs.modified.contains(by_name("b").index()));
+}

@@ -1,0 +1,129 @@
+//! The call multi-graph `C = (N_C, E_C)`.
+
+use modref_graph::{DiGraph, EdgeId};
+
+use crate::ids::{CallSiteId, ProcId};
+use crate::program::Program;
+
+/// The program's call multi-graph: one node per procedure, one edge per
+/// call site (§2 of the paper). Parallel edges are kept — each call site is
+/// a distinct binding event.
+///
+/// # Examples
+///
+/// ```
+/// use modref_ir::{CallGraph, Expr, ProgramBuilder};
+///
+/// # fn main() -> Result<(), modref_ir::ValidationError> {
+/// let mut b = ProgramBuilder::new();
+/// let p = b.proc_("p", &[]);
+/// let main = b.main();
+/// b.call(main, p, &[]);
+/// b.call(main, p, &[]); // second site, second edge
+/// let program = b.finish()?;
+/// let cg = CallGraph::build(&program);
+/// assert_eq!(cg.graph().num_edges(), 2);
+/// assert_eq!(cg.graph().num_nodes(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    graph: DiGraph,
+}
+
+impl CallGraph {
+    /// Builds the call multi-graph. Edge `e` corresponds to call site
+    /// `CallSiteId::new(e)` — the edge and site id spaces coincide by
+    /// construction.
+    pub fn build(program: &Program) -> Self {
+        let mut graph = DiGraph::new(program.num_procs());
+        for s in program.sites() {
+            let site = program.site(s);
+            let e = graph.add_edge(site.caller().index(), site.callee().index());
+            debug_assert_eq!(e, s.index());
+        }
+        CallGraph { graph }
+    }
+
+    /// The underlying graph; node `i` is procedure `i`.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// The call site an edge came from.
+    pub fn site_of_edge(&self, e: EdgeId) -> CallSiteId {
+        CallSiteId::new(e)
+    }
+
+    /// The edge a call site produced.
+    pub fn edge_of_site(&self, s: CallSiteId) -> EdgeId {
+        s.index()
+    }
+
+    /// Which procedures are reachable from main by some call chain (§3.3's
+    /// standing assumption; main itself is always reachable).
+    pub fn reachable_from_main(&self) -> Vec<bool> {
+        modref_graph::reach::reachable_from(&self.graph, [ProcId::MAIN.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::stmt::Expr;
+
+    #[test]
+    fn edges_match_sites() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g");
+        let p = b.proc_("p", &["x"]);
+        let q = b.proc_("q", &[]);
+        b.assign(p, b.formal(p, 0), Expr::constant(1));
+        b.call(p, q, &[]);
+        let main = b.main();
+        b.call(main, p, &[g]);
+        let program = b.finish().expect("valid");
+        let cg = CallGraph::build(&program);
+
+        assert_eq!(cg.graph().num_edges(), 2);
+        for s in program.sites() {
+            let e = cg.edge_of_site(s);
+            let edge = cg.graph().edge(e);
+            assert_eq!(edge.from, program.site(s).caller().index());
+            assert_eq!(edge.to, program.site(s).callee().index());
+            assert_eq!(cg.site_of_edge(e), s);
+        }
+    }
+
+    #[test]
+    fn reachability_from_main() {
+        let mut b = ProgramBuilder::new();
+        let p = b.proc_("p", &[]);
+        let dead = b.proc_("dead", &[]);
+        let main = b.main();
+        b.call(main, p, &[]);
+        let program = b.finish().expect("valid");
+        let cg = CallGraph::build(&program);
+        let r = cg.reachable_from_main();
+        assert!(r[main.index()]);
+        assert!(r[p.index()]);
+        assert!(!r[dead.index()]);
+    }
+
+    #[test]
+    fn recursion_makes_cycle() {
+        let mut b = ProgramBuilder::new();
+        let p = b.proc_("p", &[]);
+        let q = b.proc_("q", &[]);
+        b.call(p, q, &[]);
+        b.call(q, p, &[]);
+        let main = b.main();
+        b.call(main, p, &[]);
+        let program = b.finish().expect("valid");
+        let cg = CallGraph::build(&program);
+        let sccs = modref_graph::tarjan(cg.graph());
+        assert_eq!(sccs.component_of(p.index()), sccs.component_of(q.index()));
+    }
+}

@@ -1,0 +1,191 @@
+//! Validation errors for [`crate::Program`].
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{CallSiteId, ProcId, VarId};
+
+/// A structural invariant violated by a program under construction.
+///
+/// Returned by [`crate::Program::validate`] and
+/// [`crate::ProgramBuilder::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ValidationError {
+    /// A non-global variable has no owning procedure.
+    OwnerlessNonGlobal {
+        /// The offending variable.
+        var: VarId,
+    },
+    /// A global variable claims an owning procedure.
+    OwnedGlobal {
+        /// The offending variable.
+        var: VarId,
+    },
+    /// A variable id does not exist in the variable table.
+    DanglingVar {
+        /// The offending variable.
+        var: VarId,
+    },
+    /// A procedure id does not exist in the procedure table.
+    DanglingProc {
+        /// The offending procedure id.
+        proc_: ProcId,
+    },
+    /// A call-site id does not exist in the site table.
+    DanglingSite {
+        /// The offending site id.
+        site: CallSiteId,
+    },
+    /// A variable's `owner`/`kind` disagrees with the owner's declaration
+    /// lists.
+    OwnershipMismatch {
+        /// The variable.
+        var: VarId,
+        /// The procedure whose lists disagree.
+        proc_: ProcId,
+    },
+    /// The program has no procedures (main is mandatory).
+    NoMain,
+    /// Procedure 0 is not a well-formed main program (has a parent or a
+    /// nonzero level).
+    BadMain,
+    /// A procedure other than main has no lexical parent.
+    OrphanProc {
+        /// The offending procedure.
+        proc_: ProcId,
+    },
+    /// Parent/child/level bookkeeping is inconsistent.
+    BadLevel {
+        /// The offending procedure.
+        proc_: ProcId,
+    },
+    /// A statement references a variable not in scope.
+    OutOfScope {
+        /// The referenced variable.
+        var: VarId,
+        /// The procedure containing the reference.
+        proc_: ProcId,
+    },
+    /// A subscripted reference's subscript count differs from the array's
+    /// declared rank.
+    RankMismatch {
+        /// The array variable.
+        var: VarId,
+        /// Declared rank.
+        expected: usize,
+        /// Number of subscripts supplied.
+        found: usize,
+    },
+    /// A call site's argument count differs from the callee's formal count.
+    ArityMismatch {
+        /// The call site.
+        site: CallSiteId,
+        /// Callee's formal count.
+        expected: usize,
+        /// Actuals supplied.
+        found: usize,
+    },
+    /// The main program appears as a callee.
+    CallToMain {
+        /// The offending site.
+        site: CallSiteId,
+    },
+    /// The callee is not lexically visible from the caller.
+    CalleeNotVisible {
+        /// The offending site.
+        site: CallSiteId,
+    },
+    /// A site id is referenced by `count != 1` call statements of its
+    /// caller.
+    SiteStatementCount {
+        /// The site.
+        site: CallSiteId,
+        /// How many call statements referenced it.
+        count: usize,
+    },
+    /// The caller recorded for a site differs from the procedure whose body
+    /// contains the call statement.
+    SiteCallerMismatch {
+        /// The offending site.
+        site: CallSiteId,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OwnerlessNonGlobal { var } => {
+                write!(f, "variable {var} is not global but has no owner")
+            }
+            Self::OwnedGlobal { var } => write!(f, "global variable {var} has an owner"),
+            Self::DanglingVar { var } => write!(f, "variable id {var} is out of range"),
+            Self::DanglingProc { proc_ } => write!(f, "procedure id {proc_} is out of range"),
+            Self::DanglingSite { site } => write!(f, "call-site id {site} is out of range"),
+            Self::OwnershipMismatch { var, proc_ } => write!(
+                f,
+                "variable {var} disagrees with the declaration lists of {proc_}"
+            ),
+            Self::NoMain => write!(f, "program has no procedures"),
+            Self::BadMain => write!(f, "procedure 0 is not a valid main program"),
+            Self::OrphanProc { proc_ } => {
+                write!(f, "procedure {proc_} has no lexical parent")
+            }
+            Self::BadLevel { proc_ } => {
+                write!(f, "procedure {proc_} has inconsistent nesting bookkeeping")
+            }
+            Self::OutOfScope { var, proc_ } => {
+                write!(f, "variable {var} is not in scope in procedure {proc_}")
+            }
+            Self::RankMismatch {
+                var,
+                expected,
+                found,
+            } => write!(
+                f,
+                "array {var} has rank {expected} but {found} subscripts were given"
+            ),
+            Self::ArityMismatch {
+                site,
+                expected,
+                found,
+            } => write!(
+                f,
+                "call site {site} passes {found} arguments but the callee expects {expected}"
+            ),
+            Self::CallToMain { site } => write!(f, "call site {site} invokes the main program"),
+            Self::CalleeNotVisible { site } => write!(
+                f,
+                "call site {site} invokes a procedure that is not lexically visible"
+            ),
+            Self::SiteStatementCount { site, count } => write!(
+                f,
+                "call site {site} is referenced by {count} call statements (expected 1)"
+            ),
+            Self::SiteCallerMismatch { site } => write!(
+                f,
+                "call site {site} appears in a different procedure than its recorded caller"
+            ),
+        }
+    }
+}
+
+impl Error for ValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = ValidationError::ArityMismatch {
+            site: CallSiteId::new(1),
+            expected: 2,
+            found: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("s1"));
+        assert!(msg.contains('2') && msg.contains('3'));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+}

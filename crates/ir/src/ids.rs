@@ -1,0 +1,103 @@
+//! Newtyped indices for procedures, variables, and call sites.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Wraps a dense index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` exceeds `u32::MAX`.
+            pub fn new(index: usize) -> Self {
+                $name(u32::try_from(index).expect(concat!(stringify!($name), " overflow")))
+            }
+
+            /// The dense index, usable for direct vector addressing.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a procedure within a [`crate::Program`].
+    ///
+    /// `ProcId`s are dense: they index directly into per-procedure tables
+    /// such as `GMOD` rows. The main program is a procedure too (the paper
+    /// treats a non-empty `GMOD(main)` as "an implementation detail",
+    /// footnote 3) and always has id 0.
+    ProcId, "p"
+);
+
+define_id!(
+    /// Identifies a variable in the program-wide variable universe.
+    ///
+    /// All variables — globals, locals, and formal parameters of every
+    /// procedure — share one dense id space, because the paper's bit
+    /// vectors range over the whole program's variables (§1).
+    VarId, "v"
+);
+
+define_id!(
+    /// Identifies one call site (one textual call statement).
+    ///
+    /// A procedure calling the same callee from three sites yields three
+    /// `CallSiteId`s and three parallel edges in the call multi-graph.
+    CallSiteId, "s"
+);
+
+impl ProcId {
+    /// The main program's id.
+    pub const MAIN: ProcId = ProcId(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_ordering() {
+        let a = VarId::new(3);
+        let b = VarId::new(7);
+        assert_eq!(a.index(), 3);
+        assert!(a < b);
+        assert_eq!(usize::from(b), 7);
+    }
+
+    #[test]
+    fn debug_uses_prefix() {
+        assert_eq!(format!("{:?}", ProcId::new(2)), "p2");
+        assert_eq!(format!("{}", VarId::new(9)), "v9");
+        assert_eq!(format!("{:?}", CallSiteId::new(0)), "s0");
+    }
+
+    #[test]
+    fn main_is_zero() {
+        assert_eq!(ProcId::MAIN, ProcId::new(0));
+    }
+}

@@ -1,0 +1,271 @@
+//! Pretty-printing programs back to MiniProc source.
+//!
+//! The output is valid input for the `modref-frontend` parser, which the
+//! integration suite uses for round-trip testing (print → parse → print is
+//! a fixed point).
+
+use std::fmt::Write as _;
+
+use crate::ids::ProcId;
+use crate::program::Program;
+use crate::stmt::{Actual, Expr, Ref, Stmt, Subscript, UnOp};
+
+impl Program {
+    /// Renders the program as MiniProc source text.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use modref_ir::{Expr, ProgramBuilder};
+    ///
+    /// # fn main() -> Result<(), modref_ir::ValidationError> {
+    /// let mut b = ProgramBuilder::new();
+    /// let g = b.global("g");
+    /// let main = b.main();
+    /// b.assign(main, g, Expr::constant(1));
+    /// let text = b.finish()?.to_source();
+    /// assert!(text.contains("g = 1;"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_source(&self) -> String {
+        let mut out = String::new();
+        let mut p = Printer {
+            program: self,
+            out: &mut out,
+        };
+        p.program();
+        out
+    }
+}
+
+struct Printer<'a> {
+    program: &'a Program,
+    out: &'a mut String,
+}
+
+impl Printer<'_> {
+    fn program(&mut self) {
+        // Globals.
+        for v in self.program.vars() {
+            let info = self.program.var(v);
+            if info.is_global() {
+                let decl = self.var_decl(v);
+                let _ = writeln!(self.out, "var {decl};");
+            }
+        }
+        if self.program.vars().any(|v| self.program.var(v).is_global()) {
+            self.out.push('\n');
+        }
+        // Top-level procedures (children of main), each recursively.
+        let main = self.program.proc_(ProcId::MAIN);
+        for &c in main.children() {
+            self.proc_(c, 0);
+            self.out.push('\n');
+        }
+        // Main block.
+        let _ = writeln!(self.out, "main {{");
+        for &l in main.locals() {
+            let decl = self.var_decl(l);
+            let _ = writeln!(self.out, "  var {decl};");
+        }
+        for s in main.body() {
+            self.stmt(s, 1);
+        }
+        let _ = writeln!(self.out, "}}");
+    }
+
+    fn var_decl(&self, v: crate::ids::VarId) -> String {
+        let info = self.program.var(v);
+        let name = self.program.var_name(v);
+        if info.rank() == 0 {
+            name.to_owned()
+        } else {
+            let stars = vec!["*"; info.rank()].join(", ");
+            format!("{name}[{stars}]")
+        }
+    }
+
+    fn proc_(&mut self, p: ProcId, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let proc_ = self.program.proc_(p);
+        let formals: Vec<String> = proc_.formals().iter().map(|&f| self.var_decl(f)).collect();
+        let _ = writeln!(
+            self.out,
+            "{pad}proc {}({}) {{",
+            self.program.proc_name(p),
+            formals.join(", ")
+        );
+        for &l in proc_.locals() {
+            let decl = self.var_decl(l);
+            let _ = writeln!(self.out, "{pad}  var {decl};");
+        }
+        for &c in proc_.children() {
+            self.proc_(c, depth + 1);
+        }
+        for s in proc_.body() {
+            self.stmt(s, depth + 1);
+        }
+        let _ = writeln!(self.out, "{pad}}}");
+    }
+
+    fn stmt(&mut self, s: &Stmt, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match s {
+            Stmt::Assign { target, value } => {
+                let t = self.ref_(target);
+                let v = self.expr(value);
+                let _ = writeln!(self.out, "{pad}{t} = {v};");
+            }
+            Stmt::Read { target } => {
+                let t = self.ref_(target);
+                let _ = writeln!(self.out, "{pad}read {t};");
+            }
+            Stmt::Print { value } => {
+                let v = self.expr(value);
+                let _ = writeln!(self.out, "{pad}print {v};");
+            }
+            Stmt::Call { site } => {
+                let info = self.program.site(*site);
+                let args: Vec<String> = info
+                    .args()
+                    .iter()
+                    .map(|a| match a {
+                        Actual::Ref(r) => self.ref_(r),
+                        Actual::Value(e) => format!("value {}", self.expr(e)),
+                    })
+                    .collect();
+                let _ = writeln!(
+                    self.out,
+                    "{pad}call {}({});",
+                    self.program.proc_name(info.callee()),
+                    args.join(", ")
+                );
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let c = self.expr(cond);
+                let _ = writeln!(self.out, "{pad}if ({c}) {{");
+                for inner in then_branch {
+                    self.stmt(inner, depth + 1);
+                }
+                if else_branch.is_empty() {
+                    let _ = writeln!(self.out, "{pad}}}");
+                } else {
+                    let _ = writeln!(self.out, "{pad}}} else {{");
+                    for inner in else_branch {
+                        self.stmt(inner, depth + 1);
+                    }
+                    let _ = writeln!(self.out, "{pad}}}");
+                }
+            }
+            Stmt::While { cond, body } => {
+                let c = self.expr(cond);
+                let _ = writeln!(self.out, "{pad}while ({c}) {{");
+                for inner in body {
+                    self.stmt(inner, depth + 1);
+                }
+                let _ = writeln!(self.out, "{pad}}}");
+            }
+        }
+    }
+
+    fn ref_(&self, r: &Ref) -> String {
+        let name = self.program.var_name(r.var);
+        if r.subs.is_empty() {
+            name.to_owned()
+        } else {
+            let subs: Vec<String> = r.subs.iter().map(|s| self.subscript(s)).collect();
+            format!("{name}[{}]", subs.join(", "))
+        }
+    }
+
+    fn subscript(&self, s: &Subscript) -> String {
+        match s {
+            Subscript::Const(c) => c.to_string(),
+            Subscript::Var(v) => self.program.var_name(*v).to_owned(),
+            Subscript::All => "*".to_owned(),
+        }
+    }
+
+    fn expr(&self, e: &Expr) -> String {
+        match e {
+            Expr::Const(c) => {
+                if *c < 0 {
+                    // Avoid relying on unary-minus lexing for round trips.
+                    format!("(0 - {})", c.unsigned_abs())
+                } else {
+                    c.to_string()
+                }
+            }
+            Expr::Load(r) => self.ref_(r),
+            Expr::Unary(UnOp::Neg, inner) => format!("(0 - {})", self.expr(inner)),
+            Expr::Unary(UnOp::Not, inner) => format!("(1 - {})", self.expr(inner)),
+            Expr::Binary(op, l, r) => {
+                format!("({} {} {})", self.expr(l), op.spelling(), self.expr(r))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::stmt::BinOp;
+
+    #[test]
+    fn prints_structure() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g");
+        let a = b.global_array("grid", 2);
+        let p = b.proc_("update", &["x"]);
+        let t = b.local(p, "t");
+        let inner = b.nested_proc(p, "helper", &[]);
+        b.assign(inner, t, Expr::constant(2));
+        b.assign(p, b.formal(p, 0), Expr::load(t));
+        b.assign_indexed(
+            p,
+            a,
+            vec![Subscript::Var(t), Subscript::All],
+            Expr::constant(0),
+        );
+        b.call(p, inner, &[]);
+        let main = b.main();
+        let ml = b.local(main, "m");
+        b.assign(main, ml, Expr::constant(5));
+        b.call_args(
+            main,
+            p,
+            vec![Actual::Value(Expr::binary(
+                BinOp::Add,
+                Expr::load(g),
+                Expr::constant(1),
+            ))],
+        );
+        let text = b.finish().expect("valid").to_source();
+
+        assert!(text.contains("var g;"));
+        assert!(text.contains("var grid[*, *];"));
+        assert!(text.contains("proc update(x) {"));
+        assert!(text.contains("  proc helper() {"));
+        assert!(text.contains("grid[t, *] = 0;"));
+        assert!(text.contains("call helper();"));
+        assert!(text.contains("call update(value (g + 1));"));
+        assert!(text.contains("var m;"));
+        assert!(text.contains("main {"));
+    }
+
+    #[test]
+    fn negative_constants_avoid_unary_minus() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g");
+        let main = b.main();
+        b.assign(main, g, Expr::constant(-7));
+        let text = b.finish().expect("valid").to_source();
+        assert!(text.contains("g = (0 - 7);"));
+    }
+}

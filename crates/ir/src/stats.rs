@@ -1,0 +1,157 @@
+//! Whole-program shape statistics.
+
+use std::fmt;
+
+use crate::program::Program;
+use crate::stmt::Stmt;
+use crate::visit::walk_stmts;
+
+/// Size and shape measurements of a [`Program`], in the paper's
+/// vocabulary (`N_C`, `E_C`, `μ_f`, `μ_a`, `d_P`, …).
+///
+/// # Examples
+///
+/// ```
+/// use modref_ir::{Expr, ProgramBuilder, ProgramStats};
+///
+/// # fn main() -> Result<(), modref_ir::ValidationError> {
+/// let mut b = ProgramBuilder::new();
+/// let g = b.global("g");
+/// let p = b.proc_("p", &["x", "y"]);
+/// b.assign(p, g, Expr::constant(1));
+/// let main = b.main();
+/// b.call(main, p, &[g, g]);
+/// let stats = ProgramStats::measure(&b.finish()?);
+/// assert_eq!(stats.procedures, 2);
+/// assert_eq!(stats.call_sites, 1);
+/// assert_eq!(stats.globals, 1);
+/// assert_eq!(stats.formals, 2);
+/// assert_eq!(stats.statements, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct ProgramStats {
+    /// `N_C`: procedures including main.
+    pub procedures: usize,
+    /// `E_C`: call sites.
+    pub call_sites: usize,
+    /// Total statements (nested included).
+    pub statements: usize,
+    /// Program-scope variables.
+    pub globals: usize,
+    /// Local variables over all procedures.
+    pub locals: usize,
+    /// Formal parameters over all procedures.
+    pub formals: usize,
+    /// Array variables (any scope).
+    pub arrays: usize,
+    /// `d_P`: deepest procedure nesting level.
+    pub max_nesting: u32,
+    /// `μ_f`: mean formals per procedure.
+    pub mean_formals: f64,
+    /// `μ_a`: mean actuals per call site.
+    pub mean_actuals: f64,
+    /// Procedures unreachable from main.
+    pub unreachable_procedures: usize,
+}
+
+impl ProgramStats {
+    /// Measures `program` in one linear pass.
+    pub fn measure(program: &Program) -> Self {
+        let mut statements = 0usize;
+        for p in program.procs() {
+            walk_stmts(program.proc_(p).body(), &mut |_s: &Stmt| statements += 1);
+        }
+        let mut globals = 0usize;
+        let mut locals = 0usize;
+        let mut formals = 0usize;
+        let mut arrays = 0usize;
+        for v in program.vars() {
+            let info = program.var(v);
+            match info.kind() {
+                crate::VarKind::Global => globals += 1,
+                crate::VarKind::Local => locals += 1,
+                crate::VarKind::Formal { .. } => formals += 1,
+            }
+            if info.rank() > 0 {
+                arrays += 1;
+            }
+        }
+        let cg = crate::CallGraph::build(program);
+        let unreachable = cg.reachable_from_main().iter().filter(|&&r| !r).count();
+        ProgramStats {
+            procedures: program.num_procs(),
+            call_sites: program.num_sites(),
+            statements,
+            globals,
+            locals,
+            formals,
+            arrays,
+            max_nesting: program.max_level(),
+            mean_formals: program.mean_formals(),
+            mean_actuals: program.mean_actuals(),
+            unreachable_procedures: unreachable,
+        }
+    }
+}
+
+impl fmt::Display for ProgramStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "procedures: {} ({} unreachable), call sites: {}, statements: {}",
+            self.procedures, self.unreachable_procedures, self.call_sites, self.statements
+        )?;
+        writeln!(
+            f,
+            "variables: {} globals, {} locals, {} formals ({} arrays)",
+            self.globals, self.locals, self.formals, self.arrays
+        )?;
+        write!(
+            f,
+            "d_P = {}, μ_f = {:.2}, μ_a = {:.2}",
+            self.max_nesting, self.mean_formals, self.mean_actuals
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::stmt::Expr;
+
+    #[test]
+    fn counts_nested_statements_and_unreachable() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g");
+        let _a = b.global_array("a", 2);
+        let p = b.proc_("p", &["x"]);
+        let _t = b.local(p, "t");
+        let dead = b.proc_("dead", &[]);
+        b.assign(dead, g, Expr::constant(0));
+        b.stmt(
+            p,
+            crate::Stmt::While {
+                cond: Expr::load(g),
+                body: vec![crate::Stmt::Assign {
+                    target: crate::Ref::scalar(g),
+                    value: Expr::constant(1),
+                }],
+            },
+        );
+        let main = b.main();
+        b.call(main, p, &[g]);
+        let stats = ProgramStats::measure(&b.finish().expect("valid"));
+        assert_eq!(stats.procedures, 3);
+        assert_eq!(stats.unreachable_procedures, 1);
+        assert_eq!(stats.statements, 4); // while + assign + dead assign + call
+        assert_eq!(stats.arrays, 1);
+        assert_eq!(stats.locals, 1);
+        assert_eq!(stats.formals, 1);
+        assert_eq!(stats.max_nesting, 1);
+        assert!(!stats.to_string().is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! Statements, expressions, and call-site actuals.
+
+use crate::ids::{CallSiteId, VarId};
+
+/// A reference to a variable, optionally with array subscripts.
+///
+/// A bare scalar reference has no subscripts. An array reference carries
+/// one [`Subscript`] per dimension; [`Subscript::All`] (`*`) selects a
+/// whole axis, which is how array *sections* — the subject of the paper's
+/// §6 — are written at call sites (`call smooth(A[i, *])` passes row `i`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ref {
+    /// The referenced variable.
+    pub var: VarId,
+    /// Per-dimension subscripts; empty for scalar references.
+    pub subs: Vec<Subscript>,
+}
+
+impl Ref {
+    /// A scalar (unsubscripted) reference.
+    pub fn scalar(var: VarId) -> Self {
+        Ref {
+            var,
+            subs: Vec::new(),
+        }
+    }
+
+    /// An array element/section reference.
+    pub fn indexed<I: IntoIterator<Item = Subscript>>(var: VarId, subs: I) -> Self {
+        Ref {
+            var,
+            subs: subs.into_iter().collect(),
+        }
+    }
+}
+
+impl From<VarId> for Ref {
+    fn from(var: VarId) -> Self {
+        Ref::scalar(var)
+    }
+}
+
+/// One array subscript position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Subscript {
+    /// A compile-time constant index.
+    Const(i64),
+    /// A symbolic index: the value of a scalar variable.
+    Var(VarId),
+    /// The whole axis (`*`), denoting a section.
+    All,
+}
+
+/// A side-effect-free expression.
+///
+/// Expressions cannot contain calls — MiniProc, like the paper's model,
+/// only invokes procedures through call *statements*, which keeps every
+/// side effect attached to a call site.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// An integer literal.
+    Const(i64),
+    /// A variable or array-element read.
+    Load(Ref),
+    /// A unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// An integer literal expression.
+    pub fn constant(value: i64) -> Self {
+        Expr::Const(value)
+    }
+
+    /// Reads a scalar variable.
+    pub fn load(var: VarId) -> Self {
+        Expr::Load(Ref::scalar(var))
+    }
+
+    /// Reads an array element.
+    pub fn load_indexed<I: IntoIterator<Item = Subscript>>(var: VarId, subs: I) -> Self {
+        Expr::Load(Ref::indexed(var, subs))
+    }
+
+    /// Builds `lhs op rhs`.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Self {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl BinOp {
+    /// The MiniProc spelling of the operator.
+    pub fn spelling(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+        }
+    }
+}
+
+/// A statement.
+///
+/// Control structure is retained only so programs look and print like real
+/// programs; the flow-insensitive analyses simply walk every nested
+/// statement (a conditional's branches are both "possible", §3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `target := value` — modifies `target.var`.
+    Assign {
+        /// Destination variable or array element.
+        target: Ref,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `read target` — modifies `target.var` from input.
+    Read {
+        /// Destination variable or array element.
+        target: Ref,
+    },
+    /// `print value` — uses the expression's variables.
+    Print {
+        /// Printed expression.
+        value: Expr,
+    },
+    /// `call …` — all effect information lives in the program's call-site
+    /// table under this id.
+    Call {
+        /// The call site executed by this statement.
+        site: CallSiteId,
+    },
+    /// `if (cond) { … } else { … }`.
+    If {
+        /// Branch condition (used, never modified).
+        cond: Expr,
+        /// Taken branch.
+        then_branch: Vec<Stmt>,
+        /// Fallback branch (possibly empty).
+        else_branch: Vec<Stmt>,
+    },
+    /// `while (cond) { … }`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// An actual argument at a call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Actual {
+    /// Passed by reference: the callee's formal aliases this variable (or
+    /// array section). Writes to the formal write through to it.
+    Ref(Ref),
+    /// Passed by value: a copy; generates no binding edge (§3.1: "a call
+    /// site that passes only local variables as actual parameters
+    /// generates no edges in `E_β`" — and a by-value actual never does).
+    Value(Expr),
+}
+
+impl Actual {
+    /// The by-reference variable, if this actual is a reference.
+    pub fn as_ref_var(&self) -> Option<VarId> {
+        match self {
+            Actual::Ref(r) => Some(r.var),
+            Actual::Value(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ref_constructors() {
+        let v = VarId::new(1);
+        assert_eq!(Ref::scalar(v), Ref::from(v));
+        let r = Ref::indexed(v, [Subscript::Const(3), Subscript::All]);
+        assert_eq!(r.subs.len(), 2);
+    }
+
+    #[test]
+    fn actual_ref_var() {
+        let v = VarId::new(2);
+        assert_eq!(Actual::Ref(Ref::scalar(v)).as_ref_var(), Some(v));
+        assert_eq!(Actual::Value(Expr::constant(0)).as_ref_var(), None);
+    }
+
+    #[test]
+    fn binop_spellings_are_distinct() {
+        use std::collections::HashSet;
+        let all = [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Eq,
+            BinOp::Ne,
+        ];
+        let set: HashSet<&str> = all.iter().map(|o| o.spelling()).collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

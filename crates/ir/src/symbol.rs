@@ -1,0 +1,110 @@
+//! String interning for identifiers.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned identifier. Cheap to copy and compare; resolve the text
+/// through the [`Interner`] that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The dense index of this symbol in its interner.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym{}", self.0)
+    }
+}
+
+/// Interns identifier strings, handing out stable [`Symbol`]s.
+///
+/// # Examples
+///
+/// ```
+/// use modref_ir::Interner;
+///
+/// let mut interner = Interner::new();
+/// let a = interner.intern("count");
+/// let b = interner.intern("count");
+/// assert_eq!(a, b);
+/// assert_eq!(interner.resolve(a), "count");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    map: HashMap<String, Symbol>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `text`, returning the existing symbol if already present.
+    pub fn intern(&mut self, text: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(text) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("too many symbols"));
+        self.strings.push(text.to_owned());
+        self.map.insert(text.to_owned(), sym);
+        sym
+    }
+
+    /// Looks up a symbol without interning.
+    pub fn get(&self, text: &str) -> Option<Symbol> {
+        self.map.get(text).copied()
+    }
+
+    /// The text of `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` came from a different interner with a larger id
+    /// space.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct symbols interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedupes() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        let c = i.intern("x");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(b), "y");
+        assert_eq!(i.get("y"), Some(b));
+        assert_eq!(i.get("z"), None);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Statement and expression walkers.
+
+use crate::stmt::{Expr, Stmt};
+
+/// Calls `f` on every statement in `stmts`, recursing into `if`/`while`
+/// bodies, in source order. Iterative (explicit work list), so arbitrarily
+/// deep nesting is safe.
+///
+/// # Examples
+///
+/// ```
+/// use modref_ir::{walk_stmts, Expr, Stmt};
+///
+/// let body = vec![Stmt::While {
+///     cond: Expr::constant(1),
+///     body: vec![Stmt::Print { value: Expr::constant(2) }],
+/// }];
+/// let mut count = 0;
+/// walk_stmts(&body, &mut |_s| count += 1);
+/// assert_eq!(count, 2);
+/// ```
+pub fn walk_stmts<'a, F: FnMut(&'a Stmt)>(stmts: &'a [Stmt], f: &mut F) {
+    // Work stack of slices with a cursor, visiting in source order.
+    let mut stack: Vec<std::slice::Iter<'a, Stmt>> = vec![stmts.iter()];
+    while let Some(top) = stack.last_mut() {
+        match top.next() {
+            None => {
+                stack.pop();
+            }
+            Some(s) => {
+                f(s);
+                match s {
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
+                        // Push else first so then is visited first.
+                        stack.push(else_branch.iter());
+                        stack.push(then_branch.iter());
+                    }
+                    Stmt::While { body, .. } => stack.push(body.iter()),
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Calls `f` on `expr` and every sub-expression, outermost first.
+pub fn walk_exprs<'a, F: FnMut(&'a Expr)>(expr: &'a Expr, f: &mut F) {
+    let mut stack = vec![expr];
+    while let Some(e) = stack.pop() {
+        f(e);
+        match e {
+            Expr::Const(_) | Expr::Load(_) => {}
+            Expr::Unary(_, inner) => stack.push(inner),
+            Expr::Binary(_, l, r) => {
+                stack.push(r);
+                stack.push(l);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VarId;
+    use crate::stmt::{BinOp, Ref};
+
+    #[test]
+    fn walk_stmts_visits_nested_in_source_order() {
+        let v = VarId::new(0);
+        let body = vec![
+            Stmt::Assign {
+                target: Ref::scalar(v),
+                value: Expr::constant(1),
+            },
+            Stmt::If {
+                cond: Expr::constant(0),
+                then_branch: vec![Stmt::Print {
+                    value: Expr::constant(2),
+                }],
+                else_branch: vec![Stmt::Print {
+                    value: Expr::constant(3),
+                }],
+            },
+            Stmt::Print {
+                value: Expr::constant(4),
+            },
+        ];
+        let mut seen = Vec::new();
+        walk_stmts(&body, &mut |s| {
+            if let Stmt::Print {
+                value: Expr::Const(c),
+            } = s
+            {
+                seen.push(*c);
+            } else if matches!(s, Stmt::Assign { .. }) {
+                seen.push(1);
+            } else {
+                seen.push(0);
+            }
+        });
+        assert_eq!(seen, vec![1, 0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn walk_exprs_counts_subexpressions() {
+        let v = VarId::new(0);
+        let e = Expr::binary(
+            BinOp::Add,
+            Expr::load(v),
+            Expr::binary(BinOp::Mul, Expr::constant(2), Expr::load(v)),
+        );
+        let mut n = 0;
+        walk_exprs(&e, &mut |_| n += 1);
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn deeply_nested_whiles_do_not_overflow() {
+        let mut body = vec![Stmt::Print {
+            value: Expr::constant(0),
+        }];
+        for _ in 0..100_000 {
+            body = vec![Stmt::While {
+                cond: Expr::constant(1),
+                body,
+            }];
+        }
+        let mut n = 0usize;
+        walk_stmts(&body, &mut |_| n += 1);
+        assert_eq!(n, 100_001);
+        // Dropping 100k nested Vec<Stmt> recursively would also overflow;
+        // unwind manually.
+        let mut cur = body;
+        while let Some(Stmt::While { body: inner, .. }) = cur.pop() {
+            cur = inner;
+        }
+    }
+}

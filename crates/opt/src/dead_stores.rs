@@ -1,0 +1,377 @@
+//! Dead-store elimination powered by interprocedural `USE` summaries.
+//!
+//! An assignment to a scalar *local* is dead when nothing later in the
+//! procedure can read the stored value. "Later reads" must include reads
+//! performed *inside callees* — a local passed by reference, or read by a
+//! nested procedure, is consumed through a call — and that is exactly
+//! what the per-site `USE(s)` summaries provide. A compiler without
+//! interprocedural information must keep every store that precedes any
+//! call (the §2 worst-case assumption); this pass measures the
+//! difference.
+//!
+//! The liveness scan is deliberately conservative and flow-light:
+//!
+//! * it walks each body backwards, threading a *may-be-read-later* set;
+//! * `if` branches are scanned independently against the common
+//!   continuation; the merged result unions both branches' reads;
+//! * a `while` body's continuation is inflated with every read of the
+//!   whole loop (covering back edges), so stores inside loops are only
+//!   removed when nothing in the loop reads them either;
+//! * only unsubscripted stores to `Local` scalars are candidates —
+//!   formals write through to callers and globals outlive the procedure.
+
+use modref_bitset::BitSet;
+use modref_core::Summary;
+use modref_ir::{Program, Stmt, VarKind};
+
+/// Outcome of [`eliminate_dead_stores`].
+#[derive(Debug, Clone)]
+pub struct DeadStoreReport {
+    /// The transformed program.
+    pub program: Program,
+    /// How many assignments were removed.
+    pub removed: usize,
+    /// How many of those preceded a call site in their procedure — the
+    /// stores a summary-less compiler could never remove.
+    pub removed_across_calls: usize,
+}
+
+/// Removes dead stores from every procedure of `program`, using
+/// `summary` for the effects of call sites.
+///
+/// # Panics
+///
+/// Panics if the transformation invalidates the program — impossible by
+/// construction (only `Assign` statements are dropped), so a panic here
+/// is a bug in this pass.
+///
+/// # Examples
+///
+/// ```
+/// use modref_core::Analyzer;
+/// use modref_opt::eliminate_dead_stores;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = modref_frontend::parse_program("
+///     var g;
+///     proc work() {
+///       var t;
+///       t = g + 1;     # dead: t is never read again
+///       g = 2;
+///     }
+///     main { call work(); }
+/// ")?;
+/// let summary = Analyzer::new().analyze(&program);
+/// let report = eliminate_dead_stores(&program, &summary);
+/// assert_eq!(report.removed, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn eliminate_dead_stores(program: &Program, summary: &Summary) -> DeadStoreReport {
+    run_pass(program, &CallUses::Summary(summary))
+}
+
+/// The §2 counterfactual: the same pass *without* interprocedural
+/// information — every call site is assumed to read every variable the
+/// callee can see, so no store that precedes a call can ever die. The
+/// difference against [`eliminate_dead_stores`] measures what the
+/// summaries buy (experiment E8).
+pub fn eliminate_dead_stores_assuming_worst(program: &Program) -> DeadStoreReport {
+    run_pass(
+        program,
+        &CallUses::Everything(BitSet::full(program.num_vars())),
+    )
+}
+
+/// Where the pass gets `USE(s)` from.
+enum CallUses<'a> {
+    Summary(&'a Summary),
+    Everything(BitSet),
+}
+
+impl CallUses<'_> {
+    fn use_site(&self, s: modref_ir::CallSiteId) -> &BitSet {
+        match self {
+            CallUses::Summary(summary) => summary.use_site(s),
+            CallUses::Everything(all) => all,
+        }
+    }
+}
+
+fn run_pass(program: &Program, uses: &CallUses<'_>) -> DeadStoreReport {
+    let mut removed = 0usize;
+    let mut removed_across_calls = 0usize;
+
+    let transformed = program
+        .map_bodies(|p, body| {
+            let mut live_after = BitSet::new(program.num_vars());
+            let mut pass = Pass {
+                program,
+                uses,
+                proc_: p,
+                removed: &mut removed,
+                removed_across_calls: &mut removed_across_calls,
+            };
+            pass.sweep(body, &mut live_after)
+        })
+        .expect("dropping assignments preserves validity");
+
+    DeadStoreReport {
+        program: transformed,
+        removed,
+        removed_across_calls,
+    }
+}
+
+struct Pass<'a> {
+    program: &'a Program,
+    uses: &'a CallUses<'a>,
+    proc_: modref_ir::ProcId,
+    removed: &'a mut usize,
+    removed_across_calls: &'a mut usize,
+}
+
+impl Pass<'_> {
+    /// All variables statement `s` (and its callees) may read.
+    fn reads_of(&self, s: &Stmt) -> BitSet {
+        let mut set = modref_ir::luse_of_stmt(self.program, s);
+        modref_ir::walk_stmts(std::slice::from_ref(s), &mut |inner| {
+            if let Stmt::Call { site } = inner {
+                set.union_with(self.uses.use_site(*site));
+            }
+        });
+        set
+    }
+
+    fn contains_call(s: &Stmt) -> bool {
+        let mut found = false;
+        modref_ir::walk_stmts(std::slice::from_ref(s), &mut |inner| {
+            found |= matches!(inner, Stmt::Call { .. });
+        });
+        found
+    }
+
+    /// Processes a statement list backwards against `live_after` (the
+    /// may-read-later set at the list's end), returning the kept
+    /// statements and updating `live_after` to the list's entry state.
+    fn sweep(&mut self, stmts: &[Stmt], live_after: &mut BitSet) -> Vec<Stmt> {
+        let mut kept_rev: Vec<Stmt> = Vec::with_capacity(stmts.len());
+        let mut any_call_below = false;
+        for s in stmts.iter().rev() {
+            match s {
+                Stmt::Assign { target, value: _ }
+                    if self.is_droppable(target) && !live_after.contains(target.var.index()) =>
+                {
+                    *self.removed += 1;
+                    if any_call_below {
+                        *self.removed_across_calls += 1;
+                    }
+                    // Dropped: its reads never happen, live_after unchanged.
+                }
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    let mut live_then = live_after.clone();
+                    let new_then = self.sweep(then_branch, &mut live_then);
+                    let mut live_else = live_after.clone();
+                    let new_else = self.sweep(else_branch, &mut live_else);
+                    live_after.union_with(&live_then);
+                    live_after.union_with(&live_else);
+                    let cond_reads = self.reads_of(&Stmt::Print {
+                        value: cond.clone(),
+                    });
+                    live_after.union_with(&cond_reads);
+                    any_call_below |= Self::contains_call(s);
+                    kept_rev.push(Stmt::If {
+                        cond: cond.clone(),
+                        then_branch: new_then,
+                        else_branch: new_else,
+                    });
+                }
+                Stmt::While { cond, body } => {
+                    // Back edge: anything the loop reads may execute after
+                    // any point of the body.
+                    let whole = Stmt::While {
+                        cond: cond.clone(),
+                        body: body.clone(),
+                    };
+                    let loop_reads = self.reads_of(&whole);
+                    let mut live_body = live_after.clone();
+                    live_body.union_with(&loop_reads);
+                    let new_body = self.sweep(body, &mut live_body);
+                    live_after.union_with(&loop_reads);
+                    any_call_below |= Self::contains_call(s);
+                    kept_rev.push(Stmt::While {
+                        cond: cond.clone(),
+                        body: new_body,
+                    });
+                }
+                other => {
+                    // A definite (unsubscripted, scalar) assignment kills
+                    // the target's liveness before its RHS reads are
+                    // added — this is what removes the earlier store in
+                    // `t = 1; t = 2; print t;`.
+                    if let Stmt::Assign { target, .. } | Stmt::Read { target } = other {
+                        if target.subs.is_empty() && self.program.var(target.var).rank() == 0 {
+                            live_after.remove(target.var.index());
+                        }
+                    }
+                    let reads = self.reads_of(other);
+                    live_after.union_with(&reads);
+                    any_call_below |= Self::contains_call(other);
+                    kept_rev.push(other.clone());
+                }
+            }
+        }
+        kept_rev.reverse();
+        kept_rev
+    }
+
+    fn is_droppable(&self, target: &modref_ir::Ref) -> bool {
+        if !target.subs.is_empty() {
+            return false;
+        }
+        let info = self.program.var(target.var);
+        info.owner() == Some(self.proc_) && matches!(info.kind(), VarKind::Local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_core::Analyzer;
+    use modref_frontend::parse_program;
+
+    fn optimize(src: &str) -> (Program, DeadStoreReport) {
+        let program = parse_program(src).expect("parses");
+        let summary = Analyzer::new().analyze(&program);
+        let report = eliminate_dead_stores(&program, &summary);
+        (program, report)
+    }
+
+    #[test]
+    fn trailing_store_to_local_is_removed() {
+        let (_, report) = optimize(
+            "proc p() { var t; t = 1; }
+             main { call p(); }",
+        );
+        assert_eq!(report.removed, 1);
+        assert!(report
+            .program
+            .to_source()
+            .contains("proc p() {\n  var t;\n}"));
+    }
+
+    #[test]
+    fn store_read_later_survives() {
+        let (_, report) = optimize(
+            "proc p() { var t; t = 1; print t; }
+             main { call p(); }",
+        );
+        assert_eq!(report.removed, 0);
+    }
+
+    #[test]
+    fn overwritten_store_is_removed() {
+        let (_, report) = optimize(
+            "proc p() { var t; t = 1; t = 2; print t; }
+             main { call p(); }",
+        );
+        assert_eq!(report.removed, 1);
+        assert!(report.program.to_source().contains("t = 2;"));
+        assert!(!report.program.to_source().contains("t = 1;"));
+    }
+
+    #[test]
+    fn call_that_reads_the_local_keeps_the_store() {
+        // Without interprocedural USE the pass could not know whether
+        // `use_it(t)` reads t — with it, it must keep the store.
+        let (_, report) = optimize(
+            "proc use_it(x) { print x; }
+             proc p() { var t; t = 1; call use_it(t); }
+             main { call p(); }",
+        );
+        assert_eq!(report.removed, 0);
+    }
+
+    #[test]
+    fn call_that_ignores_the_local_lets_the_store_die() {
+        let (_, report) = optimize(
+            "var g;
+             proc ignore_it(x) { g = g + 1; }   # never reads x
+             proc p() { var t; t = 1; call ignore_it(t); }
+             main { call p(); }",
+        );
+        assert_eq!(report.removed, 1);
+        assert_eq!(report.removed_across_calls, 1);
+    }
+
+    #[test]
+    fn nested_procedure_reading_the_local_keeps_it() {
+        let (_, report) = optimize(
+            "var g;
+             proc p() {
+               var t;
+               proc peek() { g = t; }
+               t = 5;
+               call peek();
+             }
+             main { call p(); }",
+        );
+        assert_eq!(report.removed, 0);
+    }
+
+    #[test]
+    fn loop_back_edge_keeps_stores_read_at_loop_head() {
+        let (_, report) = optimize(
+            "proc p() {
+               var t, i;
+               i = 0;
+               while (i < 3) {
+                 print t;       # reads the t stored *last* iteration
+                 t = i;
+                 i = i + 1;
+               }
+             }
+             main { call p(); }",
+        );
+        // `t = i` must survive (read on the next iteration); `i` too.
+        assert_eq!(report.removed, 0);
+    }
+
+    #[test]
+    fn branch_local_deadness() {
+        let (_, report) = optimize(
+            "var g;
+             proc p() {
+               var t;
+               if (g < 0) { t = 1; } else { t = 2; print t; }
+             }
+             main { call p(); }",
+        );
+        // The then-branch store is dead; the else-branch one is read.
+        assert_eq!(report.removed, 1);
+    }
+
+    #[test]
+    fn formals_and_globals_are_never_touched() {
+        let (_, report) = optimize(
+            "var g;
+             proc p(x) { x = 1; g = 2; }
+             main { var m; call p(m); }",
+        );
+        assert_eq!(report.removed, 0);
+    }
+
+    #[test]
+    fn array_stores_are_never_touched() {
+        let (_, report) = optimize(
+            "proc p() { var t; t = 3; }
+             main { var a; a = 1; call p(); }",
+        );
+        // main's local `a = 1` is dead too — also removable.
+        assert_eq!(report.removed, 2);
+    }
+}

@@ -1,0 +1,270 @@
+//! Loop-invariant call hoisting — an *advisor* built on `MOD`/`USE`.
+//!
+//! A call inside a loop can be evaluated once before the loop when
+//!
+//! 1. the call writes nothing (`MOD(s) = ∅` — an observer/inert site), so
+//!    executing it fewer times changes no state;
+//! 2. nothing the call *reads* is written by the rest of the loop
+//!    (`USE(s) ∩ MOD(loop body) = ∅`), so every iteration would have seen
+//!    the same values anyway.
+//!
+//! (A real compiler would also require the loop to execute at least once
+//! or guard the hoisted call; this module only answers the data-flow
+//! question, which is the part that needs interprocedural summaries.)
+//!
+//! Without summaries, rule 1 already fails for every call — no call is
+//! hoistable. The report carries that counterfactual.
+
+use modref_bitset::BitSet;
+use modref_core::Summary;
+use modref_ir::{CallSiteId, Program, Stmt};
+
+/// One hoisting opportunity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hoistable {
+    /// The procedure containing the loop.
+    pub proc_: modref_ir::ProcId,
+    /// The call site that can move out of its innermost loop.
+    pub site: CallSiteId,
+}
+
+/// Finds every call site nested in a `while` loop that the summaries
+/// prove loop-invariant (see the module docs for the exact conditions).
+///
+/// # Examples
+///
+/// ```
+/// use modref_core::Analyzer;
+/// use modref_opt::hoist::find_hoistable_calls;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = modref_frontend::parse_program("
+///     var config, total, i;
+///     proc lookup() { print config; }     # pure observer of `config`
+///     main {
+///       while (i < 10) {
+///         call lookup();                  # invariant: loop never writes config
+///         total = total + i;
+///         i = i + 1;
+///       }
+///     }
+/// ")?;
+/// let summary = Analyzer::new().analyze(&program);
+/// let hoistable = find_hoistable_calls(&program, &summary);
+/// assert_eq!(hoistable.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn find_hoistable_calls(program: &Program, summary: &Summary) -> Vec<Hoistable> {
+    let mut out = Vec::new();
+    for p in program.procs() {
+        for s in program.proc_(p).body() {
+            scan(program, summary, p, s, &mut out);
+        }
+    }
+    out
+}
+
+/// Walks statements; at each `while`, tests the calls of its body against
+/// that loop's own MOD set, then recurses (inner loops are judged against
+/// the innermost loop only).
+fn scan(
+    program: &Program,
+    summary: &Summary,
+    p: modref_ir::ProcId,
+    stmt: &Stmt,
+    out: &mut Vec<Hoistable>,
+) {
+    match stmt {
+        Stmt::While { body, .. } => {
+            let loop_mod = mod_of_block(program, summary, body);
+            collect_loop_calls(program, summary, p, body, &loop_mod, out);
+            // Recurse for loops nested inside this one.
+            for inner in body {
+                scan(program, summary, p, inner, out);
+            }
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            for inner in then_branch.iter().chain(else_branch) {
+                scan(program, summary, p, inner, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Everything a statement list may modify: `LMOD` of each statement plus
+/// `MOD(s)` of each contained call.
+fn mod_of_block(program: &Program, summary: &Summary, body: &[Stmt]) -> BitSet {
+    let mut set = BitSet::new(program.num_vars());
+    for s in body {
+        set.union_with(&modref_ir::lmod_of_stmt(program, s));
+        modref_ir::walk_stmts(std::slice::from_ref(s), &mut |inner| {
+            if let Stmt::Call { site } = inner {
+                set.union_with(summary.mod_site(*site));
+            }
+        });
+    }
+    set
+}
+
+/// Collects the directly-contained calls of `body` (not those inside
+/// nested `while`s — they belong to the inner loop) that pass both
+/// hoisting conditions.
+fn collect_loop_calls(
+    program: &Program,
+    summary: &Summary,
+    p: modref_ir::ProcId,
+    body: &[Stmt],
+    loop_mod: &BitSet,
+    out: &mut Vec<Hoistable>,
+) {
+    for s in body {
+        match s {
+            Stmt::Call { site } => {
+                let writes_nothing = summary.mod_site(*site).is_empty();
+                let reads_invariant = summary.use_site(*site).is_disjoint(loop_mod);
+                let args_invariant = program.site(*site).args().iter().all(|a| {
+                    match a {
+                        modref_ir::Actual::Ref(_) => true, // bindings, not values
+                        modref_ir::Actual::Value(e) => {
+                            let mut reads = BitSet::new(program.num_vars());
+                            modref_ir::walk_exprs(e, &mut |sub| {
+                                if let modref_ir::Expr::Load(r) = sub {
+                                    reads.insert(r.var.index());
+                                }
+                            });
+                            reads.is_disjoint(loop_mod)
+                        }
+                    }
+                });
+                if writes_nothing && reads_invariant && args_invariant {
+                    out.push(Hoistable {
+                        proc_: p,
+                        site: *site,
+                    });
+                }
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_loop_calls(program, summary, p, then_branch, loop_mod, out);
+                collect_loop_calls(program, summary, p, else_branch, loop_mod, out);
+            }
+            // Calls under a nested while belong to that loop.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_core::Analyzer;
+    use modref_frontend::parse_program;
+
+    fn hoistable(src: &str) -> usize {
+        let program = parse_program(src).expect("parses");
+        let summary = Analyzer::new().analyze(&program);
+        find_hoistable_calls(&program, &summary).len()
+    }
+
+    #[test]
+    fn observer_of_invariant_state_hoists() {
+        assert_eq!(
+            hoistable(
+                "var cfg, i;
+                 proc peek() { print cfg; }
+                 main { while (i < 5) { call peek(); i = i + 1; } }"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn mutator_never_hoists() {
+        assert_eq!(
+            hoistable(
+                "var cfg, i;
+                 proc bump() { cfg = cfg + 1; }
+                 main { while (i < 5) { call bump(); i = i + 1; } }"
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn observer_of_loop_varying_state_stays() {
+        assert_eq!(
+            hoistable(
+                "var i;
+                 proc peek() { print i; }    # reads the induction variable
+                 main { while (i < 5) { call peek(); i = i + 1; } }"
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn transitive_mutation_blocks_hoisting() {
+        assert_eq!(
+            hoistable(
+                "var cfg, i;
+                 proc deep() { cfg = 1; }
+                 proc shallow() { call deep(); }
+                 main { while (i < 5) { call shallow(); i = i + 1; } }"
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn loop_varying_value_argument_blocks_hoisting() {
+        assert_eq!(
+            hoistable(
+                "var cfg, i;
+                 proc peek(x) { print cfg; }
+                 main { while (i < 5) { call peek(value i); i = i + 1; } }"
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn inner_loops_judged_separately() {
+        // The call reads j, written only by the *outer* loop: hoistable
+        // out of the inner loop (its innermost context), found once.
+        assert_eq!(
+            hoistable(
+                "var i, j, cfg;
+                 proc peek() { print j; }
+                 main {
+                   while (i < 3) {
+                     while (cfg < 2) { call peek(); cfg = cfg + 1; }
+                     j = j + 1;
+                     i = i + 1;
+                   }
+                 }"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn calls_under_if_inside_loop_are_considered() {
+        assert_eq!(
+            hoistable(
+                "var cfg, i;
+                 proc peek() { print cfg; }
+                 main { while (i < 5) { if (i < 2) { call peek(); } i = i + 1; } }"
+            ),
+            1
+        );
+    }
+}

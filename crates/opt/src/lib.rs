@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Summary-driven interprocedural optimizations — the *client* the
+//! paper's analysis exists for.
+//!
+//! §2 of Cooper & Kennedy 1988 opens with the motivation: "to determine
+//! the safety of applying an optimizing transformation, compilers examine
+//! the flow of values inside a procedure. Calls to external procedures
+//! present a difficulty … if the compiler has no knowledge about the
+//! called procedure, it must assume that the called procedure both uses
+//! and modifies the value of every variable it can see." This crate is a
+//! small optimizer that consumes the [`modref_core::Summary`] to do
+//! better:
+//!
+//! * [`purity::classify_sites`] — call sites whose `MOD` set is empty are
+//!   *observer* calls (safe to reorder/hoist/CSE across); sites with
+//!   empty `MOD` *and* empty `USE` on visible state are candidates for
+//!   removal if their results are unused;
+//! * [`dead_stores::eliminate_dead_stores`] — removes assignments to
+//!   local variables that are provably never read again, *looking through
+//!   call sites* with the interprocedural `USE` sets (the conservative
+//!   no-information optimizer must keep every store that precedes any
+//!   call);
+//! * [`hoist::find_hoistable_calls`] — proves calls inside loops
+//!   loop-invariant (`MOD(s) = ∅` and `USE(s)` disjoint from the loop's
+//!   writes);
+//! * both report how much the interprocedural summaries bought over the
+//!   "assume everything" baseline.
+//!
+//! The property suite checks semantic preservation by running original
+//! and optimized programs in the `modref-interp` interpreter and
+//! comparing observable behaviour.
+
+pub mod dead_stores;
+pub mod hoist;
+pub mod purity;
+
+pub use dead_stores::{
+    eliminate_dead_stores, eliminate_dead_stores_assuming_worst, DeadStoreReport,
+};
+pub use hoist::{find_hoistable_calls, Hoistable};
+pub use purity::{classify_sites, SiteClass, SiteClassification};

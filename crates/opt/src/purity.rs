@@ -1,0 +1,174 @@
+//! Call-site purity classification from `MOD`/`USE` summaries.
+
+use modref_core::Summary;
+use modref_ir::{CallSiteId, Program};
+
+/// How a call site interacts with caller-visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteClass {
+    /// Modifies nothing and reads nothing: the call is a no-op on visible
+    /// state (removable if the language has no I/O — MiniProc's `print`
+    /// and `read` keep such calls effectful only through the summaries'
+    /// view of globals, so treat with care downstream).
+    Inert,
+    /// Reads but never writes: safe to reorder with other observers and
+    /// to common up between identical argument lists.
+    Observer,
+    /// Writes a nonempty set: a mutator.
+    Mutator,
+}
+
+/// Classification of every call site, with the counterfactual "no
+/// interprocedural information" comparison.
+#[derive(Debug, Clone)]
+pub struct SiteClassification {
+    classes: Vec<SiteClass>,
+    observers: usize,
+    inert: usize,
+}
+
+impl SiteClassification {
+    /// The class of call site `s`.
+    pub fn class_of(&self, s: CallSiteId) -> SiteClass {
+        self.classes[s.index()]
+    }
+
+    /// Number of sites safe to reorder/CSE (observers plus inert).
+    pub fn reorderable(&self) -> usize {
+        self.observers + self.inert
+    }
+
+    /// Number of sites with no visible effect at all.
+    pub fn inert(&self) -> usize {
+        self.inert
+    }
+
+    /// Iterates over `(site, class)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CallSiteId, SiteClass)> + '_ {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (CallSiteId::new(i), c))
+    }
+}
+
+/// Classifies every call site of `program` using `summary`.
+///
+/// Without interprocedural analysis every site is a [`SiteClass::Mutator`]
+/// (the §2 worst-case assumption), so `reorderable()` measures exactly
+/// what the analysis bought.
+///
+/// # Examples
+///
+/// ```
+/// use modref_core::Analyzer;
+/// use modref_opt::{classify_sites, SiteClass};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = modref_frontend::parse_program("
+///     var g;
+///     proc peek() { print g; }
+///     proc poke() { g = 1; }
+///     main { call peek(); call poke(); }
+/// ")?;
+/// let summary = Analyzer::new().analyze(&program);
+/// let classes = classify_sites(&program, &summary);
+/// let mut sites = program.sites();
+/// assert_eq!(classes.class_of(sites.next().unwrap()), SiteClass::Observer);
+/// assert_eq!(classes.class_of(sites.next().unwrap()), SiteClass::Mutator);
+/// # Ok(())
+/// # }
+/// ```
+pub fn classify_sites(program: &Program, summary: &Summary) -> SiteClassification {
+    let mut classes = Vec::with_capacity(program.num_sites());
+    let mut observers = 0usize;
+    let mut inert = 0usize;
+    for s in program.sites() {
+        let class = if !summary.mod_site(s).is_empty() {
+            SiteClass::Mutator
+        } else if summary.use_site(s).is_empty() {
+            inert += 1;
+            SiteClass::Inert
+        } else {
+            observers += 1;
+            SiteClass::Observer
+        };
+        classes.push(class);
+    }
+    SiteClassification {
+        classes,
+        observers,
+        inert,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_core::Analyzer;
+    use modref_frontend::parse_program;
+
+    fn classify(src: &str) -> (Program, SiteClassification) {
+        let program = parse_program(src).expect("parses");
+        let summary = Analyzer::new().analyze(&program);
+        let classes = classify_sites(&program, &summary);
+        (program, classes)
+    }
+
+    #[test]
+    fn transitive_mutation_is_detected() {
+        let (program, classes) = classify(
+            "var g;
+             proc deep() { g = 1; }
+             proc shallow() { call deep(); }
+             main { call shallow(); }",
+        );
+        let main_site = program
+            .sites()
+            .find(|&s| program.site(s).caller() == program.main())
+            .unwrap();
+        assert_eq!(classes.class_of(main_site), SiteClass::Mutator);
+        assert_eq!(classes.reorderable(), 0);
+    }
+
+    #[test]
+    fn reference_parameter_mutation_counts() {
+        let (program, classes) = classify(
+            "var g;
+             proc set(x) { x = 1; }
+             main { call set(g); }",
+        );
+        assert_eq!(
+            classes.class_of(program.sites().next().unwrap()),
+            SiteClass::Mutator
+        );
+    }
+
+    #[test]
+    fn pure_computation_on_value_args_is_inert() {
+        let (program, classes) = classify(
+            "proc compute(x) { var t; t = x * x; }
+             main { call compute(value 3); }",
+        );
+        assert_eq!(
+            classes.class_of(program.sites().next().unwrap()),
+            SiteClass::Inert
+        );
+        assert_eq!(classes.inert(), 1);
+    }
+
+    #[test]
+    fn local_print_is_still_inert_on_variables() {
+        // `print` produces output but touches no caller-visible variable:
+        // the MOD/USE view (variables only) calls it inert. Downstream
+        // passes must consult I/O effects separately — documented.
+        let (program, classes) = classify(
+            "proc shout() { print 42; }
+             main { call shout(); }",
+        );
+        assert_eq!(
+            classes.class_of(program.sites().next().unwrap()),
+            SiteClass::Inert
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Semantic preservation: optimizing with the interprocedural summaries
+//! never changes observable behaviour.
+
+use modref_core::Analyzer;
+use modref_interp::Interpreter;
+use modref_opt::eliminate_dead_stores;
+use modref_progen::{generate, GenConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dead_store_elimination_preserves_output(
+        seed in any::<u64>(),
+        input_seed in any::<u64>(),
+        n in 2usize..12,
+        depth in 1u32..4,
+    ) {
+        let program = generate(&GenConfig::tiny(n, depth), seed);
+        let summary = Analyzer::new().analyze(&program);
+        let report = eliminate_dead_stores(&program, &summary);
+
+        let before = Interpreter::new(&program, input_seed).with_fuel(30_000).run();
+        let after = Interpreter::new(&report.program, input_seed)
+            .with_fuel(30_000)
+            .run();
+        // Removing statements shifts fuel accounting; only compare
+        // untruncated runs (the overwhelming majority at this size).
+        prop_assume!(!before.truncated && !after.truncated);
+        prop_assert_eq!(
+            before.printed, after.printed,
+            "seed {}/{}: output changed after removing {} stores\n{}",
+            seed, input_seed, report.removed, program.to_source()
+        );
+    }
+
+    #[test]
+    fn optimized_program_revalidates_and_reanalyzes(seed in any::<u64>(), n in 2usize..10) {
+        let program = generate(&GenConfig::tiny(n, 2), seed);
+        let summary = Analyzer::new().analyze(&program);
+        let report = eliminate_dead_stores(&program, &summary);
+        prop_assert!(report.program.validate().is_ok());
+        // The optimized program's MOD sets are subsets of the original's
+        // (removing writes can only shrink effects).
+        let after = Analyzer::new().analyze(&report.program);
+        for s in program.sites() {
+            // Site ids survive: the pass never touches call statements.
+            prop_assert!(after.dmod_site(s).is_subset(summary.dmod_site(s)));
+        }
+    }
+
+    #[test]
+    fn idempotent(seed in any::<u64>(), n in 2usize..10) {
+        let program = generate(&GenConfig::tiny(n, 2), seed);
+        let summary = Analyzer::new().analyze(&program);
+        let once = eliminate_dead_stores(&program, &summary);
+        let summary2 = Analyzer::new().analyze(&once.program);
+        let twice = eliminate_dead_stores(&once.program, &summary2);
+        prop_assert_eq!(twice.removed, 0, "second pass found more dead stores");
+    }
+}

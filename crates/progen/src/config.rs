@@ -1,0 +1,113 @@
+//! Generator configuration.
+
+/// Tuning knobs for [`crate::generate`].
+///
+/// All ranges are inclusive. The defaults describe a mid-sized
+/// FORTRAN-flavoured program; the constructors produce the families the
+/// experiments sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenConfig {
+    /// Number of procedures besides main.
+    pub num_procs: usize,
+    /// Global scalars (§1: expected to grow with program size).
+    pub num_globals: usize,
+    /// Global arrays (rank 1–2), participating as section actuals.
+    pub num_global_arrays: usize,
+    /// Formal parameters per procedure, `(min, max)` — controls `μ_f`.
+    pub formals_per_proc: (usize, usize),
+    /// Locals per procedure, `(min, max)`.
+    pub locals_per_proc: (usize, usize),
+    /// Call statements per procedure, `(min, max)` — controls `E_C`.
+    pub calls_per_proc: (usize, usize),
+    /// Assignments per procedure, `(min, max)`.
+    pub writes_per_proc: (usize, usize),
+    /// Maximum lexical nesting level of procedure declarations
+    /// (`1` = flat FORTRAN-style, `> 1` = Pascal-style).
+    pub max_level: u32,
+    /// Probability that a new procedure nests inside the previous one
+    /// instead of being declared at the top level (when `max_level > 1`).
+    pub nesting_bias: f64,
+    /// Probability that a by-reference actual is a formal of the calling
+    /// context (creating a binding-graph edge) rather than a global or
+    /// local.
+    pub formal_actual_bias: f64,
+    /// Probability that an actual is passed by value.
+    pub value_actual_prob: f64,
+    /// Probability that a generated call is wrapped in `if`/`while`.
+    pub control_flow_prob: f64,
+    /// If `true`, add calls from main so every procedure is reachable
+    /// (§3.3's standing assumption).
+    pub ensure_reachable: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            num_procs: 20,
+            num_globals: 10,
+            num_global_arrays: 2,
+            formals_per_proc: (0, 4),
+            locals_per_proc: (0, 3),
+            calls_per_proc: (0, 4),
+            writes_per_proc: (1, 4),
+            max_level: 1,
+            nesting_bias: 0.5,
+            formal_actual_bias: 0.5,
+            value_actual_prob: 0.15,
+            control_flow_prob: 0.3,
+            ensure_reachable: true,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Flat two-level program with globals growing linearly in size —
+    /// the §1 cost-model assumption.
+    pub fn fortran_like(num_procs: usize) -> Self {
+        GenConfig {
+            num_procs,
+            num_globals: num_procs.max(4),
+            max_level: 1,
+            ..GenConfig::default()
+        }
+    }
+
+    /// Pascal-style program with nesting up to `max_level`.
+    pub fn pascal_like(num_procs: usize, max_level: u32) -> Self {
+        GenConfig {
+            num_procs,
+            num_globals: (num_procs / 2).max(4),
+            max_level: max_level.max(1),
+            nesting_bias: 0.6,
+            ..GenConfig::default()
+        }
+    }
+
+    /// Parameter-heavy program for binding-graph experiments: most
+    /// actuals are formals, so `β` approaches its `μ_a · E_C` bound.
+    pub fn binding_heavy(num_procs: usize, params: usize) -> Self {
+        GenConfig {
+            num_procs,
+            num_globals: 4,
+            formals_per_proc: (params, params),
+            formal_actual_bias: 0.9,
+            value_actual_prob: 0.02,
+            ..GenConfig::default()
+        }
+    }
+
+    /// Small configs for property tests (fast to generate and to oracle).
+    pub fn tiny(num_procs: usize, max_level: u32) -> Self {
+        GenConfig {
+            num_procs,
+            num_globals: 3,
+            num_global_arrays: 1,
+            formals_per_proc: (0, 2),
+            locals_per_proc: (0, 2),
+            calls_per_proc: (0, 3),
+            writes_per_proc: (0, 2),
+            max_level,
+            ..GenConfig::default()
+        }
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Synthetic program generation for the `modref` workspace.
+//!
+//! The 1988 paper predates shared benchmark suites; its claims are
+//! asymptotic. This crate supplies the workloads that exercise them:
+//!
+//! * [`GenConfig`] + [`generate`] — seeded random programs with
+//!   configurable size, call fan-out, parameter counts (`μ_a`, `μ_f` of
+//!   §3.1), recursion probability, nesting depth, and global-variable
+//!   density ("it is reasonable to assume that the number of global
+//!   variables will grow linearly with the size of the program", §1).
+//!   Every generated program passes `Program::validate`.
+//! * [`workloads`] — the named parameter families the benchmark harness
+//!   sweeps (binding chains for Figure 1, call-graph families for
+//!   Figure 2, nesting ladders for the multi-level algorithm, and the
+//!   back-edge ladder that is adversarial for iterative baselines).
+//!
+//! # Examples
+//!
+//! ```
+//! use modref_progen::{generate, GenConfig};
+//!
+//! let program = generate(&GenConfig::fortran_like(40), 0xC0FFEE);
+//! assert_eq!(program.num_procs(), 41); // + main
+//! assert!(program.validate().is_ok());
+//! // Same seed, same program.
+//! let again = generate(&GenConfig::fortran_like(40), 0xC0FFEE);
+//! assert_eq!(program.to_source(), again.to_source());
+//! ```
+
+mod config;
+mod gen;
+pub mod workloads;
+
+pub use config::GenConfig;
+pub use gen::generate;

@@ -1,0 +1,254 @@
+//! Named workload families used by the experiments and benches.
+//!
+//! Each function builds a deterministic program family parameterised by
+//! size, matching one experiment of `EXPERIMENTS.md`:
+//!
+//! | family | exercises |
+//! |---|---|
+//! | [`binding_chain`] | Figure 1 / E1 — linear `RMOD` in `E_β` |
+//! | [`binding_chain_all_writers`] | E1 — the per-parameter baseline's quadratic case |
+//! | [`call_ring`] | Figure 2 / E2 — one big SCC |
+//! | [`back_edge_ladder`] | E2 — adversarial for round-robin iteration |
+//! | [`call_dag`] | E2 — cycle-free control, cross edges |
+//! | [`nested_ladder`] | §4 multi-level / E3 — deep lexical nesting |
+//! | [`alias_heavy`] | §5 / E7 — many alias pairs |
+
+use modref_ir::{Expr, ProcId, Program, ProgramBuilder};
+
+/// A chain `main → p0(x) → p1(x) → … → p{n-1}(x)` passing one formal all
+/// the way down; only the last procedure writes it. `β` is a path of
+/// `n - 1` edges.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn binding_chain(n: usize) -> Program {
+    assert!(n > 0, "need at least one procedure");
+    let mut b = ProgramBuilder::new();
+    let procs: Vec<ProcId> = (0..n).map(|i| b.proc_(&format!("p{i}"), &["x"])).collect();
+    b.assign(procs[n - 1], b.formal(procs[n - 1], 0), Expr::constant(1));
+    for i in 0..n - 1 {
+        b.call(procs[i], procs[i + 1], &[b.formal(procs[i], 0)]);
+    }
+    let g = b.global("g");
+    let main = b.main();
+    b.call(main, procs[0], &[g]);
+    b.finish().expect("binding_chain is valid")
+}
+
+/// Like [`binding_chain`] but *every* procedure writes its formal — every
+/// `β` node is a seed, which drives the per-parameter baseline to its
+/// quadratic worst case while Figure 1 stays linear.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn binding_chain_all_writers(n: usize) -> Program {
+    assert!(n > 0, "need at least one procedure");
+    let mut b = ProgramBuilder::new();
+    let procs: Vec<ProcId> = (0..n)
+        .map(|i| {
+            let p = b.proc_(&format!("p{i}"), &["x"]);
+            b.assign(p, b.formal(p, 0), Expr::constant(1));
+            p
+        })
+        .collect();
+    for i in 0..n - 1 {
+        b.call(procs[i], procs[i + 1], &[b.formal(procs[i], 0)]);
+    }
+    let g = b.global("g");
+    let main = b.main();
+    b.call(main, procs[0], &[g]);
+    b.finish().expect("binding_chain_all_writers is valid")
+}
+
+/// `n` procedures in one call ring (a single SCC); one writes a global.
+/// With `globals ∝ n` the §1 assumption "bit vectors grow with program
+/// size" holds.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn call_ring(n: usize, globals: usize) -> Program {
+    assert!(n > 0, "need at least one procedure");
+    let mut b = ProgramBuilder::new();
+    let gs: Vec<_> = (0..globals.max(1))
+        .map(|i| b.global(&format!("g{i}")))
+        .collect();
+    let procs: Vec<ProcId> = (0..n).map(|i| b.proc_(&format!("p{i}"), &[])).collect();
+    for (i, &p) in procs.iter().enumerate() {
+        b.call(p, procs[(i + 1) % n], &[]);
+        // Spread writes so different globals originate in different ring
+        // positions.
+        b.assign(p, gs[i % gs.len()], Expr::constant(1));
+    }
+    let main = b.main();
+    b.call(main, procs[0], &[]);
+    b.finish().expect("call_ring is valid")
+}
+
+/// The adversarial family for round-robin iterative data-flow: a tree
+/// chain `main → x1 → … → xn` where every `x_{i+1}` also calls its
+/// ancestor `x_i`. The global written by `x1` takes one back edge per
+/// round, forcing `Θ(n)` rounds; Figure 2 closes the single SCC in one
+/// pass.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn back_edge_ladder(n: usize) -> Program {
+    assert!(n >= 2, "need at least two procedures");
+    let mut b = ProgramBuilder::new();
+    let g = b.global("g");
+    let procs: Vec<ProcId> = (0..n).map(|i| b.proc_(&format!("x{i}"), &[])).collect();
+    for i in 0..n - 1 {
+        b.call(procs[i], procs[i + 1], &[]);
+        b.call(procs[i + 1], procs[i], &[]);
+    }
+    b.assign(procs[0], g, Expr::constant(1));
+    let main = b.main();
+    b.call(main, procs[0], &[]);
+    b.finish().expect("back_edge_ladder is valid")
+}
+
+/// A layered DAG: `layers` layers of `width` procedures, each calling
+/// `fanout` procedures of the next layer; the bottom layer writes
+/// globals. Exercises cross/forward edges without cycles.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn call_dag(layers: usize, width: usize, fanout: usize) -> Program {
+    assert!(
+        layers > 0 && width > 0 && fanout > 0,
+        "dimensions must be positive"
+    );
+    let mut b = ProgramBuilder::new();
+    let gs: Vec<_> = (0..width).map(|i| b.global(&format!("g{i}"))).collect();
+    let grid: Vec<Vec<ProcId>> = (0..layers)
+        .map(|l| {
+            (0..width)
+                .map(|w| b.proc_(&format!("l{l}w{w}"), &[]))
+                .collect()
+        })
+        .collect();
+    for l in 0..layers - 1 {
+        for w in 0..width {
+            for f in 0..fanout {
+                let target = grid[l + 1][(w + f) % width];
+                b.call(grid[l][w], target, &[]);
+            }
+        }
+    }
+    for (w, &g) in gs.iter().enumerate() {
+        b.assign(grid[layers - 1][w], g, Expr::constant(1));
+    }
+    let main = b.main();
+    for &top in &grid[0] {
+        b.call(main, top, &[]);
+    }
+    b.finish().expect("call_dag is valid")
+}
+
+/// A nesting ladder of the given `depth`: each level declares one nested
+/// procedure (with a local the next level writes) plus `width` leaf
+/// procedures. Exercises the multi-level `GMOD` algorithms with
+/// `d_P = depth`.
+///
+/// # Panics
+///
+/// Panics if `depth == 0`.
+pub fn nested_ladder(depth: usize, width: usize) -> Program {
+    assert!(depth > 0, "need at least one level");
+    let mut b = ProgramBuilder::new();
+    let g = b.global("g");
+    let main = b.main();
+    let mut parent = main;
+    let mut prev_local = g;
+    for d in 0..depth {
+        let p = b.nested_proc(parent, &format!("n{d}"), &[]);
+        let local = b.local(p, &format!("loc{d}"));
+        // Write the *enclosing* level's local (global for d == 0): the
+        // effect must climb exactly one level.
+        b.assign(p, prev_local, Expr::constant(1));
+        b.call(parent, p, &[]);
+        for w in 0..width {
+            let leaf = b.nested_proc(p, &format!("leaf{d}_{w}"), &[]);
+            b.assign(leaf, local, Expr::constant(2));
+            b.assign(leaf, g, Expr::constant(3));
+            b.call(p, leaf, &[]);
+        }
+        parent = p;
+        prev_local = local;
+    }
+    b.finish().expect("nested_ladder is valid")
+}
+
+/// Alias-heavy programs: `n` procedures each taking `params` reference
+/// formals, all bound to the *same* global at every site — `ALIAS(p)`
+/// grows quadratically in `params`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `params == 0`.
+pub fn alias_heavy(n: usize, params: usize) -> Program {
+    assert!(n > 0 && params > 0, "dimensions must be positive");
+    let mut b = ProgramBuilder::new();
+    let g = b.global("g");
+    let names: Vec<String> = (0..params).map(|i| format!("f{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let procs: Vec<ProcId> = (0..n)
+        .map(|i| {
+            let p = b.nested_proc(ProcId::MAIN, &format!("p{i}"), &name_refs);
+            b.assign(p, b.formal(p, 0), Expr::constant(1));
+            p
+        })
+        .collect();
+    // Chain them, forwarding all formals.
+    for i in 0..n - 1 {
+        let args: Vec<_> = (0..params).map(|j| b.formal(procs[i], j)).collect();
+        b.call(procs[i], procs[i + 1], &args);
+    }
+    let main = b.main();
+    let args = vec![g; params];
+    b.call(main, procs[0], &args);
+    b.finish().expect("alias_heavy is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_validate_and_have_expected_shapes() {
+        let chain = binding_chain(10);
+        assert_eq!(chain.num_procs(), 11);
+        assert_eq!(chain.num_sites(), 10);
+
+        let ring = call_ring(8, 8);
+        assert_eq!(ring.num_sites(), 9);
+
+        let ladder = back_edge_ladder(6);
+        assert_eq!(ladder.num_sites(), 2 * 5 + 1);
+
+        let dag = call_dag(3, 4, 2);
+        assert_eq!(dag.num_procs(), 13);
+
+        let nested = nested_ladder(4, 2);
+        assert_eq!(nested.max_level(), 5); // ladder levels sit below main
+
+        let alias = alias_heavy(3, 4);
+        assert!((alias.mean_formals() - 3.0).abs() < 1e-9); // 12 formals / 4 procs
+    }
+
+    #[test]
+    fn nested_ladder_levels_carry_locals() {
+        let p = nested_ladder(3, 1);
+        // One local per ladder level.
+        let locals: Vec<_> = p
+            .vars()
+            .filter(|&v| p.var_name(v).starts_with("loc"))
+            .collect();
+        assert_eq!(locals.len(), 3);
+    }
+}

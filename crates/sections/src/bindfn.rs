@@ -1,0 +1,280 @@
+//! The `g_e` edge functions (§6).
+//!
+//! A binding event passes an array *section* of the actual to the callee's
+//! array formal: `call smooth(a[i, *])` binds the rank-1 formal to row `i`
+//! of `a`. During the analysis, a regular section describing accesses to
+//! the **formal** must be mapped to one describing accesses to the
+//! **actual** — the paper's `g_e`, which "may not be the identity
+//! function". Concretely:
+//!
+//! * each `★` position of the actual reference corresponds, in order, to
+//!   one axis of the formal — those axes carry the formal's section
+//!   through (after *symbol translation*, below);
+//! * each fixed position (`a[i, …]`) stays fixed in the result;
+//! * a symbolic axis value in the callee's frame (`row[j]` with `j` a
+//!   variable of the callee) only survives if the binding lets us name it
+//!   in the caller's frame: `j` bound as a by-reference scalar actual maps
+//!   to that actual; a variable already visible in the caller (a global or
+//!   an enclosing scope's variable) maps to itself; anything else widens
+//!   to `★`.
+
+use modref_ir::{Actual, CallSiteId, Program, Ref, Subscript, VarId};
+
+use crate::lattice::{Section, SubscriptPos};
+
+/// The mapping of one array binding event: apply with [`EdgeFn::apply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeFn {
+    /// Per actual-array axis: `None` carries formal axis `k` (counted in
+    /// order of appearance), `Some(pos)` is fixed.
+    axes: Vec<AxisMap>,
+    /// Scalar symbol translation derived from the same call site:
+    /// callee formal scalar ↦ caller actual scalar variable.
+    subst: Vec<(VarId, VarId)>,
+    /// The call site this mapping came from.
+    site: CallSiteId,
+    /// Variables visible in the caller survive untranslated.
+    caller: modref_ir::ProcId,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AxisMap {
+    /// This actual axis receives formal axis `k`'s position.
+    FromFormal(usize),
+    /// This actual axis is fixed by the reference at the call site.
+    Fixed(SubscriptPos),
+}
+
+impl EdgeFn {
+    /// Builds `g_e` for the array actual `r` bound at call site `site`.
+    ///
+    /// Returns `None` if `r` is not an array reference that can bind an
+    /// array formal (e.g. a scalar).
+    pub fn for_binding(program: &Program, site: CallSiteId, r: &Ref) -> Option<EdgeFn> {
+        let info = program.var(r.var);
+        if info.rank() == 0 {
+            return None;
+        }
+        let axes: Vec<AxisMap> = if r.subs.is_empty() {
+            // Whole array: identity on every axis.
+            (0..info.rank()).map(AxisMap::FromFormal).collect()
+        } else {
+            let mut next_formal_axis = 0usize;
+            r.subs
+                .iter()
+                .map(|s| match s {
+                    Subscript::All => {
+                        let k = next_formal_axis;
+                        next_formal_axis += 1;
+                        AxisMap::FromFormal(k)
+                    }
+                    Subscript::Const(c) => AxisMap::Fixed(SubscriptPos::Const(*c)),
+                    Subscript::Var(v) => AxisMap::Fixed(SubscriptPos::Sym(*v)),
+                })
+                .collect()
+        };
+
+        // Scalar substitution: callee scalar formals bound to scalar
+        // variable actuals at this site.
+        let site_info = program.site(site);
+        let callee = site_info.callee();
+        let mut subst = Vec::new();
+        for (pos, arg) in site_info.args().iter().enumerate() {
+            let formal = program.proc_(callee).formals()[pos];
+            if program.var(formal).rank() != 0 {
+                continue;
+            }
+            if let Actual::Ref(ar) = arg {
+                if ar.subs.is_empty() && program.var(ar.var).rank() == 0 {
+                    subst.push((formal, ar.var));
+                }
+            }
+        }
+
+        Some(EdgeFn {
+            axes,
+            subst,
+            site,
+            caller: site_info.caller(),
+        })
+    }
+
+    /// The call site this edge function belongs to.
+    pub fn site(&self) -> CallSiteId {
+        self.site
+    }
+
+    /// Maps a section of the *formal* to a section of the *actual*.
+    ///
+    /// `⊥` maps to `⊥` (no access to the formal means no access through
+    /// this binding). The formal's rank must equal the number of carried
+    /// axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formal section's rank disagrees with the binding.
+    pub fn apply(&self, program: &Program, formal_section: &Section) -> Section {
+        let Some(f_axes) = formal_section.axes() else {
+            return Section::Bottom;
+        };
+        let carried = self
+            .axes
+            .iter()
+            .filter(|a| matches!(a, AxisMap::FromFormal(_)))
+            .count();
+        assert_eq!(
+            f_axes.len(),
+            carried,
+            "formal rank {} does not match binding with {carried} carried axes",
+            f_axes.len()
+        );
+        let out = self
+            .axes
+            .iter()
+            .map(|a| match a {
+                AxisMap::Fixed(pos) => *pos,
+                AxisMap::FromFormal(k) => self.translate(program, f_axes[*k]),
+            })
+            .collect();
+        Section::Axes(out)
+    }
+
+    /// Translates a callee-frame axis position into the caller's frame.
+    fn translate(&self, program: &Program, pos: SubscriptPos) -> SubscriptPos {
+        match pos {
+            SubscriptPos::Star => SubscriptPos::Star,
+            SubscriptPos::Const(c) => SubscriptPos::Const(c),
+            SubscriptPos::Sym(v) => {
+                // Bound scalar formal ↦ the actual variable.
+                if let Some(&(_, actual)) = self.subst.iter().find(|&&(f, _)| f == v) {
+                    return SubscriptPos::Sym(actual);
+                }
+                // Already visible in the caller (global or enclosing
+                // scope): same variable, same meaning.
+                if program.visible_in(v, self.caller) {
+                    return SubscriptPos::Sym(v);
+                }
+                SubscriptPos::Star
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_ir::{Expr, ProgramBuilder};
+
+    /// `main { call q(a[i, *], i); }` with `q(row[*], j)`.
+    fn row_binding() -> (Program, EdgeFn, VarId, VarId, VarId) {
+        let mut b = ProgramBuilder::new();
+        let a = b.global_array("a", 2);
+        let i = b.global("i");
+        let q = b.nested_proc_ranked(b.main(), "q", &[("row", 1), ("j", 0)]);
+        b.assign(q, b.formal(q, 1), Expr::constant(0)); // keep q non-empty
+        let main = b.main();
+        let site = b.call_args(
+            main,
+            q,
+            vec![
+                Actual::Ref(Ref::indexed(a, [Subscript::Var(i), Subscript::All])),
+                Actual::Ref(Ref::scalar(i)),
+            ],
+        );
+        let program = b.finish().expect("valid");
+        let r = match &program.site(site).args()[0] {
+            Actual::Ref(r) => r.clone(),
+            _ => unreachable!(),
+        };
+        let g = EdgeFn::for_binding(&program, site, &r).expect("array binding");
+        let j = b.formal(q, 1);
+        (program, g, a, i, j)
+    }
+
+    #[test]
+    fn fixed_axis_and_carried_axis() {
+        let (program, g, _a, i, _j) = row_binding();
+        // Formal accessed wholly: row i of a.
+        let sec = g.apply(&program, &Section::whole(1));
+        assert_eq!(
+            sec.axes().unwrap(),
+            &[SubscriptPos::Sym(i), SubscriptPos::Star]
+        );
+    }
+
+    #[test]
+    fn bound_scalar_formal_translates() {
+        let (program, g, _a, i, j) = row_binding();
+        // Formal accessed at element [j] where j is the scalar formal
+        // bound to i: maps to a[i, i].
+        let sec = g.apply(&program, &Section::element([SubscriptPos::Sym(j)]));
+        assert_eq!(
+            sec.axes().unwrap(),
+            &[SubscriptPos::Sym(i), SubscriptPos::Sym(i)]
+        );
+    }
+
+    #[test]
+    fn global_symbol_survives_untranslated() {
+        let (program, g, _a, i, _j) = row_binding();
+        let sec = g.apply(&program, &Section::element([SubscriptPos::Sym(i)]));
+        assert_eq!(
+            sec.axes().unwrap(),
+            &[SubscriptPos::Sym(i), SubscriptPos::Sym(i)]
+        );
+    }
+
+    #[test]
+    fn callee_local_symbol_widens() {
+        let mut b = ProgramBuilder::new();
+        let a = b.global_array("a", 1);
+        let q = b.nested_proc_ranked(b.main(), "q", &[("row", 1)]);
+        let t = b.local(q, "t");
+        b.assign(q, t, Expr::constant(3));
+        let main = b.main();
+        let site = b.call_args(main, q, vec![Actual::Ref(Ref::scalar(a))]);
+        let program = b.finish().expect("valid");
+        let r = Ref::scalar(a);
+        let g = EdgeFn::for_binding(&program, site, &r).expect("binding");
+        // Access row[t]: t is local to q — unknown to main — widens to ★.
+        let sec = g.apply(&program, &Section::element([SubscriptPos::Sym(t)]));
+        assert_eq!(sec.axes().unwrap(), &[SubscriptPos::Star]);
+    }
+
+    #[test]
+    fn bottom_maps_to_bottom_and_scalars_make_no_edgefn() {
+        let (program, g, _, _, _) = row_binding();
+        assert!(g.apply(&program, &Section::Bottom).is_bottom());
+        let i = program
+            .vars()
+            .find(|&v| program.var(v).rank() == 0)
+            .unwrap();
+        assert!(EdgeFn::for_binding(&program, g.site(), &Ref::scalar(i)).is_none());
+    }
+
+    #[test]
+    fn restriction_property_holds_for_whole_array_bindings() {
+        // The paper's third g property: around a cycle that passes the
+        // whole array, g is the identity, so g(x) ⊓ x = x.
+        let mut b = ProgramBuilder::new();
+        let a = b.global_array("a", 2);
+        let q = b.nested_proc_ranked(b.main(), "q", &[("m", 2)]);
+        b.assign_indexed(
+            q,
+            b.formal(q, 0),
+            vec![Subscript::Const(0), Subscript::Const(0)],
+            Expr::constant(1),
+        );
+        let main = b.main();
+        let site = b.call_args(main, q, vec![Actual::Ref(Ref::scalar(a))]);
+        let program = b.finish().expect("valid");
+        let g = EdgeFn::for_binding(&program, site, &Ref::scalar(a)).expect("binding");
+        for sec in [
+            Section::whole(2),
+            Section::element([SubscriptPos::Const(1), SubscriptPos::Star]),
+        ] {
+            let mapped = g.apply(&program, &sec);
+            assert_eq!(mapped.meet(&sec), sec);
+        }
+    }
+}

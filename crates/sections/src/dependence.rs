@@ -1,0 +1,130 @@
+//! Dependence tests over regular sections.
+//!
+//! The point of §6: with per-call-site *sections* instead of whole-array
+//! bits, a paralleliser can prove that two calls (or two iterations of a
+//! loop around a call) touch disjoint parts of an array and run them in
+//! parallel. These tests are deliberately conservative — `false` means
+//! "might overlap".
+
+use modref_ir::VarId;
+
+use crate::lattice::{Section, SubscriptPos};
+
+/// `true` if the two sections of the *same* array provably never overlap.
+///
+/// Only a pair of distinct constants on some axis separates two sections;
+/// two different symbols may hold the same value at run time, and `★`
+/// overlaps everything on its axis. `⊥` (no access) is disjoint from
+/// everything.
+///
+/// # Examples
+///
+/// ```
+/// use modref_sections::{definitely_disjoint, Section, SubscriptPos};
+///
+/// let row0 = Section::element([SubscriptPos::Const(0), SubscriptPos::Star]);
+/// let row1 = Section::element([SubscriptPos::Const(1), SubscriptPos::Star]);
+/// assert!(definitely_disjoint(&row0, &row1));
+/// assert!(!definitely_disjoint(&row0, &row0));
+/// ```
+pub fn definitely_disjoint(a: &Section, b: &Section) -> bool {
+    match (a.axes(), b.axes()) {
+        (None, _) | (_, None) => true,
+        (Some(xa), Some(xb)) => {
+            if xa.len() != xb.len() {
+                // Different ranks cannot describe the same array; treat as
+                // incomparable and conservative.
+                return false;
+            }
+            xa.iter().zip(xb).any(|(pa, pb)| match (pa, pb) {
+                (SubscriptPos::Const(ca), SubscriptPos::Const(cb)) => ca != cb,
+                _ => false,
+            })
+        }
+    }
+}
+
+/// `true` if a loop over `loop_var` whose body produces `section` per
+/// iteration touches pairwise-disjoint parts in different iterations —
+/// i.e. the section pins some axis to exactly `Sym(loop_var)`.
+///
+/// This is the §6 motivating test: `do i … call update(a[i, *])` is
+/// parallelisable because iteration `i` writes row `i` only, and distinct
+/// iterations have distinct `i`.
+///
+/// # Examples
+///
+/// ```
+/// use modref_ir::VarId;
+/// use modref_sections::{independent_across_iterations, Section, SubscriptPos};
+///
+/// let i = VarId::new(7);
+/// let row_i = Section::element([SubscriptPos::Sym(i), SubscriptPos::Star]);
+/// assert!(independent_across_iterations(&row_i, i));
+/// let whole = Section::whole(2);
+/// assert!(!independent_across_iterations(&whole, i));
+/// ```
+pub fn independent_across_iterations(section: &Section, loop_var: VarId) -> bool {
+    match section.axes() {
+        None => true, // never touched at all
+        Some(axes) => axes.contains(&SubscriptPos::Sym(loop_var)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(i: usize) -> SubscriptPos {
+        SubscriptPos::Sym(VarId::new(i))
+    }
+
+    #[test]
+    fn constants_separate_symbols_do_not() {
+        let a = Section::element([SubscriptPos::Const(1), sym(0)]);
+        let b = Section::element([SubscriptPos::Const(2), sym(0)]);
+        let c = Section::element([sym(1), sym(0)]);
+        assert!(definitely_disjoint(&a, &b));
+        assert!(!definitely_disjoint(&a, &c), "symbols may coincide");
+        assert!(!definitely_disjoint(&b, &c));
+    }
+
+    #[test]
+    fn star_overlaps_everything() {
+        let col = Section::element([SubscriptPos::Star, SubscriptPos::Const(1)]);
+        let row = Section::element([SubscriptPos::Const(9), SubscriptPos::Star]);
+        assert!(!definitely_disjoint(&col, &row)); // they cross at [9, 1]
+        let col2 = Section::element([SubscriptPos::Star, SubscriptPos::Const(2)]);
+        assert!(definitely_disjoint(&col, &col2)); // parallel columns
+    }
+
+    #[test]
+    fn bottom_disjoint_from_all() {
+        let b = Section::bottom();
+        assert!(definitely_disjoint(&b, &Section::whole(2)));
+        assert!(definitely_disjoint(&Section::whole(2), &b));
+    }
+
+    #[test]
+    fn rank_mismatch_is_conservative() {
+        let r1 = Section::whole(1);
+        let r2 = Section::whole(2);
+        assert!(!definitely_disjoint(&r1, &r2));
+    }
+
+    #[test]
+    fn loop_independence_requires_pinned_axis() {
+        let i = VarId::new(0);
+        let j = VarId::new(1);
+        assert!(independent_across_iterations(
+            &Section::element([SubscriptPos::Sym(i), SubscriptPos::Star]),
+            i
+        ));
+        assert!(!independent_across_iterations(
+            &Section::element([SubscriptPos::Sym(j), SubscriptPos::Star]),
+            i
+        ));
+        assert!(!independent_across_iterations(&Section::whole(2), i));
+        assert!(independent_across_iterations(&Section::bottom(), i));
+    }
+}

@@ -1,0 +1,308 @@
+//! The regular-section lattice (Figure 3 of the paper).
+
+use std::fmt;
+
+use modref_ir::VarId;
+
+/// One axis of a regular section descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubscriptPos {
+    /// A known constant index.
+    Const(i64),
+    /// A symbolic index: the (caller-frame) scalar variable's value.
+    Sym(VarId),
+    /// The whole axis, `★`.
+    Star,
+}
+
+impl SubscriptPos {
+    /// Pointwise meet: identical positions stay, anything else widens to
+    /// `★`.
+    pub fn meet(self, other: SubscriptPos) -> SubscriptPos {
+        if self == other {
+            self
+        } else {
+            SubscriptPos::Star
+        }
+    }
+
+    /// `self ⊑ other` in the per-axis order (`x ⊑ ★` for every `x`).
+    pub fn le(self, other: SubscriptPos) -> bool {
+        self == other || other == SubscriptPos::Star
+    }
+}
+
+/// A regular section of one array: either `⊥` (no access) or one
+/// [`SubscriptPos`] per axis.
+///
+/// The lattice for a rank-`d` array is Figure 3 generalised: elements at
+/// the top, then sections with one `★`, …, down to the whole array
+/// `⟨★, …, ★⟩`, with `⊥` above everything (meaning "not accessed"). The
+/// *meet* moves down (coarsens); its height is `d + 2`, so any monotone
+/// fixpoint over sections terminates quickly regardless of program size.
+///
+/// # Examples
+///
+/// ```
+/// use modref_sections::{Section, SubscriptPos};
+///
+/// // The paper's Figure 3: A(I,J) ⊓ A(K,J) = A(*,J).
+/// let i = modref_ir::VarId::new(0);
+/// let j = modref_ir::VarId::new(1);
+/// let k = modref_ir::VarId::new(2);
+/// let a_ij = Section::element([SubscriptPos::Sym(i), SubscriptPos::Sym(j)]);
+/// let a_kj = Section::element([SubscriptPos::Sym(k), SubscriptPos::Sym(j)]);
+/// let met = a_ij.meet(&a_kj);
+/// assert_eq!(
+///     met.axes().unwrap(),
+///     &[SubscriptPos::Star, SubscriptPos::Sym(j)]
+/// );
+/// // And further: A(*,J) ⊓ A(K,*) = A(*,*).
+/// let a_k_star = Section::element([SubscriptPos::Sym(k), SubscriptPos::Star]);
+/// assert!(met.meet(&a_k_star).is_whole_array());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Section {
+    /// Not accessed at all.
+    Bottom,
+    /// Accessed with the given per-axis pattern.
+    Axes(Vec<SubscriptPos>),
+}
+
+impl Section {
+    /// A descriptor from explicit axes.
+    pub fn element<I: IntoIterator<Item = SubscriptPos>>(axes: I) -> Self {
+        Section::Axes(axes.into_iter().collect())
+    }
+
+    /// The whole array of the given rank, `⟨★, …, ★⟩`.
+    pub fn whole(rank: usize) -> Self {
+        Section::Axes(vec![SubscriptPos::Star; rank])
+    }
+
+    /// The "no access" element.
+    pub fn bottom() -> Self {
+        Section::Bottom
+    }
+
+    /// `true` if nothing is accessed.
+    pub fn is_bottom(&self) -> bool {
+        matches!(self, Section::Bottom)
+    }
+
+    /// `true` if every axis is `★`.
+    pub fn is_whole_array(&self) -> bool {
+        matches!(self, Section::Axes(axes) if axes.iter().all(|&a| a == SubscriptPos::Star))
+    }
+
+    /// The per-axis pattern, or `None` for `⊥`.
+    pub fn axes(&self) -> Option<&[SubscriptPos]> {
+        match self {
+            Section::Bottom => None,
+            Section::Axes(axes) => Some(axes),
+        }
+    }
+
+    /// The array rank this section describes, or `None` for `⊥`.
+    pub fn rank(&self) -> Option<usize> {
+        self.axes().map(<[SubscriptPos]>::len)
+    }
+
+    /// Lattice meet (coarsening union of access shapes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if both sides are non-`⊥` with different ranks.
+    pub fn meet(&self, other: &Section) -> Section {
+        match (self, other) {
+            (Section::Bottom, x) | (x, Section::Bottom) => x.clone(),
+            (Section::Axes(a), Section::Axes(b)) => {
+                assert_eq!(a.len(), b.len(), "rank mismatch in section meet");
+                Section::Axes(a.iter().zip(b).map(|(&x, &y)| x.meet(y)).collect())
+            }
+        }
+    }
+
+    /// `self ⊑ other`: every access described by `self` is described by
+    /// `other` (with `⊥` below everything in the containment sense).
+    pub fn le(&self, other: &Section) -> bool {
+        match (self, other) {
+            (Section::Bottom, _) => true,
+            (_, Section::Bottom) => false,
+            (Section::Axes(a), Section::Axes(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(&x, &y)| x.le(y))
+            }
+        }
+    }
+
+    /// How far from the top of the lattice this section sits: the number
+    /// of `★` axes (`rank + 1` for… `⊥` reports 0). Used to bound
+    /// fixpoint iterations.
+    pub fn coarseness(&self) -> usize {
+        match self {
+            Section::Bottom => 0,
+            Section::Axes(axes) => 1 + axes.iter().filter(|&&a| a == SubscriptPos::Star).count(),
+        }
+    }
+}
+
+impl Section {
+    /// Renders the section with variable *names* resolved through a
+    /// program, e.g. `a[i, *]`-style output for diagnostics.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use modref_sections::{Section, SubscriptPos};
+    ///
+    /// # fn main() -> Result<(), modref_ir::ValidationError> {
+    /// let mut b = modref_ir::ProgramBuilder::new();
+    /// let i = b.global("i");
+    /// let program = b.finish()?;
+    /// let sec = Section::element([SubscriptPos::Sym(i), SubscriptPos::Star]);
+    /// assert_eq!(sec.display_named(&program), "[i, *]");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn display_named(&self, program: &modref_ir::Program) -> String {
+        match self {
+            Section::Bottom => "⊥".to_owned(),
+            Section::Axes(axes) => {
+                let parts: Vec<String> = axes
+                    .iter()
+                    .map(|a| match a {
+                        SubscriptPos::Const(c) => c.to_string(),
+                        SubscriptPos::Sym(v) => program.var_name(*v).to_owned(),
+                        SubscriptPos::Star => "*".to_owned(),
+                    })
+                    .collect();
+                format!("[{}]", parts.join(", "))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Section::Bottom => write!(f, "⊥"),
+            Section::Axes(axes) => {
+                write!(f, "[")?;
+                for (i, a) in axes.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match a {
+                        SubscriptPos::Const(c) => write!(f, "{c}")?,
+                        SubscriptPos::Sym(v) => write!(f, "{v}")?,
+                        SubscriptPos::Star => write!(f, "*")?,
+                    }
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(i: usize) -> SubscriptPos {
+        SubscriptPos::Sym(VarId::new(i))
+    }
+
+    #[test]
+    fn meet_is_commutative_associative_idempotent() {
+        let samples = [
+            Section::Bottom,
+            Section::element([sym(0), sym(1)]),
+            Section::element([sym(2), sym(1)]),
+            Section::element([SubscriptPos::Const(3), SubscriptPos::Star]),
+            Section::whole(2),
+        ];
+        for a in &samples {
+            assert_eq!(&a.meet(a), a, "idempotent");
+            for b in &samples {
+                assert_eq!(a.meet(b), b.meet(a), "commutative");
+                for c in &samples {
+                    assert_eq!(a.meet(b).meet(c), a.meet(&b.meet(c)), "associative");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn meet_is_greatest_lower_bound() {
+        let a = Section::element([sym(0), sym(1)]);
+        let b = Section::element([sym(0), SubscriptPos::Const(2)]);
+        let m = a.meet(&b);
+        assert_eq!(m.axes().unwrap(), &[sym(0), SubscriptPos::Star]);
+        // Containment order: a ⊑ m means m covers a's accesses; the meet
+        // covers both operands and is itself covered by the whole array.
+        assert!(a.le(&m));
+        assert!(b.le(&m));
+        assert!(m.le(&Section::whole(2)));
+    }
+
+    #[test]
+    fn figure3_lattice_paths() {
+        // Figure 3, bottom row reachable two ways.
+        let (i, j, k, l) = (sym(0), sym(1), sym(2), sym(3));
+        let a_ij = Section::element([i, j]);
+        let a_kj = Section::element([k, j]);
+        let a_kl = Section::element([k, l]);
+        let col_j = a_ij.meet(&a_kj);
+        assert_eq!(col_j.axes().unwrap(), &[SubscriptPos::Star, j]);
+        let row_k = a_kj.meet(&a_kl);
+        assert_eq!(row_k.axes().unwrap(), &[k, SubscriptPos::Star]);
+        assert!(col_j.meet(&row_k).is_whole_array());
+    }
+
+    #[test]
+    fn bottom_is_identity() {
+        let a = Section::element([sym(0)]);
+        assert_eq!(Section::bottom().meet(&a), a);
+        assert_eq!(a.meet(&Section::bottom()), a);
+        assert!(Section::bottom().le(&a));
+        assert!(!a.le(&Section::bottom()));
+    }
+
+    #[test]
+    fn coarseness_bounds_chain_length() {
+        // Any strictly descending (coarsening) chain from an element has
+        // length ≤ rank + 1.
+        let mut s = Section::element([sym(0), sym(1), sym(2)]);
+        let mut steps = 0;
+        for widen in [
+            Section::element([SubscriptPos::Star, sym(1), sym(2)]),
+            Section::element([SubscriptPos::Star, SubscriptPos::Star, sym(2)]),
+            Section::whole(3),
+        ] {
+            let next = s.meet(&widen);
+            assert_ne!(next, s);
+            assert!(next.coarseness() > s.coarseness());
+            s = next;
+            steps += 1;
+        }
+        assert_eq!(steps, 3);
+        assert!(s.is_whole_array());
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn rank_mismatch_meet_panics() {
+        let a = Section::element([sym(0)]);
+        let b = Section::whole(2);
+        let _ = a.meet(&b);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Section::bottom().to_string(), "⊥");
+        assert_eq!(
+            Section::element([SubscriptPos::Const(4), SubscriptPos::Star]).to_string(),
+            "[4, *]"
+        );
+    }
+}

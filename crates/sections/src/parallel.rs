@@ -1,0 +1,523 @@
+//! Whole-loop parallelisation verdicts — the client §6 was invented for.
+//!
+//! Callahan & Kennedy's motivation (quoted in §6): "the most effective
+//! way to parallelize a loop is through data decomposition, in which each
+//! parallel processor works on a different subsection of a given array",
+//! and whole-array `MOD` bits are "too coarse to allow effective
+//! detection of parallelism in loops that contain call sites". This
+//! module puts the section analysis to work: for every `while` loop it
+//! decides whether iterations are pairwise independent, and if not, says
+//! why.
+//!
+//! The verdict is deliberately conservative (flow-insensitive, like
+//! everything here). A loop parallelises when:
+//!
+//! * an *induction variable* `i` is identifiable — a scalar written in
+//!   the loop body only by top-level `i = i ± c` updates and read by the
+//!   loop condition;
+//! * no other scalar visible beyond one iteration is written (an
+//!   accumulator serialises the loop);
+//! * the loop body performs no I/O (`read`/`print` order is observable);
+//! * for every array the body may *write*, every write section and every
+//!   read section of that array is pinned to `i` on some axis
+//!   ([`crate::independent_across_iterations`]) — different iterations
+//!   then touch provably different slices. Arrays that are only read are
+//!   unconstrained.
+
+use modref_bitset::BitSet;
+use modref_core::Summary;
+use modref_ir::{Expr, ProcId, Program, Stmt, VarId};
+
+use crate::lattice::Section;
+use crate::solve::SectionSummary;
+
+/// Why a loop cannot be parallelised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Blocker {
+    /// No variable matching the induction pattern was found.
+    NoInductionVariable,
+    /// A scalar other than the induction variable is written.
+    ScalarWrite(VarId),
+    /// The body reads input or prints (observable order).
+    PerformsIo,
+    /// An array is written without the section pinning to the induction
+    /// variable.
+    UnpinnedWrite(VarId),
+    /// An array is both written and read with an unpinned read section.
+    UnpinnedRead(VarId),
+}
+
+impl Blocker {
+    /// Human-readable rendering with variable names resolved.
+    pub fn describe(&self, program: &Program) -> String {
+        match self {
+            Blocker::NoInductionVariable => "no induction variable found".to_owned(),
+            Blocker::ScalarWrite(v) => {
+                format!(
+                    "scalar `{}` is written across iterations",
+                    program.var_name(*v)
+                )
+            }
+            Blocker::PerformsIo => "loop body performs I/O".to_owned(),
+            Blocker::UnpinnedWrite(v) => format!(
+                "array `{}` is written outside the iteration's own slice",
+                program.var_name(*v)
+            ),
+            Blocker::UnpinnedRead(v) => format!(
+                "array `{}` is written and read across iterations",
+                program.var_name(*v)
+            ),
+        }
+    }
+}
+
+/// The verdict for one `while` loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopReport {
+    /// The procedure containing the loop.
+    pub proc_: ProcId,
+    /// Pre-order index of the loop within that procedure.
+    pub loop_index: usize,
+    /// The induction variable, when one was identified.
+    pub induction: Option<VarId>,
+    /// Empty iff the loop parallelises.
+    pub blockers: Vec<Blocker>,
+}
+
+impl LoopReport {
+    /// `true` when every check passed.
+    pub fn parallelizable(&self) -> bool {
+        self.blockers.is_empty()
+    }
+}
+
+/// Analyzes every `while` loop of the program.
+///
+/// # Examples
+///
+/// ```
+/// use modref_core::Analyzer;
+/// use modref_sections::{analyze_sections, parallel_report};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = modref_frontend::parse_program("
+///     var grid[*, *], n;
+///     proc touch(row[*]) { row[0] = 1; }
+///     main {
+///       var i;
+///       i = 0;
+///       while (i < n) { call touch(grid[i, *]); i = i + 1; }
+///     }
+/// ")?;
+/// let summary = Analyzer::new().analyze(&program);
+/// let sections = analyze_sections(&program);
+/// let report = parallel_report(&program, &summary, &sections);
+/// assert_eq!(report.len(), 1);
+/// assert!(report[0].parallelizable());
+/// # Ok(())
+/// # }
+/// ```
+pub fn parallel_report(
+    program: &Program,
+    summary: &Summary,
+    sections: &SectionSummary,
+) -> Vec<LoopReport> {
+    let mut out = Vec::new();
+    for p in program.procs() {
+        let mut index = 0usize;
+        for s in program.proc_(p).body() {
+            visit(program, summary, sections, p, s, &mut index, &mut out);
+        }
+    }
+    out
+}
+
+fn visit(
+    program: &Program,
+    summary: &Summary,
+    sections: &SectionSummary,
+    p: ProcId,
+    stmt: &Stmt,
+    index: &mut usize,
+    out: &mut Vec<LoopReport>,
+) {
+    match stmt {
+        Stmt::While { cond, body } => {
+            out.push(judge(program, summary, sections, p, *index, cond, body));
+            *index += 1;
+            for inner in body {
+                visit(program, summary, sections, p, inner, index, out);
+            }
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            for inner in then_branch.iter().chain(else_branch) {
+                visit(program, summary, sections, p, inner, index, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn judge(
+    program: &Program,
+    summary: &Summary,
+    sections: &SectionSummary,
+    p: ProcId,
+    loop_index: usize,
+    cond: &Expr,
+    body: &[Stmt],
+) -> LoopReport {
+    let mut blockers = Vec::new();
+
+    // Scalars written anywhere in the body (directly or via calls).
+    let mut scalar_writes = BitSet::new(program.num_vars());
+    let mut has_io = false;
+    for s in body {
+        scalar_writes.union_with(&modref_ir::lmod_of_stmt(program, s));
+        modref_ir::walk_stmts(std::slice::from_ref(s), &mut |inner| match inner {
+            Stmt::Call { site } => {
+                scalar_writes.union_with(summary.mod_site(*site));
+            }
+            Stmt::Read { .. } | Stmt::Print { .. } => has_io = true,
+            _ => {}
+        });
+    }
+    // Arrays are handled by sections; keep scalars only.
+    let mut array_writes = Vec::new();
+    let mut scalar_only = BitSet::new(program.num_vars());
+    for v in scalar_writes.iter() {
+        if program.var(VarId::new(v)).rank() == 0 {
+            scalar_only.insert(v);
+        } else {
+            array_writes.push(VarId::new(v));
+        }
+    }
+
+    let induction = find_induction(program, summary, cond, body, &scalar_only);
+    let Some(i) = induction else {
+        blockers.push(Blocker::NoInductionVariable);
+        return LoopReport {
+            proc_: p,
+            loop_index,
+            induction: None,
+            blockers,
+        };
+    };
+
+    // Any other scalar write serialises.
+    for v in scalar_only.iter() {
+        if VarId::new(v) != i {
+            blockers.push(Blocker::ScalarWrite(VarId::new(v)));
+        }
+    }
+    if has_io {
+        blockers.push(Blocker::PerformsIo);
+    }
+
+    // Arrays: every write section — and, for written arrays, every read
+    // section — must pin to the induction variable.
+    for array in array_writes {
+        let mut write_pinned = true;
+        let mut read_pinned = true;
+        for s in body {
+            modref_ir::walk_stmts(std::slice::from_ref(s), &mut |inner| {
+                if let Stmt::Call { site } = inner {
+                    if let Some(sec) = sections.mod_section_at_site(*site, array) {
+                        write_pinned &= crate::independent_across_iterations(sec, i);
+                    }
+                    if let Some(sec) = sections.use_section_at_site(*site, array) {
+                        read_pinned &= crate::independent_across_iterations(sec, i);
+                    }
+                }
+            });
+            // Direct statement-level accesses: use the textual subscripts.
+            direct_access_pins(program, s, array, i, &mut write_pinned, &mut read_pinned);
+        }
+        if !write_pinned {
+            blockers.push(Blocker::UnpinnedWrite(array));
+        } else if !read_pinned {
+            blockers.push(Blocker::UnpinnedRead(array));
+        }
+    }
+
+    LoopReport {
+        proc_: p,
+        loop_index,
+        induction: Some(i),
+        blockers,
+    }
+}
+
+/// Checks direct (non-call) accesses to `array` inside `s` for pinning.
+fn direct_access_pins(
+    program: &Program,
+    s: &Stmt,
+    array: VarId,
+    i: VarId,
+    write_pinned: &mut bool,
+    read_pinned: &mut bool,
+) {
+    modref_ir::walk_stmts(std::slice::from_ref(s), &mut |inner| {
+        let mut check_ref = |r: &modref_ir::Ref, is_write: bool| {
+            if r.var != array {
+                return;
+            }
+            let sec = if r.subs.is_empty() {
+                Section::whole(program.var(array).rank())
+            } else {
+                Section::Axes(
+                    r.subs
+                        .iter()
+                        .map(|sub| match sub {
+                            modref_ir::Subscript::Const(c) => {
+                                crate::lattice::SubscriptPos::Const(*c)
+                            }
+                            modref_ir::Subscript::Var(v) => crate::lattice::SubscriptPos::Sym(*v),
+                            modref_ir::Subscript::All => crate::lattice::SubscriptPos::Star,
+                        })
+                        .collect(),
+                )
+            };
+            let pinned = crate::independent_across_iterations(&sec, i);
+            if is_write {
+                *write_pinned &= pinned;
+            } else {
+                *read_pinned &= pinned;
+            }
+        };
+        match inner {
+            Stmt::Assign { target, value } => {
+                check_ref(target, true);
+                modref_ir::walk_exprs(value, &mut |e| {
+                    if let Expr::Load(r) = e {
+                        check_ref(r, false);
+                    }
+                });
+            }
+            Stmt::Read { target } => check_ref(target, true),
+            Stmt::Print { value } => {
+                modref_ir::walk_exprs(value, &mut |e| {
+                    if let Expr::Load(r) = e {
+                        check_ref(r, false);
+                    }
+                });
+            }
+            Stmt::If { cond, .. } | Stmt::While { cond, .. } => {
+                modref_ir::walk_exprs(cond, &mut |e| {
+                    if let Expr::Load(r) = e {
+                        check_ref(r, false);
+                    }
+                });
+            }
+            Stmt::Call { .. } => {}
+        }
+    });
+}
+
+/// An induction variable: a scalar read by the condition, written in the
+/// body *only* by top-level `i = i + c` / `i = i - c` statements (at
+/// least one), and not written by any nested statement or call.
+fn find_induction(
+    program: &Program,
+    summary: &Summary,
+    cond: &Expr,
+    body: &[Stmt],
+    scalar_writes: &BitSet,
+) -> Option<VarId> {
+    let mut cond_reads = BitSet::new(program.num_vars());
+    modref_ir::walk_exprs(cond, &mut |e| {
+        if let Expr::Load(r) = e {
+            cond_reads.insert(r.var.index());
+        }
+    });
+
+    'candidate: for v in cond_reads.iter() {
+        let var = VarId::new(v);
+        if program.var(var).rank() != 0 || !scalar_writes.contains(v) {
+            continue;
+        }
+        let mut step_updates = 0usize;
+        for s in body {
+            let is_step = matches!(
+                s,
+                Stmt::Assign { target, value }
+                    if target.var == var
+                        && target.subs.is_empty()
+                        && is_step_expr(value, var)
+            );
+            if is_step {
+                step_updates += 1;
+                continue;
+            }
+            // Any other write of var — direct, nested, or through a call —
+            // disqualifies the candidate.
+            let mut written_elsewhere = false;
+            modref_ir::walk_stmts(std::slice::from_ref(s), &mut |inner| match inner {
+                Stmt::Assign { target, .. } | Stmt::Read { target } if target.var == var => {
+                    written_elsewhere = true;
+                }
+                Stmt::Call { site } => {
+                    written_elsewhere |= summary.mod_site(*site).contains(var.index());
+                }
+                _ => {}
+            });
+            if written_elsewhere {
+                continue 'candidate;
+            }
+        }
+        if step_updates >= 1 {
+            return Some(var);
+        }
+    }
+    None
+}
+
+/// `i + c`, `i - c`, `c + i` with `c` containing no reference to `i`.
+fn is_step_expr(e: &Expr, i: VarId) -> bool {
+    use modref_ir::BinOp;
+    let reads_only_consts = |x: &Expr| {
+        let mut clean = true;
+        modref_ir::walk_exprs(x, &mut |sub| {
+            if let Expr::Load(r) = sub {
+                if r.var == i {
+                    clean = false;
+                }
+            }
+        });
+        clean
+    };
+    match e {
+        Expr::Binary(BinOp::Add, l, r) => {
+            (matches!(l.as_ref(), Expr::Load(lr) if lr.var == i && lr.subs.is_empty())
+                && reads_only_consts(r))
+                || (matches!(r.as_ref(), Expr::Load(rr) if rr.var == i && rr.subs.is_empty())
+                    && reads_only_consts(l))
+        }
+        Expr::Binary(BinOp::Sub, l, r) => {
+            matches!(l.as_ref(), Expr::Load(lr) if lr.var == i && lr.subs.is_empty())
+                && reads_only_consts(r)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_core::Analyzer;
+    use modref_frontend::parse_program;
+
+    fn report(src: &str) -> (Program, Vec<LoopReport>) {
+        let program = parse_program(src).expect("parses");
+        let summary = Analyzer::new().analyze(&program);
+        let sections = crate::analyze_sections(&program);
+        let reports = parallel_report(&program, &summary, &sections);
+        (program, reports)
+    }
+
+    #[test]
+    fn row_wise_loop_parallelises() {
+        let (_, r) = report(
+            "var a[*, *], n;
+             proc zero(row[*]) { row[0] = 0; }
+             main { var i; i = 0; while (i < n) { call zero(a[i, *]); i = i + 1; } }",
+        );
+        assert_eq!(r.len(), 1);
+        assert!(r[0].parallelizable(), "{:?}", r[0].blockers);
+    }
+
+    #[test]
+    fn accumulator_serialises() {
+        let (program, r) = report(
+            "var total, n;
+             main { var i; i = 0; while (i < n) { total = total + i; i = i + 1; } }",
+        );
+        assert_eq!(r.len(), 1);
+        assert!(!r[0].parallelizable());
+        assert!(matches!(r[0].blockers[0], Blocker::ScalarWrite(v)
+            if program.var_name(v) == "total"));
+    }
+
+    #[test]
+    fn shared_row_write_serialises() {
+        let (_, r) = report(
+            "var a[*, *], n;
+             proc zero(row[*]) { row[0] = 0; }
+             main { var i; i = 0; while (i < n) { call zero(a[0, *]); i = i + 1; } }",
+        );
+        assert!(!r[0].parallelizable());
+        assert!(matches!(r[0].blockers[0], Blocker::UnpinnedWrite(_)));
+    }
+
+    #[test]
+    fn written_and_unpinned_read_serialises() {
+        // Each iteration writes its own row but reads row 0: a flow
+        // dependence on iteration 0's output.
+        let (_, r) = report(
+            "var a[*, *], n;
+             proc mix(dst[*], src[*]) { dst[0] = src[0]; }
+             main {
+               var i;
+               i = 1;
+               while (i < n) { call mix(a[i, *], a[0, *]); i = i + 1; }
+             }",
+        );
+        assert!(!r[0].parallelizable());
+        assert!(matches!(r[0].blockers[0], Blocker::UnpinnedRead(_)));
+    }
+
+    #[test]
+    fn io_serialises() {
+        let (_, r) = report(
+            "var n;
+             main { var i; i = 0; while (i < n) { print i; i = i + 1; } }",
+        );
+        assert!(!r[0].parallelizable());
+        assert!(r[0].blockers.contains(&Blocker::PerformsIo));
+    }
+
+    #[test]
+    fn missing_induction_variable_is_reported() {
+        let (_, r) = report(
+            "var n, a[*];
+             main { while (n < 10) { a[n] = 1; n = n * 2; } }",
+        );
+        assert!(!r[0].parallelizable());
+        assert_eq!(r[0].blockers, vec![Blocker::NoInductionVariable]);
+    }
+
+    #[test]
+    fn direct_element_writes_pinned_to_i_parallelise() {
+        let (_, r) = report(
+            "var a[*], n;
+             main { var i; i = 0; while (i < n) { a[i] = i; i = i + 1; } }",
+        );
+        assert_eq!(r.len(), 1);
+        assert!(r[0].parallelizable(), "{:?}", r[0].blockers);
+    }
+
+    #[test]
+    fn nested_loops_each_get_a_verdict() {
+        let (_, r) = report(
+            "var a[*, *], n;
+             main {
+               var i, j;
+               i = 0;
+               while (i < n) {
+                 j = 0;
+                 while (j < n) { a[i, j] = 1; j = j + 1; }
+                 i = i + 1;
+               }
+             }",
+        );
+        assert_eq!(r.len(), 2);
+        // Outer loop writes j (inner induction) — serial by the scalar
+        // rule; inner loop is parallel over j.
+        assert!(!r[0].parallelizable());
+        assert!(r[1].parallelizable(), "{:?}", r[1].blockers);
+    }
+}

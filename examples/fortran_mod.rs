@@ -1,0 +1,66 @@
+//! The paper's §2 motivation, quantified: in a FORTRAN-style program with
+//! many globals, "if the compiler has no knowledge about the called
+//! procedure, it must assume that the called procedure both uses and
+//! modifies the value of every variable it can see. In practice, the
+//! called procedure typically modifies only a fraction of these
+//! variables."
+//!
+//! This example builds a global-heavy random program, runs the analysis,
+//! and compares the computed `MOD` sets against the no-information
+//! assumption, printing the precision gained.
+//!
+//! ```text
+//! cargo run -p modref-core --example fortran_mod
+//! ```
+
+use std::error::Error;
+
+use modref_core::Analyzer;
+use modref_progen::{generate, GenConfig};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let program = generate(&GenConfig::fortran_like(120), 7);
+    let summary = Analyzer::new().analyze(&program);
+
+    let globals = program.global_set();
+    let mut assumed_total = 0usize; // "modifies everything visible"
+    let mut actual_total = 0usize; // computed MOD
+    let mut exact_sites = 0usize; // sites where MOD is empty
+
+    for site in program.sites() {
+        // Without interprocedural analysis, every global plus every
+        // by-reference actual must be assumed clobbered.
+        let info = program.site(site);
+        let mut assumed = globals.len();
+        for arg in info.args() {
+            if arg.as_ref_var().is_some() {
+                assumed += 1;
+            }
+        }
+        let actual = summary.mod_site(site).len();
+        assumed_total += assumed;
+        actual_total += actual;
+        if actual == 0 {
+            exact_sites += 1;
+        }
+    }
+
+    println!(
+        "program: {} procedures, {} call sites, {} globals",
+        program.num_procs(),
+        program.num_sites(),
+        globals.len()
+    );
+    println!("worst-case assumption: {assumed_total} variable slots clobbered across all sites");
+    println!("computed MOD:          {actual_total} variable slots actually at risk");
+    let pct = 100.0 * (1.0 - actual_total as f64 / assumed_total.max(1) as f64);
+    println!("precision gained:      {pct:.1}% of assumed side effects ruled out");
+    println!("side-effect-free call sites found: {exact_sites}");
+
+    // Sanity: the analysis can only rule effects *out*, never overshoot
+    // the conservative assumption on globals it knows about.
+    if actual_total > assumed_total {
+        return Err("computed MOD exceeded the conservative bound".into());
+    }
+    Ok(())
+}

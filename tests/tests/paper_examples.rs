@@ -1,0 +1,225 @@
+//! Scenarios traced directly from the paper's text.
+
+use modref_binding::{solve_rmod, BindingGraph};
+use modref_core::Analyzer;
+use modref_frontend::parse_program;
+use modref_graph::tarjan;
+use modref_ir::{LocalEffects, VarId};
+use modref_progen::{generate, GenConfig};
+
+fn var(program: &modref_ir::Program, name: &str) -> VarId {
+    program
+        .vars()
+        .find(|&v| program.var_name(v) == name)
+        .unwrap_or_else(|| panic!("no variable {name}"))
+}
+
+/// §2: "a flow-insensitive analysis concludes that a procedure call has a
+/// side effect … if that side effect can occur on *some* path" — wrapping
+/// the same call in `if`/`while` must not change its `MOD` set.
+#[test]
+fn flow_insensitivity_ignores_control_structure() {
+    let straight = parse_program(
+        "var g;
+         proc w() { g = 1; }
+         main { call w(); }",
+    )
+    .expect("parses");
+    let wrapped = parse_program(
+        "var g;
+         proc w() { if (g < 0) { g = 1; } }
+         main { var c; while (c < 3) { call w(); c = c + 1; } }",
+    )
+    .expect("parses");
+    let s1 = Analyzer::new().analyze(&straight);
+    let s2 = Analyzer::new().analyze(&wrapped);
+    let site1 = straight.sites().next().expect("site");
+    let site2 = wrapped.sites().next().expect("site");
+    let g1 = var(&straight, "g");
+    let g2 = var(&wrapped, "g");
+    assert!(s1.mod_site(site1).contains(g1.index()));
+    assert!(s2.mod_site(site2).contains(g2.index()));
+}
+
+/// Footnote 1: the 1984 decomposition "contains a significant error" —
+/// the classic miss was a *global* passed by reference and modified only
+/// through the formal. The corrected decomposition (equation 5) catches
+/// it end to end.
+#[test]
+fn sigplan84_error_case_is_handled() {
+    let program = parse_program(
+        "var g;
+         proc sink(y) { y = 0; }         # modifies only its formal
+         proc through() { call sink(g); } # passes a global
+         main { call through(); }
+    ",
+    )
+    .expect("parses");
+    let summary = Analyzer::new().analyze(&program);
+    let g = var(&program, "g");
+    let through = program
+        .procs()
+        .find(|&p| program.proc_name(p) == "through")
+        .expect("proc");
+    // IMOD⁺(through) must contain g even though no statement of `through`
+    // mentions g on the left-hand side.
+    assert!(summary.imod_plus(through).contains(g.index()));
+    assert!(summary.gmod(through).contains(g.index()));
+    // And main's call site reports it.
+    let main_site = program
+        .sites()
+        .find(|&s| program.site(s).caller() == program.main())
+        .expect("site");
+    assert!(summary.mod_site(main_site).contains(g.index()));
+}
+
+/// Footnote 3: "we … allow GMOD for the main program to be non-empty
+/// because it makes the formulation more natural."
+#[test]
+fn gmod_of_main_may_be_nonempty() {
+    let program = parse_program(
+        "var g;
+         main { g = 1; }",
+    )
+    .expect("parses");
+    let summary = Analyzer::new().analyze(&program);
+    let g = var(&program, "g");
+    assert!(summary.gmod(program.main()).contains(g.index()));
+}
+
+/// §3.1: "a call site that passes only local variables as actual
+/// parameters generates no edges in E_β", and "2·E_β ≥ N_β everywhere".
+#[test]
+fn beta_construction_rules() {
+    let program = parse_program(
+        "var g;
+         proc q(y) { y = 1; }
+         proc p(x) {
+           var t;
+           call q(t);        # local actual: no edge
+           call q(g);        # global actual: no edge
+           call q(x);        # formal actual: one edge
+         }
+         main { call p(g); }",
+    )
+    .expect("parses");
+    let beta = BindingGraph::build(&program);
+    assert_eq!(beta.num_edges(), 1);
+    assert_eq!(beta.num_nodes(), 2);
+    assert!(2 * beta.num_edges() >= beta.num_nodes());
+}
+
+/// §3.2: "its solution is identical at every node within a strongly
+/// connected region" — the RMOD bit is constant on each SCC of `β`.
+#[test]
+fn rmod_constant_on_beta_sccs() {
+    for seed in 0..40u64 {
+        let program = generate(&GenConfig::binding_heavy(10, 2), seed);
+        let fx = LocalEffects::compute(&program);
+        let beta = BindingGraph::build(&program);
+        let rmod = solve_rmod(&program, fx.imod_all(), &beta);
+        let sccs = tarjan(beta.graph());
+        for comp in 0..sccs.len() {
+            let values: Vec<bool> = sccs
+                .members(comp)
+                .iter()
+                .map(|&n| rmod.is_modified(beta.formal_of_node(n)))
+                .collect();
+            assert!(
+                values.windows(2).all(|w| w[0] == w[1]),
+                "seed {seed}: RMOD differs within an SCC"
+            );
+        }
+    }
+}
+
+/// §2's definition of `b_e`: "b_e factors out all variables that are local
+/// to q and maps the formal parameters of q to the actual parameters" —
+/// so every variable reported at a call site is visible to the caller (in
+/// Pascal-style scoping a callee can only be invoked from inside every
+/// scope whose locals it can touch).
+#[test]
+fn dmod_reports_only_caller_visible_variables() {
+    for seed in 0..30u64 {
+        let program = generate(&GenConfig::tiny(10, 4), seed);
+        let summary = Analyzer::new().analyze(&program);
+        for s in program.sites() {
+            let caller = program.site(s).caller();
+            for v in summary.dmod_site(s).iter() {
+                assert!(
+                    program.visible_in(VarId::new(v), caller),
+                    "seed {seed}: site {s} reports {} which {} cannot see",
+                    program.var_name(VarId::new(v)),
+                    program.proc_name(caller)
+                );
+            }
+        }
+    }
+}
+
+/// §5: in the absence of aliasing, `MOD(s) = DMOD(s)`.
+#[test]
+fn without_aliases_mod_equals_dmod_everywhere() {
+    for seed in 0..20u64 {
+        // value_actual_prob high and single formals keep aliases away.
+        let cfg = GenConfig {
+            formals_per_proc: (0, 1),
+            formal_actual_bias: 1.0,
+            ..GenConfig::tiny(8, 1)
+        };
+        let program = generate(&cfg, seed);
+        let summary = Analyzer::new().analyze(&program);
+        let aliases = modref_core::AliasPairs::compute(&program);
+        let alias_free = program.procs().all(|p| aliases.pair_count(p) == 0);
+        if alias_free {
+            for s in program.sites() {
+                assert_eq!(summary.mod_site(s), summary.dmod_site(s), "seed {seed}");
+            }
+        }
+    }
+}
+
+/// The worked shape of the paper's central chain: `main` passes a global
+/// to `p`, `p` forwards its formal to `q`, `q` modifies — with the exact
+/// per-procedure attribution the decomposition promises.
+#[test]
+fn canonical_binding_chain_attribution() {
+    let program = parse_program(
+        "var g, h;
+         proc q(y) { y = h; }
+         proc p(x) { call q(x); }
+         main { call p(g); }",
+    )
+    .expect("parses");
+    let summary = Analyzer::new().analyze(&program);
+    let (g, h) = (var(&program, "g"), var(&program, "h"));
+    let by_name = |n: &str| {
+        program
+            .procs()
+            .find(|&p| program.proc_name(p) == n)
+            .expect("proc")
+    };
+    let (p, q) = (by_name("p"), by_name("q"));
+    let xq = program.proc_(q).formals()[0];
+    let xp = program.proc_(p).formals()[0];
+
+    // RMOD: both formals are modified.
+    assert!(summary.rmod(q).contains(xq.index()));
+    assert!(summary.rmod(p).contains(xp.index()));
+    // GMOD(q) does NOT contain g — q never sees g bound; its effect is on
+    // its formal, projected at each call site.
+    assert!(!summary.gmod(q).contains(g.index()));
+    // GMOD(main) does.
+    assert!(summary.gmod(program.main()).contains(g.index()));
+    // USE side: h is read transitively everywhere up the chain.
+    for proc_ in [q, p, program.main()] {
+        assert!(summary.guse(proc_).contains(h.index()));
+    }
+    let main_site = program
+        .sites()
+        .find(|&s| program.site(s).caller() == program.main())
+        .expect("site");
+    assert!(summary.use_site(main_site).contains(h.index()));
+    assert!(summary.mod_site(main_site).contains(g.index()));
+    assert!(!summary.mod_site(main_site).contains(h.index()));
+}

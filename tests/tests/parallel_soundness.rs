@@ -1,0 +1,165 @@
+//! Semantic validation of the loop-parallelisation advisor: if the
+//! advisor declares a loop's iterations independent, executing them in
+//! the *reverse* order must produce the same observable result (any
+//! schedule of independent iterations is equivalent; reversal is the
+//! cheapest adversarial schedule to construct textually).
+
+use modref_core::Analyzer;
+use modref_interp::Interpreter;
+use modref_sections::{analyze_sections, parallel_report};
+
+/// Each template comes as an upward-counting main loop and a
+/// downward-counting twin; both end by printing a digest of the state.
+struct Template {
+    name: &'static str,
+    upward: &'static str,
+    downward: &'static str,
+    expect_parallel: bool,
+}
+
+const TEMPLATES: &[Template] = &[
+    Template {
+        name: "row-wise scaling (independent)",
+        upward: "var a[*, *], n, d;
+            proc scale(row[*], k) {
+              var j;
+              j = 0;
+              while (j < 4) { row[j] = row[j] * k + j; j = j + 1; }
+            }
+            main {
+              var i;
+              n = 4;
+              i = 0;
+              while (i < n) { call scale(a[i, *], value i + 2); i = i + 1; }
+              i = 0;
+              while (i < n) { d = d + a[i, 3]; i = i + 1; }
+              print d;
+            }",
+        downward: "var a[*, *], n, d;
+            proc scale(row[*], k) {
+              var j;
+              j = 0;
+              while (j < 4) { row[j] = row[j] * k + j; j = j + 1; }
+            }
+            main {
+              var i;
+              n = 4;
+              i = n - 1;
+              while (0 - 1 < i) { call scale(a[i, *], value i + 2); i = i - 1; }
+              i = 0;
+              while (i < n) { d = d + a[i, 3]; i = i + 1; }
+              print d;
+            }",
+        expect_parallel: true,
+    },
+    Template {
+        name: "element recurrence (dependent)",
+        upward: "var a[*], n, d;
+            proc step(dst, src) { dst = src + 1; }
+            main {
+              var i, k;
+              n = 5;
+              a[0] = 10;
+              i = 1;
+              while (i < n) { k = i - 1; call step(a[i], a[k]); i = i + 1; }
+              i = 0;
+              while (i < n) { d = d + a[i]; i = i + 1; }
+              print d;
+            }",
+        downward: "var a[*], n, d;
+            proc step(dst, src) { dst = src + 1; }
+            main {
+              var i, k;
+              n = 5;
+              a[0] = 10;
+              i = n - 1;
+              while (0 < i) { k = i - 1; call step(a[i], a[k]); i = i - 1; }
+              i = 0;
+              while (i < n) { d = d + a[i]; i = i + 1; }
+              print d;
+            }",
+        expect_parallel: false,
+    },
+    Template {
+        name: "shared-cell accumulation (dependent via callee)",
+        upward: "var a[*], n;
+            proc add_to_first(x) { a[0] = a[0] + x; }
+            main {
+              var i;
+              n = 4;
+              i = 0;
+              while (i < n) { call add_to_first(a[i]); i = i + 1; }
+              print a[0];
+            }",
+        downward: "var a[*], n;
+            proc add_to_first(x) { a[0] = a[0] + x; }
+            main {
+              var i;
+              n = 4;
+              i = n - 1;
+              while (0 - 1 < i) { call add_to_first(a[i]); i = i - 1; }
+              print a[0];
+            }",
+        expect_parallel: false,
+    },
+];
+
+fn first_main_loop_parallel(src: &str) -> bool {
+    let program = modref_frontend::parse_program(src).expect("template parses");
+    let summary = Analyzer::new().analyze(&program);
+    let sections = analyze_sections(&program);
+    let reports = parallel_report(&program, &summary, &sections);
+    let report = reports
+        .iter()
+        .find(|r| r.proc_ == program.main() && r.loop_index == 0)
+        .expect("main has a first loop");
+    report.parallelizable()
+}
+
+fn run_output(src: &str) -> Vec<i64> {
+    let program = modref_frontend::parse_program(src).expect("template parses");
+    let result = Interpreter::new(&program, 0).run();
+    assert!(!result.truncated);
+    result.printed
+}
+
+#[test]
+fn advisor_verdicts_match_expectations() {
+    for t in TEMPLATES {
+        assert_eq!(
+            first_main_loop_parallel(t.upward),
+            t.expect_parallel,
+            "template {}",
+            t.name
+        );
+    }
+}
+
+#[test]
+fn parallel_loops_are_order_insensitive() {
+    for t in TEMPLATES {
+        let up = run_output(t.upward);
+        let down = run_output(t.downward);
+        if t.expect_parallel {
+            assert_eq!(
+                up, down,
+                "template {}: advisor said parallel but order changed the result",
+                t.name
+            );
+        }
+    }
+}
+
+#[test]
+fn the_dependent_templates_really_are_order_sensitive() {
+    // Sanity that the negative controls are meaningful: reversing a
+    // dependent loop visibly changes the outcome.
+    let mut any_differ = false;
+    for t in TEMPLATES.iter().filter(|t| !t.expect_parallel) {
+        any_differ |= run_output(t.upward) != run_output(t.downward);
+    }
+    assert!(
+        any_differ,
+        "at least one dependent template must distinguish the orders"
+    );
+}

@@ -1,0 +1,28 @@
+//! The README's quick-start snippet, kept compiling and truthful.
+
+use modref_core::Analyzer;
+use modref_frontend::parse_program;
+
+#[test]
+fn readme_quickstart_works_as_printed() -> Result<(), Box<dyn std::error::Error>> {
+    let program = parse_program(
+        "
+        var total, count;
+        proc bump(x, amount) {
+          x = x + amount;
+          count = count + 1;
+        }
+        main { call bump(total, value 5); }
+    ",
+    )?;
+
+    let summary = Analyzer::new().analyze(&program);
+    let site = program.sites().next().expect("one call site");
+    let modified: Vec<&str> = summary
+        .mod_site(site)
+        .iter()
+        .map(|v| program.var_name(modref_ir::VarId::new(v)))
+        .collect();
+    assert_eq!(modified, vec!["total", "count"]);
+    Ok(())
+}

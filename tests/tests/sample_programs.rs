@@ -1,0 +1,153 @@
+//! Golden tests over the realistic sample programs in
+//! `examples/programs/`: exact interpreter output, plus the analysis
+//! facts a compiler would rely on.
+
+use modref_core::Analyzer;
+use modref_interp::Interpreter;
+use modref_ir::{Program, VarId};
+use modref_sections::{analyze_sections, SubscriptPos};
+
+fn load(name: &str) -> Program {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../examples/programs/");
+    let source = std::fs::read_to_string(format!("{path}{name}.mp"))
+        .unwrap_or_else(|e| panic!("cannot read {name}.mp: {e}"));
+    modref_frontend::parse_program(&source).unwrap_or_else(|e| panic!("{name}.mp must parse: {e}"))
+}
+
+fn var(program: &Program, name: &str) -> VarId {
+    program
+        .vars()
+        .find(|&v| program.var_name(v) == name)
+        .unwrap_or_else(|| panic!("no variable {name}"))
+}
+
+fn proc_(program: &Program, name: &str) -> modref_ir::ProcId {
+    program
+        .procs()
+        .find(|&p| program.proc_name(p) == name)
+        .unwrap_or_else(|| panic!("no procedure {name}"))
+}
+
+#[test]
+fn matrix_runs_and_sections_identify_rows() {
+    let program = load("matrix");
+    let run = Interpreter::new(&program, 0).run();
+    assert!(!run.truncated);
+    assert_eq!(run.printed, vec![132]); // 2·(0 + 11 + 22 + 33)
+
+    // The scale_row call inside the loop modifies exactly row i of `a`.
+    let sections = analyze_sections(&program);
+    let a = var(&program, "a");
+    let i = var(&program, "i");
+    let scale_site = program
+        .sites()
+        .find(|&s| program.proc_name(program.site(s).callee()) == "scale_row")
+        .expect("scale_row is called");
+    let sec = sections
+        .mod_section_at_site(scale_site, a)
+        .expect("a is written through the binding");
+    assert_eq!(
+        sec.axes().expect("non-bottom"),
+        &[SubscriptPos::Sym(i), SubscriptPos::Star]
+    );
+    assert!(modref_sections::independent_across_iterations(sec, i));
+}
+
+#[test]
+fn sort_runs_and_swap_formals_are_rmod() {
+    let program = load("sort");
+    let run = Interpreter::new(&program, 0).run();
+    assert!(!run.truncated);
+    assert_eq!(run.printed, vec![10, 20, 30, 40, 50, 60]);
+
+    let summary = Analyzer::new().analyze(&program);
+    let swap = proc_(&program, "swap");
+    let min_index = proc_(&program, "min_index");
+    // swap modifies both reference formals; min_index modifies `best`.
+    for &f in program.proc_(swap).formals() {
+        assert!(summary.rmod(swap).contains(f.index()));
+    }
+    let best = program.proc_(min_index).formals()[1];
+    assert!(summary.rmod(min_index).contains(best.index()));
+    // … but not `from`, which is by-value at every site anyway.
+    let from = program.proc_(min_index).formals()[0];
+    assert!(!summary.rmod(min_index).contains(from.index()));
+
+    // The call to swap in sort_from modifies the global array `data`
+    // (both actuals are elements of it).
+    let data = var(&program, "data");
+    let swap_site = program
+        .sites()
+        .find(|&s| program.site(s).callee() == swap)
+        .expect("swap is called");
+    assert!(summary.mod_site(swap_site).contains(data.index()));
+}
+
+#[test]
+fn bank_runs_and_nested_audit_effects_summarise() {
+    let program = load("bank");
+    let run = Interpreter::new(&program, 0).run();
+    assert!(!run.truncated);
+    assert_eq!(run.printed, vec![59, 45, 1]);
+
+    let summary = Analyzer::new().analyze(&program);
+    let transfer = proc_(&program, "transfer");
+    let check = proc_(&program, "check");
+    // `check` (nested) writes transfer's formal from_ok: RMOD(transfer)
+    // must contain it — the §3.3 machinery end to end.
+    let from_ok = program.proc_(transfer).formals()[1];
+    assert!(summary.rmod(transfer).contains(from_ok.index()));
+    assert!(summary.gmod(check).contains(from_ok.index()));
+
+    // At main's first transfer site, `ok` (the actual) is modified, and
+    // every balance plus the audit log may change.
+    let site = program
+        .sites()
+        .find(|&s| program.site(s).caller() == program.main())
+        .expect("main calls transfer");
+    for name in ["ok", "balance_a", "balance_b", "audit_log"] {
+        assert!(
+            summary.mod_site(site).contains(var(&program, name).index()),
+            "{name} missing from MOD"
+        );
+    }
+    // And the fee local never escapes.
+    let fee = program.proc_(transfer).locals()[0];
+    assert!(!summary.mod_site(site).contains(fee.index()));
+}
+
+#[test]
+fn demo_cli_program_parses_and_analyzes() {
+    let program = load("demo");
+    let summary = Analyzer::new().analyze(&program);
+    let total = var(&program, "total");
+    // `helper` reaches total only through its nested `deep`.
+    let helper_site = program
+        .sites()
+        .find(|&s| program.proc_name(program.site(s).callee()) == "helper")
+        .expect("helper is called");
+    assert!(summary.mod_site(helper_site).contains(total.index()));
+}
+
+#[test]
+fn samples_survive_print_parse_round_trip() {
+    for name in ["matrix", "sort", "bank", "demo"] {
+        let program = load(name);
+        let reparsed = modref_frontend::parse_program(&program.to_source())
+            .unwrap_or_else(|e| panic!("{name} round trip: {e}"));
+        assert_eq!(program.num_procs(), reparsed.num_procs(), "{name}");
+        assert_eq!(program.num_sites(), reparsed.num_sites(), "{name}");
+    }
+}
+
+#[test]
+fn dead_store_pass_leaves_samples_unchanged_behaviourally() {
+    for name in ["matrix", "sort", "bank"] {
+        let program = load(name);
+        let summary = Analyzer::new().analyze(&program);
+        let report = modref_opt::eliminate_dead_stores(&program, &summary);
+        let before = Interpreter::new(&program, 0).run();
+        let after = Interpreter::new(&report.program, 0).run();
+        assert_eq!(before.printed, after.printed, "{name}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Scale sanity: the linear-time algorithms must stay comfortable on
+//! large inputs even in debug builds. The really big runs are `#[ignore]`d
+//! (run them with `cargo test -p modref-tests --test scale -- --ignored`,
+//! ideally under `--release`).
+
+use std::time::Instant;
+
+use modref_binding::{solve_rmod, BindingGraph};
+use modref_core::{compute_imod_plus, solve_gmod_one_level};
+use modref_ir::{CallGraph, LocalEffects};
+use modref_progen::workloads;
+
+#[test]
+fn rmod_handles_a_20k_binding_chain_quickly() {
+    let program = workloads::binding_chain(20_000);
+    let fx = LocalEffects::compute(&program);
+    let beta = BindingGraph::build(&program);
+    let start = Instant::now();
+    let rmod = solve_rmod(&program, fx.imod_all(), &beta);
+    assert!(rmod.is_modified(program.proc_(modref_ir::ProcId::new(1)).formals()[0]));
+    // Even unoptimised, the linear solver should be well under a second
+    // for the solve itself (generous bound for noisy CI machines).
+    assert!(
+        start.elapsed().as_secs() < 20,
+        "RMOD took {:?} on a 20k chain",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn findgmod_handles_a_20k_ladder_quickly() {
+    let program = workloads::back_edge_ladder(20_000);
+    let fx = LocalEffects::compute(&program);
+    let beta = BindingGraph::build(&program);
+    let rmod = solve_rmod(&program, fx.imod_all(), &beta);
+    let (plus, _) = compute_imod_plus(&program, fx.imod_all(), &rmod);
+    let cg = CallGraph::build(&program);
+    let locals = program.local_sets();
+    let start = Instant::now();
+    let sol = solve_gmod_one_level(&program, cg.graph(), &plus, &locals);
+    let g = program.vars().next().expect("the global");
+    assert!(sol.gmod(program.main()).contains(g.index()));
+    assert!(
+        start.elapsed().as_secs() < 20,
+        "findgmod took {:?} on a 20k ladder",
+        start.elapsed()
+    );
+}
+
+#[test]
+#[ignore = "large: ~30k procedures; run with --ignored, preferably --release"]
+fn full_pipeline_on_30k_procedures() {
+    // Dense per-procedure bit vectors make whole-program memory O(N²)
+    // bits — the paper's own overall bound. 30k² bits ≈ 110 MB per side,
+    // comfortably in-bounds; 100k² would need tens of GB.
+    let program = workloads::binding_chain(30_000);
+    let summary = modref_core::Analyzer::new()
+        .without_use()
+        .without_aliases()
+        .analyze(&program);
+    let first = modref_ir::ProcId::new(1);
+    assert!(!summary.rmod(first).is_empty());
+}
+
+#[test]
+#[ignore = "large: deep recursion structures; run with --ignored"]
+fn million_edge_call_graph_scc() {
+    // Pure graph stress: Tarjan on a 500k-node, ~1M-edge ring-of-rings.
+    let n = 500_000;
+    let mut g = modref_graph::DiGraph::new(n);
+    for i in 0..n {
+        g.add_edge(i, (i + 1) % n);
+        g.add_edge(i, (i + 7919) % n);
+    }
+    let sccs = modref_graph::tarjan(&g);
+    assert_eq!(sccs.len(), 1);
+}

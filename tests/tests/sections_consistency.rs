@@ -1,0 +1,151 @@
+//! Property tests tying the §6 section analysis to the scalar pipeline
+//! and to the lattice laws.
+
+use modref_core::Analyzer;
+use modref_progen::{generate, GenConfig};
+use modref_sections::{analyze_sections, definitely_disjoint, Section, SubscriptPos};
+use proptest::prelude::*;
+
+fn arb_pos() -> impl Strategy<Value = SubscriptPos> {
+    prop_oneof![
+        (0i64..6).prop_map(SubscriptPos::Const),
+        (0usize..4).prop_map(|i| SubscriptPos::Sym(modref_ir::VarId::new(i))),
+        Just(SubscriptPos::Star),
+    ]
+}
+
+fn arb_section(rank: usize) -> impl Strategy<Value = Section> {
+    prop_oneof![
+        1 => Just(Section::Bottom),
+        4 => prop::collection::vec(arb_pos(), rank).prop_map(Section::Axes),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn meet_laws(a in arb_section(3), b in arb_section(3), c in arb_section(3)) {
+        prop_assert_eq!(a.meet(&b), b.meet(&a));
+        prop_assert_eq!(a.meet(&a), a.clone());
+        prop_assert_eq!(a.meet(&b).meet(&c), a.meet(&b.meet(&c)));
+        // The meet covers both operands (containment order).
+        let m = a.meet(&b);
+        prop_assert!(a.le(&m));
+        prop_assert!(b.le(&m));
+    }
+
+    #[test]
+    fn le_is_a_partial_order_compatible_with_meet(a in arb_section(2), b in arb_section(2)) {
+        let m = a.meet(&b);
+        // m is the least cover w.r.t. le among descriptors we can build
+        // from pointwise meets — at minimum, le(a, b) implies meet is b.
+        if a.le(&b) {
+            prop_assert_eq!(m, b);
+        }
+    }
+
+    #[test]
+    fn disjointness_is_symmetric_and_sound_under_meet(
+        a in arb_section(2),
+        b in arb_section(2),
+    ) {
+        prop_assert_eq!(definitely_disjoint(&a, &b), definitely_disjoint(&b, &a));
+        // If two sections overlap, any coarsening still overlaps:
+        // disjointness can only be *lost* by widening, never gained.
+        let wider = a.meet(&Section::whole(2));
+        if definitely_disjoint(&wider, &b) {
+            prop_assert!(definitely_disjoint(&a, &b) || a.is_bottom());
+        }
+    }
+
+    #[test]
+    fn sections_agree_with_scalar_analysis(seed in any::<u64>(), n in 2usize..10) {
+        // If the section analysis says a call site modifies a slice of a
+        // global array, the scalar analysis must report that array in
+        // DMOD of the site (sections refine, never contradict).
+        let cfg = GenConfig {
+            num_global_arrays: 3,
+            ..GenConfig::tiny(n, 2)
+        };
+        let program = generate(&cfg, seed);
+        let summary = Analyzer::new().analyze(&program);
+        let sections = analyze_sections(&program);
+        for s in program.sites() {
+            for (array, sec) in sections.mod_sections_at_site(s) {
+                // Only global arrays have a direct scalar counterpart at any
+                // site; formal-array actuals map to their own vars too.
+                prop_assert!(!sec.is_bottom());
+                prop_assert!(
+                    summary.dmod_site(s).contains(array.index()),
+                    "seed {}: site {} section-mods {} but scalar DMOD misses it\n{}",
+                    seed, s, program.var_name(array), program.to_source()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_mod_of_arrays_implies_section_mod(seed in any::<u64>(), n in 2usize..10) {
+        // The refinement direction: every array in scalar DMOD at a site
+        // gets a non-⊥ section (possibly the whole array).
+        let cfg = GenConfig {
+            num_global_arrays: 3,
+            ..GenConfig::tiny(n, 2)
+        };
+        let program = generate(&cfg, seed);
+        let summary = Analyzer::new().analyze(&program);
+        let sections = analyze_sections(&program);
+        for s in program.sites() {
+            for v in summary.dmod_site(s).iter() {
+                let var = modref_ir::VarId::new(v);
+                if program.var(var).rank() == 0 {
+                    continue;
+                }
+                prop_assert!(
+                    sections.mod_section_at_site(s, var).is_some(),
+                    "seed {}: scalar DMOD has array {} at site {} but sections say ⊥\n{}",
+                    seed, program.var_name(var), s, program.to_source()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn section_solver_is_a_post_fixpoint(seed in any::<u64>(), n in 2usize..10) {
+        // rsd(f) must absorb its own local accesses: lrsd(f) ⊑ rsd(f)
+        // cannot be checked without exposing lrsd, but the weaker public
+        // property holds: the per-site section covers the formal section
+        // mapped through that site's binding (projection consistency).
+        let cfg = GenConfig {
+            num_global_arrays: 2,
+            ..GenConfig::tiny(n, 1)
+        };
+        let program = generate(&cfg, seed);
+        let sections = analyze_sections(&program);
+        for s in program.sites() {
+            let site = program.site(s);
+            let callee_formals = program.proc_(site.callee()).formals();
+            for (pos, arg) in site.args().iter().enumerate() {
+                let Some(actual) = arg.as_ref_var() else { continue };
+                if program.var(actual).rank() == 0 {
+                    continue;
+                }
+                let formal = callee_formals[pos];
+                if program.var(formal).rank() == 0 {
+                    continue;
+                }
+                let fsec = sections.formal_mod_section(formal);
+                if fsec.is_bottom() {
+                    continue;
+                }
+                // The site must report *some* section for this actual.
+                prop_assert!(
+                    sections.mod_section_at_site(s, actual).is_some(),
+                    "seed {}: bound array {} silently dropped at {}",
+                    seed, program.var_name(actual), s
+                );
+            }
+        }
+    }
+}

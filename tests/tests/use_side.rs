@@ -1,0 +1,146 @@
+//! Dedicated coverage for the `USE` problem — "analogous" to `MOD` (§1)
+//! but with its own subtleties worth pinning down.
+
+use modref_core::Analyzer;
+use modref_frontend::parse_program;
+use modref_ir::VarId;
+
+fn var(program: &modref_ir::Program, name: &str) -> VarId {
+    program
+        .vars()
+        .find(|&v| program.var_name(v) == name)
+        .unwrap_or_else(|| panic!("no variable {name}"))
+}
+
+#[test]
+fn ruse_propagates_through_binding_chains() {
+    let program = parse_program(
+        "var g;
+         proc sink(y) { print y; }        # reads its formal
+         proc relay(x) { call sink(x); }
+         main { call relay(g); }",
+    )
+    .expect("parses");
+    let summary = Analyzer::new().analyze(&program);
+    let relay = program
+        .procs()
+        .find(|&p| program.proc_name(p) == "relay")
+        .unwrap();
+    let x = program.proc_(relay).formals()[0];
+    assert!(summary.ruse(relay).contains(x.index()));
+    // And main's site reports g used but NOT modified.
+    let site = program
+        .sites()
+        .find(|&s| program.site(s).caller() == program.main())
+        .unwrap();
+    let g = var(&program, "g");
+    assert!(summary.use_site(site).contains(g.index()));
+    assert!(!summary.mod_site(site).contains(g.index()));
+}
+
+#[test]
+fn read_statement_modifies_but_does_not_use() {
+    let program = parse_program(
+        "var g;
+         proc input() { read g; }
+         main { call input(); }",
+    )
+    .expect("parses");
+    let summary = Analyzer::new().analyze(&program);
+    let site = program.sites().next().unwrap();
+    let g = var(&program, "g");
+    assert!(summary.mod_site(site).contains(g.index()));
+    assert!(!summary.use_site(site).contains(g.index()));
+}
+
+#[test]
+fn by_value_argument_reads_stay_with_the_caller() {
+    // Evaluating `value h + 1` reads h in the *caller*; USE(site) only
+    // covers what executing the callee reads.
+    let program = parse_program(
+        "var g, h;
+         proc noop(x) { g = x; }
+         main { call noop(value h + 1); }",
+    )
+    .expect("parses");
+    let summary = Analyzer::new().analyze(&program);
+    let site = program.sites().next().unwrap();
+    let h = var(&program, "h");
+    assert!(!summary.use_site(site).contains(h.index()));
+    // The local view of the statement has it instead.
+    let main_body = program.proc_(program.main()).body();
+    let luse = modref_ir::luse_of_stmt(&program, &main_body[0]);
+    assert!(luse.contains(h.index()));
+}
+
+#[test]
+fn condition_reads_count_as_uses() {
+    let program = parse_program(
+        "var g, h;
+         proc guard() { if (g < 3) { h = 1; } }
+         main { call guard(); }",
+    )
+    .expect("parses");
+    let summary = Analyzer::new().analyze(&program);
+    let site = program.sites().next().unwrap();
+    assert!(summary.use_site(site).contains(var(&program, "g").index()));
+    assert!(summary.mod_site(site).contains(var(&program, "h").index()));
+    assert!(!summary.use_site(site).contains(var(&program, "h").index()));
+}
+
+#[test]
+fn subscript_reads_inside_callee_count() {
+    let program = parse_program(
+        "var a[*], i;
+         proc poke() { a[i] = 0; }   # i is *read* to compute the address
+         main { call poke(); }",
+    )
+    .expect("parses");
+    let summary = Analyzer::new().analyze(&program);
+    let site = program.sites().next().unwrap();
+    assert!(summary.use_site(site).contains(var(&program, "i").index()));
+    assert!(summary.mod_site(site).contains(var(&program, "a").index()));
+}
+
+#[test]
+fn use_and_mod_can_differ_per_alias_partner() {
+    // x and y alias g at the site; the callee reads x and writes y:
+    // at the inner site both effects extend to all partners.
+    let program = parse_program(
+        "var g;
+         proc both(x, y) { y = x; }
+         main { call both(g, g); }",
+    )
+    .expect("parses");
+    let summary = Analyzer::new().analyze(&program);
+    let site = program.sites().next().unwrap();
+    let g = var(&program, "g");
+    assert!(summary.use_site(site).contains(g.index()));
+    assert!(summary.mod_site(site).contains(g.index()));
+}
+
+#[test]
+fn guse_respects_nesting_filters_like_gmod() {
+    let program = parse_program(
+        "proc outer() {
+           var secret;
+           proc inner() { print secret; }
+           call inner();
+         }
+         main { call outer(); }",
+    )
+    .expect("parses");
+    let summary = Analyzer::new().analyze(&program);
+    let outer = program
+        .procs()
+        .find(|&p| program.proc_name(p) == "outer")
+        .unwrap();
+    let inner = program
+        .procs()
+        .find(|&p| program.proc_name(p) == "inner")
+        .unwrap();
+    let secret = program.proc_(outer).locals()[0];
+    assert!(summary.guse(inner).contains(secret.index()));
+    assert!(summary.guse(outer).contains(secret.index()));
+    assert!(!summary.guse(program.main()).contains(secret.index()));
+}
