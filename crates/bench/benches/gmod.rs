@@ -2,10 +2,10 @@
 //! baseline on the back-edge ladder (adversarial for iteration) and on a
 //! plain call ring.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use modref_baselines::iterative_gmod;
 use modref_binding::{solve_rmod, BindingGraph};
 use modref_bitset::BitSet;
+use modref_check::BenchGroup;
 use modref_core::{compute_imod_plus, solve_gmod_one_level};
 use modref_graph::DiGraph;
 use modref_ir::{CallGraph, LocalEffects, Program};
@@ -20,28 +20,21 @@ fn prepare(program: &Program) -> (DiGraph, Vec<BitSet>, Vec<BitSet>) {
     (cg.graph().clone(), plus, program.local_sets())
 }
 
-fn bench_gmod(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gmod");
+fn main() {
+    let mut group = BenchGroup::new("gmod");
     for &n in &[256usize, 1024] {
         for (family, program) in [
             ("ladder", workloads::back_edge_ladder(n)),
             ("ring", workloads::call_ring(n, n)),
         ] {
             let (graph, plus, locals) = prepare(&program);
-            group.bench_with_input(
-                BenchmarkId::new(format!("findgmod_{family}"), n),
-                &n,
-                |b, _| b.iter(|| solve_gmod_one_level(&program, &graph, &plus, &locals)),
-            );
-            group.bench_with_input(
-                BenchmarkId::new(format!("iterative_{family}"), n),
-                &n,
-                |b, _| b.iter(|| iterative_gmod(&program, &graph, &plus, &locals)),
-            );
+            group.bench(&format!("findgmod_{family}"), n, || {
+                solve_gmod_one_level(&program, &graph, &plus, &locals)
+            });
+            group.bench(&format!("iterative_{family}"), n, || {
+                iterative_gmod(&program, &graph, &plus, &locals)
+            });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_gmod);
-criterion_main!(benches);

@@ -1,14 +1,13 @@
 //! E9 wall-clock: one additive edit under incremental delta propagation
 //! vs a from-scratch re-analysis.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modref_check::BenchGroup;
 use modref_core::{Analyzer, IncrementalAnalyzer};
 use modref_ir::{Expr, Ref, Stmt};
 use modref_progen::{generate, GenConfig};
 
-fn bench_incremental(c: &mut Criterion) {
-    let mut group = c.benchmark_group("incremental");
-    group.sample_size(20);
+fn main() {
+    let mut group = BenchGroup::new("incremental").samples(5);
     for &n in &[100usize, 400, 1600] {
         let program = generate(&GenConfig::fortran_like(n), 5);
         let target = program
@@ -24,29 +23,21 @@ fn bench_incremental(c: &mut Criterion) {
             value: Expr::constant(1),
         };
 
-        group.bench_with_input(BenchmarkId::new("edit_incremental", n), &n, |b, _| {
-            b.iter_batched(
-                || IncrementalAnalyzer::new(program.clone()),
-                |mut inc| {
-                    inc.add_statement(target, stmt.clone())
-                        .expect("edit applies");
-                    inc
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
-        group.bench_with_input(BenchmarkId::new("edit_full_reanalysis", n), &n, |b, _| {
-            let edited = {
-                let mut inc = IncrementalAnalyzer::new(program.clone());
-                inc.add_statement(target, stmt.clone())
-                    .expect("edit applies");
-                inc.program().clone()
-            };
-            b.iter(|| Analyzer::new().analyze(&edited))
-        });
+        group.bench_with_setup(
+            "edit_incremental",
+            n,
+            || IncrementalAnalyzer::new(program.clone()),
+            |mut inc| {
+                inc.add_statement(target, stmt.clone()).expect("edit applies");
+                inc
+            },
+        );
+        let edited = {
+            let mut inc = IncrementalAnalyzer::new(program.clone());
+            inc.add_statement(target, stmt.clone()).expect("edit applies");
+            inc.program().clone()
+        };
+        group.bench("edit_full_reanalysis", n, || Analyzer::new().analyze(&edited));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_incremental);
-criterion_main!(benches);

@@ -1,33 +1,22 @@
 //! E7 wall-clock: alias-pair computation and MOD factoring on
 //! alias-heavy programs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modref_check::BenchGroup;
 use modref_core::{dmod::compute_dmod, modsets::compute_mod, AliasPairs, Analyzer};
 use modref_progen::workloads;
 
-fn bench_modsets(c: &mut Criterion) {
-    let mut group = c.benchmark_group("modsets");
+fn main() {
+    let mut group = BenchGroup::new("modsets");
     for &params in &[2usize, 8, 16] {
         let program = workloads::alias_heavy(64, params);
         let summary = Analyzer::new().without_use().analyze(&program);
         let aliases = AliasPairs::compute(&program);
 
-        group.bench_with_input(BenchmarkId::new("alias_pairs", params), &params, |b, _| {
-            b.iter(|| AliasPairs::compute(&program))
+        group.bench("alias_pairs", params, || AliasPairs::compute(&program));
+        group.bench("mod_factoring", params, || {
+            let dmod = compute_dmod(&program, summary.gmod_all());
+            compute_mod(&program, &dmod, &aliases)
         });
-        group.bench_with_input(
-            BenchmarkId::new("mod_factoring", params),
-            &params,
-            |b, _| {
-                b.iter(|| {
-                    let dmod = compute_dmod(&program, summary.gmod_all());
-                    compute_mod(&program, &dmod, &aliases)
-                })
-            },
-        );
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_modsets);
-criterion_main!(benches);

@@ -1,14 +1,14 @@
 //! E3 wall-clock: fused multi-level `GMOD` vs one-run-per-level on
 //! nesting ladders of growing depth (constant total size).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use modref_binding::{solve_rmod, BindingGraph};
+use modref_check::BenchGroup;
 use modref_core::{compute_imod_plus, solve_gmod_multi_fused, solve_gmod_multi_naive};
 use modref_ir::{CallGraph, LocalEffects};
 use modref_progen::workloads;
 
-fn bench_nested(c: &mut Criterion) {
-    let mut group = c.benchmark_group("nested_gmod");
+fn main() {
+    let mut group = BenchGroup::new("nested_gmod");
     let budget = 512usize;
     for &depth in &[2usize, 8, 32] {
         let width = (budget / depth).saturating_sub(1).max(1);
@@ -20,15 +20,12 @@ fn bench_nested(c: &mut Criterion) {
         let cg = CallGraph::build(&program);
         let locals = program.local_sets();
 
-        group.bench_with_input(BenchmarkId::new("per_level", depth), &depth, |b, _| {
-            b.iter(|| solve_gmod_multi_naive(&program, cg.graph(), &plus, &locals))
+        group.bench("per_level", depth, || {
+            solve_gmod_multi_naive(&program, cg.graph(), &plus, &locals)
         });
-        group.bench_with_input(BenchmarkId::new("fused", depth), &depth, |b, _| {
-            b.iter(|| solve_gmod_multi_fused(&program, cg.graph(), &plus, &locals))
+        group.bench("fused", depth, || {
+            solve_gmod_multi_fused(&program, cg.graph(), &plus, &locals)
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_nested);
-criterion_main!(benches);

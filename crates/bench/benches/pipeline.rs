@@ -1,32 +1,24 @@
 //! E4 wall-clock: the whole MOD+USE pipeline on FORTRAN-like random
 //! programs of growing size (globals ∝ procedures, per §1).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modref_check::BenchGroup;
 use modref_core::Analyzer;
 use modref_progen::{generate, GenConfig};
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline");
-    group.sample_size(20);
+fn main() {
+    let mut group = BenchGroup::new("pipeline").samples(5);
     for &n in &[100usize, 400, 1600] {
         let program = generate(&GenConfig::fortran_like(n), 42);
-        group.bench_with_input(BenchmarkId::new("mod_and_use", n), &n, |b, _| {
-            b.iter(|| Analyzer::new().analyze(&program))
+        group.bench("mod_and_use", n, || Analyzer::new().analyze(&program));
+        group.bench("mod_only_no_alias", n, || {
+            Analyzer::new()
+                .without_use()
+                .without_aliases()
+                .analyze(&program)
         });
-        group.bench_with_input(BenchmarkId::new("mod_only_no_alias", n), &n, |b, _| {
-            b.iter(|| {
-                Analyzer::new()
-                    .without_use()
-                    .without_aliases()
-                    .analyze(&program)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("mod_and_use_parallel", n), &n, |b, _| {
-            b.iter(|| Analyzer::new().parallel().analyze(&program))
+        group.bench("mod_and_use_parallel", n, || {
+            Analyzer::new().parallel().analyze(&program)
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

@@ -1,34 +1,29 @@
 //! E1 wall-clock: Figure 1 `RMOD` vs the per-parameter and swift-style
 //! baselines on binding chains.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use modref_baselines::{rmod_per_parameter, rmod_swift_standin};
 use modref_binding::{solve_rmod, BindingGraph};
+use modref_check::BenchGroup;
 use modref_ir::LocalEffects;
 use modref_progen::workloads;
 
-fn bench_rmod(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rmod");
+fn main() {
+    let mut group = BenchGroup::new("rmod");
     for &n in &[256usize, 1024, 4096] {
         let program = workloads::binding_chain_all_writers(n);
         let fx = LocalEffects::compute(&program);
         let beta = BindingGraph::build(&program);
 
-        group.bench_with_input(BenchmarkId::new("figure1", n), &n, |b, _| {
-            b.iter(|| solve_rmod(&program, fx.imod_all(), &beta))
-        });
+        group.bench("figure1", n, || solve_rmod(&program, fx.imod_all(), &beta));
         if n <= 1024 {
             // The quadratic baseline becomes too slow beyond this.
-            group.bench_with_input(BenchmarkId::new("per_parameter", n), &n, |b, _| {
-                b.iter(|| rmod_per_parameter(&program, fx.imod_all(), &beta))
+            group.bench("per_parameter", n, || {
+                rmod_per_parameter(&program, fx.imod_all(), &beta)
             });
         }
-        group.bench_with_input(BenchmarkId::new("swift_standin", n), &n, |b, _| {
-            b.iter(|| rmod_swift_standin(&program, fx.imod_all()))
+        group.bench("swift_standin", n, || {
+            rmod_swift_standin(&program, fx.imod_all())
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_rmod);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! E5 wall-clock: regular-section analysis on array binding chains —
 //! cost must not grow with array rank (lattice depth).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modref_check::BenchGroup;
 use modref_ir::{Expr, ProcId, Program, ProgramBuilder};
 use modref_sections::analyze_sections;
 
@@ -25,16 +25,11 @@ fn array_chain(n: usize, rank: usize) -> Program {
     b.finish().expect("valid")
 }
 
-fn bench_sections(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sections");
+fn main() {
+    let mut group = BenchGroup::new("sections");
     for &rank in &[1usize, 2, 6] {
         let program = array_chain(512, rank);
-        group.bench_with_input(BenchmarkId::new("chain_512", rank), &rank, |b, _| {
-            b.iter(|| analyze_sections(&program))
-        });
+        group.bench("chain_512", rank, || analyze_sections(&program));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_sections);
-criterion_main!(benches);

@@ -3,12 +3,12 @@
 use std::collections::BTreeSet;
 
 use modref_bitset::{BitMatrix, BitSet};
-use proptest::prelude::*;
+use modref_check::prelude::*;
 
 const DOMAIN: usize = 300;
 
 fn elems() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(0..DOMAIN, 0..64)
+    vec_of(ints(0..DOMAIN), 0..64)
 }
 
 fn model(v: &[usize]) -> BTreeSet<usize> {
@@ -19,8 +19,7 @@ fn build(v: &[usize]) -> BitSet {
     BitSet::from_iter_with_domain(DOMAIN, v.iter().copied())
 }
 
-proptest! {
-    #[test]
+property! {
     fn union_matches_model(a in elems(), b in elems()) {
         let (ma, mb) = (model(&a), model(&b));
         let mut s = build(&a);
@@ -29,7 +28,6 @@ proptest! {
         prop_assert_eq!(s.iter().collect::<Vec<_>>(), want);
     }
 
-    #[test]
     fn intersection_matches_model(a in elems(), b in elems()) {
         let (ma, mb) = (model(&a), model(&b));
         let mut s = build(&a);
@@ -38,7 +36,6 @@ proptest! {
         prop_assert_eq!(s.iter().collect::<Vec<_>>(), want);
     }
 
-    #[test]
     fn difference_matches_model(a in elems(), b in elems()) {
         let (ma, mb) = (model(&a), model(&b));
         let mut s = build(&a);
@@ -47,7 +44,6 @@ proptest! {
         prop_assert_eq!(s.iter().collect::<Vec<_>>(), want);
     }
 
-    #[test]
     fn union_with_difference_is_composite(a in elems(), b in elems(), c in elems()) {
         let mut fast = build(&a);
         fast.union_with_difference(&build(&b), &build(&c));
@@ -58,12 +54,10 @@ proptest! {
         prop_assert_eq!(fast, slow);
     }
 
-    #[test]
     fn len_matches_model(a in elems()) {
         prop_assert_eq!(build(&a).len(), model(&a).len());
     }
 
-    #[test]
     fn subset_disjoint_consistency(a in elems(), b in elems()) {
         let (ma, mb) = (model(&a), model(&b));
         let (sa, sb) = (build(&a), build(&b));
@@ -71,7 +65,6 @@ proptest! {
         prop_assert_eq!(sa.is_disjoint(&sb), ma.is_disjoint(&mb));
     }
 
-    #[test]
     fn matrix_or_rows_matches_sets(a in elems(), b in elems(), mask in elems()) {
         let mut m = BitMatrix::new(2, DOMAIN);
         m.set_row(0, &build(&a));

@@ -1,0 +1,287 @@
+//! A hermetic wall-clock micro-benchmark runner (the criterion
+//! replacement).
+//!
+//! Each benchmark is timed as: **warmup** (until the measured iteration
+//! cost stabilises enough to calibrate a batch size), then **K samples**
+//! of `iters` iterations each, reporting the **median** sample — the
+//! standard robust estimator for wall-clock microbenchmarks.
+//!
+//! Results stream to stdout as human-readable lines and are appended as
+//! JSON lines to `target/modref-bench/BENCH_<group>.json` (override the
+//! directory with `MODREF_BENCH_DIR`), one object per benchmark:
+//!
+//! ```json
+//! {"group":"rmod","bench":"figure1","param":"256","median_ns":123456,
+//!  "min_ns":120000,"max_ns":130000,"samples":5,"iters":10}
+//! ```
+//!
+//! The file format is append-friendly on purpose: successive runs build a
+//! trajectory that `EXPERIMENTS.md` and future regression tooling can
+//! diff. Set `MODREF_BENCH_QUICK=1` to cut sample counts for smoke runs.
+
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// A named group of benchmarks, mirroring one criterion `benchmark_group`.
+pub struct BenchGroup {
+    group: String,
+    samples: u32,
+    target_sample: Duration,
+    results: Vec<BenchResult>,
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name (one per bench binary, by convention).
+    pub group: String,
+    /// Benchmark name within the group.
+    pub bench: String,
+    /// The workload parameter (size, rank, …) as a string.
+    pub param: String,
+    /// Median of the per-iteration sample means, in nanoseconds.
+    pub median_ns: u128,
+    /// Fastest sample, ns/iter.
+    pub min_ns: u128,
+    /// Slowest sample, ns/iter.
+    pub max_ns: u128,
+    /// Number of samples taken.
+    pub samples: u32,
+    /// Iterations per sample.
+    pub iters: u64,
+}
+
+impl BenchResult {
+    /// The JSON-lines encoding (no external serializer needed: every
+    /// field is a number or a name we control, escaped conservatively).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' | '\\' => vec!['\\', c],
+                    '\n' => vec!['\\', 'n'],
+                    c => vec![c],
+                })
+                .collect()
+        }
+        format!(
+            "{{\"group\":\"{}\",\"bench\":\"{}\",\"param\":\"{}\",\
+             \"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\
+             \"samples\":{},\"iters\":{}}}",
+            esc(&self.group),
+            esc(&self.bench),
+            esc(&self.param),
+            self.median_ns,
+            self.min_ns,
+            self.max_ns,
+            self.samples,
+            self.iters,
+        )
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var("MODREF_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// `<workspace root>/target/modref-bench`: cargo runs bench binaries with
+/// the *package* directory as cwd, so walk up to the first ancestor that
+/// owns a `Cargo.lock` (the workspace root) before anchoring `target/`.
+fn default_bench_dir() -> String {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.lock").exists() || dir.join("target").is_dir() {
+            return dir.join("target/modref-bench").to_string_lossy().into_owned();
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return "target/modref-bench".to_owned(),
+        }
+    }
+}
+
+impl BenchGroup {
+    /// Starts a group named `group`.
+    #[must_use]
+    pub fn new(group: &str) -> Self {
+        let (samples, target_sample) = if quick_mode() {
+            (3, Duration::from_millis(5))
+        } else {
+            (7, Duration::from_millis(40))
+        };
+        Self {
+            group: group.to_owned(),
+            samples,
+            target_sample,
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the sample count (median-of-K).
+    #[must_use]
+    pub fn samples(mut self, k: u32) -> Self {
+        self.samples = k.max(1);
+        self
+    }
+
+    /// Times `f`, labelled `bench` with workload parameter `param`.
+    /// Wrap returned values in [`black_box`] yourself only if the
+    /// computation could otherwise be optimised away; the runner already
+    /// black-boxes the closure result.
+    pub fn bench<R>(&mut self, bench: &str, param: impl ToString, mut f: impl FnMut() -> R) {
+        self.bench_with_setup(bench, param, || (), |()| f());
+    }
+
+    /// Times `routine` with a fresh `setup()` value per iteration; only
+    /// the routine is on the clock (criterion's `iter_batched`). Use when
+    /// the routine consumes or mutates its input.
+    pub fn bench_with_setup<T, R>(
+        &mut self,
+        bench: &str,
+        param: impl ToString,
+        mut setup: impl FnMut() -> T,
+        mut routine: impl FnMut(T) -> R,
+    ) {
+        let param = param.to_string();
+
+        // Warmup + calibration: run single iterations until we have both
+        // warmed caches and a cost estimate for batching. Only the
+        // routine counts toward the estimate.
+        let mut est = Duration::ZERO;
+        let mut warm_iters = 0u32;
+        let warm_budget = if quick_mode() {
+            Duration::from_millis(10)
+        } else {
+            Duration::from_millis(100)
+        };
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < warm_budget && warm_iters < 1000 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            est = t.elapsed();
+            warm_iters += 1;
+            if est > warm_budget {
+                break; // One iteration blows the budget; stop warming.
+            }
+        }
+
+        // Batch size: enough iterations to fill the target sample time,
+        // at least one.
+        let iters = if est.is_zero() {
+            1000
+        } else {
+            (self.target_sample.as_nanos() / est.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        let mut per_iter: Vec<u128> = (0..self.samples)
+            .map(|_| {
+                let mut busy = Duration::ZERO;
+                for _ in 0..iters {
+                    let input = setup();
+                    let t = Instant::now();
+                    black_box(routine(input));
+                    busy += t.elapsed();
+                }
+                busy.as_nanos() / u128::from(iters)
+            })
+            .collect();
+        per_iter.sort_unstable();
+
+        let result = BenchResult {
+            group: self.group.clone(),
+            bench: bench.to_owned(),
+            param,
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+            samples: self.samples,
+            iters,
+        };
+        println!(
+            "{:>24} / {:<10} {:>14} ns/iter  (min {}, max {}, {}x{} iters)",
+            format!("{}::{}", result.group, result.bench),
+            result.param,
+            result.median_ns,
+            result.min_ns,
+            result.max_ns,
+            result.samples,
+            result.iters,
+        );
+        self.results.push(result);
+    }
+
+    /// Writes the group's JSON lines and returns the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output directory cannot be created or written — a
+    /// bench run whose results vanish silently is worse than a loud stop.
+    pub fn finish(self) -> Vec<BenchResult> {
+        let dir = std::env::var("MODREF_BENCH_DIR").unwrap_or_else(|_| default_bench_dir());
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| panic!("cannot create bench output dir {dir}: {e}"));
+        let path = format!("{dir}/BENCH_{}.json", self.group);
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+        for r in &self.results {
+            writeln!(file, "{}", r.to_json()).expect("bench result write failed");
+        }
+        println!("-- {} results appended to {path}", self.results.len());
+        self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_round_numbers() {
+        let r = BenchResult {
+            group: "g\"x".into(),
+            bench: "b".into(),
+            param: "256".into(),
+            median_ns: 42,
+            min_ns: 40,
+            max_ns: 44,
+            samples: 5,
+            iters: 10,
+        };
+        let json = r.to_json();
+        assert!(json.contains("\\\"x"));
+        assert!(json.contains("\"median_ns\":42"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn bench_measures_and_writes() {
+        let dir = std::env::temp_dir().join(format!("modref-bench-test-{}", std::process::id()));
+        std::env::set_var("MODREF_BENCH_DIR", &dir);
+        std::env::set_var("MODREF_BENCH_QUICK", "1");
+        let mut g = BenchGroup::new("selftest");
+        g.bench("spin", 64, || {
+            let mut acc = 0u64;
+            for i in 0..64u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        let results = g.finish();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].median_ns > 0);
+        let path = dir.join("BENCH_selftest.json");
+        let text = std::fs::read_to_string(&path).expect("json lines written");
+        assert!(text.lines().count() >= 1);
+        assert!(text.contains("\"group\":\"selftest\""));
+        std::env::remove_var("MODREF_BENCH_DIR");
+        std::env::remove_var("MODREF_BENCH_QUICK");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,145 @@
+//! Self-tests for the harness: determinism of the generated case
+//! sequence and greedy shrinking to a minimal counterexample.
+//!
+//! (The `MODREF_SEED` environment override lives in `seed_env.rs`, a
+//! separate test binary, because it mutates process environment that
+//! `run_property` reads.)
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use modref_check::prelude::*;
+use modref_check::runner::{run_property, stable_hash, CaseResult};
+use modref_check::Config;
+
+/// Runs a recording pass of `run_property` and returns every generated
+/// input in order.
+fn record_sequence(name: &str, cases: u32) -> Vec<(u64, Vec<usize>)> {
+    let seen = RefCell::new(Vec::new());
+    run_property(
+        name,
+        &Config::with_cases(cases),
+        &(any_u64(), vec_of(ints(0..100usize), 0..10)),
+        |value| {
+            seen.borrow_mut().push(value.clone());
+            CaseResult::Pass
+        },
+    );
+    seen.into_inner()
+}
+
+#[test]
+fn same_property_name_means_identical_case_sequence() {
+    let a = record_sequence("replay_fixture", 64);
+    let b = record_sequence("replay_fixture", 64);
+    assert_eq!(a.len(), 64);
+    assert_eq!(a, b, "a property must replay bit-for-bit");
+}
+
+#[test]
+fn different_property_names_get_independent_streams() {
+    let a = record_sequence("replay_fixture", 16);
+    let b = record_sequence("other_fixture", 16);
+    assert_ne!(a, b, "name-derived seeds must differ");
+    assert_ne!(stable_hash("replay_fixture"), stable_hash("other_fixture"));
+}
+
+#[test]
+fn stable_hash_is_pinned() {
+    // The default seed derivation is part of the replay contract: if this
+    // constant moves, every recorded MODREF_SEED in old failure reports
+    // silently stops replaying the same cases.
+    assert_eq!(stable_hash(""), 0xCBF2_9CE4_8422_2325);
+    assert_eq!(stable_hash("a"), 0xAF63_DC4C_8601_EC8C);
+}
+
+#[test]
+fn deliberate_failure_shrinks_to_the_minimal_counterexample() {
+    // Property: "all values are < 42" over 0..1000. The minimal failing
+    // input is exactly 42, and the report must both name it and carry a
+    // replay seed.
+    let failure = catch_unwind(AssertUnwindSafe(|| {
+        run_property(
+            "shrink_fixture",
+            &Config::with_cases(500),
+            &ints(0..1000u32),
+            |&v| {
+                if v >= 42 {
+                    CaseResult::Fail(format!("{v} >= 42"))
+                } else {
+                    CaseResult::Pass
+                }
+            },
+        );
+    }))
+    .expect_err("property must fail");
+    let report = *failure
+        .downcast::<String>()
+        .expect("failure report is a String");
+    assert!(
+        report.contains("minimal input: 42"),
+        "greedy shrinking must land exactly on the boundary; got:\n{report}"
+    );
+    assert!(report.contains("replay with: MODREF_SEED="), "{report}");
+    assert!(report.contains("42 >= 42"), "{report}");
+}
+
+#[test]
+fn tuple_failures_shrink_every_coordinate() {
+    // Failing iff a + b >= 100: the shrunk pair must sit on the boundary
+    // (a + b == 100 with one coordinate 0 is ideal, but any pair that no
+    // longer shrinks must at least be on a shrinking fixed point: both
+    // coordinates minimal given the other).
+    let failure = catch_unwind(AssertUnwindSafe(|| {
+        run_property(
+            "tuple_shrink_fixture",
+            &Config::with_cases(500),
+            &(ints(0..1000u32), ints(0..1000u32)),
+            |&(a, b)| {
+                if a + b >= 100 {
+                    CaseResult::Fail("sum too big".into())
+                } else {
+                    CaseResult::Pass
+                }
+            },
+        );
+    }))
+    .expect_err("property must fail");
+    let report = *failure.downcast::<String>().expect("report is a String");
+    let (a, b) = parse_pair(&report);
+    assert_eq!(a + b, 100, "boundary not reached: a={a} b={b}\n{report}");
+}
+
+fn parse_pair(report: &str) -> (u32, u32) {
+    let line = report
+        .lines()
+        .find_map(|l| l.strip_prefix("minimal input: "))
+        .expect("report names the minimal input");
+    let inner = line.trim_start_matches('(').trim_end_matches(')');
+    let mut parts = inner.split(", ").map(|p| p.parse::<u32>().unwrap());
+    (parts.next().unwrap(), parts.next().unwrap())
+}
+
+// The macro surface itself, exercised end-to-end: these properties hold,
+// so the whole file doubles as a smoke test that `property!` compiles
+// and runs standalone in a downstream crate.
+property! {
+    #![cases = 64]
+
+    fn sort_is_idempotent(v in vec_of(ints(0..50u8), 0..32)) {
+        let mut once = v.clone();
+        once.sort_unstable();
+        let mut twice = once.clone();
+        twice.sort_unstable();
+        prop_assert_eq!(once, twice);
+    }
+
+    fn assume_filters_without_failing(n in ints(0..100u32)) {
+        prop_assume!(n % 2 == 0);
+        prop_assert!(n % 2 == 0);
+    }
+
+    fn strings_from_charset_stay_in_charset(s in string_from("xyz", 0..16)) {
+        prop_assert!(s.chars().all(|c| "xyz".contains(c)));
+    }
+}

@@ -1,0 +1,137 @@
+//! Golden-output tests: `modref` subcommands on the `examples/` programs
+//! must print exactly this, byte for byte. Report formatting is part of
+//! the CLI contract — scripts parse it — so any change here is a
+//! deliberate, reviewed change to these strings.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Runs the `modref` binary from the workspace root (so the file path in
+/// the report is the familiar relative one) and returns `(stdout, ok)`.
+fn modref(args: &[&str]) -> (String, bool) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = Command::new(env!("CARGO_BIN_EXE_modref"))
+        .args(args)
+        .current_dir(&root)
+        .output()
+        .expect("modref binary runs");
+    (
+        String::from_utf8(out.stdout).expect("stdout is UTF-8"),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn summary_demo_golden() {
+    let (stdout, ok) = modref(&["summary", "examples/programs/demo.mp"]);
+    assert!(ok);
+    assert_eq!(
+        stdout,
+        "\
+per-procedure summaries for examples/programs/demo.mp:
+
+proc main (level 0)
+  RMOD  = ∅
+  IMOD+ = {count, grid, i, n, total}
+  GMOD  = {count, grid, i, n, total}
+  GUSE  = {count, i, n, total}
+proc bump (level 1)
+  RMOD  = {x}
+  IMOD+ = {count, x}
+  GMOD  = {count, x}
+  GUSE  = {amount, count, x}
+proc zero_row (level 1)
+  RMOD  = {row}
+  IMOD+ = {j, row}
+  GMOD  = {j, row}
+  GUSE  = {j, n}
+proc helper (level 1)
+  RMOD  = ∅
+  IMOD+ = {total}
+  GMOD  = {total}
+  GUSE  = {total}
+proc deep (level 2)
+  RMOD  = ∅
+  IMOD+ = {total}
+  GMOD  = {total}
+  GUSE  = {total}
+"
+    );
+}
+
+#[test]
+fn analyze_sort_golden() {
+    let (stdout, ok) = modref(&["analyze", "examples/programs/sort.mp"]);
+    assert!(ok);
+    assert_eq!(
+        stdout,
+        "\
+examples/programs/sort.mp: 4 procedures, 4 call sites, 11 variables
+binding multi-graph: 0 nodes, 0 edges
+
+site s0: call min_index (in sort_from)
+  MOD  = {m}
+  DMOD = {m}
+  USE  = {count, data, m}
+site s1: call swap (in sort_from)
+  MOD  = {data}
+  DMOD = {data}
+  USE  = {data}
+site s2: call sort_from (in sort_from)
+  MOD  = {data}
+  DMOD = {data}
+  USE  = {count, data}
+site s3: call sort_from (in main)
+  MOD  = {data}
+  DMOD = {data}
+  USE  = {count, data}
+"
+    );
+}
+
+#[test]
+fn sections_matrix_golden() {
+    let (stdout, ok) = modref(&["sections", "examples/programs/matrix.mp"]);
+    assert!(ok);
+    assert_eq!(
+        stdout,
+        "\
+regular sections per call site for examples/programs/matrix.mp:
+
+site s0: call fill (in main)
+  MOD a[*, *]
+site s1: call scale_row (in main)
+  MOD a[i, *]
+  USE a[i, *]
+site s2: call trace (in main)
+  USE a[*, *]
+"
+    );
+}
+
+#[test]
+fn check_walkthrough_golden() {
+    let (stdout, ok) = modref(&["check", "examples/programs/walkthrough.mp"]);
+    assert!(ok);
+    assert_eq!(
+        stdout,
+        "\
+examples/programs/walkthrough.mp: ok
+procedures: 4 (0 unreachable), call sites: 5, statements: 7
+variables: 2 globals, 1 locals, 2 formals (0 arrays)
+d_P = 1, μ_f = 0.50, μ_a = 0.80
+"
+    );
+}
+
+#[test]
+fn check_rejects_garbage_with_nonzero_exit() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = Command::new(env!("CARGO_BIN_EXE_modref"))
+        .args(["check", "Cargo.toml"])
+        .current_dir(&root)
+        .output()
+        .expect("modref binary runs");
+    assert!(!out.status.success());
+    assert!(!out.stderr.is_empty(), "parse failure must explain itself");
+}

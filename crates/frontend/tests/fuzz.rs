@@ -1,45 +1,23 @@
 //! Robustness fuzzing: the front end must never panic — every input,
 //! however mangled, either parses or produces a structured error.
 
+use modref_check::prelude::*;
 use modref_frontend::parse_program;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+property! {
+    #![cases = 512]
 
-    #[test]
-    fn arbitrary_text_never_panics(input in "\\PC*") {
+    fn arbitrary_text_never_panics(input in arbitrary_text(0..256)) {
         let _ = parse_program(&input);
     }
 
-    #[test]
     fn arbitrary_tokens_never_panic(
-        words in prop::collection::vec(
-            prop_oneof![
-                Just("var".to_owned()),
-                Just("proc".to_owned()),
-                Just("main".to_owned()),
-                Just("call".to_owned()),
-                Just("value".to_owned()),
-                Just("if".to_owned()),
-                Just("else".to_owned()),
-                Just("while".to_owned()),
-                Just("read".to_owned()),
-                Just("print".to_owned()),
-                Just("{".to_owned()),
-                Just("}".to_owned()),
-                Just("(".to_owned()),
-                Just(")".to_owned()),
-                Just("[".to_owned()),
-                Just("]".to_owned()),
-                Just(";".to_owned()),
-                Just(",".to_owned()),
-                Just("=".to_owned()),
-                Just("*".to_owned()),
-                Just("+".to_owned()),
-                Just("x".to_owned()),
-                Just("42".to_owned()),
-            ],
+        words in vec_of(
+            element_of(vec![
+                "var", "proc", "main", "call", "value", "if", "else", "while",
+                "read", "print", "{", "}", "(", ")", "[", "]", ";", ",", "=",
+                "*", "+", "x", "42",
+            ]),
             0..64,
         )
     ) {
@@ -47,11 +25,10 @@ proptest! {
         let _ = parse_program(&input);
     }
 
-    #[test]
     fn mutated_valid_programs_never_panic(
-        cut_start in 0usize..200,
-        cut_len in 0usize..40,
-        insert in "[a-z0-9{}()\\[\\];,=*+#\\n ]{0,12}",
+        cut_start in ints(0..200usize),
+        cut_len in ints(0..40usize),
+        insert in string_from("abcdefghijklmnopqrstuvwxyz0123456789{}()[];,=*+#\n ", 0..13),
     ) {
         let base = "var g, a[*, *];
             proc p(x, row[*]) {

@@ -1,16 +1,43 @@
 //! Property tests: SCC/DFS/condensation invariants on random multi-graphs.
 
+use modref_check::prelude::*;
 use modref_graph::{
     reach::reachable_from, tarjan, topo::topological_order, Condensation, DepthFirst, DiGraph,
     EdgeKind,
 };
-use proptest::prelude::*;
 
-fn arb_graph() -> impl Strategy<Value = DiGraph> {
-    (1usize..40).prop_flat_map(|n| {
-        prop::collection::vec((0..n, 0..n), 0..120)
-            .prop_map(move |edges| DiGraph::from_edges(n, edges))
-    })
+/// A random multi-graph as `(n, edges)`: up to 40 nodes, up to 120 edges
+/// (duplicates and self-loops included). Shrinking drops edges — halves
+/// first, then singles — which is what makes SCC counterexamples small.
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    custom(
+        |rng: &mut Rng| {
+            let n = rng.gen_range(1..40usize);
+            let m = rng.gen_range(0..120usize);
+            let edges = (0..m)
+                .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+                .collect();
+            (n, edges)
+        },
+        |&(n, ref edges): &(usize, Vec<(usize, usize)>)| {
+            let mut out = Vec::new();
+            let m = edges.len();
+            if m > 0 {
+                out.push((n, edges[m / 2..].to_vec()));
+                out.push((n, edges[..m / 2].to_vec()));
+                for i in (0..m).rev().take(8) {
+                    let mut e = edges.clone();
+                    e.remove(i);
+                    out.push((n, e));
+                }
+            }
+            out
+        },
+    )
+}
+
+fn graph_of((n, edges): &(usize, Vec<(usize, usize)>)) -> DiGraph {
+    DiGraph::from_edges(*n, edges.iter().copied())
 }
 
 /// Floyd–Warshall style boolean transitive closure, the obvious-but-slow
@@ -36,12 +63,12 @@ fn closure(g: &DiGraph) -> Vec<Vec<bool>> {
     reach
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+property! {
+    #![cases = 64]
 
-    #[test]
     #[allow(clippy::needless_range_loop)]
-    fn scc_matches_mutual_reachability(g in arb_graph()) {
+    fn scc_matches_mutual_reachability(raw in arb_graph()) {
+        let g = graph_of(&raw);
         let sccs = tarjan(&g);
         let reach = closure(&g);
         let n = g.num_nodes();
@@ -54,23 +81,23 @@ proptest! {
         }
     }
 
-    #[test]
-    fn scc_numbering_is_reverse_topological(g in arb_graph()) {
+    fn scc_numbering_is_reverse_topological(raw in arb_graph()) {
+        let g = graph_of(&raw);
         let sccs = tarjan(&g);
         for e in g.edges() {
             prop_assert!(sccs.component_of(e.to) <= sccs.component_of(e.from));
         }
     }
 
-    #[test]
-    fn condensation_is_acyclic(g in arb_graph()) {
+    fn condensation_is_acyclic(raw in arb_graph()) {
+        let g = graph_of(&raw);
         let sccs = tarjan(&g);
         let cond = Condensation::build(&g, &sccs);
         prop_assert!(topological_order(cond.graph()).is_ok());
     }
 
-    #[test]
-    fn dfs_back_edges_iff_cycles(g in arb_graph()) {
+    fn dfs_back_edges_iff_cycles(raw in arb_graph()) {
+        let g = graph_of(&raw);
         let dfs = DepthFirst::run(&g, g.nodes());
         let has_back = g
             .edges()
@@ -80,8 +107,8 @@ proptest! {
         prop_assert_eq!(has_back, has_cycle);
     }
 
-    #[test]
-    fn dfs_covers_all_nodes_when_rooted_everywhere(g in arb_graph()) {
+    fn dfs_covers_all_nodes_when_rooted_everywhere(raw in arb_graph()) {
+        let g = graph_of(&raw);
         let dfs = DepthFirst::run(&g, g.nodes());
         prop_assert_eq!(dfs.preorder().len(), g.num_nodes());
         prop_assert_eq!(dfs.postorder().len(), g.num_nodes());
@@ -90,9 +117,9 @@ proptest! {
         }
     }
 
-    #[test]
     #[allow(clippy::needless_range_loop)]
-    fn reachability_matches_closure(g in arb_graph()) {
+    fn reachability_matches_closure(raw in arb_graph()) {
+        let g = graph_of(&raw);
         let reach = closure(&g);
         let n = g.num_nodes();
         for root in 0..n {
@@ -103,8 +130,8 @@ proptest! {
         }
     }
 
-    #[test]
-    fn postorder_children_before_parents_on_tree_edges(g in arb_graph()) {
+    fn postorder_children_before_parents_on_tree_edges(raw in arb_graph()) {
+        let g = graph_of(&raw);
         let dfs = DepthFirst::run(&g, g.nodes());
         let finish_pos: Vec<usize> = {
             let mut p = vec![0; g.num_nodes()];

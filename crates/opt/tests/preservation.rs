@@ -1,21 +1,20 @@
 //! Semantic preservation: optimizing with the interprocedural summaries
 //! never changes observable behaviour.
 
+use modref_check::prelude::*;
 use modref_core::Analyzer;
 use modref_interp::Interpreter;
 use modref_opt::eliminate_dead_stores;
 use modref_progen::{generate, GenConfig};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+property! {
+    #![cases = 24]
 
-    #[test]
     fn dead_store_elimination_preserves_output(
-        seed in any::<u64>(),
-        input_seed in any::<u64>(),
-        n in 2usize..12,
-        depth in 1u32..4,
+        seed in any_u64(),
+        input_seed in any_u64(),
+        n in ints(2..12usize),
+        depth in ints(1..4u32),
     ) {
         let program = generate(&GenConfig::tiny(n, depth), seed);
         let summary = Analyzer::new().analyze(&program);
@@ -35,8 +34,10 @@ proptest! {
         );
     }
 
-    #[test]
-    fn optimized_program_revalidates_and_reanalyzes(seed in any::<u64>(), n in 2usize..10) {
+    fn optimized_program_revalidates_and_reanalyzes(
+        seed in any_u64(),
+        n in ints(2..10usize),
+    ) {
         let program = generate(&GenConfig::tiny(n, 2), seed);
         let summary = Analyzer::new().analyze(&program);
         let report = eliminate_dead_stores(&program, &summary);
@@ -50,8 +51,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn idempotent(seed in any::<u64>(), n in 2usize..10) {
+    fn idempotent(seed in any_u64(), n in ints(2..10usize)) {
         let program = generate(&GenConfig::tiny(n, 2), seed);
         let summary = Analyzer::new().analyze(&program);
         let once = eliminate_dead_stores(&program, &summary);

@@ -3,8 +3,7 @@
 use modref_ir::{
     Actual, BinOp, Expr, ProcId, Program, ProgramBuilder, Ref, Stmt, Subscript, VarId,
 };
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use modref_check::Rng;
 
 use crate::config::GenConfig;
 
@@ -16,7 +15,7 @@ use crate::config::GenConfig;
 /// Panics only if the generated program fails validation — which would be
 /// a generator bug, not an input condition.
 pub fn generate(config: &GenConfig, seed: u64) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = ProgramBuilder::new();
     let mut gen = Gen {
         config,
@@ -32,7 +31,7 @@ pub fn generate(config: &GenConfig, seed: u64) -> Program {
 
 struct Gen<'a> {
     config: &'a GenConfig,
-    rng: &'a mut SmallRng,
+    rng: &'a mut Rng,
     globals: Vec<VarId>,
     /// `(var, rank)`.
     global_arrays: Vec<(VarId, usize)>,

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# CI entry point. Everything here must pass on a machine with no network
+# access: the workspace is hermetic (see CONTRIBUTING.md, "Hermetic
+# builds") and this script is what enforces it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== guard: no registry dependencies in any manifest =="
+# Path-only dependencies are the policy. A registry dependency is any
+# [*dependencies] entry that carries a version requirement instead of a
+# `path`/`workspace` reference — catch both the member manifests and the
+# [workspace.dependencies] table, plus the lockfile.
+fail=0
+while IFS= read -r manifest; do
+    if awk '
+        /^\[.*dependencies[^]]*\]/ { in_deps = 1; next }
+        /^\[/                      { in_deps = 0 }
+        in_deps && NF && $0 !~ /^#/ \
+                && $0 !~ /path *=/ && $0 !~ /\.workspace *= *true/ \
+                && $0 !~ /^\s*(features|optional|default-features)\b/ {
+            print FILENAME ": " $0
+            found = 1
+        }
+        END { exit !found }
+    ' "$manifest"; then
+        fail=1
+    fi
+done < <(git ls-files -co --exclude-standard '*Cargo.toml')
+if grep -n 'source = "registry' Cargo.lock; then
+    echo "Cargo.lock references a registry package"
+    fail=1
+fi
+if [ "$fail" -ne 0 ]; then
+    echo "registry dependencies found — the workspace must stay hermetic" >&2
+    exit 1
+fi
+echo "ok"
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests (offline) =="
+cargo test -q --offline
+
+echo "CI green"

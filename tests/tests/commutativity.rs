@@ -5,8 +5,8 @@
 use modref_core::Analyzer;
 use modref_interp::Interpreter;
 use modref_ir::{Program, Stmt};
+use modref_check::prelude::*;
 use modref_progen::{generate, GenConfig};
-use proptest::prelude::*;
 
 /// Which procedures may perform I/O, directly or through calls.
 fn io_procs(program: &Program) -> Vec<bool> {
@@ -55,14 +55,14 @@ fn swap_in_main(program: &Program, k: usize) -> Program {
         .expect("swapping two statements preserves validity")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+property! {
+    #![cases = 48]
 
     #[test]
     fn non_interfering_adjacent_calls_commute(
-        seed in any::<u64>(),
-        input_seed in any::<u64>(),
-        n in 2usize..12,
+        seed in any_u64(),
+        input_seed in any_u64(),
+        n in ints(2..12usize),
     ) {
         let program = generate(&GenConfig::tiny(n, 2), seed);
         let summary = Analyzer::new().analyze(&program);
@@ -104,7 +104,7 @@ proptest! {
     }
 
     #[test]
-    fn interference_is_symmetric(seed in any::<u64>(), n in 2usize..12) {
+    fn interference_is_symmetric(seed in any_u64(), n in ints(2..12usize)) {
         let program = generate(&GenConfig::tiny(n, 2), seed);
         let summary = Analyzer::new().analyze(&program);
         let sites: Vec<_> = program.sites().collect();

@@ -4,22 +4,22 @@
 //! USE`, and every concrete array write lands inside the regular section
 //! the §6 analysis reported for the site.
 
+use modref_check::prelude::*;
 use modref_core::Analyzer;
 use modref_interp::Interpreter;
 use modref_ir::VarId;
 use modref_progen::{generate, GenConfig};
 use modref_sections::{analyze_sections, SubscriptPos};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+property! {
+    #![cases = 48]
 
     #[test]
     fn observed_effects_are_subset_of_analysis(
-        seed in any::<u64>(),
-        input_seed in any::<u64>(),
-        n in 2usize..12,
-        depth in 1u32..4,
+        seed in any_u64(),
+        input_seed in any_u64(),
+        n in ints(2..12usize),
+        depth in ints(1..4u32),
     ) {
         let program = generate(&GenConfig::tiny(n, depth), seed);
         let summary = Analyzer::new().analyze(&program);
@@ -49,9 +49,9 @@ proptest! {
 
     #[test]
     fn observed_array_writes_lie_inside_reported_sections(
-        seed in any::<u64>(),
-        input_seed in any::<u64>(),
-        n in 2usize..10,
+        seed in any_u64(),
+        input_seed in any_u64(),
+        n in ints(2..10usize),
     ) {
         let cfg = GenConfig {
             num_global_arrays: 3,
@@ -118,9 +118,9 @@ proptest! {
 
     #[test]
     fn pruned_and_unpruned_programs_run_identically(
-        seed in any::<u64>(),
-        input_seed in any::<u64>(),
-        n in 2usize..10,
+        seed in any_u64(),
+        input_seed in any_u64(),
+        n in ints(2..10usize),
     ) {
         // Removing unreachable procedures cannot change behaviour.
         let cfg = GenConfig { ensure_reachable: false, ..GenConfig::tiny(n, 2) };

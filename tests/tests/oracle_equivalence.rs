@@ -1,15 +1,15 @@
 //! Property tests: the linear-time pipeline equals the exhaustive
 //! equation-(1) oracle on random programs, under every `GMOD` algorithm.
 
+use modref_check::prelude::*;
 use modref_progen::{generate, GenConfig};
 use modref_tests::{all_algorithms, assert_pipeline_matches_oracle};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+property! {
+    #![cases = 48]
 
     #[test]
-    fn flat_random_programs_match_oracle(seed in any::<u64>(), n in 2usize..14) {
+    fn flat_random_programs_match_oracle(seed in any_u64(), n in ints(2..14usize)) {
         let program = generate(&GenConfig::tiny(n, 1), seed);
         for alg in all_algorithms(&program) {
             assert_pipeline_matches_oracle(&program, alg);
@@ -18,9 +18,9 @@ proptest! {
 
     #[test]
     fn nested_random_programs_match_oracle(
-        seed in any::<u64>(),
-        n in 2usize..14,
-        depth in 2u32..5,
+        seed in any_u64(),
+        n in ints(2..14usize),
+        depth in ints(2..5u32),
     ) {
         let program = generate(&GenConfig::tiny(n, depth), seed);
         for alg in all_algorithms(&program) {
@@ -29,7 +29,7 @@ proptest! {
     }
 
     #[test]
-    fn binding_heavy_programs_match_oracle(seed in any::<u64>(), n in 2usize..10) {
+    fn binding_heavy_programs_match_oracle(seed in any_u64(), n in ints(2..10usize)) {
         let program = generate(&GenConfig::binding_heavy(n, 3), seed);
         for alg in all_algorithms(&program) {
             assert_pipeline_matches_oracle(&program, alg);
@@ -38,8 +38,8 @@ proptest! {
 
     #[test]
     fn unreachable_heavy_programs_match_oracle_after_pruning(
-        seed in any::<u64>(),
-        n in 2usize..12,
+        seed in any_u64(),
+        n in ints(2..12usize),
     ) {
         // Reachability off: lots of dead procedures. The paper's standing
         // assumption is that unreachable procedures are eliminated first;
@@ -69,7 +69,7 @@ proptest! {
     }
 
     #[test]
-    fn mod_is_superset_of_dmod_and_dmod_of_lmod_parts(seed in any::<u64>(), n in 2usize..12) {
+    fn mod_is_superset_of_dmod_and_dmod_of_lmod_parts(seed in any_u64(), n in ints(2..12usize)) {
         let program = generate(&GenConfig::tiny(n, 2), seed);
         let summary = modref_core::Analyzer::new().analyze(&program);
         for s in program.sites() {
@@ -87,7 +87,7 @@ proptest! {
     }
 
     #[test]
-    fn iterative_eq4_matches_multi_level(seed in any::<u64>(), n in 2usize..14, depth in 1u32..5) {
+    fn iterative_eq4_matches_multi_level(seed in any_u64(), n in ints(2..14usize), depth in ints(1..5u32)) {
         // Equation (4)'s fixpoint is the definition; the multi-level
         // drivers must compute exactly it.
         let program = generate(&GenConfig::tiny(n, depth), seed);
@@ -110,7 +110,7 @@ proptest! {
     }
 
     #[test]
-    fn rmod_baselines_agree(seed in any::<u64>(), n in 2usize..14) {
+    fn rmod_baselines_agree(seed in any_u64(), n in ints(2..14usize)) {
         let program = generate(&GenConfig::binding_heavy(n, 2), seed);
         let fx = modref_ir::LocalEffects::compute(&program);
         let beta = modref_binding::BindingGraph::build(&program);
@@ -124,7 +124,7 @@ proptest! {
     }
 
     #[test]
-    fn monotone_under_added_write(seed in any::<u64>(), n in 2usize..10) {
+    fn monotone_under_added_write(seed in any_u64(), n in ints(2..10usize)) {
         // Adding one more write (a `read g0;` at the end of main, which is
         // syntactically valid anywhere in the statement list) can only
         // grow the MOD-side sets.

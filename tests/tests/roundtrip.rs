@@ -6,8 +6,8 @@ use std::collections::BTreeSet;
 
 use modref_core::Analyzer;
 use modref_ir::Program;
+use modref_check::prelude::*;
 use modref_progen::{generate, GenConfig};
-use proptest::prelude::*;
 
 /// Stable, id-free fingerprint of a summary: for each call site (in
 /// textual order they appear — preserved by the printer), the caller and
@@ -35,11 +35,11 @@ fn fingerprint(program: &Program) -> Vec<(String, String, BTreeSet<String>, BTre
     rows
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+property! {
+    #![cases = 32]
 
     #[test]
-    fn analysis_survives_print_parse(seed in any::<u64>(), n in 2usize..12, depth in 1u32..4) {
+    fn analysis_survives_print_parse(seed in any_u64(), n in ints(2..12usize), depth in ints(1..4u32)) {
         let original = generate(&GenConfig::tiny(n, depth), seed);
         let reparsed = modref_frontend::parse_program(&original.to_source())
             .expect("printed source reparses");
@@ -50,7 +50,7 @@ proptest! {
     }
 
     #[test]
-    fn print_is_a_fixed_point_after_one_parse(seed in any::<u64>(), n in 2usize..12) {
+    fn print_is_a_fixed_point_after_one_parse(seed in any_u64(), n in ints(2..12usize)) {
         let text = generate(&GenConfig::tiny(n, 3), seed).to_source();
         let once = modref_frontend::parse_program(&text).expect("parses").to_source();
         let twice = modref_frontend::parse_program(&once).expect("parses").to_source();
@@ -58,7 +58,7 @@ proptest! {
     }
 
     #[test]
-    fn pruning_preserves_analysis_of_survivors(seed in any::<u64>(), n in 2usize..12) {
+    fn pruning_preserves_analysis_of_survivors(seed in any_u64(), n in ints(2..12usize)) {
         let cfg = GenConfig { ensure_reachable: false, ..GenConfig::tiny(n, 2) };
         let raw = generate(&cfg, seed);
         let pruned = raw.without_unreachable();

@@ -1,30 +1,33 @@
 //! Property tests tying the §6 section analysis to the scalar pipeline
 //! and to the lattice laws.
 
+use modref_check::prelude::*;
 use modref_core::Analyzer;
 use modref_progen::{generate, GenConfig};
 use modref_sections::{analyze_sections, definitely_disjoint, Section, SubscriptPos};
-use proptest::prelude::*;
 
-fn arb_pos() -> impl Strategy<Value = SubscriptPos> {
-    prop_oneof![
-        (0i64..6).prop_map(SubscriptPos::Const),
-        (0usize..4).prop_map(|i| SubscriptPos::Sym(modref_ir::VarId::new(i))),
-        Just(SubscriptPos::Star),
-    ]
+fn arb_pos() -> BoxedStrategy<SubscriptPos> {
+    one_of(vec![
+        ints(0..6i64).map(SubscriptPos::Const).boxed(),
+        ints(0..4usize)
+            .map(|i| SubscriptPos::Sym(modref_ir::VarId::new(i)))
+            .boxed(),
+        just(SubscriptPos::Star).boxed(),
+    ])
+    .boxed()
 }
 
-fn arb_section(rank: usize) -> impl Strategy<Value = Section> {
-    prop_oneof![
-        1 => Just(Section::Bottom),
-        4 => prop::collection::vec(arb_pos(), rank).prop_map(Section::Axes),
-    ]
+fn arb_section(rank: usize) -> BoxedStrategy<Section> {
+    weighted(vec![
+        (1, just(Section::Bottom).boxed()),
+        (4, vec_of(arb_pos(), rank..rank + 1).map(Section::Axes).boxed()),
+    ])
+    .boxed()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+property! {
+    #![cases = 128]
 
-    #[test]
     fn meet_laws(a in arb_section(3), b in arb_section(3), c in arb_section(3)) {
         prop_assert_eq!(a.meet(&b), b.meet(&a));
         prop_assert_eq!(a.meet(&a), a.clone());
@@ -35,7 +38,6 @@ proptest! {
         prop_assert!(b.le(&m));
     }
 
-    #[test]
     fn le_is_a_partial_order_compatible_with_meet(a in arb_section(2), b in arb_section(2)) {
         let m = a.meet(&b);
         // m is the least cover w.r.t. le among descriptors we can build
@@ -45,7 +47,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn disjointness_is_symmetric_and_sound_under_meet(
         a in arb_section(2),
         b in arb_section(2),
@@ -59,8 +60,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn sections_agree_with_scalar_analysis(seed in any::<u64>(), n in 2usize..10) {
+    fn sections_agree_with_scalar_analysis(seed in any_u64(), n in ints(2..10usize)) {
         // If the section analysis says a call site modifies a slice of a
         // global array, the scalar analysis must report that array in
         // DMOD of the site (sections refine, never contradict).
@@ -85,8 +85,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn scalar_mod_of_arrays_implies_section_mod(seed in any::<u64>(), n in 2usize..10) {
+    fn scalar_mod_of_arrays_implies_section_mod(seed in any_u64(), n in ints(2..10usize)) {
         // The refinement direction: every array in scalar DMOD at a site
         // gets a non-⊥ section (possibly the whole array).
         let cfg = GenConfig {
@@ -111,8 +110,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn section_solver_is_a_post_fixpoint(seed in any::<u64>(), n in 2usize..10) {
+    fn section_solver_is_a_post_fixpoint(seed in any_u64(), n in ints(2..10usize)) {
         // rsd(f) must absorb its own local accesses: lrsd(f) ⊑ rsd(f)
         // cannot be checked without exposing lrsd, but the weaker public
         // property holds: the per-site section covers the formal section
