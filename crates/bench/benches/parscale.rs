@@ -1,0 +1,23 @@
+//! E10 parallel scaling: the full pipeline at 1/2/4/8 worker threads over
+//! progen workloads. The `param` column is the thread count; compare
+//! rows within one workload to read the speedup. On a single-core host
+//! the thread counts collapse to time-sliced runs of the same work, so
+//! expect ≈1.0x there — see EXPERIMENTS.md for the honest numbers.
+
+use modref_core::Analyzer;
+use modref_progen::{generate, GenConfig};
+
+fn main() {
+    let mut group = modref_check::BenchGroup::new("parscale").samples(5);
+    let fortran = generate(&GenConfig::fortran_like(800), 42);
+    let pascal = generate(&GenConfig::pascal_like(600, 4), 42);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench("fortran_like_800", threads, || {
+            Analyzer::new().threads(threads).analyze(&fortran)
+        });
+        group.bench("pascal_like_600_d4", threads, || {
+            Analyzer::new().threads(threads).analyze(&pascal)
+        });
+    }
+    group.finish();
+}

@@ -64,6 +64,21 @@ impl RmodSolution {
 ///
 /// See the crate-level example in [`crate`].
 pub fn solve_rmod(program: &Program, initial: &[BitSet], beta: &BindingGraph) -> RmodSolution {
+    solve_rmod_pooled(program, initial, beta, &modref_par::ThreadPool::new(1))
+}
+
+/// [`solve_rmod`] with step (4) — the per-formal broadcast that
+/// materialises the `RMOD(p)` sets — fanned out over `pool`, one task per
+/// procedure. Steps (1)–(3) are a single `O(N_β + E_β)` boolean sweep and
+/// stay sequential. A procedure's set depends only on the (by then final)
+/// representer values, so the output is identical to [`solve_rmod`] at
+/// any thread count; a sequential pool takes the exact sequential path.
+pub fn solve_rmod_pooled(
+    program: &Program,
+    initial: &[BitSet],
+    beta: &BindingGraph,
+    pool: &modref_par::ThreadPool,
+) -> RmodSolution {
     assert_eq!(
         initial.len(),
         program.num_procs(),
@@ -113,26 +128,55 @@ pub fn solve_rmod(program: &Program, initial: &[BitSet], beta: &BindingGraph) ->
     }
 
     // Step (4): broadcast to members, materialising per-procedure sets.
-    let mut rmod = vec![BitSet::new(program.num_vars()); program.num_procs()];
-    let mut modified = BitSet::new(program.num_vars());
-    for node in 0..n {
-        stats.bool_steps += 1;
-        if rep_value[sccs.component_of(node)] {
-            let formal = beta.formal_of_node(node);
-            let (owner, _) = program.formal_position(formal).expect("formal");
-            rmod[owner.index()].insert(formal.index());
-            modified.insert(formal.index());
-        }
-    }
     // Formals never bound at any site have no β node; their RMOD bit is
     // just their IMOD bit.
-    for p in program.procs() {
-        for &f in program.proc_(p).formals() {
+    let mut rmod;
+    let mut modified = BitSet::new(program.num_vars());
+    if pool.is_sequential() {
+        rmod = vec![BitSet::new(program.num_vars()); program.num_procs()];
+        for node in 0..n {
             stats.bool_steps += 1;
-            if beta.node_of_formal(f).is_none() && initial[p.index()].contains(f.index()) {
-                rmod[p.index()].insert(f.index());
-                modified.insert(f.index());
+            if rep_value[sccs.component_of(node)] {
+                let formal = beta.formal_of_node(node);
+                let (owner, _) = program.formal_position(formal).expect("formal");
+                rmod[owner.index()].insert(formal.index());
+                modified.insert(formal.index());
             }
+        }
+        for p in program.procs() {
+            for &f in program.proc_(p).formals() {
+                stats.bool_steps += 1;
+                if beta.node_of_formal(f).is_none() && initial[p.index()].contains(f.index()) {
+                    rmod[p.index()].insert(f.index());
+                    modified.insert(f.index());
+                }
+            }
+        }
+    } else {
+        // One task per procedure: each writes only its own set, reading
+        // the final representer values, so the sets (though not the order
+        // in which they are produced) match the sequential sweep exactly.
+        let results: Vec<(BitSet, u64)> = pool.par_map(program.num_procs(), |pi| {
+            let p = ProcId::new(pi);
+            let mut set = BitSet::new(program.num_vars());
+            let mut steps = 0u64;
+            for &f in program.proc_(p).formals() {
+                steps += 1;
+                let in_rmod = match beta.node_of_formal(f) {
+                    Some(node) => rep_value[sccs.component_of(node)],
+                    None => initial[pi].contains(f.index()),
+                };
+                if in_rmod {
+                    set.insert(f.index());
+                }
+            }
+            (set, steps)
+        });
+        rmod = Vec::with_capacity(program.num_procs());
+        for (set, steps) in results {
+            stats.bool_steps += steps;
+            modified.union_with(&set);
+            rmod.push(set);
         }
     }
 
@@ -271,6 +315,37 @@ mod tests {
         b.call(main, p, &[g]);
         let (_, sol) = analyse(&b);
         assert!(sol.is_modified(b.formal(p, 0)));
+    }
+
+    #[test]
+    fn pooled_broadcast_matches_sequential() {
+        // Mixed shapes: a modified chain, a clean formal, an unbound
+        // formal whose RMOD bit comes straight from IMOD.
+        let mut b = ProgramBuilder::new();
+        let c = b.proc_("c", &["z"]);
+        b.assign(c, b.formal(c, 0), Expr::constant(1));
+        let a = b.proc_("a", &["x", "y"]);
+        b.call(a, c, &[b.formal(a, 0)]);
+        let u = b.proc_("unbound", &["w"]);
+        b.assign(u, b.formal(u, 0), Expr::constant(2));
+        let g = b.global("g");
+        let main = b.main();
+        b.call(main, a, &[g, g]);
+        let program = b.finish().expect("valid");
+        let effects = LocalEffects::compute(&program);
+        let beta = BindingGraph::build(&program);
+
+        let seq = solve_rmod(&program, effects.imod_all(), &beta);
+        for threads in [2, 4] {
+            let pool = modref_par::ThreadPool::new(threads);
+            let par = solve_rmod_pooled(&program, effects.imod_all(), &beta, &pool);
+            for p in program.procs() {
+                assert_eq!(seq.rmod(p), par.rmod(p), "rmod({p}) differs");
+            }
+            assert!(par.is_modified(b.formal(u, 0)));
+            assert!(par.is_modified(b.formal(a, 0)));
+            assert!(!par.is_modified(b.formal(a, 1)));
+        }
     }
 
     #[test]

@@ -21,7 +21,8 @@ pub fn run(cmd: &Command) -> Result<(), Box<dyn Error>> {
             parallel,
             json,
             gmod,
-        } => analyze(file, *no_use, *no_alias, *parallel, *json, *gmod),
+            threads,
+        } => analyze(file, *no_use, *no_alias, *parallel, *json, *gmod, *threads),
         Command::Summary { file } => summary(file),
         Command::Sections { file } => sections(file),
         Command::Parallel { file } => parallel(file),
@@ -49,6 +50,7 @@ fn names(program: &Program, set: &BitSet) -> String {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn analyze(
     file: &str,
     no_use: bool,
@@ -56,6 +58,7 @@ fn analyze(
     parallel: bool,
     json: bool,
     gmod: Option<modref_core::GmodAlgorithm>,
+    threads: Option<usize>,
 ) -> Result<(), Box<dyn Error>> {
     let program = load(file)?;
     let mut analyzer = Analyzer::new();
@@ -70,6 +73,9 @@ fn analyze(
     }
     if let Some(alg) = gmod {
         analyzer.gmod_algorithm(alg);
+    }
+    if let Some(t) = threads {
+        analyzer.threads(t);
     }
     let summary = analyzer.analyze(&program);
 

@@ -6,7 +6,7 @@ use modref_core::GmodAlgorithm;
 pub const USAGE: &str = "\
 usage:
   modref analyze  <file.mp> [--no-use] [--no-alias] [--parallel] [--json]
-                            [--gmod one|naive|fused]
+                            [--gmod one|naive|fused|levels] [--threads N]
   modref summary  <file.mp>
   modref sections <file.mp>
   modref parallel <file.mp>
@@ -40,6 +40,8 @@ pub enum Command {
         json: bool,
         /// GMOD algorithm override.
         gmod: Option<GmodAlgorithm>,
+        /// Worker-thread count for the pooled phases (0 = one per core).
+        threads: Option<usize>,
     },
     /// Per-procedure summary table.
     Summary {
@@ -96,6 +98,7 @@ impl Command {
                 let mut parallel = false;
                 let mut json = false;
                 let mut gmod = None;
+                let mut threads = None;
                 while let Some(a) = it.next() {
                     match a.as_str() {
                         "--no-use" => no_use = true,
@@ -108,8 +111,14 @@ impl Command {
                                 "one" => GmodAlgorithm::OneLevel,
                                 "naive" => GmodAlgorithm::MultiLevelNaive,
                                 "fused" => GmodAlgorithm::MultiLevelFused,
+                                "levels" => GmodAlgorithm::LevelScheduled,
                                 other => return Err(format!("unknown --gmod value `{other}`")),
                             });
+                        }
+                        "--threads" => {
+                            let v = it.next().ok_or("--threads needs a value")?;
+                            threads =
+                                Some(v.parse().map_err(|_| format!("bad --threads `{v}`"))?);
                         }
                         flag if flag.starts_with('-') => {
                             return Err(format!("unknown flag `{flag}`"))
@@ -124,6 +133,7 @@ impl Command {
                     parallel,
                     json,
                     gmod,
+                    threads,
                 })
             }
             "summary" | "sections" | "parallel" | "check" => {
@@ -226,8 +236,33 @@ mod tests {
                 parallel: false,
                 json: false,
                 gmod: Some(GmodAlgorithm::MultiLevelFused),
+                threads: None,
             }
         );
+    }
+
+    #[test]
+    fn analyze_threads_and_levels() {
+        let cmd =
+            parse(&["analyze", "x.mp", "--threads", "4", "--gmod", "levels"]).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Analyze {
+                file: "x.mp".into(),
+                no_use: false,
+                no_alias: false,
+                parallel: false,
+                json: false,
+                gmod: Some(GmodAlgorithm::LevelScheduled),
+                threads: Some(4),
+            }
+        );
+        assert!(parse(&["analyze", "x.mp", "--threads"])
+            .unwrap_err()
+            .contains("--threads needs a value"));
+        assert!(parse(&["analyze", "x.mp", "--threads", "many"])
+            .unwrap_err()
+            .contains("bad --threads"));
     }
 
     #[test]

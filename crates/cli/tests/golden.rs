@@ -90,6 +90,54 @@ site s3: call sort_from (in main)
 }
 
 #[test]
+fn analyze_threads_4_matches_sequential_byte_for_byte() {
+    // The parallel pipeline must not change a single output byte — same
+    // sets, same order, same formatting — in either report flavour.
+    let (seq_json, ok) = modref(&["analyze", "examples/programs/sort.mp", "--json"]);
+    assert!(ok);
+    let (par_json, ok) = modref(&[
+        "analyze",
+        "examples/programs/sort.mp",
+        "--json",
+        "--threads",
+        "4",
+    ]);
+    assert!(ok);
+    assert_eq!(seq_json, par_json);
+
+    let (seq_text, ok) = modref(&["analyze", "examples/programs/demo.mp"]);
+    assert!(ok);
+    let (par_text, ok) = modref(&["analyze", "examples/programs/demo.mp", "--threads", "4"]);
+    assert!(ok);
+    assert_eq!(seq_text, par_text);
+}
+
+#[test]
+fn analyze_json_threads_golden() {
+    let (stdout, ok) = modref(&[
+        "analyze",
+        "examples/programs/sort.mp",
+        "--json",
+        "--threads",
+        "4",
+    ]);
+    assert!(ok);
+    assert_eq!(
+        stdout,
+        "{\"sites\":[\
+{\"id\":0,\"caller\":\"sort_from\",\"callee\":\"min_index\",\"mod\":[\"m\"],\
+\"use\":[\"count\",\"data\",\"m\"],\"dmod\":[\"m\"]},\
+{\"id\":1,\"caller\":\"sort_from\",\"callee\":\"swap\",\"mod\":[\"data\"],\
+\"use\":[\"data\"],\"dmod\":[\"data\"]},\
+{\"id\":2,\"caller\":\"sort_from\",\"callee\":\"sort_from\",\"mod\":[\"data\"],\
+\"use\":[\"count\",\"data\"],\"dmod\":[\"data\"]},\
+{\"id\":3,\"caller\":\"main\",\"callee\":\"sort_from\",\"mod\":[\"data\"],\
+\"use\":[\"count\",\"data\"],\"dmod\":[\"data\"]}\
+]}\n"
+    );
+}
+
+#[test]
 fn sections_matrix_golden() {
     let (stdout, ok) = modref(&["sections", "examples/programs/matrix.mp"]);
     assert!(ok);

@@ -45,16 +45,36 @@ impl DmodSolution {
 ///
 /// Panics if `gmod.len() != program.num_procs()`.
 pub fn compute_dmod(program: &Program, gmod: &[BitSet]) -> DmodSolution {
+    compute_dmod_pooled(program, gmod, &modref_par::ThreadPool::new(1))
+}
+
+/// [`compute_dmod`] with the per-site projections spread over `pool`.
+/// Each site's `b_e(GMOD(callee))` is independent of every other site's,
+/// so the fan-out is exact; a sequential pool computes inline.
+pub fn compute_dmod_pooled(
+    program: &Program,
+    gmod: &[BitSet],
+    pool: &modref_par::ThreadPool,
+) -> DmodSolution {
     assert_eq!(gmod.len(), program.num_procs(), "one GMOD per procedure");
     let mut stats = OpCounter::new();
-    let mut per_site = Vec::with_capacity(program.num_sites());
+    stats.edges_visited += program.num_sites() as u64;
+    stats.bitvec_steps += program.num_sites() as u64;
 
-    for s in program.sites() {
-        stats.edges_visited += 1;
-        stats.bitvec_steps += 1;
-        let callee = program.site(s).callee();
-        per_site.push(project_site(program, s, &gmod[callee.index()]));
-    }
+    let per_site = if pool.is_sequential() {
+        let mut v = Vec::with_capacity(program.num_sites());
+        for s in program.sites() {
+            let callee = program.site(s).callee();
+            v.push(project_site(program, s, &gmod[callee.index()]));
+        }
+        v
+    } else {
+        pool.par_map(program.num_sites(), |i| {
+            let s = CallSiteId::new(i);
+            let callee = program.site(s).callee();
+            project_site(program, s, &gmod[callee.index()])
+        })
+    };
 
     DmodSolution { per_site, stats }
 }

@@ -1,0 +1,315 @@
+//! Level-scheduled `GMOD` — the parallel counterpart of `findgmod`.
+//!
+//! `GMOD` is the least solution of equation (4),
+//! `GMOD(p) = IMOD⁺(p) ∪ ⋃_{(p,q)} (GMOD(q) ∖ LOCAL(q))`, and the least
+//! fixed point does not care in which order the inequations are applied —
+//! only [`crate::gmod`]'s sequential single-pass *algorithm* does. This
+//! module exploits that freedom: condense the call graph, split the
+//! condensation into topological levels ([`modref_graph::Levels`]), and
+//! process every component of a level concurrently. A component's
+//! successors all sit at strictly lower levels and are final, so each
+//! component solves a small closed fixpoint:
+//!
+//! 1. **base**: `IMOD⁺(u)` joined with `GMOD(q) ∖ LOCAL(q)` for every
+//!    edge `u → q` leaving the component (one bit-vector step per edge,
+//!    reading only finalised lower-level rows);
+//! 2. **internal fixpoint**: iterate `GMOD(u) ∪= GMOD(q) ∖ LOCAL(q)` over
+//!    the component's internal edges until nothing changes (at most
+//!    `|members|` rounds; trivial components skip this entirely).
+//!
+//! For nested programs the multi-level decomposition of
+//! [`crate::gmod_nested`] carries over verbatim: problem `i` runs on the
+//! subgraph keeping only edges whose callee sits at level `≥ i`, and the
+//! union of all problems plus the seeds is the exact nested `GMOD`. The
+//! per-problem *mask* broadcast of the sequential drivers is not needed —
+//! it is an optimisation of the one-pass algorithm, not part of the
+//! fixpoint being computed (a variable declared at level `ℓ` is never
+//! local to any procedure enterable in problem `ℓ + 1`, so the plain hop
+//! filter preserves it exactly where the mask broadcast would).
+//!
+//! The result is **bit-identical** to the sequential solvers at any
+//! thread count — `crates/core/tests/par_equiv.rs` enforces this
+//! differentially — because every component's fixpoint is unique and
+//! cross-component reads only touch finalised levels.
+
+use modref_bitset::{BitMatrix, BitSet, OpCounter};
+use modref_graph::{tarjan, Condensation, DiGraph};
+use modref_ir::Program;
+use modref_par::ThreadPool;
+
+use crate::gmod::GmodSolution;
+
+/// Solves `GMOD` (or `GUSE`) by level-scheduled propagation over the
+/// condensation, processing each level's components on `pool`.
+///
+/// `seeds[p]` must be `IMOD⁺(p)` (or `IUSE⁺(p)`); `locals[p]` is
+/// `LOCAL(p)`. Exact for any nesting depth; with a sequential pool it is
+/// simply a deterministic sequential algorithm with the same output.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ from `program.num_procs()`.
+pub fn solve_gmod_levels(
+    program: &Program,
+    call_graph: &DiGraph,
+    seeds: &[BitSet],
+    locals: &[BitSet],
+    pool: &ThreadPool,
+) -> GmodSolution {
+    assert_eq!(seeds.len(), program.num_procs(), "one seed per procedure");
+    assert_eq!(locals.len(), program.num_procs(), "one LOCAL per procedure");
+    let n = call_graph.num_nodes();
+    let mut stats = OpCounter::new();
+    if n == 0 {
+        return GmodSolution::new(seeds.to_vec(), stats);
+    }
+    let dp = program.max_level() as usize;
+    if dp <= 1 {
+        // Two-level scoping: equation (4) over the whole multi-graph is
+        // the single problem, and its LFP is what Figure 2 computes.
+        let sets = solve_problem(call_graph, program.num_vars(), seeds, locals, pool, &mut stats);
+        return GmodSolution::new(sets, stats);
+    }
+
+    // Problem i keeps only edges into procedures at level ≥ i (§4's
+    // multi-level decomposition); the union over all problems plus the
+    // seeds is the exact nested GMOD.
+    let callee_level: Vec<usize> = call_graph
+        .edges()
+        .map(|e| program.proc_(modref_ir::ProcId::new(e.to)).level() as usize)
+        .collect();
+    let mut total: Vec<BitSet> = seeds.to_vec();
+    for i in 1..=dp {
+        let mut restricted = DiGraph::new(n);
+        for (e, &lv) in call_graph.edges().zip(&callee_level) {
+            if lv >= i {
+                restricted.add_edge(e.from, e.to);
+            }
+        }
+        let sets = solve_problem(&restricted, program.num_vars(), seeds, locals, pool, &mut stats);
+        for (acc, s) in total.iter_mut().zip(&sets) {
+            acc.union_with(s);
+            stats.bitvec_steps += 1;
+        }
+    }
+    GmodSolution::new(total, stats)
+}
+
+/// The LFP of `G(u) = seeds(u) ∪ ⋃_{(u,q)∈graph} (G(q) ∖ locals(q))`,
+/// computed level-parallel over the condensation of `graph`.
+fn solve_problem(
+    graph: &DiGraph,
+    num_vars: usize,
+    seeds: &[BitSet],
+    locals: &[BitSet],
+    pool: &ThreadPool,
+    stats: &mut OpCounter,
+) -> Vec<BitSet> {
+    let n = graph.num_nodes();
+    let sccs = tarjan(graph);
+    let cond = Condensation::build(graph, &sccs);
+    let levels = cond.levels();
+    let comp_map = sccs.component_map();
+    // Position of each node within its component's member slice, so a
+    // component task can address its local matrix rows.
+    let mut comp_pos = vec![0usize; n];
+    for members in sccs.iter() {
+        for (k, &m) in members.iter().enumerate() {
+            comp_pos[m] = k;
+        }
+    }
+
+    let mut g: Vec<BitSet> = vec![BitSet::new(num_vars); n];
+    for level in 0..levels.num_levels() {
+        let group = levels.group(level);
+        // Components of one level are pairwise independent: each task
+        // writes only its own members' rows (returned by value and stored
+        // below) and reads only rows finalised at lower levels.
+        let results = {
+            let g_final = &g;
+            pool.par_map(group.len(), |k| {
+                solve_component(
+                    group[k], graph, &sccs, comp_map, &comp_pos, seeds, locals, g_final, num_vars,
+                )
+            })
+        };
+        for ((sets, counter), &c) in results.into_iter().zip(group) {
+            *stats += counter;
+            for (set, &u) in sets.into_iter().zip(sccs.members(c)) {
+                g[u] = set;
+            }
+        }
+    }
+    g
+}
+
+/// One component's closed fixpoint: base sets from finalised successor
+/// levels, then inner iteration over the component's own edges.
+#[allow(clippy::too_many_arguments)]
+fn solve_component(
+    c: modref_graph::SccId,
+    graph: &DiGraph,
+    sccs: &modref_graph::Sccs,
+    comp_map: &[modref_graph::SccId],
+    comp_pos: &[usize],
+    seeds: &[BitSet],
+    locals: &[BitSet],
+    g_final: &[BitSet],
+    num_vars: usize,
+) -> (Vec<BitSet>, OpCounter) {
+    let members = sccs.members(c);
+    let mut counter = OpCounter::new();
+    counter.nodes_visited += members.len() as u64;
+
+    if let [u] = members {
+        // Singleton fast path (self-edges are no-ops under the hop
+        // filter: G(u) ∖ L(u) ⊆ G(u)).
+        let mut set = seeds[*u].clone();
+        counter.bitvec_steps += 1;
+        for &(q, _) in graph.successors_slice(*u) {
+            counter.edges_visited += 1;
+            if q != *u {
+                set.union_with_difference(&g_final[q], &locals[q]);
+                counter.bitvec_steps += 1;
+            }
+        }
+        return (vec![set], counter);
+    }
+
+    let mut m = BitMatrix::new(members.len(), num_vars);
+    // (row of caller, row of callee, callee node) for intra-component
+    // edges; self-edges dropped as no-ops.
+    let mut internal: Vec<(usize, usize, usize)> = Vec::new();
+    for (k, &u) in members.iter().enumerate() {
+        let mut base = seeds[u].clone();
+        counter.bitvec_steps += 1;
+        for &(q, _) in graph.successors_slice(u) {
+            counter.edges_visited += 1;
+            if comp_map[q] != c {
+                base.union_with_difference(&g_final[q], &locals[q]);
+                counter.bitvec_steps += 1;
+            } else if q != u {
+                internal.push((k, comp_pos[q], q));
+            }
+        }
+        m.or_row_with_set(k, &base);
+    }
+    loop {
+        let mut changed = false;
+        for &(kf, kt, q) in &internal {
+            changed |= m.or_rows_minus(kf, kt, &locals[q]);
+            counter.bitvec_steps += 1;
+        }
+        if !changed {
+            break;
+        }
+    }
+    let sets = (0..members.len()).map(|k| m.row_to_set(k)).collect();
+    (sets, counter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_binding::{solve_rmod, BindingGraph};
+    use modref_ir::{CallGraph, Expr, LocalEffects, ProgramBuilder};
+
+    fn pipeline_inputs(b: &ProgramBuilder) -> (Program, DiGraph, Vec<BitSet>, Vec<BitSet>) {
+        let program = b.finish().expect("valid");
+        let fx = LocalEffects::compute(&program);
+        let beta = BindingGraph::build(&program);
+        let rmod = solve_rmod(&program, fx.imod_all(), &beta);
+        let (plus, _) = crate::imod_plus::compute_imod_plus(&program, fx.imod_all(), &rmod);
+        let cg = CallGraph::build(&program);
+        let locals = program.local_sets();
+        (program, cg.graph().clone(), plus, locals)
+    }
+
+    fn assert_matches_sequential(b: &ProgramBuilder, threads: usize) {
+        let (program, graph, plus, locals) = pipeline_inputs(b);
+        let pool = ThreadPool::new(threads);
+        let level = solve_gmod_levels(&program, &graph, &plus, &locals, &pool);
+        let reference = if program.max_level() <= 1 {
+            crate::gmod::solve_gmod_one_level(&program, &graph, &plus, &locals)
+        } else {
+            crate::gmod_nested::solve_gmod_multi_fused(&program, &graph, &plus, &locals)
+        };
+        for p in program.procs() {
+            assert_eq!(
+                level.gmod(p),
+                reference.gmod(p),
+                "level-scheduled disagrees on {} ({})",
+                p,
+                program.proc_name(p)
+            );
+        }
+    }
+
+    #[test]
+    fn one_level_chain_cycle_and_cross_edges() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g");
+        let h = b.global("h");
+        let r = b.proc_("r", &[]);
+        b.assign(r, g, Expr::constant(1));
+        let q = b.proc_("q", &[]);
+        let t = b.local(q, "t");
+        b.assign(q, t, Expr::constant(2));
+        b.assign(q, h, Expr::constant(3));
+        b.call(q, r, &[]);
+        let p = b.proc_("p", &[]);
+        b.call(p, q, &[]);
+        b.call(p, r, &[]);
+        b.call(r, p, &[]); // cycle {p, q, r}
+        let main = b.main();
+        b.call(main, p, &[]);
+        assert_matches_sequential(&b, 1);
+        assert_matches_sequential(&b, 4);
+    }
+
+    #[test]
+    fn nested_program_matches_fused() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g");
+        let a = b.proc_("a", &[]);
+        let ta = b.local(a, "ta");
+        let bb = b.nested_proc(a, "b", &[]);
+        let tb = b.local(bb, "tb");
+        let c = b.nested_proc(bb, "c", &[]);
+        b.assign(c, g, Expr::constant(1));
+        b.assign(c, ta, Expr::constant(2));
+        b.assign(c, tb, Expr::constant(3));
+        b.call(bb, c, &[]);
+        b.call(a, bb, &[]);
+        b.call(c, bb, &[]); // cycle {b, c} inside the subtree
+        let main = b.main();
+        b.call(main, a, &[]);
+        assert_matches_sequential(&b, 1);
+        assert_matches_sequential(&b, 4);
+    }
+
+    #[test]
+    fn cycle_through_declaring_procedure() {
+        let mut b = ProgramBuilder::new();
+        let a = b.proc_("a", &[]);
+        let t = b.local(a, "t");
+        let u = b.nested_proc(a, "u", &[]);
+        b.assign(u, t, Expr::constant(1));
+        b.call(a, u, &[]);
+        b.call(u, a, &[]);
+        let main = b.main();
+        b.call(main, a, &[]);
+        assert_matches_sequential(&b, 3);
+    }
+
+    #[test]
+    fn disconnected_and_degenerate_shapes() {
+        // Unreachable procedure plus an empty main body.
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g");
+        let dead = b.proc_("dead", &[]);
+        b.assign(dead, g, Expr::constant(1));
+        let _main = b.main();
+        assert_matches_sequential(&b, 2);
+    }
+}

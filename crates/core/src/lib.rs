@@ -57,6 +57,7 @@
 pub mod alias;
 pub mod dmod;
 pub mod gmod;
+pub mod gmod_levels;
 pub mod gmod_nested;
 pub mod imod_plus;
 pub mod incremental;
@@ -65,7 +66,8 @@ pub mod pipeline;
 
 pub use alias::AliasPairs;
 pub use gmod::{solve_gmod_one_level, GmodSolution};
+pub use gmod_levels::solve_gmod_levels;
 pub use gmod_nested::{solve_gmod_multi_fused, solve_gmod_multi_naive};
 pub use imod_plus::compute_imod_plus;
 pub use incremental::{Delta, EditError, IncrementalAnalyzer};
-pub use pipeline::{Analyzer, GmodAlgorithm, PhaseStats, Summary};
+pub use pipeline::{Analyzer, GmodAlgorithm, PhaseStats, PhaseWall, Summary};

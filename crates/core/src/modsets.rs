@@ -38,14 +38,33 @@ impl ModSolution {
 /// For each call site `s` in procedure `p`:
 /// `MOD(s) = DMOD(s) ∪ { y : x ∈ DMOD(s), ⟨x, y⟩ ∈ ALIAS(p) }`.
 pub fn compute_mod(program: &Program, dmod: &DmodSolution, aliases: &AliasPairs) -> ModSolution {
+    compute_mod_pooled(program, dmod, aliases, &modref_par::ThreadPool::new(1))
+}
+
+/// [`compute_mod`] with the per-site alias factoring spread over `pool`;
+/// sites are independent, so the result is identical at any thread count.
+pub fn compute_mod_pooled(
+    program: &Program,
+    dmod: &DmodSolution,
+    aliases: &AliasPairs,
+    pool: &modref_par::ThreadPool,
+) -> ModSolution {
     let mut stats = OpCounter::new();
-    let mut per_site = Vec::with_capacity(program.num_sites());
-    for s in program.sites() {
-        let caller = program.site(s).caller();
-        let base = dmod.dmod_site(s);
-        stats.bitvec_steps += 1;
-        per_site.push(aliases.extend_with_aliases(caller, base));
-    }
+    stats.bitvec_steps += program.num_sites() as u64;
+    let per_site = if pool.is_sequential() {
+        let mut v = Vec::with_capacity(program.num_sites());
+        for s in program.sites() {
+            let caller = program.site(s).caller();
+            v.push(aliases.extend_with_aliases(caller, dmod.dmod_site(s)));
+        }
+        v
+    } else {
+        pool.par_map(program.num_sites(), |i| {
+            let s = CallSiteId::new(i);
+            let caller = program.site(s).caller();
+            aliases.extend_with_aliases(caller, dmod.dmod_site(s))
+        })
+    };
     ModSolution { per_site, stats }
 }
 

@@ -1,15 +1,19 @@
 //! The end-to-end analysis pipeline and its [`Summary`].
 
-use modref_binding::{solve_rmod, BindingGraph};
+use std::time::{Duration, Instant};
+
+use modref_binding::{solve_rmod_pooled, BindingGraph};
 use modref_bitset::{BitSet, OpCounter};
 use modref_ir::{CallGraph, CallSiteId, LocalEffects, ProcId, Program};
+use modref_par::ThreadPool;
 
 use crate::alias::AliasPairs;
-use crate::dmod::{compute_dmod, DmodSolution};
+use crate::dmod::{compute_dmod_pooled, DmodSolution};
 use crate::gmod::{solve_gmod_one_level, GmodSolution};
+use crate::gmod_levels::solve_gmod_levels;
 use crate::gmod_nested::{solve_gmod_multi_fused, solve_gmod_multi_naive};
 use crate::imod_plus::compute_imod_plus;
-use crate::modsets::compute_mod;
+use crate::modsets::compute_mod_pooled;
 
 /// Which algorithm computes the global (`GMOD`) phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -24,6 +28,11 @@ pub enum GmodAlgorithm {
     MultiLevelNaive,
     /// The single-pass lowlink-vector algorithm, `O(E_C + d_P·N_C)`.
     MultiLevelFused,
+    /// Level-scheduled propagation over the condensation
+    /// ([`crate::gmod_levels`]); exact at any nesting depth and the only
+    /// algorithm that uses the thread pool *within* a half. `Auto` picks
+    /// it whenever more than one thread is configured.
+    LevelScheduled,
 }
 
 /// Configures and runs the analysis.
@@ -36,6 +45,7 @@ pub struct Analyzer {
     skip_use: bool,
     skip_aliases: bool,
     parallel: bool,
+    threads: Option<usize>,
 }
 
 impl Analyzer {
@@ -73,19 +83,38 @@ impl Analyzer {
         self
     }
 
+    /// Sets the worker-thread count for the pooled phases (local scan,
+    /// `RMOD` broadcast, level-scheduled `GMOD`, per-site projection).
+    /// `0` means one thread per available core. An explicit setting
+    /// overrides the `MODREF_THREADS` environment variable; without
+    /// either, the pipeline runs on one thread. More than one thread also
+    /// runs the `MOD` and `USE` halves concurrently, as
+    /// [`Analyzer::parallel`] does. Results are bit-identical at any
+    /// thread count.
+    pub fn threads(&mut self, threads: usize) -> &mut Self {
+        self.threads = Some(threads);
+        self
+    }
+
     /// Runs the full pipeline on a validated program.
     pub fn analyze(&self, program: &Program) -> Summary {
+        let started = Instant::now();
         let mut stats = PhaseStats::default();
+        let pool = ThreadPool::with_threads(self.threads);
 
         // Phase 0: local sets and shared structures.
-        let effects = LocalEffects::compute(program);
+        let t = Instant::now();
+        let effects = LocalEffects::compute_pooled(program, &pool);
+        stats.wall.local += t.elapsed();
         let call_graph = CallGraph::build(program);
         let beta = BindingGraph::build(program);
         let locals = program.local_sets();
 
         // Phases 1-3 for MOD, optionally for USE. Each half reads only
-        // immutable inputs, so with `parallel()` the USE half runs on its
-        // own thread while the MOD half uses the current one.
+        // immutable inputs, so with `parallel()` (or a multi-thread pool)
+        // the USE half runs on its own thread while the MOD half uses the
+        // current one; pool jobs from the two halves serialise on the
+        // pool's submit lock.
         let run_half = |initial: &[BitSet], is_mod: bool| {
             let mut half_stats = PhaseStats::default();
             let r = self.half_pipeline(
@@ -94,14 +123,16 @@ impl Analyzer {
                 &beta,
                 initial,
                 &locals,
+                &pool,
                 &mut half_stats,
                 is_mod,
             );
             (r, half_stats)
         };
+        let halves_concurrent = self.parallel || pool.threads() > 1;
         let (mod_half, use_half) = if self.skip_use {
             (run_half(effects.imod_all(), true), None)
-        } else if self.parallel {
+        } else if halves_concurrent {
             std::thread::scope(|scope| {
                 let use_thread = scope.spawn(|| run_half(effects.iuse_all(), false));
                 let mod_result = run_half(effects.imod_all(), true);
@@ -120,11 +151,13 @@ impl Analyzer {
         stats.rmod += mod_stats.rmod;
         stats.gmod += mod_stats.gmod;
         stats.imod_plus += mod_stats.imod_plus;
+        stats.wall.absorb(&mod_stats.wall);
         let (guse, iuse_plus, ruse) = match use_half {
             Some(((g, i, r), use_stats)) => {
                 stats.ruse += use_stats.ruse;
                 stats.guse += use_stats.guse;
                 stats.imod_plus += use_stats.imod_plus;
+                stats.wall.absorb(&use_stats.wall);
                 (g, i, r)
             }
             None => {
@@ -134,26 +167,33 @@ impl Analyzer {
         };
 
         // Phase 4: per-site projection.
-        let dmod = compute_dmod(program, &gmod);
+        let t = Instant::now();
+        let dmod = compute_dmod_pooled(program, &gmod, &pool);
         stats.dmod += dmod.stats();
         let duse = if self.skip_use {
             DmodSolution::empty(program)
         } else {
-            let d = compute_dmod(program, &guse);
+            let d = compute_dmod_pooled(program, &guse, &pool);
             stats.dmod += d.stats();
             d
         };
+        stats.wall.dmod += t.elapsed();
 
         // Phase 5: aliases.
+        let t = Instant::now();
         let aliases = if self.skip_aliases {
             AliasPairs::compute_empty(program)
         } else {
             AliasPairs::compute(program)
         };
-        let mods = compute_mod(program, &dmod, &aliases);
+        stats.wall.aliases += t.elapsed();
+        let t = Instant::now();
+        let mods = compute_mod_pooled(program, &dmod, &aliases, &pool);
         stats.modsets += mods.stats();
-        let uses = compute_mod(program, &duse, &aliases);
+        let uses = compute_mod_pooled(program, &duse, &aliases, &pool);
         stats.modsets += uses.stats();
+        stats.wall.modsets += t.elapsed();
+        stats.wall.total = started.elapsed();
 
         Summary {
             effects,
@@ -183,21 +223,29 @@ impl Analyzer {
         beta: &BindingGraph,
         initial: &[BitSet],
         locals: &[BitSet],
+        pool: &ThreadPool,
         stats: &mut PhaseStats,
         is_mod: bool,
     ) -> (Vec<BitSet>, Vec<BitSet>, Vec<BitSet>) {
-        let rmod = solve_rmod(program, initial, beta);
+        let t = Instant::now();
+        let rmod = solve_rmod_pooled(program, initial, beta, pool);
         if is_mod {
             stats.rmod += rmod.stats();
+            stats.wall.rmod += t.elapsed();
         } else {
             stats.ruse += rmod.stats();
+            stats.wall.ruse += t.elapsed();
         }
+        let t = Instant::now();
         let (plus, plus_stats) = compute_imod_plus(program, initial, &rmod);
         stats.imod_plus += plus_stats;
+        stats.wall.imod_plus += t.elapsed();
 
         let algorithm = match self.gmod_algorithm {
             GmodAlgorithm::Auto => {
-                if program.max_level() <= 1 {
+                if pool.threads() > 1 {
+                    GmodAlgorithm::LevelScheduled
+                } else if program.max_level() <= 1 {
                     GmodAlgorithm::OneLevel
                 } else {
                     GmodAlgorithm::MultiLevelFused
@@ -205,6 +253,7 @@ impl Analyzer {
             }
             other => other,
         };
+        let t = Instant::now();
         let gmod: GmodSolution = match algorithm {
             GmodAlgorithm::OneLevel => {
                 solve_gmod_one_level(program, call_graph.graph(), &plus, locals)
@@ -215,11 +264,16 @@ impl Analyzer {
             GmodAlgorithm::MultiLevelFused | GmodAlgorithm::Auto => {
                 solve_gmod_multi_fused(program, call_graph.graph(), &plus, locals)
             }
+            GmodAlgorithm::LevelScheduled => {
+                solve_gmod_levels(program, call_graph.graph(), &plus, locals, pool)
+            }
         };
         if is_mod {
             stats.gmod += gmod.stats();
+            stats.wall.gmod += t.elapsed();
         } else {
             stats.guse += gmod.stats();
+            stats.wall.guse += t.elapsed();
         }
         let (gmod_sets, _) = gmod.into_parts();
         let rmod_sets = rmod.rmod_all().to_vec();
@@ -244,6 +298,9 @@ pub struct PhaseStats {
     pub dmod: OpCounter,
     /// §5 step (2) alias factoring.
     pub modsets: OpCounter,
+    /// Wall-clock time per phase (measured, not modelled — unlike the
+    /// counters these vary run to run).
+    pub wall: PhaseWall,
 }
 
 impl PhaseStats {
@@ -258,6 +315,51 @@ impl PhaseStats {
         t += self.dmod;
         t += self.modsets;
         t
+    }
+}
+
+/// Wall-clock time spent in each pipeline phase.
+///
+/// When the `MOD` and `USE` halves run concurrently, the per-phase
+/// durations of the two halves are summed — CPU-seconds of useful work —
+/// so they can exceed [`PhaseWall::total`], which is elapsed time of the
+/// whole [`Analyzer::analyze`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseWall {
+    /// Phase 0: local `IMOD`/`IUSE` scan.
+    pub local: Duration,
+    /// Figure 1 (`RMOD`).
+    pub rmod: Duration,
+    /// `RUSE`.
+    pub ruse: Duration,
+    /// Equation (5).
+    pub imod_plus: Duration,
+    /// `GMOD`.
+    pub gmod: Duration,
+    /// `GUSE`.
+    pub guse: Duration,
+    /// Equation (2) projection, both halves.
+    pub dmod: Duration,
+    /// §5 alias-pair computation.
+    pub aliases: Duration,
+    /// §5 step (2) factoring, both halves.
+    pub modsets: Duration,
+    /// Elapsed time of the whole pipeline run.
+    pub total: Duration,
+}
+
+impl PhaseWall {
+    fn absorb(&mut self, other: &PhaseWall) {
+        self.local += other.local;
+        self.rmod += other.rmod;
+        self.ruse += other.ruse;
+        self.imod_plus += other.imod_plus;
+        self.gmod += other.gmod;
+        self.guse += other.guse;
+        self.dmod += other.dmod;
+        self.aliases += other.aliases;
+        self.modsets += other.modsets;
+        self.total += other.total;
     }
 }
 
@@ -564,6 +666,33 @@ mod tests {
             assert_eq!(seq.mod_site(s), par.mod_site(s));
             assert_eq!(seq.use_site(s), par.use_site(s));
         }
+    }
+
+    #[test]
+    fn thread_counts_agree_end_to_end() {
+        let program = modref_progen_stub();
+        let one = Analyzer::new().threads(1).analyze(&program);
+        for threads in [2, 4] {
+            let many = Analyzer::new().threads(threads).analyze(&program);
+            for p in program.procs() {
+                assert_eq!(one.gmod(p), many.gmod(p), "{threads} threads");
+                assert_eq!(one.guse(p), many.guse(p), "{threads} threads");
+                assert_eq!(one.rmod(p), many.rmod(p), "{threads} threads");
+            }
+            for s in program.sites() {
+                assert_eq!(one.mod_site(s), many.mod_site(s));
+                assert_eq!(one.use_site(s), many.use_site(s));
+            }
+        }
+    }
+
+    #[test]
+    fn wall_times_are_recorded() {
+        let program = modref_progen_stub();
+        let summary = Analyzer::new().analyze(&program);
+        let wall = summary.stats().wall;
+        assert!(wall.total > std::time::Duration::ZERO);
+        assert!(wall.total >= wall.aliases);
     }
 
     /// A small deterministic program exercising both halves.

@@ -16,6 +16,8 @@
 //!   edge classification, matching the vocabulary of §4's proofs.
 //! * [`condense::Condensation`] — the acyclic quotient graph used by the
 //!   Figure 1 `RMOD` solver.
+//! * [`levels::Levels`] — topological levels of a condensation, the
+//!   schedule for level-parallel propagation.
 //! * [`topo::topological_order`] and [`reach::reachable_from`].
 //!
 //! All traversals are iterative (explicit stacks), so pathological inputs —
@@ -40,11 +42,13 @@ pub mod condense;
 pub mod dfs;
 pub mod digraph;
 pub mod dot;
+pub mod levels;
 pub mod reach;
 pub mod scc;
 pub mod topo;
 
 pub use condense::Condensation;
+pub use levels::Levels;
 pub use dfs::{DepthFirst, EdgeKind};
 pub use digraph::{DiGraph, Edge, EdgeId, NodeId};
 pub use scc::{tarjan, SccId, Sccs};

@@ -1,7 +1,13 @@
 //! Interpreter semantics edge cases: composed array-section views,
-//! element bindings through views, and scope chains under recursion.
+//! element bindings through views, and scope chains under recursion —
+//! plus the dynamic oracle for the *parallel* pipeline: what a call was
+//! observed to do must be covered by the multi-threaded solver's
+//! summaries.
 
+use modref_check::prelude::*;
+use modref_core::Analyzer;
 use modref_interp::Interpreter;
+use modref_progen::{generate, GenConfig};
 
 fn run(src: &str) -> Vec<i64> {
     let program = modref_frontend::parse_program(src).expect("parses");
@@ -119,6 +125,48 @@ fn whole_array_value_semantics_for_scalars_only() {
            print g;
          }");
     assert_eq!(printed, vec![5]);
+}
+
+property! {
+    #![cases = 48]
+
+    fn parallel_solver_covers_observed_effects(
+        seed in any_u64(),
+        input_seed in any_u64(),
+        n in ints(2..12usize),
+        depth in ints(1..4u32),
+    ) {
+        // The dynamic oracle run against the *parallel* pipeline: every
+        // variable a call site was concretely observed to write or read
+        // must be in the 4-thread solver's MOD(s)/USE(s). Combined with
+        // the differential tests (threads=1 ≡ threads=N bit-for-bit),
+        // this pins the parallel solver to ground truth, not merely to
+        // the sequential implementation.
+        let program = generate(&GenConfig::tiny(n, depth), seed);
+        let summary = Analyzer::new().threads(4).analyze(&program);
+        let run = Interpreter::new(&program, input_seed).with_fuel(20_000).run();
+
+        for s in program.sites() {
+            let obs = run.observation(s);
+            if obs.invocations == 0 {
+                continue;
+            }
+            prop_assert!(
+                obs.modified.is_subset(summary.mod_site(s)),
+                "seed {seed}/{input_seed}: site {s} observed MOD {:?} ⊄ parallel MOD {:?}\n{}",
+                obs.modified,
+                summary.mod_site(s),
+                program.to_source()
+            );
+            prop_assert!(
+                obs.used.is_subset(summary.use_site(s)),
+                "seed {seed}/{input_seed}: site {s} observed USE {:?} ⊄ parallel USE {:?}\n{}",
+                obs.used,
+                summary.use_site(s),
+                program.to_source()
+            );
+        }
+    }
 }
 
 #[test]

@@ -70,6 +70,34 @@ impl LocalEffects {
             });
         }
 
+        Self::from_flat_sets(program, imod_flat, iuse_flat)
+    }
+
+    /// [`Self::compute`] with the per-procedure statement walks spread
+    /// over `pool` — each procedure's flat sets depend only on its own
+    /// body, so the scan is embarrassingly parallel. The §3.3 sweep stays
+    /// sequential (it is a tiny tree fold), and the result is identical to
+    /// the sequential path at any thread count.
+    pub fn compute_pooled(program: &Program, pool: &modref_par::ThreadPool) -> Self {
+        if pool.is_sequential() {
+            return Self::compute(program);
+        }
+        let nv = program.num_vars();
+        let np = program.num_procs();
+        let flat: Vec<(BitSet, BitSet)> = pool.par_map(np, |i| {
+            let mut m = BitSet::new(nv);
+            let mut u = BitSet::new(nv);
+            walk_stmts(program.proc_(ProcId::new(i)).body(), &mut |s| {
+                accumulate_stmt(program, s, &mut m, &mut u);
+            });
+            (m, u)
+        });
+        let (imod_flat, iuse_flat) = flat.into_iter().unzip();
+        Self::from_flat_sets(program, imod_flat, iuse_flat)
+    }
+
+    /// The §3.3 nesting extension on top of already-gathered flat sets.
+    fn from_flat_sets(program: &Program, imod_flat: Vec<BitSet>, iuse_flat: Vec<BitSet>) -> Self {
         // §3.3 extension, children before parents. Builder and front end
         // both create children after their parent, but sort by level to be
         // independent of id order.
@@ -341,6 +369,32 @@ mod tests {
         // q's formal is local to q; p must not inherit it.
         assert!(fx.imod(q).contains(xq.index()));
         assert!(!fx.imod(p).contains(xq.index()));
+    }
+
+    #[test]
+    fn pooled_matches_sequential() {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g");
+        let p = b.proc_("p", &[]);
+        let tp = b.local(p, "tp");
+        let q = b.nested_proc(p, "q", &[]);
+        b.assign(q, tp, Expr::load(g));
+        b.assign(p, g, Expr::constant(1));
+        let main = b.main();
+        b.call(main, p, &[]);
+        let program = b.finish().expect("valid");
+
+        let seq = LocalEffects::compute(&program);
+        for threads in [1, 2, 4] {
+            let pool = modref_par::ThreadPool::new(threads);
+            let par = LocalEffects::compute_pooled(&program, &pool);
+            for pr in program.procs() {
+                assert_eq!(seq.imod(pr), par.imod(pr));
+                assert_eq!(seq.iuse(pr), par.iuse(pr));
+                assert_eq!(seq.imod_flat(pr), par.imod_flat(pr));
+                assert_eq!(seq.iuse_flat(pr), par.iuse_flat(pr));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,475 @@
+#![warn(missing_docs)]
+
+//! A dependency-free scoped thread pool for data-parallel index ranges.
+//!
+//! The analysis pipeline is embarrassingly parallel in several places —
+//! local-effect collection is per-procedure, `GMOD` propagation over the
+//! condensation proceeds in independent topological levels, and per-site
+//! projection is per-call-site. All of those are "apply `f` to every index
+//! in `0..n`" problems, so the pool exposes exactly that shape and nothing
+//! more:
+//!
+//! * [`ThreadPool::par_for_each`] — run `f(i)` for every `i in 0..n`;
+//! * [`ThreadPool::par_map`] — collect `f(i)` into a `Vec` preserving
+//!   input order;
+//! * [`ThreadPool::par_for_each_range`] — the chunked primitive both are
+//!   built on, for bodies that want to amortise per-chunk setup.
+//!
+//! Design points, in keeping with the workspace's hermetic-build policy
+//! (no external crates):
+//!
+//! * **Spawn-once workers.** `ThreadPool::new(t)` spawns `t - 1` worker
+//!   threads that live for the pool's lifetime; each parallel call hands
+//!   them one job through a mutex/condvar mailbox. The *calling* thread
+//!   participates too, so a pool of `t` threads applies `t`-way
+//!   concurrency with `t - 1` spawns.
+//! * **Scoped borrows.** The closure may borrow from the caller's stack:
+//!   a call only returns after every worker has left the job, so the
+//!   borrow never outlives the data (the same argument as
+//!   `std::thread::scope`).
+//! * **Chunked self-scheduling.** Workers claim contiguous index chunks
+//!   from an atomic cursor — dynamic load balancing with one atomic op
+//!   per chunk.
+//! * **Panic propagation.** A panic in any worker (or the caller's own
+//!   share) is caught, the remaining chunks are abandoned, and the first
+//!   payload is re-raised on the calling thread once everyone is out.
+//! * **Degenerate pools are free.** `ThreadPool::new(1)` (or `new(0)`)
+//!   spawns nothing; every call runs inline on the caller thread.
+//!
+//! [`resolve_threads`] centralises the thread-count policy: an explicit
+//! request wins, otherwise the `MODREF_THREADS` environment variable,
+//! otherwise 1 (sequential). The value `0` means "one per core".
+//!
+//! # Examples
+//!
+//! ```
+//! use modref_par::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let squares = pool.par_map(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Upper bound on pool size; requests beyond it are clamped. Far above
+/// any machine this workspace targets, it only guards against absurd
+/// `MODREF_THREADS` values spawning unbounded threads.
+const MAX_THREADS: usize = 256;
+
+/// The thread count a pool should use, resolved from an explicit request
+/// and the `MODREF_THREADS` environment variable.
+///
+/// Policy (first match wins):
+///
+/// 1. `Some(n)` with `n ≥ 1` — the caller said so (e.g. `--threads N`);
+/// 2. `Some(0)` — "auto": one thread per available core;
+/// 3. `None` + `MODREF_THREADS=n` — the environment decides (`0` = auto;
+///    unparsable values fall back to 1);
+/// 4. `None`, no env var — 1 (sequential).
+///
+/// The result is clamped to `1..=256`.
+#[must_use]
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    let auto = || {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    let n = match requested {
+        Some(0) => auto(),
+        Some(n) => n,
+        None => match std::env::var("MODREF_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(0) => auto(),
+                Ok(n) => n,
+                Err(_) => 1,
+            },
+            Err(_) => 1,
+        },
+    };
+    n.clamp(1, MAX_THREADS)
+}
+
+/// A raw wide pointer to the job body. The pool guarantees the pointee
+/// outlives every dereference (a call returns only after all workers have
+/// left the job), which is what makes the `Send + Sync` claims sound.
+#[derive(Clone, Copy)]
+struct BodyPtr(*const (dyn Fn(usize, usize) + Sync));
+unsafe impl Send for BodyPtr {}
+unsafe impl Sync for BodyPtr {}
+
+/// One submitted parallel call: a range `0..len` split into `chunk`-sized
+/// pieces that workers claim from `cursor`.
+struct Job {
+    body: BodyPtr,
+    len: usize,
+    chunk: usize,
+    cursor: AtomicUsize,
+    /// Threads currently inside [`Job::participate`].
+    active: AtomicUsize,
+    finish_lock: Mutex<()>,
+    finished: Condvar,
+    /// First panic payload raised by any participant.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Job {
+    fn new(body: BodyPtr, len: usize, chunk: usize) -> Self {
+        Job {
+            body,
+            len,
+            chunk,
+            cursor: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            finish_lock: Mutex::new(()),
+            finished: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Claims and runs chunks until the range is exhausted; converts a
+    /// body panic into a stored payload and abandons the rest of the
+    /// range so other participants wind down quickly.
+    fn work(&self) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| loop {
+            let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.len {
+                break;
+            }
+            let end = (start + self.chunk).min(self.len);
+            // SAFETY: execute_range keeps the closure alive until every
+            // participant has exited; a successful claim implies we are
+            // still inside that window.
+            let body = unsafe { &*self.body.0 };
+            body(start, end);
+        }));
+        if let Err(payload) = outcome {
+            let mut slot = self.panic.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+            self.cursor.store(self.len, Ordering::Relaxed);
+        }
+    }
+
+    /// One thread's full engagement with the job, with completion
+    /// signalling: the last one out notifies the submitter.
+    fn participate(&self) {
+        self.active.fetch_add(1, Ordering::SeqCst);
+        self.work();
+        if self.active.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.finish_lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            self.finished.notify_all();
+        }
+    }
+}
+
+/// The mailbox workers block on.
+struct Mailbox {
+    job: Option<Arc<Job>>,
+    epoch: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    mailbox: Mutex<Mailbox>,
+    work_ready: Condvar,
+}
+
+/// A fixed-size pool of spawn-once workers executing chunked index-range
+/// jobs. See the crate docs for the design; see [`ThreadPool::new`] for
+/// sizing semantics.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+    /// Serialises `execute_range`: concurrent submitters (e.g. the MOD
+    /// and USE pipeline halves) queue here and the workers drain one job
+    /// at a time. Caller participation guarantees progress either way.
+    submit: Mutex<()>,
+}
+
+impl ThreadPool {
+    /// Creates a pool applying `threads`-way concurrency: the caller
+    /// thread plus `threads - 1` spawned workers. `0` and `1` both mean
+    /// "sequential" — nothing is spawned and every call runs inline.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.clamp(1, MAX_THREADS);
+        let shared = Arc::new(Shared {
+            mailbox: Mutex::new(Mailbox {
+                job: None,
+                epoch: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            threads,
+            submit: Mutex::new(()),
+        }
+    }
+
+    /// A pool sized by [`resolve_threads`]`(requested)`.
+    #[must_use]
+    pub fn with_threads(requested: Option<usize>) -> Self {
+        Self::new(resolve_threads(requested))
+    }
+
+    /// The concurrency this pool applies, counting the caller thread.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// How many worker threads were actually spawned (`threads() - 1`,
+    /// and 0 for a sequential pool).
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// `true` if calls run inline on the caller thread (no workers).
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Runs `f(start, end)` over disjoint chunks covering `0..len`,
+    /// concurrently. Blocks until the whole range is done; re-raises the
+    /// first panic any chunk produced.
+    pub fn par_for_each_range<F: Fn(usize, usize) + Sync>(&self, len: usize, f: F) {
+        self.execute_range(len, &f);
+    }
+
+    /// Runs `f(i)` for every `i in 0..len`, concurrently.
+    pub fn par_for_each<F: Fn(usize) + Sync>(&self, len: usize, f: F) {
+        self.execute_range(len, &|start, end| {
+            for i in start..end {
+                f(i);
+            }
+        });
+    }
+
+    /// Maps `0..len` through `f` into a `Vec` in input order (slot `i`
+    /// holds `f(i)` regardless of which thread computed it).
+    pub fn par_map<T: Send, F: Fn(usize) -> T + Sync>(&self, len: usize, f: F) -> Vec<T> {
+        struct Slots<T>(*mut Option<T>);
+        unsafe impl<T: Send> Send for Slots<T> {}
+        unsafe impl<T: Send> Sync for Slots<T> {}
+        impl<T> Slots<T> {
+            /// SAFETY: each index is claimed by exactly one chunk, so
+            /// slot `i` is written by one thread and read only after
+            /// `execute_range` returns. A panicking body leaves the slot
+            /// `None`; the Vec still drops cleanly.
+            fn set(&self, i: usize, value: T) {
+                unsafe { *self.0.add(i) = Some(value) };
+            }
+        }
+
+        let mut slots: Vec<Option<T>> = (0..len).map(|_| None).collect();
+        let out = Slots(slots.as_mut_ptr());
+        self.execute_range(len, &|start, end| {
+            for i in start..end {
+                out.set(i, f(i));
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index was computed"))
+            .collect()
+    }
+
+    /// The chunk size for a range: enough pieces for load balancing
+    /// (≈ 4 per thread), never empty.
+    fn chunk_for(&self, len: usize) -> usize {
+        len.div_ceil(self.threads * 4).max(1)
+    }
+
+    fn execute_range(&self, len: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+        if len == 0 {
+            return;
+        }
+        if self.workers.is_empty() {
+            f(0, len);
+            return;
+        }
+        let _submitting = self.submit.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        // SAFETY: only the lifetime is erased. The pointer is dereferenced
+        // solely between job publication and the `active == 0` wait below,
+        // while `f` is demonstrably alive on this stack frame.
+        #[allow(clippy::missing_transmute_annotations)]
+        let body = BodyPtr(unsafe { std::mem::transmute(f as *const (dyn Fn(usize, usize) + Sync)) });
+        let job = Arc::new(Job::new(body, len, self.chunk_for(len)));
+        {
+            let mut mailbox = self.shared.mailbox.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            mailbox.job = Some(Arc::clone(&job));
+            mailbox.epoch += 1;
+            self.shared.work_ready.notify_all();
+        }
+        // The caller is a participant like any worker.
+        job.participate();
+        // Wait until every worker that picked the job up has left it; only
+        // then is the `f` borrow dead and the call allowed to return.
+        {
+            let mut guard = job.finish_lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            while job.active.load(Ordering::SeqCst) != 0 {
+                guard = job
+                    .finished
+                    .wait(guard)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        self.shared.mailbox.lock().unwrap_or_else(std::sync::PoisonError::into_inner).job = None;
+        let payload = job.panic.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut mailbox = self.shared.mailbox.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            mailbox.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut mailbox = shared.mailbox.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if mailbox.shutdown {
+                    return;
+                }
+                if mailbox.epoch != last_epoch {
+                    if let Some(job) = &mailbox.job {
+                        last_epoch = mailbox.epoch;
+                        break Arc::clone(job);
+                    }
+                }
+                mailbox = shared
+                    .work_ready
+                    .wait(mailbox)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        job.participate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn sequential_pool_spawns_nothing_and_runs_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.worker_count(), 0);
+        assert!(pool.is_sequential());
+        let caller = std::thread::current().id();
+        pool.par_for_each(16, |_| {
+            assert_eq!(std::thread::current().id(), caller);
+        });
+    }
+
+    #[test]
+    fn zero_threads_means_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.worker_count(), 0);
+    }
+
+    #[test]
+    fn par_for_each_covers_every_index_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.par_for_each(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn ranges_partition_the_input() {
+        let pool = ThreadPool::new(3);
+        let covered: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
+        pool.par_for_each_range(covered.len(), |start, end| {
+            assert!(start < end && end <= covered.len());
+            for i in start..end {
+                covered[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(covered.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_range_is_a_no_op() {
+        let pool = ThreadPool::new(4);
+        pool.par_for_each(0, |_| panic!("must not run"));
+        assert!(pool.par_map(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_calls() {
+        let pool = ThreadPool::new(4);
+        for round in 0..50usize {
+            let v = pool.par_map(round + 1, move |i| i + round);
+            assert_eq!(v.len(), round + 1);
+            assert_eq!(v[0], round);
+        }
+    }
+
+    #[test]
+    fn concurrent_submitters_serialise_without_deadlock() {
+        let pool = ThreadPool::new(2);
+        std::thread::scope(|scope| {
+            let a = scope.spawn(|| pool.par_map(500, |i| i as u64 * 2).iter().sum::<u64>());
+            let b = pool.par_map(500, |i| i as u64 * 3).iter().sum::<u64>();
+            let a = a.join().expect("no panic");
+            assert_eq!(a, (0..500u64).map(|i| i * 2).sum());
+            assert_eq!(b, (0..500u64).map(|i| i * 3).sum());
+        });
+    }
+
+    #[test]
+    fn resolve_threads_explicit_request_wins() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(1)), 1);
+        assert!(resolve_threads(Some(0)) >= 1); // auto
+        assert_eq!(resolve_threads(Some(100_000)), MAX_THREADS);
+    }
+}

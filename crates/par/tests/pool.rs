@@ -1,0 +1,104 @@
+//! The pool's behavioural contract: `par_map` preserves input order,
+//! worker panics propagate to the caller, and a resolved thread count of
+//! 1 (e.g. `MODREF_THREADS=1`) degrades to the caller thread with no pool
+//! spawned.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use modref_par::{resolve_threads, ThreadPool};
+
+#[test]
+fn par_map_preserves_input_order_at_every_width() {
+    for threads in [1, 2, 3, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        for len in [0, 1, 7, 64, 1000, 4096] {
+            let got = pool.par_map(len, |i| i * i + 1);
+            let want: Vec<usize> = (0..len).map(|i| i * i + 1).collect();
+            assert_eq!(got, want, "threads={threads} len={len}");
+        }
+    }
+}
+
+#[test]
+fn par_map_is_deterministic_across_repeated_runs() {
+    let pool = ThreadPool::new(4);
+    let first = pool.par_map(2048, |i| i.wrapping_mul(0x9E37_79B9));
+    for _ in 0..20 {
+        assert_eq!(pool.par_map(2048, |i| i.wrapping_mul(0x9E37_79B9)), first);
+    }
+}
+
+#[test]
+fn worker_panic_propagates_payload_to_caller() {
+    let pool = ThreadPool::new(4);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.par_for_each(1000, |i| {
+            assert!(i != 637, "worker 637 exploded");
+        });
+    }));
+    let payload = result.expect_err("panic must propagate");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+        .expect("string payload");
+    assert!(message.contains("worker 637 exploded"), "got: {message}");
+}
+
+#[test]
+fn pool_survives_a_panicked_job_and_keeps_working() {
+    let pool = ThreadPool::new(4);
+    let boom = catch_unwind(AssertUnwindSafe(|| {
+        pool.par_for_each(100, |i| assert!(i < 50));
+    }));
+    assert!(boom.is_err());
+    // The same pool must serve subsequent jobs normally.
+    let v = pool.par_map(100, |i| i + 1);
+    assert_eq!(v[99], 100);
+}
+
+#[test]
+fn caller_share_panic_propagates_too() {
+    // Even a sequential pool (caller-only) must re-raise.
+    let pool = ThreadPool::new(1);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.par_map(10, |i| {
+            assert!(i != 3, "inline panic");
+            i
+        })
+    }));
+    assert!(result.is_err());
+}
+
+/// `MODREF_THREADS=1` must resolve to a sequential, spawn-free pool that
+/// runs everything on the caller thread. Environment mutation lives in
+/// one test so it cannot race a sibling in this binary; the assertions on
+/// explicit requests double-check precedence on the way.
+#[test]
+fn modref_threads_env_controls_default_and_one_means_no_pool() {
+    std::env::set_var("MODREF_THREADS", "1");
+    assert_eq!(resolve_threads(None), 1);
+    // Explicit requests beat the environment.
+    assert_eq!(resolve_threads(Some(4)), 4);
+
+    let pool = ThreadPool::with_threads(None);
+    assert_eq!(pool.threads(), 1);
+    assert_eq!(pool.worker_count(), 0, "no worker threads spawned");
+    assert!(pool.is_sequential());
+    let caller = std::thread::current().id();
+    let on_caller = AtomicUsize::new(0);
+    pool.par_for_each(64, |_| {
+        if std::thread::current().id() == caller {
+            on_caller.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    assert_eq!(on_caller.load(Ordering::Relaxed), 64);
+
+    std::env::set_var("MODREF_THREADS", "6");
+    assert_eq!(resolve_threads(None), 6);
+    std::env::set_var("MODREF_THREADS", "not-a-number");
+    assert_eq!(resolve_threads(None), 1);
+    std::env::remove_var("MODREF_THREADS");
+    assert_eq!(resolve_threads(None), 1);
+}

@@ -39,7 +39,15 @@ echo "ok"
 echo "== build (release, offline) =="
 cargo build --release --offline
 
-echo "== tests (offline) =="
-cargo test -q --offline
+# The whole suite runs twice: once pinned to one thread and once with a
+# 4-thread pool, so every default-configured Analyzer in every test
+# exercises both the sequential and the parallel pipeline (results must
+# be bit-identical — par_equiv checks that differentially, this checks
+# nothing else regresses under either default).
+echo "== tests (offline, MODREF_THREADS=1) =="
+MODREF_THREADS=1 cargo test -q --offline
+
+echo "== tests (offline, MODREF_THREADS=4) =="
+MODREF_THREADS=4 cargo test -q --offline
 
 echo "CI green"
