@@ -2,9 +2,18 @@
 
 use modref_bitset::{BitSet, OpCounter};
 use modref_graph::{tarjan, Condensation};
+use modref_guard::{Guard, Interrupt, Strided};
 use modref_ir::{ProcId, Program, VarId};
 
 use crate::multigraph::BindingGraph;
+
+/// Charges the counter delta since `last` against the guard and advances
+/// the snapshot — budget enforcement in exactly the units the stats report.
+fn settle(guard: &Guard, stats: &OpCounter, last: &mut OpCounter) {
+    let d = stats.delta_since(last);
+    guard.charge(d.bitvec_steps, d.bool_steps);
+    *last = *stats;
+}
 
 /// The solution of the reference-formal-parameter problem: for each
 /// procedure `p`, `RMOD(p)` — the formals of `p` that may be modified by
@@ -32,6 +41,27 @@ impl RmodSolution {
     /// invocation of its owner. `false` for non-formals.
     pub fn is_modified(&self, formal: VarId) -> bool {
         self.modified.contains(formal.index())
+    }
+
+    /// The sound over-approximation used when the Figure 1 solver is cut
+    /// short: every reference formal of every procedure is assumed
+    /// modified. `RMOD` ranges over formals only, so this is the top of
+    /// its lattice.
+    pub fn conservative(program: &Program) -> Self {
+        let nv = program.num_vars();
+        let mut rmod = vec![BitSet::new(nv); program.num_procs()];
+        let mut modified = BitSet::new(nv);
+        for p in program.procs() {
+            for &f in program.proc_(p).formals() {
+                rmod[p.index()].insert(f.index());
+                modified.insert(f.index());
+            }
+        }
+        RmodSolution {
+            rmod,
+            modified,
+            stats: OpCounter::new(),
+        }
     }
 
     /// Work performed, in the paper's cost model (§3.2 counts *simple
@@ -79,37 +109,60 @@ pub fn solve_rmod_pooled(
     beta: &BindingGraph,
     pool: &modref_par::ThreadPool,
 ) -> RmodSolution {
+    solve_rmod_guarded(program, initial, beta, pool, &Guard::unlimited())
+        .expect("an unlimited guard cannot interrupt the solver")
+}
+
+/// [`solve_rmod_pooled`] under a cooperative [`Guard`]: the solver polls at
+/// its entry checkpoint (`"rmod"`), at inner-loop strides, and between pool
+/// chunks, charging its boolean steps against the budget as it goes. On a
+/// trip it abandons the remaining work and reports the interrupt; partial
+/// results are discarded (the caller substitutes the conservative summary).
+pub fn solve_rmod_guarded(
+    program: &Program,
+    initial: &[BitSet],
+    beta: &BindingGraph,
+    pool: &modref_par::ThreadPool,
+    guard: &Guard,
+) -> Result<RmodSolution, Interrupt> {
     assert_eq!(
         initial.len(),
         program.num_procs(),
         "one initial set per procedure"
     );
+    guard.checkpoint("rmod")?;
     let mut stats = OpCounter::new();
+    let mut last = OpCounter::new();
+    let mut stride = Strided::new(512);
     let n = beta.num_nodes();
 
     // IMOD(fp) per β node: is the formal modified locally in its owner
     // (with the §3.3 nesting extension already folded into `effects`)?
-    let imod_bit: Vec<bool> = (0..n)
-        .map(|node| {
-            let formal = beta.formal_of_node(node);
-            let (owner, _) = program
-                .formal_position(formal)
-                .expect("β nodes are formals");
-            stats.bool_steps += 1;
-            stats.nodes_visited += 1;
-            initial[owner.index()].contains(formal.index())
-        })
-        .collect();
+    let mut imod_bit = Vec::with_capacity(n);
+    for node in 0..n {
+        stride.tick(guard)?;
+        let formal = beta.formal_of_node(node);
+        let (owner, _) = program
+            .formal_position(formal)
+            .expect("β nodes are formals");
+        stats.bool_steps += 1;
+        stats.nodes_visited += 1;
+        imod_bit.push(initial[owner.index()].contains(formal.index()));
+    }
+    settle(guard, &stats, &mut last);
 
     // Step (1): SCCs.
     let sccs = tarjan(beta.graph());
     stats.nodes_visited += n as u64;
     stats.edges_visited += beta.num_edges() as u64;
+    settle(guard, &stats, &mut last);
+    guard.check()?;
 
     // Step (2): representer IMOD = OR over members.
     let mut rep_value = vec![false; sccs.len()];
     for (c, members) in sccs.iter().enumerate() {
         for &m in members {
+            stride.tick(guard)?;
             rep_value[c] |= imod_bit[m];
             stats.bool_steps += 1;
         }
@@ -120,12 +173,14 @@ pub fn solve_rmod_pooled(
     // leaves first, and every successor is already final.
     let cond = Condensation::build(beta.graph(), &sccs);
     for c in 0..sccs.len() {
+        stride.tick(guard)?;
         for d in cond.graph().successor_nodes(c) {
             rep_value[c] |= rep_value[d];
             stats.bool_steps += 1;
             stats.edges_visited += 1;
         }
     }
+    settle(guard, &stats, &mut last);
 
     // Step (4): broadcast to members, materialising per-procedure sets.
     // Formals never bound at any site have no β node; their RMOD bit is
@@ -135,6 +190,7 @@ pub fn solve_rmod_pooled(
     if pool.is_sequential() {
         rmod = vec![BitSet::new(program.num_vars()); program.num_procs()];
         for node in 0..n {
+            stride.tick(guard)?;
             stats.bool_steps += 1;
             if rep_value[sccs.component_of(node)] {
                 let formal = beta.formal_of_node(node);
@@ -144,6 +200,7 @@ pub fn solve_rmod_pooled(
             }
         }
         for p in program.procs() {
+            stride.tick(guard)?;
             for &f in program.proc_(p).formals() {
                 stats.bool_steps += 1;
                 if beta.node_of_formal(f).is_none() && initial[p.index()].contains(f.index()) {
@@ -156,35 +213,52 @@ pub fn solve_rmod_pooled(
         // One task per procedure: each writes only its own set, reading
         // the final representer values, so the sets (though not the order
         // in which they are produced) match the sequential sweep exactly.
-        let results: Vec<(BitSet, u64)> = pool.par_map(program.num_procs(), |pi| {
-            let p = ProcId::new(pi);
-            let mut set = BitSet::new(program.num_vars());
-            let mut steps = 0u64;
-            for &f in program.proc_(p).formals() {
-                steps += 1;
-                let in_rmod = match beta.node_of_formal(f) {
-                    Some(node) => rep_value[sccs.component_of(node)],
-                    None => initial[pi].contains(f.index()),
-                };
-                if in_rmod {
-                    set.insert(f.index());
+        // Workers drop out between chunks once the guard trips; an
+        // occasional direct poll inside the body converts a passed
+        // deadline or cancellation into a trip even while every thread is
+        // busy in here.
+        let results: Vec<Option<(BitSet, u64)>> = pool.par_map_while(
+            program.num_procs(),
+            || !guard.should_stop(),
+            |pi| {
+                if pi % 64 == 0 {
+                    let _ = guard.check();
                 }
-            }
-            (set, steps)
-        });
+                let p = ProcId::new(pi);
+                let mut set = BitSet::new(program.num_vars());
+                let mut steps = 0u64;
+                for &f in program.proc_(p).formals() {
+                    steps += 1;
+                    let in_rmod = match beta.node_of_formal(f) {
+                        Some(node) => rep_value[sccs.component_of(node)],
+                        None => initial[pi].contains(f.index()),
+                    };
+                    if in_rmod {
+                        set.insert(f.index());
+                    }
+                }
+                (set, steps)
+            },
+        );
         rmod = Vec::with_capacity(program.num_procs());
-        for (set, steps) in results {
+        for slot in results {
+            let Some((set, steps)) = slot else {
+                guard.check()?;
+                return Err(guard.interrupt().unwrap_or(Interrupt::Halted));
+            };
             stats.bool_steps += steps;
             modified.union_with(&set);
             rmod.push(set);
         }
+        settle(guard, &stats, &mut last);
+        guard.check()?;
     }
 
-    RmodSolution {
+    Ok(RmodSolution {
         rmod,
         modified,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -315,6 +389,36 @@ mod tests {
         b.call(main, p, &[g]);
         let (_, sol) = analyse(&b);
         assert!(sol.is_modified(b.formal(p, 0)));
+    }
+
+    #[test]
+    fn guarded_solver_matches_unguarded_and_trips_on_zero_budget() {
+        let mut b = ProgramBuilder::new();
+        let c = b.proc_("c", &["z"]);
+        b.assign(c, b.formal(c, 0), Expr::constant(1));
+        let a = b.proc_("a", &["x"]);
+        b.call(a, c, &[b.formal(a, 0)]);
+        let g = b.global("g");
+        let main = b.main();
+        b.call(main, a, &[g]);
+        let program = b.finish().expect("valid");
+        let effects = LocalEffects::compute(&program);
+        let beta = BindingGraph::build(&program);
+        let pool = modref_par::ThreadPool::new(1);
+
+        let plain = solve_rmod(&program, effects.imod_all(), &beta);
+        let guarded =
+            solve_rmod_guarded(&program, effects.imod_all(), &beta, &pool, &Guard::unlimited())
+                .expect("unlimited");
+        for p in program.procs() {
+            assert_eq!(plain.rmod(p), guarded.rmod(p));
+        }
+        assert_eq!(plain.stats(), guarded.stats());
+
+        let tight = Guard::new(&modref_guard::Budget::unlimited().with_bool_steps(0));
+        let err = solve_rmod_guarded(&program, effects.imod_all(), &beta, &pool, &tight)
+            .expect_err("zero budget must trip");
+        assert_eq!(err, Interrupt::BoolBudget);
     }
 
     #[test]

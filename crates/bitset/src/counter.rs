@@ -47,6 +47,23 @@ impl OpCounter {
         Self::default()
     }
 
+    /// The work done since an earlier snapshot of the same counter.
+    ///
+    /// Guarded solvers snapshot their counter at stride boundaries and
+    /// charge only the delta against the budget, so enforcement uses the
+    /// exact units the stats already report. Saturates rather than panics
+    /// if `earlier` is not actually earlier.
+    pub fn delta_since(&self, earlier: &OpCounter) -> OpCounter {
+        OpCounter {
+            bitvec_steps: self.bitvec_steps.saturating_sub(earlier.bitvec_steps),
+            bool_steps: self.bool_steps.saturating_sub(earlier.bool_steps),
+            meets: self.meets.saturating_sub(earlier.meets),
+            nodes_visited: self.nodes_visited.saturating_sub(earlier.nodes_visited),
+            edges_visited: self.edges_visited.saturating_sub(earlier.edges_visited),
+            iterations: self.iterations.saturating_sub(earlier.iterations),
+        }
+    }
+
     /// Sum of all counted operations, a crude "total work" scalar.
     pub fn total(&self) -> u64 {
         self.bitvec_steps
@@ -101,6 +118,21 @@ mod tests {
         assert_eq!(b.meets, 2);
         assert_eq!(b.iterations, 5);
         assert_eq!(b.total(), 18);
+    }
+
+    #[test]
+    fn delta_since_subtracts_fieldwise_and_saturates() {
+        let mut early = OpCounter::new();
+        early.bitvec_steps = 3;
+        early.bool_steps = 10;
+        let mut late = early;
+        late.bitvec_steps = 8;
+        late.meets = 2;
+        late.bool_steps = 4; // "earlier" is ahead here; saturate to 0
+        let d = late.delta_since(&early);
+        assert_eq!(d.bitvec_steps, 5);
+        assert_eq!(d.meets, 2);
+        assert_eq!(d.bool_steps, 0);
     }
 
     #[test]

@@ -2,17 +2,28 @@
 
 use std::error::Error;
 use std::fs;
+use std::time::Duration;
 
 use modref_binding::BindingGraph;
 use modref_bitset::BitSet;
-use modref_core::Analyzer;
+use modref_core::{AnalysisOutcome, Analyzer, Budget, FaultPlan, Guard};
 use modref_ir::{CallGraph, Program, VarId};
 use modref_sections::analyze_sections;
 
 use crate::options::{Command, DotWhat};
 
+/// How a command finished: exact results, or sound-but-widened ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Every phase ran to completion; the output is exact.
+    Clean,
+    /// The analysis tripped a budget, deadline, or injected fault and
+    /// fell back to conservative sets. Mapped to exit code 3.
+    Degraded,
+}
+
 /// Executes a parsed command.
-pub fn run(cmd: &Command) -> Result<(), Box<dyn Error>> {
+pub fn run(cmd: &Command) -> Result<RunStatus, Box<dyn Error>> {
     match cmd {
         Command::Analyze {
             file,
@@ -22,13 +33,27 @@ pub fn run(cmd: &Command) -> Result<(), Box<dyn Error>> {
             json,
             gmod,
             threads,
-        } => analyze(file, *no_use, *no_alias, *parallel, *json, *gmod, *threads),
-        Command::Summary { file } => summary(file),
-        Command::Sections { file } => sections(file),
-        Command::Parallel { file } => parallel(file),
-        Command::Dot { file, what } => dot(file, *what),
-        Command::Check { file } => check(file),
-        Command::Run { file, seed, fuel } => run_program(file, *seed, *fuel),
+            timeout_ms,
+            budget_ops,
+        } => analyze(
+            file,
+            *no_use,
+            *no_alias,
+            *parallel,
+            *json,
+            *gmod,
+            *threads,
+            *timeout_ms,
+            *budget_ops,
+        ),
+        Command::Summary { file } => summary(file).map(|()| RunStatus::Clean),
+        Command::Sections { file } => sections(file).map(|()| RunStatus::Clean),
+        Command::Parallel { file } => parallel(file).map(|()| RunStatus::Clean),
+        Command::Dot { file, what } => dot(file, *what).map(|()| RunStatus::Clean),
+        Command::Check { file } => check(file).map(|()| RunStatus::Clean),
+        Command::Run { file, seed, fuel } => {
+            run_program(file, *seed, *fuel).map(|()| RunStatus::Clean)
+        }
     }
 }
 
@@ -59,7 +84,9 @@ fn analyze(
     json: bool,
     gmod: Option<modref_core::GmodAlgorithm>,
     threads: Option<usize>,
-) -> Result<(), Box<dyn Error>> {
+    timeout_ms: Option<u64>,
+    budget_ops: Option<u64>,
+) -> Result<RunStatus, Box<dyn Error>> {
     let program = load(file)?;
     let mut analyzer = Analyzer::new();
     if no_use {
@@ -77,11 +104,43 @@ fn analyze(
     if let Some(t) = threads {
         analyzer.threads(t);
     }
-    let summary = analyzer.analyze(&program);
+
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = timeout_ms {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(n) = budget_ops {
+        budget = budget.with_ops(n);
+    }
+    let mut guard = Guard::new(&budget);
+    if let Some(plan) = FaultPlan::from_env() {
+        guard = guard.with_faults(plan);
+    }
+    let (summary, status) = match analyzer.analyze_guarded(&program, &guard) {
+        AnalysisOutcome::Clean(summary) => (summary, RunStatus::Clean),
+        AnalysisOutcome::Degraded {
+            summary,
+            reason,
+            completed_phases,
+        } => {
+            let done: Vec<String> = completed_phases.iter().map(|p| p.to_string()).collect();
+            eprintln!("warning: analysis degraded: {reason}");
+            eprintln!(
+                "  phases completed exactly: {}",
+                if done.is_empty() {
+                    "(none)".to_owned()
+                } else {
+                    done.join(", ")
+                }
+            );
+            eprintln!("  reported sets are sound over-approximations of the exact ones");
+            (summary, RunStatus::Degraded)
+        }
+    };
 
     if json {
         print!("{}", render_json(&program, &summary));
-        return Ok(());
+        return Ok(status);
     }
 
     println!(
@@ -108,7 +167,7 @@ fn analyze(
             println!("  USE  = {}", names(&program, summary.use_site(site)));
         }
     }
-    Ok(())
+    Ok(status)
 }
 
 /// Hand-rolled JSON (identifiers are `[A-Za-z0-9_]`, but escape anyway).

@@ -13,11 +13,15 @@ use std::process::ExitCode;
 mod commands;
 mod options;
 
+/// Exit codes form the CLI's machine-readable contract: 0 success,
+/// 1 input/analysis error, 2 usage error, 3 analysis degraded under a
+/// budget/deadline/fault (output printed, but conservatively widened).
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match options::Command::parse(&args) {
         Ok(cmd) => match commands::run(&cmd) {
-            Ok(()) => ExitCode::SUCCESS,
+            Ok(commands::RunStatus::Clean) => ExitCode::SUCCESS,
+            Ok(commands::RunStatus::Degraded) => ExitCode::from(3),
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::FAILURE
@@ -25,7 +29,7 @@ fn main() -> ExitCode {
         },
         Err(message) => {
             eprintln!("{message}\n\n{}", options::USAGE);
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }

@@ -7,12 +7,18 @@ pub const USAGE: &str = "\
 usage:
   modref analyze  <file.mp> [--no-use] [--no-alias] [--parallel] [--json]
                             [--gmod one|naive|fused|levels] [--threads N]
+                            [--timeout-ms N] [--budget-ops N]
   modref summary  <file.mp>
   modref sections <file.mp>
   modref parallel <file.mp>
   modref dot      <file.mp> --what callgraph|binding
   modref run      <file.mp> [--seed N] [--fuel N]
-  modref check    <file.mp>";
+  modref check    <file.mp>
+
+exit codes:
+  0 success   1 input/analysis error   2 usage error
+  3 analysis degraded (budget, deadline, or injected fault); the
+    printed sets are still sound over-approximations";
 
 /// Which graph `modref dot` emits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +48,10 @@ pub enum Command {
         gmod: Option<GmodAlgorithm>,
         /// Worker-thread count for the pooled phases (0 = one per core).
         threads: Option<usize>,
+        /// Wall-clock deadline for the whole analysis, in milliseconds.
+        timeout_ms: Option<u64>,
+        /// Combined bit-vector + boolean operation budget.
+        budget_ops: Option<u64>,
     },
     /// Per-procedure summary table.
     Summary {
@@ -99,6 +109,8 @@ impl Command {
                 let mut json = false;
                 let mut gmod = None;
                 let mut threads = None;
+                let mut timeout_ms = None;
+                let mut budget_ops = None;
                 while let Some(a) = it.next() {
                     match a.as_str() {
                         "--no-use" => no_use = true,
@@ -120,6 +132,16 @@ impl Command {
                             threads =
                                 Some(v.parse().map_err(|_| format!("bad --threads `{v}`"))?);
                         }
+                        "--timeout-ms" => {
+                            let v = it.next().ok_or("--timeout-ms needs a value")?;
+                            timeout_ms =
+                                Some(v.parse().map_err(|_| format!("bad --timeout-ms `{v}`"))?);
+                        }
+                        "--budget-ops" => {
+                            let v = it.next().ok_or("--budget-ops needs a value")?;
+                            budget_ops =
+                                Some(v.parse().map_err(|_| format!("bad --budget-ops `{v}`"))?);
+                        }
                         flag if flag.starts_with('-') => {
                             return Err(format!("unknown flag `{flag}`"))
                         }
@@ -134,6 +156,8 @@ impl Command {
                     json,
                     gmod,
                     threads,
+                    timeout_ms,
+                    budget_ops,
                 })
             }
             "summary" | "sections" | "parallel" | "check" => {
@@ -237,6 +261,8 @@ mod tests {
                 json: false,
                 gmod: Some(GmodAlgorithm::MultiLevelFused),
                 threads: None,
+                timeout_ms: None,
+                budget_ops: None,
             }
         );
     }
@@ -255,6 +281,8 @@ mod tests {
                 json: false,
                 gmod: Some(GmodAlgorithm::LevelScheduled),
                 threads: Some(4),
+                timeout_ms: None,
+                budget_ops: None,
             }
         );
         assert!(parse(&["analyze", "x.mp", "--threads"])
@@ -263,6 +291,35 @@ mod tests {
         assert!(parse(&["analyze", "x.mp", "--threads", "many"])
             .unwrap_err()
             .contains("bad --threads"));
+    }
+
+    #[test]
+    fn analyze_budget_flags() {
+        let cmd = parse(&["analyze", "x.mp", "--timeout-ms", "250", "--budget-ops", "9000"])
+            .expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Analyze {
+                file: "x.mp".into(),
+                no_use: false,
+                no_alias: false,
+                parallel: false,
+                json: false,
+                gmod: None,
+                threads: None,
+                timeout_ms: Some(250),
+                budget_ops: Some(9000),
+            }
+        );
+        assert!(parse(&["analyze", "x.mp", "--timeout-ms"])
+            .unwrap_err()
+            .contains("--timeout-ms needs a value"));
+        assert!(parse(&["analyze", "x.mp", "--timeout-ms", "soon"])
+            .unwrap_err()
+            .contains("bad --timeout-ms"));
+        assert!(parse(&["analyze", "x.mp", "--budget-ops", "-3"])
+            .unwrap_err()
+            .contains("bad --budget-ops"));
     }
 
     #[test]

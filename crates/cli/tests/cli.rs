@@ -4,7 +4,11 @@ use std::io::Write as _;
 use std::process::Command;
 
 fn modref() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_modref"))
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_modref"));
+    // These tests assert exact output; keep them deterministic even when
+    // the CI fault pass arms MODREF_FAULT in the environment.
+    cmd.env_remove("MODREF_FAULT");
+    cmd
 }
 
 fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {

@@ -4,21 +4,53 @@
 //! deliberate, reviewed change to these strings.
 
 use std::path::Path;
-use std::process::Command;
+use std::process::{Command, Output};
 
 /// Runs the `modref` binary from the workspace root (so the file path in
-/// the report is the familiar relative one) and returns `(stdout, ok)`.
-fn modref(args: &[&str]) -> (String, bool) {
+/// the report is the familiar relative one). `fault` arms fault
+/// injection via `MODREF_FAULT`; `None` strips the variable so these
+/// byte-exact tests stay deterministic even when the surrounding test
+/// run has faults armed (the CI fault pass).
+fn modref_raw(args: &[&str], fault: Option<&str>) -> Output {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let out = Command::new(env!("CARGO_BIN_EXE_modref"))
-        .args(args)
-        .current_dir(&root)
-        .output()
-        .expect("modref binary runs");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_modref"));
+    cmd.args(args).current_dir(&root);
+    match fault {
+        Some(seed) => cmd.env("MODREF_FAULT", seed),
+        None => cmd.env_remove("MODREF_FAULT"),
+    };
+    cmd.output().expect("modref binary runs")
+}
+
+/// [`modref_raw`] without faults, reduced to `(stdout, ok)`.
+fn modref(args: &[&str]) -> (String, bool) {
+    let out = modref_raw(args, None);
     (
         String::from_utf8(out.stdout).expect("stdout is UTF-8"),
         out.status.success(),
     )
+}
+
+/// The process exit code (panics on signal death — a guarded run must
+/// never die to a signal).
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("modref exits, not killed")
+}
+
+/// Pulls every `"mod":[...]` array out of a `--json` report, in site
+/// order, as sorted name lists. Crude but enough for superset checks.
+fn json_mod_sets(stdout: &str) -> Vec<Vec<String>> {
+    stdout
+        .split("\"mod\":[")
+        .skip(1)
+        .map(|rest| {
+            let body = rest.split(']').next().expect("array is closed");
+            body.split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| s.trim_matches('"').to_owned())
+                .collect()
+        })
+        .collect()
 }
 
 #[test]
@@ -169,6 +201,104 @@ procedures: 4 (0 unreachable), call sites: 5, statements: 7
 variables: 2 globals, 1 locals, 2 formals (0 arrays)
 d_P = 1, μ_f = 0.50, μ_a = 0.80
 "
+    );
+}
+
+#[test]
+fn exit_code_contract() {
+    // 2: usage errors, with the usage text on stderr.
+    let out = modref_raw(&["frobnicate"], None);
+    assert_eq!(code(&out), 2);
+    let stderr = String::from_utf8(out.stderr).expect("stderr is UTF-8");
+    assert!(stderr.contains("usage:"), "usage errors print usage");
+    assert_eq!(code(&modref_raw(&["analyze"], None)), 2);
+    assert_eq!(code(&modref_raw(&["analyze", "x.mp", "--bogus"], None)), 2);
+
+    // 1: readable commands over unreadable or unparsable input.
+    assert_eq!(code(&modref_raw(&["analyze", "Cargo.toml"], None)), 1);
+    assert_eq!(code(&modref_raw(&["check", "no/such/file.mp"], None)), 1);
+
+    // 0: a clean analysis.
+    let demo = "examples/programs/demo.mp";
+    assert_eq!(code(&modref_raw(&["analyze", demo], None)), 0);
+}
+
+#[test]
+fn zero_budget_degrades_with_exit_3_and_superset_output() {
+    let demo = "examples/programs/demo.mp";
+    let exact = modref_raw(&["analyze", demo, "--json"], None);
+    assert_eq!(code(&exact), 0);
+    let degraded = modref_raw(&["analyze", demo, "--json", "--budget-ops", "0"], None);
+    assert_eq!(code(&degraded), 3, "a tripped budget exits 3");
+    let stderr = String::from_utf8(degraded.stderr.clone()).expect("stderr is UTF-8");
+    assert!(
+        stderr.contains("analysis degraded"),
+        "stderr explains the degradation: {stderr}"
+    );
+
+    // Degraded MOD sets must be supersets of the exact ones, site by
+    // site — that is the whole point of sound degradation.
+    let exact_mods = json_mod_sets(&String::from_utf8(exact.stdout).expect("UTF-8"));
+    let degraded_mods = json_mod_sets(&String::from_utf8(degraded.stdout).expect("UTF-8"));
+    assert!(!exact_mods.is_empty());
+    assert_eq!(exact_mods.len(), degraded_mods.len());
+    for (site, (e, d)) in exact_mods.iter().zip(&degraded_mods).enumerate() {
+        for name in e {
+            assert!(
+                d.contains(name),
+                "site {site}: degraded MOD dropped `{name}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn timeout_flag_keeps_exact_output_when_generous() {
+    // A deadline nobody hits must not change a byte of the report.
+    let demo = "examples/programs/demo.mp";
+    let (plain, ok) = modref(&["analyze", demo]);
+    assert!(ok);
+    let timed = modref_raw(&["analyze", demo, "--timeout-ms", "60000"], None);
+    assert_eq!(code(&timed), 0);
+    assert_eq!(
+        String::from_utf8(timed.stdout).expect("UTF-8"),
+        plain,
+        "an untripped deadline is invisible"
+    );
+}
+
+#[test]
+fn injected_faults_degrade_or_pass_but_never_crash() {
+    // Fault injection may panic inside phases (contained), stall, or
+    // exhaust the budget — but the process must always exit 0 or 3
+    // with a well-formed report, at any thread count.
+    let demo = "examples/programs/demo.mp";
+    let exact_mods = {
+        let out = modref_raw(&["analyze", demo, "--json"], None);
+        json_mod_sets(&String::from_utf8(out.stdout).expect("UTF-8"))
+    };
+    let mut degraded_seen = false;
+    for seed in ["1", "2", "3", "4", "5"] {
+        for threads in ["1", "4"] {
+            let out = modref_raw(
+                &["analyze", demo, "--json", "--threads", threads],
+                Some(seed),
+            );
+            let c = code(&out);
+            assert!(c == 0 || c == 3, "seed {seed} t{threads}: exit {c}");
+            degraded_seen |= c == 3;
+            let mods = json_mod_sets(&String::from_utf8(out.stdout).expect("UTF-8"));
+            assert_eq!(mods.len(), exact_mods.len(), "report stays well-formed");
+            for (site, (e, d)) in exact_mods.iter().zip(&mods).enumerate() {
+                for name in e {
+                    assert!(d.contains(name), "seed {seed}: site {site} lost `{name}`");
+                }
+            }
+        }
+    }
+    assert!(
+        degraded_seen,
+        "at least one seed in 1..=5 must trip a degradation"
     );
 }
 

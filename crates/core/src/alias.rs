@@ -20,6 +20,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use modref_bitset::BitSet;
+use modref_guard::{Guard, Interrupt};
 use modref_ir::{Actual, ProcId, Program, VarId};
 
 /// The alias pairs of every procedure.
@@ -61,6 +62,21 @@ impl AliasPairs {
     /// bounded by `|V|²` per procedure (in practice tiny — "programs with
     /// complex aliasing patterns are difficult to write", §5).
     pub fn compute(program: &Program) -> Self {
+        Self::compute_guarded(program, &Guard::unlimited())
+            .expect("an unlimited guard cannot interrupt the solver")
+    }
+
+    /// [`AliasPairs::compute`] under a cooperative [`Guard`]: the worklist
+    /// loop polls the guard every few dozen popped sites and charges one
+    /// boolean step per site processed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the guard's [`Interrupt`] if a deadline, budget, or
+    /// cancellation trips before the fixpoint; the partial relation is
+    /// discarded.
+    pub fn compute_guarded(program: &Program, guard: &Guard) -> Result<Self, Interrupt> {
+        guard.checkpoint("alias")?;
         let mut result = AliasPairs {
             partners: vec![HashMap::new(); program.num_procs()],
             keys: vec![BitSet::new(program.num_vars()); program.num_procs()],
@@ -75,7 +91,13 @@ impl AliasPairs {
 
         let mut queue: VecDeque<usize> = (0..program.num_sites()).collect();
         let mut queued = vec![true; program.num_sites()];
+        let mut popped: u64 = 0;
         while let Some(site_idx) = queue.pop_front() {
+            popped += 1;
+            if popped % 64 == 0 {
+                guard.charge(0, 64);
+                guard.check()?;
+            }
             queued[site_idx] = false;
             let site = program.site(modref_ir::CallSiteId::new(site_idx));
             let caller = site.caller();
@@ -135,7 +157,9 @@ impl AliasPairs {
                 }
             }
         }
-        result
+        guard.charge(0, popped % 64);
+        guard.check()?;
+        Ok(result)
     }
 
     /// `true` if `⟨a, b⟩ ∈ ALIAS(p)`. Irreflexive: `are_aliased(p, v, v)`

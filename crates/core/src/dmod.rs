@@ -8,6 +8,7 @@
 //! `DMOD(s) = LMOD(s) ∪ ⋃_{e ∈ s} b_e(GMOD(callee(e)))`.
 
 use modref_bitset::{BitSet, OpCounter};
+use modref_guard::{Guard, Interrupt};
 use modref_ir::{Actual, CallSiteId, Program, Stmt};
 
 /// Per-call-site direct side-effect sets (`DMOD` or `DUSE`).
@@ -56,7 +57,30 @@ pub fn compute_dmod_pooled(
     gmod: &[BitSet],
     pool: &modref_par::ThreadPool,
 ) -> DmodSolution {
+    compute_dmod_guarded(program, gmod, pool, &Guard::unlimited())
+        .expect("an unlimited guard cannot interrupt the solver")
+}
+
+/// [`compute_dmod_pooled`] under a cooperative [`Guard`]: the per-site
+/// fan-out polls the guard between sites (and between chunks on the pool),
+/// charging one bit-vector step per projected site.
+///
+/// # Errors
+///
+/// Returns the guard's [`Interrupt`] if a deadline, budget, or
+/// cancellation trips mid-projection; partial per-site sets are discarded.
+///
+/// # Panics
+///
+/// Panics if `gmod.len() != program.num_procs()`.
+pub fn compute_dmod_guarded(
+    program: &Program,
+    gmod: &[BitSet],
+    pool: &modref_par::ThreadPool,
+    guard: &Guard,
+) -> Result<DmodSolution, Interrupt> {
     assert_eq!(gmod.len(), program.num_procs(), "one GMOD per procedure");
+    guard.checkpoint("dmod")?;
     let mut stats = OpCounter::new();
     stats.edges_visited += program.num_sites() as u64;
     stats.bitvec_steps += program.num_sites() as u64;
@@ -64,19 +88,39 @@ pub fn compute_dmod_pooled(
     let per_site = if pool.is_sequential() {
         let mut v = Vec::with_capacity(program.num_sites());
         for s in program.sites() {
+            if s.index() % 64 == 0 {
+                guard.charge(64.min(program.num_sites() - s.index()) as u64, 0);
+                guard.check()?;
+            }
             let callee = program.site(s).callee();
             v.push(project_site(program, s, &gmod[callee.index()]));
         }
         v
     } else {
-        pool.par_map(program.num_sites(), |i| {
+        let slots = pool.par_map_while(program.num_sites(), || !guard.should_stop(), |i| {
+            if i % 64 == 0 {
+                guard.charge(64.min(program.num_sites() - i) as u64, 0);
+                let _ = guard.check();
+            }
             let s = CallSiteId::new(i);
             let callee = program.site(s).callee();
             project_site(program, s, &gmod[callee.index()])
-        })
+        });
+        let mut v = Vec::with_capacity(slots.len());
+        for slot in slots {
+            match slot {
+                Some(set) => v.push(set),
+                None => {
+                    guard.check()?;
+                    return Err(guard.interrupt().unwrap_or(Interrupt::Halted));
+                }
+            }
+        }
+        v
     };
+    guard.check()?;
 
-    DmodSolution { per_site, stats }
+    Ok(DmodSolution { per_site, stats })
 }
 
 /// `b_e(callee_set)` for one call site: survivors map to themselves,
@@ -149,6 +193,24 @@ pub fn duse_of_stmt(program: &Program, stmt: &Stmt, duse_sites: &[BitSet]) -> Bi
 }
 
 impl DmodSolution {
+    /// The degraded-path fallback: projects already-reported (possibly
+    /// over-approximated) `GMOD` sets through every site binding, with no
+    /// guard — bounded linear work. Sound because [`project_site`] is
+    /// monotone: a superset `GMOD` input yields a superset projection.
+    pub(crate) fn conservative(program: &Program, gmod: &[BitSet]) -> Self {
+        let per_site = program
+            .sites()
+            .map(|s| {
+                let callee = program.site(s).callee();
+                project_site(program, s, &gmod[callee.index()])
+            })
+            .collect();
+        DmodSolution {
+            per_site,
+            stats: OpCounter::new(),
+        }
+    }
+
     /// All-empty per-site sets (used when a half of the problem is
     /// disabled).
     pub(crate) fn empty_impl(program: &Program) -> Self {

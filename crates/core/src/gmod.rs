@@ -22,7 +22,10 @@
 
 use modref_bitset::{BitMatrix, BitSet, OpCounter};
 use modref_graph::DiGraph;
+use modref_guard::{Guard, Interrupt};
 use modref_ir::{ProcId, Program};
+
+use crate::meter::Meter;
 
 /// The `GMOD` (or `GUSE`) sets of every procedure, with work counters.
 #[derive(Debug, Clone)]
@@ -114,8 +117,23 @@ pub fn solve_gmod_one_level(
     seeds: &[BitSet],
     locals: &[BitSet],
 ) -> GmodSolution {
+    solve_gmod_one_level_guarded(program, call_graph, seeds, locals, &Guard::unlimited())
+        .expect("an unlimited guard cannot interrupt the solver")
+}
+
+/// [`solve_gmod_one_level`] under a cooperative [`Guard`]: polls at the
+/// `"gmod"` entry checkpoint and at traversal strides, charging bit-vector
+/// steps against the budget.
+pub fn solve_gmod_one_level_guarded(
+    program: &Program,
+    call_graph: &DiGraph,
+    seeds: &[BitSet],
+    locals: &[BitSet],
+    guard: &Guard,
+) -> Result<GmodSolution, Interrupt> {
     assert_eq!(seeds.len(), program.num_procs(), "one seed per procedure");
     assert_eq!(locals.len(), program.num_procs(), "one LOCAL per procedure");
+    guard.checkpoint("gmod")?;
     findgmod(
         call_graph,
         program.num_vars(),
@@ -123,6 +141,7 @@ pub fn solve_gmod_one_level(
         locals,
         |_| true,
         &ClosureFilter::NotLocalOfRoot,
+        guard,
     )
 }
 
@@ -140,9 +159,11 @@ pub(crate) fn findgmod(
     locals: &[BitSet],
     edge_enabled: impl Fn(usize) -> bool,
     closure: &ClosureFilter,
-) -> GmodSolution {
+    guard: &Guard,
+) -> Result<GmodSolution, Interrupt> {
     let n = graph.num_nodes();
     let mut stats = OpCounter::new();
+    let mut meter = Meter::new(256);
 
     const UNVISITED: usize = usize::MAX;
     let mut dfn = vec![UNVISITED; n];
@@ -172,6 +193,7 @@ pub(crate) fn findgmod(
         frames.push((root, 0));
 
         while let Some(&mut (p, ref mut cursor)) = frames.last_mut() {
+            meter.tick(guard, &stats)?;
             let succs = graph.successors_slice(p);
             if *cursor < succs.len() {
                 let (q, edge_id) = succs[*cursor];
@@ -234,8 +256,9 @@ pub(crate) fn findgmod(
         }
     }
 
+    meter.settle(guard, &stats)?;
     let sets = (0..n).map(|p| gmod.row_to_set(p)).collect();
-    GmodSolution::new(sets, stats)
+    Ok(GmodSolution::new(sets, stats))
 }
 
 #[cfg(test)]

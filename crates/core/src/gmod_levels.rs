@@ -34,6 +34,7 @@
 
 use modref_bitset::{BitMatrix, BitSet, OpCounter};
 use modref_graph::{tarjan, Condensation, DiGraph};
+use modref_guard::{Guard, Interrupt};
 use modref_ir::Program;
 use modref_par::ThreadPool;
 
@@ -56,19 +57,44 @@ pub fn solve_gmod_levels(
     locals: &[BitSet],
     pool: &ThreadPool,
 ) -> GmodSolution {
+    solve_gmod_levels_guarded(program, call_graph, seeds, locals, pool, &Guard::unlimited())
+        .expect("an unlimited guard cannot interrupt the solver")
+}
+
+/// [`solve_gmod_levels`] under a cooperative [`Guard`]: checkpoint
+/// `"gmod"` at entry, a budget charge plus poll between condensation
+/// levels, and pool workers that drop out between chunks once the guard
+/// trips — cancellation drains the level fan-out promptly.
+pub fn solve_gmod_levels_guarded(
+    program: &Program,
+    call_graph: &DiGraph,
+    seeds: &[BitSet],
+    locals: &[BitSet],
+    pool: &ThreadPool,
+    guard: &Guard,
+) -> Result<GmodSolution, Interrupt> {
     assert_eq!(seeds.len(), program.num_procs(), "one seed per procedure");
     assert_eq!(locals.len(), program.num_procs(), "one LOCAL per procedure");
+    guard.checkpoint("gmod")?;
     let n = call_graph.num_nodes();
     let mut stats = OpCounter::new();
     if n == 0 {
-        return GmodSolution::new(seeds.to_vec(), stats);
+        return Ok(GmodSolution::new(seeds.to_vec(), stats));
     }
     let dp = program.max_level() as usize;
     if dp <= 1 {
         // Two-level scoping: equation (4) over the whole multi-graph is
         // the single problem, and its LFP is what Figure 2 computes.
-        let sets = solve_problem(call_graph, program.num_vars(), seeds, locals, pool, &mut stats);
-        return GmodSolution::new(sets, stats);
+        let sets = solve_problem(
+            call_graph,
+            program.num_vars(),
+            seeds,
+            locals,
+            pool,
+            &mut stats,
+            guard,
+        )?;
+        return Ok(GmodSolution::new(sets, stats));
     }
 
     // Problem i keeps only edges into procedures at level ≥ i (§4's
@@ -80,23 +106,37 @@ pub fn solve_gmod_levels(
         .collect();
     let mut total: Vec<BitSet> = seeds.to_vec();
     for i in 1..=dp {
+        guard.check()?;
         let mut restricted = DiGraph::new(n);
         for (e, &lv) in call_graph.edges().zip(&callee_level) {
             if lv >= i {
                 restricted.add_edge(e.from, e.to);
             }
         }
-        let sets = solve_problem(&restricted, program.num_vars(), seeds, locals, pool, &mut stats);
+        let sets = solve_problem(
+            &restricted,
+            program.num_vars(),
+            seeds,
+            locals,
+            pool,
+            &mut stats,
+            guard,
+        )?;
+        let mut union_steps = 0u64;
         for (acc, s) in total.iter_mut().zip(&sets) {
             acc.union_with(s);
-            stats.bitvec_steps += 1;
+            union_steps += 1;
         }
+        stats.bitvec_steps += union_steps;
+        guard.charge(union_steps, 0);
     }
-    GmodSolution::new(total, stats)
+    guard.check()?;
+    Ok(GmodSolution::new(total, stats))
 }
 
 /// The LFP of `G(u) = seeds(u) ∪ ⋃_{(u,q)∈graph} (G(q) ∖ locals(q))`,
 /// computed level-parallel over the condensation of `graph`.
+#[allow(clippy::too_many_arguments)]
 fn solve_problem(
     graph: &DiGraph,
     num_vars: usize,
@@ -104,7 +144,8 @@ fn solve_problem(
     locals: &[BitSet],
     pool: &ThreadPool,
     stats: &mut OpCounter,
-) -> Vec<BitSet> {
+    guard: &Guard,
+) -> Result<Vec<BitSet>, Interrupt> {
     let n = graph.num_nodes();
     let sccs = tarjan(graph);
     let cond = Condensation::build(graph, &sccs);
@@ -124,23 +165,40 @@ fn solve_problem(
         let group = levels.group(level);
         // Components of one level are pairwise independent: each task
         // writes only its own members' rows (returned by value and stored
-        // below) and reads only rows finalised at lower levels.
+        // below) and reads only rows finalised at lower levels. Workers
+        // leave the fan-out between chunks once the guard trips.
         let results = {
             let g_final = &g;
-            pool.par_map(group.len(), |k| {
-                solve_component(
-                    group[k], graph, &sccs, comp_map, &comp_pos, seeds, locals, g_final, num_vars,
-                )
-            })
+            pool.par_map_while(
+                group.len(),
+                || !guard.should_stop(),
+                |k| {
+                    if k % 64 == 0 {
+                        let _ = guard.check();
+                    }
+                    solve_component(
+                        group[k], graph, &sccs, comp_map, &comp_pos, seeds, locals, g_final,
+                        num_vars, guard,
+                    )
+                },
+            )
         };
-        for ((sets, counter), &c) in results.into_iter().zip(group) {
-            *stats += counter;
+        let mut level_work = OpCounter::new();
+        for (slot, &c) in results.into_iter().zip(group) {
+            let Some((sets, counter)) = slot else {
+                guard.check()?;
+                return Err(guard.interrupt().unwrap_or(Interrupt::Halted));
+            };
+            level_work += counter;
             for (set, &u) in sets.into_iter().zip(sccs.members(c)) {
                 g[u] = set;
             }
         }
+        *stats += level_work;
+        guard.charge(level_work.bitvec_steps, level_work.bool_steps);
+        guard.check()?;
     }
-    g
+    Ok(g)
 }
 
 /// One component's closed fixpoint: base sets from finalised successor
@@ -156,6 +214,7 @@ fn solve_component(
     locals: &[BitSet],
     g_final: &[BitSet],
     num_vars: usize,
+    guard: &Guard,
 ) -> (Vec<BitSet>, OpCounter) {
     let members = sccs.members(c);
     let mut counter = OpCounter::new();
@@ -195,6 +254,13 @@ fn solve_component(
         m.or_row_with_set(k, &base);
     }
     loop {
+        // A tripped guard abandons the fixpoint mid-way; the caller
+        // observes the trip and discards these partial rows. The direct
+        // poll also converts a passed deadline into a trip while every
+        // pool thread is busy inside component solves.
+        if guard.should_stop() || guard.check().is_err() {
+            break;
+        }
         let mut changed = false;
         for &(kf, kt, q) in &internal {
             changed |= m.or_rows_minus(kf, kt, &locals[q]);

@@ -25,9 +25,11 @@
 
 use modref_bitset::{BitMatrix, BitSet, OpCounter};
 use modref_graph::DiGraph;
+use modref_guard::{Guard, Interrupt};
 use modref_ir::Program;
 
 use crate::gmod::{findgmod, ClosureFilter, GmodSolution};
+use crate::meter::Meter;
 
 /// The set of variables declared at levels `< i`, for `i` in `0..=d_P`
 /// (`level_lt[0]` is empty; `level_lt[1]` is the true globals plus main's
@@ -58,8 +60,22 @@ pub fn solve_gmod_multi_naive(
     seeds: &[BitSet],
     locals: &[BitSet],
 ) -> GmodSolution {
+    solve_gmod_multi_naive_guarded(program, call_graph, seeds, locals, &Guard::unlimited())
+        .expect("an unlimited guard cannot interrupt the solver")
+}
+
+/// [`solve_gmod_multi_naive`] under a cooperative [`Guard`] (checkpoint
+/// `"gmod"`, strides inside each per-level Figure 2 run).
+pub fn solve_gmod_multi_naive_guarded(
+    program: &Program,
+    call_graph: &DiGraph,
+    seeds: &[BitSet],
+    locals: &[BitSet],
+    guard: &Guard,
+) -> Result<GmodSolution, Interrupt> {
     assert_eq!(seeds.len(), program.num_procs(), "one seed per procedure");
     assert_eq!(locals.len(), program.num_procs(), "one LOCAL per procedure");
+    guard.checkpoint("gmod")?;
     let dp = program.max_level() as usize;
     let masks = level_masks(program);
     let callee_level: Vec<usize> = call_graph
@@ -68,6 +84,10 @@ pub fn solve_gmod_multi_naive(
         .collect();
 
     let mut total_stats = OpCounter::new();
+    // The per-level Figure 2 runs charge their own work through `guard`;
+    // this meter covers only the union sweep, so nothing is double-billed.
+    let mut union_work = OpCounter::new();
+    let mut meter = Meter::new(64);
     let mut union_sets: Vec<BitSet> = seeds.to_vec();
     #[allow(clippy::needless_range_loop)] // `i` is the problem number, not just an index
     for i in 1..=dp {
@@ -78,15 +98,19 @@ pub fn solve_gmod_multi_naive(
             locals,
             |e| callee_level[e] >= i,
             &ClosureFilter::Mask(masks[i].clone()),
-        );
+            guard,
+        )?;
         let (sets, stats) = sol.into_parts();
         total_stats += stats;
         for (acc, s) in union_sets.iter_mut().zip(&sets) {
             acc.union_with(s);
             total_stats.bitvec_steps += 1;
+            union_work.bitvec_steps += 1;
+            meter.tick(guard, &union_work)?;
         }
     }
-    GmodSolution::new(union_sets, total_stats)
+    meter.settle(guard, &union_work)?;
+    Ok(GmodSolution::new(union_sets, total_stats))
 }
 
 /// Exact nested `GMOD` in a single depth-first pass with lowlink *vectors*
@@ -110,14 +134,29 @@ pub fn solve_gmod_multi_fused(
     seeds: &[BitSet],
     locals: &[BitSet],
 ) -> GmodSolution {
+    solve_gmod_multi_fused_guarded(program, call_graph, seeds, locals, &Guard::unlimited())
+        .expect("an unlimited guard cannot interrupt the solver")
+}
+
+/// [`solve_gmod_multi_fused`] under a cooperative [`Guard`] (checkpoint
+/// `"gmod"`, strides in the single depth-first pass).
+pub fn solve_gmod_multi_fused_guarded(
+    program: &Program,
+    call_graph: &DiGraph,
+    seeds: &[BitSet],
+    locals: &[BitSet],
+    guard: &Guard,
+) -> Result<GmodSolution, Interrupt> {
     assert_eq!(seeds.len(), program.num_procs(), "one seed per procedure");
     assert_eq!(locals.len(), program.num_procs(), "one LOCAL per procedure");
+    guard.checkpoint("gmod")?;
     let n = call_graph.num_nodes();
     let dp = program.max_level() as usize;
     let mut stats = OpCounter::new();
+    let mut meter = Meter::new(256);
     if dp == 0 || n == 0 {
         // Only main exists (or nothing): GMOD = IMOD⁺.
-        return GmodSolution::new(seeds.to_vec(), stats);
+        return Ok(GmodSolution::new(seeds.to_vec(), stats));
     }
     let masks = level_masks(program);
     let callee_level: Vec<usize> = call_graph
@@ -175,6 +214,7 @@ pub fn solve_gmod_multi_fused(
         frames.push((root, 0));
 
         while let Some(&mut (p, ref mut cursor)) = frames.last_mut() {
+            meter.tick(guard, &stats)?;
             let succs = call_graph.successors_slice(p);
             if *cursor < succs.len() {
                 let (q, edge_id) = succs[*cursor];
@@ -249,8 +289,9 @@ pub fn solve_gmod_multi_fused(
         }
     }
 
+    meter.settle(guard, &stats)?;
     let sets = (0..n).map(|v| gmod.row_to_set(v)).collect();
-    GmodSolution::new(sets, stats)
+    Ok(GmodSolution::new(sets, stats))
 }
 
 #[cfg(test)]

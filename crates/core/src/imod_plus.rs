@@ -8,9 +8,12 @@
 //! degenerate into the simple filter of equation (4).
 
 use modref_bitset::{BitSet, OpCounter};
+use modref_guard::{Guard, Interrupt};
 use modref_ir::{Actual, Program};
 
 use modref_binding::RmodSolution;
+
+use crate::meter::Meter;
 
 /// Computes `IMOD⁺` (or `IUSE⁺`) for every procedure.
 ///
@@ -55,14 +58,39 @@ pub fn compute_imod_plus(
     initial: &[BitSet],
     rmod: &RmodSolution,
 ) -> (Vec<BitSet>, OpCounter) {
+    compute_imod_plus_guarded(program, initial, rmod, &Guard::unlimited())
+        .expect("an unlimited guard cannot interrupt the solver")
+}
+
+/// [`compute_imod_plus`] under a cooperative [`Guard`]: the single pass
+/// over call sites polls the guard every few hundred sites and charges its
+/// boolean work against the budget.
+///
+/// # Errors
+///
+/// Returns the guard's [`Interrupt`] if a deadline, budget, or
+/// cancellation trips mid-pass; the partial result is discarded.
+///
+/// # Panics
+///
+/// Panics if `initial.len() != program.num_procs()`.
+pub fn compute_imod_plus_guarded(
+    program: &Program,
+    initial: &[BitSet],
+    rmod: &RmodSolution,
+    guard: &Guard,
+) -> Result<(Vec<BitSet>, OpCounter), Interrupt> {
     assert_eq!(
         initial.len(),
         program.num_procs(),
         "one initial set per procedure"
     );
+    guard.checkpoint("imod_plus")?;
     let mut stats = OpCounter::new();
+    let mut meter = Meter::new(256);
     let mut plus = initial.to_vec();
     for s in program.sites() {
+        meter.tick(guard, &stats)?;
         let site = program.site(s);
         let caller = site.caller();
         let callee_formals = program.proc_(site.callee()).formals();
@@ -77,7 +105,8 @@ pub fn compute_imod_plus(
             }
         }
     }
-    (plus, stats)
+    meter.settle(guard, &stats)?;
+    Ok((plus, stats))
 }
 
 #[cfg(test)]

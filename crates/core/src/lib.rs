@@ -61,13 +61,26 @@ pub mod gmod_levels;
 pub mod gmod_nested;
 pub mod imod_plus;
 pub mod incremental;
+mod meter;
 pub mod modsets;
 pub mod pipeline;
 
 pub use alias::AliasPairs;
-pub use gmod::{solve_gmod_one_level, GmodSolution};
-pub use gmod_levels::solve_gmod_levels;
-pub use gmod_nested::{solve_gmod_multi_fused, solve_gmod_multi_naive};
-pub use imod_plus::compute_imod_plus;
+pub use gmod::{solve_gmod_one_level, solve_gmod_one_level_guarded, GmodSolution};
+pub use gmod_levels::{solve_gmod_levels, solve_gmod_levels_guarded};
+pub use gmod_nested::{
+    solve_gmod_multi_fused, solve_gmod_multi_fused_guarded, solve_gmod_multi_naive,
+    solve_gmod_multi_naive_guarded,
+};
+pub use imod_plus::{compute_imod_plus, compute_imod_plus_guarded};
 pub use incremental::{Delta, EditError, IncrementalAnalyzer};
-pub use pipeline::{Analyzer, GmodAlgorithm, PhaseStats, PhaseWall, Summary};
+pub use pipeline::{
+    AnalysisOutcome, Analyzer, DegradeReason, GmodAlgorithm, Phase, PhaseMask, PhaseStats,
+    PhaseWall, Summary,
+};
+
+/// The guard machinery (budgets, deadlines, cancellation, fault
+/// injection), re-exported so downstream crates need not depend on
+/// `modref-guard` directly.
+pub use modref_guard as guard;
+pub use modref_guard::{Budget, CancelToken, FaultAction, FaultPlan, Guard, Interrupt};

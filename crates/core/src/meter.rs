@@ -1,0 +1,45 @@
+//! Stride-amortised guard polling for the core solvers.
+
+use modref_bitset::OpCounter;
+use modref_guard::{Guard, Interrupt};
+
+/// Couples a [`Strided`](modref_guard::Strided)-style tick with budget
+/// charging: every `stride`-th tick charges the `OpCounter` delta since the
+/// last charge (in the stats' own units) and polls the guard. Solvers call
+/// [`Meter::tick`] once per inner-loop iteration and [`Meter::settle`] at
+/// stage boundaries.
+pub(crate) struct Meter {
+    stride: u32,
+    count: u32,
+    last: OpCounter,
+}
+
+impl Meter {
+    pub(crate) fn new(stride: u32) -> Self {
+        Meter {
+            stride: stride.max(1),
+            count: 0,
+            last: OpCounter::new(),
+        }
+    }
+
+    /// One loop iteration; charges and polls on every `stride`-th.
+    pub(crate) fn tick(&mut self, guard: &Guard, stats: &OpCounter) -> Result<(), Interrupt> {
+        self.count += 1;
+        if self.count >= self.stride {
+            self.count = 0;
+            self.settle(guard, stats)?;
+        }
+        Ok(())
+    }
+
+    /// Charges everything accumulated since the last charge and polls.
+    /// `meets` are charged as bit-vector steps (a lattice meet is a
+    /// whole-vector-sized operation in the §6 solver).
+    pub(crate) fn settle(&mut self, guard: &Guard, stats: &OpCounter) -> Result<(), Interrupt> {
+        let d = stats.delta_since(&self.last);
+        guard.charge(d.bitvec_steps + d.meets, d.bool_steps);
+        self.last = *stats;
+        guard.check()
+    }
+}

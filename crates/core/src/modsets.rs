@@ -1,6 +1,7 @@
 //! `MOD` from `DMOD` plus aliases — §5 step (2).
 
 use modref_bitset::{BitSet, OpCounter};
+use modref_guard::{Guard, Interrupt};
 use modref_ir::{CallSiteId, Program};
 
 use crate::alias::AliasPairs;
@@ -33,6 +34,14 @@ impl ModSolution {
     pub(crate) fn into_sets(self) -> Vec<BitSet> {
         self.per_site
     }
+
+    /// Wraps already-widened per-site sets (the degraded-path fallback).
+    pub(crate) fn conservative(per_site: Vec<BitSet>) -> Self {
+        ModSolution {
+            per_site,
+            stats: OpCounter::new(),
+        }
+    }
 }
 
 /// For each call site `s` in procedure `p`:
@@ -49,23 +58,63 @@ pub fn compute_mod_pooled(
     aliases: &AliasPairs,
     pool: &modref_par::ThreadPool,
 ) -> ModSolution {
+    compute_mod_guarded(program, dmod, aliases, pool, &Guard::unlimited())
+        .expect("an unlimited guard cannot interrupt the solver")
+}
+
+/// [`compute_mod_pooled`] under a cooperative [`Guard`]: the per-site
+/// alias factoring polls the guard between sites (and between chunks on
+/// the pool), charging one bit-vector step per site.
+///
+/// # Errors
+///
+/// Returns the guard's [`Interrupt`] if a deadline, budget, or
+/// cancellation trips mid-factoring; partial per-site sets are discarded.
+pub fn compute_mod_guarded(
+    program: &Program,
+    dmod: &DmodSolution,
+    aliases: &AliasPairs,
+    pool: &modref_par::ThreadPool,
+    guard: &Guard,
+) -> Result<ModSolution, Interrupt> {
+    guard.checkpoint("modsets")?;
     let mut stats = OpCounter::new();
     stats.bitvec_steps += program.num_sites() as u64;
     let per_site = if pool.is_sequential() {
         let mut v = Vec::with_capacity(program.num_sites());
         for s in program.sites() {
+            if s.index() % 64 == 0 {
+                guard.charge(64.min(program.num_sites() - s.index()) as u64, 0);
+                guard.check()?;
+            }
             let caller = program.site(s).caller();
             v.push(aliases.extend_with_aliases(caller, dmod.dmod_site(s)));
         }
         v
     } else {
-        pool.par_map(program.num_sites(), |i| {
+        let slots = pool.par_map_while(program.num_sites(), || !guard.should_stop(), |i| {
+            if i % 64 == 0 {
+                guard.charge(64.min(program.num_sites() - i) as u64, 0);
+                let _ = guard.check();
+            }
             let s = CallSiteId::new(i);
             let caller = program.site(s).caller();
             aliases.extend_with_aliases(caller, dmod.dmod_site(s))
-        })
+        });
+        let mut v = Vec::with_capacity(slots.len());
+        for slot in slots {
+            match slot {
+                Some(set) => v.push(set),
+                None => {
+                    guard.check()?;
+                    return Err(guard.interrupt().unwrap_or(Interrupt::Halted));
+                }
+            }
+        }
+        v
     };
-    ModSolution { per_site, stats }
+    guard.check()?;
+    Ok(ModSolution { per_site, stats })
 }
 
 #[cfg(test)]

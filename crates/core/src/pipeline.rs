@@ -1,19 +1,30 @@
 //! The end-to-end analysis pipeline and its [`Summary`].
+//!
+//! Two entry points: [`Analyzer::analyze`] runs to completion (or
+//! propagates a solver panic), while [`Analyzer::analyze_guarded`] runs
+//! under a cooperative [`Guard`] and *always* returns — on a deadline,
+//! budget trip, cancellation, or contained panic it degrades phase by
+//! phase to documented conservative over-approximations that remain sound
+//! (everything observable at run time stays inside the reported sets).
+//! See `docs/ROBUSTNESS.md` for the degradation ladder and the soundness
+//! argument.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use modref_binding::{solve_rmod_pooled, BindingGraph};
+use modref_binding::{solve_rmod_guarded, BindingGraph, RmodSolution};
 use modref_bitset::{BitSet, OpCounter};
+use modref_guard::{Guard, Interrupt};
 use modref_ir::{CallGraph, CallSiteId, LocalEffects, ProcId, Program};
 use modref_par::ThreadPool;
 
 use crate::alias::AliasPairs;
-use crate::dmod::{compute_dmod_pooled, DmodSolution};
-use crate::gmod::{solve_gmod_one_level, GmodSolution};
-use crate::gmod_levels::solve_gmod_levels;
-use crate::gmod_nested::{solve_gmod_multi_fused, solve_gmod_multi_naive};
-use crate::imod_plus::compute_imod_plus;
-use crate::modsets::compute_mod_pooled;
+use crate::dmod::{compute_dmod_guarded, DmodSolution};
+use crate::gmod::{solve_gmod_one_level_guarded, GmodSolution};
+use crate::gmod_levels::solve_gmod_levels_guarded;
+use crate::gmod_nested::{solve_gmod_multi_fused_guarded, solve_gmod_multi_naive_guarded};
+use crate::imod_plus::compute_imod_plus_guarded;
+use crate::modsets::compute_mod_guarded;
 
 /// Which algorithm computes the global (`GMOD`) phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -33,6 +44,219 @@ pub enum GmodAlgorithm {
     /// algorithm that uses the thread pool *within* a half. `Auto` picks
     /// it whenever more than one thread is configured.
     LevelScheduled,
+}
+
+/// The pipeline phases, in execution order. [`Analyzer::analyze_guarded`]
+/// reports which ones completed exactly and which fell back.
+///
+/// Each phase's name (see [`Phase::name`]) doubles as its fault-injection
+/// checkpoint site for [`modref_guard::FaultPlan`], except that the two
+/// halves of a Figure 1 / equation (5) / Figure 2 problem share one site
+/// (`"rmod"`, `"imod_plus"`, `"gmod"`): the `USE` half runs the same
+/// solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// §3.3 local `IMOD`/`IUSE` collection.
+    Local,
+    /// Figure 1 `RMOD`.
+    Rmod,
+    /// Figure 1 `RUSE`.
+    Ruse,
+    /// Equation (5) `IMOD⁺`.
+    ImodPlus,
+    /// Equation (5) `IUSE⁺`.
+    IusePlus,
+    /// Figure 2 (or multi-level) `GMOD`.
+    Gmod,
+    /// Figure 2 (or multi-level) `GUSE`.
+    Guse,
+    /// Equation (2) per-site projection, both halves.
+    Dmod,
+    /// Banning alias pairs.
+    Aliases,
+    /// §5 step (2) alias factoring, both halves.
+    ModSets,
+}
+
+impl Phase {
+    /// Every phase, in execution order.
+    pub const ALL: [Phase; 10] = [
+        Phase::Local,
+        Phase::Rmod,
+        Phase::Ruse,
+        Phase::ImodPlus,
+        Phase::IusePlus,
+        Phase::Gmod,
+        Phase::Guse,
+        Phase::Dmod,
+        Phase::Aliases,
+        Phase::ModSets,
+    ];
+
+    /// A stable lowercase name, also used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Local => "local",
+            Phase::Rmod => "rmod",
+            Phase::Ruse => "ruse",
+            Phase::ImodPlus => "imod_plus",
+            Phase::IusePlus => "iuse_plus",
+            Phase::Gmod => "gmod",
+            Phase::Guse => "guse",
+            Phase::Dmod => "dmod",
+            Phase::Aliases => "alias",
+            Phase::ModSets => "modsets",
+        }
+    }
+
+    fn bit(self) -> u16 {
+        1 << (self as u16)
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A small set of [`Phase`]s; [`PhaseStats::cut`] uses it to report which
+/// phases fell back to their conservative approximation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseMask(u16);
+
+impl PhaseMask {
+    /// `true` if no phase is in the set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` if `phase` is in the set.
+    pub fn contains(self, phase: Phase) -> bool {
+        self.0 & phase.bit() != 0
+    }
+
+    /// The members, in execution order.
+    pub fn iter(self) -> impl Iterator<Item = Phase> {
+        Phase::ALL.into_iter().filter(move |p| self.contains(*p))
+    }
+
+    fn insert(&mut self, phase: Phase) {
+        self.0 |= phase.bit();
+    }
+}
+
+/// Why a guarded run degraded.
+#[derive(Debug, Clone)]
+pub enum DegradeReason {
+    /// The guard tripped: deadline, a budget, or cancellation.
+    Interrupted(Interrupt),
+    /// A phase panicked; the runtime contained it and fell back.
+    Panic {
+        /// The first phase whose solver panicked.
+        phase: Phase,
+        /// The rendered panic payload.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradeReason::Interrupted(i) => write!(f, "{i}"),
+            DegradeReason::Panic { phase, message } => {
+                write!(f, "panic in the {phase} phase: {message}")
+            }
+        }
+    }
+}
+
+/// The result of [`Analyzer::analyze_guarded`].
+#[derive(Debug, Clone)]
+pub enum AnalysisOutcome {
+    /// Every phase ran to completion; the summary is exact — bit-identical
+    /// to what [`Analyzer::analyze`] returns.
+    Clean(Summary),
+    /// At least one phase was cut short. The summary is still *sound*
+    /// (every reported set contains the corresponding exact set) but
+    /// over-approximate: cut phases fall back to the documented
+    /// conservative ladder, and later phases consume the reported —
+    /// possibly widened — inputs.
+    Degraded {
+        /// The sound over-approximate summary.
+        summary: Summary,
+        /// The primary cause. A tripped guard wins over contained panics
+        /// (the trip is what cascaded); with no trip, the first panic.
+        reason: DegradeReason,
+        /// Phases that ran to completion on their real inputs, in
+        /// execution order. Phases the configuration skips
+        /// ([`Analyzer::without_use`], [`Analyzer::without_aliases`]) are
+        /// not listed.
+        completed_phases: Vec<Phase>,
+    },
+}
+
+impl AnalysisOutcome {
+    /// The summary, exact or degraded.
+    pub fn summary(&self) -> &Summary {
+        match self {
+            AnalysisOutcome::Clean(s) | AnalysisOutcome::Degraded { summary: s, .. } => s,
+        }
+    }
+
+    /// Consumes the outcome, keeping the summary.
+    pub fn into_summary(self) -> Summary {
+        match self {
+            AnalysisOutcome::Clean(s) | AnalysisOutcome::Degraded { summary: s, .. } => s,
+        }
+    }
+
+    /// `true` for [`AnalysisOutcome::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, AnalysisOutcome::Degraded { .. })
+    }
+}
+
+/// One phase that did not complete exactly: either the guard interrupted
+/// it (`panic: None`) or it panicked (`panic: Some(message)`).
+struct Failure {
+    phase: Phase,
+    panic: Option<String>,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one phase attempt under `catch_unwind`; on an interrupt or a
+/// contained panic, records the failure and computes the fallback (timed
+/// into `fallback_wall`). The fallback path never consults the guard, so
+/// a degraded run always terminates with bounded linear work.
+fn run_phase<T>(
+    phase: Phase,
+    failures: &mut Vec<Failure>,
+    fallback_wall: &mut Duration,
+    attempt: impl FnOnce() -> Result<T, Interrupt>,
+    fallback: impl FnOnce() -> T,
+) -> T {
+    let fall = |failures: &mut Vec<Failure>, panic: Option<String>| {
+        failures.push(Failure { phase, panic });
+        let t = Instant::now();
+        let value = fallback();
+        *fallback_wall += t.elapsed();
+        value
+    };
+    match catch_unwind(AssertUnwindSafe(attempt)) {
+        Ok(Ok(value)) => value,
+        Ok(Err(_interrupt)) => fall(failures, None),
+        Err(payload) => fall(failures, Some(panic_message(payload.as_ref()))),
+    }
 }
 
 /// Configures and runs the analysis.
@@ -97,14 +321,56 @@ impl Analyzer {
     }
 
     /// Runs the full pipeline on a validated program.
+    ///
+    /// Equivalent to [`Analyzer::analyze_guarded`] with an unlimited
+    /// [`Guard`]: nothing can interrupt the run, and a solver panic —
+    /// which the guarded runtime would contain — is re-raised.
     pub fn analyze(&self, program: &Program) -> Summary {
+        match self.analyze_guarded(program, &Guard::unlimited()) {
+            AnalysisOutcome::Clean(summary) => summary,
+            AnalysisOutcome::Degraded { reason, .. } => {
+                // An unlimited guard never trips, so the only possible
+                // degradation is a contained panic; the ungated API keeps
+                // its pre-guard contract and propagates it.
+                panic!("analysis failed: {reason}")
+            }
+        }
+    }
+
+    /// Runs the full pipeline under a cooperative [`Guard`] and always
+    /// returns.
+    ///
+    /// Every solver polls the guard at phase boundaries and on
+    /// inner-loop strides, charging its work (in the paper's cost units)
+    /// against the guard's [`Budget`](modref_guard::Budget). When a phase
+    /// is interrupted — deadline, budget, cancellation — or panics (each
+    /// phase runs under `catch_unwind`), that phase falls back to a
+    /// conservative over-approximation and the pipeline continues;
+    /// every later phase consumes the *reported* (possibly widened)
+    /// inputs, so the final summary stays sound: each reported set
+    /// contains the exact one. Once the guard has tripped, every
+    /// remaining guarded phase fails fast at its entry checkpoint, so a
+    /// tripped run finishes with bounded linear fallback work.
+    pub fn analyze_guarded(&self, program: &Program, guard: &Guard) -> AnalysisOutcome {
         let started = Instant::now();
         let mut stats = PhaseStats::default();
         let pool = ThreadPool::with_threads(self.threads);
+        let mut failures: Vec<Failure> = Vec::new();
 
-        // Phase 0: local sets and shared structures.
+        // Phase 0: local sets and shared structures. The graphs are
+        // unguarded: they are single linear passes the fallbacks
+        // themselves would need.
         let t = Instant::now();
-        let effects = LocalEffects::compute_pooled(program, &pool);
+        let effects = run_phase(
+            Phase::Local,
+            &mut failures,
+            &mut stats.wall.fallback,
+            || {
+                guard.checkpoint("local")?;
+                Ok(LocalEffects::compute_pooled(program, &pool))
+            },
+            || LocalEffects::conservative(program),
+        );
         stats.wall.local += t.elapsed();
         let call_graph = CallGraph::build(program);
         let beta = BindingGraph::build(program);
@@ -114,9 +380,11 @@ impl Analyzer {
         // immutable inputs, so with `parallel()` (or a multi-thread pool)
         // the USE half runs on its own thread while the MOD half uses the
         // current one; pool jobs from the two halves serialise on the
-        // pool's submit lock.
+        // pool's submit lock. The halves share `guard`, so one half's
+        // budget trip also stops the other at its next poll.
         let run_half = |initial: &[BitSet], is_mod: bool| {
             let mut half_stats = PhaseStats::default();
+            let mut half_failures = Vec::new();
             let r = self.half_pipeline(
                 program,
                 &call_graph,
@@ -126,8 +394,10 @@ impl Analyzer {
                 &pool,
                 &mut half_stats,
                 is_mod,
+                guard,
+                &mut half_failures,
             );
-            (r, half_stats)
+            (r, half_stats, half_failures)
         };
         let halves_concurrent = self.parallel || pool.threads() > 1;
         let (mod_half, use_half) = if self.skip_use {
@@ -138,6 +408,8 @@ impl Analyzer {
                 let mod_result = run_half(effects.imod_all(), true);
                 (
                     mod_result,
+                    // Phase panics are contained *inside* the half; a
+                    // panic escaping the half thread is a runtime bug.
                     Some(use_thread.join().expect("USE half must not panic")),
                 )
             })
@@ -147,17 +419,19 @@ impl Analyzer {
                 Some(run_half(effects.iuse_all(), false)),
             )
         };
-        let ((gmod, imod_plus, rmod), mod_stats) = mod_half;
+        let ((gmod, imod_plus, rmod), mod_stats, mod_failures) = mod_half;
         stats.rmod += mod_stats.rmod;
         stats.gmod += mod_stats.gmod;
         stats.imod_plus += mod_stats.imod_plus;
         stats.wall.absorb(&mod_stats.wall);
+        failures.extend(mod_failures);
         let (guse, iuse_plus, ruse) = match use_half {
-            Some(((g, i, r), use_stats)) => {
+            Some(((g, i, r), use_stats, use_failures)) => {
                 stats.ruse += use_stats.ruse;
                 stats.guse += use_stats.guse;
                 stats.imod_plus += use_stats.imod_plus;
                 stats.wall.absorb(&use_stats.wall);
+                failures.extend(use_failures);
                 (g, i, r)
             }
             None => {
@@ -166,36 +440,101 @@ impl Analyzer {
             }
         };
 
-        // Phase 4: per-site projection.
+        // Phase 4: per-site projection — of the *reported* GMOD/GUSE, so
+        // an earlier fallback flows through soundly (projection is
+        // monotone), and the fallback here projects the same inputs
+        // without a guard.
         let t = Instant::now();
-        let dmod = compute_dmod_pooled(program, &gmod, &pool);
+        let dmod = run_phase(
+            Phase::Dmod,
+            &mut failures,
+            &mut stats.wall.fallback,
+            || compute_dmod_guarded(program, &gmod, &pool, guard),
+            || DmodSolution::conservative(program, &gmod),
+        );
         stats.dmod += dmod.stats();
         let duse = if self.skip_use {
             DmodSolution::empty(program)
         } else {
-            let d = compute_dmod_pooled(program, &guse, &pool);
+            let d = run_phase(
+                Phase::Dmod,
+                &mut failures,
+                &mut stats.wall.fallback,
+                || compute_dmod_guarded(program, &guse, &pool, guard),
+                || DmodSolution::conservative(program, &guse),
+            );
             stats.dmod += d.stats();
             d
         };
         stats.wall.dmod += t.elapsed();
 
-        // Phase 5: aliases.
+        // Phase 5: aliases and factoring. An interrupted alias phase has
+        // no cheap over-approximate relation (top is quadratic), so the
+        // factoring below compensates by widening the final sets instead.
         let t = Instant::now();
         let aliases = if self.skip_aliases {
             AliasPairs::compute_empty(program)
         } else {
-            AliasPairs::compute(program)
+            run_phase(
+                Phase::Aliases,
+                &mut failures,
+                &mut stats.wall.fallback,
+                || AliasPairs::compute_guarded(program, guard),
+                || AliasPairs::compute_empty(program),
+            )
         };
+        let aliases_cut =
+            !self.skip_aliases && failures.iter().any(|f| f.phase == Phase::Aliases);
         stats.wall.aliases += t.elapsed();
         let t = Instant::now();
-        let mods = compute_mod_pooled(program, &dmod, &aliases, &pool);
+        let conservative_sites = |skip: bool| {
+            if skip {
+                vec![BitSet::new(program.num_vars()); program.num_sites()]
+            } else {
+                let visible = program.visible_sets();
+                program
+                    .sites()
+                    .map(|s| visible[program.site(s).caller().index()].clone())
+                    .collect()
+            }
+        };
+        let mods = run_phase(
+            Phase::ModSets,
+            &mut failures,
+            &mut stats.wall.fallback,
+            || compute_mod_guarded(program, &dmod, &aliases, &pool, guard),
+            || crate::modsets::ModSolution::conservative(conservative_sites(false)),
+        );
         stats.modsets += mods.stats();
-        let uses = compute_mod_pooled(program, &duse, &aliases, &pool);
+        let uses = run_phase(
+            Phase::ModSets,
+            &mut failures,
+            &mut stats.wall.fallback,
+            || compute_mod_guarded(program, &duse, &aliases, &pool, guard),
+            || crate::modsets::ModSolution::conservative(conservative_sites(self.skip_use)),
+        );
         stats.modsets += uses.stats();
         stats.wall.modsets += t.elapsed();
+
+        let mut mod_sites = mods.into_sets();
+        let mut use_sites = uses.into_sets();
+        if aliases_cut {
+            // Factoring against an *empty* alias relation would
+            // under-approximate; widen the final sets to the caller's
+            // visible set, which contains any alias partner the exact
+            // relation could contribute.
+            mod_sites = conservative_sites(false);
+            use_sites = conservative_sites(self.skip_use);
+        }
         stats.wall.total = started.elapsed();
 
-        Summary {
+        let mut cut = PhaseMask::default();
+        for f in &failures {
+            cut.insert(f.phase);
+        }
+        stats.cut = cut;
+
+        let summary = Summary {
             effects,
             rmod,
             ruse,
@@ -205,16 +544,47 @@ impl Analyzer {
             guse,
             dmod_sites: dmod.all().to_vec(),
             duse_sites: duse.all().to_vec(),
-            mod_sites: mods.into_sets(),
-            use_sites: uses.into_sets(),
+            mod_sites,
+            use_sites,
             aliases,
             beta_nodes: beta.num_nodes(),
             beta_edges: beta.num_edges(),
             stats,
+        };
+
+        if failures.is_empty() {
+            return AnalysisOutcome::Clean(summary);
+        }
+        let reason = if let Some(interrupt) = guard.interrupt() {
+            DegradeReason::Interrupted(interrupt)
+        } else if let Some(f) = failures.iter().find(|f| f.panic.is_some()) {
+            DegradeReason::Panic {
+                phase: f.phase,
+                message: f.panic.clone().expect("matched Some above"),
+            }
+        } else {
+            // Unreachable in practice: an interrupt failure implies the
+            // guard latched a cause. Report the drain sentinel.
+            DegradeReason::Interrupted(Interrupt::Halted)
+        };
+        let completed_phases = Phase::ALL
+            .into_iter()
+            .filter(|p| {
+                !cut.contains(*p)
+                    && !(self.skip_use
+                        && matches!(p, Phase::Ruse | Phase::IusePlus | Phase::Guse))
+                    && !(self.skip_aliases && matches!(p, Phase::Aliases))
+            })
+            .collect();
+        AnalysisOutcome::Degraded {
+            summary,
+            reason,
+            completed_phases,
         }
     }
 
-    /// RMOD → IMOD⁺ → GMOD for one side of the problem.
+    /// RMOD → IMOD⁺ → GMOD for one side of the problem, each phase with
+    /// its conservative fallback (all formals / visible sets).
     #[allow(clippy::too_many_arguments)]
     fn half_pipeline(
         &self,
@@ -226,9 +596,22 @@ impl Analyzer {
         pool: &ThreadPool,
         stats: &mut PhaseStats,
         is_mod: bool,
+        guard: &Guard,
+        failures: &mut Vec<Failure>,
     ) -> (Vec<BitSet>, Vec<BitSet>, Vec<BitSet>) {
+        let (rmod_phase, plus_phase, gmod_phase) = if is_mod {
+            (Phase::Rmod, Phase::ImodPlus, Phase::Gmod)
+        } else {
+            (Phase::Ruse, Phase::IusePlus, Phase::Guse)
+        };
         let t = Instant::now();
-        let rmod = solve_rmod_pooled(program, initial, beta, pool);
+        let rmod = run_phase(
+            rmod_phase,
+            failures,
+            &mut stats.wall.fallback,
+            || solve_rmod_guarded(program, initial, beta, pool, guard),
+            || RmodSolution::conservative(program),
+        );
         if is_mod {
             stats.rmod += rmod.stats();
             stats.wall.rmod += t.elapsed();
@@ -237,7 +620,13 @@ impl Analyzer {
             stats.wall.ruse += t.elapsed();
         }
         let t = Instant::now();
-        let (plus, plus_stats) = compute_imod_plus(program, initial, &rmod);
+        let (plus, plus_stats) = run_phase(
+            plus_phase,
+            failures,
+            &mut stats.wall.fallback,
+            || compute_imod_plus_guarded(program, initial, &rmod, guard),
+            || (program.visible_sets(), OpCounter::new()),
+        );
         stats.imod_plus += plus_stats;
         stats.wall.imod_plus += t.elapsed();
 
@@ -254,20 +643,31 @@ impl Analyzer {
             other => other,
         };
         let t = Instant::now();
-        let gmod: GmodSolution = match algorithm {
-            GmodAlgorithm::OneLevel => {
-                solve_gmod_one_level(program, call_graph.graph(), &plus, locals)
-            }
-            GmodAlgorithm::MultiLevelNaive => {
-                solve_gmod_multi_naive(program, call_graph.graph(), &plus, locals)
-            }
-            GmodAlgorithm::MultiLevelFused | GmodAlgorithm::Auto => {
-                solve_gmod_multi_fused(program, call_graph.graph(), &plus, locals)
-            }
-            GmodAlgorithm::LevelScheduled => {
-                solve_gmod_levels(program, call_graph.graph(), &plus, locals, pool)
-            }
-        };
+        let gmod: GmodSolution = run_phase(
+            gmod_phase,
+            failures,
+            &mut stats.wall.fallback,
+            || match algorithm {
+                GmodAlgorithm::OneLevel => {
+                    solve_gmod_one_level_guarded(program, call_graph.graph(), &plus, locals, guard)
+                }
+                GmodAlgorithm::MultiLevelNaive => {
+                    solve_gmod_multi_naive_guarded(program, call_graph.graph(), &plus, locals, guard)
+                }
+                GmodAlgorithm::MultiLevelFused | GmodAlgorithm::Auto => {
+                    solve_gmod_multi_fused_guarded(program, call_graph.graph(), &plus, locals, guard)
+                }
+                GmodAlgorithm::LevelScheduled => solve_gmod_levels_guarded(
+                    program,
+                    call_graph.graph(),
+                    &plus,
+                    locals,
+                    pool,
+                    guard,
+                ),
+            },
+            || GmodSolution::new(program.visible_sets(), OpCounter::new()),
+        );
         if is_mod {
             stats.gmod += gmod.stats();
             stats.wall.gmod += t.elapsed();
@@ -298,6 +698,9 @@ pub struct PhaseStats {
     pub dmod: OpCounter,
     /// §5 step (2) alias factoring.
     pub modsets: OpCounter,
+    /// Phases that fell back to their conservative approximation; empty
+    /// for an exact run.
+    pub cut: PhaseMask,
     /// Wall-clock time per phase (measured, not modelled — unlike the
     /// counters these vary run to run).
     pub wall: PhaseWall,
@@ -344,6 +747,9 @@ pub struct PhaseWall {
     pub aliases: Duration,
     /// §5 step (2) factoring, both halves.
     pub modsets: Duration,
+    /// Time spent assembling conservative fallbacks on a degraded run
+    /// (zero for an exact run).
+    pub fallback: Duration,
     /// Elapsed time of the whole pipeline run.
     pub total: Duration,
 }
@@ -359,6 +765,7 @@ impl PhaseWall {
         self.dmod += other.dmod;
         self.aliases += other.aliases;
         self.modsets += other.modsets;
+        self.fallback += other.fallback;
         self.total += other.total;
     }
 }

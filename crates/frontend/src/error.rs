@@ -102,4 +102,46 @@ mod tests {
         let e = FrontendError::Validation(ValidationError::NoMain);
         assert!(e.source().is_some());
     }
+
+    #[test]
+    fn every_variant_displays_a_distinct_located_message() {
+        let span = Span { line: 2, column: 5 };
+        // One instance per variant; the match keeps the list honest when
+        // a variant is added.
+        let variants = vec![
+            FrontendError::Lex {
+                span,
+                message: "unexpected `@`".into(),
+            },
+            FrontendError::Parse {
+                span,
+                message: "expected `;`".into(),
+            },
+            FrontendError::Resolve {
+                span,
+                message: "unknown name `q`".into(),
+            },
+            FrontendError::Validation(ValidationError::NoMain),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for e in &variants {
+            let tag = match e {
+                FrontendError::Lex { .. } => "Lex",
+                FrontendError::Parse { .. } => "Parse",
+                FrontendError::Resolve { .. } => "Resolve",
+                FrontendError::Validation(_) => "Validation",
+            };
+            let msg = e.to_string();
+            assert!(!msg.is_empty(), "{tag}: empty Display");
+            assert!(seen.insert(msg.clone()), "{tag}: duplicate `{msg}`");
+            // Spanned variants must print the location; the validation
+            // wrapper must carry the inner message through.
+            match e {
+                FrontendError::Validation(inner) => {
+                    assert!(msg.contains(&inner.to_string()), "{tag}: `{msg}`");
+                }
+                _ => assert!(msg.contains("2:5"), "{tag}: `{msg}` omits the span"),
+            }
+        }
+    }
 }

@@ -1,0 +1,95 @@
+//! Dynamic oracle for *degraded* analyses: even when budgets trip or
+//! injected faults cut phases out of the pipeline, every variable a call
+//! site is concretely observed to write or read must still appear in the
+//! reported MOD/USE sets. This is the ground-truth half of the soundness
+//! argument in `docs/ROBUSTNESS.md` — the superset-of-exact half lives
+//! in `modref-core/tests/guarded.rs`.
+
+use modref_check::prelude::*;
+use modref_core::{Analyzer, Budget, FaultPlan, Guard};
+use modref_interp::Interpreter;
+use modref_progen::{generate, GenConfig};
+
+property! {
+    #![cases = 48]
+
+    fn degraded_summaries_cover_observed_effects(
+        seed in any_u64(),
+        input_seed in any_u64(),
+        fault_seed in any_u64(),
+        n in ints(2..12usize),
+        depth in ints(1..4u32),
+    ) {
+        // Arm both degradation triggers at once — a seeded fault pattern
+        // and a tight op budget (derived from the fault seed to stay
+        // within the harness's five-parameter strategies) — and interpret
+        // the same program. The observation must be covered whether the
+        // run came back clean or widened.
+        let budget = fault_seed % 1_500;
+        let program = generate(&GenConfig::tiny(n, depth), seed);
+        let guard = Guard::new(&Budget::unlimited().with_ops(budget))
+            .with_faults(FaultPlan::seeded(fault_seed));
+        let outcome = Analyzer::new().threads(4).analyze_guarded(&program, &guard);
+        let degraded = outcome.is_degraded();
+        let summary = outcome.into_summary();
+        let run = Interpreter::new(&program, input_seed).with_fuel(20_000).run();
+
+        for s in program.sites() {
+            let obs = run.observation(s);
+            if obs.invocations == 0 {
+                continue;
+            }
+            prop_assert!(
+                obs.modified.is_subset(summary.mod_site(s)),
+                "seed {seed}/{input_seed}/{fault_seed} budget {budget} \
+                 (degraded: {degraded}): site {s} observed MOD {:?} ⊄ {:?}\n{}",
+                obs.modified,
+                summary.mod_site(s),
+                program.to_source()
+            );
+            prop_assert!(
+                obs.used.is_subset(summary.use_site(s)),
+                "seed {seed}/{input_seed}/{fault_seed} budget {budget} \
+                 (degraded: {degraded}): site {s} observed USE {:?} ⊄ {:?}\n{}",
+                obs.used,
+                summary.use_site(s),
+                program.to_source()
+            );
+        }
+    }
+
+    fn fully_conservative_fallback_covers_observed_effects(
+        seed in any_u64(),
+        input_seed in any_u64(),
+        n in ints(2..12usize),
+        depth in ints(1..4u32),
+    ) {
+        // The deepest rung of the degradation ladder: alias factoring
+        // panics, so the final sets are the widened per-caller fallback.
+        // Ground truth must still be covered.
+        let program = generate(&GenConfig::tiny(n, depth), seed);
+        let guard = Guard::unlimited().with_faults(FaultPlan::new().panic_at("alias"));
+        let outcome = Analyzer::new().analyze_guarded(&program, &guard);
+        prop_assert!(outcome.is_degraded(), "seed {seed}: alias panic must degrade");
+        let summary = outcome.into_summary();
+        let run = Interpreter::new(&program, input_seed).with_fuel(20_000).run();
+        for s in program.sites() {
+            let obs = run.observation(s);
+            if obs.invocations == 0 {
+                continue;
+            }
+            prop_assert!(
+                obs.modified.is_subset(summary.mod_site(s)),
+                "seed {seed}/{input_seed}: site {s} observed MOD {:?} ⊄ widened {:?}",
+                obs.modified,
+                summary.mod_site(s)
+            );
+            prop_assert!(
+                obs.used.is_subset(summary.use_site(s)),
+                "seed {seed}/{input_seed}: site {s} observed USE {:?} ⊄ widened {:?}",
+                obs.used,
+                summary.use_site(s)
+            );
+        }
+    }
+}

@@ -188,4 +188,118 @@ mod tests {
         assert!(msg.contains('2') && msg.contains('3'));
         assert!(msg.chars().next().unwrap().is_lowercase());
     }
+
+    /// One instance of every variant. The match below fails to compile
+    /// if a variant is added without extending this list, so the
+    /// exhaustive Display test cannot silently fall behind.
+    fn all_variants() -> Vec<ValidationError> {
+        let v = VarId::new(3);
+        let p = ProcId::new(2);
+        let s = CallSiteId::new(1);
+        vec![
+            ValidationError::OwnerlessNonGlobal { var: v },
+            ValidationError::OwnedGlobal { var: v },
+            ValidationError::DanglingVar { var: v },
+            ValidationError::DanglingProc { proc_: p },
+            ValidationError::DanglingSite { site: s },
+            ValidationError::OwnershipMismatch { var: v, proc_: p },
+            ValidationError::NoMain,
+            ValidationError::BadMain,
+            ValidationError::OrphanProc { proc_: p },
+            ValidationError::BadLevel { proc_: p },
+            ValidationError::OutOfScope { var: v, proc_: p },
+            ValidationError::RankMismatch {
+                var: v,
+                expected: 2,
+                found: 1,
+            },
+            ValidationError::ArityMismatch {
+                site: s,
+                expected: 2,
+                found: 3,
+            },
+            ValidationError::CallToMain { site: s },
+            ValidationError::CalleeNotVisible { site: s },
+            ValidationError::SiteStatementCount { site: s, count: 2 },
+            ValidationError::SiteCallerMismatch { site: s },
+        ]
+    }
+
+    fn variant_tag(e: &ValidationError) -> &'static str {
+        match e {
+            ValidationError::OwnerlessNonGlobal { .. } => "OwnerlessNonGlobal",
+            ValidationError::OwnedGlobal { .. } => "OwnedGlobal",
+            ValidationError::DanglingVar { .. } => "DanglingVar",
+            ValidationError::DanglingProc { .. } => "DanglingProc",
+            ValidationError::DanglingSite { .. } => "DanglingSite",
+            ValidationError::OwnershipMismatch { .. } => "OwnershipMismatch",
+            ValidationError::NoMain => "NoMain",
+            ValidationError::BadMain => "BadMain",
+            ValidationError::OrphanProc { .. } => "OrphanProc",
+            ValidationError::BadLevel { .. } => "BadLevel",
+            ValidationError::OutOfScope { .. } => "OutOfScope",
+            ValidationError::RankMismatch { .. } => "RankMismatch",
+            ValidationError::ArityMismatch { .. } => "ArityMismatch",
+            ValidationError::CallToMain { .. } => "CallToMain",
+            ValidationError::CalleeNotVisible { .. } => "CalleeNotVisible",
+            ValidationError::SiteStatementCount { .. } => "SiteStatementCount",
+            ValidationError::SiteCallerMismatch { .. } => "SiteCallerMismatch",
+        }
+    }
+
+    #[test]
+    fn every_variant_displays_a_distinct_nonempty_message() {
+        let variants = all_variants();
+        let mut seen = std::collections::HashSet::new();
+        for e in &variants {
+            assert_eq!(variant_tag(e), variant_tag(&e.clone()), "tags are stable");
+            let msg = e.to_string();
+            assert!(!msg.is_empty(), "{}: empty Display", variant_tag(e));
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "{}: messages start lowercase for composability: {msg}",
+                variant_tag(e)
+            );
+            assert!(
+                !msg.ends_with('.'),
+                "{}: no trailing period: {msg}",
+                variant_tag(e)
+            );
+            assert!(
+                seen.insert(msg.clone()),
+                "{}: duplicate message `{msg}`",
+                variant_tag(e)
+            );
+        }
+        // Every offending id must show up in its message so the error is
+        // actionable without a debugger.
+        for e in &variants {
+            let msg = e.to_string();
+            let expected_id = match e {
+                ValidationError::OwnerlessNonGlobal { var }
+                | ValidationError::OwnedGlobal { var }
+                | ValidationError::DanglingVar { var }
+                | ValidationError::OwnershipMismatch { var, .. }
+                | ValidationError::OutOfScope { var, .. }
+                | ValidationError::RankMismatch { var, .. } => Some(var.to_string()),
+                ValidationError::DanglingProc { proc_ }
+                | ValidationError::OrphanProc { proc_ }
+                | ValidationError::BadLevel { proc_ } => Some(proc_.to_string()),
+                ValidationError::DanglingSite { site }
+                | ValidationError::ArityMismatch { site, .. }
+                | ValidationError::CallToMain { site }
+                | ValidationError::CalleeNotVisible { site }
+                | ValidationError::SiteStatementCount { site, .. }
+                | ValidationError::SiteCallerMismatch { site } => Some(site.to_string()),
+                ValidationError::NoMain | ValidationError::BadMain => None,
+            };
+            if let Some(id) = expected_id {
+                assert!(
+                    msg.contains(&id),
+                    "{}: message `{msg}` omits id `{id}`",
+                    variant_tag(e)
+                );
+            }
+        }
+    }
 }

@@ -125,6 +125,21 @@ impl LocalEffects {
         }
     }
 
+    /// The maximally conservative local effects: every set is `p`'s full
+    /// visible set. Used as the sound fallback when a guarded analysis is
+    /// cut short before (or during) the local phase — whatever a statement
+    /// in `p` actually touches is visible in `p`, so these sets
+    /// over-approximate any exactly computed ones.
+    pub fn conservative(program: &Program) -> Self {
+        let visible = program.visible_sets();
+        LocalEffects {
+            imod_flat: visible.clone(),
+            iuse_flat: visible.clone(),
+            imod: visible.clone(),
+            iuse: visible,
+        }
+    }
+
     /// `IMOD(p)` with the §3.3 nesting extension. This is the set the
     /// interprocedural phases consume.
     pub fn imod(&self, p: ProcId) -> &BitSet {

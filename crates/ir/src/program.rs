@@ -293,6 +293,26 @@ impl Program {
         }
     }
 
+    /// Every variable visible in `p`: the globals plus everything declared
+    /// by `p` or its lexical ancestors. This is the coarsest sound `MOD`
+    /// bound for `p` — no statement reachable from `p` can touch a
+    /// variable outside it — and the guarded pipeline's conservative
+    /// fallback (see `docs/ROBUSTNESS.md`).
+    pub fn visible_set(&self, p: ProcId) -> BitSet {
+        let mut set = self.global_set();
+        let mut owner = Some(p);
+        while let Some(q) = owner {
+            set.union_with(&self.local_set(q));
+            owner = self.procs[q.index()].parent;
+        }
+        set
+    }
+
+    /// All visible sets at once, indexed by procedure id.
+    pub fn visible_sets(&self) -> Vec<BitSet> {
+        self.procs().map(|p| self.visible_set(p)).collect()
+    }
+
     /// If `v` is a formal parameter, its `(owner, position)` pair.
     pub fn formal_position(&self, v: VarId) -> Option<(ProcId, usize)> {
         let info = &self.vars[v.index()];

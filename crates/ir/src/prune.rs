@@ -170,7 +170,12 @@ impl Program {
             procs,
             sites,
         };
-        debug_assert!(program.validate().is_ok(), "pruning must preserve validity");
+        // A real check, not a debug_assert: a pruning bug that produces an
+        // invalid program must not ship silently in release builds — every
+        // downstream solver assumes validated invariants.
+        if let Err(e) = program.validate() {
+            panic!("pruning produced an invalid program: {e}");
+        }
         PrunedProgram {
             program,
             proc_map,

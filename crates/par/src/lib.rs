@@ -13,7 +13,12 @@
 //! * [`ThreadPool::par_map`] — collect `f(i)` into a `Vec` preserving
 //!   input order;
 //! * [`ThreadPool::par_for_each_range`] — the chunked primitive both are
-//!   built on, for bodies that want to amortise per-chunk setup.
+//!   built on, for bodies that want to amortise per-chunk setup;
+//! * [`ThreadPool::par_map_while`] / [`ThreadPool::par_for_each_range_while`]
+//!   — cancellable variants: every participant polls a keep-going
+//!   predicate between chunk claims, so a guarded caller (budget trip,
+//!   deadline, cancel token) drains the pool promptly instead of
+//!   finishing the whole range.
 //!
 //! Design points, in keeping with the workspace's hermetic-build policy
 //! (no external crates):
@@ -52,7 +57,7 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -103,10 +108,19 @@ struct BodyPtr(*const (dyn Fn(usize, usize) + Sync));
 unsafe impl Send for BodyPtr {}
 unsafe impl Sync for BodyPtr {}
 
+/// A raw wide pointer to the keep-going predicate of a cancellable job.
+/// Same lifetime argument as [`BodyPtr`].
+#[derive(Clone, Copy)]
+struct KeepPtr(*const (dyn Fn() -> bool + Sync));
+unsafe impl Send for KeepPtr {}
+unsafe impl Sync for KeepPtr {}
+
 /// One submitted parallel call: a range `0..len` split into `chunk`-sized
 /// pieces that workers claim from `cursor`.
 struct Job {
     body: BodyPtr,
+    /// Polled between chunk claims; `false` abandons the remaining range.
+    keep: Option<KeepPtr>,
     len: usize,
     chunk: usize,
     cursor: AtomicUsize,
@@ -114,20 +128,24 @@ struct Job {
     active: AtomicUsize,
     finish_lock: Mutex<()>,
     finished: Condvar,
+    /// Set when the keep-going predicate cut the range short.
+    cancelled: AtomicBool,
     /// First panic payload raised by any participant.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 impl Job {
-    fn new(body: BodyPtr, len: usize, chunk: usize) -> Self {
+    fn new(body: BodyPtr, keep: Option<KeepPtr>, len: usize, chunk: usize) -> Self {
         Job {
             body,
+            keep,
             len,
             chunk,
             cursor: AtomicUsize::new(0),
             active: AtomicUsize::new(0),
             finish_lock: Mutex::new(()),
             finished: Condvar::new(),
+            cancelled: AtomicBool::new(false),
             panic: Mutex::new(None),
         }
     }
@@ -139,12 +157,24 @@ impl Job {
         let outcome = catch_unwind(AssertUnwindSafe(|| loop {
             let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
             if start >= self.len {
+                // No dereference on this path: a worker arriving after the
+                // range is exhausted may hold a job whose closures are
+                // already dead.
                 break;
             }
-            let end = (start + self.chunk).min(self.len);
-            // SAFETY: execute_range keeps the closure alive until every
+            // SAFETY: execute_range keeps both closures alive until every
             // participant has exited; a successful claim implies we are
-            // still inside that window.
+            // still inside that window (the submitter cannot observe the
+            // range as exhausted while `cursor < len`).
+            if let Some(keep) = self.keep {
+                let keep = unsafe { &*keep.0 };
+                if !keep() {
+                    self.cancelled.store(true, Ordering::Relaxed);
+                    self.cursor.store(self.len, Ordering::Relaxed);
+                    break;
+                }
+            }
+            let end = (start + self.chunk).min(self.len);
             let body = unsafe { &*self.body.0 };
             body(start, end);
         }));
@@ -252,16 +282,35 @@ impl ThreadPool {
     /// concurrently. Blocks until the whole range is done; re-raises the
     /// first panic any chunk produced.
     pub fn par_for_each_range<F: Fn(usize, usize) + Sync>(&self, len: usize, f: F) {
-        self.execute_range(len, &f);
+        self.execute_range(len, &f, None);
+    }
+
+    /// Cancellable variant of [`par_for_each_range`]: every participant
+    /// polls `keep` between chunk claims and abandons the remaining range
+    /// once it returns `false`. Returns `true` if the whole range ran,
+    /// `false` if cancellation cut it short. Chunks already started are
+    /// finished — cancellation is cooperative, not preemptive.
+    ///
+    /// [`par_for_each_range`]: ThreadPool::par_for_each_range
+    pub fn par_for_each_range_while<K, F>(&self, len: usize, keep: K, f: F) -> bool
+    where
+        K: Fn() -> bool + Sync,
+        F: Fn(usize, usize) + Sync,
+    {
+        self.execute_range(len, &f, Some(&keep))
     }
 
     /// Runs `f(i)` for every `i in 0..len`, concurrently.
     pub fn par_for_each<F: Fn(usize) + Sync>(&self, len: usize, f: F) {
-        self.execute_range(len, &|start, end| {
-            for i in start..end {
-                f(i);
-            }
-        });
+        self.execute_range(
+            len,
+            &|start, end| {
+                for i in start..end {
+                    f(i);
+                }
+            },
+            None,
+        );
     }
 
     /// Maps `0..len` through `f` into a `Vec` in input order (slot `i`
@@ -282,15 +331,56 @@ impl ThreadPool {
 
         let mut slots: Vec<Option<T>> = (0..len).map(|_| None).collect();
         let out = Slots(slots.as_mut_ptr());
-        self.execute_range(len, &|start, end| {
-            for i in start..end {
-                out.set(i, f(i));
-            }
-        });
+        self.execute_range(
+            len,
+            &|start, end| {
+                for i in start..end {
+                    out.set(i, f(i));
+                }
+            },
+            None,
+        );
         slots
             .into_iter()
             .map(|slot| slot.expect("every index was computed"))
             .collect()
+    }
+
+    /// Cancellable variant of [`par_map`]: maps `0..len` through `f` while
+    /// `keep` stays `true`. Slot `i` is `Some(f(i))` if that index ran
+    /// before cancellation, `None` if it was abandoned — a full `Vec` of
+    /// `Some` means the map completed.
+    ///
+    /// [`par_map`]: ThreadPool::par_map
+    pub fn par_map_while<T, K, F>(&self, len: usize, keep: K, f: F) -> Vec<Option<T>>
+    where
+        T: Send,
+        K: Fn() -> bool + Sync,
+        F: Fn(usize) -> T + Sync,
+    {
+        struct Slots<T>(*mut Option<T>);
+        unsafe impl<T: Send> Send for Slots<T> {}
+        unsafe impl<T: Send> Sync for Slots<T> {}
+        impl<T> Slots<T> {
+            /// SAFETY: as in `par_map` — one writer per slot, reads only
+            /// after the call returns; abandoned slots stay `None`.
+            fn set(&self, i: usize, value: T) {
+                unsafe { *self.0.add(i) = Some(value) };
+            }
+        }
+
+        let mut slots: Vec<Option<T>> = (0..len).map(|_| None).collect();
+        let out = Slots(slots.as_mut_ptr());
+        self.execute_range(
+            len,
+            &|start, end| {
+                for i in start..end {
+                    out.set(i, f(i));
+                }
+            },
+            Some(&keep),
+        );
+        slots
     }
 
     /// The chunk size for a range: enough pieces for load balancing
@@ -299,13 +389,35 @@ impl ThreadPool {
         len.div_ceil(self.threads * 4).max(1)
     }
 
-    fn execute_range(&self, len: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+    /// Returns `true` if the whole range ran, `false` if `keep` cancelled
+    /// part of it.
+    fn execute_range(
+        &self,
+        len: usize,
+        f: &(dyn Fn(usize, usize) + Sync),
+        keep: Option<&(dyn Fn() -> bool + Sync)>,
+    ) -> bool {
         if len == 0 {
-            return;
+            return true;
         }
         if self.workers.is_empty() {
-            f(0, len);
-            return;
+            let Some(keep) = keep else {
+                f(0, len);
+                return true;
+            };
+            // Sequential but still cancellable: walk the same chunks a
+            // worker would, polling between them.
+            let chunk = self.chunk_for(len);
+            let mut start = 0;
+            while start < len {
+                if !keep() {
+                    return false;
+                }
+                let end = (start + chunk).min(len);
+                f(start, end);
+                start = end;
+            }
+            return true;
         }
         let _submitting = self.submit.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         // SAFETY: only the lifetime is erased. The pointer is dereferenced
@@ -313,7 +425,10 @@ impl ThreadPool {
         // while `f` is demonstrably alive on this stack frame.
         #[allow(clippy::missing_transmute_annotations)]
         let body = BodyPtr(unsafe { std::mem::transmute(f as *const (dyn Fn(usize, usize) + Sync)) });
-        let job = Arc::new(Job::new(body, len, self.chunk_for(len)));
+        // SAFETY: same lifetime-erasure argument as the body pointer.
+        #[allow(clippy::missing_transmute_annotations)]
+        let keep = keep.map(|k| KeepPtr(unsafe { std::mem::transmute(k as *const (dyn Fn() -> bool + Sync)) }));
+        let job = Arc::new(Job::new(body, keep, len, self.chunk_for(len)));
         {
             let mut mailbox = self.shared.mailbox.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             mailbox.job = Some(Arc::clone(&job));
@@ -338,6 +453,7 @@ impl ThreadPool {
         if let Some(payload) = payload {
             resume_unwind(payload);
         }
+        !job.cancelled.load(Ordering::Relaxed)
     }
 }
 
@@ -463,6 +579,85 @@ mod tests {
             assert_eq!(a, (0..500u64).map(|i| i * 2).sum());
             assert_eq!(b, (0..500u64).map(|i| i * 3).sum());
         });
+    }
+
+    #[test]
+    fn par_map_while_without_cancellation_matches_par_map() {
+        let pool = ThreadPool::new(4);
+        let cancellable = pool.par_map_while(200, || true, |i| i * 3);
+        assert!(cancellable.iter().all(Option::is_some));
+        let plain = pool.par_map(200, |i| i * 3);
+        assert_eq!(
+            cancellable.into_iter().map(Option::unwrap).collect::<Vec<_>>(),
+            plain
+        );
+    }
+
+    #[test]
+    fn mid_flight_cancellation_drains_the_range() {
+        use std::sync::atomic::AtomicBool;
+        let pool = ThreadPool::new(4);
+        let stop = AtomicBool::new(false);
+        let ran = AtomicU64::new(0);
+        // The first completed index flips the flag; with many chunks
+        // outstanding, most of the range must be abandoned.
+        let slots = pool.par_map_while(
+            10_000,
+            || !stop.load(Ordering::Relaxed),
+            |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                stop.store(true, Ordering::Relaxed);
+                i
+            },
+        );
+        let done = slots.iter().filter(|s| s.is_some()).count();
+        assert_eq!(done as u64, ran.load(Ordering::Relaxed));
+        assert!(done < 10_000, "cancellation must abandon part of the range");
+        assert!(!pool.par_for_each_range_while(64, || false, |_, _| panic!("must not run")));
+    }
+
+    #[test]
+    fn sequential_pool_honours_cancellation_between_chunks() {
+        use std::sync::atomic::AtomicBool;
+        let pool = ThreadPool::new(1);
+        let stop = AtomicBool::new(false);
+        let slots = pool.par_map_while(
+            100,
+            || !stop.load(Ordering::Relaxed),
+            |i| {
+                stop.store(true, Ordering::Relaxed);
+                i
+            },
+        );
+        let done = slots.iter().filter(|s| s.is_some()).count();
+        assert!(done >= 1 && done < 100, "stopped after the first chunk, ran {done}");
+    }
+
+    #[test]
+    fn dropping_the_pool_after_a_cancelled_job_releases_all_workers() {
+        // The satellite regression test: cancel a job mid-flight, then
+        // drop the pool. Drop must join every worker (no deadlock), and
+        // afterwards nothing may still hold the shared state (no leaked
+        // worker threads).
+        use std::sync::atomic::AtomicBool;
+        let pool = ThreadPool::new(4);
+        let stop = AtomicBool::new(false);
+        let _ = pool.par_map_while(
+            50_000,
+            || !stop.load(Ordering::Relaxed),
+            |i| {
+                stop.store(true, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                i
+            },
+        );
+        let weak = Arc::downgrade(&pool.shared);
+        drop(pool);
+        assert_eq!(
+            weak.strong_count(),
+            0,
+            "all workers joined and released the shared pool state"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use std::collections::HashMap;
 
 use modref_graph::{tarjan, DiGraph};
+use modref_guard::{Guard, Interrupt, Strided};
 use modref_ir::{Actual, CallSiteId, Expr, ProcId, Program, Ref, Stmt, Subscript, VarId, VarKind};
 
 use crate::bindfn::EdgeFn;
@@ -90,22 +91,42 @@ impl SectionSummary {
 /// Runs the full section analysis (both solvers, `MOD` and `USE` sides,
 /// and the per-site projection).
 pub fn analyze_sections(program: &Program) -> SectionSummary {
+    analyze_sections_guarded(program, &Guard::unlimited())
+        .expect("an unlimited guard cannot interrupt the solver")
+}
+
+/// [`analyze_sections`] under a cooperative [`Guard`]: the guard is polled
+/// at every stage boundary and on inner-loop strides, with lattice meets
+/// charged as bit-vector steps (a meet is a whole-descriptor operation,
+/// the §6 cost unit).
+///
+/// # Errors
+///
+/// Returns the guard's [`Interrupt`] if a deadline, budget, or
+/// cancellation trips mid-analysis; partial stage results are discarded.
+pub fn analyze_sections_guarded(
+    program: &Program,
+    guard: &Guard,
+) -> Result<SectionSummary, Interrupt> {
+    guard.checkpoint("sections")?;
     let mut meets = 0u64;
     let local = LocalSections::collect(program);
+    guard.charge(0, program.num_procs() as u64);
+    guard.check()?;
 
-    let (rsd_mod, m1) = solve_sections_from(program, &local.formal_mod);
-    let (rsd_use, m2) = solve_sections_from(program, &local.formal_use);
+    let (rsd_mod, m1) = solve_sections_from(program, &local.formal_mod, guard)?;
+    let (rsd_use, m2) = solve_sections_from(program, &local.formal_use, guard)?;
     meets += m1 + m2;
 
-    let (garr_mod, m3) = solve_global_arrays(program, &local.global_mod, &rsd_mod);
-    let (garr_use, m4) = solve_global_arrays(program, &local.global_use, &rsd_use);
+    let (garr_mod, m3) = solve_global_arrays(program, &local.global_mod, &rsd_mod, guard)?;
+    let (garr_use, m4) = solve_global_arrays(program, &local.global_use, &rsd_use, guard)?;
     meets += m3 + m4;
 
-    let (site_mod, m5) = project_sites(program, &rsd_mod, &garr_mod);
-    let (site_use, m6) = project_sites(program, &rsd_use, &garr_use);
+    let (site_mod, m5) = project_sites(program, &rsd_mod, &garr_mod, guard)?;
+    let (site_use, m6) = project_sites(program, &rsd_use, &garr_use, guard)?;
     meets += m5 + m6;
 
-    SectionSummary {
+    Ok(SectionSummary {
         rsd_mod,
         rsd_use,
         garr_mod,
@@ -113,14 +134,15 @@ pub fn analyze_sections(program: &Program) -> SectionSummary {
         site_mod,
         site_use,
         meets,
-    }
+    })
 }
 
 /// Solves only the formal-array problem for the `MOD` side, returning the
 /// per-formal sections and the number of meets (for the E5 experiment).
 pub fn solve_sections(program: &Program) -> (HashMap<VarId, Section>, u64) {
     let local = LocalSections::collect(program);
-    solve_sections_from(program, &local.formal_mod)
+    solve_sections_from(program, &local.formal_mod, &Guard::unlimited())
+        .expect("an unlimited guard cannot interrupt the solver")
 }
 
 // --- local (intraprocedural) section collection -------------------------
@@ -326,7 +348,8 @@ fn array_bindings(program: &Program) -> Vec<ArrayBinding> {
 fn solve_sections_from(
     program: &Program,
     lrsd: &HashMap<VarId, Section>,
-) -> (HashMap<VarId, Section>, u64) {
+    guard: &Guard,
+) -> Result<(HashMap<VarId, Section>, u64), Interrupt> {
     let bindings = array_bindings(program);
 
     // Dense node numbering over participating array formals plus every
@@ -363,6 +386,7 @@ fn solve_sections_from(
     // Leaves-to-roots over the condensation (tarjan numbers components in
     // reverse topological order), iterating inside each component.
     let sccs = tarjan(&graph);
+    let mut charged = 0u64;
     for comp in 0..sccs.len() {
         let members: Vec<usize> = sccs.members(comp).to_vec();
         // Height of the product lattice bounds the iteration count.
@@ -372,6 +396,9 @@ fn solve_sections_from(
             .sum::<usize>()
             .max(1);
         for _round in 0..bound {
+            guard.charge(meets - charged, 0);
+            charged = meets;
+            guard.check()?;
             let mut changed = false;
             for &m in &members {
                 for (succ, e) in graph.successors(m) {
@@ -394,12 +421,14 @@ fn solve_sections_from(
         }
     }
 
+    guard.charge(meets - charged, 0);
+    guard.check()?;
     let out = formal_of
         .into_iter()
         .zip(rsd)
         .filter(|(_, sec)| !sec.is_bottom())
         .collect();
-    (out, meets)
+    Ok((out, meets))
 }
 
 // --- the global-array solver --------------------------------------------
@@ -408,12 +437,15 @@ fn solve_global_arrays(
     program: &Program,
     local: &[HashMap<VarId, Section>],
     rsd: &HashMap<VarId, Section>,
-) -> (Vec<HashMap<VarId, Section>>, u64) {
+    guard: &Guard,
+) -> Result<(Vec<HashMap<VarId, Section>>, u64), Interrupt> {
     let mut meets = 0u64;
+    let mut stride = Strided::new(256);
     // Seeds: local accesses plus site contributions where the actual is a
     // *global* array (formal-array actuals flow through the β solver).
     let mut val: Vec<HashMap<VarId, Section>> = local.to_vec();
     for s in program.sites() {
+        stride.tick(guard)?;
         let site = program.site(s);
         let caller = site.caller();
         let callee_formals = program.proc_(site.callee()).formals();
@@ -443,9 +475,13 @@ fn solve_global_arrays(
     // inside a component is bounded by the product-lattice height.
     let cg = modref_ir::CallGraph::build(program);
     let sccs = tarjan(cg.graph());
+    let mut charged = 0u64;
     for comp in 0..sccs.len() {
         let members: Vec<usize> = sccs.members(comp).to_vec();
         loop {
+            guard.charge(meets - charged, 0);
+            charged = meets;
+            guard.check()?;
             let mut changed = false;
             for &m in &members {
                 let frame = ProcId::new(m);
@@ -473,7 +509,9 @@ fn solve_global_arrays(
             }
         }
     }
-    (val, meets)
+    guard.charge(meets - charged, 0);
+    guard.check()?;
+    Ok((val, meets))
 }
 
 // --- per-site projection --------------------------------------------------
@@ -482,10 +520,17 @@ fn project_sites(
     program: &Program,
     rsd: &HashMap<VarId, Section>,
     garr: &[HashMap<VarId, Section>],
-) -> (Vec<HashMap<VarId, Section>>, u64) {
+    guard: &Guard,
+) -> Result<(Vec<HashMap<VarId, Section>>, u64), Interrupt> {
     let mut meets = 0u64;
+    let mut charged = 0u64;
     let mut out = Vec::with_capacity(program.num_sites());
     for s in program.sites() {
+        if s.index() % 64 == 0 {
+            guard.charge(meets - charged, 0);
+            charged = meets;
+            guard.check()?;
+        }
         let site = program.site(s);
         let callee = site.callee();
         let callee_formals = program.proc_(callee).formals();
@@ -514,7 +559,9 @@ fn project_sites(
         }
         out.push(map);
     }
-    (out, meets)
+    guard.charge(meets - charged, 0);
+    guard.check()?;
+    Ok((out, meets))
 }
 
 #[cfg(test)]

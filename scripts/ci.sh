@@ -50,4 +50,47 @@ MODREF_THREADS=1 cargo test -q --offline
 echo "== tests (offline, MODREF_THREADS=4) =="
 MODREF_THREADS=4 cargo test -q --offline
 
+# Third pass: fault injection armed. MODREF_FAULT seeds a deterministic
+# fault pattern (panics/stalls/budget-exhaustions at solver checkpoints)
+# in every guard that arms FaultPlan::from_env — the CLI does, the
+# library's plain analyze path must not. Goldens strip the variable
+# themselves, guarded suites pin their own plans, so a green run here
+# proves (a) nothing hangs or crashes with faults in the environment and
+# (b) fault arming is never implicit. Fixed seeds keep failures
+# replayable.
+for fault_seed in 20260806 7; do
+    for t in 1 4; do
+        echo "== tests (offline, MODREF_FAULT=$fault_seed, MODREF_THREADS=$t) =="
+        MODREF_FAULT=$fault_seed MODREF_THREADS=$t cargo test -q --offline
+    done
+done
+
+# Drive the binary's degradation contract directly: a tiny op budget must
+# degrade (exit 3, not a crash), and the same command unbudgeted must be
+# byte-identical to the unguarded run even with MODREF_FAULT unset vs set
+# on the clean path (the CLI only arms faults it is told about).
+echo "== cli degradation contract =="
+MODREF="target/release/modref"
+DEMO="examples/programs/demo.mp"
+set +e
+env -u MODREF_FAULT "$MODREF" analyze "$DEMO" --budget-ops 0 >/dev/null 2>ci_degraded.err
+code=$?
+set -e
+if [ "$code" -ne 3 ]; then
+    echo "expected exit 3 from a zero budget, got $code" >&2
+    exit 1
+fi
+grep -q "analysis degraded" ci_degraded.err || {
+    echo "degraded run must explain itself on stderr" >&2
+    exit 1
+}
+rm -f ci_degraded.err
+env -u MODREF_FAULT "$MODREF" analyze "$DEMO" > ci_plain.out
+env -u MODREF_FAULT "$MODREF" analyze "$DEMO" --timeout-ms 60000 --budget-ops 100000000 > ci_guarded.out
+cmp ci_plain.out ci_guarded.out || {
+    echo "an untripped guard changed the output" >&2
+    exit 1
+}
+rm -f ci_plain.out ci_guarded.out
+
 echo "CI green"
