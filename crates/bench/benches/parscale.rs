@@ -11,6 +11,10 @@ fn main() {
     let mut group = modref_check::BenchGroup::new("parscale").samples(5);
     let fortran = generate(&GenConfig::fortran_like(800), 42);
     let pascal = generate(&GenConfig::pascal_like(600, 4), 42);
+    // One traced run per configuration rides along (outside the timed
+    // iterations), so the flat speedup curve can be read against the
+    // per-level gmod spans in TRACE_parscale.{txt,json}.
+    let trace = modref_core::Trace::enabled();
     for &threads in &[1usize, 2, 4, 8] {
         group.bench("fortran_like_800", threads, || {
             Analyzer::new().threads(threads).analyze(&fortran)
@@ -18,6 +22,10 @@ fn main() {
         group.bench("pascal_like_600_d4", threads, || {
             Analyzer::new().threads(threads).analyze(&pascal)
         });
+        Analyzer::new()
+            .threads(threads)
+            .with_trace(trace.clone())
+            .analyze(&fortran);
     }
-    group.finish();
+    group.finish_with_trace(&trace);
 }

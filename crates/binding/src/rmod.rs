@@ -125,6 +125,33 @@ pub fn solve_rmod_guarded(
     pool: &modref_par::ThreadPool,
     guard: &Guard,
 ) -> Result<RmodSolution, Interrupt> {
+    solve_rmod_traced(
+        program,
+        initial,
+        beta,
+        pool,
+        guard,
+        &modref_trace::Trace::disabled(),
+    )
+}
+
+/// [`solve_rmod_guarded`] recording one span per Figure 1 stage into
+/// `trace` — `rmod.seed` (per-node `IMOD` bits), `rmod.sccs` (step 1),
+/// `rmod.sweep` (steps 2–3 over the condensation), and `rmod.broadcast`
+/// (step 4) — each annotated with its share of the solver's boolean
+/// steps. Identical output at any thread count; tracing only observes.
+///
+/// # Errors
+///
+/// As for [`solve_rmod_guarded`].
+pub fn solve_rmod_traced(
+    program: &Program,
+    initial: &[BitSet],
+    beta: &BindingGraph,
+    pool: &modref_par::ThreadPool,
+    guard: &Guard,
+    trace: &modref_trace::Trace,
+) -> Result<RmodSolution, Interrupt> {
     assert_eq!(
         initial.len(),
         program.num_procs(),
@@ -139,24 +166,39 @@ pub fn solve_rmod_guarded(
     // IMOD(fp) per β node: is the formal modified locally in its owner
     // (with the §3.3 nesting extension already folded into `effects`)?
     let mut imod_bit = Vec::with_capacity(n);
-    for node in 0..n {
-        stride.tick(guard)?;
-        let formal = beta.formal_of_node(node);
-        let (owner, _) = program
-            .formal_position(formal)
-            .expect("β nodes are formals");
-        stats.bool_steps += 1;
-        stats.nodes_visited += 1;
-        imod_bit.push(initial[owner.index()].contains(formal.index()));
+    {
+        let mut span = trace.span("rmod.seed");
+        for node in 0..n {
+            stride.tick(guard)?;
+            let formal = beta.formal_of_node(node);
+            let (owner, _) = program
+                .formal_position(formal)
+                .expect("β nodes are formals");
+            stats.bool_steps += 1;
+            stats.nodes_visited += 1;
+            imod_bit.push(initial[owner.index()].contains(formal.index()));
+        }
+        span.arg("beta_nodes", n as u64);
+        span.arg("bool_steps", stats.bool_steps);
     }
     settle(guard, &stats, &mut last);
 
     // Step (1): SCCs.
-    let sccs = tarjan(beta.graph());
+    let sccs = {
+        let mut span = trace.span("rmod.sccs");
+        let sccs = tarjan(beta.graph());
+        span.arg("components", sccs.len() as u64);
+        span.arg("beta_edges", beta.num_edges() as u64);
+        sccs
+    };
     stats.nodes_visited += n as u64;
     stats.edges_visited += beta.num_edges() as u64;
     settle(guard, &stats, &mut last);
     guard.check()?;
+
+    // Steps (2)-(3) over the condensation.
+    let before_sweep = stats.bool_steps;
+    let mut sweep_span = trace.span("rmod.sweep");
 
     // Step (2): representer IMOD = OR over members.
     let mut rep_value = vec![false; sccs.len()];
@@ -180,11 +222,16 @@ pub fn solve_rmod_guarded(
             stats.edges_visited += 1;
         }
     }
+    sweep_span.arg("bool_steps", stats.bool_steps - before_sweep);
+    drop(sweep_span);
     settle(guard, &stats, &mut last);
 
     // Step (4): broadcast to members, materialising per-procedure sets.
     // Formals never bound at any site have no β node; their RMOD bit is
     // just their IMOD bit.
+    let before_broadcast = stats.bool_steps;
+    let mut broadcast_span = trace.span("rmod.broadcast");
+    broadcast_span.arg("pooled", u64::from(!pool.is_sequential()));
     let mut rmod;
     let mut modified = BitSet::new(program.num_vars());
     if pool.is_sequential() {
@@ -253,6 +300,9 @@ pub fn solve_rmod_guarded(
         settle(guard, &stats, &mut last);
         guard.check()?;
     }
+
+    broadcast_span.arg("bool_steps", stats.bool_steps - before_broadcast);
+    drop(broadcast_span);
 
     Ok(RmodSolution {
         rmod,

@@ -28,7 +28,32 @@ pub struct BenchGroup {
     group: String,
     samples: u32,
     target_sample: Duration,
+    quick: bool,
+    dir: String,
     results: Vec<BenchResult>,
+}
+
+/// Knobs for a [`BenchGroup`], resolved once at construction so tests can
+/// inject them without mutating the process environment.
+#[derive(Debug, Clone, Default)]
+pub struct BenchOptions {
+    /// Output directory for the JSON lines; `None` means the workspace
+    /// `target/modref-bench` default.
+    pub dir: Option<String>,
+    /// Cut sample counts and warmup budgets for smoke runs.
+    pub quick: bool,
+}
+
+impl BenchOptions {
+    /// The environment-driven defaults (`MODREF_BENCH_DIR`,
+    /// `MODREF_BENCH_QUICK`) used by [`BenchGroup::new`].
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self {
+            dir: std::env::var("MODREF_BENCH_DIR").ok(),
+            quick: quick_mode(),
+        }
+    }
 }
 
 /// One measured benchmark.
@@ -57,15 +82,10 @@ impl BenchResult {
     /// field is a number or a name we control, escaped conservatively).
     #[must_use]
     pub fn to_json(&self) -> String {
-        fn esc(s: &str) -> String {
-            s.chars()
-                .flat_map(|c| match c {
-                    '"' | '\\' => vec!['\\', c],
-                    '\n' => vec!['\\', 'n'],
-                    c => vec![c],
-                })
-                .collect()
-        }
+        // The full JSON escaper (carriage returns, tabs, and the other
+        // C0 controls included — a bare `\n`-only escaper silently emits
+        // invalid JSON for a param like "256\r").
+        use modref_trace::escape_json as esc;
         format!(
             "{{\"group\":\"{}\",\"bench\":\"{}\",\"param\":\"{}\",\
              \"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\
@@ -104,10 +124,17 @@ fn default_bench_dir() -> String {
 }
 
 impl BenchGroup {
-    /// Starts a group named `group`.
+    /// Starts a group named `group` with the environment-driven knobs.
     #[must_use]
     pub fn new(group: &str) -> Self {
-        let (samples, target_sample) = if quick_mode() {
+        Self::with_options(group, BenchOptions::from_env())
+    }
+
+    /// Starts a group with explicit knobs; nothing is read from the
+    /// environment, so concurrent tests cannot interfere.
+    #[must_use]
+    pub fn with_options(group: &str, opts: BenchOptions) -> Self {
+        let (samples, target_sample) = if opts.quick {
             (3, Duration::from_millis(5))
         } else {
             (7, Duration::from_millis(40))
@@ -116,6 +143,8 @@ impl BenchGroup {
             group: group.to_owned(),
             samples,
             target_sample,
+            quick: opts.quick,
+            dir: opts.dir.unwrap_or_else(default_bench_dir),
             results: Vec::new(),
         }
     }
@@ -152,7 +181,7 @@ impl BenchGroup {
         // routine counts toward the estimate.
         let mut est = Duration::ZERO;
         let mut warm_iters = 0u32;
-        let warm_budget = if quick_mode() {
+        let warm_budget = if self.quick {
             Duration::from_millis(10)
         } else {
             Duration::from_millis(100)
@@ -221,7 +250,7 @@ impl BenchGroup {
     /// Panics if the output directory cannot be created or written — a
     /// bench run whose results vanish silently is worse than a loud stop.
     pub fn finish(self) -> Vec<BenchResult> {
-        let dir = std::env::var("MODREF_BENCH_DIR").unwrap_or_else(|_| default_bench_dir());
+        let dir = self.dir.clone();
         std::fs::create_dir_all(&dir)
             .unwrap_or_else(|e| panic!("cannot create bench output dir {dir}: {e}"));
         let path = format!("{dir}/BENCH_{}.json", self.group);
@@ -236,23 +265,55 @@ impl BenchGroup {
         println!("-- {} results appended to {path}", self.results.len());
         self.results
     }
+
+    /// Like [`finish`](Self::finish), but also drops the recording from
+    /// `trace` next to the `BENCH_*.json` lines: the span summary table
+    /// as `TRACE_<group>.txt` and the Chrome trace-event JSON as
+    /// `TRACE_<group>.json` (truncate, not append — each run replaces the
+    /// last recording). A disabled trace writes nothing extra.
+    ///
+    /// # Panics
+    ///
+    /// Panics on output I/O failure, like [`finish`](Self::finish).
+    pub fn finish_with_trace(self, trace: &modref_trace::Trace) -> Vec<BenchResult> {
+        let dir = self.dir.clone();
+        let group = self.group.clone();
+        let results = self.finish();
+        if trace.is_enabled() {
+            let txt = format!("{dir}/TRACE_{group}.txt");
+            std::fs::write(&txt, trace.export_summary())
+                .unwrap_or_else(|e| panic!("cannot write {txt}: {e}"));
+            let json = format!("{dir}/TRACE_{group}.json");
+            std::fs::write(&json, trace.export_chrome())
+                .unwrap_or_else(|e| panic!("cannot write {json}: {e}"));
+            println!("-- span summary written to {txt} (chrome trace: {json})");
+        }
+        results
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn json_escapes_and_round_numbers() {
-        let r = BenchResult {
-            group: "g\"x".into(),
+    fn result_with_param(param: &str) -> BenchResult {
+        BenchResult {
+            group: "g".into(),
             bench: "b".into(),
-            param: "256".into(),
+            param: param.into(),
             median_ns: 42,
             min_ns: 40,
             max_ns: 44,
             samples: 5,
             iters: 10,
+        }
+    }
+
+    #[test]
+    fn json_escapes_and_round_numbers() {
+        let r = BenchResult {
+            group: "g\"x".into(),
+            ..result_with_param("256")
         };
         let json = r.to_json();
         assert!(json.contains("\\\"x"));
@@ -261,11 +322,42 @@ mod tests {
     }
 
     #[test]
-    fn bench_measures_and_writes() {
+    fn json_escapes_every_control_character() {
+        // The old escaper only handled `"` `\` and `\n`; each row here is
+        // (raw param, expected escaped form inside the JSON string).
+        let table: &[(&str, &str)] = &[
+            ("plain", "plain"),
+            ("qu\"ote", "qu\\\"ote"),
+            ("back\\slash", "back\\\\slash"),
+            ("new\nline", "new\\nline"),
+            ("carriage\rreturn", "carriage\\rreturn"),
+            ("tab\there", "tab\\there"),
+            ("bell\u{7}", "bell\\u0007"),
+            ("nul\u{0}", "nul\\u0000"),
+            ("esc\u{1b}[0m", "esc\\u001b[0m"),
+            ("unit\u{1f}sep", "unit\\u001fsep"),
+        ];
+        for (raw, escaped) in table {
+            let json = result_with_param(raw).to_json();
+            let want = format!("\"param\":\"{escaped}\"");
+            assert!(json.contains(&want), "param {raw:?}: missing {want} in {json}");
+            assert!(
+                !json.bytes().any(|b| b < 0x20),
+                "param {raw:?}: raw control byte leaked into {json:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bench_measures_and_writes_hermetically() {
+        // Explicit options, not env vars: parallel tests in this process
+        // must not observe our knobs.
         let dir = std::env::temp_dir().join(format!("modref-bench-test-{}", std::process::id()));
-        std::env::set_var("MODREF_BENCH_DIR", &dir);
-        std::env::set_var("MODREF_BENCH_QUICK", "1");
-        let mut g = BenchGroup::new("selftest");
+        let opts = BenchOptions {
+            dir: Some(dir.to_string_lossy().into_owned()),
+            quick: true,
+        };
+        let mut g = BenchGroup::with_options("selftest", opts);
         g.bench("spin", 64, || {
             let mut acc = 0u64;
             for i in 0..64u64 {
@@ -280,8 +372,36 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("json lines written");
         assert!(text.lines().count() >= 1);
         assert!(text.contains("\"group\":\"selftest\""));
-        std::env::remove_var("MODREF_BENCH_DIR");
-        std::env::remove_var("MODREF_BENCH_QUICK");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn finish_with_trace_writes_span_summary_next_to_results() {
+        let dir =
+            std::env::temp_dir().join(format!("modref-bench-trace-{}", std::process::id()));
+        let opts = BenchOptions {
+            dir: Some(dir.to_string_lossy().into_owned()),
+            quick: true,
+        };
+        let trace = modref_trace::Trace::enabled();
+        let mut g = BenchGroup::with_options("tracedtest", opts.clone());
+        g.bench("spin", 8, || {
+            let span = trace.span("bench.iter");
+            drop(span);
+        });
+        g.finish_with_trace(&trace);
+        let summary =
+            std::fs::read_to_string(dir.join("TRACE_tracedtest.txt")).expect("summary written");
+        assert!(summary.contains("bench.iter"), "{summary}");
+        let chrome =
+            std::fs::read_to_string(dir.join("TRACE_tracedtest.json")).expect("chrome written");
+        assert!(chrome.starts_with("{\"traceEvents\":["), "{chrome}");
+
+        // A disabled trace adds no files.
+        let mut g = BenchGroup::with_options("quiettest", opts);
+        g.bench("spin", 8, || 0u64);
+        g.finish_with_trace(&modref_trace::Trace::disabled());
+        assert!(!dir.join("TRACE_quiettest.txt").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

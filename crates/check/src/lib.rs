@@ -39,7 +39,7 @@ pub mod rng;
 pub mod runner;
 pub mod strategy;
 
-pub use bench::{BenchGroup, BenchResult};
+pub use bench::{BenchGroup, BenchOptions, BenchResult};
 pub use rng::{Rng, SplitMix64};
 pub use runner::{CaseResult, Config};
 pub use strategy::{

@@ -6,7 +6,8 @@ use std::time::Duration;
 
 use modref_binding::BindingGraph;
 use modref_bitset::BitSet;
-use modref_core::{AnalysisOutcome, Analyzer, Budget, FaultPlan, Guard};
+use modref_core::trace::{escape_json, parse_json, Json};
+use modref_core::{AnalysisOutcome, Analyzer, Budget, FaultPlan, Guard, Trace};
 use modref_ir::{CallGraph, Program, VarId};
 use modref_sections::analyze_sections;
 
@@ -35,6 +36,8 @@ pub fn run(cmd: &Command) -> Result<RunStatus, Box<dyn Error>> {
             threads,
             timeout_ms,
             budget_ops,
+            trace,
+            metrics,
         } => analyze(
             file,
             *no_use,
@@ -45,12 +48,15 @@ pub fn run(cmd: &Command) -> Result<RunStatus, Box<dyn Error>> {
             *threads,
             *timeout_ms,
             *budget_ops,
+            trace.as_deref(),
+            *metrics,
         ),
         Command::Summary { file } => summary(file).map(|()| RunStatus::Clean),
         Command::Sections { file } => sections(file).map(|()| RunStatus::Clean),
         Command::Parallel { file } => parallel(file).map(|()| RunStatus::Clean),
         Command::Dot { file, what } => dot(file, *what).map(|()| RunStatus::Clean),
         Command::Check { file } => check(file).map(|()| RunStatus::Clean),
+        Command::TraceCheck { file } => trace_check(file).map(|()| RunStatus::Clean),
         Command::Run { file, seed, fuel } => {
             run_program(file, *seed, *fuel).map(|()| RunStatus::Clean)
         }
@@ -86,9 +92,18 @@ fn analyze(
     threads: Option<usize>,
     timeout_ms: Option<u64>,
     budget_ops: Option<u64>,
+    trace_out: Option<&str>,
+    metrics: bool,
 ) -> Result<RunStatus, Box<dyn Error>> {
-    let program = load(file)?;
+    let trace = if trace_out.is_some() || metrics {
+        Trace::enabled()
+    } else {
+        Trace::disabled()
+    };
+    let source = fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    let program = modref_frontend::parse_program_traced(&source, &trace)?;
     let mut analyzer = Analyzer::new();
+    analyzer.with_trace(trace.clone());
     if no_use {
         analyzer.without_use();
     }
@@ -138,6 +153,14 @@ fn analyze(
         }
     };
 
+    if let Some(path) = trace_out {
+        fs::write(path, trace.export_chrome())
+            .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+    }
+    if metrics {
+        eprint!("{}", trace.export_summary());
+    }
+
     if json {
         print!("{}", render_json(&program, &summary));
         return Ok(status);
@@ -173,15 +196,7 @@ fn analyze(
 /// Hand-rolled JSON (identifiers are `[A-Za-z0-9_]`, but escape anyway).
 fn render_json(program: &Program, summary: &modref_core::Summary) -> String {
     use std::fmt::Write as _;
-    let esc = |s: &str| -> String {
-        s.chars()
-            .flat_map(|c| match c {
-                '"' | '\\' => vec!['\\', c],
-                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-                c => vec![c],
-            })
-            .collect()
-    };
+    let esc = escape_json;
     let names = |set: &BitSet| -> String {
         let mut parts: Vec<String> = set
             .iter()
@@ -342,5 +357,52 @@ fn check(file: &str) -> Result<(), Box<dyn Error>> {
     let stats = modref_ir::ProgramStats::measure(&program);
     println!("{file}: ok");
     println!("{stats}");
+    Ok(())
+}
+
+/// Validates a `--trace` output file: well-formed JSON, a `traceEvents`
+/// array, and the mandatory `name`/`ph`/`ts` keys on every event.
+fn trace_check(file: &str) -> Result<(), Box<dyn Error>> {
+    let text = fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    let root = parse_json(&text).map_err(|e| format!("`{file}` is not valid JSON: {e}"))?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("`{file}` has no `traceEvents` array"))?;
+    let mut spans = 0usize;
+    let mut instants = 0usize;
+    let mut counters = 0usize;
+    let mut span_names: Vec<&str> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event #{i} is missing a string `name`"))?;
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event #{i} is missing a string `ph`"))?;
+        if ev.get("ts").and_then(Json::as_num).is_none() {
+            return Err(format!("event #{i} is missing a numeric `ts`").into());
+        }
+        match ph {
+            "X" => {
+                spans += 1;
+                span_names.push(name);
+            }
+            "i" => instants += 1,
+            "C" => counters += 1,
+            other => return Err(format!("event #{i} has unknown phase `{other}`").into()),
+        }
+    }
+    span_names.sort_unstable();
+    span_names.dedup();
+    println!(
+        "{file}: valid trace, {} events ({spans} spans, {instants} instants, {counters} counters)",
+        events.len()
+    );
+    if !span_names.is_empty() {
+        println!("spans: {}", span_names.join(", "));
+    }
     Ok(())
 }

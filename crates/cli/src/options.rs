@@ -8,12 +8,14 @@ usage:
   modref analyze  <file.mp> [--no-use] [--no-alias] [--parallel] [--json]
                             [--gmod one|naive|fused|levels] [--threads N]
                             [--timeout-ms N] [--budget-ops N]
+                            [--trace <out.json>] [--metrics]
   modref summary  <file.mp>
   modref sections <file.mp>
   modref parallel <file.mp>
   modref dot      <file.mp> --what callgraph|binding
   modref run      <file.mp> [--seed N] [--fuel N]
   modref check    <file.mp>
+  modref trace-check <trace.json>
 
 exit codes:
   0 success   1 input/analysis error   2 usage error
@@ -52,6 +54,10 @@ pub enum Command {
         timeout_ms: Option<u64>,
         /// Combined bit-vector + boolean operation budget.
         budget_ops: Option<u64>,
+        /// Write a Chrome trace-event JSON recording of the run here.
+        trace: Option<String>,
+        /// Print the trace summary table to stderr after the run.
+        metrics: bool,
     },
     /// Per-procedure summary table.
     Summary {
@@ -78,6 +84,11 @@ pub enum Command {
     /// Parse and validate only.
     Check {
         /// Input path.
+        file: String,
+    },
+    /// Validate a previously written `--trace` file.
+    TraceCheck {
+        /// Path of the trace JSON.
         file: String,
     },
     /// Execute the program in the reference interpreter.
@@ -111,6 +122,8 @@ impl Command {
                 let mut threads = None;
                 let mut timeout_ms = None;
                 let mut budget_ops = None;
+                let mut trace = None;
+                let mut metrics = false;
                 while let Some(a) = it.next() {
                     match a.as_str() {
                         "--no-use" => no_use = true,
@@ -129,8 +142,16 @@ impl Command {
                         }
                         "--threads" => {
                             let v = it.next().ok_or("--threads needs a value")?;
-                            threads =
-                                Some(v.parse().map_err(|_| format!("bad --threads `{v}`"))?);
+                            let n: usize =
+                                v.parse().map_err(|_| format!("bad --threads `{v}`"))?;
+                            if n == 0 {
+                                return Err(
+                                    "--threads must be at least 1 \
+                                     (set MODREF_THREADS=0 for one worker per core)"
+                                        .into(),
+                                );
+                            }
+                            threads = Some(n);
                         }
                         "--timeout-ms" => {
                             let v = it.next().ok_or("--timeout-ms needs a value")?;
@@ -142,6 +163,11 @@ impl Command {
                             budget_ops =
                                 Some(v.parse().map_err(|_| format!("bad --budget-ops `{v}`"))?);
                         }
+                        "--trace" => {
+                            let v = it.next().ok_or("--trace needs an output path")?;
+                            trace = Some(v.clone());
+                        }
+                        "--metrics" => metrics = true,
                         flag if flag.starts_with('-') => {
                             return Err(format!("unknown flag `{flag}`"))
                         }
@@ -158,6 +184,20 @@ impl Command {
                     threads,
                     timeout_ms,
                     budget_ops,
+                    trace,
+                    metrics,
+                })
+            }
+            "trace-check" => {
+                let mut file = None;
+                for a in it {
+                    if a.starts_with('-') {
+                        return Err(format!("unknown flag `{a}`"));
+                    }
+                    set_file(&mut file, a)?;
+                }
+                Ok(Command::TraceCheck {
+                    file: file.ok_or("missing trace file")?,
                 })
             }
             "summary" | "sections" | "parallel" | "check" => {
@@ -263,6 +303,8 @@ mod tests {
                 threads: None,
                 timeout_ms: None,
                 budget_ops: None,
+                trace: None,
+                metrics: false,
             }
         );
     }
@@ -283,6 +325,8 @@ mod tests {
                 threads: Some(4),
                 timeout_ms: None,
                 budget_ops: None,
+                trace: None,
+                metrics: false,
             }
         );
         assert!(parse(&["analyze", "x.mp", "--threads"])
@@ -309,6 +353,8 @@ mod tests {
                 threads: None,
                 timeout_ms: Some(250),
                 budget_ops: Some(9000),
+                trace: None,
+                metrics: false,
             }
         );
         assert!(parse(&["analyze", "x.mp", "--timeout-ms"])
@@ -320,6 +366,42 @@ mod tests {
         assert!(parse(&["analyze", "x.mp", "--budget-ops", "-3"])
             .unwrap_err()
             .contains("bad --budget-ops"));
+    }
+
+    #[test]
+    fn analyze_rejects_zero_threads() {
+        let err = parse(&["analyze", "x.mp", "--threads", "0"]).unwrap_err();
+        assert!(err.contains("--threads must be at least 1"), "{err}");
+        assert!(err.contains("MODREF_THREADS=0"), "{err}");
+    }
+
+    #[test]
+    fn analyze_trace_and_metrics() {
+        let cmd = parse(&["analyze", "x.mp", "--trace", "out.json", "--metrics"])
+            .expect("parses");
+        match cmd {
+            Command::Analyze { trace, metrics, .. } => {
+                assert_eq!(trace.as_deref(), Some("out.json"));
+                assert!(metrics);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&["analyze", "x.mp", "--trace"])
+            .unwrap_err()
+            .contains("--trace needs an output path"));
+    }
+
+    #[test]
+    fn trace_check_verb() {
+        assert_eq!(
+            parse(&["trace-check", "t.json"]).expect("parses"),
+            Command::TraceCheck {
+                file: "t.json".into()
+            }
+        );
+        assert!(parse(&["trace-check"])
+            .unwrap_err()
+            .contains("missing trace file"));
     }
 
     #[test]

@@ -202,6 +202,93 @@ fn usage_on_bad_arguments() {
 }
 
 #[test]
+fn threads_zero_is_a_usage_error() {
+    let path = write_temp("threads-zero", DEMO);
+    let out = modref()
+        .args(["analyze", path.to_str().expect("utf-8"), "--threads", "0"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2), "exit code");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--threads must be at least 1"), "stderr: {err}");
+    assert!(err.contains("MODREF_THREADS=0"), "stderr: {err}");
+    assert!(err.contains("usage:"), "stderr: {err}");
+}
+
+#[test]
+fn trace_flag_emits_valid_chrome_json() {
+    let path = write_temp("trace", DEMO);
+    let trace_path = std::env::temp_dir().join("modref-cli-test-trace-out.json");
+    let plain = modref().arg("analyze").arg(&path).output().expect("runs");
+    let traced = modref()
+        .args([
+            "analyze",
+            path.to_str().expect("utf-8"),
+            "--trace",
+            trace_path.to_str().expect("utf-8"),
+        ])
+        .output()
+        .expect("runs");
+    assert!(traced.status.success());
+    // Recording must not change the report.
+    assert_eq!(plain.stdout, traced.stdout);
+
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    assert!(text.starts_with("{\"traceEvents\":["), "got: {text}");
+
+    // The binary's own validator accepts it and sees the phase spans.
+    let check = modref()
+        .args(["trace-check", trace_path.to_str().expect("utf-8")])
+        .output()
+        .expect("runs");
+    assert!(
+        check.status.success(),
+        "{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    let report = String::from_utf8_lossy(&check.stdout);
+    assert!(report.contains("valid trace"), "{report}");
+    for phase in ["analyze", "frontend", "local", "rmod", "gmod", "dmod", "modsets"] {
+        assert!(report.contains(phase), "missing span `{phase}` in:\n{report}");
+    }
+    std::fs::remove_file(&trace_path).ok();
+}
+
+#[test]
+fn metrics_flag_keeps_stdout_identical() {
+    let path = write_temp("metrics", DEMO);
+    let plain = modref().arg("analyze").arg(&path).output().expect("runs");
+    let metered = modref()
+        .args(["analyze", path.to_str().expect("utf-8"), "--metrics"])
+        .output()
+        .expect("runs");
+    assert!(metered.status.success());
+    assert_eq!(plain.stdout, metered.stdout);
+    let err = String::from_utf8_lossy(&metered.stderr);
+    assert!(err.contains("analyze"), "summary on stderr, got: {err}");
+}
+
+#[test]
+fn trace_check_rejects_malformed_input() {
+    let bad = std::env::temp_dir().join("modref-cli-test-bad-trace.json");
+    std::fs::write(&bad, "{\"traceEvents\":[{\"ph\":\"X\"}]}").expect("write");
+    let out = modref()
+        .args(["trace-check", bad.to_str().expect("utf-8")])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing a string `name`"));
+    std::fs::write(&bad, "not json at all").expect("write");
+    let out = modref()
+        .args(["trace-check", bad.to_str().expect("utf-8")])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not valid JSON"));
+    std::fs::remove_file(&bad).ok();
+}
+
+#[test]
 fn missing_file_is_a_clean_error() {
     let out = modref()
         .args(["analyze", "/nonexistent/nowhere.mp"])

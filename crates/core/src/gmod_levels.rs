@@ -73,6 +73,37 @@ pub fn solve_gmod_levels_guarded(
     pool: &ThreadPool,
     guard: &Guard,
 ) -> Result<GmodSolution, Interrupt> {
+    solve_gmod_levels_traced(
+        program,
+        call_graph,
+        seeds,
+        locals,
+        pool,
+        guard,
+        &modref_trace::Trace::disabled(),
+    )
+}
+
+/// [`solve_gmod_levels_guarded`] recording one `gmod.level` span per
+/// condensation level into `trace` (annotated with the level index, its
+/// component count, and its bit-vector steps), plus a `gmod.problem` span
+/// per multi-level problem on nested programs. This is the view that
+/// explains a flat parallel-scaling curve: level width, not thread count,
+/// bounds the useful concurrency. Identical output at any thread count;
+/// tracing only observes.
+///
+/// # Errors
+///
+/// As for [`solve_gmod_levels_guarded`].
+pub fn solve_gmod_levels_traced(
+    program: &Program,
+    call_graph: &DiGraph,
+    seeds: &[BitSet],
+    locals: &[BitSet],
+    pool: &ThreadPool,
+    guard: &Guard,
+    trace: &modref_trace::Trace,
+) -> Result<GmodSolution, Interrupt> {
     assert_eq!(seeds.len(), program.num_procs(), "one seed per procedure");
     assert_eq!(locals.len(), program.num_procs(), "one LOCAL per procedure");
     guard.checkpoint("gmod")?;
@@ -93,6 +124,7 @@ pub fn solve_gmod_levels_guarded(
             pool,
             &mut stats,
             guard,
+            trace,
         )?;
         return Ok(GmodSolution::new(sets, stats));
     }
@@ -107,12 +139,15 @@ pub fn solve_gmod_levels_guarded(
     let mut total: Vec<BitSet> = seeds.to_vec();
     for i in 1..=dp {
         guard.check()?;
+        let mut problem_span = trace.span("gmod.problem");
+        problem_span.arg("problem", i as u64);
         let mut restricted = DiGraph::new(n);
         for (e, &lv) in call_graph.edges().zip(&callee_level) {
             if lv >= i {
                 restricted.add_edge(e.from, e.to);
             }
         }
+        problem_span.arg("edges", restricted.num_edges() as u64);
         let sets = solve_problem(
             &restricted,
             program.num_vars(),
@@ -121,7 +156,9 @@ pub fn solve_gmod_levels_guarded(
             pool,
             &mut stats,
             guard,
+            trace,
         )?;
+        drop(problem_span);
         let mut union_steps = 0u64;
         for (acc, s) in total.iter_mut().zip(&sets) {
             acc.union_with(s);
@@ -145,6 +182,7 @@ fn solve_problem(
     pool: &ThreadPool,
     stats: &mut OpCounter,
     guard: &Guard,
+    trace: &modref_trace::Trace,
 ) -> Result<Vec<BitSet>, Interrupt> {
     let n = graph.num_nodes();
     let sccs = tarjan(graph);
@@ -163,6 +201,9 @@ fn solve_problem(
     let mut g: Vec<BitSet> = vec![BitSet::new(num_vars); n];
     for level in 0..levels.num_levels() {
         let group = levels.group(level);
+        let mut level_span = trace.span("gmod.level");
+        level_span.arg("level", level as u64);
+        level_span.arg("components", group.len() as u64);
         // Components of one level are pairwise independent: each task
         // writes only its own members' rows (returned by value and stored
         // below) and reads only rows finalised at lower levels. Workers
@@ -194,6 +235,8 @@ fn solve_problem(
                 g[u] = set;
             }
         }
+        level_span.arg("bitvec_steps", level_work.bitvec_steps);
+        drop(level_span);
         *stats += level_work;
         guard.charge(level_work.bitvec_steps, level_work.bool_steps);
         guard.check()?;

@@ -67,7 +67,7 @@ pub mod pipeline;
 
 pub use alias::AliasPairs;
 pub use gmod::{solve_gmod_one_level, solve_gmod_one_level_guarded, GmodSolution};
-pub use gmod_levels::{solve_gmod_levels, solve_gmod_levels_guarded};
+pub use gmod_levels::{solve_gmod_levels, solve_gmod_levels_guarded, solve_gmod_levels_traced};
 pub use gmod_nested::{
     solve_gmod_multi_fused, solve_gmod_multi_fused_guarded, solve_gmod_multi_naive,
     solve_gmod_multi_naive_guarded,
@@ -84,3 +84,8 @@ pub use pipeline::{
 /// `modref-guard` directly.
 pub use modref_guard as guard;
 pub use modref_guard::{Budget, CancelToken, FaultAction, FaultPlan, Guard, Interrupt};
+
+/// The tracing layer ([`Analyzer::with_trace`]), re-exported so
+/// downstream crates need not depend on `modref-trace` directly.
+pub use modref_trace as trace;
+pub use modref_trace::Trace;

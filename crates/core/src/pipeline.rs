@@ -12,19 +12,37 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use modref_binding::{solve_rmod_guarded, BindingGraph, RmodSolution};
+use modref_binding::{solve_rmod_traced, BindingGraph, RmodSolution};
 use modref_bitset::{BitSet, OpCounter};
 use modref_guard::{Guard, Interrupt};
 use modref_ir::{CallGraph, CallSiteId, LocalEffects, ProcId, Program};
 use modref_par::ThreadPool;
+use modref_trace::Trace;
 
 use crate::alias::AliasPairs;
 use crate::dmod::{compute_dmod_guarded, DmodSolution};
 use crate::gmod::{solve_gmod_one_level_guarded, GmodSolution};
-use crate::gmod_levels::solve_gmod_levels_guarded;
+use crate::gmod_levels::solve_gmod_levels_traced;
 use crate::gmod_nested::{solve_gmod_multi_fused_guarded, solve_gmod_multi_naive_guarded};
 use crate::imod_plus::compute_imod_plus_guarded;
 use crate::modsets::compute_mod_guarded;
+
+/// Attaches the non-zero fields of an [`OpCounter`] as numeric span
+/// attributes, so traced phases report their work in the paper's units.
+fn span_ops(span: &mut modref_trace::Span<'_>, ops: &OpCounter) {
+    for (key, value) in [
+        ("bitvec_steps", ops.bitvec_steps),
+        ("bool_steps", ops.bool_steps),
+        ("meets", ops.meets),
+        ("nodes_visited", ops.nodes_visited),
+        ("edges_visited", ops.edges_visited),
+        ("iterations", ops.iterations),
+    ] {
+        if value != 0 {
+            span.arg(key, value);
+        }
+    }
+}
 
 /// Which algorithm computes the global (`GMOD`) phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -270,6 +288,7 @@ pub struct Analyzer {
     skip_aliases: bool,
     parallel: bool,
     threads: Option<usize>,
+    trace: Trace,
 }
 
 impl Analyzer {
@@ -320,6 +339,20 @@ impl Analyzer {
         self
     }
 
+    /// Records the run into `trace` (see [`modref_trace`]): one span per
+    /// pipeline phase annotated with its operation counts, per-level
+    /// `GMOD` spans, guard-charge and pool counters, and a `degraded`
+    /// instant when a guarded run falls back. Tracing only observes —
+    /// results are bit-identical with tracing on or off, at any thread
+    /// count — and the default [`Trace::disabled`] handle makes every
+    /// record a no-op. Export the data afterwards with
+    /// [`Trace::export_chrome`] or [`Trace::export_summary`] on a clone of
+    /// the handle passed here.
+    pub fn with_trace(&mut self, trace: Trace) -> &mut Self {
+        self.trace = trace;
+        self
+    }
+
     /// Runs the full pipeline on a validated program.
     ///
     /// Equivalent to [`Analyzer::analyze_guarded`] with an unlimited
@@ -356,11 +389,17 @@ impl Analyzer {
         let mut stats = PhaseStats::default();
         let pool = ThreadPool::with_threads(self.threads);
         let mut failures: Vec<Failure> = Vec::new();
+        let mut run_span = self.trace.span("analyze");
+        run_span.arg("threads", pool.threads() as u64);
+        run_span.arg("procs", program.num_procs() as u64);
+        run_span.arg("sites", program.num_sites() as u64);
+        let pool_before = pool.stats();
 
         // Phase 0: local sets and shared structures. The graphs are
         // unguarded: they are single linear passes the fallbacks
         // themselves would need.
         let t = Instant::now();
+        let local_span = self.trace.span("local");
         let effects = run_phase(
             Phase::Local,
             &mut failures,
@@ -371,6 +410,7 @@ impl Analyzer {
             },
             || LocalEffects::conservative(program),
         );
+        drop(local_span);
         stats.wall.local += t.elapsed();
         let call_graph = CallGraph::build(program);
         let beta = BindingGraph::build(program);
@@ -445,6 +485,7 @@ impl Analyzer {
         // monotone), and the fallback here projects the same inputs
         // without a guard.
         let t = Instant::now();
+        let mut dmod_span = self.trace.span("dmod");
         let dmod = run_phase(
             Phase::Dmod,
             &mut failures,
@@ -466,6 +507,8 @@ impl Analyzer {
             stats.dmod += d.stats();
             d
         };
+        span_ops(&mut dmod_span, &stats.dmod);
+        drop(dmod_span);
         stats.wall.dmod += t.elapsed();
 
         // Phase 5: aliases and factoring. An interrupted alias phase has
@@ -475,13 +518,17 @@ impl Analyzer {
         let aliases = if self.skip_aliases {
             AliasPairs::compute_empty(program)
         } else {
-            run_phase(
+            let mut alias_span = self.trace.span("alias");
+            let pairs = run_phase(
                 Phase::Aliases,
                 &mut failures,
                 &mut stats.wall.fallback,
                 || AliasPairs::compute_guarded(program, guard),
                 || AliasPairs::compute_empty(program),
-            )
+            );
+            let total_pairs: usize = program.procs().map(|p| pairs.pair_count(p)).sum();
+            alias_span.arg("pairs", total_pairs as u64);
+            pairs
         };
         let aliases_cut =
             !self.skip_aliases && failures.iter().any(|f| f.phase == Phase::Aliases);
@@ -498,6 +545,7 @@ impl Analyzer {
                     .collect()
             }
         };
+        let mut modsets_span = self.trace.span("modsets");
         let mods = run_phase(
             Phase::ModSets,
             &mut failures,
@@ -514,6 +562,8 @@ impl Analyzer {
             || crate::modsets::ModSolution::conservative(conservative_sites(self.skip_use)),
         );
         stats.modsets += uses.stats();
+        span_ops(&mut modsets_span, &stats.modsets);
+        drop(modsets_span);
         stats.wall.modsets += t.elapsed();
 
         let mut mod_sites = mods.into_sets();
@@ -527,6 +577,22 @@ impl Analyzer {
             use_sites = conservative_sites(self.skip_use);
         }
         stats.wall.total = started.elapsed();
+
+        // Run-level metrics: cumulative guard charge (the budget's view of
+        // the work) and the pool's work-distribution deltas for this run.
+        let (charged_bitvec, charged_bool) = guard.charged();
+        self.trace.counter("guard_bitvec_charged", charged_bitvec);
+        self.trace.counter("guard_bool_charged", charged_bool);
+        let pool_after = pool.stats();
+        self.trace
+            .counter("pool_jobs", pool_after.jobs - pool_before.jobs);
+        self.trace
+            .counter("pool_chunks", pool_after.chunks - pool_before.chunks);
+        self.trace.counter(
+            "pool_cancelled_jobs",
+            pool_after.cancelled_jobs - pool_before.cancelled_jobs,
+        );
+        drop(run_span);
 
         let mut cut = PhaseMask::default();
         for f in &failures {
@@ -567,6 +633,15 @@ impl Analyzer {
             // guard latched a cause. Report the drain sentinel.
             DegradeReason::Interrupted(Interrupt::Halted)
         };
+        let reason_text = reason.to_string();
+        let cut_names: Vec<&str> = cut.iter().map(Phase::name).collect();
+        self.trace.instant_note(
+            "degraded",
+            &[
+                ("reason", reason_text.as_str()),
+                ("cut_phases", cut_names.join(",").as_str()),
+            ],
+        );
         let completed_phases = Phase::ALL
             .into_iter()
             .filter(|p| {
@@ -605,13 +680,16 @@ impl Analyzer {
             (Phase::Ruse, Phase::IusePlus, Phase::Guse)
         };
         let t = Instant::now();
+        let mut rmod_span = self.trace.span(rmod_phase.name());
         let rmod = run_phase(
             rmod_phase,
             failures,
             &mut stats.wall.fallback,
-            || solve_rmod_guarded(program, initial, beta, pool, guard),
+            || solve_rmod_traced(program, initial, beta, pool, guard, &self.trace),
             || RmodSolution::conservative(program),
         );
+        span_ops(&mut rmod_span, &rmod.stats());
+        drop(rmod_span);
         if is_mod {
             stats.rmod += rmod.stats();
             stats.wall.rmod += t.elapsed();
@@ -620,6 +698,7 @@ impl Analyzer {
             stats.wall.ruse += t.elapsed();
         }
         let t = Instant::now();
+        let mut plus_span = self.trace.span(plus_phase.name());
         let (plus, plus_stats) = run_phase(
             plus_phase,
             failures,
@@ -627,6 +706,8 @@ impl Analyzer {
             || compute_imod_plus_guarded(program, initial, &rmod, guard),
             || (program.visible_sets(), OpCounter::new()),
         );
+        span_ops(&mut plus_span, &plus_stats);
+        drop(plus_span);
         stats.imod_plus += plus_stats;
         stats.wall.imod_plus += t.elapsed();
 
@@ -643,6 +724,16 @@ impl Analyzer {
             other => other,
         };
         let t = Instant::now();
+        let mut gmod_span = self.trace.span(gmod_phase.name());
+        gmod_span.note(
+            "algorithm",
+            match algorithm {
+                GmodAlgorithm::OneLevel => "one_level",
+                GmodAlgorithm::MultiLevelNaive => "multi_naive",
+                GmodAlgorithm::MultiLevelFused | GmodAlgorithm::Auto => "multi_fused",
+                GmodAlgorithm::LevelScheduled => "level_scheduled",
+            },
+        );
         let gmod: GmodSolution = run_phase(
             gmod_phase,
             failures,
@@ -657,17 +748,20 @@ impl Analyzer {
                 GmodAlgorithm::MultiLevelFused | GmodAlgorithm::Auto => {
                     solve_gmod_multi_fused_guarded(program, call_graph.graph(), &plus, locals, guard)
                 }
-                GmodAlgorithm::LevelScheduled => solve_gmod_levels_guarded(
+                GmodAlgorithm::LevelScheduled => solve_gmod_levels_traced(
                     program,
                     call_graph.graph(),
                     &plus,
                     locals,
                     pool,
                     guard,
+                    &self.trace,
                 ),
             },
             || GmodSolution::new(program.visible_sets(), OpCounter::new()),
         );
+        span_ops(&mut gmod_span, &gmod.stats());
+        drop(gmod_span);
         if is_mod {
             stats.gmod += gmod.stats();
             stats.wall.gmod += t.elapsed();

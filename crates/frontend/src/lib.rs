@@ -83,7 +83,38 @@ use modref_ir::Program;
 /// assert!(err.to_string().contains("missing"));
 /// ```
 pub fn parse_program(source: &str) -> Result<Program, FrontendError> {
-    let tokens = lexer::lex(source)?;
-    let ast = parser::parse(&tokens)?;
-    lower::lower(&ast)
+    parse_program_traced(source, &modref_trace::Trace::disabled())
+}
+
+/// [`parse_program`] recording spans into `trace`: one `frontend` span
+/// around the whole front end with `frontend.lex`, `frontend.parse`, and
+/// `frontend.lower` nested inside it. Identical behaviour otherwise —
+/// tracing only observes.
+///
+/// # Errors
+///
+/// As for [`parse_program`].
+pub fn parse_program_traced(
+    source: &str,
+    trace: &modref_trace::Trace,
+) -> Result<Program, FrontendError> {
+    let mut outer = trace.span("frontend");
+    outer.arg("source_bytes", source.len() as u64);
+    let tokens = {
+        let mut span = trace.span("frontend.lex");
+        let tokens = lexer::lex(source)?;
+        span.arg("tokens", tokens.len() as u64);
+        tokens
+    };
+    let ast = {
+        let _span = trace.span("frontend.parse");
+        parser::parse(&tokens)?
+    };
+    let program = {
+        let _span = trace.span("frontend.lower");
+        lower::lower(&ast)?
+    };
+    outer.arg("procs", program.num_procs() as u64);
+    outer.arg("sites", program.num_sites() as u64);
+    Ok(program)
 }

@@ -339,6 +339,11 @@ impl Guard {
     /// Solvers place these at phase entries; strides use plain [`check`]
     /// so an injected stall fires once, not per iteration.
     ///
+    /// Site names are the `Phase::name()` strings ("rmod", "gmod", …) —
+    /// the same names `modref-trace` uses for its phase spans, so a
+    /// fault site in `MODREF_FAULT` output can be matched directly to a
+    /// span in a `--trace` recording.
+    ///
     /// [`check`]: Guard::check
     pub fn checkpoint(&self, site: &str) -> Result<(), Interrupt> {
         if let Some(action) = self.faults.as_ref().and_then(|f| f.action_for(site)) {
@@ -383,6 +388,11 @@ impl Guard {
     }
 
     /// Total steps charged so far, `(bitvec, bool)`.
+    ///
+    /// The observability layer samples this at the end of a run and
+    /// exports the totals as the `guard_bitvec_charged` /
+    /// `guard_bool_charged` trace counters (see `docs/OBSERVABILITY.md`),
+    /// so the numbers in a recording are exactly what the budget saw.
     pub fn charged(&self) -> (u64, u64) {
         (
             self.bitvec.load(Ordering::Relaxed),

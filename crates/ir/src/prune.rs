@@ -59,6 +59,25 @@ impl Program {
     /// # }
     /// ```
     pub fn without_unreachable(&self) -> PrunedProgram {
+        self.without_unreachable_traced(&modref_trace::Trace::disabled())
+    }
+
+    /// [`Program::without_unreachable`] recording a `prune` span (with the
+    /// before/after procedure, variable, and site counts) into `trace`.
+    /// Identical output; tracing only observes.
+    pub fn without_unreachable_traced(&self, trace: &modref_trace::Trace) -> PrunedProgram {
+        let mut span = trace.span("prune");
+        span.arg("procs_before", self.num_procs() as u64);
+        span.arg("vars_before", self.num_vars() as u64);
+        span.arg("sites_before", self.num_sites() as u64);
+        let pruned = self.without_unreachable_impl();
+        span.arg("procs_after", pruned.program.num_procs() as u64);
+        span.arg("vars_after", pruned.program.num_vars() as u64);
+        span.arg("sites_after", pruned.program.num_sites() as u64);
+        pruned
+    }
+
+    fn without_unreachable_impl(&self) -> PrunedProgram {
         // Reachability over the call edges.
         let mut reach = vec![false; self.num_procs()];
         reach[ProcId::MAIN.index()] = true;

@@ -57,7 +57,7 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -77,9 +77,22 @@ const MAX_THREADS: usize = 256;
 ///    unparsable values fall back to 1);
 /// 4. `None`, no env var — 1 (sequential).
 ///
-/// The result is clamped to `1..=256`.
+/// The result is clamped to `1..=256`, so every path — including
+/// `MODREF_THREADS=0` on a host whose core count cannot be queried —
+/// yields at least one thread; [`ThreadPool::new`] applies the same clamp
+/// again, so a zero can never reach the worker-spawn loop as "spawn
+/// nothing and then wait on it".
 #[must_use]
 pub fn resolve_threads(requested: Option<usize>) -> usize {
+    resolve_threads_from(requested, std::env::var("MODREF_THREADS").ok().as_deref())
+}
+
+/// [`resolve_threads`] with the environment variable's value passed in
+/// explicitly (`env` is what `MODREF_THREADS` would be). Tests use this to
+/// audit the policy — the zero and garbage cases included — without
+/// mutating process-global environment state.
+#[must_use]
+pub fn resolve_threads_from(requested: Option<usize>, env: Option<&str>) -> usize {
     let auto = || {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -88,13 +101,13 @@ pub fn resolve_threads(requested: Option<usize>) -> usize {
     let n = match requested {
         Some(0) => auto(),
         Some(n) => n,
-        None => match std::env::var("MODREF_THREADS") {
-            Ok(v) => match v.trim().parse::<usize>() {
+        None => match env {
+            Some(v) => match v.trim().parse::<usize>() {
                 Ok(0) => auto(),
                 Ok(n) => n,
                 Err(_) => 1,
             },
-            Err(_) => 1,
+            None => 1,
         },
     };
     n.clamp(1, MAX_THREADS)
@@ -124,6 +137,9 @@ struct Job {
     len: usize,
     chunk: usize,
     cursor: AtomicUsize,
+    /// Chunks actually executed (claims that ran the body), for
+    /// [`ThreadPool::stats`].
+    claimed: AtomicUsize,
     /// Threads currently inside [`Job::participate`].
     active: AtomicUsize,
     finish_lock: Mutex<()>,
@@ -142,6 +158,7 @@ impl Job {
             len,
             chunk,
             cursor: AtomicUsize::new(0),
+            claimed: AtomicUsize::new(0),
             active: AtomicUsize::new(0),
             finish_lock: Mutex::new(()),
             finished: Condvar::new(),
@@ -175,6 +192,7 @@ impl Job {
                 }
             }
             let end = (start + self.chunk).min(self.len);
+            self.claimed.fetch_add(1, Ordering::Relaxed);
             let body = unsafe { &*self.body.0 };
             body(start, end);
         }));
@@ -211,6 +229,20 @@ struct Shared {
     work_ready: Condvar,
 }
 
+/// Cumulative work-distribution counters for one pool, snapshot by
+/// [`ThreadPool::stats`]. Cheap relaxed atomics; the tracing layer reads
+/// deltas around pooled phases to report queue/chunk behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Parallel calls executed (each `par_*` invocation is one job).
+    pub jobs: u64,
+    /// Chunks claimed and run across all jobs (the unit of dynamic load
+    /// balancing; one atomic claim each).
+    pub chunks: u64,
+    /// Jobs a keep-going predicate cut short.
+    pub cancelled_jobs: u64,
+}
+
 /// A fixed-size pool of spawn-once workers executing chunked index-range
 /// jobs. See the crate docs for the design; see [`ThreadPool::new`] for
 /// sizing semantics.
@@ -222,6 +254,9 @@ pub struct ThreadPool {
     /// and USE pipeline halves) queue here and the workers drain one job
     /// at a time. Caller participation guarantees progress either way.
     submit: Mutex<()>,
+    jobs: AtomicU64,
+    chunks: AtomicU64,
+    cancelled_jobs: AtomicU64,
 }
 
 impl ThreadPool {
@@ -250,6 +285,21 @@ impl ThreadPool {
             workers,
             threads,
             submit: Mutex::new(()),
+            jobs: AtomicU64::new(0),
+            chunks: AtomicU64::new(0),
+            cancelled_jobs: AtomicU64::new(0),
+        }
+    }
+
+    /// A snapshot of the pool's cumulative work-distribution counters.
+    /// Callers interested in one phase take a snapshot before and after
+    /// and subtract.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            jobs: self.jobs.load(Ordering::Relaxed),
+            chunks: self.chunks.load(Ordering::Relaxed),
+            cancelled_jobs: self.cancelled_jobs.load(Ordering::Relaxed),
         }
     }
 
@@ -400,9 +450,11 @@ impl ThreadPool {
         if len == 0 {
             return true;
         }
+        self.jobs.fetch_add(1, Ordering::Relaxed);
         if self.workers.is_empty() {
             let Some(keep) = keep else {
                 f(0, len);
+                self.chunks.fetch_add(1, Ordering::Relaxed);
                 return true;
             };
             // Sequential but still cancellable: walk the same chunks a
@@ -411,10 +463,12 @@ impl ThreadPool {
             let mut start = 0;
             while start < len {
                 if !keep() {
+                    self.cancelled_jobs.fetch_add(1, Ordering::Relaxed);
                     return false;
                 }
                 let end = (start + chunk).min(len);
                 f(start, end);
+                self.chunks.fetch_add(1, Ordering::Relaxed);
                 start = end;
             }
             return true;
@@ -449,11 +503,17 @@ impl ThreadPool {
             }
         }
         self.shared.mailbox.lock().unwrap_or_else(std::sync::PoisonError::into_inner).job = None;
+        self.chunks
+            .fetch_add(job.claimed.load(Ordering::Relaxed) as u64, Ordering::Relaxed);
         let payload = job.panic.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
         if let Some(payload) = payload {
             resume_unwind(payload);
         }
-        !job.cancelled.load(Ordering::Relaxed)
+        let cancelled = job.cancelled.load(Ordering::Relaxed);
+        if cancelled {
+            self.cancelled_jobs.fetch_add(1, Ordering::Relaxed);
+        }
+        !cancelled
     }
 }
 
@@ -666,5 +726,80 @@ mod tests {
         assert_eq!(resolve_threads(Some(1)), 1);
         assert!(resolve_threads(Some(0)) >= 1); // auto
         assert_eq!(resolve_threads(Some(100_000)), MAX_THREADS);
+    }
+
+    #[test]
+    fn resolve_threads_from_audits_the_env_policy_hermetically() {
+        // Explicit request beats whatever the environment says.
+        assert_eq!(resolve_threads_from(Some(2), Some("7")), 2);
+        // Env decides when the caller abstains.
+        assert_eq!(resolve_threads_from(None, Some("7")), 7);
+        assert_eq!(resolve_threads_from(None, Some(" 3 ")), 3);
+        // MODREF_THREADS=0 means auto and can never yield zero threads.
+        assert!(resolve_threads_from(None, Some("0")) >= 1);
+        assert!(resolve_threads_from(Some(0), Some("0")) >= 1);
+        // Garbage falls back to sequential rather than erroring.
+        assert_eq!(resolve_threads_from(None, Some("many")), 1);
+        assert_eq!(resolve_threads_from(None, Some("")), 1);
+        assert_eq!(resolve_threads_from(None, Some("-4")), 1);
+        // No request, no env: sequential.
+        assert_eq!(resolve_threads_from(None, None), 1);
+        // Absurd env values are clamped like absurd requests.
+        assert_eq!(resolve_threads_from(None, Some("999999")), MAX_THREADS);
+    }
+
+    #[test]
+    fn stats_count_jobs_and_chunks_on_the_sequential_paths() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.stats(), PoolStats::default());
+
+        // Plain path: one job, one chunk regardless of range size.
+        pool.par_for_each(100, |_| {});
+        let s = pool.stats();
+        assert_eq!((s.jobs, s.chunks, s.cancelled_jobs), (1, 1, 0));
+
+        // Cancellable path runs chunk-by-chunk.
+        let ok = pool.par_for_each_range_while(100, || true, |_, _| {});
+        assert!(ok);
+        let s = pool.stats();
+        assert_eq!(s.jobs, 2);
+        assert!(s.chunks > 1, "chunked walk records per-chunk: {s:?}");
+        assert_eq!(s.cancelled_jobs, 0);
+
+        // Empty ranges are free — no job recorded.
+        pool.par_for_each(0, |_| {});
+        assert_eq!(pool.stats().jobs, 2);
+
+        // A cancelled job is counted as such.
+        assert!(!pool.par_for_each_range_while(64, || false, |_, _| {}));
+        assert_eq!(pool.stats().cancelled_jobs, 1);
+    }
+
+    #[test]
+    fn stats_count_chunks_claimed_across_pooled_workers() {
+        let pool = ThreadPool::new(4);
+        pool.par_for_each(1000, |_| {});
+        let s = pool.stats();
+        assert_eq!(s.jobs, 1);
+        // chunk_for targets ≈ 4 chunks per thread; every one of them must
+        // be accounted once the call returns.
+        let expected = 1000u64.div_ceil(pool.chunk_for(1000) as u64);
+        assert_eq!(s.chunks, expected);
+
+        // Cancellation: fewer chunks than a full run, and the job flagged.
+        let stop = AtomicBool::new(false);
+        let _ = pool.par_for_each_range_while(
+            100_000,
+            || !stop.load(Ordering::Relaxed),
+            |_, _| stop.store(true, Ordering::Relaxed),
+        );
+        let s = pool.stats();
+        assert_eq!(s.jobs, 2);
+        assert_eq!(s.cancelled_jobs, 1);
+        let full = 100_000u64.div_ceil(pool.chunk_for(100_000) as u64);
+        assert!(
+            s.chunks - expected < full,
+            "cancelled job abandoned part of its range: {s:?}"
+        );
     }
 }

@@ -108,24 +108,55 @@ pub fn analyze_sections_guarded(
     program: &Program,
     guard: &Guard,
 ) -> Result<SectionSummary, Interrupt> {
+    analyze_sections_traced(program, guard, &modref_trace::Trace::disabled())
+}
+
+/// [`analyze_sections_guarded`] recording a `sections` span (annotated
+/// with the total meet count) and one sub-span per solver stage —
+/// `sections.local`, `sections.formals`, `sections.globals`,
+/// `sections.sites` — into `trace`. Identical output; tracing only
+/// observes.
+///
+/// # Errors
+///
+/// As for [`analyze_sections_guarded`].
+pub fn analyze_sections_traced(
+    program: &Program,
+    guard: &Guard,
+    trace: &modref_trace::Trace,
+) -> Result<SectionSummary, Interrupt> {
     guard.checkpoint("sections")?;
+    let mut outer = trace.span("sections");
     let mut meets = 0u64;
-    let local = LocalSections::collect(program);
+    let local = {
+        let _span = trace.span("sections.local");
+        LocalSections::collect(program)
+    };
     guard.charge(0, program.num_procs() as u64);
     guard.check()?;
 
+    let mut formal_span = trace.span("sections.formals");
     let (rsd_mod, m1) = solve_sections_from(program, &local.formal_mod, guard)?;
     let (rsd_use, m2) = solve_sections_from(program, &local.formal_use, guard)?;
     meets += m1 + m2;
+    formal_span.arg("meets", m1 + m2);
+    drop(formal_span);
 
+    let mut global_span = trace.span("sections.globals");
     let (garr_mod, m3) = solve_global_arrays(program, &local.global_mod, &rsd_mod, guard)?;
     let (garr_use, m4) = solve_global_arrays(program, &local.global_use, &rsd_use, guard)?;
     meets += m3 + m4;
+    global_span.arg("meets", m3 + m4);
+    drop(global_span);
 
+    let mut site_span = trace.span("sections.sites");
     let (site_mod, m5) = project_sites(program, &rsd_mod, &garr_mod, guard)?;
     let (site_use, m6) = project_sites(program, &rsd_use, &garr_use, guard)?;
     meets += m5 + m6;
+    site_span.arg("meets", m5 + m6);
+    drop(site_span);
 
+    outer.arg("meets", meets);
     Ok(SectionSummary {
         rsd_mod,
         rsd_use,

@@ -93,4 +93,33 @@ cmp ci_plain.out ci_guarded.out || {
 }
 rm -f ci_plain.out ci_guarded.out
 
+# Traced pass: recording must be a pure observer (stdout byte-identical
+# to the plain run) and the emitted file must be a valid Chrome trace
+# that names the pipeline phases — `trace-check` is the binary's own
+# validator, the grep pins the span set.
+echo "== cli trace contract =="
+env -u MODREF_FAULT "$MODREF" analyze "$DEMO" > ci_plain.out
+env -u MODREF_FAULT "$MODREF" analyze "$DEMO" --trace ci_trace.json --metrics \
+    > ci_traced.out 2> ci_metrics.err
+cmp ci_plain.out ci_traced.out || {
+    echo "recording a trace changed the report" >&2
+    exit 1
+}
+grep -q "analyze" ci_metrics.err || {
+    echo "--metrics must print the span summary on stderr" >&2
+    exit 1
+}
+env -u MODREF_FAULT "$MODREF" trace-check ci_trace.json > ci_tracecheck.out
+grep -q "valid trace" ci_tracecheck.out || {
+    echo "trace-check did not accept the emitted trace" >&2
+    exit 1
+}
+for phase in analyze frontend local rmod gmod dmod modsets; do
+    grep -q "$phase" ci_tracecheck.out || {
+        echo "emitted trace is missing the $phase span" >&2
+        exit 1
+    }
+done
+rm -f ci_plain.out ci_traced.out ci_metrics.err ci_trace.json ci_tracecheck.out
+
 echo "CI green"
