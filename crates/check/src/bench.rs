@@ -30,6 +30,7 @@ pub struct BenchGroup {
     target_sample: Duration,
     quick: bool,
     dir: String,
+    seed: Option<String>,
     results: Vec<BenchResult>,
 }
 
@@ -42,16 +43,20 @@ pub struct BenchOptions {
     pub dir: Option<String>,
     /// Cut sample counts and warmup budgets for smoke runs.
     pub quick: bool,
+    /// Workload seed recorded verbatim on every JSON line, so a bench
+    /// trajectory can be replayed (`MODREF_SEED=<seed> cargo bench …`).
+    pub seed: Option<String>,
 }
 
 impl BenchOptions {
     /// The environment-driven defaults (`MODREF_BENCH_DIR`,
-    /// `MODREF_BENCH_QUICK`) used by [`BenchGroup::new`].
+    /// `MODREF_BENCH_QUICK`, `MODREF_SEED`) used by [`BenchGroup::new`].
     #[must_use]
     pub fn from_env() -> Self {
         Self {
             dir: std::env::var("MODREF_BENCH_DIR").ok(),
             quick: quick_mode(),
+            seed: std::env::var("MODREF_SEED").ok(),
         }
     }
 }
@@ -75,6 +80,9 @@ pub struct BenchResult {
     pub samples: u32,
     /// Iterations per sample.
     pub iters: u64,
+    /// The `MODREF_SEED` the run was launched with, if any; rides along
+    /// in the JSON so every recorded case names its replay seed.
+    pub seed: Option<String>,
 }
 
 impl BenchResult {
@@ -86,10 +94,14 @@ impl BenchResult {
         // C0 controls included — a bare `\n`-only escaper silently emits
         // invalid JSON for a param like "256\r").
         use modref_trace::escape_json as esc;
+        let seed = self
+            .seed
+            .as_deref()
+            .map_or_else(String::new, |s| format!(",\"seed\":\"{}\"", esc(s)));
         format!(
             "{{\"group\":\"{}\",\"bench\":\"{}\",\"param\":\"{}\",\
              \"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\
-             \"samples\":{},\"iters\":{}}}",
+             \"samples\":{},\"iters\":{}{seed}}}",
             esc(&self.group),
             esc(&self.bench),
             esc(&self.param),
@@ -145,6 +157,7 @@ impl BenchGroup {
             target_sample,
             quick: opts.quick,
             dir: opts.dir.unwrap_or_else(default_bench_dir),
+            seed: opts.seed,
             results: Vec::new(),
         }
     }
@@ -229,6 +242,7 @@ impl BenchGroup {
             max_ns: per_iter[per_iter.len() - 1],
             samples: self.samples,
             iters,
+            seed: self.seed.clone(),
         };
         println!(
             "{:>24} / {:<10} {:>14} ns/iter  (min {}, max {}, {}x{} iters)",
@@ -306,6 +320,7 @@ mod tests {
             max_ns: 44,
             samples: 5,
             iters: 10,
+            seed: None,
         }
     }
 
@@ -349,6 +364,40 @@ mod tests {
     }
 
     #[test]
+    fn seed_rides_along_in_every_json_line() {
+        // No seed configured: the key is absent entirely, keeping old
+        // consumers' parsers and the append-friendly trajectory intact.
+        assert!(!result_with_param("1").to_json().contains("seed"));
+
+        let r = BenchResult {
+            seed: Some("0xdead\"beef".into()),
+            ..result_with_param("64")
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"seed\":\"0xdead\\\"beef\""), "{json}");
+        assert!(json.ends_with('}'), "{json}");
+
+        // Group-level plumbing: a seed in the options stamps every
+        // measured case, exactly as MODREF_SEED would via from_env.
+        let dir = std::env::temp_dir().join(format!("modref-bench-seed-{}", std::process::id()));
+        let opts = BenchOptions {
+            dir: Some(dir.to_string_lossy().into_owned()),
+            quick: true,
+            seed: Some("42".into()),
+        };
+        let mut g = BenchGroup::with_options("seedtest", opts);
+        g.bench("spin", 8, || 0u64);
+        g.bench("spin", 16, || 1u64);
+        let results = g.finish();
+        assert!(results.iter().all(|r| r.seed.as_deref() == Some("42")));
+        let text = std::fs::read_to_string(dir.join("BENCH_seedtest.json")).expect("written");
+        for line in text.lines() {
+            assert!(line.contains("\"seed\":\"42\""), "{line}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn bench_measures_and_writes_hermetically() {
         // Explicit options, not env vars: parallel tests in this process
         // must not observe our knobs.
@@ -356,6 +405,7 @@ mod tests {
         let opts = BenchOptions {
             dir: Some(dir.to_string_lossy().into_owned()),
             quick: true,
+            seed: None,
         };
         let mut g = BenchGroup::with_options("selftest", opts);
         g.bench("spin", 64, || {
@@ -382,6 +432,7 @@ mod tests {
         let opts = BenchOptions {
             dir: Some(dir.to_string_lossy().into_owned()),
             quick: true,
+            seed: None,
         };
         let trace = modref_trace::Trace::enabled();
         let mut g = BenchGroup::with_options("tracedtest", opts.clone());

@@ -8,6 +8,7 @@ use modref_binding::BindingGraph;
 use modref_bitset::BitSet;
 use modref_core::trace::{escape_json, parse_json, Json};
 use modref_core::{AnalysisOutcome, Analyzer, Budget, FaultPlan, Guard, Trace};
+use modref_incr::{IncrOutcome, IncrementalEngine, IncrementalExt, Script};
 use modref_ir::{CallGraph, Program, VarId};
 use modref_sections::analyze_sections;
 
@@ -38,6 +39,7 @@ pub fn run(cmd: &Command) -> Result<RunStatus, Box<dyn Error>> {
             budget_ops,
             trace,
             metrics,
+            edits,
         } => analyze(
             file,
             *no_use,
@@ -50,6 +52,7 @@ pub fn run(cmd: &Command) -> Result<RunStatus, Box<dyn Error>> {
             *budget_ops,
             trace.as_deref(),
             *metrics,
+            edits.as_deref(),
         ),
         Command::Summary { file } => summary(file).map(|()| RunStatus::Clean),
         Command::Sections { file } => sections(file).map(|()| RunStatus::Clean),
@@ -81,6 +84,76 @@ fn names(program: &Program, set: &BitSet) -> String {
     }
 }
 
+/// The three per-site set families every analyze-style report prints,
+/// collected in call-site index order so the batch [`modref_core::Summary`]
+/// and the incremental engine can feed the same renderers.
+struct SiteSets {
+    mods: Vec<BitSet>,
+    uses: Vec<BitSet>,
+    dmods: Vec<BitSet>,
+}
+
+impl SiteSets {
+    fn from_summary(program: &Program, summary: &modref_core::Summary) -> Self {
+        SiteSets {
+            mods: program.sites().map(|s| summary.mod_site(s).clone()).collect(),
+            uses: program.sites().map(|s| summary.use_site(s).clone()).collect(),
+            dmods: program
+                .sites()
+                .map(|s| summary.dmod_site(s).clone())
+                .collect(),
+        }
+    }
+
+    fn from_engine(engine: &IncrementalEngine) -> Self {
+        let program = engine.program();
+        SiteSets {
+            mods: program.sites().map(|s| engine.mod_site(s).clone()).collect(),
+            uses: program.sites().map(|s| engine.use_site(s).clone()).collect(),
+            dmods: program
+                .sites()
+                .map(|s| engine.dmod_site(s).clone())
+                .collect(),
+        }
+    }
+}
+
+/// The per-site text report shared by plain and `--edits` analyses.
+fn print_site_report(program: &Program, sets: &SiteSets, no_use: bool, no_alias: bool) {
+    for site in program.sites() {
+        let info = program.site(site);
+        println!(
+            "site {site}: call {} (in {})",
+            program.proc_name(info.callee()),
+            program.proc_name(info.caller())
+        );
+        println!("  MOD  = {}", names(program, &sets.mods[site.index()]));
+        if !no_alias {
+            println!("  DMOD = {}", names(program, &sets.dmods[site.index()]));
+        }
+        if !no_use {
+            println!("  USE  = {}", names(program, &sets.uses[site.index()]));
+        }
+    }
+}
+
+/// The whole-analysis guard the `analyze` paths run under: `--timeout-ms`
+/// and `--budget-ops` plus any `MODREF_FAULT` armed in the environment.
+fn guard_from_flags(timeout_ms: Option<u64>, budget_ops: Option<u64>) -> Guard {
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = timeout_ms {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(n) = budget_ops {
+        budget = budget.with_ops(n);
+    }
+    let mut guard = Guard::new(&budget);
+    if let Some(plan) = FaultPlan::from_env() {
+        guard = guard.with_faults(plan);
+    }
+    guard
+}
+
 #[allow(clippy::too_many_arguments)]
 fn analyze(
     file: &str,
@@ -94,6 +167,7 @@ fn analyze(
     budget_ops: Option<u64>,
     trace_out: Option<&str>,
     metrics: bool,
+    edits: Option<&str>,
 ) -> Result<RunStatus, Box<dyn Error>> {
     let trace = if trace_out.is_some() || metrics {
         Trace::enabled()
@@ -102,6 +176,24 @@ fn analyze(
     };
     let source = fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
     let program = modref_frontend::parse_program_traced(&source, &trace)?;
+
+    if let Some(script_path) = edits {
+        return analyze_edits(
+            file,
+            program,
+            script_path,
+            no_use,
+            no_alias,
+            json,
+            threads,
+            timeout_ms,
+            budget_ops,
+            trace_out,
+            metrics,
+            &trace,
+        );
+    }
+
     let mut analyzer = Analyzer::new();
     analyzer.with_trace(trace.clone());
     if no_use {
@@ -120,17 +212,7 @@ fn analyze(
         analyzer.threads(t);
     }
 
-    let mut budget = Budget::unlimited();
-    if let Some(ms) = timeout_ms {
-        budget = budget.with_deadline(Duration::from_millis(ms));
-    }
-    if let Some(n) = budget_ops {
-        budget = budget.with_ops(n);
-    }
-    let mut guard = Guard::new(&budget);
-    if let Some(plan) = FaultPlan::from_env() {
-        guard = guard.with_faults(plan);
-    }
+    let guard = guard_from_flags(timeout_ms, budget_ops);
     let (summary, status) = match analyzer.analyze_guarded(&program, &guard) {
         AnalysisOutcome::Clean(summary) => (summary, RunStatus::Clean),
         AnalysisOutcome::Degraded {
@@ -162,7 +244,10 @@ fn analyze(
     }
 
     if json {
-        print!("{}", render_json(&program, &summary));
+        print!(
+            "{}",
+            render_json(&program, &SiteSets::from_summary(&program, &summary))
+        );
         return Ok(status);
     }
 
@@ -175,26 +260,105 @@ fn analyze(
     );
     let (bn, be) = summary.beta_size();
     println!("binding multi-graph: {bn} nodes, {be} edges\n");
-    for site in program.sites() {
-        let info = program.site(site);
-        println!(
-            "site {site}: call {} (in {})",
-            program.proc_name(info.callee()),
-            program.proc_name(info.caller())
-        );
-        println!("  MOD  = {}", names(&program, summary.mod_site(site)));
-        if !no_alias {
-            println!("  DMOD = {}", names(&program, summary.dmod_site(site)));
+    print_site_report(&program, &SiteSets::from_summary(&program, &summary), no_use, no_alias);
+    Ok(status)
+}
+
+/// Applies an edit script through the incremental engine and reports the
+/// final program's sets. Budgets/faults guard every apply; a degraded
+/// apply widens soundly and maps to exit code 3 like the batch path.
+#[allow(clippy::too_many_arguments)]
+fn analyze_edits(
+    file: &str,
+    program: Program,
+    script_path: &str,
+    no_use: bool,
+    no_alias: bool,
+    json: bool,
+    threads: Option<usize>,
+    timeout_ms: Option<u64>,
+    budget_ops: Option<u64>,
+    trace_out: Option<&str>,
+    metrics: bool,
+    trace: &Trace,
+) -> Result<RunStatus, Box<dyn Error>> {
+    let text = fs::read_to_string(script_path)
+        .map_err(|e| format!("cannot read `{script_path}`: {e}"))?;
+    let script = Script::parse(&text).map_err(|e| format!("{script_path}: {e}"))?;
+
+    let mut analyzer = Analyzer::new();
+    analyzer.with_trace(trace.clone());
+    if let Some(t) = threads {
+        analyzer.threads(t);
+    }
+    let mut engine = analyzer.incremental(program);
+
+    let guard = guard_from_flags(timeout_ms, budget_ops);
+    let mut status = RunStatus::Clean;
+    for (k, step) in script.steps().iter().enumerate() {
+        let edit = step
+            .resolve(engine.program())
+            .map_err(|e| format!("{script_path}: {e}"))?;
+        let outcome = engine
+            .apply_guarded(&edit, &guard)
+            .map_err(|e| format!("{script_path}: script line {}: edit rejected: {e}", step.line))?;
+        if let IncrOutcome::Degraded { reason } = &outcome {
+            eprintln!(
+                "warning: edit #{k} ({script_path}:{}) degraded: {reason}",
+                step.line
+            );
+            eprintln!("  reported sets are sound over-approximations of the exact ones");
+            status = RunStatus::Degraded;
         }
-        if !no_use {
-            println!("  USE  = {}", names(&program, summary.use_site(site)));
+        if metrics {
+            let s = engine.stats();
+            eprintln!(
+                "edit #{k} ({script_path}:{}): {}gmod components {} reused / {} recomputed, \
+                 rmod {} / {}, sites {} / {}, {} procs re-scanned",
+                step.line,
+                if s.full_rebuild { "full rebuild; " } else { "" },
+                s.gmod_components_reused,
+                s.gmod_components_recomputed,
+                s.rmod_components_reused,
+                s.rmod_components_recomputed,
+                s.sites_reused,
+                s.sites_recomputed,
+                s.procs_flat_recomputed,
+            );
         }
     }
+
+    if let Some(path) = trace_out {
+        fs::write(path, trace.export_chrome())
+            .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+    }
+    if metrics {
+        eprint!("{}", trace.export_summary());
+    }
+
+    let program = engine.program();
+    let sets = SiteSets::from_engine(&engine);
+    if json {
+        print!("{}", render_json(program, &sets));
+        return Ok(status);
+    }
+    println!(
+        "{}: {} procedures, {} call sites, {} variables",
+        file,
+        program.num_procs(),
+        program.num_sites(),
+        program.num_vars()
+    );
+    println!(
+        "after {} edits from {script_path}\n",
+        script.steps().len()
+    );
+    print_site_report(program, &sets, no_use, no_alias);
     Ok(status)
 }
 
 /// Hand-rolled JSON (identifiers are `[A-Za-z0-9_]`, but escape anyway).
-fn render_json(program: &Program, summary: &modref_core::Summary) -> String {
+fn render_json(program: &Program, sets: &SiteSets) -> String {
     use std::fmt::Write as _;
     let esc = escape_json;
     let names = |set: &BitSet| -> String {
@@ -217,9 +381,9 @@ fn render_json(program: &Program, summary: &modref_core::Summary) -> String {
             site.index(),
             esc(program.proc_name(info.caller())),
             esc(program.proc_name(info.callee())),
-            names(summary.mod_site(site)),
-            names(summary.use_site(site)),
-            names(summary.dmod_site(site)),
+            names(&sets.mods[site.index()]),
+            names(&sets.uses[site.index()]),
+            names(&sets.dmods[site.index()]),
         );
     }
     out.push_str("]}\n");

@@ -9,6 +9,7 @@ usage:
                             [--gmod one|naive|fused|levels] [--threads N]
                             [--timeout-ms N] [--budget-ops N]
                             [--trace <out.json>] [--metrics]
+                            [--edits <script>]
   modref summary  <file.mp>
   modref sections <file.mp>
   modref parallel <file.mp>
@@ -58,6 +59,8 @@ pub enum Command {
         trace: Option<String>,
         /// Print the trace summary table to stderr after the run.
         metrics: bool,
+        /// Edit script to apply incrementally before reporting.
+        edits: Option<String>,
     },
     /// Per-procedure summary table.
     Summary {
@@ -124,6 +127,7 @@ impl Command {
                 let mut budget_ops = None;
                 let mut trace = None;
                 let mut metrics = false;
+                let mut edits = None;
                 while let Some(a) = it.next() {
                     match a.as_str() {
                         "--no-use" => no_use = true,
@@ -168,6 +172,10 @@ impl Command {
                             trace = Some(v.clone());
                         }
                         "--metrics" => metrics = true,
+                        "--edits" => {
+                            let v = it.next().ok_or("--edits needs a script path")?;
+                            edits = Some(v.clone());
+                        }
                         flag if flag.starts_with('-') => {
                             return Err(format!("unknown flag `{flag}`"))
                         }
@@ -186,6 +194,7 @@ impl Command {
                     budget_ops,
                     trace,
                     metrics,
+                    edits,
                 })
             }
             "trace-check" => {
@@ -305,6 +314,7 @@ mod tests {
                 budget_ops: None,
                 trace: None,
                 metrics: false,
+                edits: None,
             }
         );
     }
@@ -327,6 +337,7 @@ mod tests {
                 budget_ops: None,
                 trace: None,
                 metrics: false,
+                edits: None,
             }
         );
         assert!(parse(&["analyze", "x.mp", "--threads"])
@@ -355,6 +366,7 @@ mod tests {
                 budget_ops: Some(9000),
                 trace: None,
                 metrics: false,
+                edits: None,
             }
         );
         assert!(parse(&["analyze", "x.mp", "--timeout-ms"])
@@ -389,6 +401,20 @@ mod tests {
         assert!(parse(&["analyze", "x.mp", "--trace"])
             .unwrap_err()
             .contains("--trace needs an output path"));
+    }
+
+    #[test]
+    fn analyze_edits_flag() {
+        let cmd = parse(&["analyze", "x.mp", "--edits", "session.edits"]).expect("parses");
+        match cmd {
+            Command::Analyze { edits, .. } => {
+                assert_eq!(edits.as_deref(), Some("session.edits"));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&["analyze", "x.mp", "--edits"])
+            .unwrap_err()
+            .contains("--edits needs a script path"));
     }
 
     #[test]

@@ -288,6 +288,135 @@ fn trace_check_rejects_malformed_input() {
     std::fs::remove_file(&bad).ok();
 }
 
+fn write_script(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("modref-cli-test-{name}.edits"));
+    std::fs::write(&path, contents).expect("write edit script");
+    path
+}
+
+#[test]
+fn analyze_edits_applies_the_script() {
+    let path = write_temp("edits", DEMO);
+    let script = write_script(
+        "edits",
+        "# narrow bump to writing only the global\n\
+         set-local bump mod=g\n\
+         add-call main bump args=g\n",
+    );
+    let out = modref()
+        .args([
+            "analyze",
+            path.to_str().expect("utf-8"),
+            "--edits",
+            script.to_str().expect("utf-8"),
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("after 2 edits from"), "{text}");
+    // The rewritten bump no longer touches its formal, so `m` drops out.
+    assert!(text.contains("site s0: call bump (in main)"), "{text}");
+    assert!(text.contains("MOD  = {g}"), "{text}");
+    assert!(!text.contains("MOD  = {g, m}"), "{text}");
+    // The appended call shows up as a fresh site.
+    assert!(text.contains("site s2: call bump (in main)"), "{text}");
+}
+
+#[test]
+fn analyze_edits_json_reflects_the_edited_program() {
+    let path = write_temp("edits-json", DEMO);
+    let script = write_script("edits-json", "set-local bump mod=g use=g\n");
+    let incr = modref()
+        .args([
+            "analyze",
+            path.to_str().expect("utf-8"),
+            "--edits",
+            script.to_str().expect("utf-8"),
+            "--json",
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        incr.status.success(),
+        "{}",
+        String::from_utf8_lossy(&incr.stderr)
+    );
+    let text = String::from_utf8_lossy(&incr.stdout);
+    assert!(text.starts_with("{\"sites\":["), "{text}");
+    assert!(text.contains("\"mod\":[\"g\"]"), "{text}");
+    assert!(text.contains("\"use\":[\"g\"]"), "{text}");
+    assert!(!text.contains("\"mod\":[\"g\",\"m\"]"), "{text}");
+}
+
+#[test]
+fn analyze_edits_bad_script_is_a_clean_error() {
+    let path = write_temp("edits-bad", DEMO);
+    let script = write_script("edits-bad", "set-local nosuchproc mod=g\n");
+    let out = modref()
+        .args([
+            "analyze",
+            path.to_str().expect("utf-8"),
+            "--edits",
+            script.to_str().expect("utf-8"),
+        ])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("script line 1"), "stderr: {err}");
+}
+
+#[test]
+fn analyze_edits_metrics_reports_per_edit_counters() {
+    let path = write_temp("edits-metrics", DEMO);
+    let script = write_script("edits-metrics", "set-local bump mod=g\n");
+    let out = modref()
+        .args([
+            "analyze",
+            path.to_str().expect("utf-8"),
+            "--edits",
+            script.to_str().expect("utf-8"),
+            "--metrics",
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("edit #0"), "stderr: {err}");
+    assert!(err.contains("reused"), "stderr: {err}");
+    // The trace summary still prints, with the incremental span in it.
+    assert!(err.contains("incr.apply"), "stderr: {err}");
+}
+
+#[test]
+fn analyze_edits_zero_budget_degrades_with_exit_code_3() {
+    let path = write_temp("edits-budget", DEMO);
+    let script = write_script("edits-budget", "set-local bump mod=g\n");
+    let out = modref()
+        .args([
+            "analyze",
+            path.to_str().expect("utf-8"),
+            "--edits",
+            script.to_str().expect("utf-8"),
+            "--budget-ops",
+            "0",
+        ])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(3), "exit code");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("degraded"), "stderr: {err}");
+    assert!(err.contains("sound over-approximations"), "stderr: {err}");
+    // Degraded output is still a full report.
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("site s0"), "{text}");
+}
+
 #[test]
 fn missing_file_is_a_clean_error() {
     let out = modref()

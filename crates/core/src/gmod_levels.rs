@@ -246,8 +246,17 @@ fn solve_problem(
 
 /// One component's closed fixpoint: base sets from finalised successor
 /// levels, then inner iteration over the component's own edges.
+///
+/// Public so the incremental engine (`modref-incr`) can recompute exactly
+/// the dirty components of a level schedule with the *same* kernel the
+/// from-scratch solver uses — bit-identity between the two then follows
+/// from the uniqueness of each component's fixpoint. `c` indexes `sccs`;
+/// `comp_map`/`comp_pos` are the component id and member position of each
+/// node; `g_final[q]` must hold the final `GMOD` row of every node `q`
+/// reachable from the component through a cross-component edge. Returns
+/// one row per member, in member order, plus the work done.
 #[allow(clippy::too_many_arguments)]
-fn solve_component(
+pub fn solve_component(
     c: modref_graph::SccId,
     graph: &DiGraph,
     sccs: &modref_graph::Sccs,

@@ -67,7 +67,9 @@ pub mod pipeline;
 
 pub use alias::AliasPairs;
 pub use gmod::{solve_gmod_one_level, solve_gmod_one_level_guarded, GmodSolution};
-pub use gmod_levels::{solve_gmod_levels, solve_gmod_levels_guarded, solve_gmod_levels_traced};
+pub use gmod_levels::{
+    solve_component, solve_gmod_levels, solve_gmod_levels_guarded, solve_gmod_levels_traced,
+};
 pub use gmod_nested::{
     solve_gmod_multi_fused, solve_gmod_multi_fused_guarded, solve_gmod_multi_naive,
     solve_gmod_multi_naive_guarded,

@@ -353,6 +353,18 @@ impl Analyzer {
         self
     }
 
+    /// The thread count configured through [`Analyzer::threads`], if any.
+    /// `None` means the `MODREF_THREADS` environment default applies.
+    pub fn configured_threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// The trace this analyzer records into ([`Trace::disabled`] unless
+    /// [`Analyzer::with_trace`] was called).
+    pub fn trace_handle(&self) -> &Trace {
+        &self.trace
+    }
+
     /// Runs the full pipeline on a validated program.
     ///
     /// Equivalent to [`Analyzer::analyze_guarded`] with an unlimited

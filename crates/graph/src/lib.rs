@@ -41,6 +41,7 @@
 pub mod condense;
 pub mod dfs;
 pub mod digraph;
+pub mod dirty;
 pub mod dot;
 pub mod levels;
 pub mod reach;
@@ -48,6 +49,7 @@ pub mod scc;
 pub mod topo;
 
 pub use condense::Condensation;
+pub use dirty::DirtySweep;
 pub use levels::Levels;
 pub use dfs::{DepthFirst, EdgeKind};
 pub use digraph::{DiGraph, Edge, EdgeId, NodeId};

@@ -1,0 +1,1455 @@
+//! The incremental summary engine.
+//!
+//! [`IncrementalEngine`] holds a program, the full set of analysis
+//! results for it, and a cache of per-phase intermediates. Applying a
+//! typed [`Edit`] recomputes *exactly the invalidated pieces* — dirty
+//! components of the binding multi-graph's condensation for `RMOD`/`RUSE`
+//! (Figure 1), dirty components of each level-scheduled `GMOD` problem
+//! (signature-keyed per-component fixpoints), and the call sites whose
+//! inputs moved — while everything else is copied from the cache. The
+//! results after every edit are **bit-identical** to a from-scratch
+//! [`Analyzer::analyze`] run on the edited program; the differential test
+//! rig (`tests/incr_equiv.rs`) enforces this for random edit scripts at
+//! several thread counts.
+//!
+//! # Why reuse is sound
+//!
+//! Every set the pipeline computes is the least fixed point of a system
+//! whose per-component subproblems are *closed* once their successors
+//! (callees, bound formals) are final. A cached component value is reused
+//! only when
+//!
+//! 1. its local structure is unchanged (same members, same outgoing
+//!    edges — checked by an explicit signature),
+//! 2. its inputs are unchanged (seeds and the `LOCAL` sets its edges
+//!    filter through), and
+//! 3. no successor's value changed ([`DirtySweep`] propagates value
+//!    changes to predecessors, which are processed later in the
+//!    successors-first order).
+//!
+//! Under those three conditions the component solves the *same* closed
+//! subproblem as the cached run did, and a least fixed point is unique —
+//! so the cached rows equal what [`solve_component`] would recompute,
+//! bit for bit. Recomputed components use the *same kernel* the
+//! from-scratch solver uses, so no second implementation has to agree
+//! with the first. See `docs/INCREMENTAL.md` for the full argument.
+//!
+//! # Failure containment
+//!
+//! [`IncrementalEngine::apply_guarded`] runs under a cooperative
+//! [`Guard`]. The cache is *taken out* of the engine before any
+//! recomputation starts; it is put back only when every phase has
+//! committed. An interrupt or contained panic therefore leaves the
+//! engine with **no** cache and conservative (sound, over-approximate)
+//! result sets; the next successful apply rebuilds from scratch and is
+//! again bit-identical to a clean run.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use modref_binding::BindingGraph;
+use modref_bitset::{BitSet, OpCounter};
+use modref_core::{solve_component, Analyzer};
+use modref_graph::{tarjan, Condensation, DiGraph, DirtySweep, SccId, Sccs};
+use modref_guard::{Guard, Interrupt};
+use modref_ir::{
+    walk_stmts, Actual, CallGraph, CallSiteId, Edit, EditDelta, EditError, ProcId, Program, VarId,
+};
+use modref_par::ThreadPool;
+use modref_trace::Trace;
+
+use modref_core::AliasPairs;
+
+/// All result sets, in the same shape the batch [`Summary`] reports them.
+///
+/// [`Summary`]: modref_core::Summary
+#[derive(Debug, Default, Clone)]
+struct Results {
+    /// §3.3-extended `IMOD`/`IUSE` per procedure.
+    imod: Vec<BitSet>,
+    iuse: Vec<BitSet>,
+    /// Figure 1 `RMOD`/`RUSE` per procedure (only own-formal bits).
+    rmod: Vec<BitSet>,
+    ruse: Vec<BitSet>,
+    /// Equation (5) `IMOD⁺`/`IUSE⁺`.
+    plus_mod: Vec<BitSet>,
+    plus_use: Vec<BitSet>,
+    /// Equation (4) `GMOD`/`GUSE`.
+    gmod: Vec<BitSet>,
+    guse: Vec<BitSet>,
+    /// Per-site projections and final alias-factored sets.
+    dmod: Vec<BitSet>,
+    duse: Vec<BitSet>,
+    mods: Vec<BitSet>,
+    uses: Vec<BitSet>,
+}
+
+/// Cached intermediates that outlive one apply. Everything here is an
+/// *optimisation*: the engine is correct with any subset missing (it
+/// recomputes), and the whole cache is dropped on a failed apply.
+struct Cache {
+    /// Flat (un-extended) per-procedure `LMOD`/`LUSE` unions.
+    flat_mod: Vec<BitSet>,
+    flat_use: Vec<BitSet>,
+    /// `LOCAL(p)` per procedure.
+    local_sets: Vec<BitSet>,
+    /// Figure 1 structures; valid only while the binding structure and
+    /// variable universe are unchanged (`set-local` edits).
+    beta: Option<BetaCache>,
+    /// Signature-keyed component fixpoints per `GMOD` problem.
+    problems_mod: Vec<ProblemCache>,
+    problems_use: Vec<ProblemCache>,
+    /// Banning alias pairs; body-independent, reusable across `set-local`.
+    aliases: AliasPairs,
+}
+
+/// The binding multi-graph, its condensation, and the per-component
+/// representer booleans of the last Figure 1 sweep (both problem sides).
+struct BetaCache {
+    beta: BindingGraph,
+    sccs: Sccs,
+    cond: DiGraph,
+    seed_mod: Vec<bool>,
+    seed_use: Vec<bool>,
+    rep_mod: Vec<bool>,
+    rep_use: Vec<bool>,
+}
+
+/// One `GMOD` problem's component cache: sorted members → (sorted
+/// outgoing-edge signature, fixpoint rows in sorted-member order).
+#[derive(Default)]
+struct ProblemCache {
+    comps: HashMap<Vec<usize>, (Vec<(usize, usize)>, Vec<BitSet>)>,
+}
+
+/// Reused-vs-recomputed counters for one apply.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IncrStats {
+    /// `true` when no cache was available (first build, post-failure
+    /// rebuild, or [`IncrementalEngine::refresh`]).
+    pub full_rebuild: bool,
+    /// `true` while the engine holds degraded (conservative) results.
+    pub degraded: bool,
+    /// Procedures whose flat `LMOD`/`LUSE` were rescanned.
+    pub procs_flat_recomputed: usize,
+    /// Binding-condensation components kept / redone (both sides summed).
+    pub rmod_components_reused: usize,
+    /// See [`IncrStats::rmod_components_reused`].
+    pub rmod_components_recomputed: usize,
+    /// `GMOD` condensation components kept / redone (all problems and
+    /// both sides summed).
+    pub gmod_components_reused: usize,
+    /// See [`IncrStats::gmod_components_reused`].
+    pub gmod_components_recomputed: usize,
+    /// Call sites whose projection + factoring were kept / redone.
+    pub sites_reused: usize,
+    /// See [`IncrStats::sites_reused`].
+    pub sites_recomputed: usize,
+}
+
+/// What one successful apply changed, in terms of observable results.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct IncrDelta {
+    /// Procedures (new ids) whose `GMOD` or `GUSE` set differs from the
+    /// pre-edit value (removed procedures are not listed; new ones are).
+    pub changed_procs: Vec<ProcId>,
+    /// Call sites (new ids) whose final `MOD` or `USE` set differs.
+    pub changed_sites: Vec<CallSiteId>,
+}
+
+/// Why a guarded apply degraded.
+#[derive(Debug, Clone)]
+pub enum IncrDegradeReason {
+    /// The guard tripped: deadline, a budget, or cancellation.
+    Interrupted(Interrupt),
+    /// A phase panicked; the engine contained it.
+    Panic(String),
+}
+
+impl std::fmt::Display for IncrDegradeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IncrDegradeReason::Interrupted(i) => write!(f, "{i}"),
+            IncrDegradeReason::Panic(m) => write!(f, "panic during incremental apply: {m}"),
+        }
+    }
+}
+
+/// The result of [`IncrementalEngine::apply_guarded`].
+#[derive(Debug)]
+pub enum IncrOutcome {
+    /// The apply completed; results are bit-identical to a from-scratch
+    /// run on the edited program.
+    Clean(IncrDelta),
+    /// The apply was cut short. The engine now reports conservative
+    /// (sound, over-approximate) sets and has dropped its cache; the next
+    /// successful apply rebuilds from scratch.
+    Degraded {
+        /// What stopped the apply.
+        reason: IncrDegradeReason,
+    },
+}
+
+impl IncrOutcome {
+    /// `true` for [`IncrOutcome::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, IncrOutcome::Degraded { .. })
+    }
+}
+
+/// Obtains an [`IncrementalEngine`] from an [`Analyzer`] configuration,
+/// carrying over its thread count and trace handle.
+pub trait IncrementalExt {
+    /// Builds the engine (running the initial full analysis) with this
+    /// analyzer's threads and trace.
+    fn incremental(&self, program: Program) -> IncrementalEngine;
+}
+
+impl IncrementalExt for Analyzer {
+    fn incremental(&self, program: Program) -> IncrementalEngine {
+        let mut engine = IncrementalEngine::with_config(
+            program,
+            self.configured_threads(),
+            self.trace_handle().clone(),
+        );
+        engine.rebuild();
+        engine
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The engine. See the module docs; `tests/` hold the differential and
+/// fault suites.
+///
+/// # Examples
+///
+/// ```
+/// use modref_incr::{Edit, IncrementalEngine};
+/// use modref_ir::{Expr, ProgramBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ProgramBuilder::new();
+/// let g = b.global("g");
+/// let h = b.global("h");
+/// let p = b.proc_("p", &[]);
+/// b.assign(p, g, Expr::constant(1));
+/// let main = b.main();
+/// let s = b.call(main, p, &[]);
+/// let mut engine = IncrementalEngine::new(b.finish()?);
+/// assert!(engine.mod_site(s).contains(g.index()));
+///
+/// // Edit p to write h instead of g; only the affected pieces recompute.
+/// engine.apply(&Edit::SetLocalEffects { proc_: p, mods: vec![h], uses: vec![] })?;
+/// assert!(!engine.mod_site(s).contains(g.index()));
+/// assert!(engine.mod_site(s).contains(h.index()));
+/// # Ok(())
+/// # }
+/// ```
+pub struct IncrementalEngine {
+    program: Program,
+    threads: Option<usize>,
+    trace: Trace,
+    cache: Option<Cache>,
+    res: Results,
+    stats: IncrStats,
+}
+
+impl IncrementalEngine {
+    /// Builds the engine and runs the initial full analysis.
+    pub fn new(program: Program) -> Self {
+        let mut engine = Self::with_config(program, None, Trace::disabled());
+        engine.rebuild();
+        engine
+    }
+
+    fn with_config(program: Program, threads: Option<usize>, trace: Trace) -> Self {
+        IncrementalEngine {
+            program,
+            threads,
+            trace,
+            cache: None,
+            res: Results::default(),
+            stats: IncrStats::default(),
+        }
+    }
+
+    /// Sets the worker-thread count for the pooled stages (dirty `GMOD`
+    /// component fan-out). Semantics follow [`Analyzer::threads`]: `0`
+    /// means one thread per core, unset defers to `MODREF_THREADS`.
+    /// Results are bit-identical at any thread count.
+    pub fn threads(&mut self, threads: usize) -> &mut Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Records applies into `trace`: one `incr.apply` span per apply,
+    /// annotated with the edit kind and the reused-vs-recomputed
+    /// counters. Tracing only observes.
+    pub fn with_trace(&mut self, trace: Trace) -> &mut Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The current (post-edit) program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The counters of the most recent apply (or rebuild).
+    pub fn stats(&self) -> &IncrStats {
+        &self.stats
+    }
+
+    /// Drops the cache and recomputes everything from scratch.
+    pub fn refresh(&mut self) {
+        self.cache = None;
+        self.rebuild();
+    }
+
+    fn rebuild(&mut self) {
+        self.cache = None;
+        match self.recompute(None, &Guard::unlimited()) {
+            Ok(_) => {}
+            Err(i) => unreachable!("an unlimited guard cannot interrupt the engine: {i}"),
+        }
+    }
+
+    /// Applies `edit` with nothing able to interrupt the recomputation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`EditError`] if the edit is rejected; the program,
+    /// results, and cache are untouched in that case.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a solver panic (which [`IncrementalEngine::apply_guarded`]
+    /// would contain).
+    pub fn apply(&mut self, edit: &Edit) -> Result<IncrDelta, EditError> {
+        match self.apply_guarded(edit, &Guard::unlimited())? {
+            IncrOutcome::Clean(delta) => Ok(delta),
+            IncrOutcome::Degraded { reason } => panic!("incremental apply failed: {reason}"),
+        }
+    }
+
+    /// Applies `edit` under a cooperative [`Guard`] and always returns.
+    ///
+    /// The edit is validated first; a rejected edit changes nothing. Once
+    /// the edit commits, the recomputation runs under the guard with
+    /// checkpoints at `incr`, `incr.local`, `incr.rmod`, `incr.plus`,
+    /// `incr.gmod`, and `incr.final` (fault-injection sites for
+    /// [`modref_guard::FaultPlan`]). On an interrupt or contained panic
+    /// the engine degrades: conservative result sets, cache dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`EditError`] if the edit is rejected (program,
+    /// results, and cache untouched).
+    pub fn apply_guarded(
+        &mut self,
+        edit: &Edit,
+        guard: &Guard,
+    ) -> Result<IncrOutcome, EditError> {
+        let (next, delta) = self.program.apply_edit(edit)?;
+        self.program = next;
+        match catch_unwind(AssertUnwindSafe(|| self.recompute(Some(&delta), guard))) {
+            Ok(Ok(d)) => Ok(IncrOutcome::Clean(d)),
+            Ok(Err(interrupt)) => {
+                self.degrade();
+                Ok(IncrOutcome::Degraded {
+                    reason: IncrDegradeReason::Interrupted(interrupt),
+                })
+            }
+            Err(payload) => {
+                self.degrade();
+                Ok(IncrOutcome::Degraded {
+                    reason: IncrDegradeReason::Panic(panic_message(payload.as_ref())),
+                })
+            }
+        }
+    }
+
+    /// Conservative results for the current program: every set is widened
+    /// to the same fallbacks the batch pipeline's degradation ladder uses
+    /// (all formals for `RMOD`, visible sets elsewhere), so everything
+    /// observable at run time stays inside the reported sets.
+    fn degrade(&mut self) {
+        self.cache = None;
+        let program = &self.program;
+        let visible = program.visible_sets();
+        let nv = program.num_vars();
+        let mut rmod = vec![BitSet::new(nv); program.num_procs()];
+        for p in program.procs() {
+            for &f in program.proc_(p).formals() {
+                rmod[p.index()].insert(f.index());
+            }
+        }
+        let per_site: Vec<BitSet> = program
+            .sites()
+            .map(|s| visible[program.site(s).caller().index()].clone())
+            .collect();
+        self.res = Results {
+            imod: visible.clone(),
+            iuse: visible.clone(),
+            rmod: rmod.clone(),
+            ruse: rmod,
+            plus_mod: visible.clone(),
+            plus_use: visible.clone(),
+            gmod: visible.clone(),
+            guse: visible,
+            dmod: per_site.clone(),
+            duse: per_site.clone(),
+            mods: per_site.clone(),
+            uses: per_site,
+        };
+        self.stats = IncrStats {
+            degraded: true,
+            ..IncrStats::default()
+        };
+    }
+
+    /// The one recomputation path. `delta` is `None` for a full build.
+    /// The cache and prior results are taken out *first*: any interrupt
+    /// or panic after this point leaves the engine cacheless, so a failed
+    /// apply can never leave stale intermediates behind.
+    fn recompute(
+        &mut self,
+        delta: Option<&EditDelta>,
+        guard: &Guard,
+    ) -> Result<IncrDelta, Interrupt> {
+        let cache = self.cache.take();
+        let prior_res = std::mem::take(&mut self.res);
+        let mut stats = IncrStats::default();
+        let mut span = self.trace.span("incr.apply");
+        span.note("edit", delta.map_or("rebuild", |d| d.kind));
+        guard.checkpoint("incr")?;
+
+        let program = &self.program;
+        let np = program.num_procs();
+        let nv = program.num_vars();
+        let ns = program.num_sites();
+        let pool = ThreadPool::with_threads(self.threads);
+
+        // Translate everything cached into the edited program's id spaces.
+        let remapped = match (cache, delta) {
+            (Some(c), Some(d)) => Some(remap_prior(c, prior_res, d, program)),
+            _ => None,
+        };
+        stats.full_rebuild = remapped.is_none();
+        let set_local_only = delta.is_some_and(|d| {
+            !d.structure_changed && !d.universe_changed
+        });
+
+        let mut touched = vec![remapped.is_none(); np];
+        if let Some(d) = delta {
+            for &p in &d.touched_procs {
+                touched[p.index()] = true;
+            }
+        }
+        let is_new_proc: Vec<bool> = match &remapped {
+            Some(r) => r.is_new_proc.clone(),
+            None => vec![true; np],
+        };
+        let is_new_site: Vec<bool> = match &remapped {
+            Some(r) => r.is_new_site.clone(),
+            None => vec![true; ns],
+        };
+
+        // ---- Phase: local sets (flat LMOD/LUSE + the §3.3 extension) ----
+        guard.checkpoint("incr.local")?;
+        let local_sets = program.local_sets();
+        let locals_dirty: Vec<bool> = match &remapped {
+            Some(r) => (0..np)
+                .map(|p| is_new_proc[p] || local_sets[p] != r.local_sets[p])
+                .collect(),
+            None => vec![true; np],
+        };
+        let (mut flat_mod, mut flat_use) = match &remapped {
+            Some(r) => (r.flat_mod.clone(), r.flat_use.clone()),
+            None => (
+                vec![BitSet::new(nv); np],
+                vec![BitSet::new(nv); np],
+            ),
+        };
+        for p in program.procs() {
+            if !touched[p.index()] {
+                continue;
+            }
+            let (m, u) = flat_effects_of(program, p);
+            flat_mod[p.index()] = m;
+            flat_use[p.index()] = u;
+            stats.procs_flat_recomputed += 1;
+        }
+        guard.charge(0, np as u64);
+        let (imod, iuse) = extend_flat(program, &flat_mod, &flat_use, &local_sets);
+
+        // ---- Phase: RMOD/RUSE over the binding condensation ----
+        guard.checkpoint("incr.rmod")?;
+        let beta_cache = remapped
+            .as_ref()
+            .filter(|_| set_local_only)
+            .and_then(|r| r.beta.as_ref());
+        let (beta, sccs, cond, cached_reps) = match beta_cache {
+            Some(bc) => (None, None, None, Some(bc)),
+            None => {
+                let beta = BindingGraph::build(program);
+                let sccs = tarjan(beta.graph());
+                let cond = Condensation::build(beta.graph(), &sccs).graph().clone();
+                (Some(beta), Some(sccs), Some(cond), None)
+            }
+        };
+        // Borrow the structures from whichever side owns them.
+        let (beta_ref, sccs_ref, cond_ref) = match cached_reps {
+            Some(bc) => (&bc.beta, &bc.sccs, &bc.cond),
+            None => (
+                beta.as_ref().expect("fresh beta"),
+                sccs.as_ref().expect("fresh sccs"),
+                cond.as_ref().expect("fresh cond"),
+            ),
+        };
+        let mut rmod_reused = 0usize;
+        let mut rmod_recomputed = 0usize;
+        let (seed_mod, rep_mod, rmod) = rmod_sweep(
+            program,
+            beta_ref,
+            sccs_ref,
+            cond_ref,
+            &imod,
+            cached_reps.map(|bc| (&bc.seed_mod, &bc.rep_mod)),
+            &mut rmod_reused,
+            &mut rmod_recomputed,
+            guard,
+        )?;
+        let (seed_use, rep_use, ruse) = rmod_sweep(
+            program,
+            beta_ref,
+            sccs_ref,
+            cond_ref,
+            &iuse,
+            cached_reps.map(|bc| (&bc.seed_use, &bc.rep_use)),
+            &mut rmod_reused,
+            &mut rmod_recomputed,
+            guard,
+        )?;
+        stats.rmod_components_reused = rmod_reused;
+        stats.rmod_components_recomputed = rmod_recomputed;
+        let new_beta = BetaCache {
+            beta: match beta {
+                Some(b) => b,
+                None => cached_reps.map(|bc| bc.beta.clone()).expect("cached beta"),
+            },
+            sccs: match sccs {
+                Some(s) => s,
+                None => cached_reps.map(|bc| bc.sccs.clone()).expect("cached sccs"),
+            },
+            cond: match cond {
+                Some(c) => c,
+                None => cached_reps.map(|bc| bc.cond.clone()).expect("cached cond"),
+            },
+            seed_mod,
+            seed_use,
+            rep_mod,
+            rep_use,
+        };
+
+        // ---- Phase: IMOD⁺/IUSE⁺ (equation 5; one cheap boolean pass) ----
+        guard.checkpoint("incr.plus")?;
+        let plus_mod = compute_plus(program, &imod, &rmod, guard)?;
+        let plus_use = compute_plus(program, &iuse, &ruse, guard)?;
+        let plus_mod_dirty: Vec<bool> = diff_procs(&plus_mod, remapped.as_ref().map(|r| &r.res.plus_mod), &is_new_proc);
+        let plus_use_dirty: Vec<bool> = diff_procs(&plus_use, remapped.as_ref().map(|r| &r.res.plus_use), &is_new_proc);
+
+        // ---- Phase: GMOD/GUSE (cached level-scheduled fixpoints) ----
+        guard.checkpoint("incr.gmod")?;
+        let call_graph = CallGraph::build(program);
+        let dp = program.max_level() as usize;
+        let nproblems = dp.max(1);
+        let empty_problems: Vec<ProblemCache> = Vec::new();
+        let (old_problems_mod, old_problems_use) = match &remapped {
+            Some(r) => (&r.problems_mod, &r.problems_use),
+            None => (&empty_problems, &empty_problems),
+        };
+        let mut gmod_reused = 0usize;
+        let mut gmod_recomputed = 0usize;
+        let (gmod, problems_mod) = gmod_side(
+            program,
+            call_graph.graph(),
+            dp,
+            nproblems,
+            &plus_mod,
+            &local_sets,
+            &plus_mod_dirty,
+            &locals_dirty,
+            old_problems_mod,
+            &pool,
+            guard,
+            &mut gmod_reused,
+            &mut gmod_recomputed,
+        )?;
+        let (guse, problems_use) = gmod_side(
+            program,
+            call_graph.graph(),
+            dp,
+            nproblems,
+            &plus_use,
+            &local_sets,
+            &plus_use_dirty,
+            &locals_dirty,
+            old_problems_use,
+            &pool,
+            guard,
+            &mut gmod_reused,
+            &mut gmod_recomputed,
+        )?;
+        stats.gmod_components_reused = gmod_reused;
+        stats.gmod_components_recomputed = gmod_recomputed;
+        let gmod_dirty = diff_procs(&gmod, remapped.as_ref().map(|r| &r.res.gmod), &is_new_proc);
+        let guse_dirty = diff_procs(&guse, remapped.as_ref().map(|r| &r.res.guse), &is_new_proc);
+
+        // ---- Phase: aliases, per-site projection, factoring ----
+        guard.checkpoint("incr.final")?;
+        let (aliases, aliases_fresh) = match &remapped {
+            // Alias pairs depend only on call sites and visibility, both
+            // unchanged under a set-local edit.
+            Some(r) if set_local_only => (r.aliases.clone(), false),
+            _ => (AliasPairs::compute_guarded(program, guard)?, true),
+        };
+        let mut old_sites = remapped.map(|r| (r.res.dmod, r.res.duse, r.res.mods, r.res.uses));
+        let no_old = old_sites.is_none();
+        let mut dmod = Vec::with_capacity(ns);
+        let mut duse = Vec::with_capacity(ns);
+        let mut mods = Vec::with_capacity(ns);
+        let mut uses = Vec::with_capacity(ns);
+        let mut changed_sites = Vec::new();
+        for s in program.sites() {
+            let site = program.site(s);
+            let callee = site.callee().index();
+            let caller = site.caller();
+            let i = s.index();
+            let stale = no_old || is_new_site[i] || aliases_fresh || locals_dirty[callee];
+            let redo_mod = stale || gmod_dirty[callee];
+            let redo_use = stale || guse_dirty[callee];
+            // Each side compares its fresh value against the (remapped)
+            // old one *before* the other side may consume its slots, so
+            // a one-sided redo still reports change correctly.
+            let (dm, m, mod_changed) = if redo_mod {
+                let dm = modref_core::dmod::project_site(program, s, &gmod[callee]);
+                let m = aliases.extend_with_aliases(caller, &dm);
+                let changed =
+                    is_new_site[i] || old_sites.as_ref().is_none_or(|o| m != o.2[i]);
+                (dm, m, changed)
+            } else {
+                let o = old_sites.as_mut().expect("a reused site has old results");
+                (std::mem::take(&mut o.0[i]), std::mem::take(&mut o.2[i]), false)
+            };
+            let (du, u, use_changed) = if redo_use {
+                let du = modref_core::dmod::project_site(program, s, &guse[callee]);
+                let u = aliases.extend_with_aliases(caller, &du);
+                let changed =
+                    is_new_site[i] || old_sites.as_ref().is_none_or(|o| u != o.3[i]);
+                (du, u, changed)
+            } else {
+                let o = old_sites.as_mut().expect("a reused site has old results");
+                (std::mem::take(&mut o.1[i]), std::mem::take(&mut o.3[i]), false)
+            };
+            if redo_mod || redo_use {
+                stats.sites_recomputed += 1;
+            } else {
+                stats.sites_reused += 1;
+            }
+            if mod_changed || use_changed {
+                changed_sites.push(s);
+            }
+            dmod.push(dm);
+            duse.push(du);
+            mods.push(m);
+            uses.push(u);
+        }
+        guard.charge(ns as u64, 0);
+        guard.check()?;
+
+        // ---- Commit ----
+        let changed_procs: Vec<ProcId> = program
+            .procs()
+            .filter(|p| gmod_dirty[p.index()] || guse_dirty[p.index()])
+            .collect();
+        self.res = Results {
+            imod,
+            iuse,
+            rmod,
+            ruse,
+            plus_mod,
+            plus_use,
+            gmod,
+            guse,
+            dmod,
+            duse,
+            mods,
+            uses,
+        };
+        self.cache = Some(Cache {
+            flat_mod,
+            flat_use,
+            local_sets,
+            beta: Some(new_beta),
+            problems_mod,
+            problems_use,
+            aliases,
+        });
+        span.arg("full_rebuild", u64::from(stats.full_rebuild));
+        span.arg("flat_recomputed", stats.procs_flat_recomputed as u64);
+        span.arg("rmod_reused", stats.rmod_components_reused as u64);
+        span.arg("rmod_recomputed", stats.rmod_components_recomputed as u64);
+        span.arg("gmod_reused", stats.gmod_components_reused as u64);
+        span.arg("gmod_recomputed", stats.gmod_components_recomputed as u64);
+        span.arg("sites_reused", stats.sites_reused as u64);
+        span.arg("sites_recomputed", stats.sites_recomputed as u64);
+        self.stats = stats;
+        Ok(IncrDelta {
+            changed_procs,
+            changed_sites,
+        })
+    }
+
+    // ---- Accessors (mirroring `Summary`) ----
+
+    /// `IMOD(p)` with the §3.3 nesting extension.
+    pub fn imod(&self, p: ProcId) -> &BitSet {
+        &self.res.imod[p.index()]
+    }
+
+    /// `IUSE(p)` with the nesting extension.
+    pub fn iuse(&self, p: ProcId) -> &BitSet {
+        &self.res.iuse[p.index()]
+    }
+
+    /// `RMOD(p)`: formals of `p` an invocation may modify.
+    pub fn rmod(&self, p: ProcId) -> &BitSet {
+        &self.res.rmod[p.index()]
+    }
+
+    /// `RUSE(p)`.
+    pub fn ruse(&self, p: ProcId) -> &BitSet {
+        &self.res.ruse[p.index()]
+    }
+
+    /// `IMOD⁺(p)` (equation 5).
+    pub fn imod_plus(&self, p: ProcId) -> &BitSet {
+        &self.res.plus_mod[p.index()]
+    }
+
+    /// `IUSE⁺(p)`.
+    pub fn iuse_plus(&self, p: ProcId) -> &BitSet {
+        &self.res.plus_use[p.index()]
+    }
+
+    /// `GMOD(p)`.
+    pub fn gmod(&self, p: ProcId) -> &BitSet {
+        &self.res.gmod[p.index()]
+    }
+
+    /// `GUSE(p)`.
+    pub fn guse(&self, p: ProcId) -> &BitSet {
+        &self.res.guse[p.index()]
+    }
+
+    /// All `GMOD` sets, indexed by procedure.
+    pub fn gmod_all(&self) -> &[BitSet] {
+        &self.res.gmod
+    }
+
+    /// All `GUSE` sets, indexed by procedure.
+    pub fn guse_all(&self) -> &[BitSet] {
+        &self.res.guse
+    }
+
+    /// `DMOD` restricted to call site `s` (before aliases).
+    pub fn dmod_site(&self, s: CallSiteId) -> &BitSet {
+        &self.res.dmod[s.index()]
+    }
+
+    /// `DUSE` restricted to call site `s`.
+    pub fn duse_site(&self, s: CallSiteId) -> &BitSet {
+        &self.res.duse[s.index()]
+    }
+
+    /// `MOD(s)`: the final answer for call site `s`.
+    pub fn mod_site(&self, s: CallSiteId) -> &BitSet {
+        &self.res.mods[s.index()]
+    }
+
+    /// `USE(s)`.
+    pub fn use_site(&self, s: CallSiteId) -> &BitSet {
+        &self.res.uses[s.index()]
+    }
+
+    /// All per-site `MOD` sets.
+    pub fn mod_all(&self) -> &[BitSet] {
+        &self.res.mods
+    }
+
+    /// All per-site `USE` sets.
+    pub fn use_all(&self) -> &[BitSet] {
+        &self.res.uses
+    }
+}
+
+/// Flat (call-free) `LMOD`/`LUSE` of one procedure — the same statement
+/// walk [`modref_ir::LocalEffects::compute`] performs per procedure.
+fn flat_effects_of(program: &Program, p: ProcId) -> (BitSet, BitSet) {
+    let nv = program.num_vars();
+    let mut m = BitSet::new(nv);
+    let mut u = BitSet::new(nv);
+    walk_stmts(program.proc_(p).body(), &mut |s| {
+        m.union_with(&modref_ir::lmod_of_stmt(program, s));
+        u.union_with(&modref_ir::luse_of_stmt(program, s));
+    });
+    (m, u)
+}
+
+/// The §3.3 nesting extension, children before parents — a verbatim
+/// replica of the batch sweep so extended sets stay bit-identical.
+fn extend_flat(
+    program: &Program,
+    flat_mod: &[BitSet],
+    flat_use: &[BitSet],
+    local_sets: &[BitSet],
+) -> (Vec<BitSet>, Vec<BitSet>) {
+    let mut order: Vec<ProcId> = program.procs().collect();
+    order.sort_by_key(|&p| std::cmp::Reverse(program.proc_(p).level()));
+    let mut imod = flat_mod.to_vec();
+    let mut iuse = flat_use.to_vec();
+    for &p in &order {
+        let children = program.proc_(p).children().to_vec();
+        for q in children {
+            let (child_m, child_u) = (imod[q.index()].clone(), iuse[q.index()].clone());
+            imod[p.index()].union_with_difference(&child_m, &local_sets[q.index()]);
+            iuse[p.index()].union_with_difference(&child_u, &local_sets[q.index()]);
+        }
+    }
+    (imod, iuse)
+}
+
+/// One side of the Figure 1 sweep with dirty-component reuse. With no
+/// cache (`cached: None`) every component is recomputed; with a cache,
+/// only components whose seed changed — or whose successors' representer
+/// values changed — are redone. Returns the new seeds, representer
+/// values, and per-procedure `RMOD` sets (the broadcast is always run in
+/// full; it is one boolean step per formal).
+#[allow(clippy::too_many_arguments)]
+fn rmod_sweep(
+    program: &Program,
+    beta: &BindingGraph,
+    sccs: &Sccs,
+    cond: &DiGraph,
+    initial: &[BitSet],
+    cached: Option<(&Vec<bool>, &Vec<bool>)>,
+    reused: &mut usize,
+    recomputed: &mut usize,
+    guard: &Guard,
+) -> Result<(Vec<bool>, Vec<bool>, Vec<BitSet>), Interrupt> {
+    let n = beta.num_nodes();
+    let mut seeds = Vec::with_capacity(n);
+    for node in 0..n {
+        let formal = beta.formal_of_node(node);
+        let (owner, _) = program.formal_position(formal).expect("β nodes are formals");
+        seeds.push(initial[owner.index()].contains(formal.index()));
+    }
+    guard.charge(0, n as u64);
+    guard.check()?;
+
+    let mut sweep = DirtySweep::new(cond);
+    let mut rep = match cached {
+        Some((old_seeds, old_rep)) => {
+            // Seed components whose members' IMOD bits moved.
+            debug_assert_eq!(old_seeds.len(), n, "β unchanged under set-local");
+            for node in 0..n {
+                if seeds[node] != old_seeds[node] {
+                    sweep.seed(sccs.component_of(node));
+                }
+            }
+            old_rep.clone()
+        }
+        None => {
+            for c in 0..sccs.len() {
+                sweep.seed(c);
+            }
+            vec![false; sccs.len()]
+        }
+    };
+    // Ascending SccId = successors first: a dirty component recomputes
+    // its representer from final member seeds and successor values; an
+    // unchanged result stops the dirt right there.
+    for c in 0..sccs.len() {
+        if sweep.is_dirty(c) {
+            let mut value = false;
+            for &m in sccs.members(c) {
+                value |= seeds[m];
+            }
+            for d in cond.successor_nodes(c) {
+                value |= rep[d];
+            }
+            let changed = value != rep[c];
+            rep[c] = value;
+            sweep.update(c, changed);
+        } else {
+            sweep.skip(c);
+        }
+    }
+    *reused += sweep.reused();
+    *recomputed += sweep.recomputed();
+    guard.charge(0, sccs.len() as u64);
+    guard.check()?;
+
+    // Broadcast — the exact step (4) of Figure 1, unbound formals taking
+    // their IMOD bit directly.
+    let mut rmod = vec![BitSet::new(program.num_vars()); program.num_procs()];
+    for p in program.procs() {
+        for &f in program.proc_(p).formals() {
+            let in_rmod = match beta.node_of_formal(f) {
+                Some(node) => rep[sccs.component_of(node)],
+                None => initial[p.index()].contains(f.index()),
+            };
+            if in_rmod {
+                rmod[p.index()].insert(f.index());
+            }
+        }
+    }
+    Ok((seeds, rep, rmod))
+}
+
+/// Equation (5), exactly as [`modref_core::compute_imod_plus`] computes
+/// it (`rmod[callee]` holding only own-formal bits makes the membership
+/// test equivalent to `RmodSolution::is_modified`).
+fn compute_plus(
+    program: &Program,
+    initial: &[BitSet],
+    rmod: &[BitSet],
+    guard: &Guard,
+) -> Result<Vec<BitSet>, Interrupt> {
+    let mut plus = initial.to_vec();
+    let mut steps = 0u64;
+    for s in program.sites() {
+        let site = program.site(s);
+        let caller = site.caller();
+        let callee = site.callee();
+        let callee_formals = program.proc_(callee).formals();
+        for (pos, arg) in site.args().iter().enumerate() {
+            steps += 1;
+            if !rmod[callee.index()].contains(callee_formals[pos].index()) {
+                continue;
+            }
+            if let Actual::Ref(r) = arg {
+                plus[caller.index()].insert(r.var.index());
+            }
+        }
+    }
+    guard.charge(0, steps);
+    guard.check()?;
+    Ok(plus)
+}
+
+/// `new[p] != old[p]` per procedure (new procedures always dirty; no old
+/// results means everything is).
+fn diff_procs(new: &[BitSet], old: Option<&Vec<BitSet>>, is_new: &[bool]) -> Vec<bool> {
+    match old {
+        Some(old) => (0..new.len())
+            .map(|p| is_new[p] || new[p] != old[p])
+            .collect(),
+        None => vec![true; new.len()],
+    }
+}
+
+/// One side's `GMOD` problems with component-level caching. Problem `k`
+/// (0-based) restricts the call multi-graph to edges whose callee sits at
+/// nesting level `≥ k + 1` — for two-level programs the single problem
+/// runs on the full graph, matching the batch solver exactly. Each
+/// problem's condensation is rebuilt (linear), then every component is
+/// either **reused** (signature matches the cache, no member seed or
+/// referenced `LOCAL` set dirty, no successor value changed) or
+/// **recomputed** with [`solve_component`] — the batch kernel — on the
+/// pool.
+#[allow(clippy::too_many_arguments)]
+fn gmod_side(
+    program: &Program,
+    full_graph: &DiGraph,
+    dp: usize,
+    nproblems: usize,
+    seeds: &[BitSet],
+    locals: &[BitSet],
+    seed_dirty: &[bool],
+    locals_dirty: &[bool],
+    old_problems: &[ProblemCache],
+    pool: &ThreadPool,
+    guard: &Guard,
+    reused: &mut usize,
+    recomputed: &mut usize,
+) -> Result<(Vec<BitSet>, Vec<ProblemCache>), Interrupt> {
+    let n = full_graph.num_nodes();
+    let nv = program.num_vars();
+    if n == 0 {
+        return Ok((seeds.to_vec(), Vec::new()));
+    }
+    let callee_level: Vec<usize> = full_graph
+        .edges()
+        .map(|e| program.proc_(ProcId::new(e.to)).level() as usize)
+        .collect();
+
+    let mut new_problems = Vec::with_capacity(nproblems);
+    let mut total: Option<Vec<BitSet>> = if dp <= 1 {
+        None // single problem: its rows *are* the answer
+    } else {
+        Some(seeds.to_vec())
+    };
+
+    for k in 0..nproblems {
+        guard.check()?;
+        let restricted;
+        let graph: &DiGraph = if dp <= 1 {
+            full_graph
+        } else {
+            let mut g = DiGraph::new(n);
+            for (e, &lv) in full_graph.edges().zip(&callee_level) {
+                if lv >= k + 1 {
+                    g.add_edge(e.from, e.to);
+                }
+            }
+            restricted = g;
+            &restricted
+        };
+        let old = old_problems.get(k);
+        let sccs = tarjan(graph);
+        let cond = Condensation::build(graph, &sccs);
+        let levels = cond.levels();
+        let comp_map = sccs.component_map();
+        let mut comp_pos = vec![0usize; n];
+        for members in sccs.iter() {
+            for (pos, &m) in members.iter().enumerate() {
+                comp_pos[m] = pos;
+            }
+        }
+        let mut sweep = DirtySweep::new(cond.graph());
+        let mut g_rows: Vec<BitSet> = vec![BitSet::new(nv); n];
+        let mut new_cache = ProblemCache::default();
+
+        for level in 0..levels.num_levels() {
+            let group = levels.group(level);
+            // Classify: reuse or recompute. Signature = sorted members +
+            // sorted deduplicated outgoing (member, successor) pairs.
+            let mut dirty: Vec<SccId> = Vec::new();
+            for &c in group {
+                let members = sccs.members(c);
+                let mut key: Vec<usize> = members.to_vec();
+                key.sort_unstable();
+                let mut sig: Vec<(usize, usize)> = Vec::new();
+                for &u in members {
+                    for &(q, _) in graph.successors_slice(u) {
+                        sig.push((u, q));
+                    }
+                }
+                sig.sort_unstable();
+                sig.dedup();
+                let cached = old.and_then(|o| o.comps.get(&key));
+                let clean = !sweep.is_dirty(c)
+                    && cached.is_some_and(|(old_sig, _)| *old_sig == sig)
+                    && key.iter().all(|&u| !seed_dirty[u])
+                    && sig.iter().all(|&(_, q)| !locals_dirty[q]);
+                if clean {
+                    let (_, rows) = cached.expect("clean implies cached");
+                    for &u in members {
+                        let pos = key.binary_search(&u).expect("member in key");
+                        g_rows[u] = rows[pos].clone();
+                    }
+                    sweep.skip(c);
+                    new_cache
+                        .comps
+                        .insert(key, (sig, rows.clone()));
+                } else {
+                    dirty.push(c);
+                }
+            }
+            // Recompute the dirty components of this level on the pool,
+            // with the same kernel the batch level-scheduled solver uses.
+            let results = {
+                let g_final = &g_rows;
+                pool.par_map_while(
+                    dirty.len(),
+                    || !guard.should_stop(),
+                    |i| {
+                        if i % 64 == 0 {
+                            let _ = guard.check();
+                        }
+                        solve_component(
+                            dirty[i], graph, &sccs, comp_map, &comp_pos, seeds, locals, g_final,
+                            nv, guard,
+                        )
+                    },
+                )
+            };
+            let mut level_work = OpCounter::new();
+            for (slot, &c) in results.into_iter().zip(&dirty) {
+                let Some((sets, counter)) = slot else {
+                    guard.check()?;
+                    return Err(guard.interrupt().unwrap_or(Interrupt::Halted));
+                };
+                level_work += counter;
+                let members = sccs.members(c);
+                let mut key: Vec<usize> = members.to_vec();
+                key.sort_unstable();
+                let mut sorted_rows = vec![BitSet::new(nv); members.len()];
+                for (set, &u) in sets.into_iter().zip(members) {
+                    let pos = key.binary_search(&u).expect("member in key");
+                    sorted_rows[pos] = set;
+                }
+                // Value change vs the cache decides whether dirt spreads
+                // to predecessors (rows compared in sorted-member order).
+                let changed = match old.and_then(|o| o.comps.get(&key)) {
+                    Some((_, old_rows)) => {
+                        old_rows.len() != sorted_rows.len()
+                            || old_rows.iter().zip(&sorted_rows).any(|(a, b)| a != b)
+                    }
+                    None => true,
+                };
+                for &u in members {
+                    let pos = key.binary_search(&u).expect("member in key");
+                    g_rows[u] = sorted_rows[pos].clone();
+                }
+                sweep.update(c, changed);
+                let mut sig: Vec<(usize, usize)> = Vec::new();
+                for &u in members {
+                    for &(q, _) in graph.successors_slice(u) {
+                        sig.push((u, q));
+                    }
+                }
+                sig.sort_unstable();
+                sig.dedup();
+                new_cache.comps.insert(key, (sig, sorted_rows));
+            }
+            guard.charge(level_work.bitvec_steps, level_work.bool_steps);
+            guard.check()?;
+        }
+        *reused += sweep.reused();
+        *recomputed += sweep.recomputed();
+
+        match &mut total {
+            None => {
+                // dp ≤ 1: the single problem's rows are the final sets.
+                new_problems.push(new_cache);
+                return Ok((g_rows, new_problems));
+            }
+            Some(acc) => {
+                for (a, r) in acc.iter_mut().zip(&g_rows) {
+                    a.union_with(r);
+                }
+                guard.charge(n as u64, 0);
+            }
+        }
+        new_problems.push(new_cache);
+    }
+    Ok((total.expect("dp > 1 accumulates"), new_problems))
+}
+
+/// Prior state translated into the edited program's id spaces.
+struct RemappedPrior {
+    res: Results,
+    flat_mod: Vec<BitSet>,
+    flat_use: Vec<BitSet>,
+    local_sets: Vec<BitSet>,
+    beta: Option<BetaCache>,
+    problems_mod: Vec<ProblemCache>,
+    problems_use: Vec<ProblemCache>,
+    aliases: AliasPairs,
+    is_new_proc: Vec<bool>,
+    is_new_site: Vec<bool>,
+}
+
+/// Applies the delta's remap tables to every cached structure. Entries
+/// mentioning removed ids are dropped; brand-new ids come back flagged in
+/// `is_new_proc` / `is_new_site` so diffs treat them as dirty.
+fn remap_prior(cache: Cache, res: Results, d: &EditDelta, program: &Program) -> RemappedPrior {
+    let np = program.num_procs();
+    let nv = program.num_vars();
+    let ns = program.num_sites();
+
+    let remap_set = |old: &BitSet| -> BitSet {
+        BitSet::from_iter_with_domain(
+            nv,
+            old.iter().filter_map(|i| d.var_map[i].map(VarId::index)),
+        )
+    };
+    let remap_proc_vec = |old: &[BitSet]| -> Vec<BitSet> {
+        let mut out = vec![BitSet::new(nv); np];
+        for (i, set) in old.iter().enumerate() {
+            if let Some(p) = d.proc_map[i] {
+                out[p.index()] = remap_set(set);
+            }
+        }
+        out
+    };
+    let remap_site_vec = |old: &[BitSet]| -> Vec<BitSet> {
+        let mut out = vec![BitSet::new(nv); ns];
+        for (i, set) in old.iter().enumerate() {
+            if let Some(s) = d.site_map[i] {
+                out[s.index()] = remap_set(set);
+            }
+        }
+        out
+    };
+    let remap_problems = |old: Vec<ProblemCache>| -> Vec<ProblemCache> {
+        old.into_iter()
+            .map(|pc| {
+                let comps = pc
+                    .comps
+                    .into_iter()
+                    .filter_map(|(key, (sig, rows))| {
+                        // Keys and signatures are call-graph node ids,
+                        // i.e. procedure ids; rows are variable-domain.
+                        let mut pairs: Vec<(usize, BitSet)> = Vec::with_capacity(key.len());
+                        for (&u, row) in key.iter().zip(rows) {
+                            pairs.push((d.proc_map[u]?.index(), remap_set(&row)));
+                        }
+                        pairs.sort_by_key(|&(u, _)| u);
+                        let mut new_sig = Vec::with_capacity(sig.len());
+                        for &(u, q) in &sig {
+                            new_sig.push((d.proc_map[u]?.index(), d.proc_map[q]?.index()));
+                        }
+                        new_sig.sort_unstable();
+                        new_sig.dedup();
+                        let (new_key, new_rows): (Vec<usize>, Vec<BitSet>) =
+                            pairs.into_iter().unzip();
+                        Some((new_key, (new_sig, new_rows)))
+                    })
+                    .collect();
+                ProblemCache { comps }
+            })
+            .collect()
+    };
+
+    let mut is_new_proc = vec![true; np];
+    for m in d.proc_map.iter().flatten() {
+        is_new_proc[m.index()] = false;
+    }
+    let mut is_new_site = vec![true; ns];
+    for m in d.site_map.iter().flatten() {
+        is_new_site[m.index()] = false;
+    }
+
+    RemappedPrior {
+        res: Results {
+            imod: remap_proc_vec(&res.imod),
+            iuse: remap_proc_vec(&res.iuse),
+            rmod: remap_proc_vec(&res.rmod),
+            ruse: remap_proc_vec(&res.ruse),
+            plus_mod: remap_proc_vec(&res.plus_mod),
+            plus_use: remap_proc_vec(&res.plus_use),
+            gmod: remap_proc_vec(&res.gmod),
+            guse: remap_proc_vec(&res.guse),
+            dmod: remap_site_vec(&res.dmod),
+            duse: remap_site_vec(&res.duse),
+            mods: remap_site_vec(&res.mods),
+            uses: remap_site_vec(&res.uses),
+        },
+        flat_mod: remap_proc_vec(&cache.flat_mod),
+        flat_use: remap_proc_vec(&cache.flat_use),
+        local_sets: remap_proc_vec(&cache.local_sets),
+        // The binding structures are kept only across edits that change
+        // neither structure nor universe; the caller gates on that, so an
+        // identity remap suffices here.
+        beta: if d.structure_changed || d.universe_changed {
+            None
+        } else {
+            cache.beta
+        },
+        problems_mod: remap_problems(cache.problems_mod),
+        problems_use: remap_problems(cache.problems_use),
+        aliases: cache.aliases,
+        is_new_proc,
+        is_new_site,
+    }
+}
+
+impl Clone for BetaCache {
+    fn clone(&self) -> Self {
+        BetaCache {
+            beta: self.beta.clone(),
+            sccs: self.sccs.clone(),
+            cond: self.cond.clone(),
+            seed_mod: self.seed_mod.clone(),
+            seed_use: self.seed_use.clone(),
+            rep_mod: self.rep_mod.clone(),
+            rep_use: self.rep_use.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_ir::{Expr, ProgramBuilder};
+
+    fn base_engine() -> (IncrementalEngine, VarId, VarId, ProcId, ProcId, CallSiteId) {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g");
+        let h = b.global("h");
+        let p = b.proc_("p", &["x"]);
+        b.assign(p, b.formal(p, 0), Expr::load(g));
+        let q = b.proc_("q", &[]);
+        b.assign(q, h, Expr::constant(1));
+        let main = b.main();
+        let s = b.call(main, p, &[g]);
+        b.call(main, q, &[]);
+        let program = b.finish().expect("valid");
+        (IncrementalEngine::new(program), g, h, p, q, s)
+    }
+
+    fn assert_matches_scratch(engine: &IncrementalEngine) {
+        let summary = Analyzer::new().analyze(engine.program());
+        for p in engine.program().procs() {
+            assert_eq!(engine.rmod(p), summary.rmod(p), "rmod({p})");
+            assert_eq!(engine.ruse(p), summary.ruse(p), "ruse({p})");
+            assert_eq!(engine.imod_plus(p), summary.imod_plus(p), "plus({p})");
+            assert_eq!(engine.gmod(p), summary.gmod(p), "gmod({p})");
+            assert_eq!(engine.guse(p), summary.guse(p), "guse({p})");
+        }
+        for s in engine.program().sites() {
+            assert_eq!(engine.dmod_site(s), summary.dmod_site(s), "dmod({s})");
+            assert_eq!(engine.duse_site(s), summary.duse_site(s), "duse({s})");
+            assert_eq!(engine.mod_site(s), summary.mod_site(s), "mod({s})");
+            assert_eq!(engine.use_site(s), summary.use_site(s), "use({s})");
+        }
+    }
+
+    #[test]
+    fn initial_build_matches_scratch() {
+        let (engine, ..) = base_engine();
+        assert!(engine.stats().full_rebuild);
+        assert_matches_scratch(&engine);
+    }
+
+    #[test]
+    fn set_local_effects_applies_incrementally() {
+        let (mut engine, g, h, _p, q, s) = base_engine();
+        let delta = engine
+            .apply(&Edit::SetLocalEffects {
+                proc_: q,
+                mods: vec![g],
+                uses: vec![h],
+            })
+            .expect("valid edit");
+        assert!(!engine.stats().full_rebuild);
+        assert!(delta.changed_procs.contains(&q));
+        assert_matches_scratch(&engine);
+        let _ = s;
+    }
+
+    #[test]
+    fn unrelated_edit_reuses_components() {
+        let (mut engine, g, _h, _p, q, _s) = base_engine();
+        // Re-assert q's existing effects: nothing changes downstream.
+        let before = engine.gmod(q).clone();
+        engine
+            .apply(&Edit::SetLocalEffects {
+                proc_: q,
+                mods: engine.gmod(q).iter().map(VarId::new).collect(),
+                uses: vec![],
+            })
+            .expect("valid edit");
+        assert_eq!(&before, engine.gmod(q));
+        assert!(engine.stats().gmod_components_reused > 0);
+        assert_matches_scratch(&engine);
+        let _ = g;
+    }
+
+    #[test]
+    fn structural_edits_apply_incrementally() {
+        let (mut engine, g, h, p, _q, _s) = base_engine();
+        engine
+            .apply(&Edit::AddCallSite {
+                caller: ProcId::MAIN,
+                callee: p,
+                args: vec![Actual::Ref(modref_ir::Ref::scalar(h))],
+            })
+            .expect("valid edit");
+        assert_matches_scratch(&engine);
+        engine
+            .apply(&Edit::AddProcedure {
+                name: "fresh".into(),
+                parent: ProcId::MAIN,
+                formals: vec!["z".into()],
+            })
+            .expect("valid edit");
+        assert_matches_scratch(&engine);
+        let s0 = CallSiteId::new(0);
+        engine
+            .apply(&Edit::RebindActual {
+                site: s0,
+                position: 0,
+                actual: Actual::Ref(modref_ir::Ref::scalar(g)),
+            })
+            .expect("valid edit");
+        assert_matches_scratch(&engine);
+        engine
+            .apply(&Edit::RemoveCallSite { site: s0 })
+            .expect("valid edit");
+        assert_matches_scratch(&engine);
+        // The add-call edit above appended a second call to p; drop it so
+        // p becomes call-free and removable.
+        engine
+            .apply(&Edit::RemoveCallSite {
+                site: CallSiteId::new(1),
+            })
+            .expect("valid edit");
+        assert_matches_scratch(&engine);
+        engine
+            .apply(&Edit::RemoveProcedure { proc_: p })
+            .expect("valid edit");
+        assert_matches_scratch(&engine);
+    }
+
+    #[test]
+    fn rejected_edit_leaves_everything_intact() {
+        let (mut engine, ..) = base_engine();
+        let before_gmod: Vec<BitSet> = engine.gmod_all().to_vec();
+        let err = engine
+            .apply(&Edit::RemoveProcedure {
+                proc_: ProcId::MAIN,
+            })
+            .expect_err("removing main is rejected");
+        assert!(matches!(err, EditError::RemoveMain));
+        assert_eq!(engine.gmod_all(), &before_gmod[..]);
+        assert_matches_scratch(&engine);
+    }
+
+    #[test]
+    fn refresh_is_idempotent() {
+        let (mut engine, g, _h, _p, q, _s) = base_engine();
+        engine
+            .apply(&Edit::SetLocalEffects {
+                proc_: q,
+                mods: vec![g],
+                uses: vec![],
+            })
+            .expect("valid edit");
+        let gmods: Vec<BitSet> = engine.gmod_all().to_vec();
+        engine.refresh();
+        assert!(engine.stats().full_rebuild);
+        assert_eq!(engine.gmod_all(), &gmods[..]);
+    }
+
+    #[test]
+    fn analyzer_extension_carries_threads() {
+        let (engine, ..) = base_engine();
+        let program = engine.program().clone();
+        let via_analyzer = Analyzer::new().threads(2).incremental(program);
+        assert_matches_scratch(&via_analyzer);
+    }
+}

@@ -58,6 +58,7 @@
 
 mod builder;
 mod callgraph;
+mod edit;
 mod error;
 mod ids;
 mod localeffects;
@@ -71,6 +72,7 @@ mod visit;
 
 pub use builder::ProgramBuilder;
 pub use callgraph::CallGraph;
+pub use edit::{Edit, EditDelta, EditError};
 pub use error::ValidationError;
 pub use ids::{CallSiteId, ProcId, VarId};
 pub use localeffects::{lmod_of_stmt, luse_of_stmt, LocalEffects};

@@ -122,4 +122,40 @@ for phase in analyze frontend local rmod gmod dmod modsets; do
 done
 rm -f ci_plain.out ci_traced.out ci_metrics.err ci_trace.json ci_tracecheck.out
 
+# Incremental engine: the edit-script differential suites (bit-identity
+# to from-scratch after every prefix) at both thread defaults, and the
+# exhaustive ≤4-procedure enumeration — the sampling-free solver oracle.
+# Both also run inside the full passes above; the explicit invocation
+# keeps them from silently dropping out of the suite.
+echo "== incremental differential suites (MODREF_THREADS=1 and 4) =="
+for t in 1 4; do
+    MODREF_THREADS=$t cargo test -q --offline -p modref-incr
+done
+echo "== exhaustive small-world solver enumeration =="
+cargo test -q --offline -p modref-core --test exhaustive
+
+# The --edits mode end-to-end: a script applies, the report reflects the
+# edited program, and a bad script fails with the offending line.
+echo "== cli --edits contract =="
+printf 'set-local bump mod=count use=total\n' > ci_session.edits
+env -u MODREF_FAULT "$MODREF" analyze "$DEMO" --edits ci_session.edits > ci_edits.out
+grep -q "after 1 edits" ci_edits.out || {
+    echo "--edits report must name the applied edit count" >&2
+    exit 1
+}
+printf 'set-local nosuchproc mod=count\n' > ci_session.edits
+set +e
+env -u MODREF_FAULT "$MODREF" analyze "$DEMO" --edits ci_session.edits 2> ci_edits.err
+code=$?
+set -e
+if [ "$code" -ne 1 ]; then
+    echo "expected exit 1 from a bad edit script, got $code" >&2
+    exit 1
+fi
+grep -q "script line 1" ci_edits.err || {
+    echo "a bad edit script must name the offending line" >&2
+    exit 1
+}
+rm -f ci_session.edits ci_edits.out ci_edits.err
+
 echo "CI green"
