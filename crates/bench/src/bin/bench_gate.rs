@@ -1,0 +1,116 @@
+//! The incremental-performance regression gate.
+//!
+//! Reads a `BENCH_incrscale.json` result stream (one JSON object per
+//! line, as [`modref_check::BenchGroup`] appends them), pairs the
+//! `incremental_edit` and `scratch` rows per workload family, and fails
+//! (exit 1, one line per offender) when any family's amortized per-edit
+//! cost exceeds `threshold × scratch`. CI runs this after a fresh bench
+//! pass so "incremental wins (or ties) everywhere" stays a checked
+//! invariant, not a claim in a doc.
+//!
+//! ```text
+//! bench_gate <path/to/BENCH_incrscale.json> [threshold]
+//! ```
+//!
+//! The file is append-only across runs; the *last* row per
+//! `(bench, param)` pair wins, so a stale slow entry from an earlier
+//! build cannot fail a healthy run (or mask a regression in one).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Pulls a `"key":"value"` string field out of one JSON line. The bench
+/// writer emits flat objects with no escapes in these fields, so plain
+/// substring scanning is exact here.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Pulls a `"key":123` numeric field out of one JSON line.
+fn num_field(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: bench_gate <BENCH_incrscale.json> [threshold]");
+        return ExitCode::FAILURE;
+    };
+    let threshold: f64 = match args.next() {
+        Some(t) => match t.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("bench_gate: threshold `{t}` is not a number");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => 1.10,
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Last row per (bench, param) wins.
+    let mut medians: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let (Some(bench), Some(param), Some(median)) = (
+            str_field(line, "bench"),
+            str_field(line, "param"),
+            num_field(line, "median_ns"),
+        ) else {
+            eprintln!("bench_gate: malformed line skipped: {line}");
+            continue;
+        };
+        medians.insert((bench, param), median);
+    }
+
+    let params: Vec<String> = medians
+        .keys()
+        .filter(|(b, _)| b == "scratch")
+        .map(|(_, p)| p.clone())
+        .collect();
+    if params.is_empty() {
+        eprintln!("bench_gate: no scratch rows in {path} — did the bench run?");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for param in params {
+        let scratch = medians[&("scratch".to_string(), param.clone())];
+        let Some(&incr) = medians.get(&("incremental_edit".to_string(), param.clone())) else {
+            eprintln!("bench_gate: {param}: missing incremental_edit row");
+            failed = true;
+            continue;
+        };
+        let ratio = incr as f64 / scratch as f64;
+        let verdict = if ratio > threshold { "FAIL" } else { "ok" };
+        println!(
+            "bench_gate: {param}: incremental {incr} ns vs scratch {scratch} ns \
+             (ratio {ratio:.3}, limit {threshold:.2}) {verdict}"
+        );
+        if ratio > threshold {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("bench_gate: incremental apply regressed past {threshold:.2} x scratch");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

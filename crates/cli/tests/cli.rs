@@ -418,6 +418,119 @@ fn analyze_edits_zero_budget_degrades_with_exit_code_3() {
 }
 
 #[test]
+fn analyze_edits_malformed_scripts_pin_stderr_and_exit_one() {
+    // Every malformed script must exit 1 with a message naming the
+    // offending line — parse errors, resolve errors, and rejected edits
+    // alike — and must never print a (possibly wrong) report on stdout.
+    let cases: &[(&str, &str, &str)] = &[
+        (
+            "bad-verb",
+            "frobnicate bump\n",
+            "script line 1: unknown edit verb `frobnicate`",
+        ),
+        (
+            "bad-arity",
+            "set-local bump mod=g\nrebind 0\n",
+            "script line 2: `rebind` takes 3 positional operand(s), got 1",
+        ),
+        (
+            "bad-index",
+            "\n# leading comment\nremove-call abc\n",
+            "script line 3: `abc` is not a site index",
+        ),
+        (
+            "empty-list",
+            "set-local bump mod=\n",
+            "script line 1: empty `mod=` list",
+        ),
+        (
+            "site-range",
+            "remove-call 99\n",
+            "script line 1: call site 99 out of range (program has 2)",
+        ),
+        (
+            "bad-var",
+            "set-local bump mod=nosuchvar\n",
+            "script line 1: unknown variable `nosuchvar`",
+        ),
+        (
+            "bad-proc",
+            "add-call main nosuchproc\n",
+            "script line 1: unknown procedure `nosuchproc`",
+        ),
+        (
+            "rejected",
+            "set-local bump mod=g\nremove-proc main\n",
+            "script line 2: edit rejected",
+        ),
+    ];
+    for &(name, script_text, want) in cases {
+        let path = write_temp(&format!("edits-{name}"), DEMO);
+        let script = write_script(&format!("edits-{name}"), script_text);
+        let out = modref()
+            .args([
+                "analyze",
+                path.to_str().expect("utf-8"),
+                "--edits",
+                script.to_str().expect("utf-8"),
+            ])
+            .output()
+            .expect("runs");
+        assert_eq!(out.status.code(), Some(1), "{name}: exit code");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(want), "{name}: stderr was:\n{err}");
+        assert!(
+            out.stdout.is_empty(),
+            "{name}: a failed script must not print a report"
+        );
+    }
+}
+
+#[test]
+fn analyze_edits_metrics_pin_full_cutoff_on_a_reasserted_edit() {
+    // Re-asserting identical local effects is the canonical early-cutoff
+    // workload: the second edit must recompute *zero* components on every
+    // phase and reuse every site, and the counters must say so exactly.
+    let path = write_temp("edits-cutoff", DEMO);
+    let script = write_script(
+        "edits-cutoff",
+        "set-local bump mod=g use=g\nset-local bump mod=g use=g\n",
+    );
+    let out = modref()
+        .args([
+            "analyze",
+            path.to_str().expect("utf-8"),
+            "--edits",
+            script.to_str().expect("utf-8"),
+            "--metrics",
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    let line = err
+        .lines()
+        .find(|l| l.starts_with("edit #1"))
+        .unwrap_or_else(|| panic!("no edit #1 metrics line in:\n{err}"));
+    let expected = format!(
+        "edit #1 ({}:2): gmod components 6 reused / 0 recomputed, \
+         rmod 0 / 0, sites 2 / 0, 1 procs re-scanned",
+        script.to_str().expect("utf-8")
+    );
+    assert_eq!(line, expected, "full stderr:\n{err}");
+    // The first edit really changed things, so it must show recomputation
+    // — the zero row above is a cutoff, not a broken counter.
+    let first = err
+        .lines()
+        .find(|l| l.starts_with("edit #0"))
+        .expect("edit #0 metrics line");
+    assert!(
+        first.contains("4 recomputed"),
+        "edit #0 should recompute: {first}"
+    );
+}
+
+#[test]
 fn missing_file_is_a_clean_error() {
     let out = modref()
         .args(["analyze", "/nonexistent/nowhere.mp"])

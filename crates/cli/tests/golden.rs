@@ -122,6 +122,36 @@ site s3: call sort_from (in main)
 }
 
 #[test]
+fn analyze_edits_roundtrip_matches_batch_byte_for_byte() {
+    // A script that lands back on the original program (structural edits
+    // and their inverses) must report byte-for-byte what the batch
+    // analyzer prints for that program: the incremental engine's caches,
+    // dynamic condensations, and early cutoffs are not allowed to leak
+    // into a single output byte.
+    let script = std::env::temp_dir().join("modref-golden-roundtrip.edits");
+    std::fs::write(
+        &script,
+        "add-call main bump args=count,count\n\
+         remove-call 4\n\
+         add-proc tmp parent=main\n\
+         remove-proc tmp\n",
+    )
+    .expect("write edit script");
+    let (batch, ok) = modref(&["analyze", "examples/programs/demo.mp", "--json"]);
+    assert!(ok);
+    let (edited, ok) = modref(&[
+        "analyze",
+        "examples/programs/demo.mp",
+        "--edits",
+        script.to_str().expect("utf-8"),
+        "--json",
+    ]);
+    assert!(ok);
+    assert_eq!(batch, edited, "--edits round-trip diverged from batch");
+    std::fs::remove_file(&script).ok();
+}
+
+#[test]
 fn analyze_threads_4_matches_sequential_byte_for_byte() {
     // The parallel pipeline must not change a single output byte — same
     // sets, same order, same formatting — in either report flavour.

@@ -106,6 +106,43 @@ impl DiGraph {
         id
     }
 
+    /// Removes one instance of edge `from → to` (the most recently added
+    /// one, if parallel edges exist) and returns `true`; returns `false`
+    /// when no such edge exists.
+    ///
+    /// Edge ids are **not stable** across removal: the last edge takes
+    /// over the removed edge's id (swap-remove). Callers that cache
+    /// [`EdgeId`]s must not mix them with removal.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let mut g = modref_graph::DiGraph::from_edges(2, [(0, 1), (0, 1)]);
+    /// assert!(g.remove_edge(0, 1));
+    /// assert_eq!(g.num_edges(), 1);
+    /// assert!(g.remove_edge(0, 1));
+    /// assert!(!g.remove_edge(0, 1));
+    /// ```
+    pub fn remove_edge(&mut self, from: NodeId, to: NodeId) -> bool {
+        let Some(pos) = self.succ[from].iter().rposition(|&(t, _)| t == to) else {
+            return false;
+        };
+        let (_, e) = self.succ[from].swap_remove(pos);
+        let last = self.edges.len() - 1;
+        self.edges.swap_remove(e);
+        if e != last {
+            // The edge that held id `last` moved into slot `e`; fix the
+            // id recorded in its source's successor list.
+            let moved = self.edges[e];
+            let slot = self.succ[moved.from]
+                .iter()
+                .position(|&(_, id)| id == last)
+                .expect("moved edge is listed by its source");
+            self.succ[moved.from][slot].1 = e;
+        }
+        true
+    }
+
     /// The endpoints of edge `e`.
     ///
     /// # Panics
@@ -225,6 +262,28 @@ mod tests {
         assert_eq!(n, 1);
         g.add_edge(0, n);
         assert_eq!(g.successor_nodes(0).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn remove_edge_keeps_ids_consistent() {
+        let mut g = DiGraph::from_edges(3, [(0, 1), (1, 2), (0, 2), (0, 1)]);
+        assert!(g.remove_edge(0, 1)); // drops one of the parallel pair
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_degree(0), 2);
+        // Every successor entry must agree with the edge table.
+        for n in g.nodes() {
+            for &(to, e) in g.successors_slice(n) {
+                assert_eq!(g.edge(e), Edge { from: n, to });
+            }
+        }
+        assert!(g.remove_edge(1, 2));
+        assert!(!g.remove_edge(1, 2));
+        assert_eq!(g.num_edges(), 2);
+        for n in g.nodes() {
+            for &(to, e) in g.successors_slice(n) {
+                assert_eq!(g.edge(e), Edge { from: n, to });
+            }
+        }
     }
 
     #[test]

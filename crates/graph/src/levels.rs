@@ -16,6 +16,7 @@
 //!   the parallel analogue of Figure 1's leaves-to-roots order.
 
 use crate::condense::Condensation;
+use crate::digraph::DiGraph;
 use crate::scc::SccId;
 
 /// The topological levels of a [`Condensation`], built by
@@ -27,6 +28,60 @@ pub struct Levels {
 }
 
 impl Levels {
+    /// Computes the levels of any reverse-topologically numbered quotient
+    /// DAG (every edge `a → b` with `b < a`) in `O(N + E)`. This is the
+    /// computation behind [`Condensation::levels`], exposed for callers —
+    /// like [`crate::dyncond::DynCondensation`] — that maintain the
+    /// quotient themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if an edge violates the numbering invariant.
+    pub fn compute(quotient: &DiGraph) -> Levels {
+        let n = quotient.num_nodes();
+        let mut level_of = vec![0usize; n];
+        let mut deepest = 0usize;
+        for c in 0..n {
+            let mut level = 0;
+            for d in quotient.successor_nodes(c) {
+                debug_assert!(d < c, "quotient edge must point to a lower id");
+                level = level.max(level_of[d] + 1);
+            }
+            level_of[c] = level;
+            deepest = deepest.max(level);
+        }
+        let mut groups: Vec<Vec<SccId>> = vec![Vec::new(); if n == 0 { 0 } else { deepest + 1 }];
+        for (c, &level) in level_of.iter().enumerate() {
+            groups[level].push(c);
+        }
+        Levels { level_of, groups }
+    }
+
+    /// Assembles a `Levels` from precomputed parts. The caller guarantees
+    /// consistency: `groups[l]` holds exactly the components with
+    /// `level_of == l`, in ascending id order, with no trailing empty
+    /// group.
+    pub fn from_parts(level_of: Vec<usize>, groups: Vec<Vec<SccId>>) -> Levels {
+        debug_assert!(groups
+            .iter()
+            .enumerate()
+            .all(|(l, g)| g.iter().all(|&c| level_of[c] == l)));
+        debug_assert!(groups.last().is_none_or(|g| !g.is_empty()));
+        Levels { level_of, groups }
+    }
+
+    /// The `level_of` map as a slice indexed by component id.
+    pub fn level_map(&self) -> &[usize] {
+        &self.level_of
+    }
+
+    /// Mutable access to `(level_of, groups)` for in-place level repair
+    /// by the dynamic condensation. The [`Levels::from_parts`] invariants
+    /// must hold again once the repair finishes.
+    pub(crate) fn parts_mut(&mut self) -> (&mut Vec<usize>, &mut Vec<Vec<SccId>>) {
+        (&mut self.level_of, &mut self.groups)
+    }
+
     /// Number of distinct levels (0 for an empty condensation).
     pub fn num_levels(&self) -> usize {
         self.groups.len()
@@ -54,24 +109,7 @@ impl Condensation {
     /// `O(N + E)`: ascending component id is reverse topological order,
     /// so every successor's level is final when its predecessor asks.
     pub fn levels(&self) -> Levels {
-        let g = self.graph();
-        let n = g.num_nodes();
-        let mut level_of = vec![0usize; n];
-        let mut deepest = 0usize;
-        for c in 0..n {
-            let mut level = 0;
-            for d in g.successor_nodes(c) {
-                debug_assert!(d < c, "condensation edge must point to a lower id");
-                level = level.max(level_of[d] + 1);
-            }
-            level_of[c] = level;
-            deepest = deepest.max(level);
-        }
-        let mut groups: Vec<Vec<SccId>> = vec![Vec::new(); if n == 0 { 0 } else { deepest + 1 }];
-        for (c, &level) in level_of.iter().enumerate() {
-            groups[level].push(c);
-        }
-        Levels { level_of, groups }
+        Levels::compute(self.graph())
     }
 }
 

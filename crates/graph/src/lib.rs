@@ -43,13 +43,15 @@ pub mod dfs;
 pub mod digraph;
 pub mod dirty;
 pub mod dot;
+pub mod dyncond;
 pub mod levels;
 pub mod reach;
 pub mod scc;
 pub mod topo;
 
 pub use condense::Condensation;
-pub use dirty::DirtySweep;
+pub use dirty::{DirtySweep, SparseSweep};
+pub use dyncond::{DynCondensation, PatchEffect};
 pub use levels::Levels;
 pub use dfs::{DepthFirst, EdgeKind};
 pub use digraph::{DiGraph, Edge, EdgeId, NodeId};

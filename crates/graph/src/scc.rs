@@ -35,6 +35,38 @@ pub struct Sccs {
 }
 
 impl Sccs {
+    /// Assembles an `Sccs` from a component map and member lists — the
+    /// constructor dynamic condensation maintenance
+    /// ([`crate::dyncond::DynCondensation`]) uses after patching the
+    /// component structure in place. The caller is responsible for the
+    /// numbering invariant [`tarjan`] guarantees: for any graph edge
+    /// `u → v` across components, `component_of(v) < component_of(u)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `comp_of` and `members` disagree.
+    pub fn from_parts(comp_of: Vec<SccId>, members: Vec<Vec<NodeId>>) -> Self {
+        debug_assert!(
+            members
+                .iter()
+                .enumerate()
+                .all(|(c, ms)| ms.iter().all(|&m| comp_of[m] == c)),
+            "member lists disagree with the component map"
+        );
+        debug_assert_eq!(
+            members.iter().map(Vec::len).sum::<usize>(),
+            comp_of.len(),
+            "members must partition the node set"
+        );
+        Sccs { comp_of, members }
+    }
+
+    /// Decomposes into `(comp_of, members)` — the inverse of
+    /// [`Sccs::from_parts`], for callers that renumber components.
+    pub fn into_parts(self) -> (Vec<SccId>, Vec<Vec<NodeId>>) {
+        (self.comp_of, self.members)
+    }
+
     /// Number of components.
     pub fn len(&self) -> usize {
         self.members.len()

@@ -1,0 +1,333 @@
+//! Property tests for the dynamically maintained condensation and the
+//! sparse early-cutoff sweep.
+//!
+//! Two walls:
+//!
+//! * after **arbitrary edge churn** (random interleavings of inserts and
+//!   deletes, audited after *every* patch) the maintained
+//!   `(Sccs, condensation, Levels)` triple is indistinguishable from a
+//!   from-scratch recompute;
+//! * on a random condensation with random seed perturbations, the
+//!   [`SparseSweep`] recomputes a **subset** of the components the dense
+//!   [`DirtySweep`] touches, and both land on exactly the from-scratch
+//!   fixpoint — the cutoff never trades soundness for sparseness.
+
+use modref_check::prelude::*;
+use modref_check::runner::CaseResult;
+use modref_graph::{
+    tarjan, Condensation, DiGraph, DirtySweep, DynCondensation, Levels, NodeId, SccId, SparseSweep,
+};
+
+/// Canonical partition: sorted member lists, sorted.
+fn canon_partition(sccs: &modref_graph::Sccs) -> Vec<Vec<NodeId>> {
+    let mut sets: Vec<Vec<NodeId>> = sccs
+        .iter()
+        .map(|m| {
+            let mut v = m.to_vec();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    sets.sort();
+    sets
+}
+
+fn sorted_edges(g: &DiGraph) -> Vec<(usize, usize)> {
+    let mut v: Vec<(usize, usize)> = g.edges().map(|e| (e.from, e.to)).collect();
+    v.sort_unstable();
+    v
+}
+
+/// Propagates a failed audit out of the enclosing property body.
+macro_rules! check_audit {
+    ($dc:expr, $edges:expr) => {
+        match audit($dc, $edges) {
+            CaseResult::Pass => {}
+            other => return other,
+        }
+    };
+}
+
+/// Full structural audit of a [`DynCondensation`] against from-scratch
+/// recomputes and the expected edge multiset.
+fn audit(dc: &DynCondensation, edges: &[(usize, usize)]) -> CaseResult {
+    let mut expect = edges.to_vec();
+    expect.sort_unstable();
+    prop_assert_eq!(sorted_edges(dc.graph()), expect, "maintained edge multiset");
+
+    // Partition equals scratch Tarjan (up to renaming).
+    let scratch = tarjan(dc.graph());
+    prop_assert_eq!(
+        canon_partition(dc.sccs()),
+        canon_partition(&scratch),
+        "partition drifted from scratch Tarjan"
+    );
+
+    // Numbering invariant on the maintained ids.
+    for e in dc.graph().edges() {
+        let (a, b) = (
+            dc.sccs().component_of(e.from),
+            dc.sccs().component_of(e.to),
+        );
+        prop_assert!(b <= a, "edge {:?} maps to comps {} -> {}", e, a, b);
+    }
+
+    // Quotient graph and predecessors equal a scratch condensation of the
+    // maintained numbering.
+    let fresh = Condensation::build(dc.graph(), dc.sccs());
+    prop_assert_eq!(sorted_edges(dc.cond()), sorted_edges(fresh.graph()));
+    for (c, preds) in dc.cond_preds().iter().enumerate() {
+        let mut expect: Vec<SccId> = dc
+            .cond()
+            .edges()
+            .filter(|e| e.to == c)
+            .map(|e| e.from)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(preds.clone(), expect, "cond_preds[{}]", c);
+    }
+
+    // Levels (map *and* groups) equal a scratch recompute.
+    let fresh_levels = Levels::compute(dc.cond());
+    prop_assert_eq!(dc.levels().level_map(), fresh_levels.level_map());
+    prop_assert_eq!(dc.levels().num_levels(), fresh_levels.num_levels());
+    for l in 0..fresh_levels.num_levels() {
+        prop_assert_eq!(dc.levels().group(l), fresh_levels.group(l), "group {}", l);
+    }
+
+    // comp_pos agrees with the member lists.
+    for (c, ms) in dc.sccs().iter().enumerate() {
+        for (i, &n) in ms.iter().enumerate() {
+            prop_assert_eq!(dc.sccs().component_of(n), c);
+            prop_assert_eq!(dc.comp_pos()[n], i, "comp_pos[{}]", n);
+        }
+    }
+    CaseResult::Pass
+}
+
+/// A churn script: `n` nodes and a list of `(kind, a, b)` steps. Kinds
+/// `< 6` insert edge `(a % n, b % n)`; kinds `>= 6` delete the present
+/// edge at index `b % len` (falling back to insert when none exist).
+/// Shrinking drops steps — halves first, then singles from the tail.
+fn arb_churn() -> impl Strategy<Value = (usize, Vec<(u8, usize, usize)>)> {
+    custom(
+        |rng: &mut Rng| {
+            let n = rng.gen_range(2..20usize);
+            let steps = rng.gen_range(1..48usize);
+            let ops = (0..steps)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..10u64) as u8,
+                        rng.gen_range(0..n),
+                        rng.gen_range(0..1 << 30),
+                    )
+                })
+                .collect();
+            (n, ops)
+        },
+        |&(n, ref ops): &(usize, Vec<(u8, usize, usize)>)| {
+            let mut out = Vec::new();
+            let m = ops.len();
+            if m > 0 {
+                out.push((n, ops[..m / 2].to_vec()));
+                out.push((n, ops[m / 2..].to_vec()));
+                for i in (0..m).rev().take(8) {
+                    let mut o = ops.clone();
+                    o.remove(i);
+                    out.push((n, o));
+                }
+            }
+            out
+        },
+    )
+}
+
+/// A random condensation-shaped DAG (every edge `i → j` with `j < i`, so
+/// ascending id is successors-first) plus old/new seed masks and extra
+/// over-approximate dirt, for the cutoff-subset property.
+#[allow(clippy::type_complexity)]
+fn arb_cutoff_case() -> impl Strategy<Value = (usize, Vec<(usize, usize)>, Vec<u64>, Vec<u64>, Vec<usize>)>
+{
+    custom(
+        |rng: &mut Rng| {
+            let n = rng.gen_range(2..24usize);
+            let m = rng.gen_range(0..60usize);
+            let edges: Vec<(usize, usize)> = (0..m)
+                .filter_map(|_| {
+                    let a = rng.gen_range(0..n);
+                    let b = rng.gen_range(0..n);
+                    (a != b).then(|| (a.max(b), a.min(b)))
+                })
+                .collect();
+            let old: Vec<u64> = (0..n).map(|_| rng.gen_range(0..256u64)).collect();
+            let mut new = old.clone();
+            for _ in 0..rng.gen_range(1..4usize) {
+                let c = rng.gen_range(0..n);
+                // Half the perturbations are no-ops: seeds rewritten to the
+                // same value, the case early cutoff exists to exploit.
+                if rng.gen_bool(0.5) {
+                    new[c] ^= 1u64 << rng.gen_range(0..8u32);
+                }
+            }
+            let extra: Vec<usize> = (0..rng.gen_range(0..4usize))
+                .map(|_| rng.gen_range(0..n))
+                .collect();
+            (n, edges, old, new, extra)
+        },
+        |_| Vec::new(),
+    )
+}
+
+/// The fixpoint the sweeps must agree on: `value(c) = seed(c) | OR of
+/// successor values`, solved successors-first.
+fn scratch_fixpoint(n: usize, g: &DiGraph, seeds: &[u64]) -> Vec<u64> {
+    let mut vals = vec![0u64; n];
+    for c in 0..n {
+        let mut v = seeds[c];
+        for d in g.successor_nodes(c) {
+            v |= vals[d];
+        }
+        vals[c] = v;
+    }
+    vals
+}
+
+property! {
+    #![cases = 64]
+
+    /// After every single patch of an arbitrary insert/delete interleaving,
+    /// the maintained condensation equals a from-scratch recompute.
+    fn dyncond_equals_scratch_under_churn(case in arb_churn()) {
+        let (n, ops) = case;
+        let mut dc = DynCondensation::build(DiGraph::new(n));
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        check_audit!(&dc, &edges);
+        for &(kind, a, b) in &ops {
+            if kind < 6 || edges.is_empty() {
+                let (u, v) = (a % n, b % n);
+                dc.insert_edge(u, v);
+                edges.push((u, v));
+            } else {
+                let (u, v) = edges.swap_remove(b % edges.len());
+                dc.delete_edge(u, v);
+            }
+            check_audit!(&dc, &edges);
+        }
+    }
+
+}
+
+property! {
+    #![cases = 64]
+
+    /// Node growth interleaved with churn: `add_node` keeps the audit
+    /// green and new nodes participate in later cycles.
+    fn dyncond_add_node_under_churn(case in arb_churn()) {
+        let (n, ops) = case;
+        let mut dc = DynCondensation::build(DiGraph::new(n));
+        let mut nodes = n;
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (step, &(kind, a, b)) in ops.iter().enumerate() {
+            if step % 5 == 4 {
+                let fresh = dc.add_node();
+                prop_assert_eq!(fresh, nodes);
+                nodes += 1;
+            }
+            if kind < 6 || edges.is_empty() {
+                let (u, v) = (a % nodes, b % nodes);
+                dc.insert_edge(u, v);
+                edges.push((u, v));
+            } else {
+                let (u, v) = edges.swap_remove(b % edges.len());
+                dc.delete_edge(u, v);
+            }
+            check_audit!(&dc, &edges);
+        }
+    }
+
+}
+
+property! {
+    #![cases = 64]
+
+    /// The sparse early-cutoff sweep recomputes a subset of what the dense
+    /// PR-5 sweep recomputes, and both reach the exact scratch fixpoint.
+    fn cutoff_dirty_set_is_subset_of_dense_sweep(case in arb_cutoff_case()) {
+        let (n, edges, old_seeds, new_seeds, extra) = case;
+        let g = DiGraph::from_edges(n, edges.iter().copied());
+        let old_vals = scratch_fixpoint(n, &g, &old_seeds);
+        let want = scratch_fixpoint(n, &g, &new_seeds);
+
+        // Dense PR-5 sweep: visits every component, seeded with the true
+        // changes *plus* arbitrary over-approximate extras.
+        let mut dense_vals = old_vals.clone();
+        let mut dense = DirtySweep::new(&g);
+        let mut dense_dirty = vec![false; n];
+        for c in 0..n {
+            if old_seeds[c] != new_seeds[c] {
+                dense.seed(c);
+            }
+        }
+        for &c in &extra {
+            dense.seed(c);
+        }
+        for c in 0..n {
+            if dense.is_dirty(c) {
+                dense_dirty[c] = true;
+                let mut v = new_seeds[c];
+                for d in g.successor_nodes(c) {
+                    v |= dense_vals[d];
+                }
+                let changed = v != dense_vals[c];
+                dense_vals[c] = v;
+                dense.update(c, changed);
+            } else {
+                dense.skip(c);
+            }
+        }
+        prop_assert_eq!(&dense_vals, &want, "dense sweep missed the fixpoint");
+
+        // Sparse sweep: frontier only, seeded with the true changes only.
+        let mut preds: Vec<Vec<SccId>> = vec![Vec::new(); n];
+        for e in g.edges() {
+            preds[e.to].push(e.from);
+        }
+        for p in &mut preds {
+            p.sort_unstable();
+            p.dedup();
+        }
+        let levels = Levels::compute(&g);
+        let mut sparse_vals = old_vals.clone();
+        let mut sparse = SparseSweep::new(&preds, levels.level_map());
+        let mut sparse_dirty = vec![false; n];
+        for c in 0..n {
+            if old_seeds[c] != new_seeds[c] {
+                sparse.seed(c);
+            }
+        }
+        let mut batch = Vec::new();
+        while sparse.next_batch(&mut batch) {
+            for &c in &batch {
+                sparse_dirty[c] = true;
+                let mut v = new_seeds[c];
+                for d in g.successor_nodes(c) {
+                    v |= sparse_vals[d];
+                }
+                let changed = v != sparse_vals[c];
+                sparse_vals[c] = v;
+                sparse.update(c, changed);
+            }
+        }
+        prop_assert_eq!(&sparse_vals, &want, "sparse sweep missed the fixpoint");
+        prop_assert!(sparse.recomputed() <= n);
+
+        // Cutoff dirty set ⊆ dense dirty set.
+        for c in 0..n {
+            prop_assert!(
+                !sparse_dirty[c] || dense_dirty[c],
+                "component {} recomputed sparsely but not densely",
+                c
+            );
+        }
+    }
+}

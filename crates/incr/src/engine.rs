@@ -2,15 +2,28 @@
 //!
 //! [`IncrementalEngine`] holds a program, the full set of analysis
 //! results for it, and a cache of per-phase intermediates. Applying a
-//! typed [`Edit`] recomputes *exactly the invalidated pieces* — dirty
-//! components of the binding multi-graph's condensation for `RMOD`/`RUSE`
-//! (Figure 1), dirty components of each level-scheduled `GMOD` problem
-//! (signature-keyed per-component fixpoints), and the call sites whose
-//! inputs moved — while everything else is copied from the cache. The
-//! results after every edit are **bit-identical** to a from-scratch
-//! [`Analyzer::analyze`] run on the edited program; the differential test
-//! rig (`tests/incr_equiv.rs`) enforces this for random edit scripts at
-//! several thread counts.
+//! typed [`Edit`] recomputes *exactly the invalidated pieces* — the dirty
+//! frontier of the binding multi-graph's condensation for `RMOD`/`RUSE`
+//! (Figure 1) and of each level-scheduled `GMOD` problem, plus the call
+//! sites whose inputs moved — while everything else is kept, untouched,
+//! in per-node caches. The results after every edit are **bit-identical**
+//! to a from-scratch [`Analyzer::analyze`] run on the edited program; the
+//! differential test rig (`tests/incr_equiv.rs`) enforces this for random
+//! edit scripts at several thread counts.
+//!
+//! Three apply paths, picked per edit from the [`EditDelta`]:
+//!
+//! * **set-local** — no structure, no universe change. The binding and
+//!   call condensations are reused *as cached objects*: no graph is
+//!   rebuilt, no Tarjan runs, and the sweeps are [`SparseSweep`]s whose
+//!   work is proportional to the dirty frontier, not the program.
+//! * **structural patch** — structure changed but every procedure and
+//!   variable id survived (add/remove call, rebind, add a formal-less
+//!   procedure). The cached [`DynCondensation`]s are *patched* edge by
+//!   edge (Pearce–Kelly window repair, component-local re-Tarjan), and
+//!   the patch dirt seeds the same sparse sweeps.
+//! * **full** — no cache, or the variable universe changed. Everything
+//!   is rebuilt with the batch kernels.
 //!
 //! # Why reuse is sound
 //!
@@ -19,20 +32,24 @@
 //! (callees, bound formals) are final. A cached component value is reused
 //! only when
 //!
-//! 1. its local structure is unchanged (same members, same outgoing
-//!    edges — checked by an explicit signature),
+//! 1. its local structure is unchanged (membership and outgoing edges —
+//!    any patch that touches them puts its nodes in the dirty seed set),
 //! 2. its inputs are unchanged (seeds and the `LOCAL` sets its edges
 //!    filter through), and
-//! 3. no successor's value changed ([`DirtySweep`] propagates value
-//!    changes to predecessors, which are processed later in the
-//!    successors-first order).
+//! 3. no successor's value changed (an **early cutoff**: a recomputed
+//!    component whose fixpoint is bit-identical to its cached rows stops
+//!    the dirt right there, so predecessors are never drawn into the
+//!    frontier).
 //!
 //! Under those three conditions the component solves the *same* closed
 //! subproblem as the cached run did, and a least fixed point is unique —
 //! so the cached rows equal what [`solve_component`] would recompute,
 //! bit for bit. Recomputed components use the *same kernel* the
 //! from-scratch solver uses, so no second implementation has to agree
-//! with the first. See `docs/INCREMENTAL.md` for the full argument.
+//! with the first. Caches are keyed **per node** (per β node, per
+//! procedure), not per component, so they survive the component
+//! renumbering a merge, split, or window reorder performs. See
+//! `docs/INCREMENTAL.md` for the full argument.
 //!
 //! # Failure containment
 //!
@@ -44,13 +61,12 @@
 //! result sets; the next successful apply rebuilds from scratch and is
 //! again bit-identical to a clean run.
 
-use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use modref_binding::BindingGraph;
 use modref_bitset::{BitSet, OpCounter};
 use modref_core::{solve_component, Analyzer};
-use modref_graph::{tarjan, Condensation, DiGraph, DirtySweep, SccId, Sccs};
+use modref_graph::{DiGraph, DynCondensation, SccId, SparseSweep};
 use modref_guard::{Guard, Interrupt};
 use modref_ir::{
     walk_stmts, Actual, CallGraph, CallSiteId, Edit, EditDelta, EditError, ProcId, Program, VarId,
@@ -93,33 +109,59 @@ struct Cache {
     flat_use: Vec<BitSet>,
     /// `LOCAL(p)` per procedure.
     local_sets: Vec<BitSet>,
-    /// Figure 1 structures; valid only while the binding structure and
-    /// variable universe are unchanged (`set-local` edits).
-    beta: Option<BetaCache>,
-    /// Signature-keyed component fixpoints per `GMOD` problem.
-    problems_mod: Vec<ProblemCache>,
-    problems_use: Vec<ProblemCache>,
+    /// Figure 1 structures, maintained across set-local and structural
+    /// patch edits.
+    beta: BetaCache,
+    /// The `GMOD` problem family, likewise maintained.
+    call: CallCache,
     /// Banning alias pairs; body-independent, reusable across `set-local`.
     aliases: AliasPairs,
 }
 
-/// The binding multi-graph, its condensation, and the per-component
-/// representer booleans of the last Figure 1 sweep (both problem sides).
+/// The binding multi-graph, its dynamically maintained condensation, and
+/// the per-*node* seed and representer booleans of the last Figure 1
+/// sweep (both problem sides). Node ids are formals in program order, so
+/// they are stable under every edit that keeps the variable universe;
+/// component ids are *not* stable, which is why nothing here is keyed by
+/// them.
 struct BetaCache {
     beta: BindingGraph,
-    sccs: Sccs,
-    cond: DiGraph,
+    /// Sorted `(from, to)` edge multiset — the diff base for patches.
+    edges: Vec<(usize, usize)>,
+    dc: DynCondensation,
     seed_mod: Vec<bool>,
     seed_use: Vec<bool>,
     rep_mod: Vec<bool>,
     rep_use: Vec<bool>,
 }
 
-/// One `GMOD` problem's component cache: sorted members → (sorted
-/// outgoing-edge signature, fixpoint rows in sorted-member order).
-#[derive(Default)]
+/// The call multi-graph's `GMOD` problem family: one maintained
+/// condensation per nesting problem (shared by both sides) plus the
+/// per-procedure fixpoint rows of the last sweep.
+struct CallCache {
+    /// The nesting depth the family was built for; a depth change
+    /// invalidates the whole family.
+    dp: usize,
+    /// Sorted `(from, to, callee_level)` edge multiset of the *full*
+    /// call graph — the diff base for patches.
+    edges: Vec<(usize, usize, usize)>,
+    problems: Vec<ProblemCache>,
+}
+
+/// One `GMOD` problem: its maintained condensation and the cached
+/// per-node (per-procedure) fixpoint rows for both sides.
 struct ProblemCache {
-    comps: HashMap<Vec<usize>, (Vec<(usize, usize)>, Vec<BitSet>)>,
+    dc: DynCondensation,
+    rows_mod: Vec<BitSet>,
+    rows_use: Vec<BitSet>,
+}
+
+/// Which apply path this edit takes; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Full,
+    SetLocal,
+    Patch,
 }
 
 /// Reused-vs-recomputed counters for one apply.
@@ -345,8 +387,10 @@ impl IncrementalEngine {
     ///
     /// The edit is validated first; a rejected edit changes nothing. Once
     /// the edit commits, the recomputation runs under the guard with
-    /// checkpoints at `incr`, `incr.local`, `incr.rmod`, `incr.plus`,
-    /// `incr.gmod`, and `incr.final` (fault-injection sites for
+    /// checkpoints at `incr`, `incr.local`, `incr.rmod`, `incr.dyncond`
+    /// (structural patches only), `incr.plus`, `incr.gmod`,
+    /// `incr.gmod.patch` (structural patches only), `incr.gmod.sweep`,
+    /// and `incr.final` (fault-injection sites for
     /// [`modref_guard::FaultPlan`]). On an interrupt or contained panic
     /// the engine degrades: conservative result sets, cache dropped.
     ///
@@ -439,46 +483,85 @@ impl IncrementalEngine {
         let ns = program.num_sites();
         let pool = ThreadPool::with_threads(self.threads);
 
-        // Translate everything cached into the edited program's id spaces.
-        let remapped = match (cache, delta) {
-            (Some(c), Some(d)) => Some(remap_prior(c, prior_res, d, program)),
+        let had_cache = cache.is_some();
+        let mode = match (had_cache, delta) {
+            (true, Some(d)) if !d.structure_changed && !d.universe_changed => Mode::SetLocal,
+            (true, Some(d)) if !d.universe_changed && identity_maps(d) => Mode::Patch,
+            _ => Mode::Full,
+        };
+        stats.full_rebuild = !(had_cache && delta.is_some());
+
+        // Split the cache; the graph caches survive only the set-local
+        // and patch paths (their node ids are invalidated by a universe
+        // change).
+        let (old_flat, old_local_sets, old_beta, old_call, old_aliases) = match (cache, mode) {
+            (Some(c), Mode::SetLocal | Mode::Patch) => (
+                Some((c.flat_mod, c.flat_use)),
+                Some(c.local_sets),
+                Some(c.beta),
+                Some(c.call),
+                Some(c.aliases),
+            ),
+            _ => (None, None, None, None, None),
+        };
+
+        // Prior observable results, translated into the edited program's
+        // id spaces, for change detection and (set-local only) site reuse.
+        let old: Option<OldResults> = match (mode, delta) {
+            (Mode::SetLocal, Some(_)) => Some(OldResults::from_results(prior_res)),
+            (Mode::Patch, Some(d)) => Some(OldResults::permuted(prior_res, d, nv, ns)),
+            (Mode::Full, Some(d)) if had_cache => Some(OldResults::remapped(prior_res, d, program)),
             _ => None,
         };
-        stats.full_rebuild = remapped.is_none();
-        let set_local_only = delta.is_some_and(|d| {
-            !d.structure_changed && !d.universe_changed
-        });
-
-        let mut touched = vec![remapped.is_none(); np];
-        if let Some(d) = delta {
-            for &p in &d.touched_procs {
-                touched[p.index()] = true;
+        let (is_new_proc, is_new_site) = match (old.is_some(), delta) {
+            (true, Some(d)) => {
+                let mut ip = vec![true; np];
+                for m in d.proc_map.iter().flatten() {
+                    ip[m.index()] = false;
+                }
+                let mut is = vec![true; ns];
+                for m in d.site_map.iter().flatten() {
+                    is[m.index()] = false;
+                }
+                (ip, is)
             }
-        }
-        let is_new_proc: Vec<bool> = match &remapped {
-            Some(r) => r.is_new_proc.clone(),
-            None => vec![true; np],
-        };
-        let is_new_site: Vec<bool> = match &remapped {
-            Some(r) => r.is_new_site.clone(),
-            None => vec![true; ns],
+            _ => (vec![true; np], vec![true; ns]),
         };
 
         // ---- Phase: local sets (flat LMOD/LUSE + the §3.3 extension) ----
         guard.checkpoint("incr.local")?;
         let local_sets = program.local_sets();
-        let locals_dirty: Vec<bool> = match &remapped {
-            Some(r) => (0..np)
-                .map(|p| is_new_proc[p] || local_sets[p] != r.local_sets[p])
+        let locals_dirty: Vec<bool> = match &old_local_sets {
+            Some(old_ls) => (0..np)
+                .map(|p| is_new_proc[p] || old_ls.get(p).is_none_or(|o| local_sets[p] != *o))
                 .collect(),
             None => vec![true; np],
         };
-        let (mut flat_mod, mut flat_use) = match &remapped {
-            Some(r) => (r.flat_mod.clone(), r.flat_use.clone()),
-            None => (
-                vec![BitSet::new(nv); np],
-                vec![BitSet::new(nv); np],
-            ),
+        let mut touched: Vec<bool> = match mode {
+            Mode::Full => vec![true; np],
+            _ => {
+                let mut t = vec![false; np];
+                if let Some(d) = delta {
+                    for &p in &d.touched_procs {
+                        t[p.index()] = true;
+                    }
+                }
+                for (p, &fresh) in is_new_proc.iter().enumerate() {
+                    t[p] |= fresh;
+                }
+                t
+            }
+        };
+        if mode == Mode::Full {
+            touched.iter_mut().for_each(|t| *t = true);
+        }
+        let (mut flat_mod, mut flat_use) = match old_flat {
+            Some((mut m, mut u)) => {
+                m.resize(np, BitSet::new(nv));
+                u.resize(np, BitSet::new(nv));
+                (m, u)
+            }
+            None => (vec![BitSet::new(nv); np], vec![BitSet::new(nv); np]),
         };
         for p in program.procs() {
             if !touched[p.index()] {
@@ -494,136 +577,199 @@ impl IncrementalEngine {
 
         // ---- Phase: RMOD/RUSE over the binding condensation ----
         guard.checkpoint("incr.rmod")?;
-        let beta_cache = remapped
-            .as_ref()
-            .filter(|_| set_local_only)
-            .and_then(|r| r.beta.as_ref());
-        let (beta, sccs, cond, cached_reps) = match beta_cache {
-            Some(bc) => (None, None, None, Some(bc)),
-            None => {
+        let mut beta_patch_nodes: Vec<usize> = Vec::new();
+        let (mut bc, beta_fresh) = match (mode, old_beta) {
+            (Mode::SetLocal, Some(bc)) => (bc, false),
+            (Mode::Patch, Some(mut bc)) => {
+                guard.checkpoint("incr.dyncond")?;
                 let beta = BindingGraph::build(program);
-                let sccs = tarjan(beta.graph());
-                let cond = Condensation::build(beta.graph(), &sccs).graph().clone();
-                (Some(beta), Some(sccs), Some(cond), None)
+                let new_edges = sorted_beta_edges(&beta);
+                if bc.dc.graph().num_nodes() == beta.num_nodes() {
+                    let (dels, ins) = diff_sorted(&bc.edges, &new_edges);
+                    for (u, v) in dels {
+                        beta_patch_nodes.extend(bc.dc.delete_edge(u, v).dirty);
+                    }
+                    for (u, v) in ins {
+                        beta_patch_nodes.extend(bc.dc.insert_edge(u, v).dirty);
+                    }
+                    bc.beta = beta;
+                    bc.edges = new_edges;
+                    (bc, false)
+                } else {
+                    (fresh_beta_cache(beta, new_edges), true)
+                }
             }
-        };
-        // Borrow the structures from whichever side owns them.
-        let (beta_ref, sccs_ref, cond_ref) = match cached_reps {
-            Some(bc) => (&bc.beta, &bc.sccs, &bc.cond),
-            None => (
-                beta.as_ref().expect("fresh beta"),
-                sccs.as_ref().expect("fresh sccs"),
-                cond.as_ref().expect("fresh cond"),
-            ),
+            _ => {
+                let beta = BindingGraph::build(program);
+                let edges = sorted_beta_edges(&beta);
+                (fresh_beta_cache(beta, edges), true)
+            }
         };
         let mut rmod_reused = 0usize;
         let mut rmod_recomputed = 0usize;
-        let (seed_mod, rep_mod, rmod) = rmod_sweep(
+        let (new_seed_mod, rmod) = rmod_sweep_side(
             program,
-            beta_ref,
-            sccs_ref,
-            cond_ref,
+            &bc.beta,
+            &bc.dc,
             &imod,
-            cached_reps.map(|bc| (&bc.seed_mod, &bc.rep_mod)),
+            (!beta_fresh).then_some(&bc.seed_mod[..]),
+            &beta_patch_nodes,
+            &mut bc.rep_mod,
             &mut rmod_reused,
             &mut rmod_recomputed,
             guard,
         )?;
-        let (seed_use, rep_use, ruse) = rmod_sweep(
+        bc.seed_mod = new_seed_mod;
+        let (new_seed_use, ruse) = rmod_sweep_side(
             program,
-            beta_ref,
-            sccs_ref,
-            cond_ref,
+            &bc.beta,
+            &bc.dc,
             &iuse,
-            cached_reps.map(|bc| (&bc.seed_use, &bc.rep_use)),
+            (!beta_fresh).then_some(&bc.seed_use[..]),
+            &beta_patch_nodes,
+            &mut bc.rep_use,
             &mut rmod_reused,
             &mut rmod_recomputed,
             guard,
         )?;
+        bc.seed_use = new_seed_use;
         stats.rmod_components_reused = rmod_reused;
         stats.rmod_components_recomputed = rmod_recomputed;
-        let new_beta = BetaCache {
-            beta: match beta {
-                Some(b) => b,
-                None => cached_reps.map(|bc| bc.beta.clone()).expect("cached beta"),
-            },
-            sccs: match sccs {
-                Some(s) => s,
-                None => cached_reps.map(|bc| bc.sccs.clone()).expect("cached sccs"),
-            },
-            cond: match cond {
-                Some(c) => c,
-                None => cached_reps.map(|bc| bc.cond.clone()).expect("cached cond"),
-            },
-            seed_mod,
-            seed_use,
-            rep_mod,
-            rep_use,
-        };
 
         // ---- Phase: IMOD⁺/IUSE⁺ (equation 5; one cheap boolean pass) ----
         guard.checkpoint("incr.plus")?;
         let plus_mod = compute_plus(program, &imod, &rmod, guard)?;
         let plus_use = compute_plus(program, &iuse, &ruse, guard)?;
-        let plus_mod_dirty: Vec<bool> = diff_procs(&plus_mod, remapped.as_ref().map(|r| &r.res.plus_mod), &is_new_proc);
-        let plus_use_dirty: Vec<bool> = diff_procs(&plus_use, remapped.as_ref().map(|r| &r.res.plus_use), &is_new_proc);
+        let plus_mod_dirty =
+            diff_procs(&plus_mod, old.as_ref().map(|o| o.plus_mod.as_slice()), &is_new_proc);
+        let plus_use_dirty =
+            diff_procs(&plus_use, old.as_ref().map(|o| o.plus_use.as_slice()), &is_new_proc);
 
-        // ---- Phase: GMOD/GUSE (cached level-scheduled fixpoints) ----
+        // ---- Phase: GMOD/GUSE (maintained level-scheduled fixpoints) ----
         guard.checkpoint("incr.gmod")?;
-        let call_graph = CallGraph::build(program);
         let dp = program.max_level() as usize;
         let nproblems = dp.max(1);
-        let empty_problems: Vec<ProblemCache> = Vec::new();
-        let (old_problems_mod, old_problems_use) = match &remapped {
-            Some(r) => (&r.problems_mod, &r.problems_use),
-            None => (&empty_problems, &empty_problems),
+        let mut call_patch_nodes: Vec<Vec<usize>> = vec![Vec::new(); nproblems];
+        let (mut cc, call_fresh) = match (mode, old_call) {
+            (Mode::SetLocal, Some(cc))
+                if cc.dp == dp
+                    && cc.problems.len() == nproblems
+                    && cc.problems.iter().all(|p| p.dc.graph().num_nodes() == np) =>
+            {
+                (cc, false)
+            }
+            (Mode::Patch, Some(mut cc)) if cc.dp == dp && cc.problems.len() == nproblems => {
+                guard.checkpoint("incr.gmod.patch")?;
+                let call_graph = CallGraph::build(program);
+                let triples = sorted_call_edges(program, call_graph.graph());
+                for pc in &mut cc.problems {
+                    while pc.dc.graph().num_nodes() < np {
+                        pc.dc.add_node();
+                        pc.rows_mod.push(BitSet::new(nv));
+                        pc.rows_use.push(BitSet::new(nv));
+                    }
+                }
+                let (dels, ins) = diff_sorted(&cc.edges, &triples);
+                for (k, pc) in cc.problems.iter_mut().enumerate() {
+                    let min_lvl = if dp <= 1 { 0 } else { k + 1 };
+                    for &(f, t, lv) in &dels {
+                        if lv >= min_lvl {
+                            call_patch_nodes[k].extend(pc.dc.delete_edge(f, t).dirty);
+                        }
+                    }
+                    for &(f, t, lv) in &ins {
+                        if lv >= min_lvl {
+                            call_patch_nodes[k].extend(pc.dc.insert_edge(f, t).dirty);
+                        }
+                    }
+                }
+                cc.edges = triples;
+                (cc, false)
+            }
+            _ => {
+                let call_graph = CallGraph::build(program);
+                let triples = sorted_call_edges(program, call_graph.graph());
+                (fresh_call_cache(dp, nproblems, np, nv, triples), true)
+            }
         };
         let mut gmod_reused = 0usize;
         let mut gmod_recomputed = 0usize;
-        let (gmod, problems_mod) = gmod_side(
-            program,
-            call_graph.graph(),
-            dp,
-            nproblems,
-            &plus_mod,
-            &local_sets,
-            &plus_mod_dirty,
-            &locals_dirty,
-            old_problems_mod,
-            &pool,
-            guard,
-            &mut gmod_reused,
-            &mut gmod_recomputed,
-        )?;
-        let (guse, problems_use) = gmod_side(
-            program,
-            call_graph.graph(),
-            dp,
-            nproblems,
-            &plus_use,
-            &local_sets,
-            &plus_use_dirty,
-            &locals_dirty,
-            old_problems_use,
-            &pool,
-            guard,
-            &mut gmod_reused,
-            &mut gmod_recomputed,
-        )?;
+        let mut gmod_acc = (dp > 1).then(|| plus_mod.clone());
+        let mut guse_acc = (dp > 1).then(|| plus_use.clone());
+        for (k, pc) in cc.problems.iter_mut().enumerate() {
+            let dirty_mod = (!call_fresh).then(|| {
+                (
+                    plus_mod_dirty.as_slice(),
+                    locals_dirty.as_slice(),
+                    call_patch_nodes[k].as_slice(),
+                )
+            });
+            sweep_gmod_side(
+                &pc.dc,
+                &mut pc.rows_mod,
+                &plus_mod,
+                &local_sets,
+                dirty_mod,
+                nv,
+                &pool,
+                guard,
+                &mut gmod_reused,
+                &mut gmod_recomputed,
+            )?;
+            let dirty_use = (!call_fresh).then(|| {
+                (
+                    plus_use_dirty.as_slice(),
+                    locals_dirty.as_slice(),
+                    call_patch_nodes[k].as_slice(),
+                )
+            });
+            sweep_gmod_side(
+                &pc.dc,
+                &mut pc.rows_use,
+                &plus_use,
+                &local_sets,
+                dirty_use,
+                nv,
+                &pool,
+                guard,
+                &mut gmod_reused,
+                &mut gmod_recomputed,
+            )?;
+            if let Some(acc) = &mut gmod_acc {
+                for (a, r) in acc.iter_mut().zip(&pc.rows_mod) {
+                    a.union_with(r);
+                }
+                guard.charge(np as u64, 0);
+            }
+            if let Some(acc) = &mut guse_acc {
+                for (a, r) in acc.iter_mut().zip(&pc.rows_use) {
+                    a.union_with(r);
+                }
+                guard.charge(np as u64, 0);
+            }
+        }
+        let gmod = match gmod_acc {
+            Some(acc) => acc,
+            None => cc.problems[0].rows_mod.clone(),
+        };
+        let guse = match guse_acc {
+            Some(acc) => acc,
+            None => cc.problems[0].rows_use.clone(),
+        };
         stats.gmod_components_reused = gmod_reused;
         stats.gmod_components_recomputed = gmod_recomputed;
-        let gmod_dirty = diff_procs(&gmod, remapped.as_ref().map(|r| &r.res.gmod), &is_new_proc);
-        let guse_dirty = diff_procs(&guse, remapped.as_ref().map(|r| &r.res.guse), &is_new_proc);
+        let gmod_dirty = diff_procs(&gmod, old.as_ref().map(|o| o.gmod.as_slice()), &is_new_proc);
+        let guse_dirty = diff_procs(&guse, old.as_ref().map(|o| o.guse.as_slice()), &is_new_proc);
 
         // ---- Phase: aliases, per-site projection, factoring ----
         guard.checkpoint("incr.final")?;
-        let (aliases, aliases_fresh) = match &remapped {
+        let (aliases, aliases_fresh) = match (mode, old_aliases) {
             // Alias pairs depend only on call sites and visibility, both
             // unchanged under a set-local edit.
-            Some(r) if set_local_only => (r.aliases.clone(), false),
+            (Mode::SetLocal, Some(a)) => (a, false),
             _ => (AliasPairs::compute_guarded(program, guard)?, true),
         };
-        let mut old_sites = remapped.map(|r| (r.res.dmod, r.res.duse, r.res.mods, r.res.uses));
+        let mut old_sites = old.map(|o| (o.dmod, o.duse, o.mods, o.uses));
         let no_old = old_sites.is_none();
         let mut dmod = Vec::with_capacity(ns);
         let mut duse = Vec::with_capacity(ns);
@@ -638,7 +784,7 @@ impl IncrementalEngine {
             let stale = no_old || is_new_site[i] || aliases_fresh || locals_dirty[callee];
             let redo_mod = stale || gmod_dirty[callee];
             let redo_use = stale || guse_dirty[callee];
-            // Each side compares its fresh value against the (remapped)
+            // Each side compares its fresh value against the (permuted)
             // old one *before* the other side may consume its slots, so
             // a one-sided redo still reports change correctly.
             let (dm, m, mod_changed) = if redo_mod {
@@ -700,9 +846,8 @@ impl IncrementalEngine {
             flat_mod,
             flat_use,
             local_sets,
-            beta: Some(new_beta),
-            problems_mod,
-            problems_use,
+            beta: bc,
+            call: cc,
             aliases,
         });
         span.arg("full_rebuild", u64::from(stats.full_rebuild));
@@ -803,6 +948,215 @@ impl IncrementalEngine {
     }
 }
 
+/// `true` when every surviving procedure and variable keeps its id — the
+/// precondition for patching the cached graph structures in place.
+fn identity_maps(d: &EditDelta) -> bool {
+    d.proc_map
+        .iter()
+        .enumerate()
+        .all(|(i, m)| m.map(ProcId::index) == Some(i))
+        && d.var_map
+            .iter()
+            .enumerate()
+            .all(|(i, m)| m.map(VarId::index) == Some(i))
+}
+
+/// Prior observable results, translated into the edited program's id
+/// spaces — the diff base for change detection and (set-local) site
+/// reuse.
+struct OldResults {
+    plus_mod: Vec<BitSet>,
+    plus_use: Vec<BitSet>,
+    gmod: Vec<BitSet>,
+    guse: Vec<BitSet>,
+    dmod: Vec<BitSet>,
+    duse: Vec<BitSet>,
+    mods: Vec<BitSet>,
+    uses: Vec<BitSet>,
+}
+
+impl OldResults {
+    /// Set-local: every id space is untouched; the results move verbatim.
+    fn from_results(res: Results) -> OldResults {
+        OldResults {
+            plus_mod: res.plus_mod,
+            plus_use: res.plus_use,
+            gmod: res.gmod,
+            guse: res.guse,
+            dmod: res.dmod,
+            duse: res.duse,
+            mods: res.mods,
+            uses: res.uses,
+        }
+    }
+
+    /// Structural patch: procedure and variable ids are identities, but
+    /// call-site ids may have shifted — permute the per-site vectors.
+    fn permuted(res: Results, d: &EditDelta, nv: usize, ns: usize) -> OldResults {
+        let permute = |old: Vec<BitSet>| -> Vec<BitSet> {
+            let mut out = vec![BitSet::new(nv); ns];
+            for (i, set) in old.into_iter().enumerate() {
+                if let Some(s) = d.site_map.get(i).copied().flatten() {
+                    out[s.index()] = set;
+                }
+            }
+            out
+        };
+        OldResults {
+            plus_mod: res.plus_mod,
+            plus_use: res.plus_use,
+            gmod: res.gmod,
+            guse: res.guse,
+            dmod: permute(res.dmod),
+            duse: permute(res.duse),
+            mods: permute(res.mods),
+            uses: permute(res.uses),
+        }
+    }
+
+    /// Full rebuild after a universe change: remap every id space so the
+    /// reported [`IncrDelta`] still names exactly what moved.
+    fn remapped(res: Results, d: &EditDelta, program: &Program) -> OldResults {
+        let np = program.num_procs();
+        let nv = program.num_vars();
+        let ns = program.num_sites();
+        let remap_set = |old: &BitSet| -> BitSet {
+            BitSet::from_iter_with_domain(
+                nv,
+                old.iter().filter_map(|i| d.var_map[i].map(VarId::index)),
+            )
+        };
+        let remap_proc_vec = |old: &[BitSet]| -> Vec<BitSet> {
+            let mut out = vec![BitSet::new(nv); np];
+            for (i, set) in old.iter().enumerate() {
+                if let Some(p) = d.proc_map.get(i).copied().flatten() {
+                    out[p.index()] = remap_set(set);
+                }
+            }
+            out
+        };
+        let remap_site_vec = |old: &[BitSet]| -> Vec<BitSet> {
+            let mut out = vec![BitSet::new(nv); ns];
+            for (i, set) in old.iter().enumerate() {
+                if let Some(s) = d.site_map.get(i).copied().flatten() {
+                    out[s.index()] = remap_set(set);
+                }
+            }
+            out
+        };
+        OldResults {
+            plus_mod: remap_proc_vec(&res.plus_mod),
+            plus_use: remap_proc_vec(&res.plus_use),
+            gmod: remap_proc_vec(&res.gmod),
+            guse: remap_proc_vec(&res.guse),
+            dmod: remap_site_vec(&res.dmod),
+            duse: remap_site_vec(&res.duse),
+            mods: remap_site_vec(&res.mods),
+            uses: remap_site_vec(&res.uses),
+        }
+    }
+}
+
+/// Two-pointer diff of two sorted multisets: `(deletions, insertions)`
+/// turning `old` into `new`.
+fn diff_sorted<T: Ord + Copy>(old: &[T], new: &[T]) -> (Vec<T>, Vec<T>) {
+    let (mut dels, mut ins) = (Vec::new(), Vec::new());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < old.len() || j < new.len() {
+        match (old.get(i), new.get(j)) {
+            (Some(a), Some(b)) if a == b => {
+                i += 1;
+                j += 1;
+            }
+            (Some(a), Some(b)) if a < b => {
+                dels.push(*a);
+                i += 1;
+            }
+            (Some(_), Some(b)) => {
+                ins.push(*b);
+                j += 1;
+            }
+            (Some(a), None) => {
+                dels.push(*a);
+                i += 1;
+            }
+            (None, Some(b)) => {
+                ins.push(*b);
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    (dels, ins)
+}
+
+fn sorted_beta_edges(beta: &BindingGraph) -> Vec<(usize, usize)> {
+    let mut v: Vec<(usize, usize)> = beta.graph().edges().map(|e| (e.from, e.to)).collect();
+    v.sort_unstable();
+    v
+}
+
+fn sorted_call_edges(program: &Program, g: &DiGraph) -> Vec<(usize, usize, usize)> {
+    let mut v: Vec<(usize, usize, usize)> = g
+        .edges()
+        .map(|e| {
+            (
+                e.from,
+                e.to,
+                program.proc_(ProcId::new(e.to)).level() as usize,
+            )
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn fresh_beta_cache(beta: BindingGraph, edges: Vec<(usize, usize)>) -> BetaCache {
+    let dc = DynCondensation::build(beta.graph().clone());
+    BetaCache {
+        beta,
+        edges,
+        dc,
+        seed_mod: Vec::new(),
+        seed_use: Vec::new(),
+        rep_mod: Vec::new(),
+        rep_use: Vec::new(),
+    }
+}
+
+/// Builds the `GMOD` problem family from scratch. Problem `k` (0-based)
+/// restricts the call multi-graph to edges whose callee sits at nesting
+/// level `≥ k + 1`; for two-level programs the single problem runs on the
+/// full graph, matching the batch solver exactly.
+fn fresh_call_cache(
+    dp: usize,
+    nproblems: usize,
+    np: usize,
+    nv: usize,
+    triples: Vec<(usize, usize, usize)>,
+) -> CallCache {
+    let mut problems = Vec::with_capacity(nproblems);
+    for k in 0..nproblems {
+        let min_lvl = if dp <= 1 { 0 } else { k + 1 };
+        let mut g = DiGraph::new(np);
+        for &(f, t, lv) in &triples {
+            if lv >= min_lvl {
+                g.add_edge(f, t);
+            }
+        }
+        problems.push(ProblemCache {
+            dc: DynCondensation::build(g),
+            rows_mod: vec![BitSet::new(nv); np],
+            rows_use: vec![BitSet::new(nv); np],
+        });
+    }
+    CallCache {
+        dp,
+        edges: triples,
+        problems,
+    }
+}
+
 /// Flat (call-free) `LMOD`/`LUSE` of one procedure — the same statement
 /// walk [`modref_ir::LocalEffects::compute`] performs per procedure.
 fn flat_effects_of(program: &Program, p: ProcId) -> (BitSet, BitSet) {
@@ -839,24 +1193,28 @@ fn extend_flat(
     (imod, iuse)
 }
 
-/// One side of the Figure 1 sweep with dirty-component reuse. With no
-/// cache (`cached: None`) every component is recomputed; with a cache,
-/// only components whose seed changed — or whose successors' representer
-/// values changed — are redone. Returns the new seeds, representer
-/// values, and per-procedure `RMOD` sets (the broadcast is always run in
-/// full; it is one boolean step per formal).
+/// One side of the Figure 1 sweep over the maintained binding
+/// condensation. With no cached seeds (`old_seeds: None`) every component
+/// is recomputed in a dense ascending-id pass; with a cache, a
+/// [`SparseSweep`] visits only components whose seeds moved, whose
+/// structure a patch touched, or whose successors' representer values
+/// changed — the early cutoff stops the frontier at any component whose
+/// recomputed value equals its cached one. `rep` holds the per-*node*
+/// representer booleans and is updated in place; the broadcast (step (4)
+/// of Figure 1, one boolean per formal) always runs in full.
 #[allow(clippy::too_many_arguments)]
-fn rmod_sweep(
+fn rmod_sweep_side(
     program: &Program,
     beta: &BindingGraph,
-    sccs: &Sccs,
-    cond: &DiGraph,
+    dc: &DynCondensation,
     initial: &[BitSet],
-    cached: Option<(&Vec<bool>, &Vec<bool>)>,
+    old_seeds: Option<&[bool]>,
+    patch_nodes: &[usize],
+    rep: &mut Vec<bool>,
     reused: &mut usize,
     recomputed: &mut usize,
     guard: &Guard,
-) -> Result<(Vec<bool>, Vec<bool>, Vec<BitSet>), Interrupt> {
+) -> Result<(Vec<bool>, Vec<BitSet>), Interrupt> {
     let n = beta.num_nodes();
     let mut seeds = Vec::with_capacity(n);
     for node in 0..n {
@@ -867,47 +1225,62 @@ fn rmod_sweep(
     guard.charge(0, n as u64);
     guard.check()?;
 
-    let mut sweep = DirtySweep::new(cond);
-    let mut rep = match cached {
-        Some((old_seeds, old_rep)) => {
-            // Seed components whose members' IMOD bits moved.
-            debug_assert_eq!(old_seeds.len(), n, "β unchanged under set-local");
-            for node in 0..n {
-                if seeds[node] != old_seeds[node] {
+    let sccs = dc.sccs();
+    let cond = dc.cond();
+    match old_seeds {
+        None => {
+            rep.clear();
+            rep.resize(n, false);
+            // Ascending SccId = successors first; every component's value
+            // is the OR of its member seeds and successor values.
+            for c in 0..sccs.len() {
+                let mut value = false;
+                for &m in sccs.members(c) {
+                    value |= seeds[m];
+                }
+                for d in cond.successor_nodes(c) {
+                    value |= rep[sccs.members(d)[0]];
+                }
+                for &m in sccs.members(c) {
+                    rep[m] = value;
+                }
+            }
+            *recomputed += sccs.len();
+            guard.charge(0, sccs.len() as u64);
+        }
+        Some(old) => {
+            debug_assert_eq!(old.len(), n, "β node set is stable under cached applies");
+            let mut sweep = SparseSweep::new(dc.cond_preds(), dc.levels().level_map());
+            for (node, (&new, &was)) in seeds.iter().zip(old).enumerate() {
+                if new != was {
                     sweep.seed(sccs.component_of(node));
                 }
             }
-            old_rep.clone()
-        }
-        None => {
-            for c in 0..sccs.len() {
-                sweep.seed(c);
+            for &node in patch_nodes {
+                sweep.seed(sccs.component_of(node));
             }
-            vec![false; sccs.len()]
-        }
-    };
-    // Ascending SccId = successors first: a dirty component recomputes
-    // its representer from final member seeds and successor values; an
-    // unchanged result stops the dirt right there.
-    for c in 0..sccs.len() {
-        if sweep.is_dirty(c) {
-            let mut value = false;
-            for &m in sccs.members(c) {
-                value |= seeds[m];
+            let mut batch = Vec::new();
+            while sweep.next_batch(&mut batch) {
+                for &c in &batch {
+                    let mut value = false;
+                    for &m in sccs.members(c) {
+                        value |= seeds[m];
+                    }
+                    for d in cond.successor_nodes(c) {
+                        value |= rep[sccs.members(d)[0]];
+                    }
+                    let changed = sccs.members(c).iter().any(|&m| rep[m] != value);
+                    for &m in sccs.members(c) {
+                        rep[m] = value;
+                    }
+                    sweep.update(c, changed);
+                }
             }
-            for d in cond.successor_nodes(c) {
-                value |= rep[d];
-            }
-            let changed = value != rep[c];
-            rep[c] = value;
-            sweep.update(c, changed);
-        } else {
-            sweep.skip(c);
+            *reused += sweep.total() - sweep.recomputed();
+            *recomputed += sweep.recomputed();
+            guard.charge(0, sweep.recomputed() as u64);
         }
     }
-    *reused += sweep.reused();
-    *recomputed += sweep.recomputed();
-    guard.charge(0, sccs.len() as u64);
     guard.check()?;
 
     // Broadcast — the exact step (4) of Figure 1, unbound formals taking
@@ -916,7 +1289,7 @@ fn rmod_sweep(
     for p in program.procs() {
         for &f in program.proc_(p).formals() {
             let in_rmod = match beta.node_of_formal(f) {
-                Some(node) => rep[sccs.component_of(node)],
+                Some(node) => rep[node],
                 None => initial[p.index()].contains(f.index()),
             };
             if in_rmod {
@@ -924,7 +1297,7 @@ fn rmod_sweep(
             }
         }
     }
-    Ok((seeds, rep, rmod))
+    Ok((seeds, rmod))
 }
 
 /// Equation (5), exactly as [`modref_core::compute_imod_plus`] computes
@@ -959,338 +1332,140 @@ fn compute_plus(
 }
 
 /// `new[p] != old[p]` per procedure (new procedures always dirty; no old
-/// results means everything is).
-fn diff_procs(new: &[BitSet], old: Option<&Vec<BitSet>>, is_new: &[bool]) -> Vec<bool> {
+/// results means everything is; an old vector shorter than `new` — ids
+/// appended by the edit — dirties the tail).
+fn diff_procs(new: &[BitSet], old: Option<&[BitSet]>, is_new: &[bool]) -> Vec<bool> {
     match old {
         Some(old) => (0..new.len())
-            .map(|p| is_new[p] || new[p] != old[p])
+            .map(|p| is_new[p] || old.get(p).is_none_or(|o| new[p] != *o))
             .collect(),
         None => vec![true; new.len()],
     }
 }
 
-/// One side's `GMOD` problems with component-level caching. Problem `k`
-/// (0-based) restricts the call multi-graph to edges whose callee sits at
-/// nesting level `≥ k + 1` — for two-level programs the single problem
-/// runs on the full graph, matching the batch solver exactly. Each
-/// problem's condensation is rebuilt (linear), then every component is
-/// either **reused** (signature matches the cache, no member seed or
-/// referenced `LOCAL` set dirty, no successor value changed) or
-/// **recomputed** with [`solve_component`] — the batch kernel — on the
-/// pool.
+/// Solves one batch of pairwise-independent components on the pool with
+/// the batch kernel, writes the rows back per node, and reports each
+/// component's value-changed bit to `on_done`.
 #[allow(clippy::too_many_arguments)]
-fn gmod_side(
-    program: &Program,
-    full_graph: &DiGraph,
-    dp: usize,
-    nproblems: usize,
+fn run_batch(
+    batch: &[SccId],
+    dc: &DynCondensation,
+    rows: &mut [BitSet],
     seeds: &[BitSet],
     locals: &[BitSet],
-    seed_dirty: &[bool],
-    locals_dirty: &[bool],
-    old_problems: &[ProblemCache],
+    nv: usize,
+    pool: &ThreadPool,
+    guard: &Guard,
+    mut on_done: impl FnMut(SccId, bool),
+) -> Result<(), Interrupt> {
+    let graph = dc.graph();
+    let sccs = dc.sccs();
+    let comp_map = sccs.component_map();
+    let comp_pos = dc.comp_pos();
+    let results = {
+        let g_final: &[BitSet] = rows;
+        pool.par_map_while(
+            batch.len(),
+            || !guard.should_stop(),
+            |i| {
+                if i % 64 == 0 {
+                    let _ = guard.check();
+                }
+                solve_component(
+                    batch[i], graph, sccs, comp_map, comp_pos, seeds, locals, g_final, nv, guard,
+                )
+            },
+        )
+    };
+    let mut work = OpCounter::new();
+    for (slot, &c) in results.into_iter().zip(batch) {
+        let Some((sets, counter)) = slot else {
+            guard.check()?;
+            return Err(guard.interrupt().unwrap_or(Interrupt::Halted));
+        };
+        work += counter;
+        let members = sccs.members(c);
+        let changed = sets.iter().zip(members).any(|(set, &m)| rows[m] != *set);
+        for (set, &m) in sets.into_iter().zip(members) {
+            rows[m] = set;
+        }
+        on_done(c, changed);
+    }
+    guard.charge(work.bitvec_steps, work.bool_steps);
+    guard.check()
+}
+
+/// One side of one `GMOD` problem over its maintained condensation.
+/// `dirty: None` is the dense path (fresh condensation, zeroed rows):
+/// every level group is solved. `dirty: Some((seed_dirty, locals_dirty,
+/// patch_nodes))` is the sparse path: the frontier starts from
+/// procedures whose `IMOD⁺` seeds moved, the *predecessors* of
+/// procedures whose `LOCAL` filter moved (`LOCAL(q)` is applied on edges
+/// into `q`, so it is the callers' input), and the nodes an edge patch
+/// touched — then grows only through components whose recomputed
+/// fixpoint actually changed.
+#[allow(clippy::too_many_arguments)]
+fn sweep_gmod_side(
+    dc: &DynCondensation,
+    rows: &mut [BitSet],
+    seeds: &[BitSet],
+    locals: &[BitSet],
+    dirty: Option<(&[bool], &[bool], &[usize])>,
+    nv: usize,
     pool: &ThreadPool,
     guard: &Guard,
     reused: &mut usize,
     recomputed: &mut usize,
-) -> Result<(Vec<BitSet>, Vec<ProblemCache>), Interrupt> {
-    let n = full_graph.num_nodes();
-    let nv = program.num_vars();
-    if n == 0 {
-        return Ok((seeds.to_vec(), Vec::new()));
-    }
-    let callee_level: Vec<usize> = full_graph
-        .edges()
-        .map(|e| program.proc_(ProcId::new(e.to)).level() as usize)
-        .collect();
-
-    let mut new_problems = Vec::with_capacity(nproblems);
-    let mut total: Option<Vec<BitSet>> = if dp <= 1 {
-        None // single problem: its rows *are* the answer
-    } else {
-        Some(seeds.to_vec())
-    };
-
-    for k in 0..nproblems {
-        guard.check()?;
-        let restricted;
-        let graph: &DiGraph = if dp <= 1 {
-            full_graph
-        } else {
-            let mut g = DiGraph::new(n);
-            for (e, &lv) in full_graph.edges().zip(&callee_level) {
-                if lv >= k + 1 {
-                    g.add_edge(e.from, e.to);
+) -> Result<(), Interrupt> {
+    guard.checkpoint("incr.gmod.sweep")?;
+    match dirty {
+        None => {
+            let levels = dc.levels();
+            for level in 0..levels.num_levels() {
+                run_batch(
+                    levels.group(level),
+                    dc,
+                    rows,
+                    seeds,
+                    locals,
+                    nv,
+                    pool,
+                    guard,
+                    |_, _| {},
+                )?;
+            }
+            *recomputed += dc.sccs().len();
+        }
+        Some((seed_dirty, locals_dirty, patch_nodes)) => {
+            let comp_map = dc.sccs().component_map();
+            let mut sweep = SparseSweep::new(dc.cond_preds(), dc.levels().level_map());
+            for (p, &d) in seed_dirty.iter().enumerate() {
+                if d {
+                    sweep.seed(comp_map[p]);
                 }
             }
-            restricted = g;
-            &restricted
-        };
-        let old = old_problems.get(k);
-        let sccs = tarjan(graph);
-        let cond = Condensation::build(graph, &sccs);
-        let levels = cond.levels();
-        let comp_map = sccs.component_map();
-        let mut comp_pos = vec![0usize; n];
-        for members in sccs.iter() {
-            for (pos, &m) in members.iter().enumerate() {
-                comp_pos[m] = pos;
-            }
-        }
-        let mut sweep = DirtySweep::new(cond.graph());
-        let mut g_rows: Vec<BitSet> = vec![BitSet::new(nv); n];
-        let mut new_cache = ProblemCache::default();
-
-        for level in 0..levels.num_levels() {
-            let group = levels.group(level);
-            // Classify: reuse or recompute. Signature = sorted members +
-            // sorted deduplicated outgoing (member, successor) pairs.
-            let mut dirty: Vec<SccId> = Vec::new();
-            for &c in group {
-                let members = sccs.members(c);
-                let mut key: Vec<usize> = members.to_vec();
-                key.sort_unstable();
-                let mut sig: Vec<(usize, usize)> = Vec::new();
-                for &u in members {
-                    for &(q, _) in graph.successors_slice(u) {
-                        sig.push((u, q));
+            for (q, &d) in locals_dirty.iter().enumerate() {
+                if d {
+                    for &u in dc.predecessors(q) {
+                        sweep.seed(comp_map[u]);
                     }
                 }
-                sig.sort_unstable();
-                sig.dedup();
-                let cached = old.and_then(|o| o.comps.get(&key));
-                let clean = !sweep.is_dirty(c)
-                    && cached.is_some_and(|(old_sig, _)| *old_sig == sig)
-                    && key.iter().all(|&u| !seed_dirty[u])
-                    && sig.iter().all(|&(_, q)| !locals_dirty[q]);
-                if clean {
-                    let (_, rows) = cached.expect("clean implies cached");
-                    for &u in members {
-                        let pos = key.binary_search(&u).expect("member in key");
-                        g_rows[u] = rows[pos].clone();
-                    }
-                    sweep.skip(c);
-                    new_cache
-                        .comps
-                        .insert(key, (sig, rows.clone()));
-                } else {
-                    dirty.push(c);
-                }
             }
-            // Recompute the dirty components of this level on the pool,
-            // with the same kernel the batch level-scheduled solver uses.
-            let results = {
-                let g_final = &g_rows;
-                pool.par_map_while(
-                    dirty.len(),
-                    || !guard.should_stop(),
-                    |i| {
-                        if i % 64 == 0 {
-                            let _ = guard.check();
-                        }
-                        solve_component(
-                            dirty[i], graph, &sccs, comp_map, &comp_pos, seeds, locals, g_final,
-                            nv, guard,
-                        )
-                    },
-                )
-            };
-            let mut level_work = OpCounter::new();
-            for (slot, &c) in results.into_iter().zip(&dirty) {
-                let Some((sets, counter)) = slot else {
-                    guard.check()?;
-                    return Err(guard.interrupt().unwrap_or(Interrupt::Halted));
-                };
-                level_work += counter;
-                let members = sccs.members(c);
-                let mut key: Vec<usize> = members.to_vec();
-                key.sort_unstable();
-                let mut sorted_rows = vec![BitSet::new(nv); members.len()];
-                for (set, &u) in sets.into_iter().zip(members) {
-                    let pos = key.binary_search(&u).expect("member in key");
-                    sorted_rows[pos] = set;
-                }
-                // Value change vs the cache decides whether dirt spreads
-                // to predecessors (rows compared in sorted-member order).
-                let changed = match old.and_then(|o| o.comps.get(&key)) {
-                    Some((_, old_rows)) => {
-                        old_rows.len() != sorted_rows.len()
-                            || old_rows.iter().zip(&sorted_rows).any(|(a, b)| a != b)
-                    }
-                    None => true,
-                };
-                for &u in members {
-                    let pos = key.binary_search(&u).expect("member in key");
-                    g_rows[u] = sorted_rows[pos].clone();
-                }
-                sweep.update(c, changed);
-                let mut sig: Vec<(usize, usize)> = Vec::new();
-                for &u in members {
-                    for &(q, _) in graph.successors_slice(u) {
-                        sig.push((u, q));
-                    }
-                }
-                sig.sort_unstable();
-                sig.dedup();
-                new_cache.comps.insert(key, (sig, sorted_rows));
+            for &node in patch_nodes {
+                sweep.seed(comp_map[node]);
             }
-            guard.charge(level_work.bitvec_steps, level_work.bool_steps);
-            guard.check()?;
+            let mut batch = Vec::new();
+            while sweep.next_batch(&mut batch) {
+                run_batch(&batch, dc, rows, seeds, locals, nv, pool, guard, |c, changed| {
+                    sweep.update(c, changed)
+                })?;
+            }
+            *reused += sweep.total() - sweep.recomputed();
+            *recomputed += sweep.recomputed();
         }
-        *reused += sweep.reused();
-        *recomputed += sweep.recomputed();
-
-        match &mut total {
-            None => {
-                // dp ≤ 1: the single problem's rows are the final sets.
-                new_problems.push(new_cache);
-                return Ok((g_rows, new_problems));
-            }
-            Some(acc) => {
-                for (a, r) in acc.iter_mut().zip(&g_rows) {
-                    a.union_with(r);
-                }
-                guard.charge(n as u64, 0);
-            }
-        }
-        new_problems.push(new_cache);
     }
-    Ok((total.expect("dp > 1 accumulates"), new_problems))
+    Ok(())
 }
-
-/// Prior state translated into the edited program's id spaces.
-struct RemappedPrior {
-    res: Results,
-    flat_mod: Vec<BitSet>,
-    flat_use: Vec<BitSet>,
-    local_sets: Vec<BitSet>,
-    beta: Option<BetaCache>,
-    problems_mod: Vec<ProblemCache>,
-    problems_use: Vec<ProblemCache>,
-    aliases: AliasPairs,
-    is_new_proc: Vec<bool>,
-    is_new_site: Vec<bool>,
-}
-
-/// Applies the delta's remap tables to every cached structure. Entries
-/// mentioning removed ids are dropped; brand-new ids come back flagged in
-/// `is_new_proc` / `is_new_site` so diffs treat them as dirty.
-fn remap_prior(cache: Cache, res: Results, d: &EditDelta, program: &Program) -> RemappedPrior {
-    let np = program.num_procs();
-    let nv = program.num_vars();
-    let ns = program.num_sites();
-
-    let remap_set = |old: &BitSet| -> BitSet {
-        BitSet::from_iter_with_domain(
-            nv,
-            old.iter().filter_map(|i| d.var_map[i].map(VarId::index)),
-        )
-    };
-    let remap_proc_vec = |old: &[BitSet]| -> Vec<BitSet> {
-        let mut out = vec![BitSet::new(nv); np];
-        for (i, set) in old.iter().enumerate() {
-            if let Some(p) = d.proc_map[i] {
-                out[p.index()] = remap_set(set);
-            }
-        }
-        out
-    };
-    let remap_site_vec = |old: &[BitSet]| -> Vec<BitSet> {
-        let mut out = vec![BitSet::new(nv); ns];
-        for (i, set) in old.iter().enumerate() {
-            if let Some(s) = d.site_map[i] {
-                out[s.index()] = remap_set(set);
-            }
-        }
-        out
-    };
-    let remap_problems = |old: Vec<ProblemCache>| -> Vec<ProblemCache> {
-        old.into_iter()
-            .map(|pc| {
-                let comps = pc
-                    .comps
-                    .into_iter()
-                    .filter_map(|(key, (sig, rows))| {
-                        // Keys and signatures are call-graph node ids,
-                        // i.e. procedure ids; rows are variable-domain.
-                        let mut pairs: Vec<(usize, BitSet)> = Vec::with_capacity(key.len());
-                        for (&u, row) in key.iter().zip(rows) {
-                            pairs.push((d.proc_map[u]?.index(), remap_set(&row)));
-                        }
-                        pairs.sort_by_key(|&(u, _)| u);
-                        let mut new_sig = Vec::with_capacity(sig.len());
-                        for &(u, q) in &sig {
-                            new_sig.push((d.proc_map[u]?.index(), d.proc_map[q]?.index()));
-                        }
-                        new_sig.sort_unstable();
-                        new_sig.dedup();
-                        let (new_key, new_rows): (Vec<usize>, Vec<BitSet>) =
-                            pairs.into_iter().unzip();
-                        Some((new_key, (new_sig, new_rows)))
-                    })
-                    .collect();
-                ProblemCache { comps }
-            })
-            .collect()
-    };
-
-    let mut is_new_proc = vec![true; np];
-    for m in d.proc_map.iter().flatten() {
-        is_new_proc[m.index()] = false;
-    }
-    let mut is_new_site = vec![true; ns];
-    for m in d.site_map.iter().flatten() {
-        is_new_site[m.index()] = false;
-    }
-
-    RemappedPrior {
-        res: Results {
-            imod: remap_proc_vec(&res.imod),
-            iuse: remap_proc_vec(&res.iuse),
-            rmod: remap_proc_vec(&res.rmod),
-            ruse: remap_proc_vec(&res.ruse),
-            plus_mod: remap_proc_vec(&res.plus_mod),
-            plus_use: remap_proc_vec(&res.plus_use),
-            gmod: remap_proc_vec(&res.gmod),
-            guse: remap_proc_vec(&res.guse),
-            dmod: remap_site_vec(&res.dmod),
-            duse: remap_site_vec(&res.duse),
-            mods: remap_site_vec(&res.mods),
-            uses: remap_site_vec(&res.uses),
-        },
-        flat_mod: remap_proc_vec(&cache.flat_mod),
-        flat_use: remap_proc_vec(&cache.flat_use),
-        local_sets: remap_proc_vec(&cache.local_sets),
-        // The binding structures are kept only across edits that change
-        // neither structure nor universe; the caller gates on that, so an
-        // identity remap suffices here.
-        beta: if d.structure_changed || d.universe_changed {
-            None
-        } else {
-            cache.beta
-        },
-        problems_mod: remap_problems(cache.problems_mod),
-        problems_use: remap_problems(cache.problems_use),
-        aliases: cache.aliases,
-        is_new_proc,
-        is_new_site,
-    }
-}
-
-impl Clone for BetaCache {
-    fn clone(&self) -> Self {
-        BetaCache {
-            beta: self.beta.clone(),
-            sccs: self.sccs.clone(),
-            cond: self.cond.clone(),
-            seed_mod: self.seed_mod.clone(),
-            seed_use: self.seed_use.clone(),
-            rep_mod: self.rep_mod.clone(),
-            rep_use: self.rep_use.clone(),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1451,5 +1626,47 @@ mod tests {
         let program = engine.program().clone();
         let via_analyzer = Analyzer::new().threads(2).incremental(program);
         assert_matches_scratch(&via_analyzer);
+    }
+
+    #[test]
+    fn reasserting_local_effects_cuts_off_everything() {
+        let (mut engine, _g, h, _p, q, _s) = base_engine();
+        // q already writes exactly {h}; re-asserting the same effects must
+        // cut off at the seeds — zero components recomputed anywhere.
+        let delta = engine
+            .apply(&Edit::SetLocalEffects {
+                proc_: q,
+                mods: vec![h],
+                uses: vec![],
+            })
+            .expect("valid edit");
+        assert!(delta.changed_procs.is_empty());
+        assert!(delta.changed_sites.is_empty());
+        let s = engine.stats();
+        assert!(!s.full_rebuild);
+        assert_eq!(s.rmod_components_recomputed, 0);
+        assert_eq!(s.gmod_components_recomputed, 0);
+        assert_eq!(s.sites_recomputed, 0);
+        assert!(s.sites_reused > 0);
+        assert_matches_scratch(&engine);
+    }
+
+    #[test]
+    fn structural_patch_reuses_components() {
+        let (mut engine, _g, h, p, _q, _s) = base_engine();
+        // A new call with a *global* actual patches the call condensation
+        // but adds no binding edge, so Figure 1 reuses every component.
+        engine
+            .apply(&Edit::AddCallSite {
+                caller: ProcId::MAIN,
+                callee: p,
+                args: vec![Actual::Ref(modref_ir::Ref::scalar(h))],
+            })
+            .expect("valid edit");
+        let s = engine.stats();
+        assert!(!s.full_rebuild);
+        assert_eq!(s.rmod_components_recomputed, 0);
+        assert!(s.gmod_components_reused > 0);
+        assert_matches_scratch(&engine);
     }
 }

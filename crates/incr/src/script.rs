@@ -466,6 +466,32 @@ impl EditGen {
         }
     }
 
+    /// Like [`EditGen::next_edit`] but heavily biased toward *structural*
+    /// edits — call insertion/removal, rebinding, procedure churn — the
+    /// diet that exercises the engine's dynamic-condensation patch path
+    /// (merges, splits, level reorders) instead of its set-local fast
+    /// path. Set-local edits still appear (and are the fallback when a
+    /// rolled kind has no target) so value and structure dirt interleave.
+    pub fn next_structural_edit(&mut self, program: &Program) -> Edit {
+        let roll = self.pick(100);
+        if roll < 10 {
+            self.gen_set_local(program)
+        } else if roll < 45 {
+            self.gen_add_call(program)
+        } else if roll < 65 {
+            self.gen_remove_call(program)
+                .unwrap_or_else(|| self.gen_add_call(program))
+        } else if roll < 80 {
+            self.gen_rebind(program)
+                .unwrap_or_else(|| self.gen_add_call(program))
+        } else if roll < 90 {
+            self.gen_add_proc(program)
+        } else {
+            self.gen_remove_proc(program)
+                .unwrap_or_else(|| self.gen_add_call(program))
+        }
+    }
+
     fn random_proc(&mut self, program: &Program) -> ProcId {
         let n = program.num_procs();
         ProcId::new(self.pick(n))

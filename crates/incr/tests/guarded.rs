@@ -12,18 +12,24 @@
 
 use modref_core::{Analyzer, Budget, FaultPlan, Guard, Interrupt};
 use modref_incr::{Edit, IncrDegradeReason, IncrOutcome, IncrementalEngine};
-use modref_ir::{Program, VarId};
+use modref_ir::{Actual, Expr, ProcId, Program, VarId};
 use modref_progen::{generate, GenConfig};
 
-/// Every fault-injection site the incremental apply path checkpoints.
-const INCR_SITES: [&str; 6] = [
+/// Fault-injection sites every apply path checkpoints (set-local, patch,
+/// and full rebuild alike).
+const INCR_SITES: [&str; 7] = [
     "incr",
     "incr.local",
     "incr.rmod",
     "incr.plus",
     "incr.gmod",
+    "incr.gmod.sweep",
     "incr.final",
 ];
+
+/// Sites only the structural-patch path reaches — inside the dynamic
+/// condensation maintenance itself.
+const PATCH_SITES: [&str; 2] = ["incr.dyncond", "incr.gmod.patch"];
 
 fn demo_program(seed: u64) -> Program {
     generate(&GenConfig::tiny(10, 3), seed)
@@ -44,6 +50,27 @@ fn perturbing_edit(program: &Program) -> Edit {
         proc_: p,
         mods,
         uses: vec![],
+    }
+}
+
+/// A *structural* edit (a new call with by-value actuals) that keeps the
+/// variable universe and every id, so it takes the dynamic-condensation
+/// patch path when a cache is present.
+fn structural_edit(program: &Program) -> Edit {
+    let callee = program
+        .procs()
+        .find(|&p| p != ProcId::MAIN && program.proc_(p).parent() == Some(ProcId::MAIN))
+        .expect("generated programs have top-level procedures");
+    let args: Vec<Actual> = program
+        .proc_(callee)
+        .formals()
+        .iter()
+        .map(|_| Actual::Value(Expr::constant(1)))
+        .collect();
+    Edit::AddCallSite {
+        caller: ProcId::MAIN,
+        callee,
+        args,
     }
 }
 
@@ -140,6 +167,61 @@ fn injected_panic_at_every_incr_site_degrades_soundly_and_recovers() {
         );
         assert!(!engine.stats().degraded, "site `{site}`: recovered");
         assert_bit_identical(&engine, &format!("recovery after `{site}`"));
+    }
+}
+
+#[test]
+fn injected_panic_inside_patch_path_degrades_soundly_and_recovers() {
+    // `incr.dyncond` / `incr.gmod.patch` only fire on the structural-patch
+    // path, which needs a live cache — so fault a *structural* edit right
+    // after the initial build.
+    for (i, &site) in PATCH_SITES.iter().enumerate() {
+        let seed = 300 + i as u64;
+        let mut engine = IncrementalEngine::new(demo_program(seed));
+        let edit = structural_edit(engine.program());
+        let guard = Guard::unlimited().with_faults(FaultPlan::new().panic_at(site));
+        let outcome = engine
+            .apply_guarded(&edit, &guard)
+            .expect("the edit itself is valid");
+        let IncrOutcome::Degraded { reason } = outcome else {
+            panic!("site `{site}`: armed fault must degrade the apply");
+        };
+        assert!(
+            matches!(&reason, IncrDegradeReason::Panic(m) if m.contains(site)),
+            "site `{site}`: unexpected degrade reason {reason}"
+        );
+        // Sound over-approximation of the edited (call-added) program.
+        assert_superset(&engine, &format!("fault at `{site}`"));
+        // Recovery: the next clean apply rebuilds from scratch…
+        let next = perturbing_edit(engine.program());
+        match engine
+            .apply_guarded(&next, &Guard::unlimited())
+            .expect("valid edit")
+        {
+            IncrOutcome::Clean(_) => {}
+            IncrOutcome::Degraded { reason } => {
+                panic!("site `{site}`: clean apply degraded: {reason}")
+            }
+        }
+        assert!(engine.stats().full_rebuild, "site `{site}`: must rebuild");
+        assert_bit_identical(&engine, &format!("recovery after `{site}`"));
+        // …and the rebuilt cache is again *patchable*: a further
+        // structural edit succeeds incrementally and stays exact.
+        let again = structural_edit(engine.program());
+        match engine
+            .apply_guarded(&again, &Guard::unlimited())
+            .expect("valid edit")
+        {
+            IncrOutcome::Clean(_) => {}
+            IncrOutcome::Degraded { reason } => {
+                panic!("site `{site}`: patch apply degraded: {reason}")
+            }
+        }
+        assert!(
+            !engine.stats().full_rebuild,
+            "site `{site}`: the rebuilt cache must be reusable"
+        );
+        assert_bit_identical(&engine, &format!("patch after recovery `{site}`"));
     }
 }
 

@@ -139,6 +139,18 @@ fn run_script(
     seed: u64,
     steps: usize,
 ) -> CaseResult {
+    run_script_with(program, threads, seed, steps, false)
+}
+
+/// As [`run_script`], with `structural` selecting the churn-heavy edit
+/// diet that hammers the dynamic-condensation patch path.
+fn run_script_with(
+    program: &modref_ir::Program,
+    threads: usize,
+    seed: u64,
+    steps: usize,
+    structural: bool,
+) -> CaseResult {
     let mut engine = Analyzer::new().threads(threads).incremental(program.clone());
     match check_matches_scratch(&engine, threads, seed, 0) {
         CaseResult::Pass => {}
@@ -148,7 +160,11 @@ fn run_script(
     // the same replayable seed.
     let mut gen = EditGen::new(seed ^ 0xed17_5c21_97a5_u64);
     for step in 1..=steps {
-        let edit = gen.next_edit(engine.program());
+        let edit = if structural {
+            gen.next_structural_edit(engine.program())
+        } else {
+            gen.next_edit(engine.program())
+        };
         let before_gmod: Vec<_> = engine.gmod_all().to_vec();
         match engine.apply(&edit) {
             Ok(_) => {}
@@ -214,6 +230,39 @@ property! {
         match run_script(&program, 1, seed, steps) {
             CaseResult::Pass => {}
             other => return other,
+        }
+    }
+
+    fn incremental_is_bit_identical_to_scratch_pascal(
+        seed in any_u64(),
+        n in ints(4..24usize),
+        depth in ints(2..5u32),
+        steps in ints(1..21usize),
+    ) {
+        let program = generate(&GenConfig::pascal_like(n, depth), seed);
+        for &threads in &[1usize, 4] {
+            match run_script(&program, threads, seed, steps) {
+                CaseResult::Pass => {}
+                other => return other,
+            }
+        }
+    }
+
+    /// The churn-heavy diet: mostly call/procedure edits, so nearly every
+    /// apply exercises the dynamic-condensation patch path (merges,
+    /// splits, window reorders) rather than the set-local fast path.
+    fn incremental_is_bit_identical_under_structural_churn(
+        seed in any_u64(),
+        n in ints(2..12usize),
+        depth in ints(1..4u32),
+        steps in ints(4..29usize),
+    ) {
+        let program = generate(&GenConfig::tiny(n, depth), seed);
+        for &threads in &[1usize, 4] {
+            match run_script_with(&program, threads, seed, steps, true) {
+                CaseResult::Pass => {}
+                other => return other,
+            }
         }
     }
 }

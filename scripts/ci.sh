@@ -134,6 +134,18 @@ done
 echo "== exhaustive small-world solver enumeration =="
 cargo test -q --offline -p modref-core --test exhaustive
 
+# Incremental performance gate: a fresh incrscale run must show the
+# amortized per-edit cost within 1.10x of a from-scratch re-analysis on
+# every workload family (the engine's whole point is to win everywhere;
+# see EXPERIMENTS.md E11). The JSON is regenerated from zero so stale
+# rows from earlier builds can neither fail a healthy run nor mask a
+# regression.
+echo "== incremental bench regression gate =="
+rm -f target/modref-bench/BENCH_incrscale.json
+cargo bench --bench incrscale --offline
+cargo run --release --offline -p modref-bench --bin bench_gate -- \
+    target/modref-bench/BENCH_incrscale.json 1.10
+
 # The --edits mode end-to-end: a script applies, the report reflects the
 # edited program, and a bad script fails with the offending line.
 echo "== cli --edits contract =="
