@@ -3,10 +3,10 @@
 //! Reads a `BENCH_incrscale.json` result stream (one JSON object per
 //! line, as [`modref_check::BenchGroup`] appends them), pairs the
 //! `incremental_edit` and `scratch` rows per workload family, and fails
-//! (exit 1, one line per offender) when any family's amortized per-edit
-//! cost exceeds `threshold × scratch`. CI runs this after a fresh bench
-//! pass so "incremental wins (or ties) everywhere" stays a checked
-//! invariant, not a claim in a doc.
+//! (exit 1) when any family's amortized per-edit cost exceeds
+//! `threshold × scratch`. CI runs this after a fresh bench pass so
+//! "incremental wins (or ties) everywhere" stays a checked invariant,
+//! not a claim in a doc.
 //!
 //! ```text
 //! bench_gate <path/to/BENCH_incrscale.json> [threshold]
@@ -15,6 +15,11 @@
 //! The file is append-only across runs; the *last* row per
 //! `(bench, param)` pair wins, so a stale slow entry from an earlier
 //! build cannot fail a healthy run (or mask a regression in one).
+//!
+//! A trip must be diagnosable from the CI log alone: every offending
+//! family gets a stderr line naming its measured ratio, both medians,
+//! and the workload seed recorded on its bench rows, plus the exact
+//! replay command.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -41,6 +46,101 @@ fn num_field(line: &str, key: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
+/// One `(bench, param)` measurement: the median plus the seed its row
+/// recorded, kept together so a failure can name its replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Row {
+    median_ns: u64,
+    seed: Option<String>,
+}
+
+/// Everything one gate evaluation produced, separated so the binary can
+/// route report lines to stdout and diagnostics to stderr — and so the
+/// self-tests can assert on both without spawning a process.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct GateOutcome {
+    /// One line per family, pass or fail (stdout).
+    report: Vec<String>,
+    /// Malformed-line notes and per-offender diagnostics (stderr).
+    diagnostics: Vec<String>,
+    failed: bool,
+}
+
+fn run_gate(text: &str, threshold: f64) -> GateOutcome {
+    let mut out = GateOutcome::default();
+
+    // Last row per (bench, param) wins.
+    let mut rows: BTreeMap<(String, String), Row> = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let (Some(bench), Some(param), Some(median_ns)) = (
+            str_field(line, "bench"),
+            str_field(line, "param"),
+            num_field(line, "median_ns"),
+        ) else {
+            out.diagnostics
+                .push(format!("bench_gate: malformed line skipped: {line}"));
+            continue;
+        };
+        let seed = str_field(line, "seed");
+        rows.insert((bench, param), Row { median_ns, seed });
+    }
+
+    let params: Vec<String> = rows
+        .keys()
+        .filter(|(b, _)| b == "scratch")
+        .map(|(_, p)| p.clone())
+        .collect();
+    if params.is_empty() {
+        out.diagnostics
+            .push("bench_gate: no scratch rows — did the bench run?".to_string());
+        out.failed = true;
+        return out;
+    }
+
+    for param in params {
+        let scratch = rows[&("scratch".to_string(), param.clone())].clone();
+        let Some(incr) = rows.get(&("incremental_edit".to_string(), param.clone())).cloned()
+        else {
+            out.report
+                .push(format!("bench_gate: {param}: missing incremental_edit row"));
+            out.diagnostics.push(format!(
+                "bench_gate: FAIL {param}: no incremental_edit row to compare \
+                 (scratch median {} ns)",
+                scratch.median_ns
+            ));
+            out.failed = true;
+            continue;
+        };
+        let ratio = incr.median_ns as f64 / scratch.median_ns as f64;
+        let tripped = ratio > threshold;
+        let verdict = if tripped { "FAIL" } else { "ok" };
+        out.report.push(format!(
+            "bench_gate: {param}: incremental {} ns vs scratch {} ns \
+             (ratio {ratio:.3}, limit {threshold:.2}) {verdict}",
+            incr.median_ns, scratch.median_ns
+        ));
+        if tripped {
+            let seed = incr
+                .seed
+                .or(scratch.seed)
+                .unwrap_or_else(|| "unrecorded".to_string());
+            out.diagnostics.push(format!(
+                "bench_gate: FAIL {param}: ratio {ratio:.3} > {threshold:.2} \
+                 (incremental {} ns, scratch {} ns, seed {seed}); replay with: \
+                 MODREF_SEED={seed} cargo bench --bench incrscale --offline",
+                incr.median_ns, scratch.median_ns
+            ));
+            out.failed = true;
+        }
+    }
+    if out.failed {
+        out.diagnostics.push(format!(
+            "bench_gate: incremental apply regressed past {threshold:.2} x scratch"
+        ));
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(path) = args.next() else {
@@ -65,52 +165,125 @@ fn main() -> ExitCode {
         }
     };
 
-    // Last row per (bench, param) wins.
-    let mut medians: BTreeMap<(String, String), u64> = BTreeMap::new();
-    for line in text.lines().filter(|l| !l.trim().is_empty()) {
-        let (Some(bench), Some(param), Some(median)) = (
-            str_field(line, "bench"),
-            str_field(line, "param"),
-            num_field(line, "median_ns"),
-        ) else {
-            eprintln!("bench_gate: malformed line skipped: {line}");
-            continue;
-        };
-        medians.insert((bench, param), median);
+    let outcome = run_gate(&text, threshold);
+    for line in &outcome.report {
+        println!("{line}");
     }
-
-    let params: Vec<String> = medians
-        .keys()
-        .filter(|(b, _)| b == "scratch")
-        .map(|(_, p)| p.clone())
-        .collect();
-    if params.is_empty() {
-        eprintln!("bench_gate: no scratch rows in {path} — did the bench run?");
-        return ExitCode::FAILURE;
+    for line in &outcome.diagnostics {
+        eprintln!("{line}");
     }
-
-    let mut failed = false;
-    for param in params {
-        let scratch = medians[&("scratch".to_string(), param.clone())];
-        let Some(&incr) = medians.get(&("incremental_edit".to_string(), param.clone())) else {
-            eprintln!("bench_gate: {param}: missing incremental_edit row");
-            failed = true;
-            continue;
-        };
-        let ratio = incr as f64 / scratch as f64;
-        let verdict = if ratio > threshold { "FAIL" } else { "ok" };
-        println!(
-            "bench_gate: {param}: incremental {incr} ns vs scratch {scratch} ns \
-             (ratio {ratio:.3}, limit {threshold:.2}) {verdict}"
-        );
-        if ratio > threshold {
-            failed = true;
-        }
-    }
-    if failed {
-        eprintln!("bench_gate: incremental apply regressed past {threshold:.2} x scratch");
+    if outcome.failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(bench: &str, param: &str, median: u64, seed: &str) -> String {
+        format!(
+            "{{\"group\":\"incrscale\",\"bench\":\"{bench}\",\"param\":\"{param}\",\
+             \"median_ns\":{median},\"min_ns\":{median},\"max_ns\":{median},\
+             \"samples\":5,\"iters\":10,\"seed\":\"{seed}\"}}"
+        )
+    }
+
+    #[test]
+    fn passes_when_every_family_is_inside_the_threshold() {
+        let text = [
+            line("scratch", "fortran_64", 1000, "42"),
+            line("incremental_edit", "fortran_64", 900, "42"),
+            line("scratch", "pascal_64", 2000, "42"),
+            line("incremental_edit", "pascal_64", 2100, "42"),
+        ]
+        .join("\n");
+        let outcome = run_gate(&text, 1.10);
+        assert!(!outcome.failed);
+        assert!(outcome.diagnostics.is_empty(), "{:?}", outcome.diagnostics);
+        assert_eq!(outcome.report.len(), 2);
+        assert!(outcome.report[0].contains("ok"));
+    }
+
+    #[test]
+    fn failure_names_the_family_ratio_and_seed() {
+        let text = [
+            line("scratch", "fortran_64", 1000, "1988"),
+            line("incremental_edit", "fortran_64", 1500, "1988"),
+            line("scratch", "pascal_64", 2000, "1988"),
+            line("incremental_edit", "pascal_64", 1000, "1988"),
+        ]
+        .join("\n");
+        let outcome = run_gate(&text, 1.10);
+        assert!(outcome.failed);
+        let fail = outcome
+            .diagnostics
+            .iter()
+            .find(|d| d.contains("FAIL fortran_64"))
+            .expect("offender diagnostic");
+        assert!(fail.contains("ratio 1.500"), "got: {fail}");
+        assert!(fail.contains("seed 1988"), "got: {fail}");
+        assert!(fail.contains("MODREF_SEED=1988"), "got: {fail}");
+        assert!(
+            !outcome.diagnostics.iter().any(|d| d.contains("pascal_64")),
+            "healthy family must not be named: {:?}",
+            outcome.diagnostics
+        );
+    }
+
+    #[test]
+    fn last_row_per_family_wins() {
+        let text = [
+            line("scratch", "fortran_64", 1000, "42"),
+            line("incremental_edit", "fortran_64", 5000, "42"), // stale
+            line("incremental_edit", "fortran_64", 500, "43"),  // fresh
+        ]
+        .join("\n");
+        let outcome = run_gate(&text, 1.10);
+        assert!(!outcome.failed, "{:?}", outcome.diagnostics);
+        assert!(outcome.report[0].contains("ratio 0.500"));
+    }
+
+    #[test]
+    fn missing_rows_and_malformed_lines_are_diagnosed() {
+        let outcome = run_gate("", 1.10);
+        assert!(outcome.failed);
+        assert!(outcome.diagnostics[0].contains("no scratch rows"));
+
+        let text = [
+            "not json at all".to_string(),
+            line("scratch", "fortran_64", 1000, "42"),
+        ]
+        .join("\n");
+        let outcome = run_gate(&text, 1.10);
+        assert!(outcome.failed);
+        assert!(outcome.diagnostics[0].contains("malformed line"));
+        assert!(
+            outcome
+                .diagnostics
+                .iter()
+                .any(|d| d.contains("no incremental_edit row")),
+            "{:?}",
+            outcome.diagnostics
+        );
+    }
+
+    #[test]
+    fn seed_falls_back_to_the_scratch_row_then_unrecorded() {
+        let text = [
+            line("scratch", "f", 1000, "7"),
+            "{\"bench\":\"incremental_edit\",\"param\":\"f\",\"median_ns\":2000}".to_string(),
+        ]
+        .join("\n");
+        let outcome = run_gate(&text, 1.10);
+        assert!(outcome.failed);
+        let fail = outcome
+            .diagnostics
+            .iter()
+            .find(|d| d.contains("FAIL f:"))
+            .expect("offender diagnostic");
+        assert!(fail.contains("seed 7"), "got: {fail}");
     }
 }

@@ -6,9 +6,10 @@ use std::time::Duration;
 
 use modref_binding::BindingGraph;
 use modref_bitset::BitSet;
-use modref_core::trace::{escape_json, parse_json, Json};
+use modref_core::trace::{parse_json, Json};
 use modref_core::{AnalysisOutcome, Analyzer, Budget, FaultPlan, Guard, Trace};
-use modref_incr::{IncrOutcome, IncrementalEngine, IncrementalExt, Script};
+use modref_incr::render::{render_json, render_text, set_names, SiteSets};
+use modref_incr::{IncrOutcome, IncrementalExt, Script};
 use modref_ir::{CallGraph, Program, VarId};
 use modref_sections::analyze_sections;
 
@@ -63,7 +64,80 @@ pub fn run(cmd: &Command) -> Result<RunStatus, Box<dyn Error>> {
         Command::Run { file, seed, fuel } => {
             run_program(file, *seed, *fuel).map(|()| RunStatus::Clean)
         }
+        Command::Serve {
+            addr,
+            max_sessions,
+            request_budget_ops,
+            request_timeout_ms,
+            threads,
+        } => serve(
+            addr,
+            *max_sessions,
+            *request_budget_ops,
+            *request_timeout_ms,
+            *threads,
+        )
+        .map(|()| RunStatus::Clean),
+        Command::Client { addr, script } => client(addr, script),
     }
+}
+
+/// Parses a `--addr` value with a pinned message (OS bind errors vary;
+/// this one is ours).
+fn parse_addr(addr: &str) -> Result<std::net::SocketAddr, String> {
+    addr.parse()
+        .map_err(|_| format!("invalid --addr `{addr}` (expected host:port, e.g. 127.0.0.1:7788)"))
+}
+
+/// Runs the analysis daemon on the current thread until killed.
+/// `MODREF_FAULT` arms request guards exactly like it arms `analyze`.
+fn serve(
+    addr: &str,
+    max_sessions: usize,
+    request_budget_ops: Option<u64>,
+    request_timeout_ms: Option<u64>,
+    threads: Option<usize>,
+) -> Result<(), Box<dyn Error>> {
+    let addr = parse_addr(addr)?;
+    let cfg = modref_serve::ServerConfig {
+        max_sessions,
+        request_budget_ops,
+        request_timeout_ms,
+        threads,
+        faults: FaultPlan::from_env(),
+        fault_session: None,
+        trace: Trace::disabled(),
+    };
+    let server = modref_serve::Server::bind(addr, cfg)
+        .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    eprintln!("modref-serve listening on {}", server.local_addr());
+    server.run();
+    Ok(())
+}
+
+/// Drives a running daemon from a script; query reports go to stdout
+/// verbatim, acks to stderr. Exit contract matches `analyze`: 0 clean,
+/// 3 if any response was degraded, 1 on errors.
+fn client(addr: &str, script_path: &str) -> Result<RunStatus, Box<dyn Error>> {
+    let addr = parse_addr(addr)?;
+    let text = fs::read_to_string(script_path)
+        .map_err(|e| format!("cannot read `{script_path}`: {e}"))?;
+    let base = std::path::Path::new(script_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| std::path::Path::new("."));
+    let outcome = modref_serve::run_drive(
+        addr,
+        &text,
+        base,
+        &mut std::io::stdout(),
+        &mut std::io::stderr(),
+    )?;
+    Ok(match outcome {
+        modref_serve::DriveOutcome::Degraded => RunStatus::Degraded,
+        // `run_drive` reports failures through `Err`.
+        modref_serve::DriveOutcome::Clean | modref_serve::DriveOutcome::Failed => RunStatus::Clean,
+    })
 }
 
 fn load(file: &str) -> Result<Program, Box<dyn Error>> {
@@ -71,70 +145,16 @@ fn load(file: &str) -> Result<Program, Box<dyn Error>> {
     Ok(modref_frontend::parse_program(&source)?)
 }
 
+/// The report's `{a, b}` set form — the shared renderer's, so every
+/// command prints sets identically.
 fn names(program: &Program, set: &BitSet) -> String {
-    let mut v: Vec<&str> = set
-        .iter()
-        .map(|i| program.var_name(VarId::new(i)))
-        .collect();
-    v.sort_unstable();
-    if v.is_empty() {
-        "∅".to_owned()
-    } else {
-        format!("{{{}}}", v.join(", "))
-    }
+    set_names(program, set)
 }
 
-/// The three per-site set families every analyze-style report prints,
-/// collected in call-site index order so the batch [`modref_core::Summary`]
-/// and the incremental engine can feed the same renderers.
-struct SiteSets {
-    mods: Vec<BitSet>,
-    uses: Vec<BitSet>,
-    dmods: Vec<BitSet>,
-}
-
-impl SiteSets {
-    fn from_summary(program: &Program, summary: &modref_core::Summary) -> Self {
-        SiteSets {
-            mods: program.sites().map(|s| summary.mod_site(s).clone()).collect(),
-            uses: program.sites().map(|s| summary.use_site(s).clone()).collect(),
-            dmods: program
-                .sites()
-                .map(|s| summary.dmod_site(s).clone())
-                .collect(),
-        }
-    }
-
-    fn from_engine(engine: &IncrementalEngine) -> Self {
-        let program = engine.program();
-        SiteSets {
-            mods: program.sites().map(|s| engine.mod_site(s).clone()).collect(),
-            uses: program.sites().map(|s| engine.use_site(s).clone()).collect(),
-            dmods: program
-                .sites()
-                .map(|s| engine.dmod_site(s).clone())
-                .collect(),
-        }
-    }
-}
-
-/// The per-site text report shared by plain and `--edits` analyses.
+/// The per-site text report shared by plain and `--edits` analyses (and,
+/// via `modref-serve`, the analysis server) — one renderer, byte for byte.
 fn print_site_report(program: &Program, sets: &SiteSets, no_use: bool, no_alias: bool) {
-    for site in program.sites() {
-        let info = program.site(site);
-        println!(
-            "site {site}: call {} (in {})",
-            program.proc_name(info.callee()),
-            program.proc_name(info.caller())
-        );
-        println!("  MOD  = {}", names(program, &sets.mods[site.index()]));
-        if !no_alias {
-            println!("  DMOD = {}", names(program, &sets.dmods[site.index()]));
-        }
-        if !no_use {
-            println!("  USE  = {}", names(program, &sets.uses[site.index()]));
-        }
-    }
+    print!("{}", render_text(program, sets, no_use, no_alias));
 }
 
 /// The whole-analysis guard the `analyze` paths run under: `--timeout-ms`
@@ -355,39 +375,6 @@ fn analyze_edits(
     );
     print_site_report(program, &sets, no_use, no_alias);
     Ok(status)
-}
-
-/// Hand-rolled JSON (identifiers are `[A-Za-z0-9_]`, but escape anyway).
-fn render_json(program: &Program, sets: &SiteSets) -> String {
-    use std::fmt::Write as _;
-    let esc = escape_json;
-    let names = |set: &BitSet| -> String {
-        let mut parts: Vec<String> = set
-            .iter()
-            .map(|i| format!("\"{}\"", esc(program.var_name(VarId::new(i)))))
-            .collect();
-        parts.sort();
-        format!("[{}]", parts.join(","))
-    };
-    let mut out = String::from("{\"sites\":[");
-    for (k, site) in program.sites().enumerate() {
-        if k > 0 {
-            out.push(',');
-        }
-        let info = program.site(site);
-        let _ = write!(
-            out,
-            "{{\"id\":{},\"caller\":\"{}\",\"callee\":\"{}\",\"mod\":{},\"use\":{},\"dmod\":{}}}",
-            site.index(),
-            esc(program.proc_name(info.caller())),
-            esc(program.proc_name(info.callee())),
-            names(&sets.mods[site.index()]),
-            names(&sets.uses[site.index()]),
-            names(&sets.dmods[site.index()]),
-        );
-    }
-    out.push_str("]}\n");
-    out
 }
 
 fn summary(file: &str) -> Result<(), Box<dyn Error>> {

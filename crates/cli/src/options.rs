@@ -17,6 +17,9 @@ usage:
   modref run      <file.mp> [--seed N] [--fuel N]
   modref check    <file.mp>
   modref trace-check <trace.json>
+  modref serve    --addr <host:port> [--max-sessions N] [--threads N]
+                  [--request-budget-ops N] [--request-timeout-ms N]
+  modref client   --addr <host:port> <drive.script>
 
 exit codes:
   0 success   1 input/analysis error   2 usage error
@@ -102,6 +105,26 @@ pub enum Command {
         seed: u64,
         /// Statement budget.
         fuel: u64,
+    },
+    /// Run the analysis daemon until killed.
+    Serve {
+        /// Listen address, `host:port` (port 0 picks a free port).
+        addr: String,
+        /// Cap on concurrently open sessions.
+        max_sessions: usize,
+        /// Default per-request op budget.
+        request_budget_ops: Option<u64>,
+        /// Default per-request deadline in milliseconds.
+        request_timeout_ms: Option<u64>,
+        /// Worker-thread count for each session's pooled phases.
+        threads: Option<usize>,
+    },
+    /// Drive a running daemon from a script.
+    Client {
+        /// Server address, `host:port`.
+        addr: String,
+        /// Drive-script path (program/edit paths resolve relative to it).
+        script: String,
     },
 }
 
@@ -273,6 +296,88 @@ impl Command {
                 Ok(Command::Dot {
                     file: file.ok_or("missing input file")?,
                     what: what.ok_or("missing --what callgraph|binding")?,
+                })
+            }
+            "serve" => {
+                let mut addr = None;
+                let mut max_sessions = 64usize;
+                let mut request_budget_ops = None;
+                let mut request_timeout_ms = None;
+                let mut threads = None;
+                while let Some(a) = it.next() {
+                    match a.as_str() {
+                        "--addr" => {
+                            let v = it.next().ok_or("--addr needs a host:port value")?;
+                            addr = Some(v.clone());
+                        }
+                        "--max-sessions" => {
+                            let v = it.next().ok_or("--max-sessions needs a value")?;
+                            let n: usize =
+                                v.parse().map_err(|_| format!("bad --max-sessions `{v}`"))?;
+                            if n == 0 {
+                                return Err("--max-sessions must be at least 1".into());
+                            }
+                            max_sessions = n;
+                        }
+                        "--request-budget-ops" => {
+                            let v = it.next().ok_or("--request-budget-ops needs a value")?;
+                            request_budget_ops = Some(
+                                v.parse()
+                                    .map_err(|_| format!("bad --request-budget-ops `{v}`"))?,
+                            );
+                        }
+                        "--request-timeout-ms" => {
+                            let v = it.next().ok_or("--request-timeout-ms needs a value")?;
+                            request_timeout_ms = Some(
+                                v.parse()
+                                    .map_err(|_| format!("bad --request-timeout-ms `{v}`"))?,
+                            );
+                        }
+                        "--threads" => {
+                            let v = it.next().ok_or("--threads needs a value")?;
+                            let n: usize =
+                                v.parse().map_err(|_| format!("bad --threads `{v}`"))?;
+                            if n == 0 {
+                                return Err(
+                                    "--threads must be at least 1 \
+                                     (set MODREF_THREADS=0 for one worker per core)"
+                                        .into(),
+                                );
+                            }
+                            threads = Some(n);
+                        }
+                        flag if flag.starts_with('-') => {
+                            return Err(format!("unknown flag `{flag}`"))
+                        }
+                        extra => return Err(format!("unexpected extra argument `{extra}`")),
+                    }
+                }
+                Ok(Command::Serve {
+                    addr: addr.ok_or("missing --addr host:port")?,
+                    max_sessions,
+                    request_budget_ops,
+                    request_timeout_ms,
+                    threads,
+                })
+            }
+            "client" => {
+                let mut addr = None;
+                let mut script = None;
+                while let Some(a) = it.next() {
+                    match a.as_str() {
+                        "--addr" => {
+                            let v = it.next().ok_or("--addr needs a host:port value")?;
+                            addr = Some(v.clone());
+                        }
+                        flag if flag.starts_with('-') => {
+                            return Err(format!("unknown flag `{flag}`"))
+                        }
+                        path => set_file(&mut script, path)?,
+                    }
+                }
+                Ok(Command::Client {
+                    addr: addr.ok_or("missing --addr host:port")?,
+                    script: script.ok_or("missing drive script")?,
                 })
             }
             other => Err(format!("unknown command `{other}`")),
@@ -458,6 +563,67 @@ mod tests {
         assert!(parse(&["analyze", "--gmod", "bogus", "x"])
             .unwrap_err()
             .contains("unknown --gmod"));
+    }
+
+    #[test]
+    fn serve_flags_and_defaults() {
+        let cmd = parse(&["serve", "--addr", "127.0.0.1:0"]).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                max_sessions: 64,
+                request_budget_ops: None,
+                request_timeout_ms: None,
+                threads: None,
+            }
+        );
+        let cmd = parse(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:7788",
+            "--max-sessions",
+            "8",
+            "--request-budget-ops",
+            "50000",
+            "--request-timeout-ms",
+            "250",
+            "--threads",
+            "4",
+        ])
+        .expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: "0.0.0.0:7788".into(),
+                max_sessions: 8,
+                request_budget_ops: Some(50_000),
+                request_timeout_ms: Some(250),
+                threads: Some(4),
+            }
+        );
+        assert!(parse(&["serve"]).unwrap_err().contains("missing --addr"));
+        assert!(parse(&["serve", "--addr", "x:1", "--max-sessions", "0"])
+            .unwrap_err()
+            .contains("--max-sessions must be at least 1"));
+    }
+
+    #[test]
+    fn client_needs_addr_and_script() {
+        let cmd = parse(&["client", "--addr", "127.0.0.1:7788", "drive.txt"]).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Client {
+                addr: "127.0.0.1:7788".into(),
+                script: "drive.txt".into(),
+            }
+        );
+        assert!(parse(&["client", "drive.txt"])
+            .unwrap_err()
+            .contains("missing --addr"));
+        assert!(parse(&["client", "--addr", "x:1"])
+            .unwrap_err()
+            .contains("missing drive script"));
     }
 
     #[test]

@@ -23,14 +23,19 @@
 //! * [`script`] — a tiny text format for edit scripts (`analyze --edits`
 //!   in the CLI) plus [`EditGen`], the seeded random edit generator the
 //!   property suite and the `incrscale` bench share;
+//! * [`render`] — the one shared renderer for per-site `MOD`/`DMOD`/`USE`
+//!   reports (text and JSON), used byte-identically by the CLI and the
+//!   `modref-serve` daemon;
 //! * re-exports of the edit vocabulary ([`Edit`], [`EditDelta`],
 //!   [`EditError`]) so consumers need only this crate.
 
 pub mod engine;
+pub mod render;
 pub mod script;
 
 pub use engine::{
     IncrDegradeReason, IncrDelta, IncrOutcome, IncrStats, IncrementalEngine, IncrementalExt,
 };
 pub use modref_ir::{Edit, EditDelta, EditError};
+pub use render::SiteSets;
 pub use script::{EditGen, Script, ScriptError};

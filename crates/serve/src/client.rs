@@ -1,0 +1,337 @@
+//! A small synchronous client: one connection, sequential
+//! request/response, plus the drive-script interpreter behind the CLI's
+//! `client` verb.
+//!
+//! Drive scripts are line-oriented (blank lines and `#` comments
+//! ignored):
+//!
+//! ```text
+//! open  <session> <program.mp>
+//! edit  <session> <script.edits>
+//! query <session> all | site <n> | proc <name>
+//! close <session>
+//! stats
+//! ```
+//!
+//! [`run_drive`] prints query reports **verbatim** to stdout — for
+//! `query <s> all` that is byte-identical to `modref analyze <p> --json`
+//! on the same program state — and everything else (acks, stats,
+//! degradation notes) to stderr, so the stdout stream is pure data.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::proto::{Envelope, QueryTarget, Request, Response, Status};
+
+/// How a drive run ended, mirroring the CLI's three-valued exit
+/// contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriveOutcome {
+    /// Every response came back `"ok"` — exit 0.
+    Clean,
+    /// At least one response was `"degraded"` (sound, widened results)
+    /// and none was an error — exit 3.
+    Degraded,
+    /// A response was `"error"`, the transport failed, or the script was
+    /// unusable — exit 1.
+    Failed,
+}
+
+/// One connection to a running server.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// The connect failure, as a display string.
+    pub fn connect(addr: SocketAddr) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    /// Sends `request` and blocks for its response. Ids are assigned
+    /// sequentially and checked on the way back.
+    ///
+    /// # Errors
+    ///
+    /// Frame failures, a server that closed the stream mid-exchange, an
+    /// unparseable response, or a response id mismatch.
+    pub fn request(&mut self, request: Request) -> Result<Response, String> {
+        self.request_with(request, None, None)
+    }
+
+    /// [`Client::request`] with per-request budget/deadline overrides.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn request_with(
+        &mut self,
+        request: Request,
+        budget_ops: Option<u64>,
+        timeout_ms: Option<u64>,
+    ) -> Result<Response, String> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let env = Envelope {
+            id,
+            request,
+            budget_ops,
+            timeout_ms,
+        };
+        let payload = env.render();
+        write_frame(&mut self.stream, payload.as_bytes()).map_err(frame_err)?;
+        let reply = match read_frame(&mut self.stream).map_err(frame_err)? {
+            Some(bytes) => bytes,
+            None => return Err("server closed the connection".to_string()),
+        };
+        let resp = Response::parse(&reply)?;
+        match resp.id {
+            Some(got) if got == id => Ok(resp),
+            Some(got) => Err(format!("response id {got} does not match request id {id}")),
+            // A null id is the server refusing the *frame or envelope*
+            // itself; surface it against this request.
+            None => Ok(resp),
+        }
+    }
+}
+
+fn frame_err(e: FrameError) -> String {
+    format!("frame: {e}")
+}
+
+/// One parsed drive-script command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum DriveCmd {
+    Open { session: String, path: String },
+    Edit { session: String, path: String },
+    Query { session: String, target: QueryTarget },
+    Close { session: String },
+    Stats,
+}
+
+fn parse_drive(text: &str) -> Result<Vec<(usize, DriveCmd)>, String> {
+    let mut cmds = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let verb = words.next().expect("non-empty line has a first word");
+        let rest: Vec<&str> = words.collect();
+        let cmd = match (verb, rest.as_slice()) {
+            ("open", [session, path]) => DriveCmd::Open {
+                session: (*session).to_string(),
+                path: (*path).to_string(),
+            },
+            ("edit", [session, path]) => DriveCmd::Edit {
+                session: (*session).to_string(),
+                path: (*path).to_string(),
+            },
+            ("query", [session, "all"]) => DriveCmd::Query {
+                session: (*session).to_string(),
+                target: QueryTarget::All,
+            },
+            ("query", [session, "site", n]) => {
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("drive line {line_no}: bad site index `{n}`"))?;
+                DriveCmd::Query {
+                    session: (*session).to_string(),
+                    target: QueryTarget::Site(n),
+                }
+            }
+            ("query", [session, "proc", name]) => DriveCmd::Query {
+                session: (*session).to_string(),
+                target: QueryTarget::Proc((*name).to_string()),
+            },
+            ("close", [session]) => DriveCmd::Close {
+                session: (*session).to_string(),
+            },
+            ("stats", []) => DriveCmd::Stats,
+            _ => {
+                return Err(format!(
+                    "drive line {line_no}: unrecognised command `{line}` \
+                     (expected open/edit/query/close/stats)"
+                ))
+            }
+        };
+        cmds.push((line_no, cmd));
+    }
+    Ok(cmds)
+}
+
+/// Runs a drive script against `addr`, writing query reports verbatim to
+/// `out` and everything else to `err`. Stops at the first `"error"`
+/// response or transport failure.
+///
+/// # Errors
+///
+/// Returns the failure message alongside [`DriveOutcome::Failed`] via
+/// the `Err` arm; the `Ok` arm is [`DriveOutcome::Clean`] or
+/// [`DriveOutcome::Degraded`].
+pub fn run_drive<W: Write, E: Write>(
+    addr: SocketAddr,
+    script: &str,
+    base_dir: &Path,
+    out: &mut W,
+    err: &mut E,
+) -> Result<DriveOutcome, String> {
+    let cmds = parse_drive(script)?;
+    let mut client = Client::connect(addr)?;
+    let mut degraded = false;
+    for (line_no, cmd) in cmds {
+        let request = match &cmd {
+            DriveCmd::Open { session, path } => Request::Open {
+                session: session.clone(),
+                program: read_rel(base_dir, path)
+                    .map_err(|e| format!("drive line {line_no}: {e}"))?,
+            },
+            DriveCmd::Edit { session, path } => Request::Edit {
+                session: session.clone(),
+                script: read_rel(base_dir, path)
+                    .map_err(|e| format!("drive line {line_no}: {e}"))?,
+            },
+            DriveCmd::Query { session, target } => Request::Query {
+                session: session.clone(),
+                target: target.clone(),
+            },
+            DriveCmd::Close { session } => Request::Close {
+                session: session.clone(),
+            },
+            DriveCmd::Stats => Request::Stats,
+        };
+        let resp = client
+            .request(request)
+            .map_err(|e| format!("drive line {line_no}: {e}"))?;
+        match resp.status {
+            Status::Error => {
+                let msg = resp.str_field("error").unwrap_or("unknown error");
+                return Err(format!("drive line {line_no}: server error: {msg}"));
+            }
+            Status::Degraded => degraded = true,
+            Status::Ok => {}
+        }
+        report_response(&cmd, &resp, out, err).map_err(|e| format!("i/o: {e}"))?;
+    }
+    Ok(if degraded {
+        DriveOutcome::Degraded
+    } else {
+        DriveOutcome::Clean
+    })
+}
+
+fn read_rel(base: &Path, path: &str) -> Result<String, String> {
+    let full = base.join(path);
+    std::fs::read_to_string(&full).map_err(|e| format!("cannot read `{}`: {e}", full.display()))
+}
+
+fn report_response<W: Write, E: Write>(
+    cmd: &DriveCmd,
+    resp: &Response,
+    out: &mut W,
+    err: &mut E,
+) -> std::io::Result<()> {
+    let note = |err: &mut E, prefix: &str| -> std::io::Result<()> {
+        if let Some(reason) = resp.str_field("reason") {
+            writeln!(err, "{prefix} [degraded: {reason}]")
+        } else {
+            writeln!(err, "{prefix}")
+        }
+    };
+    match cmd {
+        DriveCmd::Open { session, .. } => note(
+            err,
+            &format!(
+                "opened `{session}`: {} procs, {} sites, {} vars",
+                resp.uint_field("procs").unwrap_or(0),
+                resp.uint_field("sites").unwrap_or(0),
+                resp.uint_field("vars").unwrap_or(0)
+            ),
+        ),
+        DriveCmd::Edit { session, .. } => note(
+            err,
+            &format!(
+                "edited `{session}`: {} steps applied",
+                resp.uint_field("applied").unwrap_or(0)
+            ),
+        ),
+        DriveCmd::Query { session, .. } => {
+            // The report is the payload; stdout gets it untouched.
+            if let Some(report) = resp.str_field("report") {
+                write!(out, "{report}")?;
+                out.flush()?;
+            }
+            if resp.status == Status::Degraded {
+                note(err, &format!("query `{session}`"))?;
+            }
+            Ok(())
+        }
+        DriveCmd::Close { session } => note(err, &format!("closed `{session}`")),
+        DriveCmd::Stats => {
+            let field = |k: &str| resp.uint_field(k).unwrap_or(0);
+            note(
+                err,
+                &format!(
+                    "stats: sessions={} connections={} requests={} ok={} degraded={} errors={}",
+                    field("sessions"),
+                    field("connections"),
+                    field("requests"),
+                    field("ok"),
+                    field("degraded"),
+                    field("errors")
+                ),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_command_forms() {
+        let script = "\
+# comment
+open  s1 prog.mp
+
+edit s1 delta.edits
+query s1 all
+query s1 site 3
+query s1 proc bump
+stats
+close s1
+";
+        let cmds = parse_drive(script).expect("parses");
+        assert_eq!(cmds.len(), 7);
+        assert_eq!(
+            cmds[3].1,
+            DriveCmd::Query {
+                session: "s1".to_string(),
+                target: QueryTarget::Site(3)
+            }
+        );
+        assert_eq!(cmds[6].1, DriveCmd::Close {
+            session: "s1".to_string()
+        });
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        let err = parse_drive("open s1 a.mp\nquery s1 sideways\n").unwrap_err();
+        assert!(err.contains("drive line 2"), "got: {err}");
+        let err = parse_drive("query s1 site notanumber\n").unwrap_err();
+        assert!(err.contains("bad site index"), "got: {err}");
+    }
+}

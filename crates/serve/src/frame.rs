@@ -1,0 +1,219 @@
+//! Wire framing: 4-byte big-endian length prefix, then that many bytes
+//! of UTF-8 JSON.
+//!
+//! The framing layer is deliberately dumb — it moves opaque byte
+//! payloads and knows nothing about JSON — and deliberately strict:
+//! zero-length frames, frames over [`MAX_FRAME_LEN`], and streams that
+//! end mid-header or mid-payload are all *typed* errors
+//! ([`FrameError`]), never panics and never silent truncation. The
+//! property suite (`tests/frame_props.rs`) fuzzes encode/decode
+//! round-trips through arbitrary read-boundary splits and pipelined
+//! concatenations, and pins every rejection class.
+//!
+//! A reader that hits any [`FrameError`] must treat the connection as
+//! unsynchronised and close it: after a framing error there is no way to
+//! know where the next frame begins.
+
+use std::io::{Read, Write};
+
+/// Hard cap on a frame's payload length, in bytes. Large enough for any
+/// realistic program text or report, small enough that a hostile length
+/// prefix cannot make the server allocate unbounded memory.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Why a frame could not be read or written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix was zero. An empty payload can never be a valid
+    /// request or response, so this always signals a confused peer.
+    ZeroLength,
+    /// The length prefix exceeded [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The declared payload length.
+        declared: u64,
+    },
+    /// The stream ended inside a frame.
+    Truncated {
+        /// `"header"` or `"payload"` — which part was cut short.
+        part: &'static str,
+        /// Bytes the part needed.
+        expected: usize,
+        /// Bytes actually present before EOF.
+        got: usize,
+    },
+    /// An underlying I/O failure (connection reset, write error, …).
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::ZeroLength => write!(f, "zero-length frame"),
+            FrameError::Oversized { declared } => write!(
+                f,
+                "oversized frame: declared {declared} bytes, limit {MAX_FRAME_LEN}"
+            ),
+            FrameError::Truncated {
+                part,
+                expected,
+                got,
+            } => write!(
+                f,
+                "truncated frame {part}: expected {expected} bytes, got {got}"
+            ),
+            FrameError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes one frame: prefix plus payload, ready to write.
+///
+/// # Errors
+///
+/// Rejects empty and oversized payloads with the same typed errors the
+/// decoder uses, so a conforming writer can never produce a frame a
+/// conforming reader rejects.
+pub fn encode_frame(payload: &[u8]) -> Result<Vec<u8>, FrameError> {
+    if payload.is_empty() {
+        return Err(FrameError::ZeroLength);
+    }
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized {
+            declared: payload.len() as u64,
+        });
+    }
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Writes one frame to `w` (a single `write_all`, so frames from one
+/// writer are never interleaved mid-frame).
+///
+/// # Errors
+///
+/// [`encode_frame`]'s rejections, plus [`FrameError::Io`] on write
+/// failure.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
+    let bytes = encode_frame(payload)?;
+    w.write_all(&bytes)
+        .and_then(|()| w.flush())
+        .map_err(|e| FrameError::Io(e.to_string()))
+}
+
+/// Reads bytes into `buf` until it is full or the stream ends, returning
+/// how many bytes arrived. `Read::read_exact` loses the byte count on
+/// EOF, which the truncation errors need.
+fn fill<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+    }
+    Ok(got)
+}
+
+/// Reads one frame. `Ok(None)` is a clean end-of-stream (the connection
+/// closed *between* frames); everything else either yields a payload or
+/// a typed error. Handles reads split at arbitrary boundaries — the
+/// header and payload are each assembled from as many partial reads as
+/// the transport delivers.
+///
+/// # Errors
+///
+/// [`FrameError::Truncated`] when the stream ends mid-frame,
+/// [`FrameError::ZeroLength`] / [`FrameError::Oversized`] for hostile
+/// length prefixes, [`FrameError::Io`] for transport failures.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 4];
+    let got = fill(r, &mut header)?;
+    if got == 0 {
+        return Ok(None);
+    }
+    if got < 4 {
+        return Err(FrameError::Truncated {
+            part: "header",
+            expected: 4,
+            got,
+        });
+    }
+    let declared = u32::from_be_bytes(header) as usize;
+    if declared == 0 {
+        return Err(FrameError::ZeroLength);
+    }
+    if declared > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized {
+            declared: declared as u64,
+        });
+    }
+    let mut payload = vec![0u8; declared];
+    let got = fill(r, &mut payload)?;
+    if got < declared {
+        return Err(FrameError::Truncated {
+            part: "payload",
+            expected: declared,
+            got,
+        });
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trips_one_frame() {
+        let bytes = encode_frame(b"{\"id\":1}").expect("encodes");
+        let mut cur = Cursor::new(bytes);
+        assert_eq!(
+            read_frame(&mut cur).expect("reads"),
+            Some(b"{\"id\":1}".to_vec())
+        );
+        assert_eq!(read_frame(&mut cur).expect("clean EOF"), None);
+    }
+
+    #[test]
+    fn rejects_zero_and_oversized_on_both_sides() {
+        assert_eq!(encode_frame(b"").unwrap_err(), FrameError::ZeroLength);
+        let mut zero = Cursor::new(vec![0, 0, 0, 0]);
+        assert_eq!(read_frame(&mut zero).unwrap_err(), FrameError::ZeroLength);
+        let mut big = Cursor::new(vec![0xff, 0xff, 0xff, 0xff]);
+        assert_eq!(
+            read_frame(&mut big).unwrap_err(),
+            FrameError::Oversized {
+                declared: u64::from(u32::MAX)
+            }
+        );
+    }
+
+    #[test]
+    fn truncation_names_the_part_and_counts() {
+        let mut header = Cursor::new(vec![0, 0]);
+        assert_eq!(
+            read_frame(&mut header).unwrap_err(),
+            FrameError::Truncated {
+                part: "header",
+                expected: 4,
+                got: 2
+            }
+        );
+        let mut payload = Cursor::new(vec![0, 0, 0, 5, b'a', b'b']);
+        assert_eq!(
+            read_frame(&mut payload).unwrap_err(),
+            FrameError::Truncated {
+                part: "payload",
+                expected: 5,
+                got: 2
+            }
+        );
+    }
+}

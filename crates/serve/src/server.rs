@@ -1,0 +1,780 @@
+//! The daemon: session table, per-connection frame loops, guarded
+//! request dispatch, and server-wide counters.
+//!
+//! One [`IncrementalEngine`] per session, each behind its own lock, so
+//! requests against different sessions run concurrently (one connection
+//! per client thread, any number of sessions per connection) while
+//! requests against the same session serialize. Every request runs under
+//! its own [`Guard`] — the server's configured budget/deadline defaults,
+//! tightened or replaced by the request's `budget_ops`/`timeout_ms`
+//! fields — so a pathological request degrades *that response* (status
+//! `"degraded"`, sound widened sets) instead of starving sibling
+//! sessions. Contained panics (injected via the `serve.accept`,
+//! `serve.dispatch`, and `serve.session` fault sites, or real bugs)
+//! follow the same ladder; see `docs/SERVER.md` for the exact contract.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use modref_bitset::BitSet;
+use modref_core::Analyzer;
+use modref_guard::{Budget, FaultPlan, Guard, Interrupt};
+use modref_incr::render::{render_json, render_json_site, SiteSets};
+use modref_incr::{IncrOutcome, IncrementalEngine, IncrementalExt, Script};
+use modref_ir::{CallSiteId, ProcId, Program, VarId};
+use modref_trace::{escape_json, Trace};
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::proto::{
+    resp_close, resp_edit, resp_error, resp_open, resp_query, resp_stats, Envelope, Request,
+    Status, StatsSnapshot,
+};
+
+/// Server-wide configuration, fixed at bind time.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Cap on concurrently open sessions; `open` past it is an error
+    /// response (never a dropped connection).
+    pub max_sessions: usize,
+    /// Default per-request op budget (the CLI's `--request-budget-ops`).
+    pub request_budget_ops: Option<u64>,
+    /// Default per-request wall-clock deadline in milliseconds
+    /// (`--request-timeout-ms`).
+    pub request_timeout_ms: Option<u64>,
+    /// Worker-thread count for each session's pooled solver phases
+    /// (`modref-par` semantics: `None` defers to `MODREF_THREADS`).
+    pub threads: Option<usize>,
+    /// Fault plan armed on request guards. The CLI arms this from
+    /// `MODREF_FAULT` like every other guarded entry point; in-process
+    /// tests pin plans explicitly. Never armed implicitly.
+    pub faults: Option<FaultPlan>,
+    /// When set, [`ServerConfig::faults`] arms only for requests
+    /// addressed to this session — the hook the fault suite uses to
+    /// poison one session while its siblings stay healthy. (The
+    /// pre-session `serve.accept` site is armed only when this is
+    /// `None`.)
+    pub fault_session: Option<String>,
+    /// Trace sink; every request records an `incr.serve` span into it.
+    pub trace: Trace,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_sessions: 64,
+            request_budget_ops: None,
+            request_timeout_ms: None,
+            threads: None,
+            faults: None,
+            fault_session: None,
+            trace: Trace::disabled(),
+        }
+    }
+}
+
+/// One open session: the engine plus bookkeeping.
+struct Session {
+    engine: IncrementalEngine,
+    /// Edits applied since `open` (including degraded applies).
+    edits_applied: u64,
+}
+
+/// Monotone counters, updated lock-free from every handler thread.
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    degraded: AtomicU64,
+    errors: AtomicU64,
+    latency_total_us: AtomicU64,
+    latency_max_us: AtomicU64,
+    per_op: [AtomicU64; 5],
+}
+
+fn op_slot(op: &str) -> usize {
+    match op {
+        "open" => 0,
+        "edit" => 1,
+        "query" => 2,
+        "close" => 3,
+        _ => 4,
+    }
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    counters: Counters,
+    stop: AtomicBool,
+    /// Clones of live connection streams keyed by connection id,
+    /// force-closed on shutdown so blocked frame reads drain promptly.
+    /// Each handler removes its own entry on exit, so the table tracks
+    /// *live* connections, not connection history.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Poison-tolerant lock: a handler that panicked at a `serve.*`
+/// checkpoint did so *before* touching the engine (and the engine's own
+/// apply path contains its panics), so the data under a poisoned lock is
+/// always coherent.
+fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+/// A handle to a server running on a background thread. Dropping the
+/// handle shuts the server down (idempotent with [`ServerHandle::shutdown`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (port 0 picks a free port; see
+    /// [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// The bind failure, untouched.
+    pub fn bind(addr: SocketAddr, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            shared: Arc::new(Shared {
+                cfg,
+                sessions: Mutex::new(HashMap::new()),
+                counters: Counters::default(),
+                stop: AtomicBool::new(false),
+                conns: Mutex::new(HashMap::new()),
+                workers: Mutex::new(Vec::new()),
+            }),
+        })
+    }
+
+    /// The actually bound address (resolves a requested port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Runs the accept loop on the current thread until shut down (the
+    /// CLI `serve` verb's mode — it never returns in normal operation).
+    /// Each connection gets its own handler thread; a handler panic is
+    /// contained to its connection.
+    pub fn run(self) {
+        let shared = self.shared;
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(_) => {
+                    if shared.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    continue;
+                }
+            };
+            if shared.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let conn_id = shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+            if let Ok(clone) = stream.try_clone() {
+                relock(&shared.conns).insert(conn_id, clone);
+            }
+            let conn_shared = Arc::clone(&shared);
+            let worker = std::thread::spawn(move || {
+                // The inner catch_unwind paths keep panics per-request;
+                // this outer one keeps any residue per-connection.
+                let mut stream = stream;
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    handle_connection(&conn_shared, &mut stream);
+                }));
+                // The clone in `conns` keeps the socket open past this
+                // fd's drop — shut the connection down explicitly (the
+                // peer gets EOF even after a contained panic) and drop
+                // the clone so the table only holds live connections.
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                relock(&conn_shared.conns).remove(&conn_id);
+                let _ = result;
+            });
+            // Reap finished handlers so a long-lived daemon's worker
+            // table is bounded by live connections, not history.
+            let mut workers = relock(&shared.workers);
+            workers.retain(|w| !w.is_finished());
+            workers.push(worker);
+        }
+    }
+
+    /// Runs the accept loop on a background thread and returns the
+    /// controlling handle (the in-process test mode).
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr;
+        let shared = Arc::clone(&self.shared);
+        let accept = std::thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+        }
+    }
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, force-closes live connections, and joins every
+    /// handler thread. Sessions (and their engines) are dropped with the
+    /// server.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.shared.stop.store(true, Ordering::Release);
+        // Wake the blocking accept; the no-op connection is absorbed by
+        // the stop check at the top of the loop.
+        let _ = TcpStream::connect(self.addr);
+        for (_, conn) in relock(&self.shared.conns).drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        let _ = accept.join();
+        let workers: Vec<JoinHandle<()>> = relock(&self.shared.workers).drain(..).collect();
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Builds the per-request guard: request overrides beat server defaults;
+/// the fault plan arms only when the config says so (and, with a
+/// `fault_session` filter, only for that session's requests).
+fn request_guard(cfg: &ServerConfig, env: &Envelope) -> Guard {
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = env.timeout_ms.or(cfg.request_timeout_ms) {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(n) = env.budget_ops.or(cfg.request_budget_ops) {
+        budget = budget.with_ops(n);
+    }
+    let mut guard = Guard::new(&budget);
+    if let Some(plan) = &cfg.faults {
+        let armed = match &cfg.fault_session {
+            None => true,
+            Some(target) => env.request.session() == Some(target.as_str()),
+        };
+        if armed {
+            guard = guard.with_faults(plan.clone());
+        }
+    }
+    guard
+}
+
+/// The guard a fresh connection's `serve.accept` checkpoint runs under.
+/// Faults only arm here when they are unfiltered — the accept site
+/// belongs to no session.
+fn accept_guard(cfg: &ServerConfig) -> Guard {
+    let mut guard = Guard::unlimited();
+    if cfg.fault_session.is_none() {
+        if let Some(plan) = &cfg.faults {
+            guard = guard.with_faults(plan.clone());
+        }
+    }
+    guard
+}
+
+fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
+    // A panic injected at `serve.accept` is contained by the caller's
+    // catch_unwind: this connection dies (the client sees EOF), the
+    // accept loop and every other connection keep going.
+    if accept_guard(&shared.cfg).checkpoint("serve.accept").is_err() {
+        return;
+    }
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        match read_frame(stream) {
+            Ok(None) => return,
+            Ok(Some(payload)) => {
+                let reply = handle_frame(shared, &payload);
+                if write_frame(stream, reply.as_bytes()).is_err() {
+                    // Client went away mid-request. Session state is
+                    // already committed; the next connection can reuse it.
+                    return;
+                }
+            }
+            Err(err) => {
+                // Frame-level failure: the stream is unsynchronised.
+                // Say why (typed, with a null id), then close.
+                let reply = resp_error(None, &format!("frame: {err}"));
+                let _ = write_frame(stream, reply.as_bytes());
+                if !matches!(err, FrameError::Io(_)) {
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Parses, dispatches, and accounts one request. Always produces exactly
+/// one response frame payload.
+fn handle_frame(shared: &Shared, payload: &[u8]) -> String {
+    let t0 = Instant::now();
+    let counters = &shared.counters;
+    let env = match Envelope::parse(payload) {
+        Ok(env) => env,
+        Err(e) => {
+            counters.requests.fetch_add(1, Ordering::Relaxed);
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+            return resp_error(e.id, &e.message);
+        }
+    };
+    counters.requests.fetch_add(1, Ordering::Relaxed);
+    let op = env.request.op_name();
+    counters.per_op[op_slot(op)].fetch_add(1, Ordering::Relaxed);
+
+    let mut span = shared.cfg.trace.span("incr.serve");
+    span.note("op", op);
+    if let Some(s) = env.request.session() {
+        span.note("session", s);
+    }
+
+    let guard = request_guard(&shared.cfg, &env);
+    let (reply, status) =
+        match catch_unwind(AssertUnwindSafe(|| dispatch(shared, &env, &guard))) {
+            Ok(pair) => pair,
+            Err(panic) => panic_fallback(shared, &env, panic.as_ref()),
+        };
+    span.note("status", status.as_str());
+
+    match status {
+        Status::Ok => counters.ok.fetch_add(1, Ordering::Relaxed),
+        Status::Degraded => counters.degraded.fetch_add(1, Ordering::Relaxed),
+        Status::Error => counters.errors.fetch_add(1, Ordering::Relaxed),
+    };
+    let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+    counters.latency_total_us.fetch_add(us, Ordering::Relaxed);
+    counters.latency_max_us.fetch_max(us, Ordering::Relaxed);
+    span.arg("latency_us", us);
+    reply
+}
+
+/// `{"id":…,"status":"degraded",…}` for ops that carry no report.
+fn resp_degraded_plain(id: u64, op: &str, session: Option<&str>, reason: &str) -> String {
+    let session = session.map_or_else(String::new, |s| {
+        format!(",\"session\":\"{}\"", escape_json(s))
+    });
+    format!(
+        "{{\"id\":{id},\"status\":\"degraded\",\"op\":\"{op}\"{session},\"reason\":\"{}\"}}",
+        escape_json(reason)
+    )
+}
+
+/// The response when dispatch itself panicked (an injected `serve.*`
+/// fault or a real bug outside the engine's own containment). Queries
+/// still answer — with the sound conservative widening — so a poisoned
+/// session degrades instead of going dark; everything else reports
+/// `degraded` with the panic text.
+fn panic_fallback(
+    shared: &Shared,
+    env: &Envelope,
+    panic: &(dyn std::any::Any + Send),
+) -> (String, Status) {
+    let reason = format!("panic during request: {}", panic_message(panic));
+    if let Request::Query { session, target } = &env.request {
+        if let Some(slot) = relock(&shared.sessions).get(session).cloned() {
+            let guard = relock(&slot);
+            let report = conservative_report(guard.engine.program(), target);
+            drop(guard);
+            if let Some(report) = report {
+                return (
+                    resp_query(env.id, session, Some(&reason), &report),
+                    Status::Degraded,
+                );
+            }
+        }
+    }
+    (
+        resp_degraded_plain(env.id, env.request.op_name(), env.request.session(), &reason),
+        Status::Degraded,
+    )
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Renders the sound widened report for `target`, or `None` when the
+/// target does not resolve (out-of-range site, unknown procedure) — the
+/// caller turns that into a plain degraded response.
+fn conservative_report(program: &Program, target: &crate::proto::QueryTarget) -> Option<String> {
+    use crate::proto::QueryTarget;
+    match target {
+        QueryTarget::All => Some(render_json(program, &SiteSets::conservative(program))),
+        QueryTarget::Site(n) => {
+            if *n >= program.num_sites() {
+                return None;
+            }
+            Some(render_json_site(
+                program,
+                &SiteSets::conservative(program),
+                CallSiteId::new(*n),
+            ))
+        }
+        QueryTarget::Proc(name) => {
+            let p = find_proc(program, name)?;
+            let wide = program.visible_set(p);
+            Some(render_proc(program, name, &wide, &wide))
+        }
+    }
+}
+
+fn find_proc(program: &Program, name: &str) -> Option<ProcId> {
+    program.procs().find(|&p| program.proc_name(p) == name)
+}
+
+/// `{"proc":…,"gmod":[…],"guse":[…]}` with the same sorted-quoted-name
+/// arrays the site report uses.
+fn render_proc(
+    program: &Program,
+    name: &str,
+    gmod: &BitSet,
+    guse: &BitSet,
+) -> String {
+    let names = |set: &BitSet| -> String {
+        let mut parts: Vec<String> = set
+            .iter()
+            .map(|i| format!("\"{}\"", escape_json(program.var_name(VarId::new(i)))))
+            .collect();
+        parts.sort();
+        format!("[{}]", parts.join(","))
+    };
+    format!(
+        "{{\"proc\":\"{}\",\"gmod\":{},\"guse\":{}}}\n",
+        escape_json(name),
+        names(gmod),
+        names(guse)
+    )
+}
+
+fn dispatch(shared: &Shared, env: &Envelope, guard: &Guard) -> (String, Status) {
+    let id = env.id;
+    // The dispatch checkpoint: a panic here unwinds into the caller's
+    // containment; a budget/deadline trip degrades the response.
+    if let Err(interrupt) = guard.checkpoint("serve.dispatch") {
+        return degraded_before_work(shared, env, interrupt);
+    }
+    match &env.request {
+        Request::Open { session, program } => open_session(shared, id, session, program),
+        Request::Edit { session, script } => {
+            with_session(shared, id, "edit", session, |slot| {
+                edit_session(shared, env, guard, session, slot, script)
+            })
+        }
+        Request::Query { session, target } => {
+            with_session(shared, id, "query", session, |slot| {
+                query_session(env, guard, session, slot, target)
+            })
+        }
+        Request::Close { session } => {
+            let removed = relock(&shared.sessions).remove(session);
+            match removed {
+                Some(_) => (resp_close(id, session), Status::Ok),
+                None => (
+                    resp_error(Some(id), &format!("unknown session `{session}`")),
+                    Status::Error,
+                ),
+            }
+        }
+        Request::Stats => {
+            let snap = snapshot(shared);
+            (resp_stats(id, &snap), Status::Ok)
+        }
+    }
+}
+
+/// A guard trip before any session work: queries still answer with the
+/// conservative widening, everything else degrades plainly.
+fn degraded_before_work(shared: &Shared, env: &Envelope, interrupt: Interrupt) -> (String, Status) {
+    let reason = interrupt.to_string();
+    if let Request::Query { session, target } = &env.request {
+        if let Some(slot) = relock(&shared.sessions).get(session).cloned() {
+            let guard = relock(&slot);
+            if let Some(report) = conservative_report(guard.engine.program(), target) {
+                return (
+                    resp_query(env.id, session, Some(&reason), &report),
+                    Status::Degraded,
+                );
+            }
+        }
+    }
+    (
+        resp_degraded_plain(env.id, env.request.op_name(), env.request.session(), &reason),
+        Status::Degraded,
+    )
+}
+
+fn open_session(shared: &Shared, id: u64, session: &str, source: &str) -> (String, Status) {
+    let program = match modref_frontend::parse_program(source) {
+        Ok(p) => p,
+        Err(e) => {
+            return (
+                resp_error(Some(id), &format!("parse error: {e}")),
+                Status::Error,
+            )
+        }
+    };
+    // Check-then-insert under one lock so two racing opens of the same
+    // name (or the last two slots) resolve consistently.
+    let mut sessions = relock(&shared.sessions);
+    if sessions.contains_key(session) {
+        return (
+            resp_error(Some(id), &format!("session `{session}` is already open")),
+            Status::Error,
+        );
+    }
+    if sessions.len() >= shared.cfg.max_sessions {
+        return (
+            resp_error(
+                Some(id),
+                &format!(
+                    "session limit reached ({} open, max {})",
+                    sessions.len(),
+                    shared.cfg.max_sessions
+                ),
+            ),
+            Status::Error,
+        );
+    }
+    // The initial full analysis runs inside the table lock: opens are
+    // rare and bounded, and it keeps "name reserved" and "engine ready"
+    // one atomic step.
+    let mut analyzer = Analyzer::new();
+    analyzer.with_trace(shared.cfg.trace.clone());
+    if let Some(t) = shared.cfg.threads {
+        analyzer.threads(t);
+    }
+    let engine = analyzer.incremental(program);
+    let (procs, sites, vars) = {
+        let p = engine.program();
+        (p.num_procs(), p.num_sites(), p.num_vars())
+    };
+    sessions.insert(
+        session.to_owned(),
+        Arc::new(Mutex::new(Session {
+            engine,
+            edits_applied: 0,
+        })),
+    );
+    (resp_open(id, session, procs, sites, vars), Status::Ok)
+}
+
+/// Resolves `session` and runs `body` with its slot; unknown names are
+/// error responses (never dropped connections).
+fn with_session<F>(
+    shared: &Shared,
+    id: u64,
+    op: &str,
+    session: &str,
+    body: F,
+) -> (String, Status)
+where
+    F: FnOnce(&Arc<Mutex<Session>>) -> (String, Status),
+{
+    let slot = relock(&shared.sessions).get(session).cloned();
+    match slot {
+        Some(slot) => body(&slot),
+        None => (
+            resp_error(Some(id), &format!("unknown session `{session}` (op {op})")),
+            Status::Error,
+        ),
+    }
+}
+
+fn edit_session(
+    shared: &Shared,
+    env: &Envelope,
+    guard: &Guard,
+    session: &str,
+    slot: &Arc<Mutex<Session>>,
+    script_text: &str,
+) -> (String, Status) {
+    let id = env.id;
+    let script = match Script::parse(script_text) {
+        Ok(s) => s,
+        Err(e) => return (resp_error(Some(id), &e.to_string()), Status::Error),
+    };
+    let mut state = relock(slot);
+    // The session checkpoint runs with the lock held but before the
+    // engine is touched: an injected panic here leaves the engine intact
+    // for the conservative-query fallback.
+    if let Err(interrupt) = guard.checkpoint("serve.session") {
+        drop(state);
+        return degraded_before_work(shared, env, interrupt);
+    }
+    let mut applied = 0usize;
+    for step in script.steps() {
+        let edit = match step.resolve(state.engine.program()) {
+            Ok(e) => e,
+            Err(e) => {
+                return (
+                    resp_error(Some(id), &format!("{e} ({applied} steps applied)")),
+                    Status::Error,
+                )
+            }
+        };
+        match state.engine.apply_guarded(&edit, guard) {
+            Err(e) => {
+                return (
+                    resp_error(
+                        Some(id),
+                        &format!(
+                            "script line {}: edit rejected: {e} ({applied} steps applied)",
+                            step.line
+                        ),
+                    ),
+                    Status::Error,
+                )
+            }
+            Ok(IncrOutcome::Clean(_)) => {
+                applied += 1;
+                state.edits_applied += 1;
+            }
+            Ok(IncrOutcome::Degraded { reason }) => {
+                // The edit is in the program; the results are the sound
+                // widened fallback until the next clean apply rebuilds.
+                applied += 1;
+                state.edits_applied += 1;
+                return (
+                    resp_edit(id, session, applied, Some(&reason.to_string())),
+                    Status::Degraded,
+                );
+            }
+        }
+    }
+    (resp_edit(id, session, applied, None), Status::Ok)
+}
+
+fn query_session(
+    env: &Envelope,
+    guard: &Guard,
+    session: &str,
+    slot: &Arc<Mutex<Session>>,
+    target: &crate::proto::QueryTarget,
+) -> (String, Status) {
+    use crate::proto::QueryTarget;
+    let id = env.id;
+    let state = relock(slot);
+    let engine = &state.engine;
+    let program = engine.program();
+    if let Err(interrupt) = guard.checkpoint("serve.session") {
+        let reason = interrupt.to_string();
+        return match conservative_report(program, target) {
+            Some(report) => (
+                resp_query(id, session, Some(&reason), &report),
+                Status::Degraded,
+            ),
+            None => (
+                resp_error(Some(id), &bad_target_message(program, target)),
+                Status::Error,
+            ),
+        };
+    }
+    let report = match target {
+        QueryTarget::All => render_json(program, &SiteSets::from_engine(engine)),
+        QueryTarget::Site(n) => {
+            if *n >= program.num_sites() {
+                return (
+                    resp_error(Some(id), &bad_target_message(program, target)),
+                    Status::Error,
+                );
+            }
+            render_json_site(program, &SiteSets::from_engine(engine), CallSiteId::new(*n))
+        }
+        QueryTarget::Proc(name) => match find_proc(program, name) {
+            Some(p) => render_proc(program, name, engine.gmod(p), engine.guse(p)),
+            None => {
+                return (
+                    resp_error(Some(id), &bad_target_message(program, target)),
+                    Status::Error,
+                )
+            }
+        },
+    };
+    // A session whose last apply degraded holds sound widened sets; say
+    // so on every answer until a clean apply rebuilds them.
+    if state.engine.stats().degraded {
+        (
+            resp_query(
+                id,
+                session,
+                Some("session holds degraded (sound, widened) results"),
+                &report,
+            ),
+            Status::Degraded,
+        )
+    } else {
+        (resp_query(id, session, None, &report), Status::Ok)
+    }
+}
+
+fn bad_target_message(program: &Program, target: &crate::proto::QueryTarget) -> String {
+    use crate::proto::QueryTarget;
+    match target {
+        QueryTarget::All => unreachable!("`all` always resolves"),
+        QueryTarget::Site(n) => format!(
+            "call site {n} out of range (program has {})",
+            program.num_sites()
+        ),
+        QueryTarget::Proc(name) => format!("unknown procedure `{name}`"),
+    }
+}
+
+fn snapshot(shared: &Shared) -> StatsSnapshot {
+    let c = &shared.counters;
+    StatsSnapshot {
+        sessions: relock(&shared.sessions).len(),
+        connections: c.connections.load(Ordering::Relaxed),
+        requests: c.requests.load(Ordering::Relaxed),
+        ok: c.ok.load(Ordering::Relaxed),
+        degraded: c.degraded.load(Ordering::Relaxed),
+        errors: c.errors.load(Ordering::Relaxed),
+        latency_total_us: c.latency_total_us.load(Ordering::Relaxed),
+        latency_max_us: c.latency_max_us.load(Ordering::Relaxed),
+        per_op: std::array::from_fn(|i| c.per_op[i].load(Ordering::Relaxed)),
+    }
+}

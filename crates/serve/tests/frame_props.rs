@@ -1,0 +1,206 @@
+//! Protocol fuzz wall for the wire framing (`modref_serve::frame`).
+//!
+//! The framing layer must be total: for *any* byte stream — well-formed
+//! frames split at arbitrary read boundaries, pipelined back-to-back
+//! frames, hostile length prefixes, streams cut mid-frame, or pure
+//! garbage — the decoder either yields exactly the encoded payloads or a
+//! typed [`FrameError`], and it never panics, never truncates silently,
+//! and never resynchronises on its own. Failures replay with
+//! `MODREF_SEED=<seed> cargo test -p modref-serve --test frame_props`.
+
+use std::io::Read;
+
+use modref_check::prelude::*;
+use modref_serve::frame::{encode_frame, read_frame, write_frame, FrameError, MAX_FRAME_LEN};
+
+/// A reader that hands out the underlying bytes in chunks whose sizes
+/// cycle through `pattern` — the adversarial transport that splits reads
+/// at every boundary the pattern can express.
+struct ChunkedReader {
+    data: Vec<u8>,
+    pos: usize,
+    pattern: Vec<usize>,
+    next: usize,
+}
+
+impl ChunkedReader {
+    fn new(data: Vec<u8>, pattern: Vec<usize>) -> Self {
+        ChunkedReader {
+            data,
+            pos: 0,
+            pattern,
+            next: 0,
+        }
+    }
+}
+
+impl Read for ChunkedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() || buf.is_empty() {
+            return Ok(0);
+        }
+        let chunk = self.pattern[self.next % self.pattern.len()].max(1);
+        self.next += 1;
+        let n = chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A non-empty payload of arbitrary bytes (including NUL, multi-byte
+/// UTF-8 fragments, and bytes that look like length prefixes).
+fn arb_payload() -> BoxedStrategy<Vec<u8>> {
+    vec_of(ints_inclusive(0usize..=255), 1..120)
+        .map(|bytes| bytes.into_iter().map(|b| b as u8).collect::<Vec<u8>>())
+        .boxed()
+}
+
+/// 1–5 payloads to pipeline into one stream.
+fn arb_payloads() -> BoxedStrategy<Vec<Vec<u8>>> {
+    vec_of(arb_payload(), 1..6).boxed()
+}
+
+/// Chunk-size patterns biased toward the nasty cases: single bytes,
+/// sizes that straddle the 4-byte header, and large gulps.
+fn arb_pattern() -> BoxedStrategy<Vec<usize>> {
+    vec_of(ints_inclusive(1usize..=9), 1..8).boxed()
+}
+
+fn concat_frames(payloads: &[Vec<u8>]) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for p in payloads {
+        stream.extend_from_slice(&encode_frame(p).expect("test payloads are encodable"));
+    }
+    stream
+}
+
+property! {
+    #![cases = 256]
+
+    /// Pipelined frames read back exactly, in order, through arbitrary
+    /// read-boundary splits, ending with a clean `Ok(None)`.
+    fn pipelined_frames_survive_arbitrary_splits(case in (arb_payloads(), arb_pattern())) {
+        let (payloads, pattern) = case;
+        let mut reader = ChunkedReader::new(concat_frames(&payloads), pattern);
+        for (i, expect) in payloads.iter().enumerate() {
+            match read_frame(&mut reader) {
+                Ok(Some(got)) => prop_assert_eq!(&got, expect, "frame {} corrupted", i),
+                other => prop_assert!(false, "frame {}: expected payload, got {:?}", i, other),
+            }
+        }
+        prop_assert_eq!(read_frame(&mut reader), Ok(None), "stream must end cleanly");
+    }
+
+    /// Cutting a valid stream at any byte yields the uncut prefix of
+    /// payloads followed by either a clean EOF (cut on a frame boundary)
+    /// or a typed truncation error — never a panic, never a wrong or
+    /// partial payload.
+    fn truncation_at_any_boundary_is_typed(case in (arb_payloads(), arb_pattern(), any_u64())) {
+        let (payloads, pattern, cut_seed) = case;
+        let stream = concat_frames(&payloads);
+        let cut = (cut_seed as usize) % (stream.len() + 1);
+        let mut reader = ChunkedReader::new(stream[..cut].to_vec(), pattern);
+        let mut delivered = 0usize;
+        loop {
+            match read_frame(&mut reader) {
+                Ok(Some(got)) => {
+                    prop_assert!(
+                        delivered < payloads.len(),
+                        "decoder invented a frame past the {} encoded",
+                        payloads.len()
+                    );
+                    prop_assert_eq!(
+                        &got, &payloads[delivered],
+                        "frame {} corrupted by truncation at byte {}",
+                        delivered, cut
+                    );
+                    delivered += 1;
+                }
+                Ok(None) => {
+                    // Clean EOF is only legal exactly on a frame boundary.
+                    let boundary: usize = payloads[..delivered].iter().map(|p| 4 + p.len()).sum();
+                    prop_assert_eq!(boundary, cut, "clean EOF off a frame boundary");
+                    break;
+                }
+                Err(FrameError::Truncated { part, expected, got }) => {
+                    prop_assert!(
+                        part == "header" || part == "payload",
+                        "unknown truncation part {:?}", part
+                    );
+                    prop_assert!(got < expected, "truncation with got >= expected");
+                    break;
+                }
+                Err(other) => {
+                    // A cut can also land so that payload bytes are read
+                    // as a hostile header — but only *after* the real
+                    // frames are exhausted, never instead of one.
+                    prop_assert!(
+                        matches!(other, FrameError::ZeroLength | FrameError::Oversized { .. }),
+                        "unexpected error class {:?}", other
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Arbitrary garbage never panics the decoder: every outcome is a
+    /// payload, clean EOF, or a typed error, and payload bytes are taken
+    /// verbatim from the stream.
+    fn garbage_streams_never_panic(case in (arb_payload(), arb_pattern())) {
+        let (garbage, pattern) = case;
+        let mut reader = ChunkedReader::new(garbage.clone(), pattern);
+        for _ in 0..garbage.len() + 1 {
+            match read_frame(&mut reader) {
+                Ok(None) => break,
+                Ok(Some(payload)) => {
+                    prop_assert!(!payload.is_empty(), "decoder produced an empty payload");
+                    prop_assert!(payload.len() <= MAX_FRAME_LEN, "decoder exceeded the cap");
+                }
+                Err(_) => break, // typed rejection: the contract
+            }
+        }
+    }
+
+    /// Encode/decode round-trip for single frames, and the encoder
+    /// refuses exactly what the decoder refuses.
+    fn encode_decode_round_trip(payload in arb_payload()) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).expect("writes");
+        let mut cur = std::io::Cursor::new(buf);
+        prop_assert_eq!(read_frame(&mut cur), Ok(Some(payload)));
+        prop_assert_eq!(read_frame(&mut cur), Ok(None));
+    }
+}
+
+#[test]
+fn hostile_length_prefixes_are_rejected_on_both_sides() {
+    // Zero length: encoder and decoder agree.
+    assert_eq!(encode_frame(b"").unwrap_err(), FrameError::ZeroLength);
+    let mut zero = std::io::Cursor::new(vec![0, 0, 0, 0, b'x']);
+    assert_eq!(read_frame(&mut zero).unwrap_err(), FrameError::ZeroLength);
+
+    // Oversized: the declared length is reported, nothing is allocated.
+    let over = (MAX_FRAME_LEN + 1) as u32;
+    let mut big = std::io::Cursor::new(over.to_be_bytes().to_vec());
+    assert_eq!(
+        read_frame(&mut big).unwrap_err(),
+        FrameError::Oversized {
+            declared: u64::from(over)
+        }
+    );
+    let huge = vec![0u8; MAX_FRAME_LEN + 1];
+    assert_eq!(
+        encode_frame(&huge).unwrap_err(),
+        FrameError::Oversized {
+            declared: (MAX_FRAME_LEN + 1) as u64
+        }
+    );
+
+    // Exactly at the cap is legal both ways.
+    let exact = vec![b'a'; MAX_FRAME_LEN];
+    let bytes = encode_frame(&exact).expect("cap-sized frame encodes");
+    let mut cur = std::io::Cursor::new(bytes);
+    assert_eq!(read_frame(&mut cur).expect("decodes"), Some(exact));
+}

@@ -170,4 +170,48 @@ grep -q "script line 1" ci_edits.err || {
 }
 rm -f ci_session.edits ci_edits.out ci_edits.err
 
+# Served mode end-to-end: boot the daemon on an OS-assigned port, drive
+# a full session lifecycle over the wire, and require the served query
+# report to be byte-identical to the batch `analyze --json` run — the
+# same program must answer the same regardless of transport.
+echo "== serve contract =="
+env -u MODREF_FAULT "$MODREF" serve --addr 127.0.0.1:0 2> ci_serve.addr &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    grep -q "listening on" ci_serve.addr 2>/dev/null && break
+    sleep 0.1
+done
+serve_addr=$(sed -n 's/^modref-serve listening on //p' ci_serve.addr | head -1)
+if [ -z "$serve_addr" ]; then
+    echo "serve never announced its listen address" >&2
+    exit 1
+fi
+printf 'open s examples/programs/demo.mp\nquery s all\nstats\nclose s\n' > ci_drive.txt
+env -u MODREF_FAULT "$MODREF" client --addr "$serve_addr" ci_drive.txt \
+    > ci_served.out 2> ci_client.err
+env -u MODREF_FAULT "$MODREF" analyze "$DEMO" --json > ci_batch.out
+cmp ci_served.out ci_batch.out || {
+    echo "served query report differs from the batch analyze report" >&2
+    exit 1
+}
+grep -q "sessions=" ci_client.err || {
+    echo "stats must report the live session count" >&2
+    exit 1
+}
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+trap - EXIT
+rm -f ci_serve.addr ci_drive.txt ci_served.out ci_client.err ci_batch.out
+
+# The concurrency soak wall, explicitly at both thread defaults: 8
+# clients over 16 sessions interleaving open/edit/query, every response
+# bit-identical to a from-scratch analysis of the same edited program.
+# Both also run inside the full passes above; the explicit invocation
+# keeps the wall from silently dropping out of the suite.
+echo "== serve soak (MODREF_THREADS=1 and 4) =="
+for t in 1 4; do
+    MODREF_THREADS=$t cargo test -q --offline -p modref-serve --test soak
+done
+
 echo "CI green"
