@@ -70,15 +70,28 @@ pub fn run(cmd: &Command) -> Result<RunStatus, Box<dyn Error>> {
             request_budget_ops,
             request_timeout_ms,
             threads,
+            state_dir,
+            no_evict,
+            fsync,
+            max_conns,
         } => serve(
             addr,
             *max_sessions,
             *request_budget_ops,
             *request_timeout_ms,
             *threads,
+            state_dir.as_deref(),
+            *no_evict,
+            fsync,
+            *max_conns,
         )
         .map(|()| RunStatus::Clean),
-        Command::Client { addr, script } => client(addr, script),
+        Command::Client {
+            addr,
+            script,
+            retries,
+            retry_base_ms,
+        } => client(addr, script, *retries, *retry_base_ms),
     }
 }
 
@@ -89,14 +102,44 @@ fn parse_addr(addr: &str) -> Result<std::net::SocketAddr, String> {
         .map_err(|_| format!("invalid --addr `{addr}` (expected host:port, e.g. 127.0.0.1:7788)"))
 }
 
-/// Runs the analysis daemon on the current thread until killed.
-/// `MODREF_FAULT` arms request guards exactly like it arms `analyze`.
+/// Set by the SIGTERM/SIGINT handler; the serve loop polls it and
+/// drains.
+static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_signum: i32) {
+    SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Installs the graceful-drain handler for SIGTERM and SIGINT via the
+/// raw libc `signal` (no dependency; only async-signal-safe work — one
+/// atomic store — happens in the handler).
+fn install_drain_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_shutdown_signal);
+        signal(SIGTERM, on_shutdown_signal);
+    }
+}
+
+/// Runs the analysis daemon until SIGTERM/SIGINT, then drains: stop
+/// accepting, finish in-flight requests, fsync and close every journal,
+/// exit 0. `MODREF_FAULT` arms request guards exactly like it arms
+/// `analyze`.
+#[allow(clippy::too_many_arguments)]
 fn serve(
     addr: &str,
     max_sessions: usize,
     request_budget_ops: Option<u64>,
     request_timeout_ms: Option<u64>,
     threads: Option<usize>,
+    state_dir: Option<&str>,
+    no_evict: bool,
+    fsync: &str,
+    max_conns: usize,
 ) -> Result<(), Box<dyn Error>> {
     let addr = parse_addr(addr)?;
     let cfg = modref_serve::ServerConfig {
@@ -104,21 +147,48 @@ fn serve(
         request_budget_ops,
         request_timeout_ms,
         threads,
+        state_dir: state_dir.map(std::path::PathBuf::from),
+        evict: !no_evict,
+        fsync: modref_serve::FsyncPolicy::parse(fsync)?,
+        max_conns,
+        retry_after_ms: 50,
         faults: FaultPlan::from_env(),
         fault_session: None,
         trace: Trace::disabled(),
     };
     let server = modref_serve::Server::bind(addr, cfg)
         .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    // The listen line first — tools watching stderr key on it — then the
+    // recovery summary, when there was anything to recover.
     eprintln!("modref-serve listening on {}", server.local_addr());
-    server.run();
+    let rec = server.recovery();
+    if rec.recovered + rec.parked + rec.quarantined + rec.skipped > 0 {
+        eprintln!(
+            "recovered {} live + {} parked sessions \
+             ({} quarantined, {} skipped, {} torn tails truncated)",
+            rec.recovered, rec.parked, rec.quarantined, rec.skipped, rec.truncated_tails
+        );
+    }
+    install_drain_handlers();
+    let handle = server.spawn();
+    while !SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let synced = handle.drain();
+    eprintln!("modref-serve drained ({synced} journals synced)");
     Ok(())
 }
 
 /// Drives a running daemon from a script; query reports go to stdout
-/// verbatim, acks to stderr. Exit contract matches `analyze`: 0 clean,
-/// 3 if any response was degraded, 1 on errors.
-fn client(addr: &str, script_path: &str) -> Result<RunStatus, Box<dyn Error>> {
+/// verbatim, acks to stderr. Refused connects and `overloaded` responses
+/// retry with backoff (`--retries 1` disables). Exit contract matches
+/// `analyze`: 0 clean, 3 if any response was degraded, 1 on errors.
+fn client(
+    addr: &str,
+    script_path: &str,
+    retries: u32,
+    retry_base_ms: u64,
+) -> Result<RunStatus, Box<dyn Error>> {
     let addr = parse_addr(addr)?;
     let text = fs::read_to_string(script_path)
         .map_err(|e| format!("cannot read `{script_path}`: {e}"))?;
@@ -126,16 +196,22 @@ fn client(addr: &str, script_path: &str) -> Result<RunStatus, Box<dyn Error>> {
         .parent()
         .filter(|p| !p.as_os_str().is_empty())
         .unwrap_or_else(|| std::path::Path::new("."));
-    let outcome = modref_serve::run_drive(
+    let policy = modref_serve::RetryPolicy {
+        attempts: retries,
+        base_ms: retry_base_ms,
+        ..modref_serve::RetryPolicy::default()
+    };
+    let outcome = modref_serve::run_drive_with(
         addr,
         &text,
         base,
         &mut std::io::stdout(),
         &mut std::io::stderr(),
+        &policy,
     )?;
     Ok(match outcome {
         modref_serve::DriveOutcome::Degraded => RunStatus::Degraded,
-        // `run_drive` reports failures through `Err`.
+        // `run_drive_with` reports failures through `Err`.
         modref_serve::DriveOutcome::Clean | modref_serve::DriveOutcome::Failed => RunStatus::Clean,
     })
 }

@@ -19,7 +19,10 @@ usage:
   modref trace-check <trace.json>
   modref serve    --addr <host:port> [--max-sessions N] [--threads N]
                   [--request-budget-ops N] [--request-timeout-ms N]
+                  [--state-dir <dir>] [--fsync always|never] [--no-evict]
+                  [--max-conns N]
   modref client   --addr <host:port> <drive.script>
+                  [--retries N] [--retry-base-ms N]
 
 exit codes:
   0 success   1 input/analysis error   2 usage error
@@ -106,11 +109,13 @@ pub enum Command {
         /// Statement budget.
         fuel: u64,
     },
-    /// Run the analysis daemon until killed.
+    /// Run the analysis daemon until killed (SIGTERM/SIGINT drain
+    /// gracefully).
     Serve {
         /// Listen address, `host:port` (port 0 picks a free port).
         addr: String,
-        /// Cap on concurrently open sessions.
+        /// Cap on concurrently *live* sessions (a soft cap unless
+        /// `no_evict`).
         max_sessions: usize,
         /// Default per-request op budget.
         request_budget_ops: Option<u64>,
@@ -118,6 +123,14 @@ pub enum Command {
         request_timeout_ms: Option<u64>,
         /// Worker-thread count for each session's pooled phases.
         threads: Option<usize>,
+        /// Directory for per-session durable edit journals.
+        state_dir: Option<String>,
+        /// Hard-fail opens at the session cap instead of LRU-evicting.
+        no_evict: bool,
+        /// Journal fsync policy: `always` (default) or `never`.
+        fsync: String,
+        /// Cap on concurrent connections before load shedding.
+        max_conns: usize,
     },
     /// Drive a running daemon from a script.
     Client {
@@ -125,6 +138,11 @@ pub enum Command {
         addr: String,
         /// Drive-script path (program/edit paths resolve relative to it).
         script: String,
+        /// Attempts for refused connects and `overloaded` responses
+        /// (1 = no retries).
+        retries: u32,
+        /// Base backoff sleep in milliseconds.
+        retry_base_ms: u64,
     },
 }
 
@@ -304,8 +322,35 @@ impl Command {
                 let mut request_budget_ops = None;
                 let mut request_timeout_ms = None;
                 let mut threads = None;
+                let mut state_dir = None;
+                let mut no_evict = false;
+                let mut fsync = "always".to_owned();
+                let mut max_conns = 256usize;
                 while let Some(a) = it.next() {
                     match a.as_str() {
+                        "--state-dir" => {
+                            let v = it.next().ok_or("--state-dir needs a directory")?;
+                            state_dir = Some(v.clone());
+                        }
+                        "--no-evict" => no_evict = true,
+                        "--fsync" => {
+                            let v = it.next().ok_or("--fsync needs always|never")?;
+                            if v != "always" && v != "never" {
+                                return Err(format!(
+                                    "bad --fsync `{v}` (expected always or never)"
+                                ));
+                            }
+                            fsync = v.clone();
+                        }
+                        "--max-conns" => {
+                            let v = it.next().ok_or("--max-conns needs a value")?;
+                            let n: usize =
+                                v.parse().map_err(|_| format!("bad --max-conns `{v}`"))?;
+                            if n == 0 {
+                                return Err("--max-conns must be at least 1".into());
+                            }
+                            max_conns = n;
+                        }
                         "--addr" => {
                             let v = it.next().ok_or("--addr needs a host:port value")?;
                             addr = Some(v.clone());
@@ -358,16 +403,37 @@ impl Command {
                     request_budget_ops,
                     request_timeout_ms,
                     threads,
+                    state_dir,
+                    no_evict,
+                    fsync,
+                    max_conns,
                 })
             }
             "client" => {
                 let mut addr = None;
                 let mut script = None;
+                let mut retries = 8u32;
+                let mut retry_base_ms = 10u64;
                 while let Some(a) = it.next() {
                     match a.as_str() {
                         "--addr" => {
                             let v = it.next().ok_or("--addr needs a host:port value")?;
                             addr = Some(v.clone());
+                        }
+                        "--retries" => {
+                            let v = it.next().ok_or("--retries needs a value")?;
+                            let n: u32 = v.parse().map_err(|_| format!("bad --retries `{v}`"))?;
+                            if n == 0 {
+                                return Err(
+                                    "--retries must be at least 1 (1 = no retries)".into()
+                                );
+                            }
+                            retries = n;
+                        }
+                        "--retry-base-ms" => {
+                            let v = it.next().ok_or("--retry-base-ms needs a value")?;
+                            retry_base_ms =
+                                v.parse().map_err(|_| format!("bad --retry-base-ms `{v}`"))?;
                         }
                         flag if flag.starts_with('-') => {
                             return Err(format!("unknown flag `{flag}`"))
@@ -378,6 +444,8 @@ impl Command {
                 Ok(Command::Client {
                     addr: addr.ok_or("missing --addr host:port")?,
                     script: script.ok_or("missing drive script")?,
+                    retries,
+                    retry_base_ms,
                 })
             }
             other => Err(format!("unknown command `{other}`")),
@@ -576,6 +644,10 @@ mod tests {
                 request_budget_ops: None,
                 request_timeout_ms: None,
                 threads: None,
+                state_dir: None,
+                no_evict: false,
+                fsync: "always".into(),
+                max_conns: 256,
             }
         );
         let cmd = parse(&[
@@ -590,6 +662,13 @@ mod tests {
             "250",
             "--threads",
             "4",
+            "--state-dir",
+            "/tmp/modref-state",
+            "--no-evict",
+            "--fsync",
+            "never",
+            "--max-conns",
+            "32",
         ])
         .expect("parses");
         assert_eq!(
@@ -600,12 +679,22 @@ mod tests {
                 request_budget_ops: Some(50_000),
                 request_timeout_ms: Some(250),
                 threads: Some(4),
+                state_dir: Some("/tmp/modref-state".into()),
+                no_evict: true,
+                fsync: "never".into(),
+                max_conns: 32,
             }
         );
         assert!(parse(&["serve"]).unwrap_err().contains("missing --addr"));
         assert!(parse(&["serve", "--addr", "x:1", "--max-sessions", "0"])
             .unwrap_err()
             .contains("--max-sessions must be at least 1"));
+        assert!(parse(&["serve", "--addr", "x:1", "--fsync", "sometimes"])
+            .unwrap_err()
+            .contains("bad --fsync"));
+        assert!(parse(&["serve", "--addr", "x:1", "--max-conns", "0"])
+            .unwrap_err()
+            .contains("--max-conns must be at least 1"));
     }
 
     #[test]
@@ -616,6 +705,28 @@ mod tests {
             Command::Client {
                 addr: "127.0.0.1:7788".into(),
                 script: "drive.txt".into(),
+                retries: 8,
+                retry_base_ms: 10,
+            }
+        );
+        let cmd = parse(&[
+            "client",
+            "--addr",
+            "127.0.0.1:7788",
+            "drive.txt",
+            "--retries",
+            "3",
+            "--retry-base-ms",
+            "25",
+        ])
+        .expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Client {
+                addr: "127.0.0.1:7788".into(),
+                script: "drive.txt".into(),
+                retries: 3,
+                retry_base_ms: 25,
             }
         );
         assert!(parse(&["client", "drive.txt"])
@@ -624,6 +735,9 @@ mod tests {
         assert!(parse(&["client", "--addr", "x:1"])
             .unwrap_err()
             .contains("missing drive script"));
+        assert!(parse(&["client", "--addr", "x:1", "d.txt", "--retries", "0"])
+            .unwrap_err()
+            .contains("--retries must be at least 1"));
     }
 
     #[test]

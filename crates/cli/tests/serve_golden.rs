@@ -168,7 +168,9 @@ fn bad_addr_is_a_pinned_usage_surface() {
 
 #[test]
 fn session_limit_rejects_the_extra_open_with_exit_1() {
-    let server = ServeProc::start(&["--max-sessions", "1"]);
+    // `--no-evict` keeps the PR 7 hard-cap contract: the extra open is a
+    // pinned error, not an eviction.
+    let server = ServeProc::start(&["--max-sessions", "1", "--no-evict"]);
     let dir = temp_dir("limit");
     std::fs::copy(
         workspace_root().join("examples/programs/demo.mp"),
@@ -189,6 +191,36 @@ fn session_limit_rejects_the_extra_open_with_exit_1() {
     // answers on a fresh connection.
     let out = run_client(&server, &dir, "query a all\nclose a\n");
     assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_str(&out));
+}
+
+#[test]
+fn session_cap_is_soft_by_default_evicting_and_resurrecting_lru() {
+    let server = ServeProc::start(&["--max-sessions", "1"]);
+    let dir = temp_dir("soft-cap");
+    std::fs::copy(
+        workspace_root().join("examples/programs/demo.mp"),
+        dir.join("demo.mp"),
+    )
+    .expect("demo copies");
+
+    // The second open parks `a` instead of failing; querying `a` again
+    // resurrects it (parking `b`), bit-identical to the batch report.
+    let out = run_client(
+        &server,
+        &dir,
+        "open a demo.mp\nopen b demo.mp\nquery a all\nstats\nclose a\nclose b\n",
+    );
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_str(&out));
+
+    let batch = modref(&["analyze", "examples/programs/demo.mp", "--json"]);
+    assert_eq!(batch.status.code(), Some(0));
+    assert_eq!(
+        out.stdout, batch.stdout,
+        "resurrected session's report differs from the batch report"
+    );
+    let err = stderr_str(&out);
+    assert!(err.contains("evictions=2"), "stderr: {err}");
+    assert!(err.contains("recoveries=1"), "stderr: {err}");
 }
 
 /// Sends raw bytes to the server and returns the (length-stripped)

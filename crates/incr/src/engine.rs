@@ -76,6 +76,26 @@ use modref_trace::Trace;
 
 use modref_core::AliasPairs;
 
+use crate::script::Script;
+
+/// A failure replaying a recorded edit history
+/// ([`IncrementalEngine::replay_history`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayError {
+    /// 0-based index of the offending history entry.
+    pub index: usize,
+    /// What went wrong: a parse, resolution, or apply failure.
+    pub message: String,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "history entry {}: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
 /// All result sets, in the same shape the batch [`Summary`] reports them.
 ///
 /// [`Summary`]: modref_core::Summary
@@ -420,6 +440,39 @@ impl IncrementalEngine {
                 })
             }
         }
+    }
+
+    /// Replays a recorded edit history — one edit-script line per entry,
+    /// in the `--edits` grammar — through the same
+    /// `Script::parse → resolve → apply` pipeline interactive edits use,
+    /// so a replayed engine is bit-identical to one that applied the
+    /// edits live. This is how `modref serve` resurrects a session from
+    /// its journal or parked history. Returns the number of edits
+    /// applied. Runs unguarded (recovery is not a budgeted request); a
+    /// contained panic degrades soundly rather than propagating, and the
+    /// caller's bit-identity check decides what to do about it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReplayError`] naming the first entry that fails to
+    /// parse, resolve, or apply. The engine keeps the state produced by
+    /// the entries before it.
+    pub fn replay_history<'a, I>(&mut self, history: I) -> Result<u64, ReplayError>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut applied = 0u64;
+        for (index, line) in history.into_iter().enumerate() {
+            let fail = |message: String| ReplayError { index, message };
+            let script = Script::parse(line).map_err(|e| fail(e.message))?;
+            for step in script.steps() {
+                let edit = step.resolve(&self.program).map_err(|e| fail(e.message))?;
+                self.apply_guarded(&edit, &Guard::unlimited())
+                    .map_err(|e| fail(e.to_string()))?;
+                applied += 1;
+            }
+        }
+        Ok(applied)
     }
 
     /// Conservative results for the current program: every set is widened

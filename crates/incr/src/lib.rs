@@ -35,6 +35,7 @@ pub mod script;
 
 pub use engine::{
     IncrDegradeReason, IncrDelta, IncrOutcome, IncrStats, IncrementalEngine, IncrementalExt,
+    ReplayError,
 };
 pub use modref_ir::{Edit, EditDelta, EditError};
 pub use render::SiteSets;

@@ -21,9 +21,83 @@
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::path::Path;
+use std::time::Duration;
 
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::proto::{Envelope, QueryTarget, Request, Response, Status};
+
+/// Retry behaviour for connects and `overloaded` responses: capped
+/// exponential backoff with decorrelated jitter
+/// (`sleep = min(cap, uniform(base, prev * 3))`), seeded so test runs
+/// are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retries).
+    pub attempts: u32,
+    /// Smallest sleep between attempts, in milliseconds.
+    pub base_ms: u64,
+    /// Largest sleep between attempts, in milliseconds.
+    pub cap_ms: u64,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 8,
+            base_ms: 10,
+            cap_ms: 1000,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: fail on the first refusal, PR 7 style.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// Decorrelated-jitter sleep sequence over a [`RetryPolicy`].
+struct Jitter {
+    state: u64,
+    prev_ms: u64,
+    base_ms: u64,
+    cap_ms: u64,
+}
+
+impl Jitter {
+    fn new(policy: &RetryPolicy) -> Jitter {
+        Jitter {
+            state: policy.seed,
+            prev_ms: policy.base_ms,
+            base_ms: policy.base_ms,
+            cap_ms: policy.cap_ms.max(policy.base_ms),
+        }
+    }
+
+    /// The next sleep, never below `floor` (the server's
+    /// `retry_after_ms` hint) and never above the cap.
+    fn next_ms(&mut self, floor: u64) -> u64 {
+        // splitmix64: small, seedable, good enough for jitter.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let hi = (self.prev_ms.saturating_mul(3)).max(self.base_ms + 1);
+        let ms = (self.base_ms + z % (hi - self.base_ms))
+            .min(self.cap_ms)
+            .max(floor.min(self.cap_ms));
+        self.prev_ms = ms.max(self.base_ms);
+        ms
+    }
+}
 
 /// How a drive run ended, mirroring the CLI's three-valued exit
 /// contract.
@@ -42,19 +116,79 @@ pub enum DriveOutcome {
 /// One connection to a running server.
 pub struct Client {
     stream: TcpStream,
+    addr: SocketAddr,
     next_id: u64,
 }
 
 impl Client {
-    /// Connects to `addr`.
+    /// Connects to `addr` with a single attempt.
     ///
     /// # Errors
     ///
     /// The connect failure, as a display string.
     pub fn connect(addr: SocketAddr) -> Result<Client, String> {
-        let stream = TcpStream::connect(addr)
-            .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-        Ok(Client { stream, next_id: 1 })
+        Client::connect_with_retry(addr, &RetryPolicy::none())
+    }
+
+    /// Connects to `addr`, retrying refused/failed connects under
+    /// `policy` — the "server boots late" path.
+    ///
+    /// # Errors
+    ///
+    /// The last connect failure, after exhausting the attempts.
+    pub fn connect_with_retry(addr: SocketAddr, policy: &RetryPolicy) -> Result<Client, String> {
+        let attempts = policy.attempts.max(1);
+        let mut jitter = Jitter::new(policy);
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    return Ok(Client {
+                        stream,
+                        addr,
+                        next_id: 1,
+                    })
+                }
+                Err(e) => last = format!("cannot connect to {addr}: {e}"),
+            }
+            if attempt + 1 < attempts {
+                std::thread::sleep(Duration::from_millis(jitter.next_ms(0)));
+            }
+        }
+        Err(format!("{last} (after {attempts} attempts)"))
+    }
+
+    /// [`Client::request`], retrying `overloaded` responses under
+    /// `policy`: sleep at least the server's `retry_after_ms` hint (with
+    /// decorrelated jitter on top), reconnect — the server may have shed
+    /// the connection along with the request — and resend. Transport
+    /// failures are **not** retried: a lost response is ambiguous (the
+    /// edit may have applied), an explicit `overloaded` refusal is not.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn request_retrying(
+        &mut self,
+        request: Request,
+        policy: &RetryPolicy,
+    ) -> Result<Response, String> {
+        let attempts = policy.attempts.max(1);
+        let mut jitter = Jitter::new(policy);
+        let mut attempt = 0;
+        loop {
+            let resp = self.request(request.clone())?;
+            attempt += 1;
+            if resp.status != Status::Overloaded || attempt >= attempts {
+                return Ok(resp);
+            }
+            let hint = resp.uint_field("retry_after_ms").unwrap_or(0);
+            std::thread::sleep(Duration::from_millis(jitter.next_ms(hint)));
+            if let Ok(fresh) = TcpStream::connect(self.addr) {
+                self.stream = fresh;
+                self.next_id = 1;
+            }
+        }
     }
 
     /// Sends `request` and blocks for its response. Ids are assigned
@@ -187,8 +321,27 @@ pub fn run_drive<W: Write, E: Write>(
     out: &mut W,
     err: &mut E,
 ) -> Result<DriveOutcome, String> {
+    run_drive_with(addr, script, base_dir, out, err, &RetryPolicy::default())
+}
+
+/// [`run_drive`] with an explicit [`RetryPolicy`] (the CLI's
+/// `--retries`/`--retry-base-ms` knobs): connects retry refused servers,
+/// `overloaded` responses retry after the server's hint. An `overloaded`
+/// that survives every retry fails the drive, like an error.
+///
+/// # Errors
+///
+/// See [`run_drive`].
+pub fn run_drive_with<W: Write, E: Write>(
+    addr: SocketAddr,
+    script: &str,
+    base_dir: &Path,
+    out: &mut W,
+    err: &mut E,
+    policy: &RetryPolicy,
+) -> Result<DriveOutcome, String> {
     let cmds = parse_drive(script)?;
-    let mut client = Client::connect(addr)?;
+    let mut client = Client::connect_with_retry(addr, policy)?;
     let mut degraded = false;
     for (line_no, cmd) in cmds {
         let request = match &cmd {
@@ -212,12 +365,19 @@ pub fn run_drive<W: Write, E: Write>(
             DriveCmd::Stats => Request::Stats,
         };
         let resp = client
-            .request(request)
+            .request_retrying(request, policy)
             .map_err(|e| format!("drive line {line_no}: {e}"))?;
         match resp.status {
             Status::Error => {
                 let msg = resp.str_field("error").unwrap_or("unknown error");
                 return Err(format!("drive line {line_no}: server error: {msg}"));
+            }
+            Status::Overloaded => {
+                let msg = resp.str_field("reason").unwrap_or("server overloaded");
+                return Err(format!(
+                    "drive line {line_no}: still overloaded after {} attempts: {msg}",
+                    policy.attempts.max(1)
+                ));
             }
             Status::Degraded => degraded = true,
             Status::Ok => {}
@@ -283,13 +443,19 @@ fn report_response<W: Write, E: Write>(
             note(
                 err,
                 &format!(
-                    "stats: sessions={} connections={} requests={} ok={} degraded={} errors={}",
+                    "stats: sessions={} connections={} requests={} ok={} degraded={} errors={} \
+                     parked={} evictions={} recoveries={} shed={} journal_bytes={}",
                     field("sessions"),
                     field("connections"),
                     field("requests"),
                     field("ok"),
                     field("degraded"),
-                    field("errors")
+                    field("errors"),
+                    field("parked"),
+                    field("evictions"),
+                    field("recoveries"),
+                    field("shed"),
+                    field("journal_bytes")
                 ),
             )
         }

@@ -7,8 +7,10 @@
 //! rejected, session state unchanged beyond any named applied prefix —
 //! exit 1), `"degraded"` (the request was served under a tripped budget,
 //! deadline, or contained fault; any reported sets are sound
-//! over-approximations — exit 3). See `docs/SERVER.md` for the full
-//! schema.
+//! over-approximations — exit 3). A fourth status, `"overloaded"`,
+//! carries no result at all: the server shed the request under
+//! admission control and the client should retry after the
+//! `retry_after_ms` hint. See `docs/SERVER.md` for the full schema.
 //!
 //! Parsing uses the dependency-free [`modref_trace::parse_json`]; both
 //! sides render with [`modref_trace::escape_json`], so the wire format
@@ -258,7 +260,8 @@ impl Envelope {
     }
 }
 
-/// Response status — the wire form of the CLI's 0/1/3 exit contract.
+/// Response status — the wire form of the CLI's 0/1/3 exit contract,
+/// plus the admission-control refusal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {
     /// Exact results.
@@ -268,6 +271,11 @@ pub enum Status {
     Degraded,
     /// Rejected; nothing (beyond any named applied prefix) changed.
     Error,
+    /// Shed under load: the server is at capacity (session table full
+    /// with nothing evictable, or too many connections). Nothing
+    /// changed; the response carries a `retry_after_ms` hint and the
+    /// request is safe to resend after backing off.
+    Overloaded,
 }
 
 impl Status {
@@ -277,6 +285,7 @@ impl Status {
             Status::Ok => "ok",
             Status::Degraded => "degraded",
             Status::Error => "error",
+            Status::Overloaded => "overloaded",
         }
     }
 }
@@ -295,12 +304,44 @@ pub fn resp_error(id: Option<u64>, message: &str) -> String {
     )
 }
 
-/// A successful `open`.
-pub fn resp_open(id: u64, session: &str, procs: usize, sites: usize, vars: usize) -> String {
-    format!(
-        "{{\"id\":{id},\"status\":\"ok\",\"op\":\"open\",\"session\":\"{}\",\
-         \"procs\":{procs},\"sites\":{sites},\"vars\":{vars}}}",
+/// A successful `open`. `resurrected` is set when the session was
+/// rebuilt from its journal or parked history rather than analysed
+/// fresh; `degraded` carries a reason when the session opened but its
+/// durability could not be established (journal create/append failed).
+pub fn resp_open(
+    id: u64,
+    session: &str,
+    procs: usize,
+    sites: usize,
+    vars: usize,
+    resurrected: bool,
+    degraded: Option<&str>,
+) -> String {
+    use std::fmt::Write as _;
+    let status = if degraded.is_some() { "degraded" } else { "ok" };
+    let mut out = format!(
+        "{{\"id\":{id},\"status\":\"{status}\",\"op\":\"open\",\"session\":\"{}\",\
+         \"procs\":{procs},\"sites\":{sites},\"vars\":{vars}",
         escape_json(session)
+    );
+    if resurrected {
+        out.push_str(",\"resurrected\":true");
+    }
+    if let Some(reason) = degraded {
+        let _ = write!(out, ",\"reason\":\"{}\"", escape_json(reason));
+    }
+    out.push('}');
+    out
+}
+
+/// An admission-control refusal: the server shed this request and the
+/// client should retry after roughly `retry_after_ms` milliseconds.
+pub fn resp_overloaded(id: Option<u64>, retry_after_ms: u64, reason: &str) -> String {
+    format!(
+        "{{\"id\":{},\"status\":\"overloaded\",\"retry_after_ms\":{retry_after_ms},\
+         \"reason\":\"{}\"}}",
+        id_json(id),
+        escape_json(reason)
     )
 }
 
@@ -356,8 +397,11 @@ pub fn resp_close(id: u64, session: &str) -> String {
 /// [`resp_stats`] and parsed back by the client.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
-    /// Sessions currently open.
+    /// Sessions currently live (engine resident in memory).
     pub sessions: usize,
+    /// Sessions evicted to their journal/history, resurrectable on the
+    /// next request that names them.
+    pub parked: usize,
     /// Connections accepted so far.
     pub connections: u64,
     /// Requests parsed (including ones answered with an error).
@@ -368,6 +412,16 @@ pub struct StatsSnapshot {
     pub degraded: u64,
     /// See [`StatsSnapshot::ok`].
     pub errors: u64,
+    /// Sessions evicted (parked) to make room under `--max-sessions`.
+    pub evictions: u64,
+    /// Sessions rebuilt from a journal or parked history (startup
+    /// recovery + transparent resurrection).
+    pub recoveries: u64,
+    /// Requests/connections answered `overloaded` and shed.
+    pub shed: u64,
+    /// Journal bytes written by this process plus bytes recovered at
+    /// startup.
+    pub journal_bytes: u64,
     /// Sum of per-request latencies, microseconds.
     pub latency_total_us: u64,
     /// Worst single request latency, microseconds.
@@ -379,16 +433,22 @@ pub struct StatsSnapshot {
 /// A `stats` response.
 pub fn resp_stats(id: u64, s: &StatsSnapshot) -> String {
     format!(
-        "{{\"id\":{id},\"status\":\"ok\",\"op\":\"stats\",\"sessions\":{},\
+        "{{\"id\":{id},\"status\":\"ok\",\"op\":\"stats\",\"sessions\":{},\"parked\":{},\
          \"connections\":{},\"requests\":{},\"ok\":{},\"degraded\":{},\"errors\":{},\
+         \"evictions\":{},\"recoveries\":{},\"shed\":{},\"journal_bytes\":{},\
          \"latency_total_us\":{},\"latency_max_us\":{},\
          \"per_op\":{{\"open\":{},\"edit\":{},\"query\":{},\"close\":{},\"stats\":{}}}}}",
         s.sessions,
+        s.parked,
         s.connections,
         s.requests,
         s.ok,
         s.degraded,
         s.errors,
+        s.evictions,
+        s.recoveries,
+        s.shed,
+        s.journal_bytes,
         s.latency_total_us,
         s.latency_max_us,
         s.per_op[0],
@@ -425,6 +485,7 @@ impl Response {
             Some("ok") => Status::Ok,
             Some("degraded") => Status::Degraded,
             Some("error") => Status::Error,
+            Some("overloaded") => Status::Overloaded,
             Some(other) => return Err(format!("unknown response status `{other}`")),
             None => return Err("response is missing `status`".to_owned()),
         };
@@ -538,10 +599,27 @@ mod tests {
 
     #[test]
     fn responses_parse_status_and_fields() {
-        let r = Response::parse(resp_open(3, "s1", 2, 1, 4).as_bytes()).expect("parses");
+        let r = Response::parse(resp_open(3, "s1", 2, 1, 4, false, None).as_bytes())
+            .expect("parses");
         assert_eq!(r.id, Some(3));
         assert_eq!(r.status, Status::Ok);
         assert_eq!(r.uint_field("procs"), Some(2));
+        assert!(r.body.get("resurrected").is_none());
+
+        let r = Response::parse(
+            resp_open(4, "s1", 2, 1, 4, true, Some("journal unavailable")).as_bytes(),
+        )
+        .expect("parses");
+        assert_eq!(r.status, Status::Degraded);
+        assert_eq!(r.str_field("reason"), Some("journal unavailable"));
+        assert!(matches!(r.body.get("resurrected"), Some(Json::Bool(true))));
+
+        let r = Response::parse(resp_overloaded(Some(9), 50, "session table busy").as_bytes())
+            .expect("parses");
+        assert_eq!(r.id, Some(9));
+        assert_eq!(r.status, Status::Overloaded);
+        assert_eq!(r.uint_field("retry_after_ms"), Some(50));
+        assert_eq!(r.str_field("reason"), Some("session table busy"));
 
         let r = Response::parse(resp_error(None, "frame: zero-length frame").as_bytes())
             .expect("parses");
@@ -561,18 +639,28 @@ mod tests {
     fn stats_snapshot_round_trips() {
         let snap = StatsSnapshot {
             sessions: 2,
+            parked: 3,
             connections: 5,
             requests: 41,
             ok: 38,
             degraded: 2,
             errors: 1,
+            evictions: 6,
+            recoveries: 4,
+            shed: 9,
+            journal_bytes: 2048,
             latency_total_us: 123456,
             latency_max_us: 9001,
             per_op: [4, 10, 24, 2, 1],
         };
         let r = Response::parse(resp_stats(7, &snap).as_bytes()).expect("parses");
         assert_eq!(r.uint_field("sessions"), Some(2));
+        assert_eq!(r.uint_field("parked"), Some(3));
         assert_eq!(r.uint_field("requests"), Some(41));
+        assert_eq!(r.uint_field("evictions"), Some(6));
+        assert_eq!(r.uint_field("recoveries"), Some(4));
+        assert_eq!(r.uint_field("shed"), Some(9));
+        assert_eq!(r.uint_field("journal_bytes"), Some(2048));
         assert_eq!(r.uint_field("latency_max_us"), Some(9001));
         let per_op = r.body.get("per_op").expect("per_op");
         assert_eq!(per_op.get("query").and_then(Json::as_num), Some(24.0));

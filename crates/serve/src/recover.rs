@@ -1,0 +1,296 @@
+//! Startup recovery: rebuild sessions from their journals and prove it.
+//!
+//! `Server::bind` calls [`recover_dir`] when a `--state-dir` is
+//! configured. Every `*.journal` file is scanned ([`crate::journal`]);
+//! torn tails are truncated back to the last complete record. The most
+//! recently touched journals — up to the live-session cap — are rebuilt
+//! into [`IncrementalEngine`]s by replaying their snapshot + edit history
+//! through the same pipeline live edits use, and every rebuilt engine is
+//! **verified bit-identical** against a from-scratch [`Analyzer`] on the
+//! recovered program before it is trusted. Journals beyond the cap are
+//! recovered as *parked* history (source + edit lines, no engine) and
+//! resurrect on first use.
+//!
+//! Failure handling is conservative and total:
+//!
+//! * a fault at the `serve.recover` guard site (or a contained panic
+//!   there) *skips* the file — it stays on disk, untouched, and a later
+//!   `open` of that session resurrects it;
+//! * a journal whose *data* cannot be trusted — no snapshot record, a
+//!   program that no longer parses, a history that no longer replays, or
+//!   a rebuilt engine that fails the bit-identity check — is
+//!   **quarantined**: renamed to `<name>.bad` so it never poisons a
+//!   session name, but never deleted.
+
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+use modref_core::Analyzer;
+use modref_guard::Guard;
+use modref_incr::render::{render_json, SiteSets};
+use modref_incr::{IncrementalEngine, IncrementalExt};
+use modref_trace::Trace;
+
+use crate::journal::{scan_journal, session_for, truncate_to, FsyncPolicy, Journal, JournalRecord};
+
+/// What startup recovery did, for the `serve` verb's summary line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Sessions rebuilt into live engines and verified against scratch.
+    pub recovered: usize,
+    /// Journals recovered as parked history (beyond the live cap).
+    pub parked: usize,
+    /// Journals renamed to `.bad` because their data could not be
+    /// trusted.
+    pub quarantined: usize,
+    /// Journals whose torn tail was truncated back to the last complete
+    /// record.
+    pub truncated_tails: usize,
+    /// Journals skipped under an injected `serve.recover` fault (left on
+    /// disk for on-demand resurrection).
+    pub skipped: usize,
+}
+
+/// A session rebuilt from its journal, ready for the live table.
+pub struct RecoveredSession {
+    /// Session name, from the snapshot record.
+    pub name: String,
+    /// The program source the session was opened with.
+    pub source: String,
+    /// Every applied edit line, in order.
+    pub history: Vec<String>,
+    /// `history.len()`, as the live counter.
+    pub edits_applied: u64,
+    /// The replayed, verified engine.
+    pub engine: IncrementalEngine,
+    /// The journal, reopened for appending.
+    pub journal: Journal,
+    /// Size of the clean journal prefix on disk.
+    pub bytes: u64,
+}
+
+/// A journal recovered as history only (beyond the live cap): the server
+/// parks it and resurrects on first use.
+pub struct ParkedRecovery {
+    /// Session name, from the snapshot record.
+    pub name: String,
+    /// The program source the session was opened with.
+    pub source: String,
+    /// Every applied edit line, in order.
+    pub history: Vec<String>,
+    /// Size of the clean journal prefix on disk.
+    pub bytes: u64,
+}
+
+/// The scanned, trusted content of one journal file.
+struct JournalContent {
+    name: String,
+    source: String,
+    history: Vec<String>,
+    bytes: u64,
+    truncated: bool,
+}
+
+/// Scans `path`, truncates a torn tail, and validates the record shape
+/// (snapshot first, edits after).
+fn read_content(path: &Path) -> Result<JournalContent, String> {
+    let scan = scan_journal(path).map_err(|e| format!("cannot read journal: {e}"))?;
+    if scan.torn {
+        truncate_to(path, scan.good_bytes)
+            .map_err(|e| format!("cannot truncate torn journal tail: {e}"))?;
+    }
+    let mut records = scan.records.into_iter();
+    let (name, source) = match records.next() {
+        Some(JournalRecord::Snapshot { session, program }) => (session, program),
+        Some(JournalRecord::Edit { .. }) => {
+            return Err("journal starts with an edit record, not a snapshot".to_owned())
+        }
+        None => return Err("journal holds no complete records".to_owned()),
+    };
+    if session_for(path).as_deref() != Some(name.as_str()) {
+        return Err(format!(
+            "journal filename does not decode to its snapshot session `{name}`"
+        ));
+    }
+    let mut history = Vec::new();
+    for rec in records {
+        match rec {
+            JournalRecord::Edit { line } => history.push(line),
+            JournalRecord::Snapshot { .. } => {
+                return Err("journal holds a second snapshot record".to_owned())
+            }
+        }
+    }
+    Ok(JournalContent {
+        name,
+        source,
+        history,
+        bytes: scan.good_bytes,
+        truncated: scan.torn,
+    })
+}
+
+/// Rebuilds one engine from trusted journal content: parse the snapshot,
+/// replay the history, verify bit-identity against scratch.
+fn rebuild_engine(
+    source: &str,
+    history: &[String],
+    threads: Option<usize>,
+    trace: &Trace,
+) -> Result<IncrementalEngine, String> {
+    let program =
+        modref_frontend::parse_program(source).map_err(|e| format!("snapshot parse error: {e}"))?;
+    let mut analyzer = Analyzer::new();
+    analyzer.with_trace(trace.clone());
+    if let Some(t) = threads {
+        analyzer.threads(t);
+    }
+    let mut engine = analyzer.incremental(program);
+    engine
+        .replay_history(history.iter().map(String::as_str))
+        .map_err(|e| format!("history replay failed: {e}"))?;
+    verify_engine(&engine)?;
+    Ok(engine)
+}
+
+/// Proves a rebuilt engine bit-identical to a from-scratch [`Analyzer`]
+/// on the recovered program — the recovery acceptance contract.
+pub fn verify_engine(engine: &IncrementalEngine) -> Result<(), String> {
+    let program = engine.program();
+    let live = render_json(program, &SiteSets::from_engine(engine));
+    let summary = Analyzer::new().analyze(program);
+    let scratch = render_json(program, &SiteSets::from_summary(program, &summary));
+    if live == scratch {
+        Ok(())
+    } else {
+        Err("recovered results diverge from a from-scratch analysis".to_owned())
+    }
+}
+
+/// Recovers one journal file into a live, verified session.
+///
+/// # Errors
+///
+/// A human-readable reason the journal's *data* cannot be trusted; the
+/// caller quarantines. Torn tails are not errors (the scan truncates and
+/// recovery proceeds with the clean prefix); `truncated` reports them.
+pub fn recover_file(
+    path: &Path,
+    threads: Option<usize>,
+    trace: &Trace,
+    policy: FsyncPolicy,
+) -> Result<(RecoveredSession, bool), String> {
+    let content = read_content(path)?;
+    let engine = rebuild_engine(&content.source, &content.history, threads, trace)?;
+    let journal = Journal::append_to(path, policy)
+        .map_err(|e| format!("cannot reopen journal for appending: {e}"))?;
+    let truncated = content.truncated;
+    Ok((
+        RecoveredSession {
+            name: content.name,
+            source: content.source,
+            edits_applied: content.history.len() as u64,
+            history: content.history,
+            engine,
+            journal,
+            bytes: content.bytes,
+        },
+        truncated,
+    ))
+}
+
+/// Quarantines a journal the recovery cannot trust: rename to
+/// `<file>.bad` (best-effort — a rename failure leaves it in place).
+pub(crate) fn quarantine(path: &Path) {
+    let mut bad = path.as_os_str().to_owned();
+    bad.push(".bad");
+    let _ = std::fs::rename(path, PathBuf::from(bad));
+}
+
+/// Scans `dir` and recovers every `*.journal`: the most recently
+/// modified `max_live` files become live sessions, the rest parked
+/// history. `guard` carries the `serve.recover` fault site; a fault or
+/// contained panic there skips that file.
+pub fn recover_dir(
+    dir: &Path,
+    max_live: usize,
+    threads: Option<usize>,
+    trace: &Trace,
+    policy: FsyncPolicy,
+    guard: &Guard,
+) -> (Vec<RecoveredSession>, Vec<ParkedRecovery>, RecoveryStats) {
+    let mut stats = RecoveryStats::default();
+    let mut live = Vec::new();
+    let mut parked = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return (live, parked, stats);
+    };
+    let mut files: Vec<(SystemTime, PathBuf)> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "journal"))
+        .map(|p| {
+            let mtime = p
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(SystemTime::UNIX_EPOCH);
+            (mtime, p)
+        })
+        .collect();
+    // Newest first; path as the deterministic tie-break.
+    files.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    let mut seen: Vec<String> = Vec::new();
+    for (_, path) in files {
+        let contained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            guard.checkpoint("serve.recover")
+        }));
+        match contained {
+            Ok(Ok(())) => {}
+            Ok(Err(_)) | Err(_) => {
+                stats.skipped += 1;
+                continue;
+            }
+        }
+        if live.len() < max_live {
+            match recover_file(&path, threads, trace, policy) {
+                Ok((session, truncated)) => {
+                    if seen.contains(&session.name) {
+                        stats.skipped += 1;
+                        continue;
+                    }
+                    seen.push(session.name.clone());
+                    stats.recovered += 1;
+                    stats.truncated_tails += usize::from(truncated);
+                    live.push(session);
+                }
+                Err(_) => {
+                    quarantine(&path);
+                    stats.quarantined += 1;
+                }
+            }
+        } else {
+            match read_content(&path) {
+                Ok(content) => {
+                    if seen.contains(&content.name) {
+                        stats.skipped += 1;
+                        continue;
+                    }
+                    seen.push(content.name.clone());
+                    stats.parked += 1;
+                    stats.truncated_tails += usize::from(content.truncated);
+                    parked.push(ParkedRecovery {
+                        name: content.name,
+                        source: content.source,
+                        history: content.history,
+                        bytes: content.bytes,
+                    });
+                }
+                Err(_) => {
+                    quarantine(&path);
+                    stats.quarantined += 1;
+                }
+            }
+        }
+    }
+    (live, parked, stats)
+}

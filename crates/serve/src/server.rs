@@ -1,22 +1,48 @@
 //! The daemon: session table, per-connection frame loops, guarded
-//! request dispatch, and server-wide counters.
+//! request dispatch, durability, admission control, and server-wide
+//! counters.
 //!
-//! One [`IncrementalEngine`] per session, each behind its own lock, so
-//! requests against different sessions run concurrently (one connection
-//! per client thread, any number of sessions per connection) while
+//! One [`IncrementalEngine`] per *live* session, each behind its own
+//! lock, so requests against different sessions run concurrently while
 //! requests against the same session serialize. Every request runs under
 //! its own [`Guard`] — the server's configured budget/deadline defaults,
 //! tightened or replaced by the request's `budget_ops`/`timeout_ms`
 //! fields — so a pathological request degrades *that response* (status
 //! `"degraded"`, sound widened sets) instead of starving sibling
-//! sessions. Contained panics (injected via the `serve.accept`,
-//! `serve.dispatch`, and `serve.session` fault sites, or real bugs)
-//! follow the same ladder; see `docs/SERVER.md` for the exact contract.
+//! sessions. Contained panics (injected via the `serve.*` fault sites,
+//! or real bugs) follow the same ladder; see `docs/SERVER.md`.
+//!
+//! Three robustness layers on top of the PR 7 core:
+//!
+//! * **Durability** — with a [`ServerConfig::state_dir`], every session
+//!   keeps an append-only journal ([`crate::journal`]): a program
+//!   snapshot plus one record per applied edit line, checksummed and
+//!   fsync'd per [`FsyncPolicy`]. `Server::bind` recovers journals into
+//!   verified engines ([`crate::recover`]). Any journal failure — I/O
+//!   error, guard fault at `serve.journal.append`/`serve.journal.fsync`,
+//!   contained panic — latches the session `journal_dead`: the edit
+//!   still applies, the response says `degraded` ("no longer durable"),
+//!   and nothing is ever appended past a missing record, so the on-disk
+//!   journal is always a *prefix* of the applied history.
+//! * **Admission control** — at [`ServerConfig::max_sessions`] live
+//!   engines, an idle LRU session is *parked* (evicted): its engine is
+//!   dropped, its cheap text history stays in the table (and on disk
+//!   when journaled), and any later request that names it transparently
+//!   resurrects it by replay. A session is idle only when the table
+//!   holds the sole reference to it, so an in-flight request can never
+//!   be orphaned. With [`ServerConfig::evict`] off the cap is the PR 7
+//!   hard error. When nothing is evictable — or at
+//!   [`ServerConfig::max_conns`] live connections — the server answers
+//!   `overloaded` with a retry hint instead of failing or hanging.
+//! * **Graceful drain** — [`ServerHandle::drain`] stops accepting,
+//!   half-closes connections so in-flight responses complete, joins the
+//!   handlers, then fsyncs and closes every journal.
 
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -31,16 +57,20 @@ use modref_ir::{CallSiteId, ProcId, Program, VarId};
 use modref_trace::{escape_json, Trace};
 
 use crate::frame::{read_frame, write_frame, FrameError};
+use crate::journal::{self, FsyncPolicy, Journal, JournalRecord};
 use crate::proto::{
-    resp_close, resp_edit, resp_error, resp_open, resp_query, resp_stats, Envelope, Request,
-    Status, StatsSnapshot,
+    resp_close, resp_edit, resp_error, resp_open, resp_overloaded, resp_query, resp_stats,
+    Envelope, Request, Status, StatsSnapshot,
 };
+use crate::recover::{quarantine, recover_dir, recover_file, RecoveryStats};
 
 /// Server-wide configuration, fixed at bind time.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Cap on concurrently open sessions; `open` past it is an error
-    /// response (never a dropped connection).
+    /// Cap on concurrently *live* sessions (engines in memory). With
+    /// [`ServerConfig::evict`] on, reaching it parks the
+    /// least-recently-used idle session; off, the extra `open` is an
+    /// error response (never a dropped connection).
     pub max_sessions: usize,
     /// Default per-request op budget (the CLI's `--request-budget-ops`).
     pub request_budget_ops: Option<u64>,
@@ -50,6 +80,20 @@ pub struct ServerConfig {
     /// Worker-thread count for each session's pooled solver phases
     /// (`modref-par` semantics: `None` defers to `MODREF_THREADS`).
     pub threads: Option<usize>,
+    /// Directory for per-session edit journals (`--state-dir`). `None`
+    /// disables durability: sessions survive eviction (their history
+    /// stays in memory) but not process death.
+    pub state_dir: Option<PathBuf>,
+    /// LRU-evict idle sessions at the cap instead of hard-failing the
+    /// extra `open` (`--no-evict` turns this off). Default on.
+    pub evict: bool,
+    /// When journal appends reach the disk (`--fsync`).
+    pub fsync: FsyncPolicy,
+    /// Cap on concurrent connections; past it, a fresh connection gets
+    /// one `overloaded` frame and is closed (`--max-conns`).
+    pub max_conns: usize,
+    /// The `retry_after_ms` hint carried on `overloaded` responses.
+    pub retry_after_ms: u64,
     /// Fault plan armed on request guards. The CLI arms this from
     /// `MODREF_FAULT` like every other guarded entry point; in-process
     /// tests pin plans explicitly. Never armed implicitly.
@@ -57,8 +101,8 @@ pub struct ServerConfig {
     /// When set, [`ServerConfig::faults`] arms only for requests
     /// addressed to this session — the hook the fault suite uses to
     /// poison one session while its siblings stay healthy. (The
-    /// pre-session `serve.accept` site is armed only when this is
-    /// `None`.)
+    /// pre-session `serve.accept` and `serve.recover`-at-startup sites
+    /// are armed only when this is `None`.)
     pub fault_session: Option<String>,
     /// Trace sink; every request records an `incr.serve` span into it.
     pub trace: Trace,
@@ -71,6 +115,11 @@ impl Default for ServerConfig {
             request_budget_ops: None,
             request_timeout_ms: None,
             threads: None,
+            state_dir: None,
+            evict: true,
+            fsync: FsyncPolicy::Always,
+            max_conns: 256,
+            retry_after_ms: 50,
             faults: None,
             fault_session: None,
             trace: Trace::disabled(),
@@ -78,11 +127,44 @@ impl Default for ServerConfig {
     }
 }
 
-/// One open session: the engine plus bookkeeping.
+/// One live session: the engine plus everything needed to park and
+/// resurrect it.
 struct Session {
     engine: IncrementalEngine,
     /// Edits applied since `open` (including degraded applies).
     edits_applied: u64,
+    /// The program text the session was opened with.
+    source: String,
+    /// Every applied edit line, in order — the in-memory mirror of the
+    /// journal, and the replay script for resurrection.
+    history: Vec<String>,
+    /// The durable journal, when a state dir is configured.
+    journal: Option<Journal>,
+    /// Latched on the first journal failure: the session stays usable
+    /// but every further edit answers `degraded`, and nothing more is
+    /// appended (the on-disk journal stays a prefix of the history).
+    journal_dead: bool,
+}
+
+/// An evicted session: the engine is gone, the cheap text history
+/// remains. Any request that names it resurrects it by replay.
+#[derive(Clone)]
+struct Parked {
+    source: String,
+    history: Vec<String>,
+    edits_applied: u64,
+    journal_dead: bool,
+}
+
+/// A session-table slot.
+enum Slot {
+    /// Engine resident; `last_used` drives LRU eviction.
+    Live {
+        session: Arc<Mutex<Session>>,
+        last_used: u64,
+    },
+    /// Evicted to history.
+    Parked(Parked),
 }
 
 /// Monotone counters, updated lock-free from every handler thread.
@@ -93,6 +175,10 @@ struct Counters {
     ok: AtomicU64,
     degraded: AtomicU64,
     errors: AtomicU64,
+    evictions: AtomicU64,
+    recoveries: AtomicU64,
+    shed: AtomicU64,
+    journal_bytes: AtomicU64,
     latency_total_us: AtomicU64,
     latency_max_us: AtomicU64,
     per_op: [AtomicU64; 5],
@@ -110,9 +196,11 @@ fn op_slot(op: &str) -> usize {
 
 struct Shared {
     cfg: ServerConfig,
-    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    sessions: Mutex<HashMap<String, Slot>>,
     counters: Counters,
     stop: AtomicBool,
+    /// Monotone tick source for LRU `last_used` stamps.
+    use_clock: AtomicU64,
     /// Clones of live connection streams keyed by connection id,
     /// force-closed on shutdown so blocked frame reads drain promptly.
     /// Each handler removes its own entry on exit, so the table tracks
@@ -129,11 +217,25 @@ fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// A bound, not-yet-running server.
+fn clock_tick(shared: &Shared) -> u64 {
+    shared.use_clock.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Adds to the journal-bytes counter and emits the cumulative trace
+/// sample.
+fn add_journal_bytes(shared: &Shared, n: u64) {
+    let total = shared.counters.journal_bytes.fetch_add(n, Ordering::Relaxed) + n;
+    shared.cfg.trace.counter("incr.serve.journal_bytes", total);
+}
+
+/// A bound, not-yet-running server. Binding with a
+/// [`ServerConfig::state_dir`] runs startup recovery before any
+/// connection is accepted; [`Server::recovery`] reports what it did.
 pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
     shared: Arc<Shared>,
+    recovery: RecoveryStats,
 }
 
 /// A handle to a server running on a background thread. Dropping the
@@ -146,25 +248,79 @@ pub struct ServerHandle {
 
 impl Server {
     /// Binds `addr` (port 0 picks a free port; see
-    /// [`Server::local_addr`]).
+    /// [`Server::local_addr`]) and, with a state dir configured, runs
+    /// startup recovery: every journal is scanned (torn tails
+    /// truncated), the most recent ones are replayed into engines and
+    /// verified bit-identical against a from-scratch analysis, untrusted
+    /// files are quarantined to `.bad`.
     ///
     /// # Errors
     ///
-    /// The bind failure, untouched.
+    /// The bind or state-dir-creation failure, untouched.
     pub fn bind(addr: SocketAddr, cfg: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cfg,
+            sessions: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+            stop: AtomicBool::new(false),
+            use_clock: AtomicU64::new(0),
+            conns: Mutex::new(HashMap::new()),
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut recovery = RecoveryStats::default();
+        if let Some(dir) = shared.cfg.state_dir.clone() {
+            std::fs::create_dir_all(&dir)?;
+            let guard = server_guard(&shared.cfg);
+            let (live, parked, stats) = recover_dir(
+                &dir,
+                shared.cfg.max_sessions,
+                shared.cfg.threads,
+                &shared.cfg.trace,
+                shared.cfg.fsync,
+                &guard,
+            );
+            recovery = stats;
+            let mut sessions = relock(&shared.sessions);
+            for rs in live {
+                add_journal_bytes(&shared, rs.bytes);
+                let total = shared.counters.recoveries.fetch_add(1, Ordering::Relaxed) + 1;
+                shared.cfg.trace.counter("incr.serve.recoveries", total);
+                let tick = shared.use_clock.fetch_add(1, Ordering::Relaxed);
+                sessions.insert(
+                    rs.name.clone(),
+                    Slot::Live {
+                        session: Arc::new(Mutex::new(Session {
+                            engine: rs.engine,
+                            edits_applied: rs.edits_applied,
+                            source: rs.source,
+                            history: rs.history,
+                            journal: Some(rs.journal),
+                            journal_dead: false,
+                        })),
+                        last_used: tick,
+                    },
+                );
+            }
+            for pr in parked {
+                add_journal_bytes(&shared, pr.bytes);
+                sessions.insert(
+                    pr.name.clone(),
+                    Slot::Parked(Parked {
+                        source: pr.source,
+                        edits_applied: pr.history.len() as u64,
+                        history: pr.history,
+                        journal_dead: false,
+                    }),
+                );
+            }
+        }
         Ok(Server {
             listener,
             addr,
-            shared: Arc::new(Shared {
-                cfg,
-                sessions: Mutex::new(HashMap::new()),
-                counters: Counters::default(),
-                stop: AtomicBool::new(false),
-                conns: Mutex::new(HashMap::new()),
-                workers: Mutex::new(Vec::new()),
-            }),
+            shared,
+            recovery,
         })
     }
 
@@ -173,10 +329,17 @@ impl Server {
         self.addr
     }
 
+    /// What startup recovery did (all zeros without a state dir).
+    pub fn recovery(&self) -> RecoveryStats {
+        self.recovery
+    }
+
     /// Runs the accept loop on the current thread until shut down (the
     /// CLI `serve` verb's mode — it never returns in normal operation).
     /// Each connection gets its own handler thread; a handler panic is
-    /// contained to its connection.
+    /// contained to its connection. At [`ServerConfig::max_conns`] live
+    /// connections, a fresh one is shed: it gets a single `overloaded`
+    /// frame (with the retry hint) and is closed without a handler.
     pub fn run(self) {
         let shared = self.shared;
         loop {
@@ -191,6 +354,16 @@ impl Server {
             };
             if shared.stop.load(Ordering::Acquire) {
                 break;
+            }
+            if relock(&shared.conns).len() >= shared.cfg.max_conns {
+                let total = shared.counters.shed.fetch_add(1, Ordering::Relaxed) + 1;
+                shared.cfg.trace.counter("incr.serve.shed", total);
+                let mut stream = stream;
+                let reply =
+                    resp_overloaded(None, shared.cfg.retry_after_ms, "connection limit reached");
+                let _ = write_frame(&mut stream, reply.as_bytes());
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                continue;
             }
             let conn_id = shared.counters.connections.fetch_add(1, Ordering::Relaxed);
             if let Ok(clone) = stream.try_clone() {
@@ -242,12 +415,39 @@ impl ServerHandle {
 
     /// Stops accepting, force-closes live connections, and joins every
     /// handler thread. Sessions (and their engines) are dropped with the
-    /// server.
+    /// server; journals get whatever their fsync policy already wrote.
     pub fn shutdown(mut self) {
-        self.shutdown_impl();
+        self.shutdown_impl(std::net::Shutdown::Both);
     }
 
-    fn shutdown_impl(&mut self) {
+    /// Graceful drain (what SIGTERM triggers in the CLI): stop
+    /// accepting, *half*-close live connections — in-flight responses
+    /// still write; readers see EOF at the next frame boundary — join
+    /// every handler, then fsync and close every journal. Returns the
+    /// number of journals made durable.
+    pub fn drain(mut self) -> usize {
+        self.shutdown_impl(std::net::Shutdown::Read);
+        let slots: Vec<Slot> = {
+            let mut sessions = relock(&self.shared.sessions);
+            sessions.drain().map(|(_, slot)| slot).collect()
+        };
+        let mut synced = 0;
+        for slot in slots {
+            if let Slot::Live { session, .. } = slot {
+                if let Ok(mutex) = Arc::try_unwrap(session) {
+                    let mut state = mutex.into_inner().unwrap_or_else(PoisonError::into_inner);
+                    if let Some(j) = state.journal.as_mut() {
+                        if !state.journal_dead && j.sync().is_ok() {
+                            synced += 1;
+                        }
+                    }
+                }
+            }
+        }
+        synced
+    }
+
+    fn shutdown_impl(&mut self, how: std::net::Shutdown) {
         let Some(accept) = self.accept.take() else {
             return;
         };
@@ -256,7 +456,7 @@ impl ServerHandle {
         // the stop check at the top of the loop.
         let _ = TcpStream::connect(self.addr);
         for (_, conn) in relock(&self.shared.conns).drain() {
-            let _ = conn.shutdown(std::net::Shutdown::Both);
+            let _ = conn.shutdown(how);
         }
         let _ = accept.join();
         let workers: Vec<JoinHandle<()>> = relock(&self.shared.workers).drain(..).collect();
@@ -268,7 +468,7 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.shutdown_impl();
+        self.shutdown_impl(std::net::Shutdown::Both);
     }
 }
 
@@ -296,10 +496,11 @@ fn request_guard(cfg: &ServerConfig, env: &Envelope) -> Guard {
     guard
 }
 
-/// The guard a fresh connection's `serve.accept` checkpoint runs under.
-/// Faults only arm here when they are unfiltered — the accept site
-/// belongs to no session.
-fn accept_guard(cfg: &ServerConfig) -> Guard {
+/// The guard for server-level (no-session) checkpoints: `serve.accept`
+/// on a fresh connection and `serve.recover` during startup recovery.
+/// Faults only arm here when they are unfiltered — these sites belong to
+/// no session.
+fn server_guard(cfg: &ServerConfig) -> Guard {
     let mut guard = Guard::unlimited();
     if cfg.fault_session.is_none() {
         if let Some(plan) = &cfg.faults {
@@ -313,7 +514,7 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
     // A panic injected at `serve.accept` is contained by the caller's
     // catch_unwind: this connection dies (the client sees EOF), the
     // accept loop and every other connection keep going.
-    if accept_guard(&shared.cfg).checkpoint("serve.accept").is_err() {
+    if server_guard(&shared.cfg).checkpoint("serve.accept").is_err() {
         return;
     }
     loop {
@@ -379,6 +580,11 @@ fn handle_frame(shared: &Shared, payload: &[u8]) -> String {
         Status::Ok => counters.ok.fetch_add(1, Ordering::Relaxed),
         Status::Degraded => counters.degraded.fetch_add(1, Ordering::Relaxed),
         Status::Error => counters.errors.fetch_add(1, Ordering::Relaxed),
+        Status::Overloaded => {
+            let total = counters.shed.fetch_add(1, Ordering::Relaxed) + 1;
+            shared.cfg.trace.counter("incr.serve.shed", total);
+            total
+        }
     };
     let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
     counters.latency_total_us.fetch_add(us, Ordering::Relaxed);
@@ -398,6 +604,14 @@ fn resp_degraded_plain(id: u64, op: &str, session: Option<&str>, reason: &str) -
     )
 }
 
+/// The session's slot, cloned, when it is currently live.
+fn live_slot(shared: &Shared, session: &str) -> Option<Arc<Mutex<Session>>> {
+    match relock(&shared.sessions).get(session) {
+        Some(Slot::Live { session, .. }) => Some(Arc::clone(session)),
+        _ => None,
+    }
+}
+
 /// The response when dispatch itself panicked (an injected `serve.*`
 /// fault or a real bug outside the engine's own containment). Queries
 /// still answer — with the sound conservative widening — so a poisoned
@@ -410,7 +624,7 @@ fn panic_fallback(
 ) -> (String, Status) {
     let reason = format!("panic during request: {}", panic_message(panic));
     if let Request::Query { session, target } = &env.request {
-        if let Some(slot) = relock(&shared.sessions).get(session).cloned() {
+        if let Some(slot) = live_slot(shared, session) {
             let guard = relock(&slot);
             let report = conservative_report(guard.engine.program(), target);
             drop(guard);
@@ -499,27 +713,18 @@ fn dispatch(shared: &Shared, env: &Envelope, guard: &Guard) -> (String, Status) 
         return degraded_before_work(shared, env, interrupt);
     }
     match &env.request {
-        Request::Open { session, program } => open_session(shared, id, session, program),
+        Request::Open { session, program } => open_session(shared, id, session, program, guard),
         Request::Edit { session, script } => {
-            with_session(shared, id, "edit", session, |slot| {
+            with_session(shared, id, "edit", session, guard, |slot| {
                 edit_session(shared, env, guard, session, slot, script)
             })
         }
         Request::Query { session, target } => {
-            with_session(shared, id, "query", session, |slot| {
+            with_session(shared, id, "query", session, guard, |slot| {
                 query_session(env, guard, session, slot, target)
             })
         }
-        Request::Close { session } => {
-            let removed = relock(&shared.sessions).remove(session);
-            match removed {
-                Some(_) => (resp_close(id, session), Status::Ok),
-                None => (
-                    resp_error(Some(id), &format!("unknown session `{session}`")),
-                    Status::Error,
-                ),
-            }
-        }
+        Request::Close { session } => close_session(shared, id, session),
         Request::Stats => {
             let snap = snapshot(shared);
             (resp_stats(id, &snap), Status::Ok)
@@ -532,7 +737,7 @@ fn dispatch(shared: &Shared, env: &Envelope, guard: &Guard) -> (String, Status) 
 fn degraded_before_work(shared: &Shared, env: &Envelope, interrupt: Interrupt) -> (String, Status) {
     let reason = interrupt.to_string();
     if let Request::Query { session, target } = &env.request {
-        if let Some(slot) = relock(&shared.sessions).get(session).cloned() {
+        if let Some(slot) = live_slot(shared, session) {
             let guard = relock(&slot);
             if let Some(report) = conservative_report(guard.engine.program(), target) {
                 return (
@@ -548,7 +753,305 @@ fn degraded_before_work(shared: &Shared, env: &Envelope, interrupt: Interrupt) -
     )
 }
 
-fn open_session(shared: &Shared, id: u64, session: &str, source: &str) -> (String, Status) {
+/// Why the table could not take one more live session.
+enum CapacityError {
+    /// Eviction is off and the cap is hit — the PR 7 hard error.
+    HardLimit(usize),
+    /// Eviction is on but impossible right now (every session busy, or
+    /// an injected `serve.evict` fault); retry after the hint.
+    Overloaded(&'static str),
+}
+
+fn capacity_reply(shared: &Shared, id: u64, err: CapacityError) -> (String, Status) {
+    match err {
+        CapacityError::HardLimit(live) => (
+            resp_error(
+                Some(id),
+                &format!(
+                    "session limit reached ({live} open, max {})",
+                    shared.cfg.max_sessions
+                ),
+            ),
+            Status::Error,
+        ),
+        CapacityError::Overloaded(reason) => (
+            resp_overloaded(Some(id), shared.cfg.retry_after_ms, reason),
+            Status::Overloaded,
+        ),
+    }
+}
+
+/// Makes room for one more live session, parking the least-recently-used
+/// idle one if the cap is hit. Runs under the table lock. A session is
+/// idle exactly when the table holds the sole `Arc` to it: every request
+/// path clones the `Arc` under this same lock before touching the
+/// session, so sole-ownership here proves nobody is in (or can get into)
+/// the engine we are about to drop.
+fn ensure_capacity(
+    shared: &Shared,
+    sessions: &mut HashMap<String, Slot>,
+    guard: &Guard,
+) -> Result<(), CapacityError> {
+    let live_count = sessions
+        .values()
+        .filter(|s| matches!(s, Slot::Live { .. }))
+        .count();
+    if live_count < shared.cfg.max_sessions {
+        return Ok(());
+    }
+    if !shared.cfg.evict {
+        return Err(CapacityError::HardLimit(live_count));
+    }
+    // The eviction fault site; a panic here is contained to an
+    // `overloaded` refusal (nothing parked, nothing lost).
+    match catch_unwind(AssertUnwindSafe(|| guard.checkpoint("serve.evict"))) {
+        Ok(Ok(())) => {}
+        Ok(Err(_)) | Err(_) => {
+            return Err(CapacityError::Overloaded("eviction unavailable under fault"))
+        }
+    }
+    let mut victim: Option<(String, u64)> = None;
+    for (name, slot) in sessions.iter() {
+        if let Slot::Live { session, last_used } = slot {
+            if Arc::strong_count(session) == 1
+                && victim.as_ref().map_or(true, |(_, t)| last_used < t)
+            {
+                victim = Some((name.clone(), *last_used));
+            }
+        }
+    }
+    let Some((name, _)) = victim else {
+        return Err(CapacityError::Overloaded(
+            "session table full and every session busy",
+        ));
+    };
+    let Some(Slot::Live { session, .. }) = sessions.remove(&name) else {
+        unreachable!("victim vanished under the table lock");
+    };
+    let mutex = match Arc::try_unwrap(session) {
+        Ok(m) => m,
+        Err(arc) => {
+            // Sole ownership was checked under this lock, so this arm is
+            // dead — but if it were ever reached, put the session back
+            // rather than orphan an in-flight request.
+            sessions.insert(
+                name,
+                Slot::Live {
+                    session: arc,
+                    last_used: clock_tick(shared),
+                },
+            );
+            return Err(CapacityError::Overloaded(
+                "session table full and every session busy",
+            ));
+        }
+    };
+    let mut state = mutex.into_inner().unwrap_or_else(PoisonError::into_inner);
+    // Park: make the journal durable (best-effort — a failure just means
+    // the parked session is no longer crash-durable, exactly like a live
+    // one whose journal died), then drop the engine and keep the text.
+    if let Some(j) = state.journal.as_mut() {
+        if !state.journal_dead && j.sync().is_err() {
+            state.journal_dead = true;
+        }
+    }
+    sessions.insert(
+        name,
+        Slot::Parked(Parked {
+            source: state.source,
+            history: state.history,
+            edits_applied: state.edits_applied,
+            journal_dead: state.journal_dead,
+        }),
+    );
+    let total = shared.counters.evictions.fetch_add(1, Ordering::Relaxed) + 1;
+    shared.cfg.trace.counter("incr.serve.evictions", total);
+    Ok(())
+}
+
+/// Rebuilds a parked session into a live one by replaying its history,
+/// under the table lock (resurrections serialize, exactly like opens).
+fn resurrect(
+    shared: &Shared,
+    sessions: &mut HashMap<String, Slot>,
+    name: &str,
+    id: u64,
+    guard: &Guard,
+) -> Result<Arc<Mutex<Session>>, (String, Status)> {
+    // The recovery fault site; contained to an `overloaded` refusal —
+    // the parked slot is untouched and the request can be retried.
+    match catch_unwind(AssertUnwindSafe(|| guard.checkpoint("serve.recover"))) {
+        Ok(Ok(())) => {}
+        Ok(Err(_)) | Err(_) => {
+            return Err((
+                resp_overloaded(
+                    Some(id),
+                    shared.cfg.retry_after_ms,
+                    "resurrection unavailable under fault",
+                ),
+                Status::Overloaded,
+            ))
+        }
+    }
+    if let Err(e) = ensure_capacity(shared, sessions, guard) {
+        return Err(capacity_reply(shared, id, e));
+    }
+    let parked = match sessions.get(name) {
+        Some(Slot::Parked(p)) => p.clone(),
+        _ => unreachable!("resurrect called on a non-parked slot"),
+    };
+    let program = match modref_frontend::parse_program(&parked.source) {
+        Ok(p) => p,
+        Err(e) => {
+            return Err((
+                resp_error(
+                    Some(id),
+                    &format!("session `{name}` cannot be resurrected: parse error: {e}"),
+                ),
+                Status::Error,
+            ))
+        }
+    };
+    let mut analyzer = Analyzer::new();
+    analyzer.with_trace(shared.cfg.trace.clone());
+    if let Some(t) = shared.cfg.threads {
+        analyzer.threads(t);
+    }
+    let mut engine = analyzer.incremental(program);
+    if let Err(e) = engine.replay_history(parked.history.iter().map(String::as_str)) {
+        return Err((
+            resp_error(
+                Some(id),
+                &format!("session `{name}` cannot be resurrected: {e}"),
+            ),
+            Status::Error,
+        ));
+    }
+    let mut journal_dead = parked.journal_dead;
+    let journal = match &shared.cfg.state_dir {
+        Some(dir) if !journal_dead => {
+            match Journal::append_to(&journal::path_for(dir, name), shared.cfg.fsync) {
+                Ok(j) => Some(j),
+                Err(_) => {
+                    journal_dead = true;
+                    None
+                }
+            }
+        }
+        _ => None,
+    };
+    let session = Arc::new(Mutex::new(Session {
+        engine,
+        edits_applied: parked.edits_applied,
+        source: parked.source,
+        history: parked.history,
+        journal,
+        journal_dead,
+    }));
+    sessions.insert(
+        name.to_owned(),
+        Slot::Live {
+            session: Arc::clone(&session),
+            last_used: clock_tick(shared),
+        },
+    );
+    let total = shared.counters.recoveries.fetch_add(1, Ordering::Relaxed) + 1;
+    shared.cfg.trace.counter("incr.serve.recoveries", total);
+    Ok(session)
+}
+
+/// Creates the journal for a freshly opened session and writes its
+/// snapshot record, with the `serve.journal.*` fault sites armed and
+/// panics contained.
+fn open_fresh_journal(
+    shared: &Shared,
+    dir: &std::path::Path,
+    session: &str,
+    source: &str,
+    guard: &Guard,
+) -> Result<Journal, String> {
+    let contained = catch_unwind(AssertUnwindSafe(|| -> Result<Journal, String> {
+        let mut j = Journal::create(dir, session, shared.cfg.fsync)
+            .map_err(|e| format!("journal create failed: {e}"))?;
+        guard
+            .checkpoint("serve.journal.append")
+            .map_err(|i| format!("journal append interrupted: {i}"))?;
+        let n = j
+            .append(&JournalRecord::Snapshot {
+                session: session.to_owned(),
+                program: source.to_owned(),
+            })
+            .map_err(|e| format!("journal append failed: {e}"))?;
+        add_journal_bytes(shared, n);
+        guard
+            .checkpoint("serve.journal.fsync")
+            .map_err(|i| format!("journal fsync interrupted: {i}"))?;
+        j.commit().map_err(|e| format!("journal fsync failed: {e}"))?;
+        Ok(j)
+    }));
+    match contained {
+        Ok(r) => r,
+        Err(p) => Err(format!(
+            "panic during journal write: {}",
+            panic_message(p.as_ref())
+        )),
+    }
+}
+
+/// Appends one applied edit line to the session's journal. Any failure —
+/// guard fault, I/O error, contained panic — latches `journal_dead`:
+/// the journal on disk stays a strict prefix of the applied history and
+/// is never appended to again.
+fn journal_edit(
+    shared: &Shared,
+    guard: &Guard,
+    state: &mut Session,
+    line: &str,
+) -> Result<(), String> {
+    if state.journal_dead {
+        return Err("session is no longer durable (its journal failed earlier)".to_owned());
+    }
+    let Some(jrnl) = state.journal.as_mut() else {
+        return Ok(());
+    };
+    let rec = JournalRecord::Edit {
+        line: line.to_owned(),
+    };
+    let contained = catch_unwind(AssertUnwindSafe(|| -> Result<(), String> {
+        guard
+            .checkpoint("serve.journal.append")
+            .map_err(|i| format!("journal append interrupted: {i}"))?;
+        let n = jrnl
+            .append(&rec)
+            .map_err(|e| format!("journal append failed: {e}"))?;
+        add_journal_bytes(shared, n);
+        guard
+            .checkpoint("serve.journal.fsync")
+            .map_err(|i| format!("journal fsync interrupted: {i}"))?;
+        jrnl.commit()
+            .map_err(|e| format!("journal fsync failed: {e}"))?;
+        Ok(())
+    }));
+    let res = match contained {
+        Ok(r) => r,
+        Err(p) => Err(format!(
+            "panic during journal append: {}",
+            panic_message(p.as_ref())
+        )),
+    };
+    if res.is_err() {
+        state.journal_dead = true;
+    }
+    res
+}
+
+fn open_session(
+    shared: &Shared,
+    id: u64,
+    session: &str,
+    source: &str,
+    guard: &Guard,
+) -> (String, Status) {
     let program = match modref_frontend::parse_program(source) {
         Ok(p) => p,
         Err(e) => {
@@ -561,24 +1064,83 @@ fn open_session(shared: &Shared, id: u64, session: &str, source: &str) -> (Strin
     // Check-then-insert under one lock so two racing opens of the same
     // name (or the last two slots) resolve consistently.
     let mut sessions = relock(&shared.sessions);
-    if sessions.contains_key(session) {
-        return (
-            resp_error(Some(id), &format!("session `{session}` is already open")),
-            Status::Error,
-        );
+    match sessions.get(session) {
+        Some(Slot::Live { .. }) => {
+            return (
+                resp_error(Some(id), &format!("session `{session}` is already open")),
+                Status::Error,
+            )
+        }
+        Some(Slot::Parked(p)) => {
+            // Transparent resurrection: re-opening a parked session with
+            // the identical program text revives it, history included.
+            if p.source != source {
+                return (
+                    resp_error(
+                        Some(id),
+                        &format!(
+                            "session `{session}` is already open (parked with different \
+                             program text)"
+                        ),
+                    ),
+                    Status::Error,
+                );
+            }
+            return match resurrect(shared, &mut sessions, session, id, guard) {
+                Ok(slot) => resurrected_open_reply(id, session, &slot),
+                Err(pair) => pair,
+            };
+        }
+        None => {}
     }
-    if sessions.len() >= shared.cfg.max_sessions {
-        return (
-            resp_error(
-                Some(id),
-                &format!(
-                    "session limit reached ({} open, max {})",
-                    sessions.len(),
-                    shared.cfg.max_sessions
-                ),
-            ),
-            Status::Error,
-        );
+    if let Err(e) = ensure_capacity(shared, &mut sessions, guard) {
+        return capacity_reply(shared, id, e);
+    }
+    // A journal on disk but not in the table (startup recovery skipped
+    // it under a fault): recover it now if the offered program matches.
+    if let Some(dir) = &shared.cfg.state_dir {
+        let path = journal::path_for(dir, session);
+        if path.exists() {
+            match recover_file(&path, shared.cfg.threads, &shared.cfg.trace, shared.cfg.fsync) {
+                Ok((rs, _truncated)) if rs.source == source => {
+                    add_journal_bytes(shared, rs.bytes);
+                    let slot = Arc::new(Mutex::new(Session {
+                        engine: rs.engine,
+                        edits_applied: rs.edits_applied,
+                        source: rs.source,
+                        history: rs.history,
+                        journal: Some(rs.journal),
+                        journal_dead: false,
+                    }));
+                    sessions.insert(
+                        session.to_owned(),
+                        Slot::Live {
+                            session: Arc::clone(&slot),
+                            last_used: clock_tick(shared),
+                        },
+                    );
+                    let total = shared.counters.recoveries.fetch_add(1, Ordering::Relaxed) + 1;
+                    shared.cfg.trace.counter("incr.serve.recoveries", total);
+                    return resurrected_open_reply(id, session, &slot);
+                }
+                Ok(_) => {
+                    return (
+                        resp_error(
+                            Some(id),
+                            &format!(
+                                "session `{session}` has a journal on disk with different \
+                                 program text; close it first"
+                            ),
+                        ),
+                        Status::Error,
+                    )
+                }
+                Err(_) => {
+                    // Untrusted journal: quarantine it and open fresh.
+                    quarantine(&path);
+                }
+            }
+        }
     }
     // The initial full analysis runs inside the table lock: opens are
     // rare and bounded, and it keeps "name reserved" and "engine ready"
@@ -593,36 +1155,145 @@ fn open_session(shared: &Shared, id: u64, session: &str, source: &str) -> (Strin
         let p = engine.program();
         (p.num_procs(), p.num_sites(), p.num_vars())
     };
+    let mut jrnl = None;
+    let mut degraded_note = None;
+    if let Some(dir) = shared.cfg.state_dir.clone() {
+        match open_fresh_journal(shared, &dir, session, source, guard) {
+            Ok(j) => jrnl = Some(j),
+            Err(reason) => {
+                degraded_note = Some(format!("session opened without durability: {reason}"));
+            }
+        }
+    }
+    let journal_dead = shared.cfg.state_dir.is_some() && jrnl.is_none();
     sessions.insert(
         session.to_owned(),
-        Arc::new(Mutex::new(Session {
-            engine,
-            edits_applied: 0,
-        })),
+        Slot::Live {
+            session: Arc::new(Mutex::new(Session {
+                engine,
+                edits_applied: 0,
+                source: source.to_owned(),
+                history: Vec::new(),
+                journal: jrnl,
+                journal_dead,
+            })),
+            last_used: clock_tick(shared),
+        },
     );
-    (resp_open(id, session, procs, sites, vars), Status::Ok)
+    match degraded_note {
+        None => (
+            resp_open(id, session, procs, sites, vars, false, None),
+            Status::Ok,
+        ),
+        Some(note) => (
+            resp_open(id, session, procs, sites, vars, false, Some(&note)),
+            Status::Degraded,
+        ),
+    }
 }
 
-/// Resolves `session` and runs `body` with its slot; unknown names are
-/// error responses (never dropped connections).
+/// The `open` response for a session that was resurrected rather than
+/// analysed fresh.
+fn resurrected_open_reply(
+    id: u64,
+    session: &str,
+    slot: &Arc<Mutex<Session>>,
+) -> (String, Status) {
+    let state = relock(slot);
+    let p = state.engine.program();
+    let (procs, sites, vars) = (p.num_procs(), p.num_sites(), p.num_vars());
+    let dead = state.journal_dead;
+    drop(state);
+    if dead {
+        (
+            resp_open(
+                id,
+                session,
+                procs,
+                sites,
+                vars,
+                true,
+                Some("session is not durable (its journal failed)"),
+            ),
+            Status::Degraded,
+        )
+    } else {
+        (
+            resp_open(id, session, procs, sites, vars, true, None),
+            Status::Ok,
+        )
+    }
+}
+
+fn close_session(shared: &Shared, id: u64, session: &str) -> (String, Status) {
+    let removed = relock(&shared.sessions).remove(session);
+    match removed {
+        Some(slot) => {
+            // Dropping the slot closes any journal fd before the unlink.
+            drop(slot);
+            if let Some(dir) = &shared.cfg.state_dir {
+                let _ = std::fs::remove_file(journal::path_for(dir, session));
+            }
+            (resp_close(id, session), Status::Ok)
+        }
+        None => {
+            // A journal on disk but not in the table (skipped during a
+            // faulted recovery): `close` still disposes of it.
+            if let Some(dir) = &shared.cfg.state_dir {
+                let path = journal::path_for(dir, session);
+                if path.exists() {
+                    let _ = std::fs::remove_file(&path);
+                    return (resp_close(id, session), Status::Ok);
+                }
+            }
+            (
+                resp_error(Some(id), &format!("unknown session `{session}`")),
+                Status::Error,
+            )
+        }
+    }
+}
+
+/// Resolves `session` and runs `body` with its live slot, bumping the
+/// LRU stamp; a parked session is transparently resurrected first.
+/// Unknown names are error responses (never dropped connections).
 fn with_session<F>(
     shared: &Shared,
     id: u64,
     op: &str,
     session: &str,
+    guard: &Guard,
     body: F,
 ) -> (String, Status)
 where
     F: FnOnce(&Arc<Mutex<Session>>) -> (String, Status),
 {
-    let slot = relock(&shared.sessions).get(session).cloned();
-    match slot {
-        Some(slot) => body(&slot),
-        None => (
-            resp_error(Some(id), &format!("unknown session `{session}` (op {op})")),
-            Status::Error,
-        ),
-    }
+    let mut sessions = relock(&shared.sessions);
+    let parked = matches!(sessions.get(session), Some(Slot::Parked(_)));
+    let slot = if parked {
+        match resurrect(shared, &mut sessions, session, id, guard) {
+            Ok(slot) => slot,
+            Err(pair) => return pair,
+        }
+    } else {
+        match sessions.get_mut(session) {
+            Some(Slot::Live {
+                session: arc,
+                last_used,
+            }) => {
+                *last_used = shared.use_clock.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(arc)
+            }
+            _ => {
+                return (
+                    resp_error(Some(id), &format!("unknown session `{session}` (op {op})")),
+                    Status::Error,
+                )
+            }
+        }
+    };
+    drop(sessions);
+    body(&slot)
 }
 
 fn edit_session(
@@ -657,7 +1328,7 @@ fn edit_session(
                 )
             }
         };
-        match state.engine.apply_guarded(&edit, guard) {
+        let outcome = match state.engine.apply_guarded(&edit, guard) {
             Err(e) => {
                 return (
                     resp_error(
@@ -670,17 +1341,45 @@ fn edit_session(
                     Status::Error,
                 )
             }
-            Ok(IncrOutcome::Clean(_)) => {
-                applied += 1;
-                state.edits_applied += 1;
+            Ok(outcome) => outcome,
+        };
+        // The edit is committed to the program (even a degraded apply):
+        // record it in the history and the journal before anything else
+        // can happen to this session.
+        applied += 1;
+        state.edits_applied += 1;
+        let line = script_text
+            .lines()
+            .nth(step.line - 1)
+            .unwrap_or_default()
+            .to_owned();
+        state.history.push(line.clone());
+        let journaled = journal_edit(shared, guard, &mut state, &line);
+        match outcome {
+            IncrOutcome::Clean(_) => {
+                if let Err(reason) = journaled {
+                    // Applied, but durability is gone: say so and stop —
+                    // the client knows exactly which prefix is on disk.
+                    return (
+                        resp_edit(
+                            id,
+                            session,
+                            applied,
+                            Some(&format!("applied but no longer durable: {reason}")),
+                        ),
+                        Status::Degraded,
+                    );
+                }
             }
-            Ok(IncrOutcome::Degraded { reason }) => {
+            IncrOutcome::Degraded { reason } => {
                 // The edit is in the program; the results are the sound
                 // widened fallback until the next clean apply rebuilds.
-                applied += 1;
-                state.edits_applied += 1;
+                let mut reason = reason.to_string();
+                if let Err(jr) = journaled {
+                    reason.push_str(&format!("; also: {jr}"));
+                }
                 return (
-                    resp_edit(id, session, applied, Some(&reason.to_string())),
+                    resp_edit(id, session, applied, Some(&reason)),
                     Status::Degraded,
                 );
             }
@@ -766,13 +1465,25 @@ fn bad_target_message(program: &Program, target: &crate::proto::QueryTarget) -> 
 
 fn snapshot(shared: &Shared) -> StatsSnapshot {
     let c = &shared.counters;
+    let (live, parked) = {
+        let sessions = relock(&shared.sessions);
+        sessions.values().fold((0, 0), |(l, p), slot| match slot {
+            Slot::Live { .. } => (l + 1, p),
+            Slot::Parked(_) => (l, p + 1),
+        })
+    };
     StatsSnapshot {
-        sessions: relock(&shared.sessions).len(),
+        sessions: live,
+        parked,
         connections: c.connections.load(Ordering::Relaxed),
         requests: c.requests.load(Ordering::Relaxed),
         ok: c.ok.load(Ordering::Relaxed),
         degraded: c.degraded.load(Ordering::Relaxed),
         errors: c.errors.load(Ordering::Relaxed),
+        evictions: c.evictions.load(Ordering::Relaxed),
+        recoveries: c.recoveries.load(Ordering::Relaxed),
+        shed: c.shed.load(Ordering::Relaxed),
+        journal_bytes: c.journal_bytes.load(Ordering::Relaxed),
         latency_total_us: c.latency_total_us.load(Ordering::Relaxed),
         latency_max_us: c.latency_max_us.load(Ordering::Relaxed),
         per_op: std::array::from_fn(|i| c.per_op[i].load(Ordering::Relaxed)),

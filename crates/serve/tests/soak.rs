@@ -22,7 +22,7 @@ use modref_frontend::parse_program;
 use modref_incr::render::{render_json, render_json_site, SiteSets};
 use modref_incr::Script;
 use modref_ir::{CallSiteId, ProcId, Program, VarId};
-use modref_serve::{Client, QueryTarget, Request, Server, ServerConfig, Status};
+use modref_serve::{Client, QueryTarget, Request, RetryPolicy, Server, ServerConfig, Status};
 use modref_trace::escape_json;
 
 const CLIENTS: usize = 8;
@@ -382,13 +382,15 @@ fn concurrent_sessions_stay_bit_identical_to_scratch() {
 
 /// The between-barriers session-count audit needs its own test body so
 /// the auditing client sees the fully opened table: all 16 sessions
-/// live at once, and the 17th open is refused without disturbing them.
+/// live at once, and — with eviction off — the 17th open is refused
+/// without disturbing them.
 #[test]
 fn session_table_reaches_full_occupancy_and_enforces_the_cap() {
     let server = Server::bind(
         "127.0.0.1:0".parse().expect("loopback parses"),
         ServerConfig {
             max_sessions: CLIENTS * SESSIONS_PER_CLIENT,
+            evict: false,
             ..ServerConfig::default()
         },
     )
@@ -424,5 +426,145 @@ fn session_table_reaches_full_occupancy_and_enforces_the_cap() {
     // The refusal disturbed nothing.
     let resp = client.request(Request::Stats).expect("stats answers");
     assert_eq!(resp.uint_field("sessions"), Some(16));
+    handle.shutdown();
+}
+
+/// Churn soak: a session cap well below the 16 session names forces
+/// constant LRU eviction and resurrection while eight client threads
+/// interleave edits and queries. Every answer must stay bit-identical to
+/// scratch; a thread that catches the table with every session busy
+/// retries on the typed `overloaded` response like a real client.
+const CHURN_CAP: usize = 6;
+
+fn churn_client(addr: std::net::SocketAddr, client_idx: usize, seed: u64) {
+    let ctx = format!("churn client {client_idx} (seed {seed})");
+    let policy = RetryPolicy {
+        attempts: 12,
+        base_ms: 5,
+        cap_ms: 200,
+        seed: seed ^ client_idx as u64,
+    };
+    let mut rng =
+        Rng::seed_from_u64(seed ^ (client_idx as u64).wrapping_mul(0xC0FF_EE00_D15E_A5ED));
+    let mut client = Client::connect(addr).expect("connects");
+    let retrying = |client: &mut Client, req: Request, rctx: &str| {
+        let resp = client
+            .request_retrying(req, &policy)
+            .unwrap_or_else(|e| panic!("{rctx}: {e}"));
+        assert_eq!(resp.status, Status::Ok, "{rctx}: not ok after retries");
+        resp
+    };
+
+    let mut sessions = Vec::new();
+    for s in 0..SESSIONS_PER_CLIENT {
+        let name = format!("c{client_idx}-s{s}");
+        let source = SOURCES[(client_idx * SESSIONS_PER_CLIENT + s) % SOURCES.len()];
+        retrying(
+            &mut client,
+            Request::Open {
+                session: name.clone(),
+                program: source.to_string(),
+            },
+            &format!("{ctx}: open {name}"),
+        );
+        sessions.push(SessionState {
+            name,
+            replica: parse_program(source).expect("soak sources parse"),
+            fresh: 0,
+        });
+    }
+
+    for round in 0..ROUNDS {
+        for s in &mut sessions {
+            let rctx = format!("{ctx}, session {}, round {round}", s.name);
+            let steps = 1 + rng.gen_range(0..MAX_STEPS_PER_ROUND);
+            let script = gen_script(&mut rng, &mut s.replica, &mut s.fresh, steps);
+            if !script.is_empty() {
+                retrying(
+                    &mut client,
+                    Request::Edit {
+                        session: s.name.clone(),
+                        script,
+                    },
+                    &format!("{rctx}: edit"),
+                );
+            }
+
+            // Every query lands on a session that was likely parked and
+            // resurrected since its last request — and must still be
+            // bit-identical to a from-scratch analysis of the replica.
+            let summary = Analyzer::new().analyze(&s.replica);
+            let sets = SiteSets::from_summary(&s.replica, &summary);
+            let resp = retrying(
+                &mut client,
+                Request::Query {
+                    session: s.name.clone(),
+                    target: QueryTarget::All,
+                },
+                &format!("{rctx}: query all"),
+            );
+            assert_eq!(
+                resp.str_field("report").expect("query carries a report"),
+                render_json(&s.replica, &sets),
+                "{rctx}: churned report diverged from scratch"
+            );
+        }
+    }
+}
+
+#[test]
+fn eviction_churn_keeps_every_session_bit_identical() {
+    let seed = soak_seed();
+    let server = Server::bind(
+        "127.0.0.1:0".parse().expect("loopback parses"),
+        ServerConfig {
+            max_sessions: CHURN_CAP,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binds");
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for c in 0..CLIENTS {
+            workers.push(scope.spawn(move || churn_client(addr, c, seed)));
+        }
+        for w in workers {
+            w.join().expect("churn client thread");
+        }
+    });
+
+    // Occupancy audit: the cap held, nothing leaked, nothing silently
+    // failed, and the table really churned.
+    let mut client = Client::connect(addr).expect("audit connects");
+    let resp = client.request(Request::Stats).expect("stats answers");
+    assert_eq!(resp.status, Status::Ok);
+    let live = resp.uint_field("sessions").expect("sessions counter");
+    let parked = resp.uint_field("parked").expect("parked counter");
+    assert!(
+        live <= CHURN_CAP as u64,
+        "cap breached: {live} live > {CHURN_CAP} (seed {seed})"
+    );
+    assert_eq!(
+        live + parked,
+        (CLIENTS * SESSIONS_PER_CLIENT) as u64,
+        "sessions leaked or vanished (seed {seed})"
+    );
+    assert!(
+        resp.uint_field("evictions").expect("evictions counter") > 0,
+        "cap {CHURN_CAP} under 16 sessions never evicted (seed {seed})"
+    );
+    assert!(
+        resp.uint_field("recoveries").expect("recoveries counter") > 0,
+        "churn never resurrected a parked session (seed {seed})"
+    );
+    assert_eq!(
+        resp.uint_field("errors"),
+        Some(0),
+        "churn produced error responses (seed {seed})"
+    );
+    assert_eq!(resp.uint_field("degraded"), Some(0), "churn degraded (seed {seed})");
     handle.shutdown();
 }

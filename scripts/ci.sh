@@ -214,4 +214,88 @@ for t in 1 4; do
     MODREF_THREADS=$t cargo test -q --offline -p modref-serve --test soak
 done
 
+# The kill-and-restart chaos wall (cargo side): seeded MODREF_CRASH
+# aborts mid-edit-stream, restart recovery, torn-tail truncation, the
+# late-booting client, and SIGTERM drain — at both thread defaults.
+echo "== serve crash wall (MODREF_THREADS=1 and 4) =="
+for t in 1 4; do
+    MODREF_THREADS=$t cargo test -q --offline -p modref-cli --test chaos
+done
+
+# And the same contract end-to-end against the release binary: crash the
+# daemon at a seeded point while a client streams edits, restart it on
+# the same --state-dir, and require the recovered session's `query all`
+# to be byte-identical to `analyze --json --edits` over exactly the
+# durable prefix of the stream. Two crash specs × both thread defaults:
+# an abort *before* an append (the record is lost) and an abort *mid*
+# write (a torn tail recovery must truncate). Record 1 is the open
+# snapshot, so edit k is record k+1.
+echo "== serve chaos (kill, restart, recover) =="
+printf 'set-local deep mod=total,count use=total\nadd-call main bump args=total,3\nremove-call 0\n' > ci_chaos.edits
+printf 'open s examples/programs/demo.mp\nedit s ci_chaos.edits\n' > ci_chaos_drive.txt
+printf 'query s all\n' > ci_chaos_query.txt
+for t in 1 4; do
+    for chaos_case in "serve.journal.append:3 1" "serve.journal.torn:4 2"; do
+        spec=${chaos_case% *}
+        durable=${chaos_case#* }
+        echo "--  $spec (MODREF_THREADS=$t): expect $durable durable edits"
+        rm -rf ci_chaos_state
+        rm -f ci_chaos.addr
+        env -u MODREF_FAULT MODREF_CRASH="$spec" MODREF_THREADS=$t \
+            "$MODREF" serve --addr 127.0.0.1:0 --state-dir ci_chaos_state 2> ci_chaos.addr &
+        chaos_pid=$!
+        trap 'kill "$chaos_pid" 2>/dev/null || true' EXIT
+        for _ in $(seq 1 100); do
+            grep -q "listening on" ci_chaos.addr 2>/dev/null && break
+            sleep 0.1
+        done
+        chaos_addr=$(sed -n 's/^modref-serve listening on //p' ci_chaos.addr | head -1)
+        if [ -z "$chaos_addr" ]; then
+            echo "chaos serve never announced its listen address" >&2
+            exit 1
+        fi
+        set +e
+        env -u MODREF_FAULT "$MODREF" client --addr "$chaos_addr" ci_chaos_drive.txt >/dev/null 2>&1
+        client_code=$?
+        set -e
+        if [ "$client_code" -eq 0 ]; then
+            echo "client survived the $spec crash — the daemon never died" >&2
+            exit 1
+        fi
+        if wait "$chaos_pid" 2>/dev/null; then
+            echo "daemon exited cleanly through its own $spec crash point" >&2
+            exit 1
+        fi
+        trap - EXIT
+
+        # Restart on the surviving state dir and compare the recovered
+        # session against a from-scratch run over the durable prefix.
+        rm -f ci_chaos.addr
+        env -u MODREF_FAULT MODREF_THREADS=$t \
+            "$MODREF" serve --addr 127.0.0.1:0 --state-dir ci_chaos_state 2> ci_chaos.addr &
+        chaos_pid=$!
+        trap 'kill "$chaos_pid" 2>/dev/null || true' EXIT
+        for _ in $(seq 1 100); do
+            grep -q "listening on" ci_chaos.addr 2>/dev/null && break
+            sleep 0.1
+        done
+        chaos_addr=$(sed -n 's/^modref-serve listening on //p' ci_chaos.addr | head -1)
+        env -u MODREF_FAULT "$MODREF" client --addr "$chaos_addr" ci_chaos_query.txt \
+            > ci_chaos_served.out
+        head -n "$durable" ci_chaos.edits > ci_chaos_prefix.edits
+        env -u MODREF_FAULT "$MODREF" analyze "$DEMO" --json --edits ci_chaos_prefix.edits \
+            > ci_chaos_batch.out
+        cmp ci_chaos_served.out ci_chaos_batch.out || {
+            echo "$spec: recovered report is not the $durable-edit durable prefix" >&2
+            exit 1
+        }
+        kill "$chaos_pid"
+        wait "$chaos_pid" 2>/dev/null || true
+        trap - EXIT
+    done
+done
+rm -rf ci_chaos_state
+rm -f ci_chaos.edits ci_chaos_drive.txt ci_chaos_query.txt ci_chaos.addr \
+    ci_chaos_prefix.edits ci_chaos_served.out ci_chaos_batch.out
+
 echo "CI green"
