@@ -1,16 +1,26 @@
-//! The incremental-performance regression gate.
+//! The bench-ratio regression gate.
 //!
-//! Reads a `BENCH_incrscale.json` result stream (one JSON object per
-//! line, as [`modref_check::BenchGroup`] appends them), pairs the
-//! `incremental_edit` and `scratch` rows per workload family, and fails
-//! (exit 1) when any family's amortized per-edit cost exceeds
-//! `threshold × scratch`. CI runs this after a fresh bench pass so
-//! "incremental wins (or ties) everywhere" stays a checked invariant,
-//! not a claim in a doc.
+//! Reads a `BENCH_<name>.json` result stream (one JSON object per line,
+//! as [`modref_check::BenchGroup`] appends them), pairs a *numerator*
+//! and a *denominator* bench row per workload family, and fails
+//! (exit 1) when any family's ratio exceeds the threshold. CI runs this
+//! after a fresh bench pass so a performance claim stays a checked
+//! invariant, not a sentence in a doc. Two gates ride on it today:
+//!
+//! * the incremental gate (the default pair,
+//!   `incremental_edit:scratch`, threshold 1.10): amortized per-edit
+//!   cost must not exceed a from-scratch solve;
+//! * the demand-query sublinearity gate
+//!   (`--pair query_site_ops:exhaustive_ops`, threshold 0.10): one
+//!   point query must cost < 10% of the exhaustive solve's operation
+//!   count (docs/QUERY.md).
 //!
 //! ```text
-//! bench_gate <path/to/BENCH_incrscale.json> [threshold]
+//! bench_gate [--pair NUM:DEN] <path/to/BENCH_<name>.json> [threshold]
 //! ```
+//!
+//! The replay command in a failure diagnostic names the bench derived
+//! from the file name (`BENCH_demand.json` → `--bench demand`).
 //!
 //! The file is append-only across runs; the *last* row per
 //! `(bench, param)` pair wins, so a stale slow entry from an earlier
@@ -66,7 +76,54 @@ struct GateOutcome {
     failed: bool,
 }
 
-fn run_gate(text: &str, threshold: f64) -> GateOutcome {
+/// What to gate: which bench row divides which, against what limit, and
+/// which `cargo bench` invocation reproduces the rows.
+#[derive(Debug, Clone)]
+struct GateSpec {
+    /// Numerator bench name (the thing that must stay cheap).
+    num: String,
+    /// Denominator bench name (the baseline it is measured against).
+    den: String,
+    threshold: f64,
+    /// Bench target for the replay command, derived from the file name.
+    replay_bench: String,
+}
+
+impl GateSpec {
+    fn incremental(threshold: f64) -> Self {
+        GateSpec {
+            num: "incremental_edit".to_string(),
+            den: "scratch".to_string(),
+            threshold,
+            replay_bench: "incrscale".to_string(),
+        }
+    }
+}
+
+/// `--pair NUM:DEN` argument → the two bench names.
+fn parse_pair(arg: &str) -> Option<(String, String)> {
+    let (num, den) = arg.split_once(':')?;
+    if num.is_empty() || den.is_empty() {
+        return None;
+    }
+    Some((num.to_string(), den.to_string()))
+}
+
+/// `BENCH_demand.json` → `demand`, so a failure's replay command names
+/// the right bench target. Unrecognizable names fall back to the
+/// historical default.
+fn replay_bench_of(path: &str) -> String {
+    std::path::Path::new(path)
+        .file_name()
+        .and_then(|f| f.to_str())
+        .and_then(|f| f.strip_prefix("BENCH_"))
+        .and_then(|f| f.strip_suffix(".json"))
+        .unwrap_or("incrscale")
+        .to_string()
+}
+
+fn run_gate(text: &str, spec: &GateSpec) -> GateOutcome {
+    let threshold = spec.threshold;
     let mut out = GateOutcome::default();
 
     // Last row per (bench, param) wins.
@@ -87,67 +144,87 @@ fn run_gate(text: &str, threshold: f64) -> GateOutcome {
 
     let params: Vec<String> = rows
         .keys()
-        .filter(|(b, _)| b == "scratch")
+        .filter(|(b, _)| *b == spec.den)
         .map(|(_, p)| p.clone())
         .collect();
     if params.is_empty() {
-        out.diagnostics
-            .push("bench_gate: no scratch rows — did the bench run?".to_string());
+        out.diagnostics.push(format!(
+            "bench_gate: no {} rows — did the bench run?",
+            spec.den
+        ));
         out.failed = true;
         return out;
     }
 
     for param in params {
-        let scratch = rows[&("scratch".to_string(), param.clone())].clone();
-        let Some(incr) = rows.get(&("incremental_edit".to_string(), param.clone())).cloned()
-        else {
+        let den = rows[&(spec.den.clone(), param.clone())].clone();
+        let Some(num) = rows.get(&(spec.num.clone(), param.clone())).cloned() else {
             out.report
-                .push(format!("bench_gate: {param}: missing incremental_edit row"));
+                .push(format!("bench_gate: {param}: missing {} row", spec.num));
             out.diagnostics.push(format!(
-                "bench_gate: FAIL {param}: no incremental_edit row to compare \
-                 (scratch median {} ns)",
-                scratch.median_ns
+                "bench_gate: FAIL {param}: no {} row to compare ({} {})",
+                spec.num, spec.den, den.median_ns
             ));
             out.failed = true;
             continue;
         };
-        let ratio = incr.median_ns as f64 / scratch.median_ns as f64;
+        let ratio = num.median_ns as f64 / den.median_ns as f64;
         let tripped = ratio > threshold;
         let verdict = if tripped { "FAIL" } else { "ok" };
         out.report.push(format!(
-            "bench_gate: {param}: incremental {} ns vs scratch {} ns \
+            "bench_gate: {param}: {} {} vs {} {} \
              (ratio {ratio:.3}, limit {threshold:.2}) {verdict}",
-            incr.median_ns, scratch.median_ns
+            spec.num, num.median_ns, spec.den, den.median_ns
         ));
         if tripped {
-            let seed = incr
+            let seed = num
                 .seed
-                .or(scratch.seed)
+                .or(den.seed)
                 .unwrap_or_else(|| "unrecorded".to_string());
             out.diagnostics.push(format!(
                 "bench_gate: FAIL {param}: ratio {ratio:.3} > {threshold:.2} \
-                 (incremental {} ns, scratch {} ns, seed {seed}); replay with: \
-                 MODREF_SEED={seed} cargo bench --bench incrscale --offline",
-                incr.median_ns, scratch.median_ns
+                 ({} {}, {} {}, seed {seed}); replay with: \
+                 MODREF_SEED={seed} cargo bench --bench {} --offline",
+                spec.num, num.median_ns, spec.den, den.median_ns, spec.replay_bench
             ));
             out.failed = true;
         }
     }
     if out.failed {
         out.diagnostics.push(format!(
-            "bench_gate: incremental apply regressed past {threshold:.2} x scratch"
+            "bench_gate: {} exceeded {threshold:.2} x {} on at least one workload",
+            spec.num, spec.den
         ));
     }
     out
 }
 
 fn main() -> ExitCode {
+    const USAGE: &str = "usage: bench_gate [--pair NUM:DEN] <BENCH_<name>.json> [threshold]";
+    let mut pair: Option<(String, String)> = None;
+    let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: bench_gate <BENCH_incrscale.json> [threshold]");
+    while let Some(arg) = args.next() {
+        if arg == "--pair" {
+            let Some(value) = args.next() else {
+                eprintln!("bench_gate: --pair needs a NUM:DEN value\n{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            let Some(parsed) = parse_pair(&value) else {
+                eprintln!("bench_gate: `--pair {value}` is not NUM:DEN\n{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            pair = Some(parsed);
+        } else {
+            positional.push(arg);
+        }
+    }
+    let mut positional = positional.into_iter();
+    let Some(path) = positional.next() else {
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let threshold: f64 = match args.next() {
+    let threshold: f64 = match positional.next() {
         Some(t) => match t.parse() {
             Ok(v) => v,
             Err(_) => {
@@ -157,6 +234,15 @@ fn main() -> ExitCode {
         },
         None => 1.10,
     };
+    let spec = match pair {
+        Some((num, den)) => GateSpec {
+            num,
+            den,
+            threshold,
+            replay_bench: replay_bench_of(&path),
+        },
+        None => GateSpec::incremental(threshold),
+    };
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
@@ -165,7 +251,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let outcome = run_gate(&text, threshold);
+    let outcome = run_gate(&text, &spec);
     for line in &outcome.report {
         println!("{line}");
     }
@@ -200,7 +286,7 @@ mod tests {
             line("incremental_edit", "pascal_64", 2100, "42"),
         ]
         .join("\n");
-        let outcome = run_gate(&text, 1.10);
+        let outcome = run_gate(&text, &GateSpec::incremental(1.10));
         assert!(!outcome.failed);
         assert!(outcome.diagnostics.is_empty(), "{:?}", outcome.diagnostics);
         assert_eq!(outcome.report.len(), 2);
@@ -216,7 +302,7 @@ mod tests {
             line("incremental_edit", "pascal_64", 1000, "1988"),
         ]
         .join("\n");
-        let outcome = run_gate(&text, 1.10);
+        let outcome = run_gate(&text, &GateSpec::incremental(1.10));
         assert!(outcome.failed);
         let fail = outcome
             .diagnostics
@@ -241,14 +327,14 @@ mod tests {
             line("incremental_edit", "fortran_64", 500, "43"),  // fresh
         ]
         .join("\n");
-        let outcome = run_gate(&text, 1.10);
+        let outcome = run_gate(&text, &GateSpec::incremental(1.10));
         assert!(!outcome.failed, "{:?}", outcome.diagnostics);
         assert!(outcome.report[0].contains("ratio 0.500"));
     }
 
     #[test]
     fn missing_rows_and_malformed_lines_are_diagnosed() {
-        let outcome = run_gate("", 1.10);
+        let outcome = run_gate("", &GateSpec::incremental(1.10));
         assert!(outcome.failed);
         assert!(outcome.diagnostics[0].contains("no scratch rows"));
 
@@ -257,7 +343,7 @@ mod tests {
             line("scratch", "fortran_64", 1000, "42"),
         ]
         .join("\n");
-        let outcome = run_gate(&text, 1.10);
+        let outcome = run_gate(&text, &GateSpec::incremental(1.10));
         assert!(outcome.failed);
         assert!(outcome.diagnostics[0].contains("malformed line"));
         assert!(
@@ -277,7 +363,7 @@ mod tests {
             "{\"bench\":\"incremental_edit\",\"param\":\"f\",\"median_ns\":2000}".to_string(),
         ]
         .join("\n");
-        let outcome = run_gate(&text, 1.10);
+        let outcome = run_gate(&text, &GateSpec::incremental(1.10));
         assert!(outcome.failed);
         let fail = outcome
             .diagnostics
@@ -285,5 +371,80 @@ mod tests {
             .find(|d| d.contains("FAIL f:"))
             .expect("offender diagnostic");
         assert!(fail.contains("seed 7"), "got: {fail}");
+    }
+
+    fn demand_spec(threshold: f64) -> GateSpec {
+        GateSpec {
+            num: "query_site_ops".to_string(),
+            den: "exhaustive_ops".to_string(),
+            threshold,
+            replay_bench: replay_bench_of("target/modref-bench/BENCH_demand.json"),
+        }
+    }
+
+    #[test]
+    fn pair_mode_gates_recorded_op_counts() {
+        // 7.3% of the solve: inside the 10% sublinearity limit.
+        let text = [
+            line("query_site_ops", "fortran_1k", 730, "42"),
+            line("exhaustive_ops", "fortran_1k", 10_000, "42"),
+        ]
+        .join("\n");
+        let outcome = run_gate(&text, &demand_spec(0.10));
+        assert!(!outcome.failed, "{:?}", outcome.diagnostics);
+        assert!(outcome.report[0].contains("query_site_ops 730"));
+        assert!(outcome.report[0].contains("exhaustive_ops 10000"));
+
+        // 16.6%: a query that costs a sixth of the solve is not a point
+        // query any more — the gate must name the replay bench from the
+        // file name, not the incrscale default.
+        let text = [
+            line("query_site_ops", "fortran_10k", 1660, "42"),
+            line("exhaustive_ops", "fortran_10k", 10_000, "42"),
+        ]
+        .join("\n");
+        let outcome = run_gate(&text, &demand_spec(0.10));
+        assert!(outcome.failed);
+        let fail = outcome
+            .diagnostics
+            .iter()
+            .find(|d| d.contains("FAIL fortran_10k"))
+            .expect("offender diagnostic");
+        assert!(fail.contains("ratio 0.166"), "got: {fail}");
+        assert!(fail.contains("--bench demand"), "got: {fail}");
+    }
+
+    #[test]
+    fn pair_mode_diagnoses_missing_rows_by_their_own_names() {
+        let outcome = run_gate("", &demand_spec(0.10));
+        assert!(outcome.failed);
+        assert!(outcome.diagnostics[0].contains("no exhaustive_ops rows"));
+
+        let text = line("exhaustive_ops", "fortran_1k", 10_000, "42");
+        let outcome = run_gate(&text, &demand_spec(0.10));
+        assert!(outcome.failed);
+        assert!(
+            outcome
+                .diagnostics
+                .iter()
+                .any(|d| d.contains("no query_site_ops row")),
+            "{:?}",
+            outcome.diagnostics
+        );
+    }
+
+    #[test]
+    fn pair_and_replay_parsing() {
+        assert_eq!(
+            parse_pair("query_site_ops:exhaustive_ops"),
+            Some(("query_site_ops".to_string(), "exhaustive_ops".to_string()))
+        );
+        assert_eq!(parse_pair("no-colon"), None);
+        assert_eq!(parse_pair(":den"), None);
+        assert_eq!(parse_pair("num:"), None);
+
+        assert_eq!(replay_bench_of("a/b/BENCH_demand.json"), "demand");
+        assert_eq!(replay_bench_of("BENCH_incrscale.json"), "incrscale");
+        assert_eq!(replay_bench_of("something-else.json"), "incrscale");
     }
 }

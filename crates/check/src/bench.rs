@@ -169,6 +169,33 @@ impl BenchGroup {
         self
     }
 
+    /// Records an already-measured raw value (an operation count, a byte
+    /// size) as a result row: `median_ns`/`min_ns`/`max_ns` all carry the
+    /// value verbatim, with 1 sample × 1 iter marking it as recorded
+    /// rather than timed. Deterministic metrics ride the same JSON-lines
+    /// stream as timings, so gates (`bench_gate --pair`) can compare
+    /// op-count rows exactly like timed rows.
+    pub fn record(&mut self, bench: &str, param: impl ToString, value: u128) {
+        let result = BenchResult {
+            group: self.group.clone(),
+            bench: bench.to_owned(),
+            param: param.to_string(),
+            median_ns: value,
+            min_ns: value,
+            max_ns: value,
+            samples: 1,
+            iters: 1,
+            seed: self.seed.clone(),
+        };
+        println!(
+            "{:>24} / {:<10} {:>14} (recorded)",
+            format!("{}::{}", result.group, result.bench),
+            result.param,
+            result.median_ns,
+        );
+        self.results.push(result);
+    }
+
     /// Times `f`, labelled `bench` with workload parameter `param`.
     /// Wrap returned values in [`black_box`] yourself only if the
     /// computation could otherwise be optimised away; the runner already

@@ -8,12 +8,14 @@ use modref_binding::BindingGraph;
 use modref_bitset::BitSet;
 use modref_core::trace::{parse_json, Json};
 use modref_core::{AnalysisOutcome, Analyzer, Budget, FaultPlan, Guard, Trace};
-use modref_incr::render::{render_json, render_text, set_names, SiteSets};
-use modref_incr::{IncrOutcome, IncrementalExt, Script};
-use modref_ir::{CallGraph, Program, VarId};
+use modref_incr::render::{
+    render_json, render_json_proc, render_json_site_answer, render_text, set_names, SiteSets,
+};
+use modref_incr::{IncrOutcome, IncrementalExt, QueryEngine, Script};
+use modref_ir::{CallGraph, CallSiteId, Program, VarId};
 use modref_sections::analyze_sections;
 
-use crate::options::{Command, DotWhat};
+use crate::options::{Command, DotWhat, QuerySpec};
 
 /// How a command finished: exact results, or sound-but-widened ones.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +43,7 @@ pub fn run(cmd: &Command) -> Result<RunStatus, Box<dyn Error>> {
             trace,
             metrics,
             edits,
+            query,
         } => analyze(
             file,
             *no_use,
@@ -54,6 +57,7 @@ pub fn run(cmd: &Command) -> Result<RunStatus, Box<dyn Error>> {
             trace.as_deref(),
             *metrics,
             edits.as_deref(),
+            query.as_ref(),
         ),
         Command::Summary { file } => summary(file).map(|()| RunStatus::Clean),
         Command::Sections { file } => sections(file).map(|()| RunStatus::Clean),
@@ -264,6 +268,7 @@ fn analyze(
     trace_out: Option<&str>,
     metrics: bool,
     edits: Option<&str>,
+    query: Option<&QuerySpec>,
 ) -> Result<RunStatus, Box<dyn Error>> {
     let trace = if trace_out.is_some() || metrics {
         Trace::enabled()
@@ -272,6 +277,13 @@ fn analyze(
     };
     let source = fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
     let program = modref_frontend::parse_program_traced(&source, &trace)?;
+
+    if let Some(spec) = query {
+        return analyze_query(
+            program, spec, edits, json, threads, timeout_ms, budget_ops, trace_out, metrics,
+            &trace,
+        );
+    }
 
     if let Some(script_path) = edits {
         return analyze_edits(
@@ -357,6 +369,111 @@ fn analyze(
     let (bn, be) = summary.beta_size();
     println!("binding multi-graph: {bn} nodes, {be} edges\n");
     print_site_report(&program, &SiteSets::from_summary(&program, &summary), no_use, no_alias);
+    Ok(status)
+}
+
+/// Answers a point query demand-driven: only the β/call-graph slice the
+/// query reaches is solved (see `modref_core::demand`), so a single-site
+/// question on a large program costs a fraction of the exhaustive run.
+/// `--edits` replays at pure-IR speed first (no analysis), then the query
+/// resolves against the edited program. A budget/deadline/fault trip
+/// degrades to the conservative visible-set answer and exit code 3, like
+/// every other analyze path.
+#[allow(clippy::too_many_arguments)]
+fn analyze_query(
+    program: Program,
+    spec: &QuerySpec,
+    edits: Option<&str>,
+    json: bool,
+    threads: Option<usize>,
+    timeout_ms: Option<u64>,
+    budget_ops: Option<u64>,
+    trace_out: Option<&str>,
+    metrics: bool,
+    trace: &Trace,
+) -> Result<RunStatus, Box<dyn Error>> {
+    let mut qe = QueryEngine::new_lazy_with(program, threads, trace.clone());
+    if let Some(script_path) = edits {
+        let text = fs::read_to_string(script_path)
+            .map_err(|e| format!("cannot read `{script_path}`: {e}"))?;
+        qe.replay_history(text.lines())
+            .map_err(|e| format!("{script_path}: {e}"))?;
+    }
+    let guard = guard_from_flags(timeout_ms, budget_ops);
+    let program = qe.program().clone();
+
+    let mut status = RunStatus::Clean;
+    let note_degraded = |reason: &Option<String>, status: &mut RunStatus| {
+        if let Some(reason) = reason {
+            eprintln!("warning: query degraded: {reason}");
+            eprintln!("  reported sets are sound over-approximations of the exact ones");
+            *status = RunStatus::Degraded;
+        }
+    };
+    let (report, ops) = match spec {
+        QuerySpec::Site(n) => {
+            if *n >= program.num_sites() {
+                return Err(format!(
+                    "site index {n} out of range (program has {} call sites)",
+                    program.num_sites()
+                )
+                .into());
+            }
+            let s = CallSiteId::new(*n);
+            let out = qe.site_answer(s, &guard);
+            note_degraded(&out.degraded, &mut status);
+            let a = &out.answer;
+            let text = if json {
+                render_json_site_answer(&program, s, &a.mods, &a.uses, &a.dmod)
+            } else {
+                let info = program.site(s);
+                format!(
+                    "site {s}: call {} (in {})\n  MOD  = {}\n  DMOD = {}\n  USE  = {}\n",
+                    program.proc_name(info.callee()),
+                    program.proc_name(info.caller()),
+                    names(&program, &a.mods),
+                    names(&program, &a.dmod),
+                    names(&program, &a.uses),
+                )
+            };
+            (text, out.ops)
+        }
+        QuerySpec::Proc(name) => {
+            let p = program
+                .procs()
+                .find(|&p| program.proc_name(p) == name)
+                .ok_or_else(|| format!("no procedure named `{name}`"))?;
+            let out = qe.proc_answer(p, &guard);
+            note_degraded(&out.degraded, &mut status);
+            let a = &out.answer;
+            let text = if json {
+                render_json_proc(&program, name, &a.gmod, &a.guse)
+            } else {
+                format!(
+                    "proc {name}\n  GMOD = {}\n  GUSE = {}\n",
+                    names(&program, &a.gmod),
+                    names(&program, &a.guse),
+                )
+            };
+            (text, out.ops)
+        }
+    };
+
+    if let Some(path) = trace_out {
+        fs::write(path, trace.export_chrome())
+            .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+    }
+    if metrics {
+        eprintln!(
+            "query ops: {} bitvec, {} bool, {} edges ({} total)",
+            ops.bitvec_steps,
+            ops.bool_steps,
+            ops.edges_visited,
+            ops.total()
+        );
+        eprint!("{}", trace.export_summary());
+    }
+    print!("{report}");
     Ok(status)
 }
 

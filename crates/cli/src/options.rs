@@ -9,7 +9,7 @@ usage:
                             [--gmod one|naive|fused|levels] [--threads N]
                             [--timeout-ms N] [--budget-ops N]
                             [--trace <out.json>] [--metrics]
-                            [--edits <script>]
+                            [--edits <script>] [--query site:N|proc:NAME]
   modref summary  <file.mp>
   modref sections <file.mp>
   modref parallel <file.mp>
@@ -28,6 +28,42 @@ exit codes:
   0 success   1 input/analysis error   2 usage error
   3 analysis degraded (budget, deadline, or injected fault); the
     printed sets are still sound over-approximations";
+
+/// A point query: answer for one call site or one procedure only,
+/// demand-driven (the analysis touches only the slice the query needs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuerySpec {
+    /// `site:N` — `MOD`/`USE`/`DMOD` at call site `N`.
+    Site(usize),
+    /// `proc:NAME` — `GMOD`/`GUSE` of the named procedure.
+    Proc(String),
+}
+
+impl QuerySpec {
+    /// Parses a `--query` value (`site:N` or `proc:NAME`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description of the problem.
+    pub fn parse(text: &str) -> Result<QuerySpec, String> {
+        if let Some(n) = text.strip_prefix("site:") {
+            let idx: usize = n
+                .parse()
+                .map_err(|_| format!("bad --query site index `{n}`"))?;
+            Ok(QuerySpec::Site(idx))
+        } else if let Some(name) = text.strip_prefix("proc:") {
+            if name.is_empty() {
+                Err("--query proc: needs a procedure name".into())
+            } else {
+                Ok(QuerySpec::Proc(name.to_owned()))
+            }
+        } else {
+            Err(format!(
+                "bad --query `{text}` (expected site:N or proc:NAME)"
+            ))
+        }
+    }
+}
 
 /// Which graph `modref dot` emits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +103,8 @@ pub enum Command {
         metrics: bool,
         /// Edit script to apply incrementally before reporting.
         edits: Option<String>,
+        /// Point query: answer for one site/procedure only, lazily.
+        query: Option<QuerySpec>,
     },
     /// Per-procedure summary table.
     Summary {
@@ -169,6 +207,7 @@ impl Command {
                 let mut trace = None;
                 let mut metrics = false;
                 let mut edits = None;
+                let mut query = None;
                 while let Some(a) = it.next() {
                     match a.as_str() {
                         "--no-use" => no_use = true,
@@ -217,6 +256,10 @@ impl Command {
                             let v = it.next().ok_or("--edits needs a script path")?;
                             edits = Some(v.clone());
                         }
+                        "--query" => {
+                            let v = it.next().ok_or("--query needs site:N or proc:NAME")?;
+                            query = Some(QuerySpec::parse(v)?);
+                        }
                         flag if flag.starts_with('-') => {
                             return Err(format!("unknown flag `{flag}`"))
                         }
@@ -236,6 +279,7 @@ impl Command {
                     trace,
                     metrics,
                     edits,
+                    query,
                 })
             }
             "trace-check" => {
@@ -488,6 +532,7 @@ mod tests {
                 trace: None,
                 metrics: false,
                 edits: None,
+                query: None,
             }
         );
     }
@@ -511,6 +556,7 @@ mod tests {
                 trace: None,
                 metrics: false,
                 edits: None,
+                query: None,
             }
         );
         assert!(parse(&["analyze", "x.mp", "--threads"])
@@ -540,6 +586,7 @@ mod tests {
                 trace: None,
                 metrics: false,
                 edits: None,
+                query: None,
             }
         );
         assert!(parse(&["analyze", "x.mp", "--timeout-ms"])
@@ -588,6 +635,34 @@ mod tests {
         assert!(parse(&["analyze", "x.mp", "--edits"])
             .unwrap_err()
             .contains("--edits needs a script path"));
+    }
+
+    #[test]
+    fn analyze_query_flag() {
+        let cmd = parse(&["analyze", "x.mp", "--query", "site:3"]).expect("parses");
+        match cmd {
+            Command::Analyze { query, .. } => assert_eq!(query, Some(QuerySpec::Site(3))),
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cmd = parse(&["analyze", "x.mp", "--query", "proc:solver"]).expect("parses");
+        match cmd {
+            Command::Analyze { query, .. } => {
+                assert_eq!(query, Some(QuerySpec::Proc("solver".into())));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&["analyze", "x.mp", "--query"])
+            .unwrap_err()
+            .contains("--query needs"));
+        assert!(parse(&["analyze", "x.mp", "--query", "site:many"])
+            .unwrap_err()
+            .contains("bad --query site index"));
+        assert!(parse(&["analyze", "x.mp", "--query", "proc:"])
+            .unwrap_err()
+            .contains("needs a procedure name"));
+        assert!(parse(&["analyze", "x.mp", "--query", "global:g"])
+            .unwrap_err()
+            .contains("expected site:N or proc:NAME"));
     }
 
     #[test]

@@ -77,20 +77,45 @@ impl AliasPairs {
     /// discarded.
     pub fn compute_guarded(program: &Program, guard: &Guard) -> Result<Self, Interrupt> {
         guard.checkpoint("alias")?;
-        let mut result = AliasPairs {
-            partners: vec![HashMap::new(); program.num_procs()],
-            keys: vec![BitSet::new(program.num_vars()); program.num_procs()],
-            num_vars: program.num_vars(),
-        };
+        let mut result = Self::empty_impl(program);
+        let all = vec![true; program.num_procs()];
+        result.solve_closure_guarded(program, &all, guard)?;
+        Ok(result)
+    }
 
+    /// Runs the worklist restricted to call sites whose callee lies in
+    /// `in_closure`, mutating `self` toward the fixpoint. When `in_closure`
+    /// is closed under "callers of" (every procedure that can call a member
+    /// is itself a member), the restricted system is *closed*: a site's
+    /// update reads only the caller's pairs, and every such caller is in
+    /// the closure. The least fixpoint of the restricted system therefore
+    /// coincides with the full-program `ALIAS` relation on every closure
+    /// member — this is what lets the demand engine answer one caller's
+    /// alias query without touching unrelated procedures. Any
+    /// already-accumulated pairs in `self` must be sound (⊆ the full
+    /// fixpoint); iteration from such a state still converges to the exact
+    /// fixpoint because the rules are monotone. Returns the number of
+    /// sites popped, for op accounting.
+    pub(crate) fn solve_closure_guarded(
+        &mut self,
+        program: &Program,
+        in_closure: &[bool],
+        guard: &Guard,
+    ) -> Result<u64, Interrupt> {
+        let result = self;
         // sites_of_caller[p] = the call sites textually inside p.
         let mut sites_of_caller: Vec<Vec<usize>> = vec![Vec::new(); program.num_procs()];
         for s in program.sites() {
             sites_of_caller[program.site(s).caller().index()].push(s.index());
         }
 
-        let mut queue: VecDeque<usize> = (0..program.num_sites()).collect();
-        let mut queued = vec![true; program.num_sites()];
+        let mut queue: VecDeque<usize> = (0..program.num_sites())
+            .filter(|&s| in_closure[program.site(modref_ir::CallSiteId::new(s)).callee().index()])
+            .collect();
+        let mut queued = vec![false; program.num_sites()];
+        for &s in &queue {
+            queued[s] = true;
+        }
         let mut popped: u64 = 0;
         while let Some(site_idx) = queue.pop_front() {
             popped += 1;
@@ -150,7 +175,8 @@ impl AliasPairs {
 
             if changed {
                 for &s2 in &sites_of_caller[callee.index()] {
-                    if !queued[s2] {
+                    let s2_callee = program.site(modref_ir::CallSiteId::new(s2)).callee();
+                    if !queued[s2] && in_closure[s2_callee.index()] {
                         queued[s2] = true;
                         queue.push_back(s2);
                     }
@@ -159,7 +185,7 @@ impl AliasPairs {
         }
         guard.charge(0, popped % 64);
         guard.check()?;
-        Ok(result)
+        Ok(popped)
     }
 
     /// `true` if `⟨a, b⟩ ∈ ALIAS(p)`. Irreflexive: `are_aliased(p, v, v)`

@@ -287,23 +287,55 @@ pub fn solve_component(
         return (vec![set], counter);
     }
 
-    let mut m = BitMatrix::new(members.len(), num_vars);
     // (row of caller, row of callee, callee node) for intra-component
-    // edges; self-edges dropped as no-ops.
+    // edges; self-edges dropped as no-ops. While building the base rows,
+    // accumulate the component's *transfer set* `T` — every contribution
+    // any member can inject, already stripped of its own hop's locals —
+    // and the union `L` of the members' local sets.
     let mut internal: Vec<(usize, usize, usize)> = Vec::new();
+    let mut bases: Vec<BitSet> = Vec::with_capacity(members.len());
+    let mut transfer = BitSet::new(num_vars);
+    let mut member_locals = BitSet::new(num_vars);
     for (k, &u) in members.iter().enumerate() {
+        member_locals.union_with(&locals[u]);
+        transfer.union_with_difference(&seeds[u], &locals[u]);
+        counter.bitvec_steps += 2;
         let mut base = seeds[u].clone();
         counter.bitvec_steps += 1;
         for &(q, _) in graph.successors_slice(u) {
             counter.edges_visited += 1;
             if comp_map[q] != c {
                 base.union_with_difference(&g_final[q], &locals[q]);
-                counter.bitvec_steps += 1;
+                transfer.union_with_difference(&g_final[q], &locals[q]);
+                counter.bitvec_steps += 2;
             } else if q != u {
                 internal.push((k, comp_pos[q], q));
             }
         }
-        m.or_row_with_set(k, &base);
+        bases.push(base);
+    }
+
+    // SCC collapse (§4): when `T ∩ L = ∅`, no internal hop's `∖ LOCAL`
+    // filter can strip anything a member injects, so every contribution
+    // reaches every member intact (the component is strongly connected)
+    // and the least fixpoint is exactly `row(u) = base(u) ∪ T`: it *is* a
+    // fixpoint (each equation reproduces `T` unfiltered), and any
+    // fixpoint contains it (each contribution survives some internal
+    // path). This is always the case for flat-scope programs — member
+    // locals are invisible to each other — and turns the quadratic
+    // passes-× -edges iteration into one pass.
+    counter.bool_steps += 1;
+    if transfer.is_disjoint(&member_locals) {
+        for base in &mut bases {
+            base.union_with(&transfer);
+        }
+        counter.bitvec_steps += members.len() as u64;
+        return (bases, counter);
+    }
+
+    let mut m = BitMatrix::new(members.len(), num_vars);
+    for (k, base) in bases.iter().enumerate() {
+        m.or_row_with_set(k, base);
     }
     loop {
         // A tripped guard abandons the fixpoint mid-way; the caller

@@ -55,6 +55,7 @@
 //! ```
 
 pub mod alias;
+pub mod demand;
 pub mod dmod;
 pub mod gmod;
 pub mod gmod_levels;
@@ -66,6 +67,10 @@ pub mod modsets;
 pub mod pipeline;
 
 pub use alias::AliasPairs;
+pub use demand::{
+    conservative_proc_answer, conservative_site_answer, query_proc_guarded, query_site_guarded,
+    DemandMemo, ProcAnswer, Side, SiteAnswer,
+};
 pub use gmod::{solve_gmod_one_level, solve_gmod_one_level_guarded, GmodSolution};
 pub use gmod_levels::{
     solve_component, solve_gmod_levels, solve_gmod_levels_guarded, solve_gmod_levels_traced,

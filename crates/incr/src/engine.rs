@@ -583,12 +583,21 @@ impl IncrementalEngine {
 
         // ---- Phase: local sets (flat LMOD/LUSE + the §3.3 extension) ----
         guard.checkpoint("incr.local")?;
-        let local_sets = program.local_sets();
-        let locals_dirty: Vec<bool> = match &old_local_sets {
-            Some(old_ls) => (0..np)
-                .map(|p| is_new_proc[p] || old_ls.get(p).is_none_or(|o| local_sets[p] != *o))
-                .collect(),
-            None => vec![true; np],
+        let phase_span = self.trace.span("incr.phase.local");
+        // Declarations can only change through a universe change, which
+        // forces a full rebuild — so under the set-local and patch modes
+        // the cached `LOCAL(p)` vector is reused wholesale instead of
+        // being reallocated (and compared) on every apply.
+        let (local_sets, locals_reused) = match old_local_sets {
+            Some(old_ls) if old_ls.len() == np => (old_ls, true),
+            _ => (program.local_sets(), false),
+        };
+        let locals_dirty: Vec<bool> = if locals_reused {
+            // The cache was only kept for modes that cannot touch
+            // declarations, so a reused vector is exactly the fresh one.
+            is_new_proc.clone()
+        } else {
+            vec![true; np]
         };
         let mut touched: Vec<bool> = match mode {
             Mode::Full => vec![true; np],
@@ -629,6 +638,8 @@ impl IncrementalEngine {
         let (imod, iuse) = extend_flat(program, &flat_mod, &flat_use, &local_sets);
 
         // ---- Phase: RMOD/RUSE over the binding condensation ----
+        drop(phase_span);
+        let phase_span = self.trace.span("incr.phase.rmod");
         guard.checkpoint("incr.rmod")?;
         let mut beta_patch_nodes: Vec<usize> = Vec::new();
         let (mut bc, beta_fresh) = match (mode, old_beta) {
@@ -690,6 +701,8 @@ impl IncrementalEngine {
         stats.rmod_components_recomputed = rmod_recomputed;
 
         // ---- Phase: IMOD⁺/IUSE⁺ (equation 5; one cheap boolean pass) ----
+        drop(phase_span);
+        let phase_span = self.trace.span("incr.phase.plus");
         guard.checkpoint("incr.plus")?;
         let plus_mod = compute_plus(program, &imod, &rmod, guard)?;
         let plus_use = compute_plus(program, &iuse, &ruse, guard)?;
@@ -699,6 +712,8 @@ impl IncrementalEngine {
             diff_procs(&plus_use, old.as_ref().map(|o| o.plus_use.as_slice()), &is_new_proc);
 
         // ---- Phase: GMOD/GUSE (maintained level-scheduled fixpoints) ----
+        drop(phase_span);
+        let phase_span = self.trace.span("incr.phase.gmod");
         guard.checkpoint("incr.gmod")?;
         let dp = program.max_level() as usize;
         let nproblems = dp.max(1);
@@ -801,6 +816,7 @@ impl IncrementalEngine {
                 guard.charge(np as u64, 0);
             }
         }
+        let assemble_span = self.trace.span("incr.phase.gmod.assemble");
         let gmod = match gmod_acc {
             Some(acc) => acc,
             None => cc.problems[0].rows_mod.clone(),
@@ -809,12 +825,17 @@ impl IncrementalEngine {
             Some(acc) => acc,
             None => cc.problems[0].rows_use.clone(),
         };
+        drop(assemble_span);
         stats.gmod_components_reused = gmod_reused;
         stats.gmod_components_recomputed = gmod_recomputed;
+        let diff_span = self.trace.span("incr.phase.gmod.diff");
         let gmod_dirty = diff_procs(&gmod, old.as_ref().map(|o| o.gmod.as_slice()), &is_new_proc);
         let guse_dirty = diff_procs(&guse, old.as_ref().map(|o| o.guse.as_slice()), &is_new_proc);
+        drop(diff_span);
 
         // ---- Phase: aliases, per-site projection, factoring ----
+        drop(phase_span);
+        let phase_span = self.trace.span("incr.phase.final");
         guard.checkpoint("incr.final")?;
         let (aliases, aliases_fresh) = match (mode, old_aliases) {
             // Alias pairs depend only on call sites and visibility, both
@@ -875,6 +896,7 @@ impl IncrementalEngine {
         }
         guard.charge(ns as u64, 0);
         guard.check()?;
+        drop(phase_span);
 
         // ---- Commit ----
         let changed_procs: Vec<ProcId> = program

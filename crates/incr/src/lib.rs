@@ -26,10 +26,15 @@
 //! * [`render`] — the one shared renderer for per-site `MOD`/`DMOD`/`USE`
 //!   reports (text and JSON), used byte-identically by the CLI and the
 //!   `modref-serve` daemon;
+//! * [`query`] — the [`QueryEngine`] front door that answers point
+//!   queries either from the warm incremental cache (Full mode) or by
+//!   demand-driven lazy resolution over `modref_core::demand` (Lazy
+//!   mode), with promotion on `all` queries;
 //! * re-exports of the edit vocabulary ([`Edit`], [`EditDelta`],
 //!   [`EditError`]) so consumers need only this crate.
 
 pub mod engine;
+pub mod query;
 pub mod render;
 pub mod script;
 
@@ -38,5 +43,6 @@ pub use engine::{
     ReplayError,
 };
 pub use modref_ir::{Edit, EditDelta, EditError};
+pub use query::{QueryEngine, QueryOutcome};
 pub use render::SiteSets;
 pub use script::{EditGen, Script, ScriptError};

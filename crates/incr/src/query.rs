@@ -1,0 +1,449 @@
+//! The per-session query engine: one front door over the *exhaustive*
+//! incremental cache and the *demand-driven* memo, so a consumer (the
+//! CLI's `--query`, a `modref serve` session) can answer point queries
+//! without solving the world.
+//!
+//! A [`QueryEngine`] starts in one of two modes:
+//!
+//! * **Full** — wraps a warm [`IncrementalEngine`]. Every summary is
+//!   already solved; point queries are O(1) reads of its cached rows.
+//! * **Lazy** — holds just the program plus a
+//!   [`DemandMemo`](modref_core::DemandMemo). Nothing is solved up
+//!   front; `MOD(site)` / `GMOD(p)` queries walk only the β/call-graph
+//!   slice the query reaches (see `modref_core::demand`), memoizing
+//!   partial fixpoints as they go. An `all` query *promotes* the session
+//!   to Full (one exhaustive solve, cached thereafter).
+//!
+//! The memo-sharing/invalidation contract: in Full mode the exhaustive
+//! cache *is* the memo — queries read it directly. In Lazy mode an edit
+//! goes through the same [`Edit`] vocabulary (pure IR apply, no
+//! analysis) and discards the demand memo, exactly as an apply
+//! invalidates the incremental cache. Either way a query after an edit
+//! can never observe stale sets.
+//!
+//! Degradation mirrors the incremental engine's ladder: a lazy query cut
+//! short by the guard (budget, deadline, cancellation, injected fault)
+//! or a contained panic answers with the conservative visible-set
+//! widening — a superset of the exact answer — and reports why; the memo
+//! keeps only finalised values across an interrupt, and is dropped on a
+//! contained panic.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use modref_core::demand::{
+    conservative_proc_answer, conservative_site_answer, query_proc_guarded, query_site_guarded,
+    DemandMemo, ProcAnswer, SiteAnswer,
+};
+use modref_core::{Analyzer, Guard};
+use modref_bitset::OpCounter;
+use modref_core::Trace;
+use modref_ir::{CallSiteId, Edit, EditError, ProcId, Program};
+
+use crate::engine::{IncrDelta, IncrOutcome, IncrementalEngine, IncrementalExt, ReplayError};
+use crate::render::SiteSets;
+use crate::script::Script;
+
+/// One answered query: the sets, why they were widened (if they were),
+/// and the work charged in the paper's cost units.
+#[derive(Debug)]
+pub struct QueryOutcome<T> {
+    /// The answer — exact unless `degraded` is set, in which case it is
+    /// the sound conservative widening.
+    pub answer: T,
+    /// `Some(reason)` when the query was cut short and the answer is the
+    /// visible-set fallback.
+    pub degraded: Option<String>,
+    /// Operations charged by this query (zero for Full-mode cache reads).
+    pub ops: OpCounter,
+}
+
+enum State {
+    Lazy {
+        program: Program,
+        memo: DemandMemo,
+        threads: Option<usize>,
+        trace: Trace,
+    },
+    Full(IncrementalEngine),
+    /// Transient placeholder while promoting; never observable.
+    Poisoned,
+}
+
+/// See the module docs. Constructed per session (serve) or per run (CLI).
+pub struct QueryEngine {
+    state: State,
+}
+
+impl QueryEngine {
+    /// A lazy engine: no up-front analysis, demand-driven queries.
+    pub fn new_lazy(program: Program) -> Self {
+        Self::new_lazy_with(program, None, Trace::disabled())
+    }
+
+    /// [`QueryEngine::new_lazy`] with the thread count and trace handle a
+    /// promotion to Full will use.
+    pub fn new_lazy_with(program: Program, threads: Option<usize>, trace: Trace) -> Self {
+        let memo = DemandMemo::new(&program);
+        QueryEngine {
+            state: State::Lazy {
+                program,
+                memo,
+                threads,
+                trace,
+            },
+        }
+    }
+
+    /// A full engine wrapping an already-built incremental cache.
+    pub fn new_full(engine: IncrementalEngine) -> Self {
+        QueryEngine {
+            state: State::Full(engine),
+        }
+    }
+
+    /// `true` while no exhaustive solve has run (demand-driven mode).
+    pub fn is_lazy(&self) -> bool {
+        matches!(self.state, State::Lazy { .. })
+    }
+
+    /// The current (post-edit) program.
+    pub fn program(&self) -> &Program {
+        match &self.state {
+            State::Lazy { program, .. } => program,
+            State::Full(engine) => engine.program(),
+            State::Poisoned => unreachable!("promotion never escapes"),
+        }
+    }
+
+    /// `true` while the engine holds degraded (widened) *state* — only
+    /// possible in Full mode after a cut-short apply. Lazy degradation is
+    /// per-query (see [`QueryOutcome::degraded`]), never sticky.
+    pub fn holds_degraded(&self) -> bool {
+        match &self.state {
+            State::Lazy { .. } => false,
+            State::Full(engine) => engine.stats().degraded,
+            State::Poisoned => unreachable!("promotion never escapes"),
+        }
+    }
+
+    /// The wrapped incremental engine, if this session has been promoted
+    /// (or was opened Full).
+    pub fn engine(&self) -> Option<&IncrementalEngine> {
+        match &self.state {
+            State::Full(engine) => Some(engine),
+            _ => None,
+        }
+    }
+
+    /// Applies one edit. Full mode delegates to
+    /// [`IncrementalEngine::apply_guarded`] (incremental recompute under
+    /// the guard); Lazy mode is a pure IR apply — no analysis runs — and
+    /// the demand memo is discarded, which is the lazy cache's
+    /// invalidation. A lazy apply is always [`IncrOutcome::Clean`] with
+    /// an empty delta (nothing is solved, so nothing observable changed
+    /// yet).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`EditError`] if the edit is rejected; program and
+    /// memo are untouched.
+    pub fn apply_guarded(
+        &mut self,
+        edit: &Edit,
+        guard: &Guard,
+    ) -> Result<IncrOutcome, EditError> {
+        match &mut self.state {
+            State::Lazy { program, memo, .. } => {
+                let (next, _delta) = program.apply_edit(edit)?;
+                *program = next;
+                *memo = DemandMemo::new(program);
+                Ok(IncrOutcome::Clean(IncrDelta::default()))
+            }
+            State::Full(engine) => engine.apply_guarded(edit, guard),
+            State::Poisoned => unreachable!("promotion never escapes"),
+        }
+    }
+
+    /// Replays a recorded edit history (the `--edits` grammar), exactly
+    /// as [`IncrementalEngine::replay_history`] — but a lazy session
+    /// replays at IR speed, with no analysis at all. Returns the number
+    /// of edits applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReplayError`] naming the first entry that fails to
+    /// parse, resolve, or apply; state produced by earlier entries is
+    /// kept.
+    pub fn replay_history<'a, I>(&mut self, history: I) -> Result<u64, ReplayError>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        match &mut self.state {
+            State::Full(engine) => engine.replay_history(history),
+            State::Lazy { .. } => {
+                let mut applied = 0u64;
+                for (index, line) in history.into_iter().enumerate() {
+                    let fail = |message: String| ReplayError { index, message };
+                    let script = Script::parse(line).map_err(|e| fail(e.message))?;
+                    for step in script.steps() {
+                        let edit = step.resolve(self.program()).map_err(|e| fail(e.message))?;
+                        self.apply_guarded(&edit, &Guard::unlimited())
+                            .map_err(|e| fail(e.to_string()))?;
+                        applied += 1;
+                    }
+                }
+                Ok(applied)
+            }
+            State::Poisoned => unreachable!("promotion never escapes"),
+        }
+    }
+
+    /// `MOD(s)`/`USE(s)`/`DMOD(s)`/`DUSE(s)` for one call site. Lazy mode
+    /// demands exactly the slice the site depends on; Full mode reads the
+    /// cache. Never fails: a cut-short lazy query degrades to the
+    /// conservative answer with the reason recorded.
+    pub fn site_answer(&mut self, s: CallSiteId, guard: &Guard) -> QueryOutcome<SiteAnswer> {
+        match &mut self.state {
+            State::Full(engine) => QueryOutcome {
+                answer: SiteAnswer {
+                    mods: engine.mod_site(s).clone(),
+                    uses: engine.use_site(s).clone(),
+                    dmod: engine.dmod_site(s).clone(),
+                    duse: engine.duse_site(s).clone(),
+                },
+                degraded: engine
+                    .stats()
+                    .degraded
+                    .then(|| "session holds degraded (sound, widened) results".to_owned()),
+                ops: OpCounter::new(),
+            },
+            State::Lazy {
+                program,
+                memo,
+                trace,
+                ..
+            } => {
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    query_site_guarded(program, memo, s, guard, trace)
+                }));
+                match attempt {
+                    Ok(Ok((answer, ops))) => QueryOutcome {
+                        answer,
+                        degraded: None,
+                        ops,
+                    },
+                    Ok(Err(interrupt)) => QueryOutcome {
+                        answer: conservative_site_answer(program, s),
+                        degraded: Some(interrupt.to_string()),
+                        ops: OpCounter::new(),
+                    },
+                    Err(payload) => {
+                        // Containment mirrors the incremental engine: the
+                        // memo is dropped (a panicking solver may have
+                        // been interrupted anywhere) and the answer is
+                        // the sound widening.
+                        *memo = DemandMemo::new(program);
+                        QueryOutcome {
+                            answer: conservative_site_answer(program, s),
+                            degraded: Some(format!(
+                                "panic during demand query: {}",
+                                panic_text(payload.as_ref())
+                            )),
+                            ops: OpCounter::new(),
+                        }
+                    }
+                }
+            }
+            State::Poisoned => unreachable!("promotion never escapes"),
+        }
+    }
+
+    /// `GMOD(p)`/`GUSE(p)` for one procedure, with the same mode split
+    /// and degradation contract as [`QueryEngine::site_answer`].
+    pub fn proc_answer(&mut self, p: ProcId, guard: &Guard) -> QueryOutcome<ProcAnswer> {
+        match &mut self.state {
+            State::Full(engine) => QueryOutcome {
+                answer: ProcAnswer {
+                    gmod: engine.gmod(p).clone(),
+                    guse: engine.guse(p).clone(),
+                },
+                degraded: engine
+                    .stats()
+                    .degraded
+                    .then(|| "session holds degraded (sound, widened) results".to_owned()),
+                ops: OpCounter::new(),
+            },
+            State::Lazy {
+                program,
+                memo,
+                trace,
+                ..
+            } => {
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    query_proc_guarded(program, memo, p, guard, trace)
+                }));
+                match attempt {
+                    Ok(Ok((answer, ops))) => QueryOutcome {
+                        answer,
+                        degraded: None,
+                        ops,
+                    },
+                    Ok(Err(interrupt)) => QueryOutcome {
+                        answer: conservative_proc_answer(program, p),
+                        degraded: Some(interrupt.to_string()),
+                        ops: OpCounter::new(),
+                    },
+                    Err(payload) => {
+                        *memo = DemandMemo::new(program);
+                        QueryOutcome {
+                            answer: conservative_proc_answer(program, p),
+                            degraded: Some(format!(
+                                "panic during demand query: {}",
+                                panic_text(payload.as_ref())
+                            )),
+                            ops: OpCounter::new(),
+                        }
+                    }
+                }
+            }
+            State::Poisoned => unreachable!("promotion never escapes"),
+        }
+    }
+
+    /// Every site's sets — the `query all` target. A lazy session is
+    /// first *promoted*: one exhaustive incremental build replaces the
+    /// demand memo, and the session stays Full (subsequent point queries
+    /// are cache reads, subsequent edits recompute incrementally).
+    pub fn all_sets(&mut self) -> SiteSets {
+        self.promote();
+        match &self.state {
+            State::Full(engine) => SiteSets::from_engine(engine),
+            _ => unreachable!("promote() always lands in Full"),
+        }
+    }
+
+    /// Promotes a lazy session to Full by running the exhaustive
+    /// analysis with the configured threads and trace. No-op when
+    /// already Full.
+    pub fn promote(&mut self) {
+        if let State::Full(_) = self.state {
+            return;
+        }
+        let state = std::mem::replace(&mut self.state, State::Poisoned);
+        let State::Lazy {
+            program,
+            threads,
+            trace,
+            ..
+        } = state
+        else {
+            unreachable!("promotion never escapes");
+        };
+        let mut analyzer = Analyzer::new();
+        analyzer.with_trace(trace);
+        if let Some(t) = threads {
+            analyzer.threads(t);
+        }
+        self.state = State::Full(analyzer.incremental(program));
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modref_ir::{Expr, ProgramBuilder};
+
+    fn sample() -> (Program, CallSiteId, ProcId) {
+        let mut b = ProgramBuilder::new();
+        let g = b.global("g");
+        let p = b.proc_("p", &["x"]);
+        b.assign(p, b.formal(p, 0), Expr::constant(1));
+        let main = b.main();
+        let s = b.call(main, p, &[g]);
+        (b.finish().expect("valid"), s, p)
+    }
+
+    #[test]
+    fn lazy_and_full_agree_on_point_queries() {
+        let (program, s, p) = sample();
+        let guard = Guard::unlimited();
+        let mut lazy = QueryEngine::new_lazy(program.clone());
+        let mut full = QueryEngine::new_full(IncrementalEngine::new(program));
+        let (ls, fs) = (lazy.site_answer(s, &guard), full.site_answer(s, &guard));
+        assert_eq!(ls.answer, fs.answer);
+        assert!(ls.degraded.is_none() && fs.degraded.is_none());
+        let (lp, fp) = (lazy.proc_answer(p, &guard), full.proc_answer(p, &guard));
+        assert_eq!(lp.answer, fp.answer);
+    }
+
+    #[test]
+    fn lazy_edit_invalidates_and_requeries_exactly() {
+        let (program, s, _p) = sample();
+        let guard = Guard::unlimited();
+        let h = program
+            .vars()
+            .find(|&v| program.var_name(v) == "g")
+            .expect("g exists");
+        let target = program
+            .procs()
+            .find(|&p| program.proc_name(p) == "p")
+            .expect("p exists");
+        let edit = Edit::SetLocalEffects {
+            proc_: target,
+            mods: vec![],
+            uses: vec![h],
+        };
+        let mut lazy = QueryEngine::new_lazy(program.clone());
+        let _ = lazy.site_answer(s, &guard); // warm the memo
+        lazy.apply_guarded(&edit, &guard).expect("edit applies");
+        let mut full = QueryEngine::new_full(IncrementalEngine::new(program));
+        full.apply_guarded(&edit, &guard).expect("edit applies");
+        assert_eq!(
+            lazy.site_answer(s, &guard).answer,
+            full.site_answer(s, &guard).answer
+        );
+    }
+
+    #[test]
+    fn all_query_promotes_and_matches_full() {
+        let (program, s, _p) = sample();
+        let guard = Guard::unlimited();
+        let mut lazy = QueryEngine::new_lazy(program.clone());
+        assert!(lazy.is_lazy());
+        let promoted = lazy.all_sets();
+        assert!(!lazy.is_lazy());
+        let full = SiteSets::from_engine(&IncrementalEngine::new(program));
+        assert_eq!(promoted.mods, full.mods);
+        assert_eq!(promoted.uses, full.uses);
+        assert_eq!(promoted.dmods, full.dmods);
+        // Still answers point queries (now from the cache).
+        assert!(lazy.site_answer(s, &guard).degraded.is_none());
+    }
+
+    #[test]
+    fn interrupted_lazy_query_degrades_soundly() {
+        let (program, s, _p) = sample();
+        let mut lazy = QueryEngine::new_lazy(program.clone());
+        let tight = Guard::new(&modref_core::Budget::unlimited().with_bitvec_steps(0));
+        let out = lazy.site_answer(s, &tight);
+        assert!(out.degraded.is_some());
+        let guard = Guard::unlimited();
+        let exact = QueryEngine::new_full(IncrementalEngine::new(program))
+            .site_answer(s, &guard)
+            .answer;
+        assert!(exact.mods.is_subset(&out.answer.mods));
+        assert!(exact.uses.is_subset(&out.answer.uses));
+        // And the same engine answers exactly once the pressure is gone.
+        assert_eq!(lazy.site_answer(s, &guard).answer, exact);
+    }
+}

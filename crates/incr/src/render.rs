@@ -129,16 +129,55 @@ pub fn render_json_site(program: &Program, sets: &SiteSets, site: CallSiteId) ->
     render_json_filtered(program, sets, Some(site))
 }
 
+/// The single-site object rendered directly from one answer's sets —
+/// byte-identical to [`render_json_site`] over a full [`SiteSets`] with
+/// the same values, which is what lets the demand-driven query path and
+/// the exhaustive path share one output contract.
+pub fn render_json_site_answer(
+    program: &Program,
+    site: CallSiteId,
+    mods: &BitSet,
+    uses: &BitSet,
+    dmod: &BitSet,
+) -> String {
+    let esc = escape_json;
+    let info = program.site(site);
+    format!(
+        "{{\"sites\":[{{\"id\":{},\"caller\":\"{}\",\"callee\":\"{}\",\"mod\":{},\"use\":{},\"dmod\":{}}}]}}\n",
+        site.index(),
+        esc(program.proc_name(info.caller())),
+        esc(program.proc_name(info.callee())),
+        set_names_json(program, mods),
+        set_names_json(program, uses),
+        set_names_json(program, dmod),
+    )
+}
+
+/// `{"proc":…,"gmod":[…],"guse":[…]}` with the same sorted-quoted-name
+/// arrays the site report uses. One renderer for the CLI's `--query
+/// proc:NAME` and the server's `query proc` responses.
+pub fn render_json_proc(program: &Program, name: &str, gmod: &BitSet, guse: &BitSet) -> String {
+    format!(
+        "{{\"proc\":\"{}\",\"gmod\":{},\"guse\":{}}}\n",
+        escape_json(name),
+        set_names_json(program, gmod),
+        set_names_json(program, guse)
+    )
+}
+
+/// The sorted `["a","b"]` JSON array every renderer uses for a set.
+fn set_names_json(program: &Program, set: &BitSet) -> String {
+    let mut parts: Vec<String> = set
+        .iter()
+        .map(|i| format!("\"{}\"", escape_json(program.var_name(VarId::new(i)))))
+        .collect();
+    parts.sort();
+    format!("[{}]", parts.join(","))
+}
+
 fn render_json_filtered(program: &Program, sets: &SiteSets, only: Option<CallSiteId>) -> String {
     let esc = escape_json;
-    let names = |set: &BitSet| -> String {
-        let mut parts: Vec<String> = set
-            .iter()
-            .map(|i| format!("\"{}\"", esc(program.var_name(VarId::new(i)))))
-            .collect();
-        parts.sort();
-        format!("[{}]", parts.join(","))
-    };
+    let names = |set: &BitSet| set_names_json(program, set);
     let mut out = String::from("{\"sites\":[");
     let mut emitted = 0usize;
     for site in program.sites() {

@@ -1,0 +1,434 @@
+//! The differential guarantee of the demand-driven query path.
+//!
+//! The lazy [`QueryEngine`] must answer every `MOD`/`USE`/`DMOD`/`DUSE`
+//! site query and every `GMOD`/`GUSE` procedure query **bit-identically**
+//! to a from-scratch exhaustive [`Analyzer`] — while sharing one demand
+//! memo across all queries on a program, in either query order. Three
+//! walls:
+//!
+//! 1. *Exhaustive small worlds*: every call multi-graph over up to four
+//!    procedures (the same enumeration `core/tests/exhaustive.rs` runs
+//!    for the solvers), flat and binding-chained.
+//! 2. *Seeded progen sweeps*: generated programs plus random edit
+//!    scripts, checked after every applied edit, at 1 and 4 scratch
+//!    threads. Replay a failure with
+//!    `MODREF_SEED=<seed> cargo test -p modref-incr --test demand_equiv`.
+//! 3. *Fault injection*: an armed panic or budget-exhaustion at every
+//!    `query.*` guard checkpoint must degrade the answer to a proven
+//!    **superset** of the exact sets (never unsound, never a crash), and
+//!    the same engine must answer exactly once the pressure is gone.
+
+use modref_check::prelude::*;
+use modref_check::runner::CaseResult;
+use modref_core::{Analyzer, FaultPlan, Guard};
+use modref_incr::{EditGen, QueryEngine};
+use modref_ir::{Expr, Program, ProgramBuilder};
+use modref_progen::{generate, GenConfig};
+
+/// Every guard checkpoint the demand walk can trip on (see
+/// `modref_core::demand`). Kept in sync by the fault-injection tests
+/// below: each site must actually *fire* on the rich program.
+const QUERY_SITES: &[&str] = &[
+    "query",
+    "query.local",
+    "query.rmod",
+    "query.plus",
+    "query.gmod",
+    "query.alias",
+    "query.final",
+];
+
+/// Queries every site and procedure through one shared-memo lazy engine
+/// and asserts bit-identity against a scratch analysis. `reverse` flips
+/// the query order, so memoized partial fixpoints are exercised both as
+/// "computed on demand" and as "already finalised by an earlier query".
+fn assert_demand_matches_scratch(program: &Program, reverse: bool, ctx: &str) {
+    let scratch = Analyzer::new().analyze(program);
+    let guard = Guard::unlimited();
+    let mut lazy = QueryEngine::new_lazy(program.clone());
+    let sites: Vec<_> = if reverse {
+        program.sites().collect::<Vec<_>>().into_iter().rev().collect()
+    } else {
+        program.sites().collect()
+    };
+    let procs: Vec<_> = if reverse {
+        program.procs().collect::<Vec<_>>().into_iter().rev().collect()
+    } else {
+        program.procs().collect()
+    };
+    // Reverse order also asks procs *first*, so site queries start from a
+    // memo another query family warmed.
+    if reverse {
+        for &p in &procs {
+            let out = lazy.proc_answer(p, &guard);
+            assert!(out.degraded.is_none(), "{ctx}: unlimited query degraded");
+            assert_eq!(&out.answer.gmod, scratch.gmod(p), "{ctx}: GMOD({p})");
+            assert_eq!(&out.answer.guse, scratch.guse(p), "{ctx}: GUSE({p})");
+        }
+    }
+    for &s in &sites {
+        let out = lazy.site_answer(s, &guard);
+        assert!(out.degraded.is_none(), "{ctx}: unlimited query degraded");
+        assert_eq!(&out.answer.mods, scratch.mod_site(s), "{ctx}: MOD({s})");
+        assert_eq!(&out.answer.uses, scratch.use_site(s), "{ctx}: USE({s})");
+        assert_eq!(&out.answer.dmod, scratch.dmod_site(s), "{ctx}: DMOD({s})");
+        assert_eq!(&out.answer.duse, scratch.duse_site(s), "{ctx}: DUSE({s})");
+    }
+    if !reverse {
+        for &p in &procs {
+            let out = lazy.proc_answer(p, &guard);
+            assert!(out.degraded.is_none(), "{ctx}: unlimited query degraded");
+            assert_eq!(&out.answer.gmod, scratch.gmod(p), "{ctx}: GMOD({p})");
+            assert_eq!(&out.answer.guse, scratch.guse(p), "{ctx}: GUSE({p})");
+        }
+    }
+}
+
+/// All directed edge slots among `n` procedures, with or without
+/// self-loops (mirrors `core/tests/exhaustive.rs`).
+fn edge_slots(n: usize, self_loops: bool) -> Vec<(usize, usize)> {
+    let mut slots = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if self_loops || i != j {
+                slots.push((i, j));
+            }
+        }
+    }
+    slots
+}
+
+fn edges_of(slots: &[(usize, usize)], mask: u64) -> Vec<(usize, usize)> {
+    slots
+        .iter()
+        .enumerate()
+        .filter(|&(k, _)| mask & (1 << k) != 0)
+        .map(|(_, &e)| e)
+        .collect()
+}
+
+/// Flat configuration: parameterless procedures, each writing its own
+/// global; edge `(i, j)` is a no-argument call `pi → pj`.
+fn flat_program(n: usize, edges: &[(usize, usize)]) -> Program {
+    let mut b = ProgramBuilder::new();
+    let globals: Vec<_> = (0..n).map(|i| b.global(&format!("g{i}"))).collect();
+    let procs: Vec<_> = (0..n).map(|i| b.proc_(&format!("p{i}"), &[])).collect();
+    for (i, &p) in procs.iter().enumerate() {
+        b.assign(p, globals[i], Expr::constant(1));
+    }
+    let main = b.main();
+    for &p in &procs {
+        b.call(main, p, &[]);
+    }
+    for &(i, j) in edges {
+        b.call(procs[i], procs[j], &[]);
+    }
+    b.finish().expect("flat instances are always valid")
+}
+
+/// Binding configuration: each procedure takes one reference formal,
+/// only the last writes it; edge `(i, j)` passes `pi`'s formal on to
+/// `pj`, so the demanded `RMOD` walk must chase bindings through every
+/// cycle shape the mask encodes.
+fn binding_program(n: usize, edges: &[(usize, usize)]) -> Program {
+    let mut b = ProgramBuilder::new();
+    let globals: Vec<_> = (0..n).map(|i| b.global(&format!("g{i}"))).collect();
+    let procs: Vec<_> = (0..n).map(|i| b.proc_(&format!("p{i}"), &["x"])).collect();
+    if let Some(&last) = procs.last() {
+        b.assign(last, b.formal(last, 0), Expr::constant(1));
+    }
+    let main = b.main();
+    for (i, &p) in procs.iter().enumerate() {
+        b.call(main, p, &[globals[i]]);
+    }
+    for &(i, j) in edges {
+        b.call(procs[i], procs[j], &[b.formal(procs[i], 0)]);
+    }
+    b.finish().expect("binding instances are always valid")
+}
+
+#[test]
+fn demand_matches_scratch_on_all_small_worlds_up_to_three_procs() {
+    let mut instances = 0usize;
+    for n in 1..=3usize {
+        let slots = edge_slots(n, true);
+        for mask in 0..(1u64 << slots.len()) {
+            let edges = edges_of(&slots, mask);
+            for (kind, program) in [
+                ("flat", flat_program(n, &edges)),
+                ("binding", binding_program(n, &edges)),
+            ] {
+                let ctx = format!("{kind} n={n} mask={mask:#x}");
+                assert_demand_matches_scratch(&program, false, &ctx);
+                assert_demand_matches_scratch(&program, true, &ctx);
+                instances += 1;
+            }
+        }
+    }
+    // 2 × (2 + 16 + 512): the enumeration itself is part of the contract.
+    assert_eq!(instances, 1060, "the small-world enumeration shrank");
+}
+
+#[test]
+fn demand_matches_scratch_on_all_four_proc_worlds_flat() {
+    let slots = edge_slots(4, false);
+    assert_eq!(slots.len(), 12);
+    for mask in 0..(1u64 << slots.len()) {
+        let program = flat_program(4, &edges_of(&slots, mask));
+        assert_demand_matches_scratch(&program, mask % 2 == 1, &format!("flat n=4 mask={mask:#x}"));
+    }
+}
+
+#[test]
+fn demand_matches_scratch_on_all_four_proc_worlds_binding() {
+    let slots = edge_slots(4, false);
+    for mask in 0..(1u64 << slots.len()) {
+        let program = binding_program(4, &edges_of(&slots, mask));
+        assert_demand_matches_scratch(
+            &program,
+            mask % 2 == 1,
+            &format!("binding n=4 mask={mask:#x}"),
+        );
+    }
+}
+
+/// One progen sweep: random edits stream through a lazy engine (pure IR
+/// apply + memo invalidation); after every applied edit the demanded
+/// answers must match a scratch analysis at `threads` workers.
+fn run_sweep(program: &Program, threads: usize, seed: u64, steps: usize) -> CaseResult {
+    let mut lazy = QueryEngine::new_lazy(program.clone());
+    let guard = Guard::unlimited();
+    let mut gen = EditGen::new(seed ^ 0xde3a_4d00_77u64);
+    for step in 0..=steps {
+        if step > 0 {
+            let edit = gen.next_edit(lazy.program());
+            if lazy.apply_guarded(&edit, &guard).is_err() {
+                continue; // rejected edits leave program and memo untouched
+            }
+        }
+        let program = lazy.program().clone();
+        let scratch = Analyzer::new().threads(threads).analyze(&program);
+        for s in program.sites() {
+            let out = lazy.site_answer(s, &guard);
+            prop_assert!(
+                out.degraded.is_none(),
+                "unlimited demand query degraded at step {} (seed {})",
+                step,
+                seed
+            );
+            prop_assert_eq!(
+                &out.answer.mods,
+                scratch.mod_site(s),
+                "MOD({}) diverged at step {} / {} threads (seed {})",
+                s,
+                step,
+                threads,
+                seed
+            );
+            prop_assert_eq!(
+                &out.answer.uses,
+                scratch.use_site(s),
+                "USE({}) diverged at step {} (seed {})",
+                s,
+                step,
+                seed
+            );
+            prop_assert_eq!(
+                &out.answer.dmod,
+                scratch.dmod_site(s),
+                "DMOD({}) diverged at step {} (seed {})",
+                s,
+                step,
+                seed
+            );
+            prop_assert_eq!(
+                &out.answer.duse,
+                scratch.duse_site(s),
+                "DUSE({}) diverged at step {} (seed {})",
+                s,
+                step,
+                seed
+            );
+        }
+        for p in program.procs() {
+            let out = lazy.proc_answer(p, &guard);
+            prop_assert_eq!(
+                &out.answer.gmod,
+                scratch.gmod(p),
+                "GMOD({}) diverged at step {} / {} threads (seed {})",
+                p,
+                step,
+                threads,
+                seed
+            );
+            prop_assert_eq!(
+                &out.answer.guse,
+                scratch.guse(p),
+                "GUSE({}) diverged at step {} (seed {})",
+                p,
+                step,
+                seed
+            );
+        }
+    }
+    CaseResult::Pass
+}
+
+property! {
+    #![cases = 24]
+
+    fn demand_is_bit_identical_to_scratch_flat(
+        seed in any_u64(),
+        n in ints(2..14usize),
+        steps in ints(1..9usize),
+    ) {
+        let program = generate(&GenConfig::fortran_like(n), seed);
+        for &threads in &[1usize, 4] {
+            match run_sweep(&program, threads, seed, steps) {
+                CaseResult::Pass => {}
+                other => return other,
+            }
+        }
+    }
+
+    fn demand_is_bit_identical_to_scratch_pascal(
+        seed in any_u64(),
+        n in ints(4..20usize),
+        depth in ints(2..5u32),
+        steps in ints(1..7usize),
+    ) {
+        let program = generate(&GenConfig::pascal_like(n, depth), seed);
+        for &threads in &[1usize, 4] {
+            match run_sweep(&program, threads, seed, steps) {
+                CaseResult::Pass => {}
+                other => return other,
+            }
+        }
+    }
+
+    fn demand_is_bit_identical_to_scratch_binding_heavy(
+        seed in any_u64(),
+        n in ints(2..10usize),
+        params in ints(1..4usize),
+        steps in ints(1..7usize),
+    ) {
+        let program = generate(&GenConfig::binding_heavy(n, params), seed);
+        match run_sweep(&program, 1, seed, steps) {
+            CaseResult::Pass => {}
+            other => return other,
+        }
+    }
+}
+
+/// A program whose single "hot" site query walks through *every* demand
+/// stage: local effects, a binding chain (`RMOD`), `IMOD⁺`, a cyclic
+/// `GMOD` component, and aliased reference formals at the queried call.
+fn fault_rich_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    let g = b.global("g");
+    let _h = b.global("h");
+    let p = b.proc_("p", &["x", "y"]);
+    let q = b.proc_("q", &["z"]);
+    b.assign(p, b.formal(p, 0), Expr::constant(1));
+    b.assign(q, b.formal(q, 0), Expr::constant(2));
+    // A two-proc cycle passing formals along, so RMOD and GMOD both have
+    // a real fixpoint to find.
+    b.call(p, q, &[b.formal(p, 1)]);
+    b.call(q, p, &[b.formal(q, 0), b.formal(q, 0)]);
+    let main = b.main();
+    // The queried site: the same actual bound to both reference formals,
+    // so the caller has a live alias pair to fold in.
+    b.call(main, p, &[g, g]);
+    b.finish().expect("valid")
+}
+
+#[test]
+fn injected_faults_at_every_query_site_degrade_soundly_and_recover() {
+    let program = fault_rich_program();
+    let scratch = Analyzer::new().analyze(&program);
+    let site = program.sites().next().expect("has a site");
+    let proc_ = program.procs().next().expect("has a proc");
+    for &at in QUERY_SITES {
+        for panic in [false, true] {
+            let plan = if panic {
+                FaultPlan::new().panic_at(at)
+            } else {
+                FaultPlan::new().exhaust_at(at)
+            };
+            let armed = Guard::unlimited().with_faults(plan);
+            let mode = if panic { "panic" } else { "exhaust" };
+            let mut lazy = QueryEngine::new_lazy(program.clone());
+
+            let out = lazy.site_answer(site, &armed);
+            let reason = out
+                .degraded
+                .unwrap_or_else(|| panic!("{mode}@`{at}`: site query must trip the fault"));
+            // A contained panic names the checkpoint it fired at; a forced
+            // exhaustion reads as the ordinary budget interrupt.
+            if panic {
+                assert!(reason.contains(at), "{mode}@`{at}`: reason was {reason}");
+            }
+            // Sound: the degraded answer contains the exact one.
+            assert!(scratch.mod_site(site).is_subset(&out.answer.mods), "{mode}@`{at}`: MOD");
+            assert!(scratch.use_site(site).is_subset(&out.answer.uses), "{mode}@`{at}`: USE");
+            assert!(scratch.dmod_site(site).is_subset(&out.answer.dmod), "{mode}@`{at}`: DMOD");
+            assert!(scratch.duse_site(site).is_subset(&out.answer.duse), "{mode}@`{at}`: DUSE");
+            // Recovery: the same engine answers exactly under no pressure
+            // (after an interrupt the memo kept only finalised values;
+            // after a contained panic it was dropped entirely).
+            let calm = lazy.site_answer(site, &Guard::unlimited());
+            assert!(calm.degraded.is_none(), "{mode}@`{at}`: must recover");
+            assert_eq!(&calm.answer.mods, scratch.mod_site(site), "{mode}@`{at}`: exact MOD");
+            assert_eq!(&calm.answer.uses, scratch.use_site(site), "{mode}@`{at}`: exact USE");
+
+            // Procedure queries share the ladder (skip the alias stage,
+            // which only site queries reach).
+            if at == "query.alias" {
+                continue;
+            }
+            let armed = Guard::unlimited().with_faults(if panic {
+                FaultPlan::new().panic_at(at)
+            } else {
+                FaultPlan::new().exhaust_at(at)
+            });
+            let mut lazy = QueryEngine::new_lazy(program.clone());
+            let out = lazy.proc_answer(proc_, &armed);
+            let reason = out
+                .degraded
+                .unwrap_or_else(|| panic!("{mode}@`{at}`: proc query must trip the fault"));
+            if panic {
+                assert!(reason.contains(at), "{mode}@`{at}`: reason was {reason}");
+            }
+            assert!(scratch.gmod(proc_).is_subset(&out.answer.gmod), "{mode}@`{at}`: GMOD");
+            assert!(scratch.guse(proc_).is_subset(&out.answer.guse), "{mode}@`{at}`: GUSE");
+            let calm = lazy.proc_answer(proc_, &Guard::unlimited());
+            assert!(calm.degraded.is_none(), "{mode}@`{at}`: must recover");
+            assert_eq!(&calm.answer.gmod, scratch.gmod(proc_), "{mode}@`{at}`: exact GMOD");
+            assert_eq!(&calm.answer.guse, scratch.guse(proc_), "{mode}@`{at}`: exact GUSE");
+        }
+    }
+}
+
+/// Zero budgets and tight deadlines must degrade, never panic or hang —
+/// and a later unlimited query on the same engine is exact.
+#[test]
+fn starved_budgets_degrade_soundly_on_generated_programs() {
+    for seed in 0..8u64 {
+        let program = generate(&GenConfig::fortran_like(10), seed);
+        let scratch = Analyzer::new().analyze(&program);
+        let mut lazy = QueryEngine::new_lazy(program.clone());
+        let tight = Guard::new(&modref_core::Budget::unlimited().with_bitvec_steps(1));
+        for s in program.sites().take(4) {
+            let out = lazy.site_answer(s, &tight);
+            if out.degraded.is_some() {
+                assert!(
+                    scratch.mod_site(s).is_subset(&out.answer.mods),
+                    "seed {seed}: degraded MOD({s}) not a superset"
+                );
+            }
+            let calm = lazy.site_answer(s, &Guard::unlimited());
+            assert!(calm.degraded.is_none());
+            assert_eq!(&calm.answer.mods, scratch.mod_site(s), "seed {seed}: MOD({s})");
+        }
+    }
+}

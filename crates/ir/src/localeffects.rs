@@ -172,6 +172,21 @@ impl LocalEffects {
     }
 }
 
+/// The flat `(IMOD(p), IUSE(p))` of a single procedure — one walk over
+/// `p`'s own body, no nesting extension. This is the per-procedure slice
+/// of [`LocalEffects::compute`], exposed so demand-driven clients can pay
+/// for exactly the procedures a query touches instead of the whole
+/// program.
+pub fn flat_effects_of(program: &Program, p: ProcId) -> (BitSet, BitSet) {
+    let nv = program.num_vars();
+    let mut m = BitSet::new(nv);
+    let mut u = BitSet::new(nv);
+    walk_stmts(program.proc_(p).body(), &mut |s| {
+        accumulate_stmt(program, s, &mut m, &mut u);
+    });
+    (m, u)
+}
+
 /// `LMOD(s)`: the variables statement `s` (including statements nested in
 /// it) might modify, exclusive of procedure calls.
 ///

@@ -99,6 +99,16 @@ impl Jitter {
     }
 }
 
+/// The sleep floor for one overloaded-retry: the server's
+/// `retry_after_ms` hint when present and positive, else the policy's
+/// base backoff (itself clamped to ≥ 1 ms). A missing, malformed, or
+/// zero hint must never collapse the floor to zero — that would turn
+/// the retry loop into a zero-sleep spin hammering a server that just
+/// said it was overloaded.
+fn retry_floor_ms(hint: Option<u64>, policy: &RetryPolicy) -> u64 {
+    hint.filter(|&ms| ms > 0).unwrap_or_else(|| policy.base_ms.max(1))
+}
+
 /// How a drive run ended, mirroring the CLI's three-valued exit
 /// contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,8 +192,8 @@ impl Client {
             if resp.status != Status::Overloaded || attempt >= attempts {
                 return Ok(resp);
             }
-            let hint = resp.uint_field("retry_after_ms").unwrap_or(0);
-            std::thread::sleep(Duration::from_millis(jitter.next_ms(hint)));
+            let floor = retry_floor_ms(resp.uint_field("retry_after_ms"), policy);
+            std::thread::sleep(Duration::from_millis(jitter.next_ms(floor)));
             if let Ok(fresh) = TcpStream::connect(self.addr) {
                 self.stream = fresh;
                 self.next_id = 1;
@@ -245,7 +255,11 @@ fn frame_err(e: FrameError) -> String {
 /// One parsed drive-script command.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum DriveCmd {
-    Open { session: String, path: String },
+    Open {
+        session: String,
+        path: String,
+        lazy: bool,
+    },
     Edit { session: String, path: String },
     Query { session: String, target: QueryTarget },
     Close { session: String },
@@ -267,6 +281,12 @@ fn parse_drive(text: &str) -> Result<Vec<(usize, DriveCmd)>, String> {
             ("open", [session, path]) => DriveCmd::Open {
                 session: (*session).to_string(),
                 path: (*path).to_string(),
+                lazy: false,
+            },
+            ("open", [session, path, "lazy"]) => DriveCmd::Open {
+                session: (*session).to_string(),
+                path: (*path).to_string(),
+                lazy: true,
             },
             ("edit", [session, path]) => DriveCmd::Edit {
                 session: (*session).to_string(),
@@ -345,10 +365,15 @@ pub fn run_drive_with<W: Write, E: Write>(
     let mut degraded = false;
     for (line_no, cmd) in cmds {
         let request = match &cmd {
-            DriveCmd::Open { session, path } => Request::Open {
+            DriveCmd::Open {
+                session,
+                path,
+                lazy,
+            } => Request::Open {
                 session: session.clone(),
                 program: read_rel(base_dir, path)
                     .map_err(|e| format!("drive line {line_no}: {e}"))?,
+                lazy: *lazy,
             },
             DriveCmd::Edit { session, path } => Request::Edit {
                 session: session.clone(),
@@ -499,5 +524,25 @@ close s1
         assert!(err.contains("drive line 2"), "got: {err}");
         let err = parse_drive("query s1 site notanumber\n").unwrap_err();
         assert!(err.contains("bad site index"), "got: {err}");
+    }
+
+    #[test]
+    fn retry_floor_never_collapses_to_a_hot_spin() {
+        let policy = RetryPolicy::default();
+        // A sane server hint wins as-is.
+        assert_eq!(retry_floor_ms(Some(250), &policy), 250);
+        // Missing, malformed (uint_field yields None), or zero hints all
+        // fall back to the policy's base backoff.
+        assert_eq!(retry_floor_ms(None, &policy), policy.base_ms);
+        assert_eq!(retry_floor_ms(Some(0), &policy), policy.base_ms);
+        // Even a pathological zero-base policy keeps a 1 ms floor.
+        let hot = RetryPolicy { base_ms: 0, ..RetryPolicy::default() };
+        assert_eq!(retry_floor_ms(None, &hot), 1);
+
+        // And the jitter sequence respects that floor on every draw.
+        let mut jitter = Jitter::new(&hot);
+        for _ in 0..64 {
+            assert!(jitter.next_ms(retry_floor_ms(None, &hot)) >= 1);
+        }
     }
 }

@@ -118,15 +118,44 @@ pub fn fnv1a(bytes: &[u8]) -> u32 {
     h
 }
 
+/// A record whose payload exceeds [`MAX_RECORD_LEN`]. Writing it anyway
+/// would persist a length prefix the scanner rejects, so every record
+/// after it on disk would read back as corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OversizedRecord {
+    /// The payload length that broke the cap.
+    pub declared: usize,
+}
+
+impl std::fmt::Display for OversizedRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "oversized journal record: {} bytes, limit {MAX_RECORD_LEN}",
+            self.declared
+        )
+    }
+}
+
+impl std::error::Error for OversizedRecord {}
+
 /// Encodes one record: length prefix, checksum, payload.
-pub fn encode_record(rec: &JournalRecord) -> Vec<u8> {
+///
+/// # Errors
+///
+/// [`OversizedRecord`] when the payload exceeds [`MAX_RECORD_LEN`] —
+/// symmetric with the scanner, which treats such a prefix as torn.
+pub fn encode_record(rec: &JournalRecord) -> Result<Vec<u8>, OversizedRecord> {
     let payload = rec.render().into_bytes();
-    debug_assert!(!payload.is_empty() && payload.len() <= MAX_RECORD_LEN);
+    if payload.len() > MAX_RECORD_LEN {
+        return Err(OversizedRecord { declared: payload.len() });
+    }
+    debug_assert!(!payload.is_empty());
     let mut out = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
     out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
     out.extend_from_slice(&fnv1a(&payload).to_be_bytes());
     out.extend_from_slice(&payload);
-    out
+    Ok(out)
 }
 
 /// When appends reach the disk.
@@ -249,12 +278,15 @@ impl Journal {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem failures; after one, the caller must treat
+    /// An [`OversizedRecord`] surfaces as `InvalidInput` *before* any
+    /// byte reaches the file, so the journal stays clean. Otherwise
+    /// propagates filesystem failures; after one, the caller must treat
     /// the journal as dead (the on-disk prefix is still valid, but no
     /// later record may ever be appended past a missing one).
     pub fn append(&mut self, rec: &JournalRecord) -> std::io::Result<u64> {
         maybe_crash("serve.journal.append");
-        let bytes = encode_record(rec);
+        let bytes = encode_record(rec)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
         if crash_armed("serve.journal.torn") {
             // Chaos: persist a deliberately torn tail — header plus half
             // the payload — exactly what a crash mid-`write` leaves.
@@ -418,7 +450,7 @@ mod tests {
             JournalRecord::Edit { line: "set-local p mod=g use=g\t# note".into() },
         ];
         for rec in cases {
-            let bytes = encode_record(&rec);
+            let bytes = encode_record(&rec).expect("fits the cap");
             let scan = scan_bytes(&bytes);
             assert_eq!(scan.records, vec![rec]);
             assert_eq!(scan.good_bytes, bytes.len() as u64);
@@ -427,12 +459,47 @@ mod tests {
     }
 
     #[test]
+    fn encode_enforces_the_record_cap_at_the_boundary() {
+        // `line` is pure ASCII with nothing to escape, so the payload
+        // length is the fixed JSON envelope plus the line length — that
+        // lets the test hit the cap exactly.
+        let envelope = JournalRecord::Edit { line: String::new() }.render().len();
+        let at_cap = JournalRecord::Edit { line: "a".repeat(MAX_RECORD_LEN - envelope) };
+        let bytes = encode_record(&at_cap).expect("cap-sized record encodes");
+        assert_eq!(bytes.len(), RECORD_HEADER_LEN + MAX_RECORD_LEN);
+        let scan = scan_bytes(&bytes);
+        assert_eq!(scan.records, vec![at_cap]);
+        assert!(!scan.torn);
+
+        // One byte over: typed error, nothing encoded — and the scanner
+        // agrees the declared length is illegal (symmetry).
+        let over = JournalRecord::Edit { line: "a".repeat(MAX_RECORD_LEN - envelope + 1) };
+        assert_eq!(
+            encode_record(&over).unwrap_err(),
+            OversizedRecord { declared: MAX_RECORD_LEN + 1 }
+        );
+
+        // The append path surfaces it as InvalidInput before any write.
+        let dir = std::env::temp_dir().join(format!("modref-oversize-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = path_for(&dir, "cap");
+        let mut journal = Journal::create(&dir, "cap", FsyncPolicy::Never).expect("creates");
+        let err = journal.append(&over).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert_eq!(journal.appended(), 0, "no bytes reach the file");
+        let scan = scan_journal(&path).expect("scans");
+        assert!(scan.records.is_empty() && !scan.torn, "journal stays clean");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn scan_stops_at_first_damage_without_panic() {
-        let mut bytes = encode_record(&JournalRecord::Edit { line: "remove-call 0".into() });
+        let mut bytes = encode_record(&JournalRecord::Edit { line: "remove-call 0".into() })
+            .expect("fits the cap");
         let one = bytes.len();
         bytes.extend_from_slice(&encode_record(&JournalRecord::Edit {
             line: "add-call main p args=g".into(),
-        }));
+        }).expect("fits the cap"));
         // Flip one payload byte of the second record.
         let flip = one + RECORD_HEADER_LEN + 3;
         bytes[flip] ^= 0x40;

@@ -71,6 +71,10 @@ pub enum Request {
         session: String,
         /// MiniProc source text.
         program: String,
+        /// Open in demand-driven mode: no up-front solve; `site:`/`proc:`
+        /// queries resolve lazily and a `target=all` query promotes the
+        /// session to the exhaustive engine.
+        lazy: bool,
     },
     /// Apply a batched edit script (the `--edits` grammar) to a session.
     Edit {
@@ -202,6 +206,11 @@ impl Envelope {
             "open" => Request::Open {
                 session: need("session")?,
                 program: need("program")?,
+                lazy: match root.get("lazy") {
+                    None | Some(Json::Null) => false,
+                    Some(Json::Bool(b)) => *b,
+                    Some(_) => return Err(fail(some, "`lazy` must be a boolean".to_owned())),
+                },
             },
             "edit" => Request::Edit {
                 session: need("session")?,
@@ -234,9 +243,16 @@ impl Envelope {
             let _ = write!(out, ",\"{k}\":\"{}\"", escape_json(v));
         };
         match &self.request {
-            Request::Open { session, program } => {
+            Request::Open {
+                session,
+                program,
+                lazy,
+            } => {
                 field("session", session);
                 field("program", program);
+                if *lazy {
+                    out.push_str(",\"lazy\":true");
+                }
             }
             Request::Edit { session, script } => {
                 field("session", session);
@@ -521,6 +537,17 @@ mod tests {
                 request: Request::Open {
                     session: "s \"quoted\"".into(),
                     program: "main { }\nvar g;\n".into(),
+                    lazy: false,
+                },
+                budget_ops: None,
+                timeout_ms: None,
+            },
+            Envelope {
+                id: 11,
+                request: Request::Open {
+                    session: "lazy1".into(),
+                    program: "main { }\n".into(),
+                    lazy: true,
                 },
                 budget_ops: None,
                 timeout_ms: None,
@@ -595,6 +622,21 @@ mod tests {
             Envelope::parse(b"{\"id\":1,\"op\":\"query\",\"session\":\"s\",\"target\":\"site:x\"}")
                 .unwrap_err();
         assert!(e.message.contains("site index"), "{}", e.message);
+
+        let e = Envelope::parse(
+            b"{\"id\":1,\"op\":\"open\",\"session\":\"s\",\"program\":\"\",\"lazy\":\"yes\"}",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("`lazy` must be a boolean"), "{}", e.message);
+    }
+
+    #[test]
+    fn open_lazy_defaults_to_false_when_absent() {
+        let env = Envelope::parse(
+            b"{\"id\":2,\"op\":\"open\",\"session\":\"s\",\"program\":\"main { }\"}",
+        )
+        .expect("parses");
+        assert!(matches!(env.request, Request::Open { lazy: false, .. }));
     }
 
     #[test]

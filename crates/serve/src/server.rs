@@ -2,7 +2,7 @@
 //! request dispatch, durability, admission control, and server-wide
 //! counters.
 //!
-//! One [`IncrementalEngine`] per *live* session, each behind its own
+//! One engine per *live* session, each behind its own
 //! lock, so requests against different sessions run concurrently while
 //! requests against the same session serialize. Every request runs under
 //! its own [`Guard`] — the server's configured budget/deadline defaults,
@@ -48,12 +48,13 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use modref_bitset::BitSet;
 use modref_core::Analyzer;
 use modref_guard::{Budget, FaultPlan, Guard, Interrupt};
-use modref_incr::render::{render_json, render_json_site, SiteSets};
-use modref_incr::{IncrOutcome, IncrementalEngine, IncrementalExt, Script};
-use modref_ir::{CallSiteId, ProcId, Program, VarId};
+use modref_incr::render::{
+    render_json, render_json_proc, render_json_site, render_json_site_answer, SiteSets,
+};
+use modref_incr::{IncrOutcome, IncrementalExt, QueryEngine, Script};
+use modref_ir::{CallSiteId, ProcId, Program};
 use modref_trace::{escape_json, Trace};
 
 use crate::frame::{read_frame, write_frame, FrameError};
@@ -128,9 +129,11 @@ impl Default for ServerConfig {
 }
 
 /// One live session: the engine plus everything needed to park and
-/// resurrect it.
+/// resurrect it. The engine is a [`QueryEngine`]: sessions opened with
+/// `"lazy":true` hold only a demand memo until a `target=all` query (or
+/// resurrection) promotes them to the exhaustive incremental engine.
 struct Session {
-    engine: IncrementalEngine,
+    engine: QueryEngine,
     /// Edits applied since `open` (including degraded applies).
     edits_applied: u64,
     /// The program text the session was opened with.
@@ -292,7 +295,7 @@ impl Server {
                     rs.name.clone(),
                     Slot::Live {
                         session: Arc::new(Mutex::new(Session {
-                            engine: rs.engine,
+                            engine: QueryEngine::new_full(rs.engine),
                             edits_applied: rs.edits_applied,
                             source: rs.source,
                             history: rs.history,
@@ -672,37 +675,13 @@ fn conservative_report(program: &Program, target: &crate::proto::QueryTarget) ->
         QueryTarget::Proc(name) => {
             let p = find_proc(program, name)?;
             let wide = program.visible_set(p);
-            Some(render_proc(program, name, &wide, &wide))
+            Some(render_json_proc(program, name, &wide, &wide))
         }
     }
 }
 
 fn find_proc(program: &Program, name: &str) -> Option<ProcId> {
     program.procs().find(|&p| program.proc_name(p) == name)
-}
-
-/// `{"proc":…,"gmod":[…],"guse":[…]}` with the same sorted-quoted-name
-/// arrays the site report uses.
-fn render_proc(
-    program: &Program,
-    name: &str,
-    gmod: &BitSet,
-    guse: &BitSet,
-) -> String {
-    let names = |set: &BitSet| -> String {
-        let mut parts: Vec<String> = set
-            .iter()
-            .map(|i| format!("\"{}\"", escape_json(program.var_name(VarId::new(i)))))
-            .collect();
-        parts.sort();
-        format!("[{}]", parts.join(","))
-    };
-    format!(
-        "{{\"proc\":\"{}\",\"gmod\":{},\"guse\":{}}}\n",
-        escape_json(name),
-        names(gmod),
-        names(guse)
-    )
 }
 
 fn dispatch(shared: &Shared, env: &Envelope, guard: &Guard) -> (String, Status) {
@@ -713,7 +692,11 @@ fn dispatch(shared: &Shared, env: &Envelope, guard: &Guard) -> (String, Status) 
         return degraded_before_work(shared, env, interrupt);
     }
     match &env.request {
-        Request::Open { session, program } => open_session(shared, id, session, program, guard),
+        Request::Open {
+            session,
+            program,
+            lazy,
+        } => open_session(shared, id, session, program, *lazy, guard),
         Request::Edit { session, script } => {
             with_session(shared, id, "edit", session, guard, |slot| {
                 edit_session(shared, env, guard, session, slot, script)
@@ -941,7 +924,7 @@ fn resurrect(
         _ => None,
     };
     let session = Arc::new(Mutex::new(Session {
-        engine,
+        engine: QueryEngine::new_full(engine),
         edits_applied: parked.edits_applied,
         source: parked.source,
         history: parked.history,
@@ -1050,6 +1033,7 @@ fn open_session(
     id: u64,
     session: &str,
     source: &str,
+    lazy: bool,
     guard: &Guard,
 ) -> (String, Status) {
     let program = match modref_frontend::parse_program(source) {
@@ -1105,7 +1089,7 @@ fn open_session(
                 Ok((rs, _truncated)) if rs.source == source => {
                     add_journal_bytes(shared, rs.bytes);
                     let slot = Arc::new(Mutex::new(Session {
-                        engine: rs.engine,
+                        engine: QueryEngine::new_full(rs.engine),
                         edits_applied: rs.edits_applied,
                         source: rs.source,
                         history: rs.history,
@@ -1144,13 +1128,19 @@ fn open_session(
     }
     // The initial full analysis runs inside the table lock: opens are
     // rare and bounded, and it keeps "name reserved" and "engine ready"
-    // one atomic step.
-    let mut analyzer = Analyzer::new();
-    analyzer.with_trace(shared.cfg.trace.clone());
-    if let Some(t) = shared.cfg.threads {
-        analyzer.threads(t);
-    }
-    let engine = analyzer.incremental(program);
+    // one atomic step. A lazy open skips the analysis entirely — the
+    // session holds just the program and an empty demand memo, and the
+    // first point query solves only the slice it needs.
+    let engine = if lazy {
+        QueryEngine::new_lazy_with(program, shared.cfg.threads, shared.cfg.trace.clone())
+    } else {
+        let mut analyzer = Analyzer::new();
+        analyzer.with_trace(shared.cfg.trace.clone());
+        if let Some(t) = shared.cfg.threads {
+            analyzer.threads(t);
+        }
+        QueryEngine::new_full(analyzer.incremental(program))
+    };
     let (procs, sites, vars) = {
         let p = engine.program();
         (p.num_procs(), p.num_sites(), p.num_vars())
@@ -1397,11 +1387,10 @@ fn query_session(
 ) -> (String, Status) {
     use crate::proto::QueryTarget;
     let id = env.id;
-    let state = relock(slot);
-    let engine = &state.engine;
-    let program = engine.program();
+    let mut state = relock(slot);
     if let Err(interrupt) = guard.checkpoint("serve.session") {
         let reason = interrupt.to_string();
+        let program = state.engine.program();
         return match conservative_report(program, target) {
             Some(report) => (
                 resp_query(id, session, Some(&reason), &report),
@@ -1413,41 +1402,66 @@ fn query_session(
             ),
         };
     }
-    let report = match target {
-        QueryTarget::All => render_json(program, &SiteSets::from_engine(engine)),
+    // Point queries go through the query engine: a Full session reads
+    // its cache, a lazy session resolves the slice on demand (and may
+    // answer degraded *for this query only* if the guard trips mid-walk).
+    // `target=all` promotes a lazy session to Full first.
+    let (report, note): (String, Option<String>) = match target {
+        QueryTarget::All => {
+            let sets = state.engine.all_sets();
+            let note = state
+                .engine
+                .holds_degraded()
+                .then(|| "session holds degraded (sound, widened) results".to_owned());
+            (render_json(state.engine.program(), &sets), note)
+        }
         QueryTarget::Site(n) => {
-            if *n >= program.num_sites() {
+            if *n >= state.engine.program().num_sites() {
                 return (
-                    resp_error(Some(id), &bad_target_message(program, target)),
+                    resp_error(
+                        Some(id),
+                        &bad_target_message(state.engine.program(), target),
+                    ),
                     Status::Error,
                 );
             }
-            render_json_site(program, &SiteSets::from_engine(engine), CallSiteId::new(*n))
+            let s = CallSiteId::new(*n);
+            let out = state.engine.site_answer(s, guard);
+            let a = out.answer;
+            let report = render_json_site_answer(
+                state.engine.program(),
+                s,
+                &a.mods,
+                &a.uses,
+                &a.dmod,
+            );
+            (report, out.degraded)
         }
-        QueryTarget::Proc(name) => match find_proc(program, name) {
-            Some(p) => render_proc(program, name, engine.gmod(p), engine.guse(p)),
+        QueryTarget::Proc(name) => match find_proc(state.engine.program(), name) {
+            Some(p) => {
+                let out = state.engine.proc_answer(p, guard);
+                let a = out.answer;
+                let report =
+                    render_json_proc(state.engine.program(), name, &a.gmod, &a.guse);
+                (report, out.degraded)
+            }
             None => {
                 return (
-                    resp_error(Some(id), &bad_target_message(program, target)),
+                    resp_error(
+                        Some(id),
+                        &bad_target_message(state.engine.program(), target),
+                    ),
                     Status::Error,
                 )
             }
         },
     };
-    // A session whose last apply degraded holds sound widened sets; say
-    // so on every answer until a clean apply rebuilds them.
-    if state.engine.stats().degraded {
-        (
-            resp_query(
-                id,
-                session,
-                Some("session holds degraded (sound, widened) results"),
-                &report,
-            ),
+    match note {
+        Some(reason) => (
+            resp_query(id, session, Some(&reason), &report),
             Status::Degraded,
-        )
-    } else {
-        (resp_query(id, session, None, &report), Status::Ok)
+        ),
+        None => (resp_query(id, session, None, &report), Status::Ok),
     }
 }
 

@@ -51,6 +51,7 @@ fn open(client: &mut Client, session: &str, source: &str) -> Status {
         .request(Request::Open {
             session: session.to_string(),
             program: source.to_string(),
+            lazy: false,
         })
         .expect("open answers")
         .status

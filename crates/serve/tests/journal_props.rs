@@ -28,7 +28,7 @@ fn arb_records() -> BoxedStrategy<Vec<JournalRecord>> {
 }
 
 fn concat(records: &[JournalRecord]) -> Vec<u8> {
-    records.iter().flat_map(|r| encode_record(r)).collect()
+    records.iter().flat_map(|r| encode_record(r).expect("fits the cap")).collect()
 }
 
 /// How many whole records fit in the first `cut` bytes, and where that
@@ -36,7 +36,7 @@ fn concat(records: &[JournalRecord]) -> Vec<u8> {
 fn prefix_at(records: &[JournalRecord], cut: usize) -> (usize, usize) {
     let (mut k, mut boundary) = (0usize, 0usize);
     for r in records {
-        let next = boundary + encode_record(r).len();
+        let next = boundary + encode_record(r).expect("fits the cap").len();
         if next > cut {
             break;
         }
@@ -156,7 +156,8 @@ fn torn_tail_truncates_and_the_journal_resumes_appending() {
     // Simulate a crash mid-append: a half-written third record.
     let torn = encode_record(&JournalRecord::Edit {
         line: "remove-call 0".into(),
-    });
+    })
+    .expect("fits the cap");
     let mut tail = std::fs::OpenOptions::new()
         .append(true)
         .open(&path)

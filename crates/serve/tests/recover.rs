@@ -56,6 +56,7 @@ fn open(client: &mut Client, session: &str, source: &str) -> modref_serve::Respo
         .request(Request::Open {
             session: session.to_string(),
             program: source.to_string(),
+            lazy: false,
         })
         .expect("open answers")
 }
@@ -251,7 +252,8 @@ fn torn_journal_tails_truncate_to_the_durable_prefix() {
     drop(journal);
     let torn = modref_serve::journal::encode_record(&JournalRecord::Edit {
         line: "remove-call 0".into(),
-    });
+    })
+    .expect("fits the cap");
     let mut raw = std::fs::OpenOptions::new()
         .append(true)
         .open(&path)
@@ -307,7 +309,8 @@ fn untrustworthy_journals_are_quarantined_never_fatal() {
         dir.join("headless.journal"),
         modref_serve::journal::encode_record(&JournalRecord::Edit {
             line: "remove-call 0".into(),
-        }),
+        })
+        .expect("fits the cap"),
     )
     .expect("headless writes");
 

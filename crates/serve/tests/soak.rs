@@ -216,6 +216,7 @@ fn drive_client(
             .request(Request::Open {
                 session: name.clone(),
                 program: source.to_string(),
+                lazy: false,
             })
             .unwrap_or_else(|e| panic!("{ctx}: open {name}: {e}"));
         assert_eq!(resp.status, Status::Ok, "{ctx}: open {name} not ok");
@@ -403,6 +404,7 @@ fn session_table_reaches_full_occupancy_and_enforces_the_cap() {
             .request(Request::Open {
                 session: format!("s{i}"),
                 program: SOURCES[i % SOURCES.len()].to_string(),
+                lazy: false,
             })
             .expect("open answers");
         assert_eq!(resp.status, Status::Ok, "open s{i} not ok");
@@ -414,6 +416,7 @@ fn session_table_reaches_full_occupancy_and_enforces_the_cap() {
         .request(Request::Open {
             session: "one-too-many".to_string(),
             program: SOURCES[0].to_string(),
+            lazy: false,
         })
         .expect("over-limit open still answers");
     assert_eq!(resp.status, Status::Error, "over-limit open must refuse");
@@ -464,6 +467,7 @@ fn churn_client(addr: std::net::SocketAddr, client_idx: usize, seed: u64) {
             Request::Open {
                 session: name.clone(),
                 program: source.to_string(),
+                lazy: false,
             },
             &format!("{ctx}: open {name}"),
         );

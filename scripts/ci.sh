@@ -146,6 +146,18 @@ cargo bench --bench incrscale --offline
 cargo run --release --offline -p modref-bench --bin bench_gate -- \
     target/modref-bench/BENCH_incrscale.json 1.10
 
+# Demand-query sublinearity gate: one MOD(site) point query must cost
+# < 10% of the exhaustive solve's operation count (the paper's own cost
+# units, deterministic) on every workload — see docs/QUERY.md and
+# EXPERIMENTS.md E12. Timed rows ride along for the human-readable
+# speedup but only the recorded op counts are gated.
+echo "== demand-query sublinearity gate =="
+rm -f target/modref-bench/BENCH_demand.json
+cargo bench --bench demand --offline
+cargo run --release --offline -p modref-bench --bin bench_gate -- \
+    --pair query_site_ops:exhaustive_ops \
+    target/modref-bench/BENCH_demand.json 0.10
+
 # The --edits mode end-to-end: a script applies, the report reflects the
 # edited program, and a bad script fails with the offending line.
 echo "== cli --edits contract =="
