@@ -1,6 +1,6 @@
 //! The Figure 1 `RMOD` solver.
 
-use modref_bitset::{BitSet, OpCounter};
+use modref_bitset::{BitSet, EffectSet, OpCounter};
 use modref_graph::{tarjan, Condensation};
 use modref_guard::{Guard, Interrupt, Strided};
 use modref_ir::{ProcId, Program, VarId};
@@ -19,21 +19,25 @@ fn settle(guard: &Guard, stats: &OpCounter, last: &mut OpCounter) {
 /// procedure `p`, `RMOD(p)` — the formals of `p` that may be modified by
 /// an invocation of `p` (§3.2).
 #[derive(Debug, Clone)]
-pub struct RmodSolution {
-    rmod: Vec<BitSet>,
-    modified: BitSet,
+pub struct RmodSolutionIn<S: EffectSet> {
+    rmod: Vec<S>,
+    modified: S,
     stats: OpCounter,
 }
 
-impl RmodSolution {
+/// [`RmodSolutionIn`] over the paper's dense bit vectors — the default
+/// representation of the public API.
+pub type RmodSolution = RmodSolutionIn<BitSet>;
+
+impl<S: EffectSet> RmodSolutionIn<S> {
     /// `RMOD(p)` as a set over the program's variable universe; only bits
     /// of `p`'s formals can be set.
-    pub fn rmod(&self, p: ProcId) -> &BitSet {
+    pub fn rmod(&self, p: ProcId) -> &S {
         &self.rmod[p.index()]
     }
 
     /// All `RMOD` sets, indexed by procedure.
-    pub fn rmod_all(&self) -> &[BitSet] {
+    pub fn rmod_all(&self) -> &[S] {
         &self.rmod
     }
 
@@ -49,15 +53,15 @@ impl RmodSolution {
     /// its lattice.
     pub fn conservative(program: &Program) -> Self {
         let nv = program.num_vars();
-        let mut rmod = vec![BitSet::new(nv); program.num_procs()];
-        let mut modified = BitSet::new(nv);
+        let mut rmod = vec![S::empty(nv); program.num_procs()];
+        let mut modified = S::empty(nv);
         for p in program.procs() {
             for &f in program.proc_(p).formals() {
                 rmod[p.index()].insert(f.index());
                 modified.insert(f.index());
             }
         }
-        RmodSolution {
+        RmodSolutionIn {
             rmod,
             modified,
             stats: OpCounter::new(),
@@ -93,7 +97,11 @@ impl RmodSolution {
 /// # Examples
 ///
 /// See the crate-level example in [`crate`].
-pub fn solve_rmod(program: &Program, initial: &[BitSet], beta: &BindingGraph) -> RmodSolution {
+pub fn solve_rmod<S: EffectSet>(
+    program: &Program,
+    initial: &[S],
+    beta: &BindingGraph,
+) -> RmodSolutionIn<S> {
     solve_rmod_pooled(program, initial, beta, &modref_par::ThreadPool::new(1))
 }
 
@@ -103,12 +111,12 @@ pub fn solve_rmod(program: &Program, initial: &[BitSet], beta: &BindingGraph) ->
 /// stay sequential. A procedure's set depends only on the (by then final)
 /// representer values, so the output is identical to [`solve_rmod`] at
 /// any thread count; a sequential pool takes the exact sequential path.
-pub fn solve_rmod_pooled(
+pub fn solve_rmod_pooled<S: EffectSet>(
     program: &Program,
-    initial: &[BitSet],
+    initial: &[S],
     beta: &BindingGraph,
     pool: &modref_par::ThreadPool,
-) -> RmodSolution {
+) -> RmodSolutionIn<S> {
     solve_rmod_guarded(program, initial, beta, pool, &Guard::unlimited())
         .expect("an unlimited guard cannot interrupt the solver")
 }
@@ -118,13 +126,13 @@ pub fn solve_rmod_pooled(
 /// chunks, charging its boolean steps against the budget as it goes. On a
 /// trip it abandons the remaining work and reports the interrupt; partial
 /// results are discarded (the caller substitutes the conservative summary).
-pub fn solve_rmod_guarded(
+pub fn solve_rmod_guarded<S: EffectSet>(
     program: &Program,
-    initial: &[BitSet],
+    initial: &[S],
     beta: &BindingGraph,
     pool: &modref_par::ThreadPool,
     guard: &Guard,
-) -> Result<RmodSolution, Interrupt> {
+) -> Result<RmodSolutionIn<S>, Interrupt> {
     solve_rmod_traced(
         program,
         initial,
@@ -144,14 +152,14 @@ pub fn solve_rmod_guarded(
 /// # Errors
 ///
 /// As for [`solve_rmod_guarded`].
-pub fn solve_rmod_traced(
+pub fn solve_rmod_traced<S: EffectSet>(
     program: &Program,
-    initial: &[BitSet],
+    initial: &[S],
     beta: &BindingGraph,
     pool: &modref_par::ThreadPool,
     guard: &Guard,
     trace: &modref_trace::Trace,
-) -> Result<RmodSolution, Interrupt> {
+) -> Result<RmodSolutionIn<S>, Interrupt> {
     assert_eq!(
         initial.len(),
         program.num_procs(),
@@ -233,9 +241,9 @@ pub fn solve_rmod_traced(
     let mut broadcast_span = trace.span("rmod.broadcast");
     broadcast_span.arg("pooled", u64::from(!pool.is_sequential()));
     let mut rmod;
-    let mut modified = BitSet::new(program.num_vars());
+    let mut modified = S::empty(program.num_vars());
     if pool.is_sequential() {
-        rmod = vec![BitSet::new(program.num_vars()); program.num_procs()];
+        rmod = vec![S::empty(program.num_vars()); program.num_procs()];
         for node in 0..n {
             stride.tick(guard)?;
             stats.bool_steps += 1;
@@ -264,7 +272,7 @@ pub fn solve_rmod_traced(
         // occasional direct poll inside the body converts a passed
         // deadline or cancellation into a trip even while every thread is
         // busy in here.
-        let results: Vec<Option<(BitSet, u64)>> = pool.par_map_while(
+        let results: Vec<Option<(S, u64)>> = pool.par_map_while(
             program.num_procs(),
             || !guard.should_stop(),
             |pi| {
@@ -272,7 +280,7 @@ pub fn solve_rmod_traced(
                     let _ = guard.check();
                 }
                 let p = ProcId::new(pi);
-                let mut set = BitSet::new(program.num_vars());
+                let mut set = S::empty(program.num_vars());
                 let mut steps = 0u64;
                 for &f in program.proc_(p).formals() {
                     steps += 1;
@@ -304,7 +312,7 @@ pub fn solve_rmod_traced(
     broadcast_span.arg("bool_steps", stats.bool_steps - before_broadcast);
     drop(broadcast_span);
 
-    Ok(RmodSolution {
+    Ok(RmodSolutionIn {
         rmod,
         modified,
         stats,

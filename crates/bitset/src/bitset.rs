@@ -2,13 +2,24 @@
 
 use std::fmt;
 
-use crate::{words_for, WORD_BITS};
+use crate::{words_for, DomainMismatch, WORD_BITS};
 
 /// A dense set of `usize` elements drawn from a fixed universe `0..domain`.
 ///
 /// Every set operation that combines two sets requires both operands to have
 /// the same domain size; this models the paper's bit vectors, which are all
 /// as long as the variable universe of the program under analysis.
+///
+/// # Domain-mismatch contract
+///
+/// The binary operations (`union_with`, `intersect_with`, …) **debug-assert**
+/// that both operands share one domain. In release builds the check is
+/// elided from these hot loops: a mismatch then yields an unspecified (but
+/// memory-safe) result — the word loops simply stop at the shorter vector.
+/// All sets produced by one analysis share the program's variable universe,
+/// so the solvers never mix domains; at trust boundaries (deserialised
+/// state, cross-program sets) use the fallible `try_*` variants, which
+/// return a typed [`DomainMismatch`] error in every build profile.
 ///
 /// # Examples
 ///
@@ -145,7 +156,9 @@ impl BitSet {
     ///
     /// # Panics
     ///
-    /// Panics if the domains differ.
+    /// Debug builds panic if the domains differ; release builds elide the
+    /// check (see the type-level *domain-mismatch contract*). Use the
+    /// corresponding `try_*` method where a checked, typed error is needed.
     pub fn union_with(&mut self, other: &BitSet) -> bool {
         self.check_domains(other);
         let mut changed = false;
@@ -161,7 +174,9 @@ impl BitSet {
     ///
     /// # Panics
     ///
-    /// Panics if the domains differ.
+    /// Debug builds panic if the domains differ; release builds elide the
+    /// check (see the type-level *domain-mismatch contract*). Use the
+    /// corresponding `try_*` method where a checked, typed error is needed.
     pub fn intersect_with(&mut self, other: &BitSet) -> bool {
         self.check_domains(other);
         let mut changed = false;
@@ -177,7 +192,9 @@ impl BitSet {
     ///
     /// # Panics
     ///
-    /// Panics if the domains differ.
+    /// Debug builds panic if the domains differ; release builds elide the
+    /// check (see the type-level *domain-mismatch contract*). Use the
+    /// corresponding `try_*` method where a checked, typed error is needed.
     pub fn difference_with(&mut self, other: &BitSet) -> bool {
         self.check_domains(other);
         let mut changed = false;
@@ -197,7 +214,9 @@ impl BitSet {
     ///
     /// # Panics
     ///
-    /// Panics if the domains differ.
+    /// Debug builds panic if the domains differ; release builds elide the
+    /// check (see the type-level *domain-mismatch contract*). Use the
+    /// corresponding `try_*` method where a checked, typed error is needed.
     pub fn union_with_difference(&mut self, src: &BitSet, minus: &BitSet) -> bool {
         self.check_domains(src);
         self.check_domains(minus);
@@ -214,7 +233,9 @@ impl BitSet {
     ///
     /// # Panics
     ///
-    /// Panics if the domains differ.
+    /// Debug builds panic if the domains differ; release builds elide the
+    /// check (see the type-level *domain-mismatch contract*). Use the
+    /// corresponding `try_*` method where a checked, typed error is needed.
     pub fn union_with_intersection(&mut self, src: &BitSet, mask: &BitSet) -> bool {
         self.check_domains(src);
         self.check_domains(mask);
@@ -231,7 +252,9 @@ impl BitSet {
     ///
     /// # Panics
     ///
-    /// Panics if the domains differ.
+    /// Debug builds panic if the domains differ; release builds elide the
+    /// check (see the type-level *domain-mismatch contract*). Use the
+    /// corresponding `try_*` method where a checked, typed error is needed.
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
         self.check_domains(other);
         self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
@@ -241,7 +264,9 @@ impl BitSet {
     ///
     /// # Panics
     ///
-    /// Panics if the domains differ.
+    /// Debug builds panic if the domains differ; release builds elide the
+    /// check (see the type-level *domain-mismatch contract*). Use the
+    /// corresponding `try_*` method where a checked, typed error is needed.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         self.check_domains(other);
         self.words
@@ -280,11 +305,77 @@ impl BitSet {
     }
 
     fn check_domains(&self, other: &BitSet) {
-        assert_eq!(
+        debug_assert_eq!(
             self.domain, other.domain,
             "bit-set domain mismatch: {} vs {}",
             self.domain, other.domain
         );
+    }
+
+    /// Checks that `other` draws from the same universe, returning a typed
+    /// error otherwise. The backbone of the `try_*` operations.
+    pub fn checked_domains(&self, other: &BitSet) -> Result<(), DomainMismatch> {
+        if self.domain == other.domain {
+            Ok(())
+        } else {
+            Err(DomainMismatch {
+                left: self.domain,
+                right: other.domain,
+            })
+        }
+    }
+
+    /// Fallible [`union_with`](BitSet::union_with): checked in every build
+    /// profile, returning [`DomainMismatch`] instead of asserting.
+    pub fn try_union_with(&mut self, other: &BitSet) -> Result<bool, DomainMismatch> {
+        self.checked_domains(other)?;
+        Ok(self.union_with(other))
+    }
+
+    /// Fallible [`intersect_with`](BitSet::intersect_with).
+    pub fn try_intersect_with(&mut self, other: &BitSet) -> Result<bool, DomainMismatch> {
+        self.checked_domains(other)?;
+        Ok(self.intersect_with(other))
+    }
+
+    /// Fallible [`difference_with`](BitSet::difference_with).
+    pub fn try_difference_with(&mut self, other: &BitSet) -> Result<bool, DomainMismatch> {
+        self.checked_domains(other)?;
+        Ok(self.difference_with(other))
+    }
+
+    /// Fallible [`union_with_difference`](BitSet::union_with_difference).
+    pub fn try_union_with_difference(
+        &mut self,
+        src: &BitSet,
+        minus: &BitSet,
+    ) -> Result<bool, DomainMismatch> {
+        self.checked_domains(src)?;
+        self.checked_domains(minus)?;
+        Ok(self.union_with_difference(src, minus))
+    }
+
+    /// Fallible [`union_with_intersection`](BitSet::union_with_intersection).
+    pub fn try_union_with_intersection(
+        &mut self,
+        src: &BitSet,
+        mask: &BitSet,
+    ) -> Result<bool, DomainMismatch> {
+        self.checked_domains(src)?;
+        self.checked_domains(mask)?;
+        Ok(self.union_with_intersection(src, mask))
+    }
+
+    /// Fallible [`is_subset`](BitSet::is_subset).
+    pub fn try_is_subset(&self, other: &BitSet) -> Result<bool, DomainMismatch> {
+        self.checked_domains(other)?;
+        Ok(self.is_subset(other))
+    }
+
+    /// Fallible [`is_disjoint`](BitSet::is_disjoint).
+    pub fn try_is_disjoint(&self, other: &BitSet) -> Result<bool, DomainMismatch> {
+        self.checked_domains(other)?;
+        Ok(self.is_disjoint(other))
     }
 
     /// Zeroes any bits past `domain` in the last word.
@@ -465,6 +556,53 @@ mod tests {
         s.extend([4usize, 8, 4]);
         let via_ref: Vec<usize> = (&s).into_iter().collect();
         assert_eq!(via_ref, vec![4, 8]);
+    }
+
+    #[test]
+    fn try_ops_report_domain_mismatch() {
+        let mut a = BitSet::new(64);
+        let b = BitSet::new(65);
+        let err = DomainMismatch { left: 64, right: 65 };
+        assert_eq!(a.try_union_with(&b), Err(err));
+        assert_eq!(a.try_intersect_with(&b), Err(err));
+        assert_eq!(a.try_difference_with(&b), Err(err));
+        assert_eq!(a.try_is_subset(&b), Err(err));
+        assert_eq!(a.try_is_disjoint(&b), Err(err));
+        let c = BitSet::new(64);
+        assert_eq!(a.try_union_with_difference(&c, &b), Err(err));
+        assert_eq!(a.try_union_with_intersection(&b, &c), Err(err));
+        // Matching domains succeed and report change like the panicking forms.
+        let d = BitSet::from_iter_with_domain(64, [7]);
+        assert_eq!(a.try_union_with(&d), Ok(true));
+        assert_eq!(a.try_union_with(&d), Ok(false));
+        assert!(a.contains(7));
+    }
+
+    #[test]
+    fn word_boundary_domains() {
+        // domain % 64 == 0 and ±1: the tail-trim and word-count edges.
+        for domain in [63usize, 64, 65, 127, 128, 129] {
+            let full = BitSet::full(domain);
+            assert_eq!(full.len(), domain, "full len at {domain}");
+            assert_eq!(full.iter().max(), Some(domain - 1));
+            assert!(!full.contains(domain));
+
+            let mut s = BitSet::new(domain);
+            s.insert(domain - 1);
+            assert!(s.is_subset(&full), "subset at {domain}");
+            let mut t = full.clone();
+            assert!(t.difference_with(&s), "difference at {domain}");
+            assert_eq!(t.len(), domain - 1);
+            assert!(t.is_disjoint(&s), "disjoint at {domain}");
+
+            let mut u = BitSet::new(domain);
+            assert!(u.union_with_difference(&full, &s));
+            assert_eq!(u, t, "union_with_difference at {domain}");
+            let mut v = BitSet::new(domain);
+            assert!(v.union_with_intersection(&full, &s));
+            assert_eq!(v, s, "union_with_intersection at {domain}");
+            assert_eq!(words_for(domain), full.as_words().len());
+        }
     }
 
     #[test]

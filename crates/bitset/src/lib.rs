@@ -16,6 +16,15 @@
 //! Both types are plain data: no interior mutability, `Clone`/`Eq`/`Hash`,
 //! and deterministic iteration in ascending element order.
 //!
+//! Since the solvers charge their cost model in representation-independent
+//! whole-vector steps, the *representation* is swappable: the [`EffectSet`]
+//! trait abstracts the set operations every solver phase uses, with two
+//! implementations — dense [`BitSet`] and the sparse-friendly
+//! [`HybridSet`] (inline word + sorted spill, promoting to dense past a
+//! density threshold). [`SetMatrix`] is the representation-generic twin of
+//! [`BitMatrix`], and [`SetRepr`] is the user-facing knob
+//! (`--set-repr dense|hybrid|auto`). See `docs/SETREPR.md`.
+//!
 //! # Examples
 //!
 //! ```
@@ -35,10 +44,18 @@
 mod bitmatrix;
 mod bitset;
 mod counter;
+mod effect;
+mod hybrid;
+mod matrix;
 
 pub use bitmatrix::BitMatrix;
 pub use bitset::{BitSet, Iter};
 pub use counter::OpCounter;
+pub use effect::{
+    DomainMismatch, EffectSet, SetRepr, AUTO_DENSE_DOMAIN, AUTO_SMALL_LEN,
+};
+pub use hybrid::{HybridIter, HybridSet, DENSITY_DIV, INLINE_BITS, SPILL_MAX};
+pub use matrix::SetMatrix;
 
 /// Number of bits per storage word.
 pub(crate) const WORD_BITS: usize = 64;

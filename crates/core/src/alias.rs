@@ -19,7 +19,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use modref_bitset::BitSet;
+use modref_bitset::{BitSet, EffectSet};
 use modref_guard::{Guard, Interrupt};
 use modref_ir::{Actual, ProcId, Program, VarId};
 
@@ -47,16 +47,20 @@ use modref_ir::{Actual, ProcId, Program, VarId};
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct AliasPairs {
+pub struct AliasPairsIn<S: EffectSet> {
     /// `partners[p][v]` = the variables `v` may alias inside `p`.
-    partners: Vec<HashMap<VarId, BitSet>>,
+    partners: Vec<HashMap<VarId, S>>,
     /// `keys[p]` = the variables with at least one partner in `p` — a
     /// fast pre-filter for [`AliasPairs::extend_with_aliases`].
-    keys: Vec<BitSet>,
+    keys: Vec<S>,
     num_vars: usize,
 }
 
-impl AliasPairs {
+/// [`AliasPairsIn`] over the paper's dense bit vectors — the default
+/// representation of the public API.
+pub type AliasPairs = AliasPairsIn<BitSet>;
+
+impl<S: EffectSet> AliasPairsIn<S> {
     /// Computes `ALIAS(p)` for every procedure by worklist iteration over
     /// the call sites. Terminates because pair sets only grow and are
     /// bounded by `|V|²` per procedure (in practice tiny — "programs with
@@ -206,13 +210,13 @@ impl AliasPairs {
 
     /// Number of (unordered) pairs in `ALIAS(p)`.
     pub fn pair_count(&self, p: ProcId) -> usize {
-        let total: usize = self.partners[p.index()].values().map(BitSet::len).sum();
+        let total: usize = self.partners[p.index()].values().map(S::len).sum();
         total / 2
     }
 
     /// §5 step (2): extends `set` with every alias partner (in `p`) of its
     /// members. Returns the extended set; linear in `|set| + |ALIAS(p)|`.
-    pub fn extend_with_aliases(&self, p: ProcId, set: &BitSet) -> BitSet {
+    pub fn extend_with_aliases(&self, p: ProcId, set: &S) -> S {
         let mut out = set.clone();
         // Only variables that actually have partners need the hash lookup.
         let mut with_partners = set.clone();
@@ -227,10 +231,24 @@ impl AliasPairs {
 
     /// An all-empty alias relation (used when alias analysis is disabled).
     pub(crate) fn empty_impl(program: &Program) -> Self {
-        AliasPairs {
+        AliasPairsIn {
             partners: vec![HashMap::new(); program.num_procs()],
-            keys: vec![BitSet::new(program.num_vars()); program.num_procs()],
+            keys: vec![S::empty(program.num_vars()); program.num_procs()],
             num_vars: program.num_vars(),
+        }
+    }
+
+    /// Converts every pair set to the dense default representation (a
+    /// field-by-field identity move for the dense instantiation).
+    pub(crate) fn into_dense(self) -> AliasPairs {
+        AliasPairsIn {
+            partners: self
+                .partners
+                .into_iter()
+                .map(|m| m.into_iter().map(|(k, v)| (k, v.into_dense())).collect())
+                .collect(),
+            keys: self.keys.into_iter().map(S::into_dense).collect(),
+            num_vars: self.num_vars,
         }
     }
 
@@ -244,11 +262,11 @@ impl AliasPairs {
         let map = &mut self.partners[p.index()];
         let x = map
             .entry(a)
-            .or_insert_with(|| BitSet::new(nv))
+            .or_insert_with(|| S::empty(nv))
             .insert(b.index());
         let y = map
             .entry(b)
-            .or_insert_with(|| BitSet::new(nv))
+            .or_insert_with(|| S::empty(nv))
             .insert(a.index());
         x | y
     }

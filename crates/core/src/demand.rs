@@ -53,12 +53,12 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use modref_binding::BindingGraph;
-use modref_bitset::{BitMatrix, BitSet, OpCounter};
+use modref_bitset::{BitSet, EffectSet, OpCounter, SetMatrix};
 use modref_graph::DiGraph;
 use modref_guard::{Guard, Interrupt};
 use modref_ir::{flat_effects_of, Actual, CallGraph, CallSiteId, ProcId, Program, VarId};
 
-use crate::alias::AliasPairs;
+use crate::alias::AliasPairsIn;
 use crate::dmod::project_site;
 
 /// Which of the two analogous problems (§1) a demand walks.
@@ -102,42 +102,46 @@ enum Verdict {
 /// which is how `modref-incr`'s `QueryEngine` invalidates it alongside its
 /// own caches.
 #[derive(Debug, Clone)]
-pub struct DemandMemo {
+pub struct DemandMemoIn<S: EffectSet> {
     num_vars: usize,
     dp: usize,
     call_graph: Option<Arc<CallGraph>>,
     rev_graph: Option<Arc<DiGraph>>,
     beta: Option<Arc<BindingGraph>>,
     /// Per-procedure flat `(IMOD, IUSE)` — no nesting extension.
-    flat: Vec<Option<(BitSet, BitSet)>>,
+    flat: Vec<Option<(S, S)>>,
     /// Per-side, per-procedure §3.3-extended `IMOD`/`IUSE`.
-    ext: [Vec<Option<BitSet>>; 2],
+    ext: [Vec<Option<S>>; 2],
     /// Per-procedure `LOCAL(p)`.
-    locals: Vec<Option<BitSet>>,
+    locals: Vec<Option<S>>,
     /// Per-side, per-β-node reachability verdicts (sized when β is built).
     rmod: [Vec<Verdict>; 2],
     /// Per-side, per-procedure `IMOD⁺`/`IUSE⁺`.
-    plus: [Vec<Option<BitSet>>; 2],
+    plus: [Vec<Option<S>>; 2],
     /// Per-side, per-problem, per-procedure `GMOD` problem rows. With
     /// `dp ≤ 1` only problem 0 (the full multi-graph) exists; nested
     /// programs use problems `1..=dp` (edges into level ≥ i), matching
     /// `solve_gmod_levels_traced` exactly.
-    rows: [Vec<Vec<Option<BitSet>>>; 2],
+    rows: [Vec<Vec<Option<S>>>; 2],
     /// Per-side, per-procedure assembled `GMOD`/`GUSE`.
-    total: [Vec<Option<BitSet>>; 2],
-    aliases: AliasPairs,
+    total: [Vec<Option<S>>; 2],
+    aliases: AliasPairsIn<S>,
     /// `true` once a computed closure covered this procedure — its pairs
     /// are final.
     alias_done: Vec<bool>,
 }
 
-impl DemandMemo {
+/// [`DemandMemoIn`] over the paper's dense bit vectors — the default
+/// representation of the public API.
+pub type DemandMemo = DemandMemoIn<BitSet>;
+
+impl<S: EffectSet> DemandMemoIn<S> {
     /// An empty memo for (exactly) this program snapshot.
     pub fn new(program: &Program) -> Self {
         let np = program.num_procs();
         let dp = program.max_level() as usize;
         let nproblems = if dp <= 1 { 1 } else { dp + 1 };
-        DemandMemo {
+        DemandMemoIn {
             num_vars: program.num_vars(),
             dp,
             call_graph: None,
@@ -153,13 +157,13 @@ impl DemandMemo {
                 vec![vec![None; np]; nproblems],
             ],
             total: [vec![None; np], vec![None; np]],
-            aliases: AliasPairs::empty_impl(program),
+            aliases: AliasPairsIn::empty_impl(program),
             alias_done: vec![false; np],
         }
     }
 
     /// The memoized `GMOD(p)`/`GUSE(p)`, if a previous query finalised it.
-    pub fn cached_total(&self, side: Side, p: ProcId) -> Option<&BitSet> {
+    pub fn cached_total(&self, side: Side, p: ProcId) -> Option<&S> {
         self.total[side.idx()][p.index()].as_ref()
     }
 }
@@ -227,9 +231,9 @@ pub fn conservative_proc_answer(program: &Program, p: ProcId) -> ProcAnswer {
 /// # Panics
 ///
 /// Panics if `memo` was built from a different program snapshot.
-pub fn query_site_guarded(
+pub fn query_site_guarded<S: EffectSet>(
     program: &Program,
-    memo: &mut DemandMemo,
+    memo: &mut DemandMemoIn<S>,
     s: CallSiteId,
     guard: &Guard,
     trace: &modref_trace::Trace,
@@ -266,10 +270,10 @@ pub fn query_site_guarded(
     span.arg("edges", ops.edges_visited);
     Ok((
         SiteAnswer {
-            mods,
-            uses,
-            dmod,
-            duse,
+            mods: mods.into_dense(),
+            uses: uses.into_dense(),
+            dmod: dmod.into_dense(),
+            duse: duse.into_dense(),
         },
         ops,
     ))
@@ -285,9 +289,9 @@ pub fn query_site_guarded(
 /// # Panics
 ///
 /// Panics if `memo` was built from a different program snapshot.
-pub fn query_proc_guarded(
+pub fn query_proc_guarded<S: EffectSet>(
     program: &Program,
-    memo: &mut DemandMemo,
+    memo: &mut DemandMemoIn<S>,
     p: ProcId,
     guard: &Guard,
     trace: &modref_trace::Trace,
@@ -312,21 +316,27 @@ pub fn query_proc_guarded(
     span.arg("bool_steps", ops.bool_steps);
     span.arg("nodes", ops.nodes_visited);
     span.arg("edges", ops.edges_visited);
-    Ok((ProcAnswer { gmod, guse }, ops))
+    Ok((
+        ProcAnswer {
+            gmod: gmod.into_dense(),
+            guse: guse.into_dense(),
+        },
+        ops,
+    ))
 }
 
 /// One query's working state: the program snapshot, the shared memo, the
 /// guard, and the operation ledger (charged incrementally via `settle`).
-struct Demand<'a> {
+struct Demand<'a, S: EffectSet> {
     program: &'a Program,
-    memo: &'a mut DemandMemo,
+    memo: &'a mut DemandMemoIn<S>,
     guard: &'a Guard,
     ops: OpCounter,
     charged: OpCounter,
 }
 
-impl<'a> Demand<'a> {
-    fn new(program: &'a Program, memo: &'a mut DemandMemo, guard: &'a Guard) -> Self {
+impl<'a, S: EffectSet> Demand<'a, S> {
+    fn new(program: &'a Program, memo: &'a mut DemandMemoIn<S>, guard: &'a Guard) -> Self {
         Demand {
             program,
             memo,
@@ -374,7 +384,7 @@ impl<'a> Demand<'a> {
     fn ensure_local(&mut self, p: usize) {
         if self.memo.locals[p].is_none() {
             self.ops.nodes_visited += 1;
-            self.memo.locals[p] = Some(self.program.local_set(ProcId::new(p)));
+            self.memo.locals[p] = Some(S::from_dense_owned(self.program.local_set(ProcId::new(p))));
         }
     }
 
@@ -390,7 +400,8 @@ impl<'a> Demand<'a> {
         let program = self.program;
         if self.memo.flat[p].is_none() {
             self.ops.nodes_visited += 1;
-            self.memo.flat[p] = Some(flat_effects_of(program, ProcId::new(p)));
+            let (fm, fu) = flat_effects_of(program, ProcId::new(p));
+            self.memo.flat[p] = Some((S::from_dense_owned(fm), S::from_dense_owned(fu)));
         }
         let flat = self.memo.flat[p].as_ref().expect("just filled");
         let mut set = match side {
@@ -679,7 +690,7 @@ impl<'a> Demand<'a> {
         }
 
         let memo = &*self.memo;
-        let mut bases: Vec<BitSet> = members
+        let mut bases: Vec<S> = members
             .iter()
             .map(|&u| memo.plus[side.idx()][u].clone().expect("just ensured"))
             .collect();
@@ -702,8 +713,8 @@ impl<'a> Demand<'a> {
         // SCC collapse — the same `T ∩ L = ∅` fast path as
         // `gmod_levels::solve_component`: when no member's locals filter
         // can strip any contribution, the fixpoint is `base(u) ∪ T`.
-        let mut transfer = BitSet::new(self.memo.num_vars);
-        let mut member_locals = BitSet::new(self.memo.num_vars);
+        let mut transfer = S::empty(self.memo.num_vars);
+        let mut member_locals = S::empty(self.memo.num_vars);
         for &u in members {
             let memo = &*self.memo;
             member_locals.union_with(memo.locals[u].as_ref().expect("just ensured"));
@@ -724,7 +735,7 @@ impl<'a> Demand<'a> {
         self.ops.bool_steps += 1;
         if transfer.is_disjoint(&member_locals) {
             for (k, &u) in members.iter().enumerate() {
-                let mut row = std::mem::replace(&mut bases[k], BitSet::new(0));
+                let mut row = std::mem::replace(&mut bases[k], S::empty(0));
                 row.union_with(&transfer);
                 self.ops.bitvec_steps += 1;
                 self.memo.rows[side.idx()][prob][u] = Some(row);
@@ -732,7 +743,7 @@ impl<'a> Demand<'a> {
             return self.settle();
         }
 
-        let mut m = BitMatrix::new(members.len(), self.memo.num_vars);
+        let mut m: SetMatrix<S> = SetMatrix::new(members.len(), self.memo.num_vars);
         for (k, base) in bases.iter().enumerate() {
             m.or_row_with_set(k, base);
         }

@@ -7,26 +7,30 @@
 //! return and vanish. For a whole statement `s`,
 //! `DMOD(s) = LMOD(s) ∪ ⋃_{e ∈ s} b_e(GMOD(callee(e)))`.
 
-use modref_bitset::{BitSet, OpCounter};
+use modref_bitset::{BitSet, EffectSet, OpCounter};
 use modref_guard::{Guard, Interrupt};
 use modref_ir::{Actual, CallSiteId, Program, Stmt};
 
 /// Per-call-site direct side-effect sets (`DMOD` or `DUSE`).
 #[derive(Debug, Clone)]
-pub struct DmodSolution {
-    per_site: Vec<BitSet>,
+pub struct DmodSolutionIn<S: EffectSet> {
+    per_site: Vec<S>,
     stats: OpCounter,
 }
 
-impl DmodSolution {
+/// [`DmodSolutionIn`] over the paper's dense bit vectors — the default
+/// representation of the public API.
+pub type DmodSolution = DmodSolutionIn<BitSet>;
+
+impl<S: EffectSet> DmodSolutionIn<S> {
     /// `b_e(GMOD(callee))` for call site `e` — the variables the call may
     /// modify, before alias factoring.
-    pub fn dmod_site(&self, s: CallSiteId) -> &BitSet {
+    pub fn dmod_site(&self, s: CallSiteId) -> &S {
         &self.per_site[s.index()]
     }
 
     /// All per-site sets, indexed by call site.
-    pub fn all(&self) -> &[BitSet] {
+    pub fn all(&self) -> &[S] {
         &self.per_site
     }
 
@@ -45,18 +49,18 @@ impl DmodSolution {
 /// # Panics
 ///
 /// Panics if `gmod.len() != program.num_procs()`.
-pub fn compute_dmod(program: &Program, gmod: &[BitSet]) -> DmodSolution {
+pub fn compute_dmod<S: EffectSet>(program: &Program, gmod: &[S]) -> DmodSolutionIn<S> {
     compute_dmod_pooled(program, gmod, &modref_par::ThreadPool::new(1))
 }
 
 /// [`compute_dmod`] with the per-site projections spread over `pool`.
 /// Each site's `b_e(GMOD(callee))` is independent of every other site's,
 /// so the fan-out is exact; a sequential pool computes inline.
-pub fn compute_dmod_pooled(
+pub fn compute_dmod_pooled<S: EffectSet>(
     program: &Program,
-    gmod: &[BitSet],
+    gmod: &[S],
     pool: &modref_par::ThreadPool,
-) -> DmodSolution {
+) -> DmodSolutionIn<S> {
     compute_dmod_guarded(program, gmod, pool, &Guard::unlimited())
         .expect("an unlimited guard cannot interrupt the solver")
 }
@@ -73,12 +77,12 @@ pub fn compute_dmod_pooled(
 /// # Panics
 ///
 /// Panics if `gmod.len() != program.num_procs()`.
-pub fn compute_dmod_guarded(
+pub fn compute_dmod_guarded<S: EffectSet>(
     program: &Program,
-    gmod: &[BitSet],
+    gmod: &[S],
     pool: &modref_par::ThreadPool,
     guard: &Guard,
-) -> Result<DmodSolution, Interrupt> {
+) -> Result<DmodSolutionIn<S>, Interrupt> {
     assert_eq!(gmod.len(), program.num_procs(), "one GMOD per procedure");
     guard.checkpoint("dmod")?;
     let mut stats = OpCounter::new();
@@ -120,16 +124,17 @@ pub fn compute_dmod_guarded(
     };
     guard.check()?;
 
-    Ok(DmodSolution { per_site, stats })
+    Ok(DmodSolutionIn { per_site, stats })
 }
 
 /// `b_e(callee_set)` for one call site: survivors map to themselves,
 /// formals map to their by-reference actuals, callee locals vanish.
-pub fn project_site(program: &Program, s: CallSiteId, callee_set: &BitSet) -> BitSet {
+pub fn project_site<S: EffectSet>(program: &Program, s: CallSiteId, callee_set: &S) -> S {
     let site = program.site(s);
     let callee = site.callee();
-    let mut set = BitSet::new(program.num_vars());
-    set.union_with_difference(callee_set, &program.local_set(callee));
+    let mut set = S::empty(program.num_vars());
+    let locals = S::from_dense_owned(program.local_set(callee));
+    set.union_with_difference(callee_set, &locals);
     for (pos, &f) in program.proc_(callee).formals().iter().enumerate() {
         if callee_set.contains(f.index()) {
             if let Actual::Ref(r) = &site.args()[pos] {
@@ -192,12 +197,12 @@ pub fn duse_of_stmt(program: &Program, stmt: &Stmt, duse_sites: &[BitSet]) -> Bi
     set
 }
 
-impl DmodSolution {
+impl<S: EffectSet> DmodSolutionIn<S> {
     /// The degraded-path fallback: projects already-reported (possibly
     /// over-approximated) `GMOD` sets through every site binding, with no
     /// guard — bounded linear work. Sound because [`project_site`] is
     /// monotone: a superset `GMOD` input yields a superset projection.
-    pub(crate) fn conservative(program: &Program, gmod: &[BitSet]) -> Self {
+    pub(crate) fn conservative(program: &Program, gmod: &[S]) -> Self {
         let per_site = program
             .sites()
             .map(|s| {
@@ -205,7 +210,7 @@ impl DmodSolution {
                 project_site(program, s, &gmod[callee.index()])
             })
             .collect();
-        DmodSolution {
+        DmodSolutionIn {
             per_site,
             stats: OpCounter::new(),
         }
@@ -214,8 +219,8 @@ impl DmodSolution {
     /// All-empty per-site sets (used when a half of the problem is
     /// disabled).
     pub(crate) fn empty_impl(program: &Program) -> Self {
-        DmodSolution {
-            per_site: vec![BitSet::new(program.num_vars()); program.num_sites()],
+        DmodSolutionIn {
+            per_site: vec![S::empty(program.num_vars()); program.num_sites()],
             stats: OpCounter::new(),
         }
     }

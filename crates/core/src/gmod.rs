@@ -20,7 +20,7 @@
 //! [`crate::gmod_nested`], which runs one *problem per nesting level*
 //! (§4's multi-level extension); this module exposes the shared core.
 
-use modref_bitset::{BitMatrix, BitSet, OpCounter};
+use modref_bitset::{BitSet, EffectSet, OpCounter, SetMatrix};
 use modref_graph::DiGraph;
 use modref_guard::{Guard, Interrupt};
 use modref_ir::{ProcId, Program};
@@ -29,24 +29,28 @@ use crate::meter::Meter;
 
 /// The `GMOD` (or `GUSE`) sets of every procedure, with work counters.
 #[derive(Debug, Clone)]
-pub struct GmodSolution {
-    gmod: Vec<BitSet>,
+pub struct GmodSolutionIn<S: EffectSet> {
+    gmod: Vec<S>,
     stats: OpCounter,
 }
 
-impl GmodSolution {
-    pub(crate) fn new(gmod: Vec<BitSet>, stats: OpCounter) -> Self {
-        GmodSolution { gmod, stats }
+/// [`GmodSolutionIn`] over the paper's dense bit vectors — the default
+/// representation of the public API.
+pub type GmodSolution = GmodSolutionIn<BitSet>;
+
+impl<S: EffectSet> GmodSolutionIn<S> {
+    pub(crate) fn new(gmod: Vec<S>, stats: OpCounter) -> Self {
+        GmodSolutionIn { gmod, stats }
     }
 
     /// `GMOD(p)`: all variables that may be modified by an invocation of
     /// `p` — its own side effects and those of everything it can call.
-    pub fn gmod(&self, p: ProcId) -> &BitSet {
+    pub fn gmod(&self, p: ProcId) -> &S {
         &self.gmod[p.index()]
     }
 
     /// All sets, indexed by procedure.
-    pub fn gmod_all(&self) -> &[BitSet] {
+    pub fn gmod_all(&self) -> &[S] {
         &self.gmod
     }
 
@@ -55,19 +59,19 @@ impl GmodSolution {
         self.stats
     }
 
-    pub(crate) fn into_parts(self) -> (Vec<BitSet>, OpCounter) {
+    pub(crate) fn into_parts(self) -> (Vec<S>, OpCounter) {
         (self.gmod, self.stats)
     }
 }
 
 /// How line 22 filters the root's set during SCC closure.
 #[derive(Debug, Clone)]
-pub(crate) enum ClosureFilter {
+pub(crate) enum ClosureFilter<S: EffectSet> {
     /// `GMOD[u] ∪= GMOD[root] ∖ LOCAL[root]` — the one-level algorithm.
     NotLocalOfRoot,
     /// `GMOD[u] ∪= GMOD[root] ∩ mask` — the multi-level problems use the
     /// set of variables declared at levels `< i`.
-    Mask(BitSet),
+    Mask(S),
 }
 
 /// Solves the one-level global problem (Figure 2) over the call
@@ -111,12 +115,12 @@ pub(crate) enum ClosureFilter {
 /// # Ok(())
 /// # }
 /// ```
-pub fn solve_gmod_one_level(
+pub fn solve_gmod_one_level<S: EffectSet>(
     program: &Program,
     call_graph: &DiGraph,
-    seeds: &[BitSet],
-    locals: &[BitSet],
-) -> GmodSolution {
+    seeds: &[S],
+    locals: &[S],
+) -> GmodSolutionIn<S> {
     solve_gmod_one_level_guarded(program, call_graph, seeds, locals, &Guard::unlimited())
         .expect("an unlimited guard cannot interrupt the solver")
 }
@@ -124,13 +128,13 @@ pub fn solve_gmod_one_level(
 /// [`solve_gmod_one_level`] under a cooperative [`Guard`]: polls at the
 /// `"gmod"` entry checkpoint and at traversal strides, charging bit-vector
 /// steps against the budget.
-pub fn solve_gmod_one_level_guarded(
+pub fn solve_gmod_one_level_guarded<S: EffectSet>(
     program: &Program,
     call_graph: &DiGraph,
-    seeds: &[BitSet],
-    locals: &[BitSet],
+    seeds: &[S],
+    locals: &[S],
     guard: &Guard,
-) -> Result<GmodSolution, Interrupt> {
+) -> Result<GmodSolutionIn<S>, Interrupt> {
     assert_eq!(seeds.len(), program.num_procs(), "one seed per procedure");
     assert_eq!(locals.len(), program.num_procs(), "one LOCAL per procedure");
     guard.checkpoint("gmod")?;
@@ -152,15 +156,15 @@ pub fn solve_gmod_one_level_guarded(
 /// Iterative: explicit DFS frames, no recursion. Roots at node 0 (main)
 /// first, then any node left undiscovered (procedures unreachable from
 /// main still receive correct sets).
-pub(crate) fn findgmod(
+pub(crate) fn findgmod<S: EffectSet>(
     graph: &DiGraph,
     num_vars: usize,
-    seeds: &[BitSet],
-    locals: &[BitSet],
+    seeds: &[S],
+    locals: &[S],
     edge_enabled: impl Fn(usize) -> bool,
-    closure: &ClosureFilter,
+    closure: &ClosureFilter<S>,
     guard: &Guard,
-) -> Result<GmodSolution, Interrupt> {
+) -> Result<GmodSolutionIn<S>, Interrupt> {
     let n = graph.num_nodes();
     let mut stats = OpCounter::new();
     let mut meter = Meter::new(256);
@@ -173,7 +177,7 @@ pub(crate) fn findgmod(
     let mut next_dfn = 0usize;
 
     // GMOD lives in a matrix so that row-to-row unions borrow-check.
-    let mut gmod = BitMatrix::new(n, num_vars);
+    let mut gmod: SetMatrix<S> = SetMatrix::new(n, num_vars);
     // Frames: (node, successor cursor).
     let mut frames: Vec<(usize, usize)> = Vec::new();
 
@@ -257,8 +261,7 @@ pub(crate) fn findgmod(
     }
 
     meter.settle(guard, &stats)?;
-    let sets = (0..n).map(|p| gmod.row_to_set(p)).collect();
-    Ok(GmodSolution::new(sets, stats))
+    Ok(GmodSolutionIn::new(gmod.into_rows(), stats))
 }
 
 #[cfg(test)]

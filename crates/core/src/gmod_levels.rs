@@ -32,13 +32,13 @@
 //! differentially — because every component's fixpoint is unique and
 //! cross-component reads only touch finalised levels.
 
-use modref_bitset::{BitMatrix, BitSet, OpCounter};
+use modref_bitset::{EffectSet, OpCounter, SetMatrix};
 use modref_graph::{tarjan, Condensation, DiGraph};
 use modref_guard::{Guard, Interrupt};
 use modref_ir::Program;
 use modref_par::ThreadPool;
 
-use crate::gmod::GmodSolution;
+use crate::gmod::GmodSolutionIn;
 
 /// Solves `GMOD` (or `GUSE`) by level-scheduled propagation over the
 /// condensation, processing each level's components on `pool`.
@@ -50,13 +50,13 @@ use crate::gmod::GmodSolution;
 /// # Panics
 ///
 /// Panics if the slice lengths differ from `program.num_procs()`.
-pub fn solve_gmod_levels(
+pub fn solve_gmod_levels<S: EffectSet>(
     program: &Program,
     call_graph: &DiGraph,
-    seeds: &[BitSet],
-    locals: &[BitSet],
+    seeds: &[S],
+    locals: &[S],
     pool: &ThreadPool,
-) -> GmodSolution {
+) -> GmodSolutionIn<S> {
     solve_gmod_levels_guarded(program, call_graph, seeds, locals, pool, &Guard::unlimited())
         .expect("an unlimited guard cannot interrupt the solver")
 }
@@ -65,14 +65,14 @@ pub fn solve_gmod_levels(
 /// `"gmod"` at entry, a budget charge plus poll between condensation
 /// levels, and pool workers that drop out between chunks once the guard
 /// trips — cancellation drains the level fan-out promptly.
-pub fn solve_gmod_levels_guarded(
+pub fn solve_gmod_levels_guarded<S: EffectSet>(
     program: &Program,
     call_graph: &DiGraph,
-    seeds: &[BitSet],
-    locals: &[BitSet],
+    seeds: &[S],
+    locals: &[S],
     pool: &ThreadPool,
     guard: &Guard,
-) -> Result<GmodSolution, Interrupt> {
+) -> Result<GmodSolutionIn<S>, Interrupt> {
     solve_gmod_levels_traced(
         program,
         call_graph,
@@ -95,22 +95,22 @@ pub fn solve_gmod_levels_guarded(
 /// # Errors
 ///
 /// As for [`solve_gmod_levels_guarded`].
-pub fn solve_gmod_levels_traced(
+pub fn solve_gmod_levels_traced<S: EffectSet>(
     program: &Program,
     call_graph: &DiGraph,
-    seeds: &[BitSet],
-    locals: &[BitSet],
+    seeds: &[S],
+    locals: &[S],
     pool: &ThreadPool,
     guard: &Guard,
     trace: &modref_trace::Trace,
-) -> Result<GmodSolution, Interrupt> {
+) -> Result<GmodSolutionIn<S>, Interrupt> {
     assert_eq!(seeds.len(), program.num_procs(), "one seed per procedure");
     assert_eq!(locals.len(), program.num_procs(), "one LOCAL per procedure");
     guard.checkpoint("gmod")?;
     let n = call_graph.num_nodes();
     let mut stats = OpCounter::new();
     if n == 0 {
-        return Ok(GmodSolution::new(seeds.to_vec(), stats));
+        return Ok(GmodSolutionIn::new(seeds.to_vec(), stats));
     }
     let dp = program.max_level() as usize;
     if dp <= 1 {
@@ -126,7 +126,7 @@ pub fn solve_gmod_levels_traced(
             guard,
             trace,
         )?;
-        return Ok(GmodSolution::new(sets, stats));
+        return Ok(GmodSolutionIn::new(sets, stats));
     }
 
     // Problem i keeps only edges into procedures at level ≥ i (§4's
@@ -136,7 +136,7 @@ pub fn solve_gmod_levels_traced(
         .edges()
         .map(|e| program.proc_(modref_ir::ProcId::new(e.to)).level() as usize)
         .collect();
-    let mut total: Vec<BitSet> = seeds.to_vec();
+    let mut total: Vec<S> = seeds.to_vec();
     for i in 1..=dp {
         guard.check()?;
         let mut problem_span = trace.span("gmod.problem");
@@ -168,22 +168,22 @@ pub fn solve_gmod_levels_traced(
         guard.charge(union_steps, 0);
     }
     guard.check()?;
-    Ok(GmodSolution::new(total, stats))
+    Ok(GmodSolutionIn::new(total, stats))
 }
 
 /// The LFP of `G(u) = seeds(u) ∪ ⋃_{(u,q)∈graph} (G(q) ∖ locals(q))`,
 /// computed level-parallel over the condensation of `graph`.
 #[allow(clippy::too_many_arguments)]
-fn solve_problem(
+fn solve_problem<S: EffectSet>(
     graph: &DiGraph,
     num_vars: usize,
-    seeds: &[BitSet],
-    locals: &[BitSet],
+    seeds: &[S],
+    locals: &[S],
     pool: &ThreadPool,
     stats: &mut OpCounter,
     guard: &Guard,
     trace: &modref_trace::Trace,
-) -> Result<Vec<BitSet>, Interrupt> {
+) -> Result<Vec<S>, Interrupt> {
     let n = graph.num_nodes();
     let sccs = tarjan(graph);
     let cond = Condensation::build(graph, &sccs);
@@ -198,7 +198,7 @@ fn solve_problem(
         }
     }
 
-    let mut g: Vec<BitSet> = vec![BitSet::new(num_vars); n];
+    let mut g: Vec<S> = vec![S::empty(num_vars); n];
     for level in 0..levels.num_levels() {
         let group = levels.group(level);
         let mut level_span = trace.span("gmod.level");
@@ -256,18 +256,18 @@ fn solve_problem(
 /// reachable from the component through a cross-component edge. Returns
 /// one row per member, in member order, plus the work done.
 #[allow(clippy::too_many_arguments)]
-pub fn solve_component(
+pub fn solve_component<S: EffectSet>(
     c: modref_graph::SccId,
     graph: &DiGraph,
     sccs: &modref_graph::Sccs,
     comp_map: &[modref_graph::SccId],
     comp_pos: &[usize],
-    seeds: &[BitSet],
-    locals: &[BitSet],
-    g_final: &[BitSet],
+    seeds: &[S],
+    locals: &[S],
+    g_final: &[S],
     num_vars: usize,
     guard: &Guard,
-) -> (Vec<BitSet>, OpCounter) {
+) -> (Vec<S>, OpCounter) {
     let members = sccs.members(c);
     let mut counter = OpCounter::new();
     counter.nodes_visited += members.len() as u64;
@@ -293,9 +293,9 @@ pub fn solve_component(
     // any member can inject, already stripped of its own hop's locals —
     // and the union `L` of the members' local sets.
     let mut internal: Vec<(usize, usize, usize)> = Vec::new();
-    let mut bases: Vec<BitSet> = Vec::with_capacity(members.len());
-    let mut transfer = BitSet::new(num_vars);
-    let mut member_locals = BitSet::new(num_vars);
+    let mut bases: Vec<S> = Vec::with_capacity(members.len());
+    let mut transfer = S::empty(num_vars);
+    let mut member_locals = S::empty(num_vars);
     for (k, &u) in members.iter().enumerate() {
         member_locals.union_with(&locals[u]);
         transfer.union_with_difference(&seeds[u], &locals[u]);
@@ -333,7 +333,7 @@ pub fn solve_component(
         return (bases, counter);
     }
 
-    let mut m = BitMatrix::new(members.len(), num_vars);
+    let mut m: SetMatrix<S> = SetMatrix::new(members.len(), num_vars);
     for (k, base) in bases.iter().enumerate() {
         m.or_row_with_set(k, base);
     }
@@ -354,13 +354,13 @@ pub fn solve_component(
             break;
         }
     }
-    let sets = (0..members.len()).map(|k| m.row_to_set(k)).collect();
-    (sets, counter)
+    (m.into_rows(), counter)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use modref_bitset::BitSet;
     use modref_binding::{solve_rmod, BindingGraph};
     use modref_ir::{CallGraph, Expr, LocalEffects, ProgramBuilder};
 

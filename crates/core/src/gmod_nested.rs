@@ -23,20 +23,20 @@
 //!   parallel stacks, exploiting that the level-`i` components refine the
 //!   level-`(i-1)` components: `O(E_C + d_P · N_C)` bit-vector steps.
 
-use modref_bitset::{BitMatrix, BitSet, OpCounter};
+use modref_bitset::{EffectSet, OpCounter, SetMatrix};
 use modref_graph::DiGraph;
 use modref_guard::{Guard, Interrupt};
 use modref_ir::Program;
 
-use crate::gmod::{findgmod, ClosureFilter, GmodSolution};
+use crate::gmod::{findgmod, ClosureFilter, GmodSolutionIn};
 use crate::meter::Meter;
 
 /// The set of variables declared at levels `< i`, for `i` in `0..=d_P`
 /// (`level_lt[0]` is empty; `level_lt[1]` is the true globals plus main's
 /// locals; …).
-fn level_masks(program: &Program) -> Vec<BitSet> {
+fn level_masks<S: EffectSet>(program: &Program) -> Vec<S> {
     let dp = program.max_level() as usize;
-    let mut masks = vec![BitSet::new(program.num_vars()); dp + 1];
+    let mut masks = vec![S::empty(program.num_vars()); dp + 1];
     for v in program.vars() {
         let lv = program.var_level(v) as usize;
         for mask in masks.iter_mut().skip(lv + 1) {
@@ -54,30 +54,30 @@ fn level_masks(program: &Program) -> Vec<BitSet> {
 /// # Panics
 ///
 /// Panics if the slice lengths differ from `program.num_procs()`.
-pub fn solve_gmod_multi_naive(
+pub fn solve_gmod_multi_naive<S: EffectSet>(
     program: &Program,
     call_graph: &DiGraph,
-    seeds: &[BitSet],
-    locals: &[BitSet],
-) -> GmodSolution {
+    seeds: &[S],
+    locals: &[S],
+) -> GmodSolutionIn<S> {
     solve_gmod_multi_naive_guarded(program, call_graph, seeds, locals, &Guard::unlimited())
         .expect("an unlimited guard cannot interrupt the solver")
 }
 
 /// [`solve_gmod_multi_naive`] under a cooperative [`Guard`] (checkpoint
 /// `"gmod"`, strides inside each per-level Figure 2 run).
-pub fn solve_gmod_multi_naive_guarded(
+pub fn solve_gmod_multi_naive_guarded<S: EffectSet>(
     program: &Program,
     call_graph: &DiGraph,
-    seeds: &[BitSet],
-    locals: &[BitSet],
+    seeds: &[S],
+    locals: &[S],
     guard: &Guard,
-) -> Result<GmodSolution, Interrupt> {
+) -> Result<GmodSolutionIn<S>, Interrupt> {
     assert_eq!(seeds.len(), program.num_procs(), "one seed per procedure");
     assert_eq!(locals.len(), program.num_procs(), "one LOCAL per procedure");
     guard.checkpoint("gmod")?;
     let dp = program.max_level() as usize;
-    let masks = level_masks(program);
+    let masks: Vec<S> = level_masks(program);
     let callee_level: Vec<usize> = call_graph
         .edges()
         .map(|e| program.proc_(modref_ir::ProcId::new(e.to)).level() as usize)
@@ -88,7 +88,7 @@ pub fn solve_gmod_multi_naive_guarded(
     // this meter covers only the union sweep, so nothing is double-billed.
     let mut union_work = OpCounter::new();
     let mut meter = Meter::new(64);
-    let mut union_sets: Vec<BitSet> = seeds.to_vec();
+    let mut union_sets: Vec<S> = seeds.to_vec();
     #[allow(clippy::needless_range_loop)] // `i` is the problem number, not just an index
     for i in 1..=dp {
         let sol = findgmod(
@@ -110,7 +110,7 @@ pub fn solve_gmod_multi_naive_guarded(
         }
     }
     meter.settle(guard, &union_work)?;
-    Ok(GmodSolution::new(union_sets, total_stats))
+    Ok(GmodSolutionIn::new(union_sets, total_stats))
 }
 
 /// Exact nested `GMOD` in a single depth-first pass with lowlink *vectors*
@@ -128,25 +128,25 @@ pub fn solve_gmod_multi_naive_guarded(
 /// # Panics
 ///
 /// Panics if the slice lengths differ from `program.num_procs()`.
-pub fn solve_gmod_multi_fused(
+pub fn solve_gmod_multi_fused<S: EffectSet>(
     program: &Program,
     call_graph: &DiGraph,
-    seeds: &[BitSet],
-    locals: &[BitSet],
-) -> GmodSolution {
+    seeds: &[S],
+    locals: &[S],
+) -> GmodSolutionIn<S> {
     solve_gmod_multi_fused_guarded(program, call_graph, seeds, locals, &Guard::unlimited())
         .expect("an unlimited guard cannot interrupt the solver")
 }
 
 /// [`solve_gmod_multi_fused`] under a cooperative [`Guard`] (checkpoint
 /// `"gmod"`, strides in the single depth-first pass).
-pub fn solve_gmod_multi_fused_guarded(
+pub fn solve_gmod_multi_fused_guarded<S: EffectSet>(
     program: &Program,
     call_graph: &DiGraph,
-    seeds: &[BitSet],
-    locals: &[BitSet],
+    seeds: &[S],
+    locals: &[S],
     guard: &Guard,
-) -> Result<GmodSolution, Interrupt> {
+) -> Result<GmodSolutionIn<S>, Interrupt> {
     assert_eq!(seeds.len(), program.num_procs(), "one seed per procedure");
     assert_eq!(locals.len(), program.num_procs(), "one LOCAL per procedure");
     guard.checkpoint("gmod")?;
@@ -156,9 +156,9 @@ pub fn solve_gmod_multi_fused_guarded(
     let mut meter = Meter::new(256);
     if dp == 0 || n == 0 {
         // Only main exists (or nothing): GMOD = IMOD⁺.
-        return Ok(GmodSolution::new(seeds.to_vec(), stats));
+        return Ok(GmodSolutionIn::new(seeds.to_vec(), stats));
     }
-    let masks = level_masks(program);
+    let masks: Vec<S> = level_masks(program);
     let callee_level: Vec<usize> = call_graph
         .edges()
         .map(|e| program.proc_(modref_ir::ProcId::new(e.to)).level() as usize)
@@ -174,7 +174,7 @@ pub fn solve_gmod_multi_fused_guarded(
     // depth, so pops happen deepest-problem-first.
     let mut pop_frontier = vec![0usize; n];
     let mut next_dfn = 0usize;
-    let mut gmod = BitMatrix::new(n, program.num_vars());
+    let mut gmod: SetMatrix<S> = SetMatrix::new(n, program.num_vars());
     let mut frames: Vec<(usize, usize)> = Vec::new();
 
     let discover = |v: usize,
@@ -182,7 +182,7 @@ pub fn solve_gmod_multi_fused_guarded(
                     lowlink: &mut Vec<Vec<usize>>,
                     stacks: &mut Vec<Vec<usize>>,
                     pop_frontier: &mut Vec<usize>,
-                    gmod: &mut BitMatrix,
+                    gmod: &mut SetMatrix<S>,
                     next_dfn: &mut usize,
                     stats: &mut OpCounter| {
         dfn[v] = *next_dfn;
@@ -290,13 +290,14 @@ pub fn solve_gmod_multi_fused_guarded(
     }
 
     meter.settle(guard, &stats)?;
-    let sets = (0..n).map(|v| gmod.row_to_set(v)).collect();
-    Ok(GmodSolution::new(sets, stats))
+    Ok(GmodSolutionIn::new(gmod.into_rows(), stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use modref_bitset::BitSet;
+    use crate::gmod::GmodSolution;
     use modref_binding::{solve_rmod, BindingGraph};
     use modref_ir::{CallGraph, Expr, LocalEffects, ProgramBuilder};
 
@@ -506,7 +507,7 @@ mod tests {
         let q = b.nested_proc(p, "q", &[]);
         let _u = b.local(q, "u");
         let program = b.finish().expect("valid");
-        let masks = level_masks(&program);
+        let masks: Vec<BitSet> = level_masks(&program);
         assert_eq!(masks.len(), 3); // levels 0..=2
         assert!(masks[0].is_empty());
         for i in 0..masks.len() - 1 {

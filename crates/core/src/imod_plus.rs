@@ -7,11 +7,11 @@
 //! callee — which is what makes the global phase's binding function
 //! degenerate into the simple filter of equation (4).
 
-use modref_bitset::{BitSet, OpCounter};
+use modref_bitset::{EffectSet, OpCounter};
 use modref_guard::{Guard, Interrupt};
 use modref_ir::{Actual, Program};
 
-use modref_binding::RmodSolution;
+use modref_binding::RmodSolutionIn;
 
 use crate::meter::Meter;
 
@@ -53,11 +53,11 @@ use crate::meter::Meter;
 /// # Ok(())
 /// # }
 /// ```
-pub fn compute_imod_plus(
+pub fn compute_imod_plus<S: EffectSet>(
     program: &Program,
-    initial: &[BitSet],
-    rmod: &RmodSolution,
-) -> (Vec<BitSet>, OpCounter) {
+    initial: &[S],
+    rmod: &RmodSolutionIn<S>,
+) -> (Vec<S>, OpCounter) {
     compute_imod_plus_guarded(program, initial, rmod, &Guard::unlimited())
         .expect("an unlimited guard cannot interrupt the solver")
 }
@@ -74,12 +74,12 @@ pub fn compute_imod_plus(
 /// # Panics
 ///
 /// Panics if `initial.len() != program.num_procs()`.
-pub fn compute_imod_plus_guarded(
+pub fn compute_imod_plus_guarded<S: EffectSet>(
     program: &Program,
-    initial: &[BitSet],
-    rmod: &RmodSolution,
+    initial: &[S],
+    rmod: &RmodSolutionIn<S>,
     guard: &Guard,
-) -> Result<(Vec<BitSet>, OpCounter), Interrupt> {
+) -> Result<(Vec<S>, OpCounter), Interrupt> {
     assert_eq!(
         initial.len(),
         program.num_procs(),
@@ -112,6 +112,7 @@ pub fn compute_imod_plus_guarded(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use modref_bitset::BitSet;
     use modref_binding::{solve_rmod, BindingGraph};
     use modref_ir::{Expr, LocalEffects, ProgramBuilder, Ref};
 

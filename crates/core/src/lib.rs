@@ -66,12 +66,12 @@ mod meter;
 pub mod modsets;
 pub mod pipeline;
 
-pub use alias::AliasPairs;
+pub use alias::{AliasPairs, AliasPairsIn};
 pub use demand::{
     conservative_proc_answer, conservative_site_answer, query_proc_guarded, query_site_guarded,
     DemandMemo, ProcAnswer, Side, SiteAnswer,
 };
-pub use gmod::{solve_gmod_one_level, solve_gmod_one_level_guarded, GmodSolution};
+pub use gmod::{solve_gmod_one_level, solve_gmod_one_level_guarded, GmodSolution, GmodSolutionIn};
 pub use gmod_levels::{
     solve_component, solve_gmod_levels, solve_gmod_levels_guarded, solve_gmod_levels_traced,
 };
@@ -81,10 +81,16 @@ pub use gmod_nested::{
 };
 pub use imod_plus::{compute_imod_plus, compute_imod_plus_guarded};
 pub use incremental::{Delta, EditError, IncrementalAnalyzer};
+pub use dmod::{DmodSolution, DmodSolutionIn};
+pub use modsets::{ModSolution, ModSolutionIn};
 pub use pipeline::{
     AnalysisOutcome, Analyzer, DegradeReason, GmodAlgorithm, Phase, PhaseMask, PhaseStats,
     PhaseWall, Summary,
 };
+
+/// The set-representation layer ([`Analyzer::set_repr`]), re-exported so
+/// downstream crates need not depend on `modref-bitset` directly.
+pub use modref_bitset::{BitSet, EffectSet, HybridSet, SetRepr};
 
 /// The guard machinery (budgets, deadlines, cancellation, fault
 /// injection), re-exported so downstream crates need not depend on

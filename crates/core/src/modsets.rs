@@ -1,27 +1,31 @@
 //! `MOD` from `DMOD` plus aliases — §5 step (2).
 
-use modref_bitset::{BitSet, OpCounter};
+use modref_bitset::{BitSet, EffectSet, OpCounter};
 use modref_guard::{Guard, Interrupt};
 use modref_ir::{CallSiteId, Program};
 
-use crate::alias::AliasPairs;
-use crate::dmod::DmodSolution;
+use crate::alias::AliasPairsIn;
+use crate::dmod::DmodSolutionIn;
 
 /// Per-call-site final `MOD` (or `USE`) sets.
 #[derive(Debug, Clone)]
-pub struct ModSolution {
-    per_site: Vec<BitSet>,
+pub struct ModSolutionIn<S: EffectSet> {
+    per_site: Vec<S>,
     stats: OpCounter,
 }
 
-impl ModSolution {
+/// [`ModSolutionIn`] over the paper's dense bit vectors — the default
+/// representation of the public API.
+pub type ModSolution = ModSolutionIn<BitSet>;
+
+impl<S: EffectSet> ModSolutionIn<S> {
     /// `MOD(s)` for call site `s`.
-    pub fn mod_site(&self, s: CallSiteId) -> &BitSet {
+    pub fn mod_site(&self, s: CallSiteId) -> &S {
         &self.per_site[s.index()]
     }
 
     /// All per-site sets, indexed by call site.
-    pub fn all(&self) -> &[BitSet] {
+    pub fn all(&self) -> &[S] {
         &self.per_site
     }
 
@@ -31,13 +35,13 @@ impl ModSolution {
         self.stats
     }
 
-    pub(crate) fn into_sets(self) -> Vec<BitSet> {
+    pub(crate) fn into_sets(self) -> Vec<S> {
         self.per_site
     }
 
     /// Wraps already-widened per-site sets (the degraded-path fallback).
-    pub(crate) fn conservative(per_site: Vec<BitSet>) -> Self {
-        ModSolution {
+    pub(crate) fn conservative(per_site: Vec<S>) -> Self {
+        ModSolutionIn {
             per_site,
             stats: OpCounter::new(),
         }
@@ -46,18 +50,22 @@ impl ModSolution {
 
 /// For each call site `s` in procedure `p`:
 /// `MOD(s) = DMOD(s) ∪ { y : x ∈ DMOD(s), ⟨x, y⟩ ∈ ALIAS(p) }`.
-pub fn compute_mod(program: &Program, dmod: &DmodSolution, aliases: &AliasPairs) -> ModSolution {
+pub fn compute_mod<S: EffectSet>(
+    program: &Program,
+    dmod: &DmodSolutionIn<S>,
+    aliases: &AliasPairsIn<S>,
+) -> ModSolutionIn<S> {
     compute_mod_pooled(program, dmod, aliases, &modref_par::ThreadPool::new(1))
 }
 
 /// [`compute_mod`] with the per-site alias factoring spread over `pool`;
 /// sites are independent, so the result is identical at any thread count.
-pub fn compute_mod_pooled(
+pub fn compute_mod_pooled<S: EffectSet>(
     program: &Program,
-    dmod: &DmodSolution,
-    aliases: &AliasPairs,
+    dmod: &DmodSolutionIn<S>,
+    aliases: &AliasPairsIn<S>,
     pool: &modref_par::ThreadPool,
-) -> ModSolution {
+) -> ModSolutionIn<S> {
     compute_mod_guarded(program, dmod, aliases, pool, &Guard::unlimited())
         .expect("an unlimited guard cannot interrupt the solver")
 }
@@ -70,13 +78,13 @@ pub fn compute_mod_pooled(
 ///
 /// Returns the guard's [`Interrupt`] if a deadline, budget, or
 /// cancellation trips mid-factoring; partial per-site sets are discarded.
-pub fn compute_mod_guarded(
+pub fn compute_mod_guarded<S: EffectSet>(
     program: &Program,
-    dmod: &DmodSolution,
-    aliases: &AliasPairs,
+    dmod: &DmodSolutionIn<S>,
+    aliases: &AliasPairsIn<S>,
     pool: &modref_par::ThreadPool,
     guard: &Guard,
-) -> Result<ModSolution, Interrupt> {
+) -> Result<ModSolutionIn<S>, Interrupt> {
     guard.checkpoint("modsets")?;
     let mut stats = OpCounter::new();
     stats.bitvec_steps += program.num_sites() as u64;
@@ -114,7 +122,7 @@ pub fn compute_mod_guarded(
         v
     };
     guard.check()?;
-    Ok(ModSolution { per_site, stats })
+    Ok(ModSolutionIn { per_site, stats })
 }
 
 #[cfg(test)]

@@ -12,16 +12,16 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use modref_binding::{solve_rmod_traced, BindingGraph, RmodSolution};
-use modref_bitset::{BitSet, OpCounter};
+use modref_binding::{solve_rmod_traced, BindingGraph, RmodSolutionIn};
+use modref_bitset::{BitSet, EffectSet, HybridSet, OpCounter, SetRepr};
 use modref_guard::{Guard, Interrupt};
-use modref_ir::{CallGraph, CallSiteId, LocalEffects, ProcId, Program};
+use modref_ir::{CallGraph, CallSiteId, LocalEffects, LocalEffectsIn, ProcId, Program};
 use modref_par::ThreadPool;
 use modref_trace::Trace;
 
-use crate::alias::AliasPairs;
-use crate::dmod::{compute_dmod_guarded, DmodSolution};
-use crate::gmod::{solve_gmod_one_level_guarded, GmodSolution};
+use crate::alias::{AliasPairs, AliasPairsIn};
+use crate::dmod::{compute_dmod_guarded, DmodSolutionIn};
+use crate::gmod::{solve_gmod_one_level_guarded, GmodSolutionIn};
 use crate::gmod_levels::solve_gmod_levels_traced;
 use crate::gmod_nested::{solve_gmod_multi_fused_guarded, solve_gmod_multi_naive_guarded};
 use crate::imod_plus::compute_imod_plus_guarded;
@@ -42,6 +42,22 @@ fn span_ops(span: &mut modref_trace::Span<'_>, ops: &OpCounter) {
             span.arg(key, value);
         }
     }
+}
+
+/// The program's visible sets, converted into the working representation
+/// (the pipeline's conservative fallback material).
+fn visible_sets_in<S: EffectSet>(program: &Program) -> Vec<S> {
+    program
+        .visible_sets()
+        .into_iter()
+        .map(S::from_dense_owned)
+        .collect()
+}
+
+/// Converts a whole solution vector to the dense default representation
+/// (an identity move per element for the dense instantiation).
+fn sets_to_dense<S: EffectSet>(sets: Vec<S>) -> Vec<BitSet> {
+    sets.into_iter().map(S::into_dense).collect()
 }
 
 /// Which algorithm computes the global (`GMOD`) phase.
@@ -284,6 +300,7 @@ fn run_phase<T>(
 #[derive(Debug, Clone, Default)]
 pub struct Analyzer {
     gmod_algorithm: GmodAlgorithm,
+    set_repr: SetRepr,
     skip_use: bool,
     skip_aliases: bool,
     parallel: bool,
@@ -302,6 +319,24 @@ impl Analyzer {
     pub fn gmod_algorithm(&mut self, algorithm: GmodAlgorithm) -> &mut Self {
         self.gmod_algorithm = algorithm;
         self
+    }
+
+    /// Selects the internal set representation the solvers run on (see
+    /// `docs/SETREPR.md`). The default, [`SetRepr::Dense`], is the paper's
+    /// dense bit vectors; [`SetRepr::Hybrid`] runs every phase on the
+    /// sparse-friendly [`HybridSet`]; [`SetRepr::Auto`] picks per program
+    /// (hybrid only for universes past the density cutoff). The reported
+    /// [`Summary`] is always dense and bit-identical across
+    /// representations — only working memory and constant factors change.
+    pub fn set_repr(&mut self, repr: SetRepr) -> &mut Self {
+        self.set_repr = repr;
+        self
+    }
+
+    /// The set representation configured through [`Analyzer::set_repr`]
+    /// ([`SetRepr::Dense`] by default).
+    pub fn configured_set_repr(&self) -> SetRepr {
+        self.set_repr
     }
 
     /// Skips the `USE` problem (the `use_*` accessors then return empty
@@ -397,6 +432,18 @@ impl Analyzer {
     /// remaining guarded phase fails fast at its entry checkpoint, so a
     /// tripped run finishes with bounded linear fallback work.
     pub fn analyze_guarded(&self, program: &Program, guard: &Guard) -> AnalysisOutcome {
+        if self.set_repr.use_hybrid(program.num_vars(), None) {
+            self.analyze_guarded_in::<HybridSet>(program, guard)
+        } else {
+            self.analyze_guarded_in::<BitSet>(program, guard)
+        }
+    }
+
+    /// [`Analyzer::analyze_guarded`] monomorphised over one concrete set
+    /// representation. Every solver phase, fallback, and intermediate
+    /// vector uses `S`; the returned [`Summary`] converts to dense at the
+    /// boundary (an identity move when `S` is [`BitSet`]).
+    fn analyze_guarded_in<S: EffectSet>(&self, program: &Program, guard: &Guard) -> AnalysisOutcome {
         let started = Instant::now();
         let mut stats = PhaseStats::default();
         let pool = ThreadPool::with_threads(self.threads);
@@ -418,15 +465,19 @@ impl Analyzer {
             &mut stats.wall.fallback,
             || {
                 guard.checkpoint("local")?;
-                Ok(LocalEffects::compute_pooled(program, &pool))
+                Ok(LocalEffectsIn::<S>::compute_pooled(program, &pool))
             },
-            || LocalEffects::conservative(program),
+            || LocalEffectsIn::<S>::conservative(program),
         );
         drop(local_span);
         stats.wall.local += t.elapsed();
         let call_graph = CallGraph::build(program);
         let beta = BindingGraph::build(program);
-        let locals = program.local_sets();
+        let locals: Vec<S> = program
+            .local_sets()
+            .into_iter()
+            .map(S::from_dense_owned)
+            .collect();
 
         // Phases 1-3 for MOD, optionally for USE. Each half reads only
         // immutable inputs, so with `parallel()` (or a multi-thread pool)
@@ -434,7 +485,7 @@ impl Analyzer {
         // current one; pool jobs from the two halves serialise on the
         // pool's submit lock. The halves share `guard`, so one half's
         // budget trip also stops the other at its next poll.
-        let run_half = |initial: &[BitSet], is_mod: bool| {
+        let run_half = |initial: &[S], is_mod: bool| {
             let mut half_stats = PhaseStats::default();
             let mut half_failures = Vec::new();
             let r = self.half_pipeline(
@@ -487,7 +538,7 @@ impl Analyzer {
                 (g, i, r)
             }
             None => {
-                let empty = vec![BitSet::new(program.num_vars()); program.num_procs()];
+                let empty = vec![S::empty(program.num_vars()); program.num_procs()];
                 (empty.clone(), empty.clone(), empty)
             }
         };
@@ -503,18 +554,18 @@ impl Analyzer {
             &mut failures,
             &mut stats.wall.fallback,
             || compute_dmod_guarded(program, &gmod, &pool, guard),
-            || DmodSolution::conservative(program, &gmod),
+            || DmodSolutionIn::conservative(program, &gmod),
         );
         stats.dmod += dmod.stats();
         let duse = if self.skip_use {
-            DmodSolution::empty(program)
+            DmodSolutionIn::empty(program)
         } else {
             let d = run_phase(
                 Phase::Dmod,
                 &mut failures,
                 &mut stats.wall.fallback,
                 || compute_dmod_guarded(program, &guse, &pool, guard),
-                || DmodSolution::conservative(program, &guse),
+                || DmodSolutionIn::conservative(program, &guse),
             );
             stats.dmod += d.stats();
             d
@@ -528,15 +579,15 @@ impl Analyzer {
         // factoring below compensates by widening the final sets instead.
         let t = Instant::now();
         let aliases = if self.skip_aliases {
-            AliasPairs::compute_empty(program)
+            AliasPairsIn::<S>::compute_empty(program)
         } else {
             let mut alias_span = self.trace.span("alias");
             let pairs = run_phase(
                 Phase::Aliases,
                 &mut failures,
                 &mut stats.wall.fallback,
-                || AliasPairs::compute_guarded(program, guard),
-                || AliasPairs::compute_empty(program),
+                || AliasPairsIn::<S>::compute_guarded(program, guard),
+                || AliasPairsIn::<S>::compute_empty(program),
             );
             let total_pairs: usize = program.procs().map(|p| pairs.pair_count(p)).sum();
             alias_span.arg("pairs", total_pairs as u64);
@@ -546,14 +597,14 @@ impl Analyzer {
             !self.skip_aliases && failures.iter().any(|f| f.phase == Phase::Aliases);
         stats.wall.aliases += t.elapsed();
         let t = Instant::now();
-        let conservative_sites = |skip: bool| {
+        let conservative_sites = |skip: bool| -> Vec<S> {
             if skip {
-                vec![BitSet::new(program.num_vars()); program.num_sites()]
+                vec![S::empty(program.num_vars()); program.num_sites()]
             } else {
                 let visible = program.visible_sets();
                 program
                     .sites()
-                    .map(|s| visible[program.site(s).caller().index()].clone())
+                    .map(|s| S::from_dense(&visible[program.site(s).caller().index()]))
                     .collect()
             }
         };
@@ -563,7 +614,7 @@ impl Analyzer {
             &mut failures,
             &mut stats.wall.fallback,
             || compute_mod_guarded(program, &dmod, &aliases, &pool, guard),
-            || crate::modsets::ModSolution::conservative(conservative_sites(false)),
+            || crate::modsets::ModSolutionIn::conservative(conservative_sites(false)),
         );
         stats.modsets += mods.stats();
         let uses = run_phase(
@@ -571,7 +622,7 @@ impl Analyzer {
             &mut failures,
             &mut stats.wall.fallback,
             || compute_mod_guarded(program, &duse, &aliases, &pool, guard),
-            || crate::modsets::ModSolution::conservative(conservative_sites(self.skip_use)),
+            || crate::modsets::ModSolutionIn::conservative(conservative_sites(self.skip_use)),
         );
         stats.modsets += uses.stats();
         span_ops(&mut modsets_span, &stats.modsets);
@@ -613,18 +664,18 @@ impl Analyzer {
         stats.cut = cut;
 
         let summary = Summary {
-            effects,
-            rmod,
-            ruse,
-            imod_plus,
-            iuse_plus,
-            gmod,
-            guse,
-            dmod_sites: dmod.all().to_vec(),
-            duse_sites: duse.all().to_vec(),
-            mod_sites,
-            use_sites,
-            aliases,
+            effects: effects.into_dense(),
+            rmod: sets_to_dense(rmod),
+            ruse: sets_to_dense(ruse),
+            imod_plus: sets_to_dense(imod_plus),
+            iuse_plus: sets_to_dense(iuse_plus),
+            gmod: sets_to_dense(gmod),
+            guse: sets_to_dense(guse),
+            dmod_sites: dmod.all().iter().map(|d| d.to_dense()).collect(),
+            duse_sites: duse.all().iter().map(|d| d.to_dense()).collect(),
+            mod_sites: sets_to_dense(mod_sites),
+            use_sites: sets_to_dense(use_sites),
+            aliases: aliases.into_dense(),
             beta_nodes: beta.num_nodes(),
             beta_edges: beta.num_edges(),
             stats,
@@ -673,19 +724,19 @@ impl Analyzer {
     /// RMOD → IMOD⁺ → GMOD for one side of the problem, each phase with
     /// its conservative fallback (all formals / visible sets).
     #[allow(clippy::too_many_arguments)]
-    fn half_pipeline(
+    fn half_pipeline<S: EffectSet>(
         &self,
         program: &Program,
         call_graph: &CallGraph,
         beta: &BindingGraph,
-        initial: &[BitSet],
-        locals: &[BitSet],
+        initial: &[S],
+        locals: &[S],
         pool: &ThreadPool,
         stats: &mut PhaseStats,
         is_mod: bool,
         guard: &Guard,
         failures: &mut Vec<Failure>,
-    ) -> (Vec<BitSet>, Vec<BitSet>, Vec<BitSet>) {
+    ) -> (Vec<S>, Vec<S>, Vec<S>) {
         let (rmod_phase, plus_phase, gmod_phase) = if is_mod {
             (Phase::Rmod, Phase::ImodPlus, Phase::Gmod)
         } else {
@@ -698,7 +749,7 @@ impl Analyzer {
             failures,
             &mut stats.wall.fallback,
             || solve_rmod_traced(program, initial, beta, pool, guard, &self.trace),
-            || RmodSolution::conservative(program),
+            || RmodSolutionIn::conservative(program),
         );
         span_ops(&mut rmod_span, &rmod.stats());
         drop(rmod_span);
@@ -716,7 +767,7 @@ impl Analyzer {
             failures,
             &mut stats.wall.fallback,
             || compute_imod_plus_guarded(program, initial, &rmod, guard),
-            || (program.visible_sets(), OpCounter::new()),
+            || (visible_sets_in::<S>(program), OpCounter::new()),
         );
         span_ops(&mut plus_span, &plus_stats);
         drop(plus_span);
@@ -746,7 +797,7 @@ impl Analyzer {
                 GmodAlgorithm::LevelScheduled => "level_scheduled",
             },
         );
-        let gmod: GmodSolution = run_phase(
+        let gmod: GmodSolutionIn<S> = run_phase(
             gmod_phase,
             failures,
             &mut stats.wall.fallback,
@@ -770,7 +821,7 @@ impl Analyzer {
                     &self.trace,
                 ),
             },
-            || GmodSolution::new(program.visible_sets(), OpCounter::new()),
+            || GmodSolutionIn::new(visible_sets_in::<S>(program), OpCounter::new()),
         );
         span_ops(&mut gmod_span, &gmod.stats());
         drop(gmod_span);
@@ -1079,13 +1130,13 @@ impl Summary {
     }
 }
 
-impl DmodSolution {
+impl<S: EffectSet> DmodSolutionIn<S> {
     fn empty(program: &Program) -> Self {
         Self::empty_impl(program)
     }
 }
 
-impl AliasPairs {
+impl<S: EffectSet> AliasPairsIn<S> {
     fn compute_empty(program: &Program) -> Self {
         Self::empty_impl(program)
     }

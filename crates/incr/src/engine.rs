@@ -64,7 +64,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use modref_binding::BindingGraph;
-use modref_bitset::{BitSet, OpCounter};
+use modref_bitset::{BitSet, EffectSet, OpCounter};
 use modref_core::{solve_component, Analyzer};
 use modref_graph::{DiGraph, DynCondensation, SccId, SparseSweep};
 use modref_guard::{Guard, Interrupt};
@@ -74,7 +74,7 @@ use modref_ir::{
 use modref_par::ThreadPool;
 use modref_trace::Trace;
 
-use modref_core::AliasPairs;
+use modref_core::AliasPairsIn;
 
 use crate::script::Script;
 
@@ -100,42 +100,42 @@ impl std::error::Error for ReplayError {}
 ///
 /// [`Summary`]: modref_core::Summary
 #[derive(Debug, Default, Clone)]
-struct Results {
+struct Results<S: EffectSet> {
     /// §3.3-extended `IMOD`/`IUSE` per procedure.
-    imod: Vec<BitSet>,
-    iuse: Vec<BitSet>,
+    imod: Vec<S>,
+    iuse: Vec<S>,
     /// Figure 1 `RMOD`/`RUSE` per procedure (only own-formal bits).
-    rmod: Vec<BitSet>,
-    ruse: Vec<BitSet>,
+    rmod: Vec<S>,
+    ruse: Vec<S>,
     /// Equation (5) `IMOD⁺`/`IUSE⁺`.
-    plus_mod: Vec<BitSet>,
-    plus_use: Vec<BitSet>,
+    plus_mod: Vec<S>,
+    plus_use: Vec<S>,
     /// Equation (4) `GMOD`/`GUSE`.
-    gmod: Vec<BitSet>,
-    guse: Vec<BitSet>,
+    gmod: Vec<S>,
+    guse: Vec<S>,
     /// Per-site projections and final alias-factored sets.
-    dmod: Vec<BitSet>,
-    duse: Vec<BitSet>,
-    mods: Vec<BitSet>,
-    uses: Vec<BitSet>,
+    dmod: Vec<S>,
+    duse: Vec<S>,
+    mods: Vec<S>,
+    uses: Vec<S>,
 }
 
 /// Cached intermediates that outlive one apply. Everything here is an
 /// *optimisation*: the engine is correct with any subset missing (it
 /// recomputes), and the whole cache is dropped on a failed apply.
-struct Cache {
+struct Cache<S: EffectSet> {
     /// Flat (un-extended) per-procedure `LMOD`/`LUSE` unions.
-    flat_mod: Vec<BitSet>,
-    flat_use: Vec<BitSet>,
+    flat_mod: Vec<S>,
+    flat_use: Vec<S>,
     /// `LOCAL(p)` per procedure.
-    local_sets: Vec<BitSet>,
+    local_sets: Vec<S>,
     /// Figure 1 structures, maintained across set-local and structural
     /// patch edits.
     beta: BetaCache,
     /// The `GMOD` problem family, likewise maintained.
-    call: CallCache,
+    call: CallCache<S>,
     /// Banning alias pairs; body-independent, reusable across `set-local`.
-    aliases: AliasPairs,
+    aliases: AliasPairsIn<S>,
 }
 
 /// The binding multi-graph, its dynamically maintained condensation, and
@@ -158,22 +158,22 @@ struct BetaCache {
 /// The call multi-graph's `GMOD` problem family: one maintained
 /// condensation per nesting problem (shared by both sides) plus the
 /// per-procedure fixpoint rows of the last sweep.
-struct CallCache {
+struct CallCache<S: EffectSet> {
     /// The nesting depth the family was built for; a depth change
     /// invalidates the whole family.
     dp: usize,
     /// Sorted `(from, to, callee_level)` edge multiset of the *full*
     /// call graph — the diff base for patches.
     edges: Vec<(usize, usize, usize)>,
-    problems: Vec<ProblemCache>,
+    problems: Vec<ProblemCache<S>>,
 }
 
 /// One `GMOD` problem: its maintained condensation and the cached
 /// per-node (per-procedure) fixpoint rows for both sides.
-struct ProblemCache {
+struct ProblemCache<S: EffectSet> {
     dc: DynCondensation,
-    rows_mod: Vec<BitSet>,
-    rows_use: Vec<BitSet>,
+    rows_mod: Vec<S>,
+    rows_use: Vec<S>,
 }
 
 /// Which apply path this edit takes; see the module docs.
@@ -263,13 +263,22 @@ impl IncrOutcome {
 /// carrying over its thread count and trace handle.
 pub trait IncrementalExt {
     /// Builds the engine (running the initial full analysis) with this
-    /// analyzer's threads and trace.
+    /// analyzer's threads and trace, over the default dense sets.
     fn incremental(&self, program: Program) -> IncrementalEngine;
+
+    /// [`IncrementalExt::incremental`] over a caller-chosen set
+    /// representation `S` — `modref serve` uses this to build hybrid
+    /// sessions when the server-wide `--set-repr` knob selects them.
+    fn incremental_in<S: EffectSet>(&self, program: Program) -> IncrementalEngineIn<S>;
 }
 
 impl IncrementalExt for Analyzer {
     fn incremental(&self, program: Program) -> IncrementalEngine {
-        let mut engine = IncrementalEngine::with_config(
+        self.incremental_in::<BitSet>(program)
+    }
+
+    fn incremental_in<S: EffectSet>(&self, program: Program) -> IncrementalEngineIn<S> {
+        let mut engine = IncrementalEngineIn::with_config(
             program,
             self.configured_threads(),
             self.trace_handle().clone(),
@@ -316,16 +325,20 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// # Ok(())
 /// # }
 /// ```
-pub struct IncrementalEngine {
+pub struct IncrementalEngineIn<S: EffectSet> {
     program: Program,
     threads: Option<usize>,
     trace: Trace,
-    cache: Option<Cache>,
-    res: Results,
+    cache: Option<Cache<S>>,
+    res: Results<S>,
     stats: IncrStats,
 }
 
-impl IncrementalEngine {
+/// [`IncrementalEngineIn`] over the paper's dense bit vectors — the
+/// default representation of the public API.
+pub type IncrementalEngine = IncrementalEngineIn<BitSet>;
+
+impl<S: EffectSet> IncrementalEngineIn<S> {
     /// Builds the engine and runs the initial full analysis.
     pub fn new(program: Program) -> Self {
         let mut engine = Self::with_config(program, None, Trace::disabled());
@@ -334,7 +347,7 @@ impl IncrementalEngine {
     }
 
     fn with_config(program: Program, threads: Option<usize>, trace: Trace) -> Self {
-        IncrementalEngine {
+        IncrementalEngineIn {
             program,
             threads,
             trace,
@@ -482,15 +495,19 @@ impl IncrementalEngine {
     fn degrade(&mut self) {
         self.cache = None;
         let program = &self.program;
-        let visible = program.visible_sets();
+        let visible: Vec<S> = program
+            .visible_sets()
+            .into_iter()
+            .map(S::from_dense_owned)
+            .collect();
         let nv = program.num_vars();
-        let mut rmod = vec![BitSet::new(nv); program.num_procs()];
+        let mut rmod = vec![S::empty(nv); program.num_procs()];
         for p in program.procs() {
             for &f in program.proc_(p).formals() {
                 rmod[p.index()].insert(f.index());
             }
         }
-        let per_site: Vec<BitSet> = program
+        let per_site: Vec<S> = program
             .sites()
             .map(|s| visible[program.site(s).caller().index()].clone())
             .collect();
@@ -560,7 +577,7 @@ impl IncrementalEngine {
 
         // Prior observable results, translated into the edited program's
         // id spaces, for change detection and (set-local only) site reuse.
-        let old: Option<OldResults> = match (mode, delta) {
+        let old: Option<OldResults<S>> = match (mode, delta) {
             (Mode::SetLocal, Some(_)) => Some(OldResults::from_results(prior_res)),
             (Mode::Patch, Some(d)) => Some(OldResults::permuted(prior_res, d, nv, ns)),
             (Mode::Full, Some(d)) if had_cache => Some(OldResults::remapped(prior_res, d, program)),
@@ -590,7 +607,14 @@ impl IncrementalEngine {
         // being reallocated (and compared) on every apply.
         let (local_sets, locals_reused) = match old_local_sets {
             Some(old_ls) if old_ls.len() == np => (old_ls, true),
-            _ => (program.local_sets(), false),
+            _ => (
+                program
+                    .local_sets()
+                    .into_iter()
+                    .map(S::from_dense_owned)
+                    .collect::<Vec<S>>(),
+                false,
+            ),
         };
         let locals_dirty: Vec<bool> = if locals_reused {
             // The cache was only kept for modes that cannot touch
@@ -619,11 +643,11 @@ impl IncrementalEngine {
         }
         let (mut flat_mod, mut flat_use) = match old_flat {
             Some((mut m, mut u)) => {
-                m.resize(np, BitSet::new(nv));
-                u.resize(np, BitSet::new(nv));
+                m.resize(np, S::empty(nv));
+                u.resize(np, S::empty(nv));
                 (m, u)
             }
-            None => (vec![BitSet::new(nv); np], vec![BitSet::new(nv); np]),
+            None => (vec![S::empty(nv); np], vec![S::empty(nv); np]),
         };
         for p in program.procs() {
             if !touched[p.index()] {
@@ -733,8 +757,8 @@ impl IncrementalEngine {
                 for pc in &mut cc.problems {
                     while pc.dc.graph().num_nodes() < np {
                         pc.dc.add_node();
-                        pc.rows_mod.push(BitSet::new(nv));
-                        pc.rows_use.push(BitSet::new(nv));
+                        pc.rows_mod.push(S::empty(nv));
+                        pc.rows_use.push(S::empty(nv));
                     }
                 }
                 let (dels, ins) = diff_sorted(&cc.edges, &triples);
@@ -841,7 +865,7 @@ impl IncrementalEngine {
             // Alias pairs depend only on call sites and visibility, both
             // unchanged under a set-local edit.
             (Mode::SetLocal, Some(a)) => (a, false),
-            _ => (AliasPairs::compute_guarded(program, guard)?, true),
+            _ => (AliasPairsIn::compute_guarded(program, guard)?, true),
         };
         let mut old_sites = old.map(|o| (o.dmod, o.duse, o.mods, o.uses));
         let no_old = old_sites.is_none();
@@ -943,82 +967,82 @@ impl IncrementalEngine {
     // ---- Accessors (mirroring `Summary`) ----
 
     /// `IMOD(p)` with the §3.3 nesting extension.
-    pub fn imod(&self, p: ProcId) -> &BitSet {
+    pub fn imod(&self, p: ProcId) -> &S {
         &self.res.imod[p.index()]
     }
 
     /// `IUSE(p)` with the nesting extension.
-    pub fn iuse(&self, p: ProcId) -> &BitSet {
+    pub fn iuse(&self, p: ProcId) -> &S {
         &self.res.iuse[p.index()]
     }
 
     /// `RMOD(p)`: formals of `p` an invocation may modify.
-    pub fn rmod(&self, p: ProcId) -> &BitSet {
+    pub fn rmod(&self, p: ProcId) -> &S {
         &self.res.rmod[p.index()]
     }
 
     /// `RUSE(p)`.
-    pub fn ruse(&self, p: ProcId) -> &BitSet {
+    pub fn ruse(&self, p: ProcId) -> &S {
         &self.res.ruse[p.index()]
     }
 
     /// `IMOD⁺(p)` (equation 5).
-    pub fn imod_plus(&self, p: ProcId) -> &BitSet {
+    pub fn imod_plus(&self, p: ProcId) -> &S {
         &self.res.plus_mod[p.index()]
     }
 
     /// `IUSE⁺(p)`.
-    pub fn iuse_plus(&self, p: ProcId) -> &BitSet {
+    pub fn iuse_plus(&self, p: ProcId) -> &S {
         &self.res.plus_use[p.index()]
     }
 
     /// `GMOD(p)`.
-    pub fn gmod(&self, p: ProcId) -> &BitSet {
+    pub fn gmod(&self, p: ProcId) -> &S {
         &self.res.gmod[p.index()]
     }
 
     /// `GUSE(p)`.
-    pub fn guse(&self, p: ProcId) -> &BitSet {
+    pub fn guse(&self, p: ProcId) -> &S {
         &self.res.guse[p.index()]
     }
 
     /// All `GMOD` sets, indexed by procedure.
-    pub fn gmod_all(&self) -> &[BitSet] {
+    pub fn gmod_all(&self) -> &[S] {
         &self.res.gmod
     }
 
     /// All `GUSE` sets, indexed by procedure.
-    pub fn guse_all(&self) -> &[BitSet] {
+    pub fn guse_all(&self) -> &[S] {
         &self.res.guse
     }
 
     /// `DMOD` restricted to call site `s` (before aliases).
-    pub fn dmod_site(&self, s: CallSiteId) -> &BitSet {
+    pub fn dmod_site(&self, s: CallSiteId) -> &S {
         &self.res.dmod[s.index()]
     }
 
     /// `DUSE` restricted to call site `s`.
-    pub fn duse_site(&self, s: CallSiteId) -> &BitSet {
+    pub fn duse_site(&self, s: CallSiteId) -> &S {
         &self.res.duse[s.index()]
     }
 
     /// `MOD(s)`: the final answer for call site `s`.
-    pub fn mod_site(&self, s: CallSiteId) -> &BitSet {
+    pub fn mod_site(&self, s: CallSiteId) -> &S {
         &self.res.mods[s.index()]
     }
 
     /// `USE(s)`.
-    pub fn use_site(&self, s: CallSiteId) -> &BitSet {
+    pub fn use_site(&self, s: CallSiteId) -> &S {
         &self.res.uses[s.index()]
     }
 
     /// All per-site `MOD` sets.
-    pub fn mod_all(&self) -> &[BitSet] {
+    pub fn mod_all(&self) -> &[S] {
         &self.res.mods
     }
 
     /// All per-site `USE` sets.
-    pub fn use_all(&self) -> &[BitSet] {
+    pub fn use_all(&self) -> &[S] {
         &self.res.uses
     }
 }
@@ -1039,20 +1063,20 @@ fn identity_maps(d: &EditDelta) -> bool {
 /// Prior observable results, translated into the edited program's id
 /// spaces — the diff base for change detection and (set-local) site
 /// reuse.
-struct OldResults {
-    plus_mod: Vec<BitSet>,
-    plus_use: Vec<BitSet>,
-    gmod: Vec<BitSet>,
-    guse: Vec<BitSet>,
-    dmod: Vec<BitSet>,
-    duse: Vec<BitSet>,
-    mods: Vec<BitSet>,
-    uses: Vec<BitSet>,
+struct OldResults<S: EffectSet> {
+    plus_mod: Vec<S>,
+    plus_use: Vec<S>,
+    gmod: Vec<S>,
+    guse: Vec<S>,
+    dmod: Vec<S>,
+    duse: Vec<S>,
+    mods: Vec<S>,
+    uses: Vec<S>,
 }
 
-impl OldResults {
+impl<S: EffectSet> OldResults<S> {
     /// Set-local: every id space is untouched; the results move verbatim.
-    fn from_results(res: Results) -> OldResults {
+    fn from_results(res: Results<S>) -> OldResults<S> {
         OldResults {
             plus_mod: res.plus_mod,
             plus_use: res.plus_use,
@@ -1067,9 +1091,9 @@ impl OldResults {
 
     /// Structural patch: procedure and variable ids are identities, but
     /// call-site ids may have shifted — permute the per-site vectors.
-    fn permuted(res: Results, d: &EditDelta, nv: usize, ns: usize) -> OldResults {
-        let permute = |old: Vec<BitSet>| -> Vec<BitSet> {
-            let mut out = vec![BitSet::new(nv); ns];
+    fn permuted(res: Results<S>, d: &EditDelta, nv: usize, ns: usize) -> OldResults<S> {
+        let permute = |old: Vec<S>| -> Vec<S> {
+            let mut out = vec![S::empty(nv); ns];
             for (i, set) in old.into_iter().enumerate() {
                 if let Some(s) = d.site_map.get(i).copied().flatten() {
                     out[s.index()] = set;
@@ -1091,18 +1115,18 @@ impl OldResults {
 
     /// Full rebuild after a universe change: remap every id space so the
     /// reported [`IncrDelta`] still names exactly what moved.
-    fn remapped(res: Results, d: &EditDelta, program: &Program) -> OldResults {
+    fn remapped(res: Results<S>, d: &EditDelta, program: &Program) -> OldResults<S> {
         let np = program.num_procs();
         let nv = program.num_vars();
         let ns = program.num_sites();
-        let remap_set = |old: &BitSet| -> BitSet {
-            BitSet::from_iter_with_domain(
+        let remap_set = |old: &S| -> S {
+            S::from_elems(
                 nv,
                 old.iter().filter_map(|i| d.var_map[i].map(VarId::index)),
             )
         };
-        let remap_proc_vec = |old: &[BitSet]| -> Vec<BitSet> {
-            let mut out = vec![BitSet::new(nv); np];
+        let remap_proc_vec = |old: &[S]| -> Vec<S> {
+            let mut out = vec![S::empty(nv); np];
             for (i, set) in old.iter().enumerate() {
                 if let Some(p) = d.proc_map.get(i).copied().flatten() {
                     out[p.index()] = remap_set(set);
@@ -1110,8 +1134,8 @@ impl OldResults {
             }
             out
         };
-        let remap_site_vec = |old: &[BitSet]| -> Vec<BitSet> {
-            let mut out = vec![BitSet::new(nv); ns];
+        let remap_site_vec = |old: &[S]| -> Vec<S> {
+            let mut out = vec![S::empty(nv); ns];
             for (i, set) in old.iter().enumerate() {
                 if let Some(s) = d.site_map.get(i).copied().flatten() {
                     out[s.index()] = remap_set(set);
@@ -1203,13 +1227,13 @@ fn fresh_beta_cache(beta: BindingGraph, edges: Vec<(usize, usize)>) -> BetaCache
 /// restricts the call multi-graph to edges whose callee sits at nesting
 /// level `≥ k + 1`; for two-level programs the single problem runs on the
 /// full graph, matching the batch solver exactly.
-fn fresh_call_cache(
+fn fresh_call_cache<S: EffectSet>(
     dp: usize,
     nproblems: usize,
     np: usize,
     nv: usize,
     triples: Vec<(usize, usize, usize)>,
-) -> CallCache {
+) -> CallCache<S> {
     let mut problems = Vec::with_capacity(nproblems);
     for k in 0..nproblems {
         let min_lvl = if dp <= 1 { 0 } else { k + 1 };
@@ -1221,8 +1245,8 @@ fn fresh_call_cache(
         }
         problems.push(ProblemCache {
             dc: DynCondensation::build(g),
-            rows_mod: vec![BitSet::new(nv); np],
-            rows_use: vec![BitSet::new(nv); np],
+            rows_mod: vec![S::empty(nv); np],
+            rows_use: vec![S::empty(nv); np],
         });
     }
     CallCache {
@@ -1234,25 +1258,25 @@ fn fresh_call_cache(
 
 /// Flat (call-free) `LMOD`/`LUSE` of one procedure — the same statement
 /// walk [`modref_ir::LocalEffects::compute`] performs per procedure.
-fn flat_effects_of(program: &Program, p: ProcId) -> (BitSet, BitSet) {
+fn flat_effects_of<S: EffectSet>(program: &Program, p: ProcId) -> (S, S) {
     let nv = program.num_vars();
-    let mut m = BitSet::new(nv);
-    let mut u = BitSet::new(nv);
+    let mut m = S::empty(nv);
+    let mut u = S::empty(nv);
     walk_stmts(program.proc_(p).body(), &mut |s| {
-        m.union_with(&modref_ir::lmod_of_stmt(program, s));
-        u.union_with(&modref_ir::luse_of_stmt(program, s));
+        m.union_with(&S::from_dense_owned(modref_ir::lmod_of_stmt(program, s)));
+        u.union_with(&S::from_dense_owned(modref_ir::luse_of_stmt(program, s)));
     });
     (m, u)
 }
 
 /// The §3.3 nesting extension, children before parents — a verbatim
 /// replica of the batch sweep so extended sets stay bit-identical.
-fn extend_flat(
+fn extend_flat<S: EffectSet>(
     program: &Program,
-    flat_mod: &[BitSet],
-    flat_use: &[BitSet],
-    local_sets: &[BitSet],
-) -> (Vec<BitSet>, Vec<BitSet>) {
+    flat_mod: &[S],
+    flat_use: &[S],
+    local_sets: &[S],
+) -> (Vec<S>, Vec<S>) {
     let mut order: Vec<ProcId> = program.procs().collect();
     order.sort_by_key(|&p| std::cmp::Reverse(program.proc_(p).level()));
     let mut imod = flat_mod.to_vec();
@@ -1278,18 +1302,18 @@ fn extend_flat(
 /// representer booleans and is updated in place; the broadcast (step (4)
 /// of Figure 1, one boolean per formal) always runs in full.
 #[allow(clippy::too_many_arguments)]
-fn rmod_sweep_side(
+fn rmod_sweep_side<S: EffectSet>(
     program: &Program,
     beta: &BindingGraph,
     dc: &DynCondensation,
-    initial: &[BitSet],
+    initial: &[S],
     old_seeds: Option<&[bool]>,
     patch_nodes: &[usize],
     rep: &mut Vec<bool>,
     reused: &mut usize,
     recomputed: &mut usize,
     guard: &Guard,
-) -> Result<(Vec<bool>, Vec<BitSet>), Interrupt> {
+) -> Result<(Vec<bool>, Vec<S>), Interrupt> {
     let n = beta.num_nodes();
     let mut seeds = Vec::with_capacity(n);
     for node in 0..n {
@@ -1360,7 +1384,7 @@ fn rmod_sweep_side(
 
     // Broadcast — the exact step (4) of Figure 1, unbound formals taking
     // their IMOD bit directly.
-    let mut rmod = vec![BitSet::new(program.num_vars()); program.num_procs()];
+    let mut rmod = vec![S::empty(program.num_vars()); program.num_procs()];
     for p in program.procs() {
         for &f in program.proc_(p).formals() {
             let in_rmod = match beta.node_of_formal(f) {
@@ -1378,12 +1402,12 @@ fn rmod_sweep_side(
 /// Equation (5), exactly as [`modref_core::compute_imod_plus`] computes
 /// it (`rmod[callee]` holding only own-formal bits makes the membership
 /// test equivalent to `RmodSolution::is_modified`).
-fn compute_plus(
+fn compute_plus<S: EffectSet>(
     program: &Program,
-    initial: &[BitSet],
-    rmod: &[BitSet],
+    initial: &[S],
+    rmod: &[S],
     guard: &Guard,
-) -> Result<Vec<BitSet>, Interrupt> {
+) -> Result<Vec<S>, Interrupt> {
     let mut plus = initial.to_vec();
     let mut steps = 0u64;
     for s in program.sites() {
@@ -1409,7 +1433,7 @@ fn compute_plus(
 /// `new[p] != old[p]` per procedure (new procedures always dirty; no old
 /// results means everything is; an old vector shorter than `new` — ids
 /// appended by the edit — dirties the tail).
-fn diff_procs(new: &[BitSet], old: Option<&[BitSet]>, is_new: &[bool]) -> Vec<bool> {
+fn diff_procs<S: EffectSet>(new: &[S], old: Option<&[S]>, is_new: &[bool]) -> Vec<bool> {
     match old {
         Some(old) => (0..new.len())
             .map(|p| is_new[p] || old.get(p).is_none_or(|o| new[p] != *o))
@@ -1422,12 +1446,12 @@ fn diff_procs(new: &[BitSet], old: Option<&[BitSet]>, is_new: &[bool]) -> Vec<bo
 /// the batch kernel, writes the rows back per node, and reports each
 /// component's value-changed bit to `on_done`.
 #[allow(clippy::too_many_arguments)]
-fn run_batch(
+fn run_batch<S: EffectSet>(
     batch: &[SccId],
     dc: &DynCondensation,
-    rows: &mut [BitSet],
-    seeds: &[BitSet],
-    locals: &[BitSet],
+    rows: &mut [S],
+    seeds: &[S],
+    locals: &[S],
     nv: usize,
     pool: &ThreadPool,
     guard: &Guard,
@@ -1438,7 +1462,7 @@ fn run_batch(
     let comp_map = sccs.component_map();
     let comp_pos = dc.comp_pos();
     let results = {
-        let g_final: &[BitSet] = rows;
+        let g_final: &[S] = rows;
         pool.par_map_while(
             batch.len(),
             || !guard.should_stop(),
@@ -1480,11 +1504,11 @@ fn run_batch(
 /// touched — then grows only through components whose recomputed
 /// fixpoint actually changed.
 #[allow(clippy::too_many_arguments)]
-fn sweep_gmod_side(
+fn sweep_gmod_side<S: EffectSet>(
     dc: &DynCondensation,
-    rows: &mut [BitSet],
-    seeds: &[BitSet],
-    locals: &[BitSet],
+    rows: &mut [S],
+    seeds: &[S],
+    locals: &[S],
     dirty: Option<(&[bool], &[bool], &[usize])>,
     nv: usize,
     pool: &ThreadPool,

@@ -14,10 +14,12 @@
 
 use std::fmt::Write as _;
 
-use modref_bitset::BitSet;
+use modref_bitset::{BitSet, EffectSet};
 use modref_ir::{CallSiteId, Program, VarId};
 use modref_trace::escape_json;
 
+use crate::engine::IncrementalEngineIn;
+#[cfg(test)]
 use crate::engine::IncrementalEngine;
 
 /// The three per-site set families every analyze-style report prints,
@@ -48,14 +50,20 @@ impl SiteSets {
     }
 
     /// Collects the sets from a live incremental engine.
-    pub fn from_engine(engine: &IncrementalEngine) -> Self {
+    pub fn from_engine<S: EffectSet>(engine: &IncrementalEngineIn<S>) -> Self {
         let program = engine.program();
         SiteSets {
-            mods: program.sites().map(|s| engine.mod_site(s).clone()).collect(),
-            uses: program.sites().map(|s| engine.use_site(s).clone()).collect(),
+            mods: program
+                .sites()
+                .map(|s| engine.mod_site(s).to_dense())
+                .collect(),
+            uses: program
+                .sites()
+                .map(|s| engine.use_site(s).to_dense())
+                .collect(),
             dmods: program
                 .sites()
-                .map(|s| engine.dmod_site(s).clone())
+                .map(|s| engine.dmod_site(s).to_dense())
                 .collect(),
         }
     }

@@ -75,7 +75,7 @@ pub use callgraph::CallGraph;
 pub use edit::{Edit, EditDelta, EditError};
 pub use error::ValidationError;
 pub use ids::{CallSiteId, ProcId, VarId};
-pub use localeffects::{flat_effects_of, lmod_of_stmt, luse_of_stmt, LocalEffects};
+pub use localeffects::{flat_effects_of, lmod_of_stmt, luse_of_stmt, LocalEffects, LocalEffectsIn};
 pub use program::{CallSite, Procedure, Program, VarInfo, VarKind};
 pub use prune::PrunedProgram;
 pub use stats::ProgramStats;
